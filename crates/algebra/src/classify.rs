@@ -1,0 +1,208 @@
+//! Language fragments and incremental-maintenance complexity classes.
+//!
+//! §3 of the paper defines the complexity of a chronicle model as the
+//! complexity of incrementally maintaining views written in its language
+//! `L`, and introduces the classes
+//!
+//! ```text
+//! IM-Constant ⊂ IM-log(R) ⊂ IM-R^k ⊂ IM-C^k
+//! ```
+//!
+//! Theorem 4.5 places SCA₁ in IM-Constant, SCA⋈ in IM-log(R) and SCA in
+//! IM-R^k; Proposition 3.1 places full relational algebra in IM-C^k (and
+//! not in IM-R^k). Theorem 4.2 gives the concrete cost model for change
+//! computation that [`CostModel`] encodes.
+
+use std::fmt;
+
+/// Which sub-language of chronicle algebra an expression falls in
+/// (Def. 4.2). Ordered by inclusion: `Ca1 ⊂ CaKey ⊂ Ca`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LanguageFragment {
+    /// CA₁ — no relation operands at all.
+    Ca1,
+    /// CA⋈ — relations touched only through key joins (at most a constant
+    /// number of relation tuples join each chronicle tuple).
+    CaKey,
+    /// Full CA — cross products with relations allowed.
+    Ca,
+}
+
+impl LanguageFragment {
+    /// The IM class of *summarized* views over this fragment (Thm 4.5).
+    pub fn im_class(self) -> ImClass {
+        match self {
+            LanguageFragment::Ca1 => ImClass::Constant,
+            LanguageFragment::CaKey => ImClass::LogR,
+            LanguageFragment::Ca => ImClass::PolyR,
+        }
+    }
+
+    /// Human-readable name matching the paper's notation.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            LanguageFragment::Ca1 => "CA_1",
+            LanguageFragment::CaKey => "CA_join",
+            LanguageFragment::Ca => "CA",
+        }
+    }
+}
+
+impl fmt::Display for LanguageFragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The incremental-maintenance complexity classes of §3: the time to
+/// maintain a persistent view in response to a single append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ImClass {
+    /// IM-Constant: constant time — not even index lookups.
+    Constant,
+    /// IM-log(R): logarithmic in the size of the relations.
+    LogR,
+    /// IM-R^k: polynomial in the size of the relations.
+    PolyR,
+    /// IM-C^k: polynomial in the size of the chronicle — "totally
+    /// impractical for an operation to be executed after each append".
+    PolyC,
+}
+
+impl ImClass {
+    /// The paper's name for the class.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ImClass::Constant => "IM-Constant",
+            ImClass::LogR => "IM-log(R)",
+            ImClass::PolyR => "IM-R^k",
+            ImClass::PolyC => "IM-C^k",
+        }
+    }
+
+    /// Whether views in this class can be maintained without storing or
+    /// accessing the chronicle.
+    pub fn chronicle_free(self) -> bool {
+        self != ImClass::PolyC
+    }
+}
+
+impl fmt::Display for ImClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The Theorem 4.2 cost model for change computation of a chronicle-algebra
+/// expression: with `u` unions and `j` equijoins/cross-products,
+///
+/// * CA:  time `O((u·|R|)^j · log|R|)`, space `O((u·|R|)^j)`
+/// * CA⋈: time `O(u^j · log|R|)`,       space `O(u^j)`
+/// * CA₁: time `O(u^j)`,                space `O(u^j)`
+///
+/// (independent of `|C|` and of the view size in every case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Number of union operators in the expression.
+    pub unions: u32,
+    /// Number of SN-equijoins, key joins, and chronicle×relation products.
+    pub joins: u32,
+    /// The fragment, which selects the formula.
+    pub fragment: LanguageFragment,
+}
+
+impl CostModel {
+    /// Predicted change-computation *time* bound for relation size `r`
+    /// (arbitrary units; used by experiments to check curve shapes, not
+    /// absolute constants). `u` is taken as `max(unions, 1)` so that the
+    /// formulas stay meaningful when `u = 0`.
+    pub fn predicted_time(&self, r: usize) -> f64 {
+        let u = self.unions.max(1) as f64;
+        let j = self.joins as f64;
+        let r = r.max(2) as f64;
+        match self.fragment {
+            LanguageFragment::Ca => (u * r).powf(j) * r.log2(),
+            LanguageFragment::CaKey => u.powf(j) * r.log2(),
+            LanguageFragment::Ca1 => u.powf(j),
+        }
+    }
+
+    /// Predicted change-computation *space* bound (number of delta tuples).
+    pub fn predicted_space(&self, r: usize) -> f64 {
+        let u = self.unions.max(1) as f64;
+        let j = self.joins as f64;
+        let r = r.max(2) as f64;
+        match self.fragment {
+            LanguageFragment::Ca => (u * r).powf(j),
+            LanguageFragment::CaKey | LanguageFragment::Ca1 => u.powf(j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_inclusion_order() {
+        assert!(LanguageFragment::Ca1 < LanguageFragment::CaKey);
+        assert!(LanguageFragment::CaKey < LanguageFragment::Ca);
+    }
+
+    #[test]
+    fn fragment_to_class_matches_theorem_4_5() {
+        assert_eq!(LanguageFragment::Ca1.im_class(), ImClass::Constant);
+        assert_eq!(LanguageFragment::CaKey.im_class(), ImClass::LogR);
+        assert_eq!(LanguageFragment::Ca.im_class(), ImClass::PolyR);
+    }
+
+    #[test]
+    fn class_strictness_order() {
+        assert!(ImClass::Constant < ImClass::LogR);
+        assert!(ImClass::LogR < ImClass::PolyR);
+        assert!(ImClass::PolyR < ImClass::PolyC);
+    }
+
+    #[test]
+    fn only_polyc_needs_the_chronicle() {
+        assert!(ImClass::Constant.chronicle_free());
+        assert!(ImClass::LogR.chronicle_free());
+        assert!(ImClass::PolyR.chronicle_free());
+        assert!(!ImClass::PolyC.chronicle_free());
+    }
+
+    #[test]
+    fn cost_model_shapes() {
+        // CA with one product: time grows ~ r log r.
+        let ca = CostModel {
+            unions: 0,
+            joins: 1,
+            fragment: LanguageFragment::Ca,
+        };
+        assert!(ca.predicted_time(1 << 16) > 100.0 * ca.predicted_time(64));
+
+        // CA⋈ with one join: grows only logarithmically.
+        let cak = CostModel {
+            unions: 0,
+            joins: 1,
+            fragment: LanguageFragment::CaKey,
+        };
+        let growth = cak.predicted_time(1 << 20) / cak.predicted_time(1 << 10);
+        assert!(growth < 3.0, "log growth expected, got {growth}");
+
+        // CA₁: flat in r.
+        let ca1 = CostModel {
+            unions: 2,
+            joins: 2,
+            fragment: LanguageFragment::Ca1,
+        };
+        assert_eq!(ca1.predicted_time(10), ca1.predicted_time(1_000_000));
+        assert_eq!(ca1.predicted_space(10), 4.0);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ImClass::LogR.paper_name(), "IM-log(R)");
+        assert_eq!(LanguageFragment::CaKey.paper_name(), "CA_join");
+    }
+}

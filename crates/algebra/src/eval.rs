@@ -1,0 +1,388 @@
+//! Full (non-incremental) evaluation of CA and SCA expressions over
+//! *stored* chronicles — the correctness oracle.
+//!
+//! This evaluator implements the paper's exact semantics, including the
+//! implicit temporal join of §2.3: every chronicle tuple joins the relation
+//! *version associated with its sequence number* (reconstructed via
+//! [`chronicle_store::TemporalRelation::version_at`]). The incremental
+//! engine only ever joins deltas against the current version; the oracle
+//! proves that, under the proactive-update rule, the two agree.
+//!
+//! It requires chronicles with [`chronicle_store::Retention::All`]; with a
+//! smaller retention it fails with
+//! [`chronicle_types::ChronicleError::ChronicleNotStored`] — the paper's
+//! starting observation that recomputation is not an option in production.
+
+use std::collections::{HashMap, HashSet};
+
+use chronicle_store::{Catalog, Relation};
+use chronicle_types::{Result, SeqNo, Tuple, Value};
+
+use crate::aggregate::aggregate_group;
+use crate::expr::{CaExpr, CaNode};
+use crate::sca::{ScaExpr, Summarize};
+
+/// Evaluate a chronicle-algebra expression over the fully stored
+/// chronicles. The result is the complete chronicle view (a sequence of
+/// tuples; order unspecified, compare as multisets).
+pub fn eval_ca(catalog: &Catalog, expr: &CaExpr) -> Result<Vec<Tuple>> {
+    let mut cache = VersionCache::default();
+    eval_node(catalog, expr, &mut cache)
+}
+
+/// Per-evaluation cache of reconstructed relation versions, keyed by
+/// (relation, sequence number). Keeps the oracle polynomial instead of
+/// quadratic when many tuples share few sequence numbers.
+#[derive(Default)]
+struct VersionCache {
+    versions: HashMap<(u32, SeqNo), Relation>,
+}
+
+impl VersionCache {
+    fn version<'a>(
+        &'a mut self,
+        catalog: &Catalog,
+        rel: chronicle_types::RelationId,
+        seq: SeqNo,
+    ) -> Result<&'a Relation> {
+        use std::collections::hash_map::Entry;
+        Ok(match self.versions.entry((rel.0, seq)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(catalog.relation(rel).version_at(seq)?),
+        })
+    }
+}
+
+fn eval_node(catalog: &Catalog, expr: &CaExpr, cache: &mut VersionCache) -> Result<Vec<Tuple>> {
+    match &*expr.node {
+        CaNode::Base(r) => {
+            let c = catalog.chronicle(r.id);
+            Ok(c.scan_all()?.cloned().collect())
+        }
+        CaNode::Select { input, pred } => {
+            let rows = eval_node(catalog, input, cache)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for t in rows {
+                if pred.eval(&t)? {
+                    out.push(t);
+                }
+            }
+            Ok(out)
+        }
+        CaNode::Project { input, cols } => {
+            let rows = eval_node(catalog, input, cache)?;
+            // Projection keeps the SN, so distinct inputs stay distinct
+            // except for exact duplicates, which set semantics discard.
+            let mut seen = HashSet::new();
+            let mut out = Vec::with_capacity(rows.len());
+            for t in rows {
+                let p = t.project(cols);
+                if seen.insert(p.clone()) {
+                    out.push(p);
+                }
+            }
+            Ok(out)
+        }
+        CaNode::JoinSeq {
+            left,
+            right,
+            right_keep,
+        } => {
+            let l = eval_node(catalog, left, cache)?;
+            let r = eval_node(catalog, right, cache)?;
+            let lsn = left.seq_pos();
+            let rsn = right.seq_pos();
+            let mut by_sn: HashMap<Value, Vec<&Tuple>> = HashMap::new();
+            for t in &r {
+                by_sn.entry(t.get(rsn).clone()).or_default().push(t);
+            }
+            let mut out = Vec::new();
+            for lt in &l {
+                if let Some(matches) = by_sn.get(lt.get(lsn)) {
+                    for rt in matches {
+                        let kept: Vec<Value> =
+                            right_keep.iter().map(|&c| rt.get(c).clone()).collect();
+                        out.push(lt.concat_values(&kept));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        CaNode::Union { left, right } => {
+            let l = eval_node(catalog, left, cache)?;
+            let r = eval_node(catalog, right, cache)?;
+            let mut seen: HashSet<Tuple> = HashSet::with_capacity(l.len() + r.len());
+            let mut out = Vec::with_capacity(l.len() + r.len());
+            for t in l.into_iter().chain(r) {
+                if seen.insert(t.clone()) {
+                    out.push(t);
+                }
+            }
+            Ok(out)
+        }
+        CaNode::Diff { left, right } => {
+            let l = eval_node(catalog, left, cache)?;
+            let r: HashSet<Tuple> = eval_node(catalog, right, cache)?.into_iter().collect();
+            Ok(l.into_iter().filter(|t| !r.contains(t)).collect())
+        }
+        CaNode::GroupBySeq {
+            input,
+            group_cols,
+            aggs,
+        } => {
+            let rows = eval_node(catalog, input, cache)?;
+            let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+            for t in &rows {
+                let key: Vec<Value> = group_cols.iter().map(|&c| t.get(c).clone()).collect();
+                groups.entry(key).or_default().push(t);
+            }
+            let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, members) in groups {
+                let aggv = aggregate_group(&funcs, &members)?;
+                let mut row = key;
+                row.extend(aggv);
+                out.push(Tuple::new(row));
+            }
+            Ok(out)
+        }
+        CaNode::ProductRel { input, rel } => {
+            let rows = eval_node(catalog, input, cache)?;
+            let sn = input.seq_pos();
+            let mut out = Vec::new();
+            for lt in &rows {
+                // Temporal join: the version of R at this tuple's SN.
+                let seq = lt.seq_at(sn)?;
+                let version = cache.version(catalog, rel.id, seq)?;
+                for rt in version.iter() {
+                    out.push(lt.concat(rt));
+                }
+            }
+            Ok(out)
+        }
+        CaNode::JoinRelKey {
+            input,
+            rel,
+            chron_cols,
+            rel_cols,
+        } => {
+            let rows = eval_node(catalog, input, cache)?;
+            let sn = input.seq_pos();
+            let mut out = Vec::new();
+            for lt in &rows {
+                let seq = lt.seq_at(sn)?;
+                let key: Vec<Value> = chron_cols.iter().map(|&c| lt.get(c).clone()).collect();
+                let version = cache.version(catalog, rel.id, seq)?;
+                let (hits, _) = version.lookup_cols(rel_cols, &key);
+                for rt in hits {
+                    out.push(lt.concat(rt));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Evaluate an SCA expression from scratch: the *contents of the persistent
+/// view* as a relation (set semantics), used to check incremental
+/// maintenance for exact equality.
+pub fn eval_sca(catalog: &Catalog, expr: &ScaExpr) -> Result<Vec<Tuple>> {
+    let chron = eval_ca(catalog, expr.ca())?;
+    match expr.summarize() {
+        Summarize::Project { cols } => {
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for t in chron {
+                let p = t.project(cols);
+                if seen.insert(p.clone()) {
+                    out.push(p);
+                }
+            }
+            Ok(out)
+        }
+        Summarize::GroupAgg { group_cols, aggs } => {
+            let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+            for t in &chron {
+                let key: Vec<Value> = group_cols.iter().map(|&c| t.get(c).clone()).collect();
+                groups.entry(key).or_default().push(t);
+            }
+            let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, members) in groups {
+                let aggv = aggregate_group(&funcs, &members)?;
+                let mut row = key;
+                // Sequence numbers leaving the chronicle become plain
+                // integers (see ScaExpr::group_agg_cols).
+                row.extend(aggv.into_iter().map(seq_to_int));
+                out.push(Tuple::new(row));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Convert `Seq` aggregate outputs (e.g. `MAX(sn)`) to `Int`, matching the
+/// summarized schema.
+pub fn seq_to_int(v: Value) -> Value {
+    match v {
+        Value::Seq(s) => Value::Int(s.0 as i64),
+        other => other,
+    }
+}
+
+/// Sort a tuple multiset into canonical order for comparisons in tests.
+pub fn canon(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggFunc, AggSpec};
+    use crate::expr::RelationRef;
+    use crate::predicate::{CmpOp, Predicate};
+    use chronicle_store::Retention;
+    use chronicle_types::{tuple, AttrType, Attribute, Chronon, Schema};
+
+    fn setup() -> (Catalog, chronicle_types::ChronicleId, RelationRef) {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("minutes", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c = cat
+            .create_chronicle("calls", g, cs, Retention::All)
+            .unwrap();
+        let rs = Schema::relation_with_key(
+            vec![
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("rate", AttrType::Float),
+            ],
+            &["acct"],
+        )
+        .unwrap();
+        let r = cat.create_relation("rates", rs.clone()).unwrap();
+        cat.relation_insert(r, g, tuple![555i64, 0.1f64]).unwrap();
+        (cat, c, RelationRef::new(r, rs, "rates"))
+    }
+
+    #[test]
+    fn eval_base_and_select() {
+        let (mut cat, c, _) = setup();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 555i64, 2.0f64]])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 555i64, 9.0f64]])
+            .unwrap();
+        let e = CaExpr::chronicle(cat.chronicle(c));
+        assert_eq!(eval_ca(&cat, &e).unwrap().len(), 2);
+        let p =
+            Predicate::attr_cmp_const(e.schema(), "minutes", CmpOp::Gt, Value::Float(5.0)).unwrap();
+        let s = e.select(p).unwrap();
+        assert_eq!(eval_ca(&cat, &s).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn eval_requires_full_retention() {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("v", AttrType::Int),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c = cat
+            .create_chronicle("c", g, cs, Retention::LastTuples(1))
+            .unwrap();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 1i64]])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 2i64]])
+            .unwrap();
+        let e = CaExpr::chronicle(cat.chronicle(c));
+        assert!(matches!(
+            eval_ca(&cat, &e).unwrap_err(),
+            chronicle_types::ChronicleError::ChronicleNotStored { .. }
+        ));
+    }
+
+    #[test]
+    fn temporal_join_uses_version_at_sn() {
+        // Example 2.2 in miniature: rate changes between two appends; each
+        // chronicle tuple joins the version live at its SN.
+        let (mut cat, c, rel) = setup();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 555i64, 2.0f64]])
+            .unwrap();
+        let g = cat.group_id("g").unwrap();
+        cat.relation_update(rel.id, g, &[Value::Int(555)], tuple![555i64, 0.5f64])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 555i64, 4.0f64]])
+            .unwrap();
+        let e = CaExpr::chronicle(cat.chronicle(c))
+            .join_rel_key(rel, &["caller"])
+            .unwrap();
+        let rows = canon(eval_ca(&cat, &e).unwrap());
+        assert_eq!(rows.len(), 2);
+        // SN 1 joined the old rate, SN 2 the new one.
+        assert_eq!(rows[0].get(4).as_float(), Some(0.1));
+        assert_eq!(rows[1].get(4).as_float(), Some(0.5));
+    }
+
+    #[test]
+    fn eval_sca_group_agg() {
+        let (mut cat, c, _) = setup();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 555i64, 2.0f64]])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 555i64, 3.0f64]])
+            .unwrap();
+        cat.append(c, Chronon(3), &[tuple![SeqNo(3), 777i64, 9.0f64]])
+            .unwrap();
+        let v = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "total")],
+        )
+        .unwrap();
+        let rows = canon(eval_sca(&cat, &v).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values(), &[Value::Int(555), Value::Float(5.0)]);
+        assert_eq!(rows[1].values(), &[Value::Int(777), Value::Float(9.0)]);
+    }
+
+    #[test]
+    fn eval_sca_projection_dedups() {
+        let (mut cat, c, _) = setup();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 555i64, 2.0f64]])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 555i64, 3.0f64]])
+            .unwrap();
+        let v = ScaExpr::project(CaExpr::chronicle(cat.chronicle(c)), &["caller"]).unwrap();
+        let rows = eval_sca(&cat, &v).unwrap();
+        assert_eq!(rows.len(), 1, "both tuples project to caller=555");
+    }
+
+    #[test]
+    fn max_sn_finalizes_to_int() {
+        let (mut cat, c, _) = setup();
+        cat.append(c, Chronon(1), &[tuple![SeqNo(1), 555i64, 2.0f64]])
+            .unwrap();
+        cat.append(c, Chronon(2), &[tuple![SeqNo(2), 555i64, 3.0f64]])
+            .unwrap();
+        let v = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Max(0), "last_sn")],
+        )
+        .unwrap();
+        let rows = eval_sca(&cat, &v).unwrap();
+        assert_eq!(rows[0].get(1), &Value::Int(2));
+    }
+}

@@ -1,0 +1,505 @@
+//! General relational algebra over chronicles and relations — the
+//! Proposition 3.1 / Theorem 4.3 comparators.
+//!
+//! RA (with grouping and aggregation) can express everything CA can, *plus*
+//! the constructions CA rejects: projections that drop the sequencing
+//! attribute mid-expression, grouping without the SN, cross products and
+//! θ-joins between chronicles. The price (Prop. 3.1): such views are only
+//! maintainable by recomputation over the stored chronicle — time
+//! polynomial in |C|, class IM-C^k.
+//!
+//! RA treats the sequencing attribute as an ordinary integer column: base
+//! chronicle schemas are imported with `SEQ` retyped to `INT` so that
+//! multiple SN columns can coexist in a join result.
+
+use std::collections::{HashMap, HashSet};
+
+use chronicle_store::{Catalog, Chronicle};
+use chronicle_types::{
+    Attribute, ChronicleError, ChronicleId, RelationId, Result, Schema, Tuple, Value,
+};
+
+use crate::aggregate::{aggregate_group, AggSpec};
+use crate::predicate::{CmpOp, Predicate};
+
+/// A join condition: `left.a θ right.b`.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinCond {
+    /// Attribute position in the left operand.
+    pub left: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Attribute position in the right operand.
+    pub right: usize,
+}
+
+#[derive(Debug, Clone)]
+enum RaNode {
+    Chronicle(ChronicleId),
+    Relation(RelationId),
+    Select {
+        input: Box<RaExpr>,
+        pred: Predicate,
+    },
+    Project {
+        input: Box<RaExpr>,
+        cols: Vec<usize>,
+    },
+    Join {
+        left: Box<RaExpr>,
+        right: Box<RaExpr>,
+        /// Empty conditions = cross product.
+        conds: Vec<JoinCond>,
+    },
+    Union {
+        left: Box<RaExpr>,
+        right: Box<RaExpr>,
+    },
+    Diff {
+        left: Box<RaExpr>,
+        right: Box<RaExpr>,
+    },
+    GroupBy {
+        input: Box<RaExpr>,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    },
+}
+
+/// A relational-algebra expression with schema tracking and set semantics.
+#[derive(Debug, Clone)]
+pub struct RaExpr {
+    node: RaNode,
+    schema: Schema,
+}
+
+/// Retype `SEQ` attributes to `INT` (RA sees sequence numbers as data).
+fn demote_seq(schema: &Schema) -> Schema {
+    let attrs: Vec<Attribute> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if a.ty == chronicle_types::AttrType::Seq {
+                Attribute::new(a.name.as_ref(), chronicle_types::AttrType::Int)
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
+    Schema::relation(attrs).expect("demoted schema is valid")
+}
+
+impl RaExpr {
+    /// Scan a base chronicle (requires full retention at eval time).
+    pub fn chronicle(c: &Chronicle) -> RaExpr {
+        RaExpr {
+            schema: demote_seq(c.schema()),
+            node: RaNode::Chronicle(c.id()),
+        }
+    }
+
+    /// Scan a base relation (current version).
+    pub fn relation(id: RelationId, schema: Schema) -> RaExpr {
+        RaExpr {
+            schema: demote_seq(&schema),
+            node: RaNode::Relation(id),
+        }
+    }
+
+    /// σ_p.
+    pub fn select(self, pred: Predicate) -> Result<RaExpr> {
+        pred.validate(&self.schema)?;
+        let schema = self.schema.clone();
+        Ok(RaExpr {
+            node: RaNode::Select {
+                input: Box::new(self),
+                pred,
+            },
+            schema,
+        })
+    }
+
+    /// Π over names — *any* columns, including dropping the SN (legal in RA).
+    pub fn project(self, names: &[&str]) -> Result<RaExpr> {
+        let cols: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.position(n))
+            .collect::<Result<_>>()?;
+        let schema = self.schema.project(&cols)?;
+        Ok(RaExpr {
+            node: RaNode::Project {
+                input: Box::new(self),
+                cols,
+            },
+            schema,
+        })
+    }
+
+    /// θ-join (empty `conds` = cross product) — including between two
+    /// chronicles, the IM-C^k construction of Theorem 4.3.
+    pub fn join(self, right: RaExpr, conds: Vec<JoinCond>) -> Result<RaExpr> {
+        for c in &conds {
+            if c.left >= self.schema.arity() || c.right >= right.schema.arity() {
+                return Err(ChronicleError::UnknownAttribute {
+                    name: format!("join positions ({}, {})", c.left, c.right),
+                    context: "RA join".into(),
+                });
+            }
+        }
+        let schema = self.schema.concat(&right.schema, "r")?;
+        Ok(RaExpr {
+            node: RaNode::Join {
+                left: Box::new(self),
+                right: Box::new(right),
+                conds,
+            },
+            schema,
+        })
+    }
+
+    /// Cross product.
+    pub fn product(self, right: RaExpr) -> Result<RaExpr> {
+        self.join(right, Vec::new())
+    }
+
+    /// Union (set semantics; operand types must match).
+    pub fn union(self, right: RaExpr) -> Result<RaExpr> {
+        if !self.schema.same_type(&right.schema) {
+            return Err(ChronicleError::InvalidSchema(format!(
+                "union operands differ: {} vs {}",
+                self.schema, right.schema
+            )));
+        }
+        let schema = self.schema.clone();
+        Ok(RaExpr {
+            node: RaNode::Union {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// Difference.
+    pub fn diff(self, right: RaExpr) -> Result<RaExpr> {
+        if !self.schema.same_type(&right.schema) {
+            return Err(ChronicleError::InvalidSchema(format!(
+                "difference operands differ: {} vs {}",
+                self.schema, right.schema
+            )));
+        }
+        let schema = self.schema.clone();
+        Ok(RaExpr {
+            node: RaNode::Diff {
+                left: Box::new(self),
+                right: Box::new(right),
+            },
+            schema,
+        })
+    }
+
+    /// GROUPBY over *any* columns — including none of the SN (legal in RA;
+    /// this is what summary views look like when written naively).
+    pub fn group_by(self, group_names: &[&str], aggs: Vec<AggSpec>) -> Result<RaExpr> {
+        let group_cols: Vec<usize> = group_names
+            .iter()
+            .map(|n| self.schema.position(n))
+            .collect::<Result<_>>()?;
+        for a in &aggs {
+            a.func.validate(&self.schema)?;
+        }
+        let mut attrs = Vec::with_capacity(group_cols.len() + aggs.len());
+        for &c in &group_cols {
+            attrs.push(self.schema.attr(c).clone());
+        }
+        for a in &aggs {
+            attrs.push(Attribute::new(&a.name, a.func.output_type(&self.schema)));
+        }
+        let schema = Schema::relation(attrs)?;
+        Ok(RaExpr {
+            node: RaNode::GroupBy {
+                input: Box::new(self),
+                group_cols,
+                aggs,
+            },
+            schema,
+        })
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Evaluate from scratch (set semantics). This *is* the maintenance
+    /// algorithm for RA views in the chronicle setting — Proposition 3.1:
+    /// recomputation over the stored chronicle, O(|C|^k).
+    pub fn eval(&self, catalog: &Catalog) -> Result<Vec<Tuple>> {
+        let rows = self.eval_inner(catalog)?;
+        // Global set semantics at the top.
+        let mut seen = HashSet::new();
+        Ok(rows
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect())
+    }
+
+    fn eval_inner(&self, catalog: &Catalog) -> Result<Vec<Tuple>> {
+        match &self.node {
+            RaNode::Chronicle(id) => {
+                let c = catalog.chronicle(*id);
+                Ok(c.scan_all()?
+                    .map(|t| {
+                        Tuple::new(
+                            t.values()
+                                .iter()
+                                .map(|v| crate::eval::seq_to_int(v.clone()))
+                                .collect(),
+                        )
+                    })
+                    .collect())
+            }
+            RaNode::Relation(id) => Ok(catalog.relation(*id).current().to_vec()),
+            RaNode::Select { input, pred } => {
+                let rows = input.eval_inner(catalog)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for t in rows {
+                    if pred.eval(&t)? {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            RaNode::Project { input, cols } => {
+                let rows = input.eval_inner(catalog)?;
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for t in rows {
+                    let p = t.project(cols);
+                    if seen.insert(p.clone()) {
+                        out.push(p);
+                    }
+                }
+                Ok(out)
+            }
+            RaNode::Join { left, right, conds } => {
+                let l = left.eval_inner(catalog)?;
+                let r = right.eval_inner(catalog)?;
+                let mut out = Vec::new();
+                // Nested loops with θ conditions — the honest cost of RA
+                // over chronicles. (Equi-conditions could be hashed, but
+                // the baseline's point is the |C|-dependence, which no join
+                // algorithm removes for θ-joins.)
+                for lt in &l {
+                    'rt: for rt in &r {
+                        for c in conds {
+                            let ord = lt.get(c.left).sql_cmp(rt.get(c.right))?;
+                            if !c.op.test(ord) {
+                                continue 'rt;
+                            }
+                        }
+                        out.push(lt.concat(rt));
+                    }
+                }
+                Ok(out)
+            }
+            RaNode::Union { left, right } => {
+                let mut l = left.eval_inner(catalog)?;
+                l.extend(right.eval_inner(catalog)?);
+                let mut seen = HashSet::new();
+                Ok(l.into_iter().filter(|t| seen.insert(t.clone())).collect())
+            }
+            RaNode::Diff { left, right } => {
+                let l = left.eval_inner(catalog)?;
+                let r: HashSet<Tuple> = right.eval_inner(catalog)?.into_iter().collect();
+                Ok(l.into_iter().filter(|t| !r.contains(t)).collect())
+            }
+            RaNode::GroupBy {
+                input,
+                group_cols,
+                aggs,
+            } => {
+                let rows = input.eval_inner(catalog)?;
+                let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+                for t in &rows {
+                    let key: Vec<Value> = group_cols.iter().map(|&c| t.get(c).clone()).collect();
+                    groups.entry(key).or_default().push(t);
+                }
+                let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+                let mut out = Vec::with_capacity(groups.len());
+                for (key, members) in groups {
+                    let aggv = aggregate_group(&funcs, &members)?;
+                    let mut row = key;
+                    row.extend(aggv.into_iter().map(crate::eval::seq_to_int));
+                    out.push(Tuple::new(row));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// The number of *stored chronicle tuples* this expression reads when
+    /// evaluated — the |C| term that Proposition 3.1 says cannot be
+    /// avoided. Used by experiment E1/E7 as the work counter.
+    pub fn chronicle_tuples_read(&self, catalog: &Catalog) -> u64 {
+        match &self.node {
+            RaNode::Chronicle(id) => catalog.chronicle(*id).stored_len() as u64,
+            RaNode::Relation(_) => 0,
+            RaNode::Select { input, .. }
+            | RaNode::Project { input, .. }
+            | RaNode::GroupBy { input, .. } => input.chronicle_tuples_read(catalog),
+            RaNode::Join { left, right, .. }
+            | RaNode::Union { left, right }
+            | RaNode::Diff { left, right } => {
+                left.chronicle_tuples_read(catalog) + right.chronicle_tuples_read(catalog)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use chronicle_store::Retention;
+    use chronicle_types::{tuple, AttrType, Chronon, SeqNo};
+
+    fn setup() -> (Catalog, ChronicleId) {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("minutes", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c = cat
+            .create_chronicle("calls", g, cs, Retention::All)
+            .unwrap();
+        for i in 1..=4u64 {
+            cat.append(
+                c,
+                Chronon(i as i64),
+                &[tuple![SeqNo(i), (500 + (i % 2)) as i64, i as f64]],
+            )
+            .unwrap();
+        }
+        (cat, c)
+    }
+
+    #[test]
+    fn chronicle_scan_demotes_sn_to_int() {
+        let (cat, c) = setup();
+        let e = RaExpr::chronicle(cat.chronicle(c));
+        let rows = e.eval(&cat).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].get(0).attr_type(), Some(AttrType::Int));
+    }
+
+    #[test]
+    fn sn_dropping_projection_is_legal_in_ra() {
+        let (cat, c) = setup();
+        let e = RaExpr::chronicle(cat.chronicle(c))
+            .project(&["caller"])
+            .unwrap();
+        let rows = e.eval(&cat).unwrap();
+        assert_eq!(rows.len(), 2, "set semantics dedup callers");
+    }
+
+    #[test]
+    fn sn_free_group_by_is_legal_in_ra() {
+        let (cat, c) = setup();
+        let e = RaExpr::chronicle(cat.chronicle(c))
+            .group_by(&["caller"], vec![AggSpec::new(AggFunc::Sum(2), "total")])
+            .unwrap();
+        let mut rows = e.eval(&cat).unwrap();
+        rows.sort();
+        assert_eq!(rows.len(), 2);
+        // caller 500 received SNs 2 and 4 (even i), total = 6.0.
+        assert_eq!(rows[0].values(), &[Value::Int(500), Value::Float(6.0)]);
+    }
+
+    #[test]
+    fn chronicle_cross_chronicle_product() {
+        let (cat, c) = setup();
+        let e = RaExpr::chronicle(cat.chronicle(c))
+            .product(RaExpr::chronicle(cat.chronicle(c)))
+            .unwrap();
+        let rows = e.eval(&cat).unwrap();
+        assert_eq!(rows.len(), 16, "|C|^2 — the Theorem 4.3 blow-up");
+        assert_eq!(e.chronicle_tuples_read(&cat), 8);
+    }
+
+    #[test]
+    fn non_equi_sn_self_join() {
+        let (cat, c) = setup();
+        // pairs (t1, t2) with t1.sn < t2.sn: 4 choose 2 = 6.
+        let e = RaExpr::chronicle(cat.chronicle(c))
+            .join(
+                RaExpr::chronicle(cat.chronicle(c)),
+                vec![JoinCond {
+                    left: 0,
+                    op: CmpOp::Lt,
+                    right: 0,
+                }],
+            )
+            .unwrap();
+        assert_eq!(e.eval(&cat).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn union_diff_set_semantics() {
+        let (cat, c) = setup();
+        let a = RaExpr::chronicle(cat.chronicle(c));
+        let b = RaExpr::chronicle(cat.chronicle(c));
+        assert_eq!(
+            a.clone()
+                .union(b.clone())
+                .unwrap()
+                .eval(&cat)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(a.diff(b).unwrap().eval(&cat).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn select_filters() {
+        let (cat, c) = setup();
+        let e = RaExpr::chronicle(cat.chronicle(c));
+        let p =
+            Predicate::attr_cmp_const(e.schema(), "minutes", CmpOp::Ge, Value::Float(3.0)).unwrap();
+        assert_eq!(e.select(p).unwrap().eval(&cat).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_in_union_rejected() {
+        let (cat, c) = setup();
+        let a = RaExpr::chronicle(cat.chronicle(c));
+        let b = RaExpr::chronicle(cat.chronicle(c))
+            .project(&["caller"])
+            .unwrap();
+        assert!(a.union(b).is_err());
+    }
+
+    #[test]
+    fn join_position_bounds_checked() {
+        let (cat, c) = setup();
+        let a = RaExpr::chronicle(cat.chronicle(c));
+        let b = RaExpr::chronicle(cat.chronicle(c));
+        assert!(a
+            .join(
+                b,
+                vec![JoinCond {
+                    left: 99,
+                    op: CmpOp::Eq,
+                    right: 0
+                }]
+            )
+            .is_err());
+    }
+}

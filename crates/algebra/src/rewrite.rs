@@ -1,0 +1,404 @@
+//! Algebraic rewriting: selection pushdown.
+//!
+//! The chronicle model rewards pushing selections toward the base
+//! chronicles twice over:
+//!
+//! 1. **smaller deltas** — a tuple filtered out at the base never reaches
+//!    the joins and products whose output sizes carry the `(u·|R|)^j`
+//!    factors of Theorem 4.2, and
+//! 2. **router guards** — the §5.2 affected-view router can only use
+//!    predicates that sit *directly* above a base chronicle
+//!    ([`CaExpr::base_guards`]); pushdown turns interior selections into
+//!    guards.
+//!
+//! [`optimize`] applies the classical sound rewrites, adapted to CA:
+//!
+//! ```text
+//! σ_p(E₁ ∪ E₂)      = σ_p(E₁) ∪ σ_p(E₂)
+//! σ_p(E₁ − E₂)      = σ_p(E₁) − σ_p(E₂)
+//! σ_p(Π_cols(E))    = Π_cols(σ_p′(E))         p′ = p remapped through cols
+//! σ_p(E₁ ⋈SN E₂)    = σ_p(E₁) ⋈SN E₂          when p reads only E₁ columns
+//!                   = E₁ ⋈SN σ_p′(E₂)         when p reads only E₂ columns
+//! σ_p(E × R)        = σ_p(E) × R              when p reads only E columns
+//! σ_p(E ⋈key R)     = σ_p(E) ⋈key R           when p reads only E columns
+//! σ_p(GROUPBY(E,…)) = GROUPBY(σ_p′(E),…)      when p reads only grouping
+//!                                             columns
+//! ```
+//!
+//! Every rewrite goes through the validating [`CaExpr`] builders, so an
+//! optimized expression is by construction still in the language (and in
+//! the *same fragment* — pushdown never adds or removes joins/products).
+
+use chronicle_types::Result;
+
+use crate::expr::{CaExpr, CaNode};
+use crate::predicate::Predicate;
+
+/// Push selections down as far as soundness allows. Idempotent; returns an
+/// expression equivalent on every database (see the property tests).
+pub fn optimize(expr: &CaExpr) -> Result<CaExpr> {
+    match &*expr.node {
+        CaNode::Base(r) => Ok(CaExpr::from_ref(r.clone())),
+        CaNode::Select { input, pred } => {
+            let input = optimize(input)?;
+            push_select(input, pred.clone())
+        }
+        CaNode::Project { input, cols } => optimize(input)?.project_cols(cols.clone()),
+        CaNode::JoinSeq { left, right, .. } => optimize(left)?.join_seq(optimize(right)?),
+        CaNode::Union { left, right } => optimize(left)?.union(optimize(right)?),
+        CaNode::Diff { left, right } => optimize(left)?.diff(optimize(right)?),
+        CaNode::GroupBySeq {
+            input,
+            group_cols,
+            aggs,
+        } => optimize(input)?.group_by_seq_cols(group_cols.clone(), aggs.clone()),
+        CaNode::ProductRel { input, rel } => optimize(input)?.product(rel.clone()),
+        CaNode::JoinRelKey {
+            input,
+            rel,
+            chron_cols,
+            ..
+        } => {
+            let input = optimize(input)?;
+            let names: Vec<String> = chron_cols
+                .iter()
+                .map(|&c| input.schema().attr(c).name.to_string())
+                .collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            input.join_rel_key(rel.clone(), &name_refs)
+        }
+    }
+}
+
+/// Place `pred` above `input`, pushing it below `input`'s top operator when
+/// sound. `input` is already optimized.
+fn push_select(input: CaExpr, pred: Predicate) -> Result<CaExpr> {
+    let refs = pred.referenced_attrs();
+    match &*input.node {
+        CaNode::Union { left, right } => {
+            let l = push_select(left.as_ref().clone(), pred.clone())?;
+            let r = push_select(right.as_ref().clone(), pred)?;
+            l.union(r)
+        }
+        CaNode::Diff { left, right } => {
+            let l = push_select(left.as_ref().clone(), pred.clone())?;
+            let r = push_select(right.as_ref().clone(), pred)?;
+            l.diff(r)
+        }
+        CaNode::Project { input: inner, cols } => {
+            // Remap projected positions back to the inner schema.
+            let map: Vec<Option<usize>> = cols.iter().map(|&c| Some(c)).collect();
+            let inner_pred = pred.remap(&map)?;
+            push_select(inner.as_ref().clone(), inner_pred)?.project_cols(cols.clone())
+        }
+        CaNode::JoinSeq {
+            left,
+            right,
+            right_keep,
+        } => {
+            let l_arity = left.schema().arity();
+            if refs.iter().all(|&r| r < l_arity) {
+                let l = push_select(left.as_ref().clone(), pred)?;
+                l.join_seq(right.as_ref().clone())
+            } else if refs.iter().all(|&r| r >= l_arity) {
+                // Output position l_arity + i corresponds to right column
+                // right_keep[i]; additionally the right SN column equals the
+                // left SN (join condition), but predicates on it would have
+                // resolved to the left copy, so only kept columns appear.
+                let mut map = vec![None; input.schema().arity()];
+                for (i, &rc) in right_keep.iter().enumerate() {
+                    map[l_arity + i] = Some(rc);
+                }
+                let inner_pred = pred.remap(&map)?;
+                let r = push_select(right.as_ref().clone(), inner_pred)?;
+                left.as_ref().clone().join_seq(r)
+            } else {
+                input.select(pred)
+            }
+        }
+        CaNode::ProductRel { input: inner, .. } | CaNode::JoinRelKey { input: inner, .. } => {
+            let inner_arity = inner.schema().arity();
+            if refs.iter().all(|&r| r < inner_arity) {
+                let pushed = push_select(inner.as_ref().clone(), pred)?;
+                rebuild_rel_op(&input, pushed)
+            } else {
+                input.select(pred)
+            }
+        }
+        CaNode::GroupBySeq {
+            input: inner,
+            group_cols,
+            ..
+        } => {
+            // Output positions 0..group_cols.len() are the grouping columns.
+            if refs.iter().all(|&r| r < group_cols.len()) {
+                let mut map = vec![None; input.schema().arity()];
+                for (i, &gc) in group_cols.iter().enumerate() {
+                    map[i] = Some(gc);
+                }
+                let inner_pred = pred.remap(&map)?;
+                let pushed = push_select(inner.as_ref().clone(), inner_pred)?;
+                rebuild_group(&input, pushed)
+            } else {
+                input.select(pred)
+            }
+        }
+        // Base or Select: stacking here is already a router guard.
+        CaNode::Base(_) | CaNode::Select { .. } => input.select(pred),
+    }
+}
+
+/// Rebuild a relation operator (`× R` or `⋈key R`) over a new input.
+fn rebuild_rel_op(original: &CaExpr, new_input: CaExpr) -> Result<CaExpr> {
+    match &*original.node {
+        CaNode::ProductRel { rel, .. } => new_input.product(rel.clone()),
+        CaNode::JoinRelKey {
+            rel, chron_cols, ..
+        } => {
+            let names: Vec<String> = chron_cols
+                .iter()
+                .map(|&c| new_input.schema().attr(c).name.to_string())
+                .collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            new_input.join_rel_key(rel.clone(), &name_refs)
+        }
+        _ => unreachable!("caller matched a relation operator"),
+    }
+}
+
+/// Rebuild a GROUPBY over a new input.
+fn rebuild_group(original: &CaExpr, new_input: CaExpr) -> Result<CaExpr> {
+    match &*original.node {
+        CaNode::GroupBySeq {
+            group_cols, aggs, ..
+        } => new_input.group_by_seq_cols(group_cols.clone(), aggs.clone()),
+        _ => unreachable!("caller matched a group operator"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggFunc, AggSpec};
+    use crate::delta::{DeltaBatch, DeltaEngine, WorkCounter};
+    use crate::eval::{canon, eval_ca};
+    use crate::expr::RelationRef;
+    use crate::predicate::CmpOp;
+    use chronicle_store::{Catalog, Retention};
+    use chronicle_types::{tuple, AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Value};
+
+    fn setup() -> (Catalog, ChronicleId, ChronicleId, RelationRef) {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("k", AttrType::Int),
+                Attribute::new("v", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c1 = cat
+            .create_chronicle("c1", g, cs.clone(), Retention::All)
+            .unwrap();
+        let c2 = cat.create_chronicle("c2", g, cs, Retention::All).unwrap();
+        let rs = Schema::relation_with_key(
+            vec![
+                Attribute::new("k", AttrType::Int),
+                Attribute::new("w", AttrType::Float),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        let r = cat.create_relation("r", rs.clone()).unwrap();
+        for i in 0..4i64 {
+            cat.relation_insert(r, g, tuple![i, 0.5f64]).unwrap();
+        }
+        (cat, c1, c2, RelationRef::new(r, rs, "r"))
+    }
+
+    fn populate(cat: &mut Catalog, c1: ChronicleId, c2: ChronicleId) {
+        let mut seq = 0u64;
+        for i in 0..12i64 {
+            seq += 1;
+            let target = if i % 2 == 0 { c1 } else { c2 };
+            cat.append_at(
+                target,
+                SeqNo(seq),
+                Chronon(seq as i64),
+                &[tuple![SeqNo(seq), i % 4, (i % 5) as f64]],
+            )
+            .unwrap();
+        }
+    }
+
+    fn gt(e: &CaExpr, attr: &str, v: f64) -> Predicate {
+        Predicate::attr_cmp_const(e.schema(), attr, CmpOp::Gt, Value::Float(v)).unwrap()
+    }
+
+    /// Assert optimize() preserves full-evaluation semantics and delta
+    /// semantics, and return the optimized expression.
+    fn check_equiv(cat: &Catalog, expr: &CaExpr, c1: ChronicleId) -> CaExpr {
+        let opt = optimize(expr).unwrap();
+        assert_eq!(
+            canon(eval_ca(cat, expr).unwrap()),
+            canon(eval_ca(cat, &opt).unwrap()),
+            "full evaluation diverged"
+        );
+        let engine = DeltaEngine::new(cat);
+        let batch = DeltaBatch {
+            chronicle: c1,
+            seq: SeqNo(1000),
+            tuples: vec![tuple![SeqNo(1000), 2i64, 3.0f64]],
+        };
+        let mut w1 = WorkCounter::default();
+        let mut w2 = WorkCounter::default();
+        let d1 = canon(engine.delta_ca(expr, &batch, &mut w1).unwrap());
+        let d2 = canon(engine.delta_ca(&opt, &batch, &mut w2).unwrap());
+        assert_eq!(d1, d2, "delta diverged");
+        assert_eq!(expr.fragment(), opt.fragment(), "fragment changed");
+        opt
+    }
+
+    #[test]
+    fn select_pushes_through_union() {
+        let (mut cat, c1, c2, _) = setup();
+        populate(&mut cat, c1, c2);
+        let e = CaExpr::chronicle(cat.chronicle(c1))
+            .union(CaExpr::chronicle(cat.chronicle(c2)))
+            .unwrap();
+        let p = gt(&e, "v", 2.0);
+        let expr = e.select(p).unwrap();
+        assert!(expr.base_guards().iter().all(|(_, g)| g.is_empty()));
+        let opt = check_equiv(&cat, &expr, c1);
+        // After pushdown both bases carry the guard.
+        assert!(opt.base_guards().iter().all(|(_, g)| g.len() == 1));
+    }
+
+    #[test]
+    fn select_pushes_through_diff_and_project() {
+        let (mut cat, c1, c2, _) = setup();
+        populate(&mut cat, c1, c2);
+        let e = CaExpr::chronicle(cat.chronicle(c1))
+            .diff(CaExpr::chronicle(cat.chronicle(c2)))
+            .unwrap()
+            .project(&["sn", "v"])
+            .unwrap();
+        let p = gt(&e, "v", 1.0);
+        let expr = e.select(p).unwrap();
+        let opt = check_equiv(&cat, &expr, c1);
+        assert!(
+            opt.base_guards().iter().all(|(_, g)| g.len() == 1),
+            "guard should reach both diff operands through the projection"
+        );
+    }
+
+    #[test]
+    fn select_pushes_below_relation_ops() {
+        let (mut cat, c1, c2, rel) = setup();
+        populate(&mut cat, c1, c2);
+        for (expr, label) in [
+            (
+                CaExpr::chronicle(cat.chronicle(c1))
+                    .join_rel_key(rel.clone(), &["k"])
+                    .unwrap(),
+                "key join",
+            ),
+            (
+                CaExpr::chronicle(cat.chronicle(c1))
+                    .product(rel.clone())
+                    .unwrap(),
+                "product",
+            ),
+        ] {
+            let p = gt(&expr, "v", 2.0); // chronicle column only
+            let selected = expr.select(p).unwrap();
+            let opt = check_equiv(&cat, &selected, c1);
+            assert_eq!(
+                opt.base_guards()[0].1.len(),
+                1,
+                "{label}: predicate should reach the base"
+            );
+            // Predicate on the relation column must NOT be pushed.
+            let p = gt(&opt, "w", 0.1);
+            let stay = optimize(&opt.clone().select(p).unwrap()).unwrap();
+            assert!(
+                stay.base_guards()[0].1.len() == 1,
+                "{label}: rel pred stays"
+            );
+        }
+    }
+
+    #[test]
+    fn select_pushes_through_group_by_on_group_cols_only() {
+        let (mut cat, c1, c2, _) = setup();
+        populate(&mut cat, c1, c2);
+        let grouped = CaExpr::chronicle(cat.chronicle(c1))
+            .group_by_seq(&["sn", "k"], vec![AggSpec::new(AggFunc::Sum(2), "s")])
+            .unwrap();
+        // Predicate on grouping column k (output position 1): pushable.
+        let p = Predicate::attr_cmp_const(grouped.schema(), "k", CmpOp::Eq, Value::Int(2)).unwrap();
+        let expr = grouped.clone().select(p).unwrap();
+        let opt = check_equiv(&cat, &expr, c1);
+        assert_eq!(opt.base_guards()[0].1.len(), 1);
+        // Predicate on the aggregate output: must stay above.
+        let p = gt(&grouped, "s", 1.0);
+        let expr = grouped.select(p).unwrap();
+        let opt = check_equiv(&cat, &expr, c1);
+        assert!(opt.base_guards()[0].1.is_empty());
+    }
+
+    #[test]
+    fn join_seq_pushdown_left_and_right() {
+        let (mut cat, c1, c2, _) = setup();
+        populate(&mut cat, c1, c2);
+        let joined = CaExpr::chronicle(cat.chronicle(c1))
+            .join_seq(CaExpr::chronicle(cat.chronicle(c2)))
+            .unwrap();
+        // Left-side predicate.
+        let p = gt(&joined, "v", 1.0);
+        let opt = check_equiv(&cat, &joined.clone().select(p).unwrap(), c1);
+        let guards = opt.base_guards();
+        assert_eq!(guards[0].1.len(), 1, "left base guarded");
+        assert_eq!(guards[1].1.len(), 0, "right base untouched");
+        // Right-side predicate (renamed column `r.v`).
+        let p = gt(&joined, "r.v", 1.0);
+        let opt = check_equiv(&cat, &joined.select(p).unwrap(), c1);
+        let guards = opt.base_guards();
+        assert_eq!(guards[0].1.len(), 0);
+        assert_eq!(guards[1].1.len(), 1, "right base guarded");
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let (mut cat, c1, c2, rel) = setup();
+        populate(&mut cat, c1, c2);
+        let e = CaExpr::chronicle(cat.chronicle(c1))
+            .union(CaExpr::chronicle(cat.chronicle(c2)))
+            .unwrap()
+            .join_rel_key(rel, &["k"])
+            .unwrap();
+        let expr = e.clone().select(gt(&e, "v", 2.0)).unwrap();
+        let once = optimize(&expr).unwrap();
+        let twice = optimize(&once).unwrap();
+        assert_eq!(once.to_string(), twice.to_string());
+    }
+
+    #[test]
+    fn stacked_selects_all_push() {
+        let (mut cat, c1, c2, _) = setup();
+        populate(&mut cat, c1, c2);
+        let e = CaExpr::chronicle(cat.chronicle(c1))
+            .union(CaExpr::chronicle(cat.chronicle(c2)))
+            .unwrap();
+        let expr = e
+            .clone()
+            .select(gt(&e, "v", 1.0))
+            .unwrap()
+            .select(Predicate::attr_cmp_const(e.schema(), "k", CmpOp::Ge, Value::Int(1)).unwrap())
+            .unwrap();
+        let opt = check_equiv(&cat, &expr, c1);
+        assert!(opt.base_guards().iter().all(|(_, g)| g.len() == 2));
+    }
+}

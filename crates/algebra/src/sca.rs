@@ -1,0 +1,324 @@
+//! The summarized chronicle algebra (Definition 4.3).
+//!
+//! SCA adds, on top of a chronicle-algebra expression χ, exactly one
+//! summarization step that eliminates the sequencing attribute and maps χ
+//! into a *relation*:
+//!
+//! * projection with the SN projected out, or
+//! * grouping with aggregation where the SN is not in the grouping list and
+//!   every aggregation function is incrementally computable (or
+//!   decomposable).
+//!
+//! If χ ∈ CA₁ the result language is SCA₁ (IM-Constant); if χ ∈ CA⋈ it is
+//! SCA⋈ (IM-log(R)); χ ∈ CA gives SCA (IM-R^k) — Theorem 4.5.
+
+use std::fmt;
+
+use chronicle_types::{Attribute, ChronicleError, Result, Schema};
+
+use crate::aggregate::AggSpec;
+use crate::classify::{CostModel, ImClass, LanguageFragment};
+use crate::expr::CaExpr;
+
+/// The summarization step.
+#[derive(Debug, Clone)]
+pub enum Summarize {
+    /// Π with the sequencing attribute projected out. The result is a
+    /// *set* of tuples; the persistent view keeps multiplicity counts so
+    /// that set semantics survive incremental inserts.
+    Project {
+        /// Kept columns of χ's output schema (SN excluded).
+        cols: Vec<usize>,
+    },
+    /// GROUPBY(χ, GL, AL) with SN ∉ GL.
+    GroupAgg {
+        /// Grouping columns of χ's output schema (SN excluded; may be
+        /// empty — a single global group, e.g. `SELECT SUM(x) FROM c`).
+        group_cols: Vec<usize>,
+        /// Aggregation list.
+        aggs: Vec<AggSpec>,
+    },
+}
+
+/// A summarized chronicle-algebra expression: a validated pair (χ, step).
+#[derive(Debug, Clone)]
+pub struct ScaExpr {
+    ca: CaExpr,
+    summarize: Summarize,
+    schema: Schema,
+}
+
+impl ScaExpr {
+    /// χ followed by an SN-dropping projection, columns given by name.
+    pub fn project(ca: CaExpr, names: &[&str]) -> Result<ScaExpr> {
+        let cols: Vec<usize> = names
+            .iter()
+            .map(|n| ca.schema().position(n))
+            .collect::<Result<_>>()?;
+        Self::project_cols(ca, cols)
+    }
+
+    /// χ followed by an SN-dropping projection over positional columns.
+    pub fn project_cols(ca: CaExpr, cols: Vec<usize>) -> Result<ScaExpr> {
+        let sn = ca.seq_pos();
+        if cols.contains(&sn) {
+            return Err(ChronicleError::NotInLanguage {
+                language: "SCA",
+                reason: "the summarization projection must project the sequencing attribute out \
+                         (Definition 4.3); keep it with CaExpr::project instead"
+                    .into(),
+            });
+        }
+        let schema = ca.schema().project(&cols)?;
+        debug_assert!(!schema.is_chronicle());
+        Ok(ScaExpr {
+            ca,
+            summarize: Summarize::Project { cols },
+            schema,
+        })
+    }
+
+    /// χ followed by GROUPBY(χ, GL, AL) with SN ∉ GL, names resolved
+    /// against χ's output schema.
+    pub fn group_agg(ca: CaExpr, group_names: &[&str], aggs: Vec<AggSpec>) -> Result<ScaExpr> {
+        let group_cols: Vec<usize> = group_names
+            .iter()
+            .map(|n| ca.schema().position(n))
+            .collect::<Result<_>>()?;
+        Self::group_agg_cols(ca, group_cols, aggs)
+    }
+
+    /// Positional variant of [`ScaExpr::group_agg`].
+    pub fn group_agg_cols(
+        ca: CaExpr,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    ) -> Result<ScaExpr> {
+        let sn = ca.seq_pos();
+        if group_cols.contains(&sn) {
+            return Err(ChronicleError::NotInLanguage {
+                language: "SCA",
+                reason: "the summarization GROUPBY must not group by the sequencing attribute \
+                         (Definition 4.3); use CaExpr::group_by_seq to stay in CA"
+                    .into(),
+            });
+        }
+        if aggs.is_empty() {
+            return Err(ChronicleError::BadAggregate {
+                detail: "summarization GROUPBY needs at least one aggregate; use a projection \
+                         for pure column selection"
+                    .into(),
+            });
+        }
+        for spec in &aggs {
+            spec.func.validate(ca.schema())?;
+            if spec.func.input_attr() == Some(sn) {
+                // Aggregating the SN itself (e.g. MAX(sn) = last seen
+                // sequence number) is well defined and occasionally useful;
+                // allow it.
+            }
+        }
+        let mut attrs: Vec<Attribute> = Vec::with_capacity(group_cols.len() + aggs.len());
+        for &c in &group_cols {
+            attrs.push(ca.schema().attr(c).clone());
+        }
+        for spec in &aggs {
+            attrs.push(Attribute::new(
+                &spec.name,
+                spec.func.output_type(ca.schema()),
+            ));
+        }
+        // The output may legitimately contain a SEQ-typed column if an
+        // aggregate like MAX(sn) is used; model it as a relation schema by
+        // retyping SEQ outputs — no: Schema::relation rejects SEQ columns.
+        // Retype any SEQ aggregate output as INT (a sequence number is an
+        // integer once it leaves the chronicle).
+        for a in &mut attrs {
+            if a.ty == chronicle_types::AttrType::Seq {
+                *a = Attribute::new(a.name.as_ref(), chronicle_types::AttrType::Int);
+            }
+        }
+        let schema = Schema::relation(attrs)?;
+        Ok(ScaExpr {
+            ca,
+            summarize: Summarize::GroupAgg { group_cols, aggs },
+            schema,
+        })
+    }
+
+    /// The underlying chronicle-algebra expression χ.
+    pub fn ca(&self) -> &CaExpr {
+        &self.ca
+    }
+
+    /// The summarization step.
+    pub fn summarize(&self) -> &Summarize {
+        &self.summarize
+    }
+
+    /// The persistent view's (relation) schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The fragment of χ, which determines the SCA variant.
+    pub fn fragment(&self) -> LanguageFragment {
+        self.ca.fragment()
+    }
+
+    /// The IM complexity class of this view (Theorem 4.5): SCA₁ →
+    /// IM-Constant, SCA⋈ → IM-log(R), SCA → IM-R^k.
+    pub fn im_class(&self) -> ImClass {
+        self.fragment().im_class()
+    }
+
+    /// The paper's name for this view's language: `SCA_1`, `SCA_join` or
+    /// `SCA`.
+    pub fn language_name(&self) -> &'static str {
+        match self.fragment() {
+            LanguageFragment::Ca1 => "SCA_1",
+            LanguageFragment::CaKey => "SCA_join",
+            LanguageFragment::Ca => "SCA",
+        }
+    }
+
+    /// Cost model of the change-computation phase (Theorem 4.2; the apply
+    /// phase adds `O(t log |V|)` per Theorem 4.4).
+    pub fn cost_model(&self) -> CostModel {
+        self.ca.cost_model()
+    }
+}
+
+impl fmt::Display for ScaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.summarize {
+            Summarize::Project { cols } => write!(f, "Π{cols:?}({})", self.ca),
+            Summarize::GroupAgg { group_cols, aggs } => {
+                write!(f, "GROUPBY({}, {group_cols:?}, [", self.ca)?;
+                for (i, a) in aggs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} AS {}", a.func, a.name)?;
+                }
+                write!(f, "])")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::expr::RelationRef;
+    use chronicle_store::{Catalog, Retention};
+    use chronicle_types::AttrType;
+
+    fn setup() -> (CaExpr, RelationRef) {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let calls = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("minutes", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c = cat
+            .create_chronicle("calls", g, calls, Retention::None)
+            .unwrap();
+        let rschema = Schema::relation_with_key(
+            vec![
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("rate", AttrType::Float),
+            ],
+            &["acct"],
+        )
+        .unwrap();
+        let r = cat.create_relation("rates", rschema.clone()).unwrap();
+        (
+            CaExpr::chronicle(cat.chronicle(c)),
+            RelationRef::new(r, rschema, "rates"),
+        )
+    }
+
+    #[test]
+    fn projection_must_drop_sn() {
+        let (ca, _) = setup();
+        let ok = ScaExpr::project(ca.clone(), &["caller"]).unwrap();
+        assert!(!ok.schema().is_chronicle());
+        assert_eq!(ok.schema().arity(), 1);
+        let err = ScaExpr::project(ca, &["sn", "caller"]).unwrap_err();
+        assert!(matches!(err, ChronicleError::NotInLanguage { .. }));
+    }
+
+    #[test]
+    fn group_agg_must_exclude_sn() {
+        let (ca, _) = setup();
+        let aggs = vec![AggSpec::new(AggFunc::Sum(2), "total")];
+        let ok = ScaExpr::group_agg(ca.clone(), &["caller"], aggs.clone()).unwrap();
+        assert_eq!(ok.schema().arity(), 2);
+        let err = ScaExpr::group_agg(ca, &["sn", "caller"], aggs).unwrap_err();
+        assert!(matches!(err, ChronicleError::NotInLanguage { .. }));
+    }
+
+    #[test]
+    fn global_group_allowed() {
+        let (ca, _) = setup();
+        let v = ScaExpr::group_agg(ca, &[], vec![AggSpec::new(AggFunc::CountStar, "n")]).unwrap();
+        assert_eq!(v.schema().arity(), 1);
+    }
+
+    #[test]
+    fn empty_agg_list_rejected() {
+        let (ca, _) = setup();
+        assert!(ScaExpr::group_agg(ca, &["caller"], vec![]).is_err());
+    }
+
+    #[test]
+    fn language_names_follow_fragment() {
+        let (ca, rel) = setup();
+        let aggs = vec![AggSpec::new(AggFunc::CountStar, "n")];
+        let v1 = ScaExpr::group_agg(ca.clone(), &["caller"], aggs.clone()).unwrap();
+        assert_eq!(v1.language_name(), "SCA_1");
+        assert_eq!(v1.im_class(), ImClass::Constant);
+
+        let keyed = ca.clone().join_rel_key(rel.clone(), &["caller"]).unwrap();
+        let v2 = ScaExpr::group_agg(keyed, &["caller"], aggs.clone()).unwrap();
+        assert_eq!(v2.language_name(), "SCA_join");
+        assert_eq!(v2.im_class(), ImClass::LogR);
+
+        let prod = ca.product(rel).unwrap();
+        let v3 = ScaExpr::group_agg(prod, &["caller"], aggs).unwrap();
+        assert_eq!(v3.language_name(), "SCA");
+        assert_eq!(v3.im_class(), ImClass::PolyR);
+    }
+
+    #[test]
+    fn max_sn_aggregate_retypes_to_int() {
+        let (ca, _) = setup();
+        let v = ScaExpr::group_agg(
+            ca,
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Max(0), "last_sn")],
+        )
+        .unwrap();
+        assert_eq!(v.schema().attr(1).ty, AttrType::Int);
+    }
+
+    #[test]
+    fn display_shows_summarization() {
+        let (ca, _) = setup();
+        let v = ScaExpr::group_agg(
+            ca,
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "total")],
+        )
+        .unwrap();
+        let s = v.to_string();
+        assert!(s.contains("GROUPBY") && s.contains("SUM"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The delta frame rule (Theorem 4.1, operationally): for any CA
+//! expression E and any admissible append Δ,
+//!
+//! ```text
+//! eval(E, db after Δ)  ==  eval(E, db before Δ)  ⊎  delta(E, Δ)
+//! ```
+//!
+//! as multisets — the delta engine computes *exactly* the new tuples, no
+//! more, no less, for every operator combination. This is checked here for
+//! randomly generated expressions and append histories.
+
+use proptest::prelude::*;
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::eval::{canon, eval_ca};
+use chronicle_algebra::{
+    AggFunc, AggSpec, CaExpr, CmpOp, Operand, Predicate, RelationRef, WorkCounter,
+};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{tuple, AttrType, Attribute, Chronon, ChronicleId, Schema, SeqNo, Tuple, Value};
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Base,
+    Select(i8),
+    Union,
+    Diff,
+    JoinSeqSelves,
+    GroupBySeq,
+    KeyJoin,
+    Product,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Vec<Shape>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (-1..6i8).prop_map(Shape::Select),
+            2 => Just(Shape::Union),
+            2 => Just(Shape::Diff),
+            1 => Just(Shape::JoinSeqSelves),
+            1 => Just(Shape::GroupBySeq),
+            1 => Just(Shape::KeyJoin),
+            1 => Just(Shape::Product),
+        ],
+        0..5,
+    )
+}
+
+fn setup() -> (Catalog, ChronicleId, ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("v", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c1 = cat
+        .create_chronicle("c1", g, cs.clone(), Retention::All)
+        .unwrap();
+    let c2 = cat.create_chronicle("c2", g, cs, Retention::All).unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("w", AttrType::Float),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let r = cat.create_relation("r", rs.clone()).unwrap();
+    for i in 0..4i64 {
+        cat.relation_insert(r, g, tuple![i, 0.5f64]).unwrap();
+    }
+    (cat, c1, c2, RelationRef::new(r, rs, "r"))
+}
+
+fn build(cat: &Catalog, c1: ChronicleId, c2: ChronicleId, rel: &RelationRef, shapes: &[Shape]) -> CaExpr {
+    let base1 = CaExpr::chronicle(cat.chronicle(c1));
+    let base2 = CaExpr::chronicle(cat.chronicle(c2));
+    let mut expr = base1.clone();
+    for s in shapes {
+        expr = match s {
+            Shape::Base => expr,
+            Shape::Select(t) => {
+                let Ok(pos) = expr.schema().position("v") else { continue };
+                expr.clone()
+                    .select(Predicate::atom(
+                        pos,
+                        CmpOp::Gt,
+                        Operand::Const(Value::Float(*t as f64)),
+                    ))
+                    .unwrap_or(expr)
+            }
+            Shape::Union if expr.schema().same_type(base1.schema()) => {
+                expr.union(base2.clone()).unwrap()
+            }
+            Shape::Diff if expr.schema().same_type(base1.schema()) => {
+                expr.diff(base2.clone()).unwrap()
+            }
+            Shape::JoinSeqSelves if expr.schema().arity() <= 3 => {
+                match expr.clone().join_seq(base2.clone()) {
+                    Ok(e) => e,
+                    Err(_) => expr,
+                }
+            }
+            Shape::GroupBySeq => {
+                let sn = expr.seq_pos();
+                let Ok(k) = expr.schema().position("k") else { continue };
+                let Ok(v) = expr.schema().position("v") else { continue };
+                expr.clone()
+                    .group_by_seq_cols(
+                        vec![sn, k],
+                        vec![
+                            AggSpec::new(AggFunc::Sum(v), "v"), // keep the name for later steps
+                            AggSpec::new(AggFunc::CountStar, "n"),
+                        ],
+                    )
+                    .unwrap_or(expr)
+            }
+            Shape::KeyJoin if expr.schema().arity() <= 5 => {
+                if expr.schema().position("k").is_ok() {
+                    match expr.clone().join_rel_key(rel.clone(), &["k"]) {
+                        Ok(e) => e,
+                        Err(_) => expr,
+                    }
+                } else {
+                    expr
+                }
+            }
+            Shape::Product if expr.schema().arity() <= 5 => {
+                expr.clone().product(rel.clone()).unwrap_or(expr)
+            }
+            _ => expr,
+        };
+    }
+    expr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn delta_is_exactly_the_difference(
+        shapes in shape_strategy(),
+        history in prop::collection::vec((0..2u8, 0..5i64, 0..9i64), 1..20),
+        batch_rows in prop::collection::vec((0..5i64, 0..9i64), 1..3),
+        target in 0..2u8,
+    ) {
+        let (mut cat, c1, c2, rel) = setup();
+        let expr = build(&cat, c1, c2, &rel, &shapes);
+
+        // Replay the random history.
+        let mut seq = 0u64;
+        for (t, k, v) in &history {
+            seq += 1;
+            let target = if *t == 0 { c1 } else { c2 };
+            cat.append_at(
+                target,
+                SeqNo(seq),
+                Chronon(seq as i64),
+                &[tuple![SeqNo(seq), *k, *v as f64]],
+            )
+            .unwrap();
+        }
+
+        // Evaluate before.
+        let before = canon(eval_ca(&cat, &expr).unwrap());
+
+        // Compute the delta for the next batch, then actually append it.
+        seq += 1;
+        let tuples: Vec<Tuple> = batch_rows
+            .iter()
+            .map(|(k, v)| tuple![SeqNo(seq), *k, *v as f64])
+            .collect();
+        let chron = if target == 0 { c1 } else { c2 };
+        let engine = DeltaEngine::new(&cat);
+        let mut w = WorkCounter::default();
+        let delta = engine
+            .delta_ca(
+                &expr,
+                &DeltaBatch {
+                    chronicle: chron,
+                    seq: SeqNo(seq),
+                    tuples: tuples.clone(),
+                },
+                &mut w,
+            )
+            .unwrap();
+        cat.append_at(chron, SeqNo(seq), Chronon(seq as i64), &tuples).unwrap();
+
+        // Evaluate after: must equal before ⊎ delta.
+        let after = canon(eval_ca(&cat, &expr).unwrap());
+        let mut expected = before.clone();
+        expected.extend(delta.iter().cloned());
+        let expected = canon(expected);
+        prop_assert_eq!(
+            after, expected,
+            "frame rule violated for {} (|before|={}, |delta|={})",
+            expr, before.len(), delta.len()
+        );
+
+        // Theorem 4.1 monotonicity: every delta tuple carries the new SN.
+        for t in &delta {
+            prop_assert_eq!(expr.seq_of(t).unwrap(), SeqNo(seq));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Property test: `optimize` (selection pushdown) preserves both the full
+//! evaluation semantics and the delta semantics of randomly generated
+//! chronicle-algebra expressions, never changes the language fragment, and
+//! never *loses* router guards.
+
+use proptest::prelude::*;
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::eval::{canon, eval_ca};
+use chronicle_algebra::rewrite::optimize;
+use chronicle_algebra::{CaExpr, CmpOp, Predicate, RelationRef, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{tuple, AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Value};
+
+/// Recipe for one randomly structured expression.
+#[derive(Debug, Clone)]
+enum Step {
+    Select { attr: u8, op: u8, threshold: i8 },
+    ProjectSwap,
+    UnionOther,
+    DiffOther,
+    JoinSeqSelf,
+    KeyJoin,
+    Product,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0..2u8, 0..6u8, -2..8i8).prop_map(|(attr, op, threshold)| Step::Select {
+            attr,
+            op,
+            threshold
+        }),
+        1 => Just(Step::ProjectSwap),
+        2 => Just(Step::UnionOther),
+        2 => Just(Step::DiffOther),
+        1 => Just(Step::JoinSeqSelf),
+        1 => Just(Step::KeyJoin),
+        1 => Just(Step::Product),
+    ]
+}
+
+fn setup() -> (Catalog, ChronicleId, ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("v", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c1 = cat
+        .create_chronicle("c1", g, cs.clone(), Retention::All)
+        .unwrap();
+    let c2 = cat.create_chronicle("c2", g, cs, Retention::All).unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("w", AttrType::Float),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let r = cat.create_relation("r", rs.clone()).unwrap();
+    for i in 0..5i64 {
+        cat.relation_insert(r, g, tuple![i, (i as f64) * 0.5])
+            .unwrap();
+    }
+    (cat, c1, c2, RelationRef::new(r, rs, "r"))
+}
+
+/// Apply a recipe; steps that don't type-check against the current shape
+/// are skipped (the recipe space is generous on purpose).
+fn build(
+    cat: &Catalog,
+    c1: ChronicleId,
+    c2: ChronicleId,
+    rel: &RelationRef,
+    steps: &[Step],
+) -> CaExpr {
+    let base1 = CaExpr::chronicle(cat.chronicle(c1));
+    let base2 = CaExpr::chronicle(cat.chronicle(c2));
+    let mut expr = base1.clone();
+    for step in steps {
+        expr = match step {
+            Step::Select {
+                attr,
+                op,
+                threshold,
+            } => {
+                // Pick a numeric attribute that exists in the current
+                // schema: k or v of the *original* names if still present,
+                // else fall back to position 1.
+                let name = if *attr == 0 { "k" } else { "v" };
+                let Ok(pos) = expr.schema().position(name) else {
+                    continue;
+                };
+                let op = [
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                ][*op as usize % 6];
+                let value = if name == "k" {
+                    Value::Int(*threshold as i64)
+                } else {
+                    Value::Float(*threshold as f64)
+                };
+                let pred = Predicate::atom(pos, op, chronicle_algebra::Operand::Const(value));
+                match expr.clone().select(pred) {
+                    Ok(e) => e,
+                    Err(_) => continue,
+                }
+            }
+            Step::ProjectSwap => {
+                // Keep SN plus every other column, reversed — an
+                // order-shuffling projection.
+                let sn = expr.seq_pos();
+                let mut cols: Vec<usize> =
+                    (0..expr.schema().arity()).filter(|&i| i != sn).collect();
+                cols.reverse();
+                cols.insert(0, sn);
+                match expr.clone().project_cols(cols) {
+                    Ok(e) => e,
+                    Err(_) => continue,
+                }
+            }
+            Step::UnionOther => {
+                if expr.schema().same_type(base1.schema()) {
+                    expr.clone().union(base2.clone()).unwrap()
+                } else {
+                    continue;
+                }
+            }
+            Step::DiffOther => {
+                if expr.schema().same_type(base1.schema()) {
+                    expr.clone().diff(base2.clone()).unwrap()
+                } else {
+                    continue;
+                }
+            }
+            Step::JoinSeqSelf => {
+                if expr.schema().arity() <= 3 {
+                    match expr.clone().join_seq(base2.clone()) {
+                        Ok(e) => e,
+                        Err(_) => continue,
+                    }
+                } else {
+                    continue;
+                }
+            }
+            Step::KeyJoin => {
+                if expr.schema().position("k").is_ok() && expr.schema().arity() <= 5 {
+                    match expr.clone().join_rel_key(rel.clone(), &["k"]) {
+                        Ok(e) => e,
+                        Err(_) => continue,
+                    }
+                } else {
+                    continue;
+                }
+            }
+            Step::Product => {
+                if expr.schema().arity() <= 5 {
+                    match expr.clone().product(rel.clone()) {
+                        Ok(e) => e,
+                        Err(_) => continue,
+                    }
+                } else {
+                    continue;
+                }
+            }
+        };
+    }
+    expr
+}
+
+fn populate(cat: &mut Catalog, c1: ChronicleId, c2: ChronicleId) {
+    let mut seq = 0u64;
+    for i in 0..16i64 {
+        seq += 1;
+        let target = if i % 2 == 0 { c1 } else { c2 };
+        cat.append_at(
+            target,
+            SeqNo(seq),
+            Chronon(seq as i64),
+            &[tuple![SeqNo(seq), i % 5, (i % 7) as f64]],
+        )
+        .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pushdown_preserves_semantics(steps in prop::collection::vec(step_strategy(), 1..8)) {
+        let (mut cat, c1, c2, rel) = setup();
+        populate(&mut cat, c1, c2);
+        let expr = build(&cat, c1, c2, &rel, &steps);
+        let opt = optimize(&expr).unwrap();
+
+        // Full-evaluation equivalence (multisets).
+        prop_assert_eq!(
+            canon(eval_ca(&cat, &expr).unwrap()),
+            canon(eval_ca(&cat, &opt).unwrap()),
+            "eval diverged for {} => {}", expr, opt
+        );
+
+        // Delta equivalence for appends to either base chronicle.
+        let engine = DeltaEngine::new(&cat);
+        for (target, seq) in [(c1, 100u64), (c2, 101u64)] {
+            let batch = DeltaBatch {
+                chronicle: target,
+                seq: SeqNo(seq),
+                tuples: vec![
+                    tuple![SeqNo(seq), 2i64, 3.0f64],
+                    tuple![SeqNo(seq), 4i64, 6.0f64],
+                ],
+            };
+            let mut w1 = WorkCounter::default();
+            let mut w2 = WorkCounter::default();
+            let d1 = canon(engine.delta_ca(&expr, &batch, &mut w1).unwrap());
+            let d2 = canon(engine.delta_ca(&opt, &batch, &mut w2).unwrap());
+            prop_assert_eq!(d1, d2, "delta diverged for {} => {}", expr, opt);
+        }
+
+        // Structural invariants.
+        prop_assert_eq!(expr.fragment(), opt.fragment());
+        prop_assert_eq!(expr.cost_model().joins, opt.cost_model().joins);
+        let guards_before: usize = expr.base_guards().iter().map(|(_, g)| g.len()).sum();
+        let guards_after: usize = opt.base_guards().iter().map(|(_, g)| g.len()).sum();
+        prop_assert!(
+            guards_after >= guards_before,
+            "pushdown lost guards: {guards_before} -> {guards_after}"
+        );
+
+        // Idempotence.
+        let twice = optimize(&opt).unwrap();
+        prop_assert_eq!(opt.to_string(), twice.to_string());
+    }
+}

@@ -1,0 +1,82 @@
+//! A13 (ablation) — selection pushdown: delta cost of a selective
+//! predicate over a chronicle×relation product, optimized vs. not.
+//!
+//! Unoptimized, every appended tuple is multiplied by |R| before the
+//! filter runs; optimized, the filter runs at the base and the product
+//! only sees survivors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::rewrite::optimize;
+use chronicle_algebra::{CaExpr, CmpOp, Predicate, RelationRef, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Schema, SeqNo, Tuple, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a13_pushdown");
+    for &r in &[1_000i64, 100_000] {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("k", AttrType::Int),
+                Attribute::new("v", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let chron = cat
+            .create_chronicle("c", g, cs, Retention::None)
+            .unwrap();
+        let rs = Schema::relation_with_key(
+            vec![
+                Attribute::new("k", AttrType::Int),
+                Attribute::new("w", AttrType::Float),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        let rel = cat.create_relation("r", rs.clone()).unwrap();
+        for i in 0..r {
+            cat.relation_insert(rel, g, Tuple::new(vec![Value::Int(i), Value::Float(0.1)]))
+                .unwrap();
+        }
+        let rel_ref = RelationRef::new(rel, rs, "r");
+        // σ(v > 100) above the product — selective: the batch tuple fails it.
+        let base = CaExpr::chronicle(cat.chronicle(chron));
+        let product = base.product(rel_ref).unwrap();
+        let pred =
+            Predicate::attr_cmp_const(product.schema(), "v", CmpOp::Gt, Value::Float(100.0))
+                .unwrap();
+        let unopt = product.select(pred).unwrap();
+        let opt = optimize(&unopt).unwrap();
+        let engine = DeltaEngine::new(&cat);
+        let batch = DeltaBatch {
+            chronicle: chron,
+            seq: SeqNo(1),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(1)),
+                Value::Int(7),
+                Value::Float(1.0),
+            ])],
+        };
+        group.bench_with_input(BenchmarkId::new("unoptimized", r), &r, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounter::default();
+                engine.delta_ca(&unopt, &batch, &mut w).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pushed_down", r), &r, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounter::default();
+                engine.delta_ca(&opt, &batch, &mut w).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

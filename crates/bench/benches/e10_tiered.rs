@@ -1,0 +1,43 @@
+//! E10 — incremental tiered-discount maintenance per transaction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chronicle_types::Value;
+use chronicle_views::{BatchDiscount, TierSchedule};
+use chronicle_workload::CallGen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_tiered");
+    group.bench_function("incremental_apply", |b| {
+        let mut s = TierSchedule::us_telephone_1995();
+        let mut gen = CallGen::new(1, 500);
+        b.iter(|| {
+            let row = gen.next_row();
+            s.apply(&[row[0].clone()], row[3].as_float().unwrap())
+        });
+    });
+    group.bench_function("batch_compute_10k", |b| {
+        let s = TierSchedule::us_telephone_1995();
+        let mut batch = BatchDiscount::new(&s);
+        let mut gen = CallGen::new(1, 500);
+        for _ in 0..10_000 {
+            let row = gen.next_row();
+            batch.record(&[row[0].clone()], row[3].as_float().unwrap());
+        }
+        b.iter(|| batch.compute());
+    });
+    group.bench_function("incremental_point_query", |b| {
+        let mut s = TierSchedule::us_telephone_1995();
+        let mut gen = CallGen::new(1, 500);
+        for _ in 0..10_000 {
+            let row = gen.next_row();
+            s.apply(&[row[0].clone()], row[3].as_float().unwrap());
+        }
+        let key = [Value::Int(7)];
+        b.iter(|| s.get(&key));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

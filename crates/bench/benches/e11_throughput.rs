@@ -1,0 +1,61 @@
+//! E11 — append throughput with maintenance, and summary-query latency.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use chronicle_db::baseline::ProceduralSummary;
+use chronicle_db::ChronicleDb;
+use chronicle_types::{Chronon, SeqNo, Tuple, Value};
+use chronicle_workload::AtmGen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_throughput");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("append_with_view", |b| {
+        let mut db = ChronicleDb::new();
+        db.execute("CREATE CHRONICLE atm (sn SEQ, acct INT, amount FLOAT)")
+            .unwrap();
+        db.execute("CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM atm GROUP BY acct")
+            .unwrap();
+        let mut gen = AtmGen::new(1, 1_000);
+        let mut t = 0i64;
+        b.iter(|| {
+            let row = gen.next_row();
+            t += 1;
+            db.append("atm", Chronon(t), &[vec![row[0].clone(), row[1].clone()]])
+                .unwrap()
+        });
+    });
+    group.bench_function("view_point_query", |b| {
+        let mut db = ChronicleDb::new();
+        db.execute("CREATE CHRONICLE atm (sn SEQ, acct INT, amount FLOAT)")
+            .unwrap();
+        db.execute("CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM atm GROUP BY acct")
+            .unwrap();
+        let mut gen = AtmGen::new(1, 1_000);
+        for t in 0..10_000i64 {
+            let row = gen.next_row();
+            db.append("atm", Chronon(t), &[vec![row[0].clone(), row[1].clone()]])
+                .unwrap();
+        }
+        let key = [Value::Int(7)];
+        b.iter(|| db.query_view_key("balances", &key).unwrap());
+    });
+    group.bench_function("procedural_update", |b| {
+        let mut p = ProceduralSummary::running_sum(vec![1], 2);
+        let mut gen = AtmGen::new(1, 1_000);
+        let mut seq = 0u64;
+        b.iter(|| {
+            let row = gen.next_row();
+            seq += 1;
+            p.on_tuple(&Tuple::new(vec![
+                Value::Seq(SeqNo(seq)),
+                row[0].clone(),
+                row[1].clone(),
+            ]));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E12 — proactive relation updates: maintenance cost of appends that
+//! follow interleaved relation updates, plus version_at reconstruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_db::ChronicleDb;
+use chronicle_types::{Chronon, SeqNo, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_proactive");
+    group.sample_size(20);
+    group.bench_function("append_after_updates", |b| {
+        let mut db = ChronicleDb::new();
+        db.execute("CREATE CHRONICLE flights (sn SEQ, acct INT, miles INT)")
+            .unwrap();
+        db.execute("CREATE RELATION customers (acct INT, state STRING, PRIMARY KEY (acct))")
+            .unwrap();
+        for a in 0..100i64 {
+            db.execute(&format!("INSERT INTO customers VALUES ({a}, 'NJ')"))
+                .unwrap();
+        }
+        db.execute(
+            "CREATE VIEW nj AS SELECT acct, SUM(miles) AS m FROM flights \
+             JOIN customers ON acct = acct WHERE state = 'NJ' GROUP BY acct",
+        )
+        .unwrap();
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            let a = t % 100;
+            let s = if t % 2 == 0 { "NY" } else { "NJ" };
+            db.execute(&format!(
+                "UPDATE customers SET state = '{s}' WHERE acct = {a}"
+            ))
+            .unwrap();
+            db.append(
+                "flights",
+                Chronon(t),
+                &[vec![Value::Int(a), Value::Int(500)]],
+            )
+            .unwrap()
+        });
+    });
+    for &updates in &[100usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("version_at_reconstruction", updates),
+            &updates,
+            |b, &updates| {
+                let mut db = ChronicleDb::new();
+                db.execute("CREATE CHRONICLE flights (sn SEQ, acct INT, miles INT)")
+                    .unwrap();
+                db.execute(
+                    "CREATE RELATION customers (acct INT, state STRING, PRIMARY KEY (acct))",
+                )
+                .unwrap();
+                for a in 0..100i64 {
+                    db.execute(&format!("INSERT INTO customers VALUES ({a}, 'NJ')"))
+                        .unwrap();
+                }
+                for t in 0..updates {
+                    let a = (t % 100) as i64;
+                    let s = if t % 2 == 0 { "NY" } else { "NJ" };
+                    db.execute(&format!(
+                        "UPDATE customers SET state = '{s}' WHERE acct = {a}"
+                    ))
+                    .unwrap();
+                    db.append(
+                        "flights",
+                        Chronon(t as i64),
+                        &[vec![Value::Int(a), Value::Int(1)]],
+                    )
+                    .unwrap();
+                }
+                let rid = db.catalog().relation_id("customers").unwrap();
+                let mid = SeqNo(updates as u64 / 2);
+                b.iter(|| db.catalog().relation(rid).version_at(mid).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

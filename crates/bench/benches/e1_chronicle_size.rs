@@ -1,0 +1,93 @@
+//! E1 — per-append maintenance vs chronicle size (Prop. 3.1): SCA stays
+//! flat while naive recomputation grows with |C|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
+use chronicle_db::baseline::NaiveRecomputeView;
+use chronicle_db::ChronicleDb;
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Chronon, Schema, SeqNo, Tuple, Value};
+use chronicle_workload::AtmGen;
+
+fn atm_schema() -> Schema {
+    Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("acct", AttrType::Int),
+            Attribute::new("amount", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_chronicle_size");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        // SCA incremental append at chronicle size n.
+        group.bench_with_input(BenchmarkId::new("sca_append", n), &n, |b, &n| {
+            let mut db = ChronicleDb::new();
+            db.execute("CREATE CHRONICLE atm (sn SEQ, acct INT, amount FLOAT)")
+                .unwrap();
+            db.execute(
+                "CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM atm GROUP BY acct",
+            )
+            .unwrap();
+            let mut gen = AtmGen::new(1, 512);
+            for i in 0..n {
+                let r = gen.next_row();
+                db.append(
+                    "atm",
+                    Chronon(i as i64),
+                    &[vec![r[0].clone(), r[1].clone()]],
+                )
+                .unwrap();
+            }
+            let mut t = n as i64;
+            b.iter(|| {
+                let r = gen.next_row();
+                t += 1;
+                db.append("atm", Chronon(t), &[vec![r[0].clone(), r[1].clone()]])
+                    .unwrap();
+            });
+        });
+        // Naive recompute at chronicle size n.
+        group.bench_with_input(BenchmarkId::new("naive_recompute", n), &n, |b, &n| {
+            let mut cat = Catalog::new();
+            let g = cat.create_group("g").unwrap();
+            let c = cat
+                .create_chronicle("atm", g, atm_schema(), Retention::All)
+                .unwrap();
+            let mut gen = AtmGen::new(1, 512);
+            for i in 0..n {
+                let r = gen.next_row();
+                let seq = SeqNo(i as u64 + 1);
+                cat.append_at(
+                    c,
+                    seq,
+                    Chronon(i as i64),
+                    &[Tuple::new(vec![
+                        Value::Seq(seq),
+                        r[0].clone(),
+                        r[1].clone(),
+                    ])],
+                )
+                .unwrap();
+            }
+            let expr = ScaExpr::group_agg(
+                CaExpr::chronicle(cat.chronicle(c)),
+                &["acct"],
+                vec![AggSpec::new(AggFunc::Sum(2), "b")],
+            )
+            .unwrap();
+            let mut naive = NaiveRecomputeView::new(expr);
+            b.iter(|| naive.refresh(&cat).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

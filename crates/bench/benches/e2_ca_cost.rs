@@ -1,0 +1,84 @@
+//! E2 — Theorem 4.2 cost model: delta computation time as products (j) and
+//! unions (u) grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::{CaExpr, CmpOp, Predicate, RelationRef, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Schema, SeqNo, Tuple, Value};
+
+fn setup(rel_size: i64) -> (Catalog, chronicle_types::ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("acct", AttrType::Int),
+            Attribute::new("rate", AttrType::Float),
+        ],
+        &["acct"],
+    )
+    .unwrap();
+    let r = cat.create_relation("rates", rs.clone()).unwrap();
+    for i in 0..rel_size {
+        cat.relation_insert(r, g, Tuple::new(vec![Value::Int(i), Value::Float(0.1)]))
+            .unwrap();
+    }
+    (cat, c, RelationRef::new(r, rs, "rates"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ca_cost");
+    for j in 0..=3u32 {
+        for u in 0..=1u32 {
+            let (cat, chron, rel) = setup(4);
+            let base = CaExpr::chronicle(cat.chronicle(chron));
+            let mut expr = base.clone();
+            for k in 0..u {
+                let p = Predicate::attr_cmp_const(
+                    base.schema(),
+                    "minutes",
+                    CmpOp::Gt,
+                    Value::Float(-(k as f64) - 1.0),
+                )
+                .unwrap();
+                expr = expr.union(base.clone().select(p).unwrap()).unwrap();
+            }
+            for _ in 0..j {
+                expr = expr.product(rel.clone()).unwrap();
+            }
+            let engine = DeltaEngine::new(&cat);
+            let batch = DeltaBatch {
+                chronicle: chron,
+                seq: SeqNo(1),
+                tuples: vec![Tuple::new(vec![
+                    Value::Seq(SeqNo(1)),
+                    Value::Int(7),
+                    Value::Float(1.0),
+                ])],
+            };
+            group.bench_function(BenchmarkId::new(format!("u{u}"), format!("j{j}")), |b| {
+                b.iter(|| {
+                    let mut w = WorkCounter::default();
+                    engine.delta_ca(&expr, &batch, &mut w).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

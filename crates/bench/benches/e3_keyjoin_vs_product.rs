@@ -1,0 +1,89 @@
+//! E3 — CA⋈ key join (log |R|) vs CA product (linear |R|) per append.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, RelationRef, ScaExpr, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Schema, SeqNo, Tuple, Value};
+
+fn setup(rel_size: i64) -> (Catalog, chronicle_types::ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("acct", AttrType::Int),
+            Attribute::new("rate", AttrType::Float),
+        ],
+        &["acct"],
+    )
+    .unwrap();
+    let r = cat.create_relation("rates", rs.clone()).unwrap();
+    for i in 0..rel_size {
+        cat.relation_insert(r, g, Tuple::new(vec![Value::Int(i), Value::Float(0.1)]))
+            .unwrap();
+    }
+    (cat, c, RelationRef::new(r, rs, "rates"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_keyjoin_vs_product");
+    group.sample_size(20);
+    for &r in &[100i64, 10_000, 100_000] {
+        let (cat, chron, rel) = setup(r);
+        let batch = DeltaBatch {
+            chronicle: chron,
+            seq: SeqNo(1),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(1)),
+                Value::Int(7),
+                Value::Float(1.0),
+            ])],
+        };
+        let join = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(chron))
+                .join_rel_key(rel.clone(), &["caller"])
+                .unwrap(),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "m")],
+        )
+        .unwrap();
+        let prod = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(chron))
+                .product(rel.clone())
+                .unwrap(),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "m")],
+        )
+        .unwrap();
+        let engine = DeltaEngine::new(&cat);
+        group.bench_with_input(BenchmarkId::new("key_join", r), &r, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounter::default();
+                engine.delta_sca(&join, &batch, &mut w).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("product", r), &r, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounter::default();
+                engine.delta_sca(&prod, &batch, &mut w).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E4 — CA₁ change computation is constant time regardless of how much
+//! history has flowed through the chronicle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, ScaExpr, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Schema, SeqNo, Tuple, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let chron = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let base = CaExpr::chronicle(cat.chronicle(chron));
+    let p =
+        Predicate::attr_cmp_const(base.schema(), "minutes", CmpOp::Gt, Value::Float(1.0)).unwrap();
+    let expr = ScaExpr::group_agg(
+        base.select(p).unwrap(),
+        &["caller"],
+        vec![AggSpec::new(AggFunc::CountStar, "n")],
+    )
+    .unwrap();
+    let engine = DeltaEngine::new(&cat);
+    let mut group = c.benchmark_group("e4_ca1_constant");
+    // "History" is simulated by the sequence number: CA₁ deltas cannot
+    // depend on it, so the three points must coincide.
+    for &seq in &[1u64, 1_000_000, 1_000_000_000] {
+        let batch = DeltaBatch {
+            chronicle: chron,
+            seq: SeqNo(seq),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(seq)),
+                Value::Int(7),
+                Value::Float(2.0),
+            ])],
+        };
+        group.bench_with_input(BenchmarkId::new("delta", seq), &seq, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounter::default();
+                engine.delta_sca(&expr, &batch, &mut w).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E5 — Theorem 4.4: applying summarized deltas costs O(t log |V|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Chronon, Schema, SeqNo, Tuple, Value};
+use chronicle_views::{AppendEvent, Maintainer};
+
+fn setup(groups: usize) -> (Catalog, chronicle_types::ChronicleId, Maintainer, u64) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let chron = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let expr = ScaExpr::group_agg(
+        CaExpr::chronicle(cat.chronicle(chron)),
+        &["caller"],
+        vec![AggSpec::new(AggFunc::Sum(2), "m")],
+    )
+    .unwrap();
+    let mut m = Maintainer::new();
+    m.register("v", expr).unwrap();
+    let mut seq = 0u64;
+    for i in 0..groups {
+        seq += 1;
+        let ev = AppendEvent {
+            chronicle: chron,
+            seq: SeqNo(seq),
+            chronon: Chronon(seq as i64),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(seq)),
+                Value::Int(i as i64),
+                Value::Float(1.0),
+            ])],
+        };
+        m.on_append(&cat, &ev).unwrap();
+    }
+    (cat, chron, m, seq)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sca_apply");
+    group.sample_size(30);
+    for &v in &[1_000usize, 100_000] {
+        let (cat, chron, mut m, mut seq) = setup(v);
+        group.bench_with_input(BenchmarkId::new("view_size", v), &v, |b, &v| {
+            b.iter(|| {
+                seq += 1;
+                let ev = AppendEvent {
+                    chronicle: chron,
+                    seq: SeqNo(seq),
+                    chronon: Chronon(seq as i64),
+                    tuples: vec![Tuple::new(vec![
+                        Value::Seq(SeqNo(seq)),
+                        Value::Int((seq % v as u64) as i64),
+                        Value::Float(1.0),
+                    ])],
+                };
+                m.on_append(&cat, &ev).unwrap()
+            });
+        });
+    }
+    for &t in &[1usize, 64, 512] {
+        let (cat, chron, mut m, mut seq) = setup(1_000);
+        group.bench_with_input(BenchmarkId::new("batch_size", t), &t, |b, &t| {
+            b.iter(|| {
+                seq += 1;
+                let tuples: Vec<Tuple> = (0..t)
+                    .map(|i| {
+                        Tuple::new(vec![
+                            Value::Seq(SeqNo(seq)),
+                            Value::Int(i as i64),
+                            Value::Float(1.0),
+                        ])
+                    })
+                    .collect();
+                let ev = AppendEvent {
+                    chronicle: chron,
+                    seq: SeqNo(seq),
+                    chronon: Chronon(seq as i64),
+                    tuples,
+                };
+                m.on_append(&cat, &ev).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

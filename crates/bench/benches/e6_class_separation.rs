@@ -1,0 +1,95 @@
+//! E6 — IM-class separation: SCA₁ / SCA⋈ / SCA per-append time vs |R|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, RelationRef, ScaExpr, WorkCounter};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Schema, SeqNo, Tuple, Value};
+
+fn setup(rel_size: i64) -> (Catalog, chronicle_types::ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("acct", AttrType::Int),
+            Attribute::new("rate", AttrType::Float),
+        ],
+        &["acct"],
+    )
+    .unwrap();
+    let r = cat.create_relation("rates", rs.clone()).unwrap();
+    for i in 0..rel_size {
+        cat.relation_insert(r, g, Tuple::new(vec![Value::Int(i), Value::Float(0.1)]))
+            .unwrap();
+    }
+    (cat, c, RelationRef::new(r, rs, "rates"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_class_separation");
+    group.sample_size(20);
+    for &r in &[512i64, 32_768] {
+        let (cat, chron, rel) = setup(r);
+        let base = CaExpr::chronicle(cat.chronicle(chron));
+        let aggs = || vec![AggSpec::new(AggFunc::Sum(2), "m")];
+        let views = [
+            (
+                "sca1",
+                ScaExpr::group_agg(base.clone(), &["caller"], aggs()).unwrap(),
+            ),
+            (
+                "sca_join",
+                ScaExpr::group_agg(
+                    base.clone().join_rel_key(rel.clone(), &["caller"]).unwrap(),
+                    &["caller"],
+                    aggs(),
+                )
+                .unwrap(),
+            ),
+            (
+                "sca_product",
+                ScaExpr::group_agg(
+                    base.clone().product(rel.clone()).unwrap(),
+                    &["caller"],
+                    aggs(),
+                )
+                .unwrap(),
+            ),
+        ];
+        let engine = DeltaEngine::new(&cat);
+        let batch = DeltaBatch {
+            chronicle: chron,
+            seq: SeqNo(1),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(1)),
+                Value::Int(7),
+                Value::Float(1.0),
+            ])],
+        };
+        for (name, view) in &views {
+            group.bench_with_input(BenchmarkId::new(*name, r), &r, |b, _| {
+                b.iter(|| {
+                    let mut w = WorkCounter::default();
+                    engine.delta_sca(view, &batch, &mut w).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

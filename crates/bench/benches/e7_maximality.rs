@@ -1,0 +1,66 @@
+//! E7 — beyond-CA maintenance: C₁ ⋈_θ C₂ per-append cost grows with |C|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::CmpOp;
+use chronicle_db::baseline::StoredThetaJoinCount;
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Chronon, Schema, SeqNo, Tuple, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_maximality");
+    group.sample_size(10);
+    for &n in &[1_000usize, 16_000] {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("v", AttrType::Int),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let a = cat
+            .create_chronicle("a", g, cs.clone(), Retention::All)
+            .unwrap();
+        let b_id = cat.create_chronicle("b", g, cs, Retention::All).unwrap();
+        let mut seq = 0u64;
+        for i in 0..n {
+            seq += 1;
+            cat.append_at(
+                a,
+                SeqNo(seq),
+                Chronon(seq as i64),
+                &[Tuple::new(vec![
+                    Value::Seq(SeqNo(seq)),
+                    Value::Int(i as i64),
+                ])],
+            )
+            .unwrap();
+            seq += 1;
+            cat.append_at(
+                b_id,
+                SeqNo(seq),
+                Chronon(seq as i64),
+                &[Tuple::new(vec![
+                    Value::Seq(SeqNo(seq)),
+                    Value::Int(i as i64),
+                ])],
+            )
+            .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("theta_join_append", n), &n, |bch, _| {
+            let mut joined = StoredThetaJoinCount::new(a, b_id, (1, CmpOp::Lt, 1));
+            let t = vec![Tuple::new(vec![Value::Seq(SeqNo(seq)), Value::Int(42)])];
+            bch.iter(|| {
+                // Maintenance work for one append to `a`: scan stored b.
+                joined.on_append(&cat, a, &t).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

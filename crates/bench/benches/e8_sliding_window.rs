@@ -1,0 +1,49 @@
+//! E8 — cyclic-buffer sliding windows vs per-window periodic views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::AggFunc;
+use chronicle_types::{Chronon, Tuple, Value};
+use chronicle_views::SlidingWindow;
+use chronicle_workload::TradeGen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_sliding_window");
+    for &w in &[30usize, 365] {
+        group.bench_with_input(BenchmarkId::new("cyclic_insert", w), &w, |b, &w| {
+            let mut win =
+                SlidingWindow::new(Chronon(0), w, 1, vec![0], vec![AggFunc::Sum(1)]).unwrap();
+            let mut gen = TradeGen::new(1);
+            let mut t = 0i64;
+            b.iter(|| {
+                let row = gen.next_row();
+                win.insert(
+                    Chronon(t),
+                    &Tuple::new(vec![row[0].clone(), row[1].clone()]),
+                )
+                .unwrap();
+                t += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_query", w), &w, |b, &w| {
+            let mut win =
+                SlidingWindow::new(Chronon(0), w, 1, vec![0], vec![AggFunc::Sum(1)]).unwrap();
+            let mut gen = TradeGen::new(1);
+            for t in 0..(w as i64 * 3) {
+                let row = gen.next_row();
+                win.insert(
+                    Chronon(t),
+                    &Tuple::new(vec![row[0].clone(), row[1].clone()]),
+                )
+                .unwrap();
+            }
+            let key = [Value::str("T")];
+            let now = Chronon(w as i64 * 3);
+            b.iter(|| win.query(&key, now).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

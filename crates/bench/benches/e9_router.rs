@@ -1,0 +1,74 @@
+//! E9 — affected-view routing vs maintaining every view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chronicle_algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, ScaExpr};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, Chronon, Schema, SeqNo, Tuple, Value};
+use chronicle_views::{AppendEvent, Maintainer, RouteMode};
+
+fn setup(views: usize, mode: RouteMode) -> (Catalog, chronicle_types::ChronicleId, Maintainer) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let cs = Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("caller", AttrType::Int),
+            Attribute::new("minutes", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap();
+    let c = cat
+        .create_chronicle("calls", g, cs, Retention::None)
+        .unwrap();
+    let mut m = Maintainer::new();
+    m.set_route_mode(mode);
+    let base = CaExpr::chronicle(cat.chronicle(c));
+    for i in 0..views {
+        let p = Predicate::attr_cmp_const(base.schema(), "caller", CmpOp::Eq, Value::Int(i as i64))
+            .unwrap();
+        let expr = ScaExpr::group_agg(
+            base.clone().select(p).unwrap(),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "m")],
+        )
+        .unwrap();
+        m.register(&format!("v{i}"), expr).unwrap();
+    }
+    (cat, c, m)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_router");
+    group.sample_size(20);
+    for &k in &[64usize, 1_024] {
+        for (label, mode) in [
+            ("routed", RouteMode::Routed),
+            ("scan_all", RouteMode::ScanAll),
+        ] {
+            let (cat, chron, mut m) = setup(k, mode);
+            let mut seq = 0u64;
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, &k| {
+                b.iter(|| {
+                    seq += 1;
+                    let ev = AppendEvent {
+                        chronicle: chron,
+                        seq: SeqNo(seq),
+                        chronon: Chronon(seq as i64),
+                        tuples: vec![Tuple::new(vec![
+                            Value::Seq(SeqNo(seq)),
+                            Value::Int((seq % k as u64) as i64),
+                            Value::Float(1.0),
+                        ])],
+                    };
+                    m.on_append(&cat, &ev).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerate every derived figure (E1–E12) and print the tables that
+//! EXPERIMENTS.md records.
+//!
+//! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick]`
+//! — `quick` runs the reduced (scale 0) sweeps.
+
+use chronicle_bench::experiments as ex;
+use chronicle_bench::harness::Figure;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let scale: u32 = if quick { 0 } else { 1 };
+    println!("# Chronicle data model — derived experiments (scale {scale})\n");
+
+    for f in run_all(scale) {
+        println!("{}", f.render());
+    }
+}
+
+fn run_all(scale: u32) -> Vec<Figure> {
+    let mut figs = Vec::new();
+    eprintln!("[E1] chronicle-size sweep...");
+    figs.push(ex::e1_chronicle_size(scale));
+    eprintln!("[E2] CA cost model...");
+    figs.push(ex::e2_ca_cost(scale));
+    eprintln!("[E3] key join vs product...");
+    figs.push(ex::e3_keyjoin_vs_product(scale));
+    eprintln!("[E4] CA1 constant...");
+    figs.push(ex::e4_ca1_constant(scale));
+    eprintln!("[E5] SCA apply...");
+    let (a, b) = ex::e5_sca_apply(scale);
+    figs.push(a);
+    figs.push(b);
+    eprintln!("[E6] class separation...");
+    figs.push(ex::e6_class_separation(scale));
+    eprintln!("[E7] maximality...");
+    figs.push(ex::e7_maximality(scale));
+    eprintln!("[E8] sliding windows...");
+    figs.push(ex::e8_sliding_window(scale));
+    eprintln!("[E9] router...");
+    figs.push(ex::e9_router(scale));
+    eprintln!("[E10] tiered discounts...");
+    figs.push(ex::e10_tiered(scale));
+    eprintln!("[E11] throughput & latency...");
+    let (a, b) = ex::e11_throughput(scale);
+    figs.push(a);
+    figs.push(b);
+    eprintln!("[E12] proactive updates...");
+    figs.push(ex::e12_proactive(scale));
+    figs
+}

@@ -1,0 +1,17 @@
+//! Experiment harness for the chronicle-model reproduction.
+//!
+//! The paper (a PODS extended abstract) has no numbered tables or figures;
+//! its quantitative content is the theorems. DESIGN.md §6 derives twelve
+//! experiments E1–E12, one per theorem/claim, each a parameter sweep whose
+//! measured curve must match the predicted shape. This crate implements
+//! all of them once, and exposes them to two front-ends:
+//!
+//! * `cargo run -p chronicle-bench --release --bin experiments` — prints
+//!   every derived figure as a text table (the source of EXPERIMENTS.md),
+//! * `cargo bench -p chronicle-bench` — Criterion wall-time benches, one
+//!   target per experiment.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,28 @@
+//! `chronicle-db`: the chronicle database system facade.
+//!
+//! [`ChronicleDb`] realizes Definition 2.1's quadruple *(C, R, L, V)*:
+//! chronicles and relations live in a [`chronicle_store::Catalog`], the
+//! language `L` is SCA (built directly or through the SQL front-end), and
+//! the persistent views are driven by a [`chronicle_views::Maintainer`] on
+//! every append.
+//!
+//! The crate also contains:
+//!
+//! * [`baseline`] — the three comparators every experiment measures
+//!   against: naive recomputation (IM-C^k), classical IVM *with* chronicle
+//!   access, and hand-coded procedural summary fields (what the paper says
+//!   applications do today),
+//! * [`stats`] — append/maintenance accounting,
+//! * [`pipeline`] — a concurrent append pipeline (producers feed a
+//!   maintenance thread over crossbeam channels), used by the throughput
+//!   experiment E11.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod db;
+pub mod pipeline;
+pub mod stats;
+
+pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
+pub use stats::DbStats;

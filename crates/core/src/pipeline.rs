@@ -1,0 +1,284 @@
+//! A concurrent append pipeline.
+//!
+//! §1 of the paper motivates the model with *transaction rate*: appends
+//! arrive from many concurrent sources (switches, ATMs, ticker feeds), but
+//! sequence-number monotonicity makes the maintenance step per chronicle
+//! group inherently serial. The natural deployment is therefore a
+//! many-producer / one-maintainer pipeline: producers submit batches over a
+//! channel; a dedicated thread owns the [`ChronicleDb`], serializes the
+//! appends, and runs maintenance. This module implements exactly that with
+//! crossbeam channels and is what experiment E11 drives.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use chronicle_types::{Chronon, Result, Value};
+
+use crate::db::{AppendOutcome, ChronicleDb};
+
+/// A request to append `rows` (SN-less) to `chronicle` at `at`.
+#[derive(Debug)]
+pub struct AppendRequest {
+    /// Target chronicle name.
+    pub chronicle: String,
+    /// Chronon stamp.
+    pub at: Chronon,
+    /// Rows without the sequencing attribute.
+    pub rows: Vec<Vec<Value>>,
+    /// Where to send the outcome; `None` for fire-and-forget.
+    pub reply: Option<Sender<Result<AppendOutcome>>>,
+}
+
+/// A request processed by the maintenance thread.
+#[derive(Debug)]
+enum Request {
+    Append(AppendRequest),
+    /// Point query against a view, answered in-order with the appends —
+    /// the reader sees the state as of every append submitted before it.
+    Query {
+        view: String,
+        key: Vec<Value>,
+        reply: Sender<Result<Option<chronicle_types::Tuple>>>,
+    },
+    /// Stop the worker after draining everything submitted before this
+    /// message. Requests queued after it are answered with an error when
+    /// the channel closes.
+    Shutdown,
+}
+
+/// Handle to a running pipeline. Cloneable; each clone is an independent
+/// producer.
+#[derive(Clone)]
+pub struct PipelineHandle {
+    tx: Sender<Request>,
+}
+
+impl PipelineHandle {
+    /// Submit an append and wait for its outcome.
+    pub fn append(
+        &self,
+        chronicle: &str,
+        at: Chronon,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<AppendOutcome> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Request::Append(AppendRequest {
+                chronicle: chronicle.to_string(),
+                at,
+                rows,
+                reply: Some(rtx),
+            }))
+            .map_err(|_| {
+                chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+            })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })?
+    }
+
+    /// Point query against a view, serialized with the appends: the answer
+    /// reflects every append submitted on this handle before the query.
+    pub fn query(&self, view: &str, key: Vec<Value>) -> Result<Option<chronicle_types::Tuple>> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Request::Query {
+                view: view.to_string(),
+                key,
+                reply: rtx,
+            })
+            .map_err(|_| {
+                chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+            })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })?
+    }
+
+    /// Submit an append without waiting (maximum throughput mode).
+    pub fn append_nowait(&self, chronicle: &str, at: Chronon, rows: Vec<Vec<Value>>) -> Result<()> {
+        self.tx
+            .send(Request::Append(AppendRequest {
+                chronicle: chronicle.to_string(),
+                at,
+                rows,
+                reply: None,
+            }))
+            .map_err(|_| chronicle_types::ChronicleError::Internal("pipeline has shut down".into()))
+    }
+}
+
+/// The running pipeline: owns the maintenance thread.
+pub struct Pipeline {
+    handle: PipelineHandle,
+    worker: Option<JoinHandle<ChronicleDb>>,
+    /// Dropping all producer handles shuts the worker down; keep the
+    /// original sender here so shutdown is explicit.
+    _keepalive: Mutex<Option<Sender<Request>>>,
+}
+
+impl Pipeline {
+    /// Start a pipeline over `db` with the given channel capacity
+    /// (backpressure bound).
+    pub fn start(mut db: ChronicleDb, capacity: usize) -> Pipeline {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(capacity);
+        let worker = std::thread::spawn(move || {
+            while let Ok(req) = rx.recv() {
+                match req {
+                    Request::Append(req) => {
+                        let outcome = db.append(&req.chronicle, req.at, &req.rows);
+                        if let Some(reply) = req.reply {
+                            // A dropped receiver just means the producer
+                            // stopped caring; not a pipeline error.
+                            let _ = reply.send(outcome);
+                        }
+                    }
+                    Request::Query { view, key, reply } => {
+                        let _ = reply.send(db.query_view_key(&view, &key));
+                    }
+                    Request::Shutdown => break,
+                }
+            }
+            db
+        });
+        Pipeline {
+            handle: PipelineHandle { tx: tx.clone() },
+            worker: Some(worker),
+            _keepalive: Mutex::new(Some(tx)),
+        }
+    }
+
+    /// A producer handle.
+    pub fn handle(&self) -> PipelineHandle {
+        self.handle.clone()
+    }
+
+    /// Shut down: drain every request submitted before this call, stop the
+    /// worker, and return the database. Outstanding producer handles stay
+    /// valid objects but all their sends fail from this point on.
+    pub fn shutdown(mut self) -> ChronicleDb {
+        // A Shutdown marker drains in FIFO order behind all earlier work;
+        // the worker exits when it sees it, dropping the receiver, which
+        // fails any later sends instead of blocking them.
+        let _ = self.handle.tx.send(Request::Shutdown);
+        *self._keepalive.lock() = None;
+        let (dead_tx, _) = bounded(0);
+        self.handle = PipelineHandle { tx: dead_tx };
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("maintenance thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::SeqNo;
+
+    fn db() -> ChronicleDb {
+        let mut db = ChronicleDb::new();
+        db.execute("CREATE CHRONICLE txns (sn SEQ, acct INT, amount FLOAT)")
+            .unwrap();
+        db.execute(
+            "CREATE VIEW balances AS SELECT acct, SUM(amount) AS balance FROM txns GROUP BY acct",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn single_producer_round_trip() {
+        let p = Pipeline::start(db(), 16);
+        let h = p.handle();
+        let out = h
+            .append(
+                "txns",
+                Chronon(1),
+                vec![vec![Value::Int(7), Value::Float(5.0)]],
+            )
+            .unwrap();
+        assert_eq!(out.seq, SeqNo(1));
+        let db = p.shutdown();
+        assert_eq!(
+            db.query_view_key("balances", &[Value::Int(7)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(5.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_producers_serialize_correctly() {
+        let p = Pipeline::start(db(), 64);
+        let mut joins = Vec::new();
+        for t in 0..4i64 {
+            let h = p.handle();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    h.append(
+                        "txns",
+                        // Chronons may repeat across threads; monotonicity
+                        // within the group is what matters, and equal
+                        // chronons are legal.
+                        Chronon(0),
+                        vec![vec![Value::Int(t), Value::Float(i as f64)]],
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let db = p.shutdown();
+        // Each producer's account got sum 0+1+…+49 = 1225.
+        for t in 0..4i64 {
+            assert_eq!(
+                db.query_view_key("balances", &[Value::Int(t)])
+                    .unwrap()
+                    .unwrap()
+                    .get(1),
+                &Value::Float(1225.0)
+            );
+        }
+        assert_eq!(db.stats().appends, 200);
+    }
+
+    #[test]
+    fn nowait_appends_drain_on_shutdown() {
+        let p = Pipeline::start(db(), 256);
+        let h = p.handle();
+        for i in 0..100i64 {
+            h.append_nowait(
+                "txns",
+                Chronon(0),
+                vec![vec![Value::Int(1), Value::Float(i as f64)]],
+            )
+            .unwrap();
+        }
+        let db = p.shutdown();
+        assert_eq!(db.stats().appends, 100);
+    }
+
+    #[test]
+    fn bad_append_reports_error_not_poison() {
+        let p = Pipeline::start(db(), 16);
+        let h = p.handle();
+        let err = h.append("ghost", Chronon(0), vec![vec![Value::Int(1)]]);
+        assert!(err.is_err());
+        // Pipeline still alive.
+        h.append(
+            "txns",
+            Chronon(1),
+            vec![vec![Value::Int(1), Value::Float(1.0)]],
+        )
+        .unwrap();
+        let db = p.shutdown();
+        assert_eq!(db.stats().appends, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Append and maintenance accounting.
+
+use chronicle_algebra::WorkCounter;
+use chronicle_views::MaintenanceReport;
+
+/// Running statistics for a [`crate::ChronicleDb`].
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    /// Number of append batches processed.
+    pub appends: u64,
+    /// Total tuples appended.
+    pub tuples_appended: u64,
+    /// Total nanoseconds spent in maintenance.
+    pub maintenance_nanos: u64,
+    /// Worst single-append maintenance time.
+    pub max_maintenance_nanos: u64,
+    /// Total views maintained (sum over appends of affected views).
+    pub views_maintained: u64,
+    /// Views skipped by the router's guard filter.
+    pub skipped_by_guard: u64,
+    /// Views skipped by the router's interval filter.
+    pub skipped_by_interval: u64,
+    /// Aggregate work counters across all maintenance.
+    pub work: WorkCounter,
+    /// A bounded sample of per-append maintenance latencies (ns) for
+    /// percentile reporting; reservoir of the most recent 4096.
+    latencies: Vec<u64>,
+}
+
+impl DbStats {
+    /// Fold one append's report into the stats.
+    pub fn record_append(&mut self, tuples: usize, report: &MaintenanceReport) {
+        self.appends += 1;
+        self.tuples_appended += tuples as u64;
+        self.maintenance_nanos += report.elapsed_nanos;
+        self.max_maintenance_nanos = self.max_maintenance_nanos.max(report.elapsed_nanos);
+        self.views_maintained += report.views.len() as u64;
+        self.skipped_by_guard += report.routing.skipped_guard as u64;
+        self.skipped_by_interval += report.routing.skipped_interval as u64;
+        self.work.absorb(report.total_work);
+        if self.latencies.len() == 4096 {
+            // Overwrite cyclically: cheap recency-biased sample.
+            let idx = (self.appends % 4096) as usize;
+            self.latencies[idx] = report.elapsed_nanos;
+        } else {
+            self.latencies.push(report.elapsed_nanos);
+        }
+    }
+
+    /// Mean maintenance time per append, nanoseconds.
+    pub fn mean_maintenance_nanos(&self) -> f64 {
+        if self.appends == 0 {
+            0.0
+        } else {
+            self.maintenance_nanos as f64 / self.appends as f64
+        }
+    }
+
+    /// Latency percentile (e.g. `0.5`, `0.99`) over the retained sample.
+    pub fn latency_percentile(&self, q: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_views::RoutingDecision;
+
+    fn report(nanos: u64) -> MaintenanceReport {
+        MaintenanceReport {
+            routing: RoutingDecision {
+                candidates: 2,
+                skipped_interval: 1,
+                skipped_guard: 1,
+                selected: vec![],
+            },
+            views: vec![],
+            periodic_maintained: 0,
+            total_work: WorkCounter::default(),
+            elapsed_nanos: nanos,
+        }
+    }
+
+    #[test]
+    fn records_and_averages() {
+        let mut s = DbStats::default();
+        s.record_append(3, &report(100));
+        s.record_append(1, &report(300));
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.tuples_appended, 4);
+        assert_eq!(s.maintenance_nanos, 400);
+        assert_eq!(s.max_maintenance_nanos, 300);
+        assert_eq!(s.skipped_by_guard, 2);
+        assert_eq!(s.skipped_by_interval, 2);
+        assert!((s.mean_maintenance_nanos() - 200.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut s = DbStats::default();
+        for i in 1..=100u64 {
+            s.record_append(1, &report(i));
+        }
+        assert_eq!(s.latency_percentile(0.0), 1);
+        assert_eq!(s.latency_percentile(1.0), 100);
+        let p50 = s.latency_percentile(0.5);
+        assert!((49..=52).contains(&p50));
+        assert_eq!(DbStats::default().latency_percentile(0.5), 0);
+    }
+
+    #[test]
+    fn reservoir_stays_bounded() {
+        let mut s = DbStats::default();
+        for i in 0..10_000u64 {
+            s.record_append(1, &report(i));
+        }
+        assert!(s.latencies.len() <= 4096);
+        assert_eq!(s.appends, 10_000);
+    }
+}

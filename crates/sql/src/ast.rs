@@ -1,0 +1,237 @@
+//! Abstract syntax of the view-definition language.
+
+use chronicle_algebra::CmpOp;
+use chronicle_types::{AttrType, Value};
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// NULL.
+    Null,
+}
+
+impl Literal {
+    /// Convert to a runtime value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::Str(s) => Value::str(s),
+            Literal::Null => Value::Null,
+        }
+    }
+}
+
+/// A column definition in CREATE CHRONICLE / CREATE RELATION.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+}
+
+/// Retention clause of CREATE CHRONICLE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetentionSpec {
+    /// RETAIN NONE (default — the chronicle is not stored).
+    None,
+    /// RETAIN LAST n.
+    Last(usize),
+    /// RETAIN ALL.
+    All,
+}
+
+/// One atom of a WHERE clause: `col θ literal` or `col θ col`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereAtom {
+    /// Left column name.
+    pub left: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right side: a literal or another column.
+    pub right: WhereRhs,
+}
+
+/// Right side of a WHERE atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereRhs {
+    /// A constant.
+    Lit(Literal),
+    /// Another column.
+    Col(String),
+}
+
+/// A WHERE clause: either a conjunction (lowered to stacked σ) or a
+/// disjunction (Def. 4.1's native form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereClause {
+    /// `a AND b AND …`
+    And(Vec<WhereAtom>),
+    /// `a OR b OR …`
+    Or(Vec<WhereAtom>),
+}
+
+/// An aggregate call in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Function name (upper-cased: SUM, COUNT, MIN, MAX, AVG, STDDEV,
+    /// FIRST, LAST).
+    pub func: String,
+    /// Argument column, or `None` for `COUNT(*)`.
+    pub arg: Option<String>,
+    /// Output name (AS alias; defaults to `func_arg`).
+    pub alias: String,
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column (must appear in GROUP BY when aggregates are used).
+    Column(String),
+    /// An aggregate.
+    Agg(AggCall),
+}
+
+/// The body of CREATE VIEW ... AS SELECT ...
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewQuery {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM chronicle.
+    pub from: String,
+    /// Optional JOIN relation ON chron_col = rel_col [AND ...].
+    pub join: Option<JoinSpec>,
+    /// Optional WHERE clause (applied to the chronicle before the join,
+    /// when its columns permit, otherwise after).
+    pub where_clause: Option<WhereClause>,
+    /// GROUP BY columns (empty = global group when aggregates are present,
+    /// projection summarization when not).
+    pub group_by: Vec<String>,
+}
+
+/// JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// The relation joined.
+    pub relation: String,
+    /// Equi-join column pairs (chronicle column, relation column). Empty
+    /// for CROSS JOIN.
+    pub on: Vec<(String, String)>,
+    /// True for CROSS JOIN (full CA product).
+    pub cross: bool,
+}
+
+/// Calendar clause of CREATE PERIODIC VIEW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarSpec {
+    /// Interval width in ticks.
+    pub width: i64,
+    /// Interval step (defaults to width = consecutive periods).
+    pub step: i64,
+    /// Anchor chronon (defaults to 0).
+    pub anchor: i64,
+    /// Optional EXPIRE AFTER grace period.
+    pub expire_after: Option<i64>,
+}
+
+/// APPEND INTO statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendStmt {
+    /// Target chronicle.
+    pub chronicle: String,
+    /// Optional AT chronon.
+    pub at: Option<i64>,
+    /// Value rows (each row excludes or includes the SEQ column; the
+    /// executor decides by arity).
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE GROUP name.
+    CreateGroup {
+        /// Group name.
+        name: String,
+    },
+    /// CREATE CHRONICLE name (cols) [IN GROUP g] [RETAIN ...].
+    CreateChronicle {
+        /// Chronicle name.
+        name: String,
+        /// Columns (exactly one of type SEQ).
+        columns: Vec<ColumnDef>,
+        /// Optional group (default group used when absent).
+        group: Option<String>,
+        /// Retention policy.
+        retention: RetentionSpec,
+    },
+    /// CREATE RELATION name (cols, PRIMARY KEY (...)).
+    CreateRelation {
+        /// Relation name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+        /// Primary-key column names (empty = keyless).
+        key: Vec<String>,
+    },
+    /// CREATE VIEW name AS SELECT ...
+    CreateView {
+        /// View name.
+        name: String,
+        /// The query.
+        query: ViewQuery,
+    },
+    /// CREATE PERIODIC VIEW name AS SELECT ... OVER CALENDAR ...
+    CreatePeriodicView {
+        /// Family name.
+        name: String,
+        /// The query template.
+        query: ViewQuery,
+        /// The calendar.
+        calendar: CalendarSpec,
+    },
+    /// APPEND INTO chronicle [AT t] VALUES (...), (...).
+    Append(AppendStmt),
+    /// INSERT INTO relation VALUES (...).
+    InsertRelation {
+        /// Target relation.
+        relation: String,
+        /// Rows.
+        rows: Vec<Vec<Literal>>,
+    },
+    /// UPDATE relation SET col = lit [, ...] WHERE keycol = lit.
+    UpdateRelation {
+        /// Target relation.
+        relation: String,
+        /// Assignments.
+        sets: Vec<(String, Literal)>,
+        /// Key equality filter.
+        filter: (String, Literal),
+    },
+    /// DELETE FROM relation WHERE keycol = lit.
+    DeleteRelation {
+        /// Target relation.
+        relation: String,
+        /// Key equality filter.
+        filter: (String, Literal),
+    },
+    /// SELECT * FROM target [WHERE col = lit [AND ...]].
+    Select {
+        /// View or relation name.
+        target: String,
+        /// Equality filters.
+        filters: Vec<(String, Literal)>,
+    },
+    /// DROP VIEW name.
+    DropView {
+        /// View name.
+        name: String,
+    },
+}

@@ -1,0 +1,337 @@
+//! Tokenizer for the view-definition language.
+
+use chronicle_types::{ChronicleError, Result};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (case-insensitive keywords; identifiers may
+    /// contain dots for qualified names like `customers.state`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// A simple single-pass lexer.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            // `--` line comments.
+            if self.bytes[self.pos..].starts_with(b"--") {
+                while !matches!(self.peek(), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_ws_and_comments();
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        let kind = match b {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    return Err(self.error(offset, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'\'' => {
+                self.bump();
+                let start = self.pos;
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(_) => {}
+                        None => return Err(self.error(offset, "unterminated string literal")),
+                    }
+                }
+                TokenKind::Str(self.src[start..self.pos - 1].to_string())
+            }
+            b'0'..=b'9' | b'-' => {
+                // `-` only starts a number (no binary minus in this
+                // language's grammar).
+                self.bump();
+                let start = offset;
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    match c {
+                        b'0'..=b'9' => {
+                            self.bump();
+                        }
+                        b'.' if !is_float => {
+                            is_float = true;
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                if text == "-" {
+                    return Err(self.error(offset, "dangling `-`"));
+                }
+                if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| self.error(offset, "malformed float literal"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| self.error(offset, "malformed integer literal"))?,
+                    )
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    match c {
+                        b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'.' => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                TokenKind::Ident(self.src[start..self.pos].to_string())
+            }
+            other => {
+                return Err(self.error(offset, &format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn error(&self, offset: usize, message: &str) -> ChronicleError {
+        ChronicleError::Parse {
+            message: message.to_string(),
+            offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM t;"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds("42 -17 2.5 -0.5 'NJ'"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-17),
+                TokenKind::Float(2.5),
+                TokenKind::Float(-0.5),
+                TokenKind::Str("NJ".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_identifiers() {
+        assert_eq!(
+            kinds("customers.state"),
+            vec![TokenKind::Ident("customers.state".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a -- comment here\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offset() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        match err {
+            ChronicleError::Parse { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+        assert!(Lexer::new("!x").tokenize().is_err());
+    }
+}

@@ -1,0 +1,823 @@
+//! Recursive-descent parser.
+
+use chronicle_algebra::CmpOp;
+use chronicle_types::{AttrType, ChronicleError, Result};
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parse one statement (a trailing semicolon is optional).
+pub fn parse(src: &str) -> Result<Statement> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ChronicleError {
+        ChronicleError::Parse {
+            message: message.into(),
+            offset: self.peek().offset,
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek().kind)))
+        }
+    }
+
+    /// Consume an identifier; keywords are matched case-insensitively via
+    /// [`Parser::keyword`] instead.
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Is the next token the given keyword (case-insensitive)?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword or error.
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek().kind
+            )))
+        }
+    }
+
+    /// Consume the keyword if present.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn int_literal(&mut self, what: &str) -> Result<i64> {
+        match self.peek().kind {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(i)
+            }
+            _ => Err(self.err(format!("expected integer {what}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        let lit = match &self.peek().kind {
+            TokenKind::Int(i) => Literal::Int(*i),
+            TokenKind::Float(f) => Literal::Float(*f),
+            TokenKind::Str(s) => Literal::Str(s.clone()),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("NULL") => Literal::Null,
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Literal::Int(1),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Literal::Int(0),
+            other => return Err(self.err(format!("expected literal, found {other:?}"))),
+        };
+        self.bump();
+        Ok(lit)
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_keyword("CREATE") {
+            return self.create();
+        }
+        if self.at_keyword("APPEND") {
+            return self.append();
+        }
+        if self.at_keyword("INSERT") {
+            return self.insert();
+        }
+        if self.at_keyword("UPDATE") {
+            return self.update();
+        }
+        if self.at_keyword("DELETE") {
+            return self.delete();
+        }
+        if self.at_keyword("SELECT") {
+            return self.select_query();
+        }
+        if self.at_keyword("DROP") {
+            self.bump();
+            self.keyword("VIEW")?;
+            let name = self.ident("view name")?;
+            return Ok(Statement::DropView { name });
+        }
+        Err(self.err("expected CREATE, APPEND, INSERT, UPDATE, DELETE, SELECT or DROP"))
+    }
+
+    fn create(&mut self) -> Result<Statement> {
+        self.keyword("CREATE")?;
+        if self.eat_keyword("GROUP") {
+            let name = self.ident("group name")?;
+            return Ok(Statement::CreateGroup { name });
+        }
+        if self.eat_keyword("CHRONICLE") {
+            return self.create_chronicle();
+        }
+        if self.eat_keyword("RELATION") || self.eat_keyword("TABLE") {
+            return self.create_relation();
+        }
+        if self.eat_keyword("PERIODIC") {
+            self.keyword("VIEW")?;
+            let name = self.ident("view name")?;
+            self.keyword("AS")?;
+            let query = self.view_query()?;
+            self.keyword("OVER")?;
+            self.keyword("CALENDAR")?;
+            let calendar = self.calendar_spec()?;
+            return Ok(Statement::CreatePeriodicView {
+                name,
+                query,
+                calendar,
+            });
+        }
+        if self.eat_keyword("VIEW") {
+            let name = self.ident("view name")?;
+            self.keyword("AS")?;
+            let query = self.view_query()?;
+            return Ok(Statement::CreateView { name, query });
+        }
+        Err(self.err("expected GROUP, CHRONICLE, RELATION, VIEW or PERIODIC VIEW after CREATE"))
+    }
+
+    fn column_type(&mut self) -> Result<AttrType> {
+        let t = self.ident("column type")?;
+        match t.to_ascii_uppercase().as_str() {
+            "SEQ" => Ok(AttrType::Seq),
+            "INT" | "INTEGER" | "BIGINT" => Ok(AttrType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Ok(AttrType::Float),
+            "STRING" | "TEXT" | "VARCHAR" => Ok(AttrType::Str),
+            "BOOL" | "BOOLEAN" => Ok(AttrType::Bool),
+            other => Err(self.err(format!("unknown column type `{other}`"))),
+        }
+    }
+
+    fn create_chronicle(&mut self) -> Result<Statement> {
+        let name = self.ident("chronicle name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            let ty = self.column_type()?;
+            columns.push(ColumnDef { name: col, ty });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let group = if self.eat_keyword("IN") {
+            self.keyword("GROUP")?;
+            Some(self.ident("group name")?)
+        } else {
+            None
+        };
+        let retention = if self.eat_keyword("RETAIN") {
+            if self.eat_keyword("ALL") {
+                RetentionSpec::All
+            } else if self.eat_keyword("NONE") {
+                RetentionSpec::None
+            } else if self.eat_keyword("LAST") {
+                RetentionSpec::Last(self.int_literal("retention count")? as usize)
+            } else {
+                return Err(self.err("expected ALL, NONE or LAST after RETAIN"));
+            }
+        } else {
+            RetentionSpec::None
+        };
+        Ok(Statement::CreateChronicle {
+            name,
+            columns,
+            group,
+            retention,
+        })
+    }
+
+    fn create_relation(&mut self) -> Result<Statement> {
+        let name = self.ident("relation name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        let mut key = Vec::new();
+        loop {
+            if self.at_keyword("PRIMARY") {
+                self.bump();
+                self.keyword("KEY")?;
+                self.expect(&TokenKind::LParen, "`(`")?;
+                loop {
+                    key.push(self.ident("key column")?);
+                    if !self.eat_if(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+            } else {
+                let col = self.ident("column name")?;
+                let ty = self.column_type()?;
+                columns.push(ColumnDef { name: col, ty });
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Statement::CreateRelation { name, columns, key })
+    }
+
+    fn view_query(&mut self) -> Result<ViewQuery> {
+        self.keyword("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.keyword("FROM")?;
+        let from = self.ident("chronicle name")?;
+        let join = if self.eat_keyword("JOIN") {
+            let relation = self.ident("relation name")?;
+            self.keyword("ON")?;
+            let mut on = Vec::new();
+            loop {
+                let l = self.ident("join column")?;
+                self.expect(&TokenKind::Eq, "`=` (joins are equi-joins)")?;
+                let r = self.ident("join column")?;
+                on.push((l, r));
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+            Some(JoinSpec {
+                relation,
+                on,
+                cross: false,
+            })
+        } else if self.eat_keyword("CROSS") {
+            self.keyword("JOIN")?;
+            let relation = self.ident("relation name")?;
+            Some(JoinSpec {
+                relation,
+                on: Vec::new(),
+                cross: true,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.where_clause()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.keyword("BY")?;
+            loop {
+                group_by.push(self.ident("grouping column")?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(ViewQuery {
+            items,
+            from,
+            join,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let name = self.ident("column or aggregate")?;
+        let upper = name.to_ascii_uppercase();
+        let is_agg = matches!(
+            upper.as_str(),
+            "SUM" | "COUNT" | "MIN" | "MAX" | "AVG" | "STDDEV" | "FIRST" | "LAST"
+        ) && self.peek().kind == TokenKind::LParen;
+        if !is_agg {
+            return Ok(SelectItem::Column(name));
+        }
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let arg = if self.eat_if(&TokenKind::Star) {
+            if upper != "COUNT" {
+                return Err(self.err(format!("{upper}(*) is not defined; only COUNT(*)")));
+            }
+            None
+        } else {
+            Some(self.ident("aggregate argument")?)
+        };
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let alias = if self.eat_keyword("AS") {
+            self.ident("alias")?
+        } else {
+            match &arg {
+                Some(a) => format!("{}_{}", upper.to_ascii_lowercase(), a.replace('.', "_")),
+                None => "count".to_string(),
+            }
+        };
+        Ok(SelectItem::Agg(AggCall {
+            func: upper,
+            arg,
+            alias,
+        }))
+    }
+
+    fn where_atom(&mut self) -> Result<WhereAtom> {
+        let left = self.ident("column")?;
+        let op = self.cmp_op()?;
+        let right = match &self.peek().kind {
+            TokenKind::Ident(s)
+                if !s.eq_ignore_ascii_case("NULL")
+                    && !s.eq_ignore_ascii_case("TRUE")
+                    && !s.eq_ignore_ascii_case("FALSE") =>
+            {
+                let c = s.clone();
+                self.bump();
+                WhereRhs::Col(c)
+            }
+            _ => WhereRhs::Lit(self.literal()?),
+        };
+        Ok(WhereAtom { left, op, right })
+    }
+
+    fn where_clause(&mut self) -> Result<WhereClause> {
+        let first = self.where_atom()?;
+        if self.eat_keyword("AND") {
+            let mut atoms = vec![first, self.where_atom()?];
+            loop {
+                if self.eat_keyword("AND") {
+                    atoms.push(self.where_atom()?);
+                } else if self.at_keyword("OR") {
+                    return Err(self.err(
+                        "mixing AND and OR in one WHERE clause is not supported; the chronicle \
+                         predicate language (Def. 4.1) is a disjunction of atoms — split the \
+                         view or rewrite the condition",
+                    ));
+                } else {
+                    break;
+                }
+            }
+            Ok(WhereClause::And(atoms))
+        } else if self.eat_keyword("OR") {
+            let mut atoms = vec![first, self.where_atom()?];
+            loop {
+                if self.eat_keyword("OR") {
+                    atoms.push(self.where_atom()?);
+                } else if self.at_keyword("AND") {
+                    return Err(self.err("mixing AND and OR in one WHERE clause is not supported"));
+                } else {
+                    break;
+                }
+            }
+            Ok(WhereClause::Or(atoms))
+        } else {
+            Ok(WhereClause::And(vec![first]))
+        }
+    }
+
+    fn calendar_spec(&mut self) -> Result<CalendarSpec> {
+        // EVERY w [STEP s] [ANCHOR a] [EXPIRE AFTER e]
+        // or SLIDING w STEP s [ANCHOR a] [EXPIRE AFTER e]
+        let (width, mut step) = if self.eat_keyword("EVERY") {
+            let w = self.int_literal("calendar width")?;
+            (w, w)
+        } else if self.eat_keyword("SLIDING") {
+            let w = self.int_literal("window width")?;
+            self.keyword("STEP")?;
+            let s = self.int_literal("window step")?;
+            (w, s)
+        } else {
+            return Err(self.err("expected EVERY or SLIDING after OVER CALENDAR"));
+        };
+        if self.eat_keyword("STEP") {
+            step = self.int_literal("calendar step")?;
+        }
+        let anchor = if self.eat_keyword("ANCHOR") {
+            self.int_literal("calendar anchor")?
+        } else {
+            0
+        };
+        let expire_after = if self.eat_keyword("EXPIRE") {
+            self.keyword("AFTER")?;
+            Some(self.int_literal("expiry grace")?)
+        } else {
+            None
+        };
+        Ok(CalendarSpec {
+            width,
+            step,
+            anchor,
+            expire_after,
+        })
+    }
+
+    fn append(&mut self) -> Result<Statement> {
+        self.keyword("APPEND")?;
+        self.keyword("INTO")?;
+        let chronicle = self.ident("chronicle name")?;
+        let at = if self.eat_keyword("AT") {
+            Some(self.int_literal("chronon")?)
+        } else {
+            None
+        };
+        self.keyword("VALUES")?;
+        let rows = self.value_rows()?;
+        Ok(Statement::Append(AppendStmt {
+            chronicle,
+            at,
+            rows,
+        }))
+    }
+
+    fn value_rows(&mut self) -> Result<Vec<Vec<Literal>>> {
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(rows)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.keyword("INSERT")?;
+        self.keyword("INTO")?;
+        let relation = self.ident("relation name")?;
+        self.keyword("VALUES")?;
+        let rows = self.value_rows()?;
+        Ok(Statement::InsertRelation { relation, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.keyword("UPDATE")?;
+        let relation = self.ident("relation name")?;
+        self.keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident("column")?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            sets.push((col, self.literal()?));
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.keyword("WHERE")?;
+        let col = self.ident("key column")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let lit = self.literal()?;
+        Ok(Statement::UpdateRelation {
+            relation,
+            sets,
+            filter: (col, lit),
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.keyword("DELETE")?;
+        self.keyword("FROM")?;
+        let relation = self.ident("relation name")?;
+        self.keyword("WHERE")?;
+        let col = self.ident("key column")?;
+        self.expect(&TokenKind::Eq, "`=`")?;
+        let lit = self.literal()?;
+        Ok(Statement::DeleteRelation {
+            relation,
+            filter: (col, lit),
+        })
+    }
+
+    fn select_query(&mut self) -> Result<Statement> {
+        self.keyword("SELECT")?;
+        self.expect(&TokenKind::Star, "`*` (ad-hoc SELECT supports * only)")?;
+        self.keyword("FROM")?;
+        let target = self.ident("view or relation name")?;
+        let mut filters = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                let col = self.ident("column")?;
+                self.expect(&TokenKind::Eq, "`=` (point lookups only)")?;
+                filters.push((col, self.literal()?));
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(Statement::Select { target, filters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_group() {
+        assert_eq!(
+            parse("CREATE GROUP billing;").unwrap(),
+            Statement::CreateGroup {
+                name: "billing".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_create_chronicle() {
+        let s = parse(
+            "CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP g RETAIN LAST 100",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateChronicle {
+                name,
+                columns,
+                group,
+                retention,
+            } => {
+                assert_eq!(name, "calls");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0].ty, AttrType::Seq);
+                assert_eq!(group.as_deref(), Some("g"));
+                assert_eq!(retention, RetentionSpec::Last(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_relation_with_key() {
+        let s =
+            parse("CREATE RELATION customers (acct INT, name STRING, PRIMARY KEY (acct))").unwrap();
+        match s {
+            Statement::CreateRelation { columns, key, .. } => {
+                assert_eq!(columns.len(), 2);
+                assert_eq!(key, vec!["acct"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_view_with_everything() {
+        let s = parse(
+            "CREATE VIEW v AS SELECT caller, SUM(minutes) AS mins, COUNT(*) AS n \
+             FROM calls JOIN customers ON caller = acct \
+             WHERE state = 'NJ' AND minutes > 1.5 GROUP BY caller",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateView { name, query } => {
+                assert_eq!(name, "v");
+                assert_eq!(query.items.len(), 3);
+                assert!(matches!(query.items[0], SelectItem::Column(_)));
+                let join = query.join.unwrap();
+                assert_eq!(join.relation, "customers");
+                assert_eq!(join.on, vec![("caller".to_string(), "acct".to_string())]);
+                match query.where_clause.unwrap() {
+                    WhereClause::And(atoms) => assert_eq!(atoms.len(), 2),
+                    other => panic!("unexpected {other:?}"),
+                }
+                assert_eq!(query.group_by, vec!["caller"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_where() {
+        let s = parse("CREATE VIEW v AS SELECT a FROM c WHERE a = 1 OR a = 2").unwrap();
+        match s {
+            Statement::CreateView { query, .. } => match query.where_clause.unwrap() {
+                WhereClause::Or(atoms) => assert_eq!(atoms.len(), 2),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_and_or_rejected_with_hint() {
+        let err =
+            parse("CREATE VIEW v AS SELECT a FROM c WHERE a = 1 AND b = 2 OR c = 3").unwrap_err();
+        assert!(err.to_string().contains("Def. 4.1"));
+        assert!(parse("CREATE VIEW v AS SELECT a FROM c WHERE a = 1 OR b = 2 AND c = 3").is_err());
+    }
+
+    #[test]
+    fn parse_periodic_view() {
+        let s = parse(
+            "CREATE PERIODIC VIEW m AS SELECT acct, SUM(amt) AS total FROM txns GROUP BY acct \
+             OVER CALENDAR EVERY 30 EXPIRE AFTER 60",
+        )
+        .unwrap();
+        match s {
+            Statement::CreatePeriodicView { calendar, .. } => {
+                assert_eq!(calendar.width, 30);
+                assert_eq!(calendar.step, 30);
+                assert_eq!(calendar.expire_after, Some(60));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_sliding_calendar() {
+        let s = parse(
+            "CREATE PERIODIC VIEW m AS SELECT SUM(amt) AS total FROM txns \
+             OVER CALENDAR SLIDING 30 STEP 1 ANCHOR 5",
+        )
+        .unwrap();
+        match s {
+            Statement::CreatePeriodicView {
+                calendar, query, ..
+            } => {
+                assert_eq!(calendar.width, 30);
+                assert_eq!(calendar.step, 1);
+                assert_eq!(calendar.anchor, 5);
+                assert!(query.group_by.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_append_variants() {
+        let s = parse("APPEND INTO calls VALUES (555, 12.5), (777, 3.0)").unwrap();
+        match s {
+            Statement::Append(a) => {
+                assert_eq!(a.chronicle, "calls");
+                assert_eq!(a.at, None);
+                assert_eq!(a.rows.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse("APPEND INTO calls AT 99 VALUES (555, 1.0)").unwrap();
+        match s {
+            Statement::Append(a) => assert_eq!(a.at, Some(99)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_relation_dml() {
+        assert!(matches!(
+            parse("INSERT INTO customers VALUES (1, 'alice', 'NJ')").unwrap(),
+            Statement::InsertRelation { .. }
+        ));
+        let s = parse("UPDATE customers SET state = 'NY', name = 'al' WHERE acct = 1").unwrap();
+        match s {
+            Statement::UpdateRelation { sets, filter, .. } => {
+                assert_eq!(sets.len(), 2);
+                assert_eq!(filter.0, "acct");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse("DELETE FROM customers WHERE acct = 1").unwrap(),
+            Statement::DeleteRelation { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_select_and_drop() {
+        let s = parse("SELECT * FROM totals WHERE caller = 555 AND plan = 'gold'").unwrap();
+        match s {
+            Statement::Select { target, filters } => {
+                assert_eq!(target, "totals");
+                assert_eq!(filters.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse("DROP VIEW totals").unwrap(),
+            Statement::DropView { .. }
+        ));
+    }
+
+    #[test]
+    fn count_star_and_default_aliases() {
+        let s = parse("CREATE VIEW v AS SELECT COUNT(*), SUM(minutes) FROM calls").unwrap();
+        match s {
+            Statement::CreateView { query, .. } => {
+                match &query.items[0] {
+                    SelectItem::Agg(a) => {
+                        assert_eq!(a.func, "COUNT");
+                        assert!(a.arg.is_none());
+                        assert_eq!(a.alias, "count");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                match &query.items[1] {
+                    SelectItem::Agg(a) => assert_eq!(a.alias, "sum_minutes"),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_star_rejected() {
+        assert!(parse("CREATE VIEW v AS SELECT SUM(*) FROM c").is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse("FROB THE KNOB").is_err());
+        assert!(parse("CREATE VIEW v AS SELECT a FROM c trailing garbage").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn where_column_vs_column() {
+        let s = parse("CREATE VIEW v AS SELECT a FROM c WHERE a > b").unwrap();
+        match s {
+            Statement::CreateView { query, .. } => match query.where_clause.unwrap() {
+                WhereClause::And(atoms) => {
+                    assert_eq!(atoms.len(), 1);
+                    assert!(matches!(atoms[0].right, WhereRhs::Col(_)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

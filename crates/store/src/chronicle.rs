@@ -1,0 +1,352 @@
+//! Chronicles: append-only tuple sequences with bounded retention.
+//!
+//! §2.1: *"A chronicle is similar to a relation, except that a chronicle is
+//! a sequence, rather than an unordered set, of tuples. ... Chronicles can
+//! be very large, and the entire chronicle may not be stored in the
+//! system."* The [`Retention`] policy models exactly this: persistent-view
+//! maintenance never reads the chronicle (that is the point of the paper),
+//! but detail queries over "some latest window" (§2.2) and the *baseline*
+//! algorithms do, and they get a typed
+//! [`ChronicleError::ChronicleNotStored`] error when they reach past the
+//! retained window.
+
+use std::collections::VecDeque;
+
+use chronicle_types::{ChronicleError, ChronicleId, GroupId, Result, Schema, SeqNo, Tuple};
+
+/// How much of a chronicle is kept in storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep nothing: tuples are dropped as soon as the append is processed.
+    /// The purest form of the model — views must be maintainable anyway.
+    None,
+    /// Keep the last `n` tuples (a "latest window").
+    LastTuples(usize),
+    /// Keep everything (needed by the recompute baselines and the oracle).
+    All,
+}
+
+/// An append-only chronicle.
+#[derive(Debug, Clone)]
+pub struct Chronicle {
+    id: ChronicleId,
+    name: String,
+    group: GroupId,
+    schema: Schema,
+    retention: Retention,
+    /// Stored suffix of the chronicle, oldest first.
+    window: VecDeque<Tuple>,
+    /// Total tuples ever appended (≥ `window.len()`).
+    total_appended: u64,
+    /// Sequence number of the first *stored* tuple (None when nothing is
+    /// stored). Anything below this has been evicted.
+    first_stored_seq: Option<SeqNo>,
+    /// Highest SN appended *to this chronicle* (group high-water can be
+    /// higher if sibling chronicles advanced it).
+    last_seq: SeqNo,
+}
+
+impl Chronicle {
+    /// Create an empty chronicle. `schema` must be a chronicle schema
+    /// (have a sequencing attribute).
+    pub fn new(
+        id: ChronicleId,
+        name: impl Into<String>,
+        group: GroupId,
+        schema: Schema,
+        retention: Retention,
+    ) -> Result<Self> {
+        if !schema.is_chronicle() {
+            return Err(ChronicleError::InvalidSchema(
+                "chronicle schema must declare a sequencing attribute".into(),
+            ));
+        }
+        Ok(Chronicle {
+            id,
+            name: name.into(),
+            group,
+            schema,
+            retention,
+            window: VecDeque::new(),
+            total_appended: 0,
+            first_stored_seq: None,
+            last_seq: SeqNo::ZERO,
+        })
+    }
+
+    /// Chronicle id.
+    pub fn id(&self) -> ChronicleId {
+        self.id
+    }
+
+    /// Chronicle name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The chronicle group this chronicle belongs to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The chronicle's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    /// Position of the sequencing attribute.
+    pub fn seq_pos(&self) -> usize {
+        self.schema.seq_attr().expect("chronicle schema has SN")
+    }
+
+    /// Total number of tuples ever appended (including evicted ones).
+    pub fn total_appended(&self) -> u64 {
+        self.total_appended
+    }
+
+    /// Number of tuples currently stored.
+    pub fn stored_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Highest sequence number appended to this chronicle.
+    pub fn last_seq(&self) -> SeqNo {
+        self.last_seq
+    }
+
+    /// Record a batch of tuples that the group has already admitted at
+    /// sequence number `seq`. All tuples must carry `seq` in their
+    /// sequencing attribute and conform to the schema. (Group-level
+    /// monotonicity is enforced by [`crate::ChronicleGroup::admit`];
+    /// the [`crate::Catalog`] ties the two together.)
+    pub fn record_batch(&mut self, seq: SeqNo, tuples: &[Tuple]) -> Result<()> {
+        let sp = self.seq_pos();
+        for t in tuples {
+            t.check_against(&self.schema)?;
+            let tsn = t.seq_at(sp)?;
+            if tsn != seq {
+                return Err(ChronicleError::NonMonotonicAppend {
+                    high_water: seq.0,
+                    attempted: tsn.0,
+                });
+            }
+        }
+        if seq <= self.last_seq {
+            return Err(ChronicleError::NonMonotonicAppend {
+                high_water: self.last_seq.0,
+                attempted: seq.0,
+            });
+        }
+        self.last_seq = seq;
+        self.total_appended += tuples.len() as u64;
+        match self.retention {
+            Retention::None => {}
+            Retention::All => {
+                if self.first_stored_seq.is_none() {
+                    self.first_stored_seq = Some(seq);
+                }
+                self.window.extend(tuples.iter().cloned());
+            }
+            Retention::LastTuples(n) => {
+                if self.first_stored_seq.is_none() {
+                    self.first_stored_seq = Some(seq);
+                }
+                self.window.extend(tuples.iter().cloned());
+                while self.window.len() > n {
+                    self.window.pop_front();
+                }
+                if self.window.len() < self.total_appended as usize {
+                    // Something was evicted; recompute the stored low mark.
+                    self.first_stored_seq = self
+                        .window
+                        .front()
+                        .map(|t| t.seq_at(sp).expect("validated on append"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan the *entire* chronicle. Errors with
+    /// [`ChronicleError::ChronicleNotStored`] if any prefix has been
+    /// evicted — the situation the paper's maintenance algorithms are
+    /// designed never to need.
+    pub fn scan_all(&self) -> Result<impl Iterator<Item = &Tuple>> {
+        if self.window.len() as u64 != self.total_appended {
+            return Err(ChronicleError::ChronicleNotStored {
+                detail: format!(
+                    "chronicle `{}` retains {} of {} tuples (policy {:?})",
+                    self.name,
+                    self.window.len(),
+                    self.total_appended,
+                    self.retention
+                ),
+            });
+        }
+        Ok(self.window.iter())
+    }
+
+    /// Scan the stored window (whatever is retained), oldest first. Never
+    /// errors — this is the §2.2 "detailed queries over some latest window"
+    /// access path.
+    pub fn scan_window(&self) -> impl Iterator<Item = &Tuple> {
+        self.window.iter()
+    }
+
+    /// Stored tuples with sequence numbers in `[from, to]`. Errors if part
+    /// of that range was evicted.
+    pub fn scan_range(&self, from: SeqNo, to: SeqNo) -> Result<Vec<&Tuple>> {
+        if let Some(first) = self.first_stored_seq {
+            if from < first {
+                return Err(ChronicleError::ChronicleNotStored {
+                    detail: format!(
+                        "range starts at {from} but chronicle `{}` only retains from {first}",
+                        self.name
+                    ),
+                });
+            }
+        } else if self.total_appended > 0 {
+            return Err(ChronicleError::ChronicleNotStored {
+                detail: format!("chronicle `{}` retains nothing", self.name),
+            });
+        }
+        let sp = self.seq_pos();
+        // The window is SN-sorted (appends are monotone): binary search the
+        // boundaries.
+        let window: Vec<&Tuple> = self.window.iter().collect();
+        let lo = window.partition_point(|t| t.seq_at(sp).expect("validated") < from);
+        let hi = window.partition_point(|t| t.seq_at(sp).expect("validated") <= to);
+        Ok(window[lo..hi].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::{tuple, AttrType, Attribute};
+
+    fn schema() -> Schema {
+        Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("v", AttrType::Int),
+            ],
+            "sn",
+        )
+        .unwrap()
+    }
+
+    fn chron(retention: Retention) -> Chronicle {
+        Chronicle::new(ChronicleId(0), "c", GroupId(0), schema(), retention).unwrap()
+    }
+
+    #[test]
+    fn relation_schema_rejected() {
+        let s = Schema::relation(vec![Attribute::new("v", AttrType::Int)]).unwrap();
+        assert!(Chronicle::new(ChronicleId(0), "c", GroupId(0), s, Retention::All).is_err());
+    }
+
+    #[test]
+    fn append_and_scan_all() {
+        let mut c = chron(Retention::All);
+        c.record_batch(SeqNo(1), &[tuple![SeqNo(1), 10i64]])
+            .unwrap();
+        c.record_batch(
+            SeqNo(2),
+            &[tuple![SeqNo(2), 20i64], tuple![SeqNo(2), 21i64]],
+        )
+        .unwrap();
+        assert_eq!(c.total_appended(), 3);
+        assert_eq!(c.stored_len(), 3);
+        let all: Vec<_> = c.scan_all().unwrap().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(c.last_seq(), SeqNo(2));
+    }
+
+    #[test]
+    fn batch_tuples_must_carry_batch_seq() {
+        let mut c = chron(Retention::All);
+        let err = c
+            .record_batch(SeqNo(3), &[tuple![SeqNo(2), 10i64]])
+            .unwrap_err();
+        assert!(matches!(err, ChronicleError::NonMonotonicAppend { .. }));
+    }
+
+    #[test]
+    fn per_chronicle_monotonicity() {
+        let mut c = chron(Retention::All);
+        c.record_batch(SeqNo(5), &[tuple![SeqNo(5), 1i64]]).unwrap();
+        let err = c
+            .record_batch(SeqNo(5), &[tuple![SeqNo(5), 2i64]])
+            .unwrap_err();
+        assert!(matches!(err, ChronicleError::NonMonotonicAppend { .. }));
+    }
+
+    #[test]
+    fn retention_none_stores_nothing_but_counts() {
+        let mut c = chron(Retention::None);
+        c.record_batch(SeqNo(1), &[tuple![SeqNo(1), 10i64]])
+            .unwrap();
+        assert_eq!(c.total_appended(), 1);
+        assert_eq!(c.stored_len(), 0);
+        assert!(c.scan_all().is_err());
+    }
+
+    #[test]
+    fn retention_window_evicts_oldest() {
+        let mut c = chron(Retention::LastTuples(2));
+        for i in 1..=5u64 {
+            c.record_batch(SeqNo(i), &[tuple![SeqNo(i), i as i64]])
+                .unwrap();
+        }
+        assert_eq!(c.stored_len(), 2);
+        let vals: Vec<i64> = c
+            .scan_window()
+            .map(|t| t.get(1).as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![4, 5]);
+        assert!(c.scan_all().is_err());
+    }
+
+    #[test]
+    fn scan_range_within_window() {
+        let mut c = chron(Retention::All);
+        for i in 1..=10u64 {
+            c.record_batch(SeqNo(i), &[tuple![SeqNo(i), i as i64]])
+                .unwrap();
+        }
+        let hits = c.scan_range(SeqNo(3), SeqNo(6)).unwrap();
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn scan_range_past_eviction_errors() {
+        let mut c = chron(Retention::LastTuples(3));
+        for i in 1..=10u64 {
+            c.record_batch(SeqNo(i), &[tuple![SeqNo(i), i as i64]])
+                .unwrap();
+        }
+        assert!(c.scan_range(SeqNo(1), SeqNo(5)).is_err());
+        let ok = c.scan_range(SeqNo(8), SeqNo(10)).unwrap();
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn schema_enforced_on_append() {
+        let mut c = chron(Retention::All);
+        assert!(c
+            .record_batch(SeqNo(1), &[tuple![SeqNo(1), "not an int"]])
+            .is_err());
+    }
+
+    #[test]
+    fn empty_chronicle_scan_range() {
+        let c = chron(Retention::All);
+        assert!(c.scan_range(SeqNo(1), SeqNo(5)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Model-based property test for [`chronicle_store::Relation`]: a random
+//! sequence of inserts / keyed deletes / upserts must leave the relation,
+//! its primary-key index, and its secondary indexes in exact agreement
+//! with a naive `BTreeMap` model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use chronicle_store::Relation;
+use chronicle_types::{tuple, AttrType, Attribute, Schema, Tuple, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { k: i64, name: u8, state: u8 },
+    DeleteKey { k: i64 },
+    Upsert { k: i64, name: u8, state: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..20i64, 0..5u8, 0..4u8).prop_map(|(k, name, state)| Op::Insert { k, name, state }),
+        2 => (0..20i64).prop_map(|k| Op::DeleteKey { k }),
+        2 => (0..20i64, 0..5u8, 0..4u8).prop_map(|(k, name, state)| Op::Upsert { k, name, state }),
+    ]
+}
+
+const STATES: [&str; 4] = ["NJ", "NY", "CA", "TX"];
+
+fn row(k: i64, name: u8, state: u8) -> Tuple {
+    tuple![k, format!("n{name}"), STATES[state as usize]]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn relation_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let schema = Schema::relation_with_key(
+            vec![
+                Attribute::new("k", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+                Attribute::new("state", AttrType::Str),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        let state_idx = rel.add_index(&["state"]).unwrap();
+        let mut model: BTreeMap<i64, Tuple> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert { k, name, state } => {
+                    let t = row(*k, *name, *state);
+                    let res = rel.insert(t.clone());
+                    if model.contains_key(k) {
+                        prop_assert!(res.is_err(), "duplicate key {k} must be rejected");
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.insert(*k, t);
+                    }
+                }
+                Op::DeleteKey { k } => {
+                    let removed = rel.delete_by_key(&[Value::Int(*k)]);
+                    prop_assert_eq!(removed.is_some(), model.remove(k).is_some());
+                }
+                Op::Upsert { k, name, state } => {
+                    let t = row(*k, *name, *state);
+                    let old = rel.upsert(t.clone()).unwrap();
+                    let model_old = model.insert(*k, t);
+                    prop_assert_eq!(old, model_old);
+                }
+            }
+
+            // Global agreement after every step.
+            prop_assert_eq!(rel.len(), model.len());
+            for (k, t) in &model {
+                prop_assert_eq!(rel.get_by_key(&[Value::Int(*k)]), Some(t));
+                prop_assert!(rel.contains(t));
+            }
+            // Secondary index completeness: for every state, the indexed
+            // rows equal the model's filter.
+            for (si, state) in STATES.iter().enumerate() {
+                let _ = si;
+                let mut via_index: Vec<Tuple> = rel
+                    .lookup_secondary(state_idx, &[Value::str(*state)])
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                via_index.sort();
+                let mut via_model: Vec<Tuple> = model
+                    .values()
+                    .filter(|t| t.get(2) == &Value::str(*state))
+                    .cloned()
+                    .collect();
+                via_model.sort();
+                prop_assert_eq!(via_index, via_model, "state index diverged for {}", state);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Identifier newtypes for catalog objects.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a chronicle in the catalog.
+    ChronicleId,
+    "chronicle:"
+);
+id_type!(
+    /// Identifies a relation in the catalog.
+    RelationId,
+    "relation:"
+);
+id_type!(
+    /// Identifies a persistent view.
+    ViewId,
+    "view:"
+);
+id_type!(
+    /// Identifies a chronicle group — the set of chronicles sharing one
+    /// sequence-number domain (paper §4).
+    GroupId,
+    "group:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ChronicleId(1).to_string(), "chronicle:1");
+        assert_eq!(RelationId(2).to_string(), "relation:2");
+        assert_eq!(ViewId(3).to_string(), "view:3");
+        assert_eq!(GroupId(4).to_string(), "group:4");
+    }
+
+    #[test]
+    fn ids_are_distinct_types_but_orderable() {
+        assert!(ChronicleId(1) < ChronicleId(2));
+        assert_eq!(ViewId::from(7u32), ViewId(7));
+    }
+}

@@ -1,0 +1,383 @@
+//! Schemas for relations and chronicles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{ChronicleError, Result};
+
+/// The declared type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Sequence number. Exactly the sequencing attribute of a chronicle has
+    /// this type; plain relations never do.
+    Seq,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Bool => "BOOL",
+            AttrType::Int => "INT",
+            AttrType::Float => "FLOAT",
+            AttrType::Str => "STRING",
+            AttrType::Seq => "SEQ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its schema.
+    pub name: Arc<str>,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl AsRef<str>, ty: AttrType) -> Self {
+        Attribute {
+            name: Arc::from(name.as_ref()),
+            ty,
+        }
+    }
+}
+
+/// The schema of a relation or chronicle.
+///
+/// A chronicle schema is a relation schema with a distinguished *sequencing
+/// attribute* of type [`AttrType::Seq`] (paper §2.1: "A chronicle can be
+/// represented by a relation with an extra sequencing attribute"). The
+/// schema also records an optional *key*: the attribute positions whose
+/// values uniquely identify a tuple. Keys drive the CA⋈ key-join guarantee
+/// ("at most a constant number of relation tuples join with each chronicle
+/// tuple", Def. 4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Arc<[Attribute]>,
+    /// Position of the sequencing attribute, if this is a chronicle schema.
+    seq_attr: Option<usize>,
+    /// Positions forming the primary key, if declared.
+    key: Option<Arc<[usize]>>,
+}
+
+impl Schema {
+    /// Build a plain relation schema (no sequencing attribute, no key).
+    pub fn relation(attrs: Vec<Attribute>) -> Result<Self> {
+        Self::build(attrs, None, None)
+    }
+
+    /// Build a relation schema with a primary key given by attribute names.
+    pub fn relation_with_key(attrs: Vec<Attribute>, key: &[&str]) -> Result<Self> {
+        let positions = Self::resolve_names(&attrs, key)?;
+        Self::build(attrs, None, Some(positions))
+    }
+
+    /// Build a chronicle schema; `seq_name` names the sequencing attribute,
+    /// which must exist and have type [`AttrType::Seq`].
+    pub fn chronicle(attrs: Vec<Attribute>, seq_name: &str) -> Result<Self> {
+        let pos = attrs
+            .iter()
+            .position(|a| a.name.as_ref() == seq_name)
+            .ok_or_else(|| ChronicleError::UnknownAttribute {
+                name: seq_name.into(),
+                context: "chronicle schema".into(),
+            })?;
+        if attrs[pos].ty != AttrType::Seq {
+            return Err(ChronicleError::InvalidSchema(format!(
+                "sequencing attribute `{seq_name}` must have type SEQ, found {}",
+                attrs[pos].ty
+            )));
+        }
+        Self::build(attrs, Some(pos), None)
+    }
+
+    fn build(
+        attrs: Vec<Attribute>,
+        seq_attr: Option<usize>,
+        key: Option<Vec<usize>>,
+    ) -> Result<Self> {
+        if attrs.is_empty() {
+            return Err(ChronicleError::InvalidSchema(
+                "schema has no attributes".into(),
+            ));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ChronicleError::InvalidSchema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
+            }
+            if a.ty == AttrType::Seq && seq_attr != Some(i) {
+                return Err(ChronicleError::InvalidSchema(format!(
+                    "attribute `{}` has type SEQ but is not the sequencing attribute",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema {
+            attrs: attrs.into(),
+            seq_attr,
+            key: key.map(Into::into),
+        })
+    }
+
+    fn resolve_names(attrs: &[Attribute], names: &[&str]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|n| {
+                attrs
+                    .iter()
+                    .position(|a| a.name.as_ref() == *n)
+                    .ok_or_else(|| ChronicleError::UnknownAttribute {
+                        name: (*n).into(),
+                        context: "key declaration".into(),
+                    })
+            })
+            .collect()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of the sequencing attribute, if this is a chronicle schema.
+    pub fn seq_attr(&self) -> Option<usize> {
+        self.seq_attr
+    }
+
+    /// True iff this schema has a sequencing attribute.
+    pub fn is_chronicle(&self) -> bool {
+        self.seq_attr.is_some()
+    }
+
+    /// Primary-key positions, if a key is declared.
+    pub fn key(&self) -> Option<&[usize]> {
+        self.key.as_deref()
+    }
+
+    /// Position of attribute `name`, or a typed error.
+    pub fn position(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name.as_ref() == name)
+            .ok_or_else(|| ChronicleError::UnknownAttribute {
+                name: name.into(),
+                context: "schema lookup".into(),
+            })
+    }
+
+    /// The attribute at position `idx`.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Project the schema onto `positions` (in the given order). If the
+    /// sequencing attribute is among them the result is again a chronicle
+    /// schema; otherwise it is a plain relation schema (the SCA
+    /// summarization case, Def. 4.3).
+    pub fn project(&self, positions: &[usize]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(positions.len());
+        let mut seq = None;
+        for (out_idx, &p) in positions.iter().enumerate() {
+            if p >= self.attrs.len() {
+                return Err(ChronicleError::InvalidSchema(format!(
+                    "projection position {p} out of range (arity {})",
+                    self.attrs.len()
+                )));
+            }
+            if Some(p) == self.seq_attr {
+                seq = Some(out_idx);
+            }
+            attrs.push(self.attrs[p].clone());
+        }
+        Schema::build(attrs, seq, None)
+    }
+
+    /// Concatenate `self` with `other` (cross product / join result),
+    /// renaming collisions in `other` with the `rhs_prefix`. The sequencing
+    /// attribute of `self` (if any) remains the sequencing attribute; any
+    /// sequencing attribute in `other` must have been projected away by the
+    /// caller (the SN-equijoin drops one of the two SN columns, Def. 4.1).
+    pub fn concat(&self, other: &Schema, rhs_prefix: &str) -> Result<Schema> {
+        let mut attrs: Vec<Attribute> = self.attrs.to_vec();
+        for a in other.attrs.iter() {
+            if other.seq_attr.is_some() && other.attr(other.seq_attr.unwrap()).name == a.name {
+                return Err(ChronicleError::InvalidSchema(
+                    "right operand of concat still carries its sequencing attribute".into(),
+                ));
+            }
+            let mut name: Arc<str> = if attrs.iter().any(|b| b.name == a.name) {
+                Arc::from(format!("{rhs_prefix}.{}", a.name).as_str())
+            } else {
+                a.name.clone()
+            };
+            // Repeated joins against the same relation can collide on the
+            // prefixed name too; uniquify with a counter.
+            let mut k = 2;
+            while attrs.iter().any(|b| b.name == name) {
+                name = Arc::from(format!("{rhs_prefix}.{}.{k}", a.name).as_str());
+                k += 1;
+            }
+            attrs.push(Attribute { name, ty: a.ty });
+        }
+        Schema::build(attrs, self.seq_attr, None)
+    }
+
+    /// True iff the attribute lists (names and types) of the two schemas are
+    /// identical — the "same type" condition for union/difference.
+    pub fn same_type(&self, other: &Schema) -> bool {
+        self.attrs == other.attrs && self.seq_attr == other.seq_attr
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+            if Some(i) == self.seq_attr {
+                write!(f, " [SN]")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call_schema() -> Schema {
+        Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("minutes", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chronicle_schema_tracks_seq_attr() {
+        let s = call_schema();
+        assert!(s.is_chronicle());
+        assert_eq!(s.seq_attr(), Some(0));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("minutes").unwrap(), 2);
+    }
+
+    #[test]
+    fn seq_attr_must_have_seq_type() {
+        let err = Schema::chronicle(vec![Attribute::new("sn", AttrType::Int)], "sn").unwrap_err();
+        assert!(matches!(err, ChronicleError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn stray_seq_typed_attribute_rejected() {
+        let err = Schema::relation(vec![Attribute::new("x", AttrType::Seq)]).unwrap_err();
+        assert!(matches!(err, ChronicleError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::relation(vec![
+            Attribute::new("a", AttrType::Int),
+            Attribute::new("a", AttrType::Str),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ChronicleError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::relation(vec![]).is_err());
+    }
+
+    #[test]
+    fn projection_keeps_or_drops_seq() {
+        let s = call_schema();
+        let with_sn = s.project(&[0, 2]).unwrap();
+        assert!(with_sn.is_chronicle());
+        assert_eq!(with_sn.seq_attr(), Some(0));
+
+        let without_sn = s.project(&[1, 2]).unwrap();
+        assert!(!without_sn.is_chronicle());
+    }
+
+    #[test]
+    fn projection_out_of_range_errors() {
+        assert!(call_schema().project(&[9]).is_err());
+    }
+
+    #[test]
+    fn concat_renames_collisions() {
+        let c = call_schema();
+        let r = Schema::relation_with_key(
+            vec![
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+            ],
+            &["caller"],
+        )
+        .unwrap();
+        let j = c.concat(&r, "cust").unwrap();
+        assert_eq!(j.arity(), 5);
+        assert_eq!(j.attr(3).name.as_ref(), "cust.caller");
+        assert!(j.is_chronicle());
+        assert_eq!(j.seq_attr(), Some(0));
+    }
+
+    #[test]
+    fn key_positions_resolved() {
+        let r = Schema::relation_with_key(
+            vec![
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+            ],
+            &["acct"],
+        )
+        .unwrap();
+        assert_eq!(r.key(), Some(&[0usize][..]));
+    }
+
+    #[test]
+    fn same_type_checks_names_and_types() {
+        let a = call_schema();
+        let b = call_schema();
+        assert!(a.same_type(&b));
+        let c = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("mins", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        assert!(!a.same_type(&c));
+    }
+}

@@ -1,0 +1,96 @@
+//! Sequence numbers and chronons.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence number drawn from an infinite ordered domain (paper §2.1).
+///
+/// Every tuple appended to a chronicle carries a `SeqNo` strictly greater
+/// than any sequence number already present in its *chronicle group*; the
+/// numbers need not be dense, and several tuples appended together may share
+/// one `SeqNo` (paper §4: "multiple tuples with the same sequence number can
+/// be inserted simultaneously").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The smallest sequence number. No real tuple uses it; it serves as the
+    /// "nothing seen yet" low-water mark.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// The next sequence number after `self`.
+    #[must_use]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for SeqNo {
+    fn from(v: u64) -> Self {
+        SeqNo(v)
+    }
+}
+
+/// A temporal instant associated with a sequence number (paper §2.1: "There
+/// is a temporal instant (or chronon) associated with each sequence number").
+///
+/// Chronons are what calendars (§5.1) are defined over; the store keeps a
+/// monotone `SeqNo → Chronon` mapping per chronicle group. We represent a
+/// chronon as an integer tick (e.g. seconds or milliseconds since an epoch —
+/// the unit is workload-defined).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Chronon(pub i64);
+
+impl Chronon {
+    /// Chronon `n` ticks after this one.
+    #[must_use]
+    pub fn plus(self, ticks: i64) -> Chronon {
+        Chronon(self.0 + ticks)
+    }
+}
+
+impl fmt::Display for Chronon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<i64> for Chronon {
+    fn from(v: i64) -> Self {
+        Chronon(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_ordering_and_next() {
+        assert!(SeqNo(1) < SeqNo(2));
+        assert_eq!(SeqNo(1).next(), SeqNo(2));
+        assert_eq!(SeqNo::ZERO.next(), SeqNo(1));
+    }
+
+    #[test]
+    fn chronon_arithmetic() {
+        assert_eq!(Chronon(10).plus(5), Chronon(15));
+        assert_eq!(Chronon(10).plus(-20), Chronon(-10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SeqNo(3).to_string(), "#3");
+        assert_eq!(Chronon(-4).to_string(), "t-4");
+    }
+}

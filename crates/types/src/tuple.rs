@@ -1,0 +1,279 @@
+//! Immutable tuples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{ChronicleError, Result};
+use crate::schema::Schema;
+use crate::seq::SeqNo;
+use crate::value::Value;
+
+/// An immutable row. `Arc<[Value]>` makes clones O(1), which matters because
+/// delta propagation moves the same tuples through many operators and views.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// The sequence number stored at `seq_pos`, or an error if that cell is
+    /// not a sequence number.
+    pub fn seq_at(&self, seq_pos: usize) -> Result<SeqNo> {
+        self.0[seq_pos]
+            .as_seq()
+            .ok_or_else(|| ChronicleError::TypeMismatch {
+                context: "sequencing attribute".into(),
+                left: format!("{:?}", self.0[seq_pos]),
+                right: "Seq".into(),
+            })
+    }
+
+    /// Project onto `positions`, producing a new tuple.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate with `other`.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+
+    /// Concatenate with a *slice* of values (used by joins that drop the
+    /// right-hand sequencing attribute).
+    pub fn concat_values(&self, other: &[Value]) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(other);
+        Tuple(v.into())
+    }
+
+    /// Check that this tuple conforms to `schema` (arity and per-attribute
+    /// types, NULL allowed everywhere except the sequencing attribute).
+    pub fn check_against(&self, schema: &Schema) -> Result<()> {
+        if self.arity() != schema.arity() {
+            return Err(ChronicleError::ArityMismatch {
+                expected: schema.arity(),
+                found: self.arity(),
+            });
+        }
+        for (i, v) in self.0.iter().enumerate() {
+            let attr = schema.attr(i);
+            if !v.conforms_to(attr.ty) {
+                return Err(ChronicleError::TypeMismatch {
+                    context: format!("attribute `{}`", attr.name),
+                    left: format!("{v:?}"),
+                    right: attr.ty.to_string(),
+                });
+            }
+            if Some(i) == schema.seq_attr() && v.is_null() {
+                return Err(ChronicleError::TypeMismatch {
+                    context: "sequencing attribute".into(),
+                    left: "NULL".into(),
+                    right: "Seq".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+/// Convenience builder: `TupleBuilder::new().seq(5).int(42).str("x").build()`.
+#[derive(Debug, Default)]
+pub struct TupleBuilder(Vec<Value>);
+
+impl TupleBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sequence number.
+    #[must_use]
+    pub fn seq(mut self, s: impl Into<SeqNo>) -> Self {
+        self.0.push(Value::Seq(s.into()));
+        self
+    }
+
+    /// Append an integer.
+    #[must_use]
+    pub fn int(mut self, v: i64) -> Self {
+        self.0.push(Value::Int(v));
+        self
+    }
+
+    /// Append a float.
+    #[must_use]
+    pub fn float(mut self, v: f64) -> Self {
+        self.0.push(Value::Float(v));
+        self
+    }
+
+    /// Append a boolean.
+    #[must_use]
+    pub fn bool(mut self, v: bool) -> Self {
+        self.0.push(Value::Bool(v));
+        self
+    }
+
+    /// Append a string.
+    #[must_use]
+    pub fn str(mut self, v: impl AsRef<str>) -> Self {
+        self.0.push(Value::str(v));
+        self
+    }
+
+    /// Append a NULL.
+    #[must_use]
+    pub fn null(mut self) -> Self {
+        self.0.push(Value::Null);
+        self
+    }
+
+    /// Append any value.
+    #[must_use]
+    pub fn value(mut self, v: Value) -> Self {
+        self.0.push(v);
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Tuple {
+        Tuple::new(self.0)
+    }
+}
+
+/// Shorthand macro for building tuples in tests and examples:
+/// `tuple![Value::Seq(SeqNo(1)), 42, "abc", 1.5]` — each element is anything
+/// `Into<Value>`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Attribute};
+
+    fn schema() -> Schema {
+        Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("amount", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let t = TupleBuilder::new().seq(3u64).int(7).float(1.5).build();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.seq_at(0).unwrap(), SeqNo(3));
+        assert_eq!(t.get(1).as_int(), Some(7));
+    }
+
+    #[test]
+    fn check_against_accepts_conforming() {
+        let t = TupleBuilder::new().seq(1u64).int(7).float(2.0).build();
+        assert!(t.check_against(&schema()).is_ok());
+    }
+
+    #[test]
+    fn check_against_rejects_arity() {
+        let t = TupleBuilder::new().seq(1u64).int(7).build();
+        assert!(matches!(
+            t.check_against(&schema()),
+            Err(ChronicleError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_against_rejects_bad_type() {
+        let t = TupleBuilder::new().seq(1u64).str("no").float(2.0).build();
+        assert!(t.check_against(&schema()).is_err());
+    }
+
+    #[test]
+    fn check_against_rejects_null_seq() {
+        let t = TupleBuilder::new().null().int(7).float(2.0).build();
+        assert!(t.check_against(&schema()).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float_in_check() {
+        let t = TupleBuilder::new().seq(1u64).int(7).int(2).build();
+        assert!(t.check_against(&schema()).is_ok());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = TupleBuilder::new().seq(1u64).int(7).float(2.0).build();
+        let p = t.project(&[2, 1]);
+        assert_eq!(p.values(), &[Value::Float(2.0), Value::Int(7)]);
+        let c = t.concat(&p);
+        assert_eq!(c.arity(), 5);
+        let cv = t.concat_values(&[Value::Int(9)]);
+        assert_eq!(cv.arity(), 4);
+        assert_eq!(cv.get(3).as_int(), Some(9));
+    }
+
+    #[test]
+    fn seq_at_wrong_cell_errors() {
+        let t = TupleBuilder::new().seq(1u64).int(7).float(2.0).build();
+        assert!(t.seq_at(1).is_err());
+    }
+
+    #[test]
+    fn tuple_macro() {
+        let t = tuple![SeqNo(4), 42i64, "abc", 1.5f64, true];
+        assert_eq!(t.arity(), 5);
+        assert_eq!(t.seq_at(0).unwrap(), SeqNo(4));
+        assert_eq!(t.get(2).as_str(), Some("abc"));
+    }
+}

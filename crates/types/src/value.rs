@@ -1,0 +1,379 @@
+//! Dynamically typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ChronicleError;
+use crate::schema::AttrType;
+use crate::seq::SeqNo;
+
+/// A single attribute value inside a [`crate::Tuple`].
+///
+/// Values carry their own runtime type; the [`crate::Schema`] layer checks
+/// that tuples conform to the declared [`AttrType`]s before they enter a
+/// relation or chronicle.
+///
+/// `Value` implements a *total* order (`Ord`) so that values can be used as
+/// B-tree index keys and sort keys: `Float` uses IEEE total ordering via
+/// `f64::total_cmp`, and values of different runtime types order by a fixed
+/// type rank. Predicate evaluation (`A θ B` in chronicle-algebra selections)
+/// goes through [`Value::sql_cmp`], which only compares *compatible* types
+/// and reports a type error otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself under `Ord` (needed for indexing)
+    /// but is incomparable under [`Value::sql_cmp`].
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float, totally ordered via `total_cmp`.
+    Float(f64),
+    /// Interned UTF-8 string. `Arc<str>` keeps tuple clones cheap.
+    Str(Arc<str>),
+    /// A sequence number (the sequencing attribute of a chronicle tuple).
+    Seq(SeqNo),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value, or `None` for NULL (which inhabits
+    /// every type).
+    pub fn attr_type(&self) -> Option<AttrType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(AttrType::Bool),
+            Value::Int(_) => Some(AttrType::Int),
+            Value::Float(_) => Some(AttrType::Float),
+            Value::Str(_) => Some(AttrType::Str),
+            Value::Seq(_) => Some(AttrType::Seq),
+        }
+    }
+
+    /// Whether this value conforms to `ty` (NULL conforms to everything).
+    pub fn conforms_to(&self, ty: AttrType) -> bool {
+        match self.attr_type() {
+            None => true,
+            Some(t) => t == ty || (t == AttrType::Int && ty == AttrType::Float),
+        }
+    }
+
+    /// True iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float inside, widening `Int` to `Float` as SQL does.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The sequence number inside, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<SeqNo> {
+        match self {
+            Value::Seq(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Numeric type rank used to totally order heterogeneous values.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Str(_) => 3,
+            Value::Seq(_) => 4,
+        }
+    }
+
+    /// SQL-style comparison: only values of compatible types compare;
+    /// NULL never compares. `Int` and `Float` compare numerically.
+    ///
+    /// Returns `Err` on a genuine type mismatch (e.g. `Int` vs `Str`), so
+    /// that predicate type errors surface instead of silently selecting
+    /// nothing.
+    pub fn sql_cmp(&self, other: &Value) -> Result<Option<Ordering>, ChronicleError> {
+        use Value::*;
+        Ok(match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => Some(a.total_cmp(b)),
+            (Int(a), Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Float(a), Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Seq(a), Seq(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                return Err(ChronicleError::TypeMismatch {
+                    context: "comparison".into(),
+                    left: format!("{a:?}"),
+                    right: format!("{b:?}"),
+                })
+            }
+        })
+    }
+
+    /// Canonical 64-bit payload used for hashing and total ordering of the
+    /// numeric tower (so that `Int(2)` and `Float(2.0)` hash and order the
+    /// same way, as they compare equal).
+    fn numeric_key(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            // Normalize -0.0 to 0.0 so Ord, Eq and Hash agree that the two
+            // zeros are the same value.
+            Value::Float(f) => Some(if *f == 0.0 { 0.0 } else { *f }),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Seq(a), Seq(b)) => a.cmp(b),
+            (a, b) => match (a.numeric_key(), b.numeric_key()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => a.type_rank().cmp(&b.type_rank()),
+            },
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int and Float hash through the same key so Int(2) == Float(2.0)
+            // implies equal hashes.
+            Value::Int(_) | Value::Float(_) => {
+                state.write_u8(2);
+                let f = self.numeric_key().expect("numeric");
+                // Normalize -0.0 to 0.0 so equal values hash equally.
+                let f = if f == 0.0 { 0.0 } else { f };
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Seq(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Seq(s) => write!(f, "#{}", s.0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<SeqNo> for Value {
+    fn from(v: SeqNo) -> Self {
+        Value::Seq(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        let a = Value::Int(2);
+        let b = Value::Float(2.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Float(-1.5),
+            Value::Int(0),
+            Value::Float(3.25),
+            Value::str("abc"),
+            Value::str("abd"),
+            Value::Seq(SeqNo(1)),
+        ];
+        for a in &vals {
+            assert_eq!(a.cmp(a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn sql_cmp_null_is_incomparable() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)).unwrap(), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_tower() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)).unwrap(),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(2.5).sql_cmp(&Value::Int(2)).unwrap(),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_type_mismatch_errors() {
+        assert!(Value::Int(1).sql_cmp(&Value::str("x")).is_err());
+        assert!(Value::Bool(true).sql_cmp(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn conforms_allows_int_widening() {
+        assert!(Value::Int(1).conforms_to(AttrType::Float));
+        assert!(!Value::Float(1.0).conforms_to(AttrType::Int));
+        assert!(Value::Null.conforms_to(AttrType::Str));
+    }
+
+    #[test]
+    fn display_round_trips_kinds() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Seq(SeqNo(7)).to_string(), "#7");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::Seq(SeqNo(9)).as_seq(), Some(SeqNo(9)));
+        assert_eq!(Value::str("s").as_int(), None);
+    }
+}

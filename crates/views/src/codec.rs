@@ -1,0 +1,397 @@
+//! A small, dependency-free binary codec for view snapshots.
+//!
+//! Persistent views are the *only* durable state of a chronicle system —
+//! the chronicle itself is not stored — so being able to snapshot and
+//! restore them is what makes restarts possible at all. The format is a
+//! simple length-prefixed tagged encoding; no external serialization crate
+//! is needed.
+
+use chronicle_algebra::{AccState, Accumulator, AggFunc};
+use chronicle_types::{ChronicleError, Result, SeqNo, Tuple, Value};
+
+/// Byte-stream writer.
+#[derive(Debug, Default)]
+pub struct Writer(Vec<u8>);
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Write a u8.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Write a u32 (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a u64 (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an i64 (LE).
+    pub fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an f64 (LE bits).
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a value.
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(3);
+                self.f64(*f);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+            Value::Seq(s) => {
+                self.u8(5);
+                self.u64(s.0);
+            }
+        }
+    }
+
+    /// Write a tuple.
+    pub fn tuple(&mut self, t: &Tuple) {
+        self.u32(t.arity() as u32);
+        for v in t.values() {
+            self.value(v);
+        }
+    }
+
+    /// Write an aggregate function descriptor.
+    pub fn agg_func(&mut self, f: AggFunc) {
+        let (tag, attr) = match f {
+            AggFunc::CountStar => (0u8, u32::MAX),
+            AggFunc::Count(a) => (1, a as u32),
+            AggFunc::Sum(a) => (2, a as u32),
+            AggFunc::Min(a) => (3, a as u32),
+            AggFunc::Max(a) => (4, a as u32),
+            AggFunc::Avg(a) => (5, a as u32),
+            AggFunc::StdDev(a) => (6, a as u32),
+            AggFunc::First(a) => (7, a as u32),
+            AggFunc::Last(a) => (8, a as u32),
+        };
+        self.u8(tag);
+        self.u32(attr);
+    }
+
+    /// Write an accumulator (function + state).
+    pub fn accumulator(&mut self, a: &Accumulator) {
+        self.agg_func(a.func());
+        match a.state() {
+            AccState::Count(n) => {
+                self.u8(0);
+                self.i64(*n);
+            }
+            AccState::Sum {
+                int,
+                float,
+                saw_float,
+                n,
+            } => {
+                self.u8(1);
+                self.i64(*int);
+                self.f64(*float);
+                self.u8(*saw_float as u8);
+                self.u64(*n);
+            }
+            AccState::Extreme(v) => {
+                self.u8(2);
+                self.opt_value(v);
+            }
+            AccState::SumCount { sum, n } => {
+                self.u8(3);
+                self.f64(*sum);
+                self.u64(*n);
+            }
+            AccState::Moments { sum, sumsq, n } => {
+                self.u8(4);
+                self.f64(*sum);
+                self.f64(*sumsq);
+                self.u64(*n);
+            }
+            AccState::Held(v) => {
+                self.u8(5);
+                self.opt_value(v);
+            }
+        }
+    }
+
+    fn opt_value(&mut self, v: &Option<Value>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.value(v);
+            }
+        }
+    }
+}
+
+/// Byte-stream reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// True iff all bytes were consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(ChronicleError::Internal(format!(
+                "snapshot truncated at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an i64.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ChronicleError::Internal("snapshot contains invalid UTF-8".into()))
+    }
+
+    /// Read a value.
+    pub fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::str(self.str()?),
+            5 => Value::Seq(SeqNo(self.u64()?)),
+            t => {
+                return Err(ChronicleError::Internal(format!(
+                    "unknown value tag {t} in snapshot"
+                )))
+            }
+        })
+    }
+
+    /// Read a tuple.
+    pub fn tuple(&mut self) -> Result<Tuple> {
+        let n = self.u32()? as usize;
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(self.value()?);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Read an aggregate function descriptor.
+    pub fn agg_func(&mut self) -> Result<AggFunc> {
+        let tag = self.u8()?;
+        let attr = self.u32()? as usize;
+        Ok(match tag {
+            0 => AggFunc::CountStar,
+            1 => AggFunc::Count(attr),
+            2 => AggFunc::Sum(attr),
+            3 => AggFunc::Min(attr),
+            4 => AggFunc::Max(attr),
+            5 => AggFunc::Avg(attr),
+            6 => AggFunc::StdDev(attr),
+            7 => AggFunc::First(attr),
+            8 => AggFunc::Last(attr),
+            t => {
+                return Err(ChronicleError::Internal(format!(
+                    "unknown aggregate tag {t} in snapshot"
+                )))
+            }
+        })
+    }
+
+    /// Read an accumulator.
+    pub fn accumulator(&mut self) -> Result<Accumulator> {
+        let func = self.agg_func()?;
+        let state = match self.u8()? {
+            0 => AccState::Count(self.i64()?),
+            1 => AccState::Sum {
+                int: self.i64()?,
+                float: self.f64()?,
+                saw_float: self.u8()? != 0,
+                n: self.u64()?,
+            },
+            2 => AccState::Extreme(self.opt_value()?),
+            3 => AccState::SumCount {
+                sum: self.f64()?,
+                n: self.u64()?,
+            },
+            4 => AccState::Moments {
+                sum: self.f64()?,
+                sumsq: self.f64()?,
+                n: self.u64()?,
+            },
+            5 => AccState::Held(self.opt_value()?),
+            t => {
+                return Err(ChronicleError::Internal(format!(
+                    "unknown accumulator tag {t} in snapshot"
+                )))
+            }
+        };
+        Accumulator::from_parts(func, state)
+    }
+
+    fn opt_value(&mut self) -> Result<Option<Value>> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.value()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::tuple;
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::str("héllo"),
+            Value::Seq(SeqNo(9)),
+        ];
+        let mut w = Writer::new();
+        for v in &vals {
+            w.value(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for v in &vals {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = tuple![SeqNo(1), 42i64, "abc", 1.5f64];
+        let mut w = Writer::new();
+        w.tuple(&t);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).tuple().unwrap(), t);
+    }
+
+    #[test]
+    fn accumulators_round_trip() {
+        let funcs = [
+            AggFunc::CountStar,
+            AggFunc::Sum(2),
+            AggFunc::Min(1),
+            AggFunc::Max(0),
+            AggFunc::Avg(3),
+            AggFunc::StdDev(1),
+            AggFunc::First(0),
+            AggFunc::Last(2),
+        ];
+        for f in funcs {
+            let mut acc = Accumulator::new(f);
+            acc.update(&tuple![1i64, 2i64, 3.5f64, 4i64]).unwrap();
+            let mut w = Writer::new();
+            w.accumulator(&acc);
+            let bytes = w.into_bytes();
+            let back = Reader::new(&bytes).accumulator().unwrap();
+            assert_eq!(back, acc, "round trip for {f}");
+            assert_eq!(back.finalize(), acc.finalize());
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.value(&Value::str("long enough"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 3]);
+        assert!(r.value().is_err());
+    }
+
+    #[test]
+    fn bad_tags_detected() {
+        assert!(Reader::new(&[99]).value().is_err());
+        assert!(Reader::new(&[99, 0, 0, 0, 0]).agg_func().is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! History-less composite-event detection — the §6 incarnation.
+//!
+//! *"Incarnations of the chronicle model may be applicable to domains other
+//! than transactional systems. For example, in active databases, the
+//! recognition of complex events to be fired is done on a chronicle of
+//! events. The notion of history-less evaluation [Cho92a, GJS92b, …] is
+//! simply the idea of incremental maintenance of the persistent views
+//! defined by the event algebra. The language L in these cases is … a
+//! variant of regular expressions."*
+//!
+//! [`Pattern`] is that regular-expression event algebra; [`EventMatcher`]
+//! is its persistent view: per key it keeps only the NFA state set —
+//! **never the event history** — and advances it in O(#states) per event.
+//! This is exactly a chronicle persistent view in IM-Constant (the state
+//! set is bounded by the pattern, not by the data).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use chronicle_types::{ChronicleError, Result, Value};
+
+/// A regular expression over event type names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// One event of the given type.
+    Event(String),
+    /// Any single event.
+    Any,
+    /// `p₁ ; p₂ ; …` — the patterns in order (other events may NOT occur in
+    /// between; compose with `Star(Any)` for gaps).
+    Seq(Vec<Pattern>),
+    /// `p₁ | p₂ | …`.
+    Alt(Vec<Pattern>),
+    /// `p*` — zero or more.
+    Star(Box<Pattern>),
+    /// `p+` — one or more.
+    Plus(Box<Pattern>),
+    /// `p?` — zero or one.
+    Opt(Box<Pattern>),
+}
+
+impl Pattern {
+    /// `a` then `b` with arbitrary events in between: `a ; .* ; b`.
+    pub fn then_eventually(a: Pattern, b: Pattern) -> Pattern {
+        Pattern::Seq(vec![a, Pattern::Star(Box::new(Pattern::Any)), b])
+    }
+
+    /// `n` consecutive events of one type.
+    pub fn repeat(event: &str, n: usize) -> Pattern {
+        Pattern::Seq(vec![Pattern::Event(event.to_string()); n])
+    }
+}
+
+/// A Thompson-construction NFA transition.
+#[derive(Debug, Clone)]
+enum Trans {
+    /// Consume an event of this type (or any, for `None`) and move on.
+    Consume(Option<String>, usize),
+    /// ε-transitions.
+    Eps(Vec<usize>),
+}
+
+/// The compiled NFA: states `0..n`, entry 0 by construction of `compile`.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    trans: Vec<Trans>,
+    start: usize,
+    accept: usize,
+}
+
+impl CompiledPattern {
+    /// Compile a pattern (Thompson construction).
+    pub fn compile(pattern: &Pattern) -> Result<CompiledPattern> {
+        let mut c = Compiler { trans: Vec::new() };
+        let (start, accept) = c.build(pattern)?;
+        Ok(CompiledPattern {
+            trans: c.trans,
+            start,
+            accept,
+        })
+    }
+
+    /// Number of NFA states (the per-key space bound).
+    pub fn states(&self) -> usize {
+        self.trans.len()
+    }
+
+    fn eps_closure(&self, set: &mut BTreeSet<usize>) {
+        let mut stack: Vec<usize> = set.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            if let Trans::Eps(targets) = &self.trans[s] {
+                for &t in targets {
+                    if set.insert(t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The initial state set.
+    pub fn initial(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::from([self.start]);
+        self.eps_closure(&mut set);
+        set
+    }
+
+    /// Advance a state set by one event; returns whether an accepting state
+    /// is reached. O(#states).
+    pub fn step(&self, set: &BTreeSet<usize>, event: &str) -> (BTreeSet<usize>, bool) {
+        let mut next = BTreeSet::new();
+        for &s in set {
+            if let Trans::Consume(ty, target) = &self.trans[s] {
+                if ty.as_deref().is_none_or(|t| t == event) {
+                    next.insert(*target);
+                }
+            }
+        }
+        self.eps_closure(&mut next);
+        let matched = next.contains(&self.accept);
+        (next, matched)
+    }
+}
+
+struct Compiler {
+    trans: Vec<Trans>,
+}
+
+impl Compiler {
+    fn push(&mut self, t: Trans) -> usize {
+        self.trans.push(t);
+        self.trans.len() - 1
+    }
+
+    /// Build a fragment; returns (entry, exit) where exit is an ε node with
+    /// no outgoing edges yet (patched by callers).
+    fn build(&mut self, p: &Pattern) -> Result<(usize, usize)> {
+        match p {
+            Pattern::Event(name) => {
+                let exit = self.push(Trans::Eps(vec![]));
+                let entry = self.push(Trans::Consume(Some(name.clone()), exit));
+                Ok((entry, exit))
+            }
+            Pattern::Any => {
+                let exit = self.push(Trans::Eps(vec![]));
+                let entry = self.push(Trans::Consume(None, exit));
+                Ok((entry, exit))
+            }
+            Pattern::Seq(parts) => {
+                if parts.is_empty() {
+                    return Err(ChronicleError::InvalidSchema(
+                        "empty Seq pattern".into(),
+                    ));
+                }
+                let mut frags = Vec::with_capacity(parts.len());
+                for part in parts {
+                    frags.push(self.build(part)?);
+                }
+                for w in frags.windows(2) {
+                    let (_, exit_a) = w[0];
+                    let (entry_b, _) = w[1];
+                    self.link(exit_a, entry_b);
+                }
+                Ok((frags[0].0, frags[frags.len() - 1].1))
+            }
+            Pattern::Alt(parts) => {
+                if parts.is_empty() {
+                    return Err(ChronicleError::InvalidSchema(
+                        "empty Alt pattern".into(),
+                    ));
+                }
+                let exit = self.push(Trans::Eps(vec![]));
+                let mut entries = Vec::with_capacity(parts.len());
+                for part in parts {
+                    let (e, x) = self.build(part)?;
+                    self.link(x, exit);
+                    entries.push(e);
+                }
+                let entry = self.push(Trans::Eps(entries));
+                Ok((entry, exit))
+            }
+            Pattern::Star(inner) => {
+                let (e, x) = self.build(inner)?;
+                let exit = self.push(Trans::Eps(vec![]));
+                let entry = self.push(Trans::Eps(vec![e, exit]));
+                self.link(x, e);
+                self.link(x, exit);
+                Ok((entry, exit))
+            }
+            Pattern::Plus(inner) => {
+                let (e, x) = self.build(inner)?;
+                let exit = self.push(Trans::Eps(vec![]));
+                self.link(x, e);
+                self.link(x, exit);
+                Ok((e, exit))
+            }
+            Pattern::Opt(inner) => {
+                let (e, x) = self.build(inner)?;
+                let exit = self.push(Trans::Eps(vec![]));
+                self.link(x, exit);
+                let entry = self.push(Trans::Eps(vec![e, exit]));
+                Ok((entry, exit))
+            }
+        }
+    }
+
+    fn link(&mut self, from: usize, to: usize) {
+        match &mut self.trans[from] {
+            Trans::Eps(targets) => targets.push(to),
+            Trans::Consume(..) => unreachable!("fragment exits are ε nodes"),
+        }
+    }
+}
+
+/// A keyed, history-less event matcher: the persistent view of the event
+/// algebra. Matching restarts at every event (every suffix is a candidate
+/// match start), so the matcher recognizes the pattern *anywhere* in each
+/// key's stream — while storing only O(#states) per key.
+#[derive(Debug)]
+pub struct EventMatcher {
+    compiled: CompiledPattern,
+    /// Per-key live NFA state set.
+    states: BTreeMap<Vec<Value>, BTreeSet<usize>>,
+    /// Per-key number of matches fired so far.
+    matches: BTreeMap<Vec<Value>, u64>,
+    events_processed: u64,
+}
+
+impl EventMatcher {
+    /// Compile `pattern` into a matcher.
+    pub fn new(pattern: &Pattern) -> Result<EventMatcher> {
+        Ok(EventMatcher {
+            compiled: CompiledPattern::compile(pattern)?,
+            states: BTreeMap::new(),
+            matches: BTreeMap::new(),
+            events_processed: 0,
+        })
+    }
+
+    /// Process one event for `key`; returns true iff the pattern completed
+    /// on this event. O(#pattern-states), independent of history length.
+    pub fn on_event(&mut self, key: &[Value], event: &str) -> bool {
+        self.events_processed += 1;
+        let current = self
+            .states
+            .entry(key.to_vec())
+            .or_insert_with(|| self.compiled.initial());
+        // Every event may also start a fresh match attempt.
+        let mut set = current.clone();
+        set.extend(self.compiled.initial());
+        let (next, matched) = self.compiled.step(&set, event);
+        *current = next;
+        if matched {
+            *self.matches.entry(key.to_vec()).or_insert(0) += 1;
+        }
+        matched
+    }
+
+    /// Matches fired for `key` so far.
+    pub fn match_count(&self, key: &[Value]) -> u64 {
+        self.matches.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The per-key space bound: NFA states in the compiled pattern.
+    pub fn state_bound(&self) -> usize {
+        self.compiled.states()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: i64) -> Vec<Value> {
+        vec![Value::Int(k)]
+    }
+
+    #[test]
+    fn three_consecutive_withdrawals() {
+        // The classic fraud pattern: three withdrawals in a row.
+        let p = Pattern::repeat("withdrawal", 3);
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(!m.on_event(&key(1), "withdrawal"));
+        assert!(!m.on_event(&key(1), "withdrawal"));
+        assert!(m.on_event(&key(1), "withdrawal"), "third in a row fires");
+        // A fourth fires again (the last three are also consecutive).
+        assert!(m.on_event(&key(1), "withdrawal"));
+        // A deposit breaks the run.
+        assert!(!m.on_event(&key(1), "deposit"));
+        assert!(!m.on_event(&key(1), "withdrawal"));
+        assert!(!m.on_event(&key(1), "withdrawal"));
+        assert!(m.on_event(&key(1), "withdrawal"));
+        assert_eq!(m.match_count(&key(1)), 3);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let p = Pattern::repeat("w", 2);
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(!m.on_event(&key(1), "w"));
+        assert!(!m.on_event(&key(2), "w"));
+        assert!(m.on_event(&key(1), "w"));
+        assert_eq!(m.match_count(&key(1)), 1);
+        assert_eq!(m.match_count(&key(2)), 0);
+    }
+
+    #[test]
+    fn eventually_pattern() {
+        // login …anything… large_transfer
+        let p = Pattern::then_eventually(
+            Pattern::Event("login".into()),
+            Pattern::Event("large_transfer".into()),
+        );
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(!m.on_event(&key(1), "large_transfer"), "no login yet");
+        assert!(!m.on_event(&key(1), "login"));
+        assert!(!m.on_event(&key(1), "browse"));
+        assert!(!m.on_event(&key(1), "browse"));
+        assert!(m.on_event(&key(1), "large_transfer"));
+    }
+
+    #[test]
+    fn alternation_and_option() {
+        // (deposit | refund) check?  — a credit followed optionally by a check.
+        let p = Pattern::Seq(vec![
+            Pattern::Alt(vec![
+                Pattern::Event("deposit".into()),
+                Pattern::Event("refund".into()),
+            ]),
+            Pattern::Opt(Box::new(Pattern::Event("check".into()))),
+        ]);
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(m.on_event(&key(1), "refund"), "credit alone matches (check optional)");
+        assert!(m.on_event(&key(1), "check"), "…and with the check it matches again");
+        assert!(!m.on_event(&key(1), "withdrawal"));
+        assert!(m.on_event(&key(1), "deposit"));
+    }
+
+    #[test]
+    fn plus_and_star() {
+        // error+ reboot
+        let p = Pattern::Seq(vec![
+            Pattern::Plus(Box::new(Pattern::Event("error".into()))),
+            Pattern::Event("reboot".into()),
+        ]);
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(!m.on_event(&key(1), "reboot"), "needs at least one error");
+        assert!(!m.on_event(&key(1), "error"));
+        assert!(!m.on_event(&key(1), "error"));
+        assert!(m.on_event(&key(1), "reboot"));
+    }
+
+    #[test]
+    fn history_less_space_bound() {
+        // A million events: per-key state stays bounded by the pattern.
+        let p = Pattern::repeat("w", 5);
+        let mut m = EventMatcher::new(&p).unwrap();
+        let bound = m.state_bound();
+        for i in 0..100_000u64 {
+            let e = if i % 7 == 0 { "d" } else { "w" };
+            m.on_event(&key(1), e);
+        }
+        assert_eq!(m.events_processed(), 100_000);
+        assert!(m.states[&key(1)].len() <= bound);
+        assert!(m.match_count(&key(1)) > 0);
+    }
+
+    #[test]
+    fn empty_patterns_rejected() {
+        assert!(EventMatcher::new(&Pattern::Seq(vec![])).is_err());
+        assert!(EventMatcher::new(&Pattern::Alt(vec![])).is_err());
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let p = Pattern::Seq(vec![Pattern::Event("a".into()), Pattern::Any]);
+        let mut m = EventMatcher::new(&p).unwrap();
+        assert!(!m.on_event(&key(1), "a"));
+        assert!(m.on_event(&key(1), "whatever"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Persistent views and their incremental maintenance — component V of the
+//! chronicle database quadruple (C, R, L, V).
+//!
+//! * [`PersistentView`] — a materialized SCA view: group accumulators (or
+//!   multiplicity counts for projection views) behind an ordered index,
+//!   applied in `O(t log |V|)` per batch (Theorem 4.4),
+//! * [`Maintainer`] — the engine that, on every append, routes the batch to
+//!   the affected views and drives delta propagation + application,
+//! * [`Router`] — affected-view identification (§5.2): chronicle→view maps,
+//!   guard-predicate pre-filters, and active-interval filters for periodic
+//!   views,
+//! * [`Calendar`] / [`Interval`] — sets of (possibly infinite, possibly
+//!   overlapping) time intervals (§5.1),
+//! * [`PeriodicViewSet`] — the `V<D>` construct: one view per calendar
+//!   interval, activated/retired as the chronicle's clock passes, with
+//!   expiration-driven space reuse,
+//! * [`SlidingWindow`] — the cyclic-buffer optimization for overlapping
+//!   windows ("keep the total number of shares sold for each of the last
+//!   30 days separately"),
+//! * [`TierSchedule`] — §5.3 batch→incremental conversions for tiered
+//!   discount/fee/bonus computations.
+
+#![warn(missing_docs)]
+
+mod calendar;
+pub mod codec;
+pub mod events;
+mod maintenance;
+mod periodic;
+mod persistent;
+mod router;
+mod sliding;
+mod tiered;
+
+pub use calendar::{Calendar, Interval};
+pub use events::{CompiledPattern, EventMatcher, Pattern};
+pub use maintenance::{AppendEvent, Maintainer, MaintenanceReport, RouteMode, ViewReport};
+pub use periodic::{IntervalViewState, PeriodicViewSet};
+pub use persistent::PersistentView;
+pub use router::{Router, RoutingDecision};
+pub use sliding::SlidingWindow;
+pub use tiered::{BatchDiscount, Tier, TierSchedule};

@@ -1,0 +1,456 @@
+//! The maintenance engine: on every append, route → propagate → apply.
+//!
+//! §3: *"Each time a transaction completes, a record for the transaction is
+//! appended to the chronicle, and one or more persistent views may have to
+//! be maintained. The transaction rate that can be supported by a chronicle
+//! system is determined by the complexity of incremental maintenance of its
+//! persistent views."*
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::{ScaExpr, WorkCounter};
+use chronicle_store::Catalog;
+use chronicle_types::{ChronicleId, Chronon, Result, SeqNo, Tuple, Value, ViewId};
+
+use crate::periodic::PeriodicViewSet;
+use crate::persistent::PersistentView;
+use crate::router::{Router, RoutingDecision};
+
+/// One append event, as seen by the maintenance engine.
+#[derive(Debug, Clone)]
+pub struct AppendEvent {
+    /// The chronicle that received the batch.
+    pub chronicle: ChronicleId,
+    /// The admitted sequence number.
+    pub seq: SeqNo,
+    /// The temporal instant of the batch.
+    pub chronon: Chronon,
+    /// The appended tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl AppendEvent {
+    /// View of this event as a delta batch.
+    pub fn as_batch(&self) -> DeltaBatch {
+        DeltaBatch {
+            chronicle: self.chronicle,
+            seq: self.seq,
+            tuples: self.tuples.clone(),
+        }
+    }
+}
+
+/// Per-view maintenance outcome for one append.
+#[derive(Debug, Clone)]
+pub struct ViewReport {
+    /// The view.
+    pub view: ViewId,
+    /// Rows/groups touched (the `t` of Theorem 4.4); 0 = delta was empty.
+    pub affected_rows: usize,
+    /// Work spent on delta propagation + application for this view.
+    pub work: WorkCounter,
+}
+
+/// The outcome of maintaining all views for one append.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Routing statistics.
+    pub routing: RoutingDecision,
+    /// Per maintained view.
+    pub views: Vec<ViewReport>,
+    /// Periodic sub-views maintained.
+    pub periodic_maintained: usize,
+    /// Total work across all views.
+    pub total_work: WorkCounter,
+    /// Wall-clock time of the whole maintenance step, nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+/// Whether the engine uses the §5.2 router or conservatively maintains
+/// every registered view (the E9 ablation baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Use the router's three filters.
+    #[default]
+    Routed,
+    /// Skip routing; run delta propagation for every view on every append.
+    ScanAll,
+}
+
+/// Registry and driver for persistent views (plain and periodic).
+#[derive(Debug, Default)]
+pub struct Maintainer {
+    views: BTreeMap<ViewId, PersistentView>,
+    names: BTreeMap<String, ViewId>,
+    periodic: Vec<PeriodicViewSet>,
+    router: Router,
+    route_mode: RouteMode,
+    next_id: u32,
+}
+
+impl Maintainer {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select routed vs scan-all maintenance.
+    pub fn set_route_mode(&mut self, mode: RouteMode) {
+        self.route_mode = mode;
+    }
+
+    /// Register a persistent view. The view starts empty; call
+    /// [`Maintainer::bootstrap_view`] if the chronicle already has stored
+    /// history to fold in.
+    pub fn register(&mut self, name: &str, expr: ScaExpr) -> Result<ViewId> {
+        if self.names.contains_key(name) {
+            return Err(chronicle_types::ChronicleError::AlreadyExists {
+                kind: "view",
+                name: name.into(),
+            });
+        }
+        let id = ViewId(self.next_id);
+        self.next_id += 1;
+        self.router.register(id, &expr);
+        self.views.insert(id, PersistentView::new(id, name, expr));
+        self.names.insert(name.into(), id);
+        Ok(id)
+    }
+
+    /// Register a periodic view family `V<D>`.
+    pub fn register_periodic(&mut self, set: PeriodicViewSet) -> usize {
+        self.periodic.push(set);
+        self.periodic.len() - 1
+    }
+
+    /// Access a periodic set by the index returned from
+    /// [`Maintainer::register_periodic`].
+    pub fn periodic(&self, idx: usize) -> &PeriodicViewSet {
+        &self.periodic[idx]
+    }
+
+    /// Materialize a view from fully stored chronicle history.
+    pub fn bootstrap_view(&mut self, id: ViewId, catalog: &Catalog) -> Result<()> {
+        self.view_mut(id)?.bootstrap(catalog)
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        let id = self.view_id(name)?;
+        self.router.unregister(id);
+        self.views.remove(&id);
+        self.names.remove(name);
+        Ok(())
+    }
+
+    /// Resolve a view by name.
+    pub fn view_id(&self, name: &str) -> Result<ViewId> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| chronicle_types::ChronicleError::NotFound {
+                kind: "view",
+                name: name.into(),
+            })
+    }
+
+    /// The view with this id.
+    pub fn view(&self, id: ViewId) -> Result<&PersistentView> {
+        self.views
+            .get(&id)
+            .ok_or_else(|| chronicle_types::ChronicleError::NotFound {
+                kind: "view",
+                name: id.to_string(),
+            })
+    }
+
+    fn view_mut(&mut self, id: ViewId) -> Result<&mut PersistentView> {
+        self.views
+            .get_mut(&id)
+            .ok_or_else(|| chronicle_types::ChronicleError::NotFound {
+                kind: "view",
+                name: id.to_string(),
+            })
+    }
+
+    /// The view with this name.
+    pub fn view_by_name(&self, name: &str) -> Result<&PersistentView> {
+        self.view(self.view_id(name)?)
+    }
+
+    /// Point lookup: one group's row of a named view (the paper's
+    /// "summary query ... executed whenever a cellular phone is turned on").
+    pub fn query(&self, name: &str, key: &[Value]) -> Result<Option<Tuple>> {
+        Ok(self.view_by_name(name)?.get(key))
+    }
+
+    /// Number of registered plain views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Iterate over registered views.
+    pub fn iter_views(&self) -> impl Iterator<Item = &PersistentView> {
+        self.views.values()
+    }
+
+    /// Maintain every affected view for one append. The catalog is borrowed
+    /// immutably: maintenance reads relations but **never** chronicles.
+    pub fn on_append(
+        &mut self,
+        catalog: &Catalog,
+        event: &AppendEvent,
+    ) -> Result<MaintenanceReport> {
+        let start = Instant::now();
+        let mut report = MaintenanceReport::default();
+        let batch = event.as_batch();
+        let engine = DeltaEngine::new(catalog);
+
+        let selected: Vec<ViewId> = match self.route_mode {
+            RouteMode::Routed => {
+                let decision = self
+                    .router
+                    .route(event.chronicle, event.chronon, &event.tuples)?;
+                let sel = decision.selected.clone();
+                report.routing = decision;
+                sel
+            }
+            RouteMode::ScanAll => {
+                let sel: Vec<ViewId> = self.views.keys().copied().collect();
+                report.routing = RoutingDecision {
+                    candidates: sel.len(),
+                    selected: sel.clone(),
+                    ..Default::default()
+                };
+                sel
+            }
+        };
+
+        for vid in selected {
+            let view = self
+                .views
+                .get_mut(&vid)
+                .expect("router only knows live views");
+            let mut work = WorkCounter::default();
+            let delta = engine.delta_sca(view.expr(), &batch, &mut work)?;
+            let affected = delta.affected();
+            if affected > 0 {
+                view.apply(&delta, &mut work)?;
+            }
+            report.total_work.absorb(work);
+            report.views.push(ViewReport {
+                view: vid,
+                affected_rows: affected,
+                work,
+            });
+        }
+
+        for set in &mut self.periodic {
+            let mut work = WorkCounter::default();
+            report.periodic_maintained += set.on_append(catalog, event, &mut work)?;
+            report.total_work.absorb(work);
+        }
+
+        report.elapsed_nanos = start.elapsed().as_nanos() as u64;
+        Ok(report)
+    }
+}
+
+impl Maintainer {
+    /// Snapshot every registered view's materialized state, keyed by name.
+    /// Together with the catalog DDL this is a full restart image: the
+    /// chronicles themselves carry no state that maintenance needs.
+    pub fn snapshot_views(&self) -> Vec<(String, Vec<u8>)> {
+        self.views
+            .values()
+            .map(|v| (v.name().to_string(), v.snapshot()))
+            .collect()
+    }
+
+    /// Replace a registered view's state from a snapshot (restart path).
+    pub fn restore_view(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
+        let id = self.view_id(name)?;
+        let old = self.views.get(&id).expect("registered");
+        let restored =
+            crate::persistent::PersistentView::restore(id, name, old.expr().clone(), bytes)?;
+        self.views.insert(id, restored);
+        Ok(())
+    }
+}
+
+/// Convenience: the defining expression of a registered view.
+impl Maintainer {
+    /// The SCA expression of a named view.
+    pub fn expr_of(&self, name: &str) -> Result<&ScaExpr> {
+        Ok(self.view_by_name(name)?.expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate};
+    use chronicle_store::{Catalog, Retention};
+    use chronicle_types::{tuple, AttrType, Attribute, Schema};
+
+    fn setup() -> (Catalog, ChronicleId) {
+        let mut cat = Catalog::new();
+        let g = cat.create_group("g").unwrap();
+        let cs = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("caller", AttrType::Int),
+                Attribute::new("minutes", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let c = cat
+            .create_chronicle("calls", g, cs, Retention::None)
+            .unwrap();
+        (cat, c)
+    }
+
+    fn event(c: ChronicleId, seq: u64, at: i64, tuples: Vec<Tuple>) -> AppendEvent {
+        AppendEvent {
+            chronicle: c,
+            seq: SeqNo(seq),
+            chronon: Chronon(at),
+            tuples,
+        }
+    }
+
+    #[test]
+    fn register_and_maintain() {
+        let (mut cat, c) = setup();
+        let mut m = Maintainer::new();
+        let expr = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::Sum(2), "total")],
+        )
+        .unwrap();
+        let vid = m.register("totals", expr).unwrap();
+
+        let rows = vec![tuple![SeqNo(1), 555i64, 2.5f64]];
+        cat.append(c, Chronon(1), &rows).unwrap();
+        let r = m.on_append(&cat, &event(c, 1, 1, rows)).unwrap();
+        assert_eq!(r.views.len(), 1);
+        assert_eq!(r.views[0].affected_rows, 1);
+        assert_eq!(
+            m.view(vid).unwrap().get_agg(&[Value::Int(555)], 0),
+            Some(Value::Float(2.5))
+        );
+        assert_eq!(
+            m.query("totals", &[Value::Int(555)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn duplicate_view_name_rejected() {
+        let (cat, c) = setup();
+        let mut m = Maintainer::new();
+        let mk = || {
+            ScaExpr::group_agg(
+                CaExpr::chronicle(cat.chronicle(c)),
+                &["caller"],
+                vec![AggSpec::new(AggFunc::CountStar, "n")],
+            )
+            .unwrap()
+        };
+        m.register("v", mk()).unwrap();
+        assert!(m.register("v", mk()).is_err());
+    }
+
+    #[test]
+    fn drop_view_stops_maintenance() {
+        let (cat, c) = setup();
+        let mut m = Maintainer::new();
+        let expr = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::CountStar, "n")],
+        )
+        .unwrap();
+        m.register("v", expr).unwrap();
+        m.drop_view("v").unwrap();
+        assert_eq!(m.view_count(), 0);
+        let r = m
+            .on_append(&cat, &event(c, 1, 1, vec![tuple![SeqNo(1), 1i64, 1.0f64]]))
+            .unwrap();
+        assert!(r.views.is_empty());
+        assert!(m.query("v", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn guarded_view_skipped_and_unaffected() {
+        let (cat, c) = setup();
+        let mut m = Maintainer::new();
+        let base = CaExpr::chronicle(cat.chronicle(c));
+        let p = Predicate::attr_cmp_const(base.schema(), "minutes", CmpOp::Gt, Value::Float(60.0))
+            .unwrap();
+        let expr = ScaExpr::group_agg(
+            base.select(p).unwrap(),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::CountStar, "long_calls")],
+        )
+        .unwrap();
+        m.register("long", expr).unwrap();
+        let r = m
+            .on_append(&cat, &event(c, 1, 1, vec![tuple![SeqNo(1), 1i64, 2.0f64]]))
+            .unwrap();
+        assert_eq!(r.routing.skipped_guard, 1);
+        assert!(r.views.is_empty());
+    }
+
+    #[test]
+    fn scan_all_mode_bypasses_router() {
+        let (cat, c) = setup();
+        let mut m = Maintainer::new();
+        let base = CaExpr::chronicle(cat.chronicle(c));
+        let p = Predicate::attr_cmp_const(base.schema(), "minutes", CmpOp::Gt, Value::Float(60.0))
+            .unwrap();
+        let expr = ScaExpr::group_agg(
+            base.select(p).unwrap(),
+            &["caller"],
+            vec![AggSpec::new(AggFunc::CountStar, "long_calls")],
+        )
+        .unwrap();
+        m.register("long", expr).unwrap();
+        m.set_route_mode(RouteMode::ScanAll);
+        let r = m
+            .on_append(&cat, &event(c, 1, 1, vec![tuple![SeqNo(1), 1i64, 2.0f64]]))
+            .unwrap();
+        // The view ran (and found an empty delta) instead of being skipped.
+        assert_eq!(r.views.len(), 1);
+        assert_eq!(r.views[0].affected_rows, 0);
+    }
+
+    #[test]
+    fn multiple_views_one_append() {
+        let (cat, c) = setup();
+        let mut m = Maintainer::new();
+        for i in 0..5 {
+            let expr = ScaExpr::group_agg(
+                CaExpr::chronicle(cat.chronicle(c)),
+                &["caller"],
+                vec![AggSpec::new(AggFunc::Sum(2), "total")],
+            )
+            .unwrap();
+            m.register(&format!("v{i}"), expr).unwrap();
+        }
+        let r = m
+            .on_append(&cat, &event(c, 1, 1, vec![tuple![SeqNo(1), 9i64, 1.0f64]]))
+            .unwrap();
+        assert_eq!(r.views.len(), 5);
+        assert!(r.total_work.total() > 0);
+        assert_eq!(m.view_count(), 5);
+        assert_eq!(m.iter_views().count(), 5);
+    }
+}

@@ -1,0 +1,296 @@
+//! The cyclic-buffer optimization for overlapping windows (§5.1).
+//!
+//! *"Consider a periodic view for every day that computes the total number
+//! of shares of a stock sold during the 30 days preceding that day. ... we
+//! should keep the total number of shares sold for each of the last 30 days
+//! separately, and derive the view as the sum of these 30 numbers. Moving
+//! from one periodic view to the next one involves shifting a cyclic buffer
+//! of these 30 numbers."*
+//!
+//! [`SlidingWindow`] generalizes the quoted trick to any decomposable
+//! aggregate (SUM, COUNT, MIN, MAX, AVG, STDDEV — anything
+//! [`Accumulator::merge`] supports) and to per-group keys: per key it keeps
+//! `k = width/step` bucket sub-accumulators in a ring; appends touch one
+//! bucket (O(#aggs)); window rollover pops expired buckets (amortized
+//! O(1)); a window query merges the `k` buckets (O(k·#aggs)).
+//!
+//! Contrast with [`crate::PeriodicViewSet`] over a sliding calendar, which
+//! maintains one full view per overlapping window and hence does
+//! `width/step` times the work per append — the comparison is experiment E8.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use chronicle_algebra::eval::seq_to_int;
+use chronicle_algebra::{Accumulator, AggFunc};
+use chronicle_types::{ChronicleError, Chronon, Result, Tuple, Value};
+
+/// Per-key ring of bucket sub-accumulators.
+#[derive(Debug)]
+struct Ring {
+    /// Bucket index (global, since anchor) of the front of `buckets`.
+    front_bucket: i64,
+    buckets: VecDeque<Vec<Accumulator>>,
+}
+
+/// A keyed sliding-window aggregate with bucketed sub-aggregation.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    /// Window width in buckets (`k`).
+    window_buckets: usize,
+    /// Bucket width in chronon ticks (the calendar step).
+    bucket_ticks: i64,
+    /// Chronon of bucket 0's start.
+    anchor: Chronon,
+    /// Aggregates maintained per key.
+    aggs: Vec<AggFunc>,
+    /// Key columns within inserted tuples.
+    key_cols: Vec<usize>,
+    rings: BTreeMap<Vec<Value>, Ring>,
+    /// Total accumulator updates performed (work accounting for E8).
+    updates: u64,
+}
+
+impl SlidingWindow {
+    /// A window covering `window_buckets` buckets of `bucket_ticks` ticks
+    /// each (e.g. 30 buckets × 1 day), keyed by `key_cols` of the inserted
+    /// tuples, maintaining `aggs`.
+    pub fn new(
+        anchor: Chronon,
+        window_buckets: usize,
+        bucket_ticks: i64,
+        key_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+    ) -> Result<Self> {
+        if window_buckets == 0 || bucket_ticks <= 0 {
+            return Err(ChronicleError::InvalidSchema(format!(
+                "sliding window needs positive dimensions, got {window_buckets} × {bucket_ticks}"
+            )));
+        }
+        if aggs.is_empty() {
+            return Err(ChronicleError::BadAggregate {
+                detail: "sliding window needs at least one aggregate".into(),
+            });
+        }
+        Ok(SlidingWindow {
+            window_buckets,
+            bucket_ticks,
+            anchor,
+            aggs,
+            key_cols,
+            rings: BTreeMap::new(),
+            updates: 0,
+        })
+    }
+
+    fn bucket_of(&self, at: Chronon) -> i64 {
+        (at.0 - self.anchor.0).div_euclid(self.bucket_ticks)
+    }
+
+    /// Fold one tuple observed at chronon `at` into its key's current
+    /// bucket. O(#aggs) amortized.
+    pub fn insert(&mut self, at: Chronon, tuple: &Tuple) -> Result<()> {
+        let bucket = self.bucket_of(at);
+        let key: Vec<Value> = self
+            .key_cols
+            .iter()
+            .map(|&c| tuple.get(c).clone())
+            .collect();
+        let aggs = &self.aggs;
+        let ring = self.rings.entry(key).or_insert_with(|| Ring {
+            front_bucket: bucket,
+            buckets: VecDeque::new(),
+        });
+        if ring.buckets.is_empty() {
+            ring.front_bucket = bucket;
+            ring.buckets
+                .push_back(aggs.iter().map(|&f| Accumulator::new(f)).collect());
+        } else {
+            let last = ring.front_bucket + ring.buckets.len() as i64 - 1;
+            if bucket < last {
+                return Err(ChronicleError::NonMonotonicAppend {
+                    high_water: last as u64,
+                    attempted: bucket as u64,
+                });
+            }
+            if bucket - last >= self.window_buckets as i64 {
+                // The gap exceeds the window: every existing bucket has
+                // expired, so reset in O(1) instead of sliding one bucket
+                // at a time.
+                ring.buckets.clear();
+                ring.front_bucket = bucket;
+                ring.buckets
+                    .push_back(aggs.iter().map(|&f| Accumulator::new(f)).collect());
+            } else {
+                // Extend the ring up to `bucket`, dropping buckets older
+                // than the window as it slides (≤ window_buckets steps).
+                while ring.front_bucket + (ring.buckets.len() as i64) <= bucket {
+                    ring.buckets
+                        .push_back(aggs.iter().map(|&f| Accumulator::new(f)).collect());
+                    if ring.buckets.len() > self.window_buckets {
+                        ring.buckets.pop_front();
+                        ring.front_bucket += 1;
+                    }
+                }
+            }
+        }
+        let back = ring.buckets.back_mut().expect("ring non-empty");
+        for acc in back.iter_mut() {
+            acc.update(tuple)?;
+            self.updates += 1;
+        }
+        Ok(())
+    }
+
+    /// The window aggregate for `key` as of chronon `now`: merge of the
+    /// buckets inside `[now − window, now]`. O(window_buckets · #aggs).
+    pub fn query(&self, key: &[Value], now: Chronon) -> Result<Vec<Value>> {
+        let current = self.bucket_of(now);
+        let oldest = current - self.window_buckets as i64 + 1;
+        let mut merged: Vec<Accumulator> = self.aggs.iter().map(|&f| Accumulator::new(f)).collect();
+        if let Some(ring) = self.rings.get(key) {
+            for (i, bucket) in ring.buckets.iter().enumerate() {
+                let b = ring.front_bucket + i as i64;
+                if b >= oldest && b <= current {
+                    for (m, acc) in merged.iter_mut().zip(bucket) {
+                        m.merge(acc)?;
+                    }
+                }
+            }
+        }
+        Ok(merged.iter().map(|a| seq_to_int(a.finalize())).collect())
+    }
+
+    /// Number of keys tracked.
+    pub fn key_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Total accumulator updates performed (the per-append work metric).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The window width in ticks.
+    pub fn window_ticks(&self) -> i64 {
+        self.window_buckets as i64 * self.bucket_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::tuple;
+
+    fn window() -> SlidingWindow {
+        // 3 buckets of 10 ticks: a 30-tick window.
+        SlidingWindow::new(
+            Chronon(0),
+            3,
+            10,
+            vec![0],
+            vec![AggFunc::Sum(1), AggFunc::CountStar, AggFunc::Max(1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_within_window() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 100i64]).unwrap();
+        w.insert(Chronon(11), &tuple![7i64, 50i64]).unwrap();
+        w.insert(Chronon(21), &tuple![7i64, 25i64]).unwrap();
+        let v = w.query(&[Value::Int(7)], Chronon(25)).unwrap();
+        assert_eq!(v, vec![Value::Int(175), Value::Int(3), Value::Int(100)]);
+    }
+
+    #[test]
+    fn old_buckets_fall_out() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 100i64]).unwrap();
+        w.insert(Chronon(35), &tuple![7i64, 50i64]).unwrap();
+        // At t=35 (bucket 3), the window covers buckets 1..=3; bucket 0
+        // (the 100-share trade) has slid out.
+        let v = w.query(&[Value::Int(7)], Chronon(35)).unwrap();
+        assert_eq!(v[0], Value::Int(50));
+        assert_eq!(v[1], Value::Int(1));
+    }
+
+    #[test]
+    fn query_respects_now_even_mid_ring() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 10i64]).unwrap();
+        w.insert(Chronon(11), &tuple![7i64, 20i64]).unwrap();
+        // Query as of bucket 4: only buckets 2..=4 count; both trades are
+        // older, but bucket 1 (t=11) is outside [2,4] while the ring still
+        // holds it.
+        let v = w.query(&[Value::Int(7)], Chronon(45)).unwrap();
+        assert_eq!(v[0], Value::Null, "empty SUM is NULL");
+        assert_eq!(v[1], Value::Int(0));
+        // As of bucket 1, both buckets 0 and 1 are in range... window is
+        // buckets -1..=1, so sum = 30.
+        let v = w.query(&[Value::Int(7)], Chronon(15)).unwrap();
+        assert_eq!(v[0], Value::Int(30));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 100i64]).unwrap();
+        w.insert(Chronon(1), &tuple![8i64, 1i64]).unwrap();
+        assert_eq!(w.key_count(), 2);
+        let v7 = w.query(&[Value::Int(7)], Chronon(5)).unwrap();
+        let v8 = w.query(&[Value::Int(8)], Chronon(5)).unwrap();
+        assert_eq!(v7[0], Value::Int(100));
+        assert_eq!(v8[0], Value::Int(1));
+        let missing = w.query(&[Value::Int(9)], Chronon(5)).unwrap();
+        assert_eq!(missing[1], Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_correct_across_bucket_expiry() {
+        // MAX over a sliding window is exact because buckets are disjoint:
+        // when the max-holding bucket expires, the merge of the remaining
+        // buckets yields the true new max.
+        let mut w = SlidingWindow::new(Chronon(0), 2, 10, vec![0], vec![AggFunc::Max(1)]).unwrap();
+        w.insert(Chronon(5), &tuple![1i64, 999i64]).unwrap();
+        w.insert(Chronon(15), &tuple![1i64, 7i64]).unwrap();
+        assert_eq!(
+            w.query(&[Value::Int(1)], Chronon(15)).unwrap()[0],
+            Value::Int(999)
+        );
+        w.insert(Chronon(25), &tuple![1i64, 3i64]).unwrap();
+        // Bucket 0 (999) expired; max of buckets 1..=2 is 7.
+        assert_eq!(
+            w.query(&[Value::Int(1)], Chronon(25)).unwrap()[0],
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn out_of_order_insert_rejected() {
+        let mut w = window();
+        w.insert(Chronon(25), &tuple![7i64, 1i64]).unwrap();
+        assert!(w.insert(Chronon(5), &tuple![7i64, 1i64]).is_err());
+        // Same-bucket insert is fine.
+        w.insert(Chronon(29), &tuple![7i64, 1i64]).unwrap();
+    }
+
+    #[test]
+    fn big_time_jump_clears_ring() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 100i64]).unwrap();
+        w.insert(Chronon(1000), &tuple![7i64, 5i64]).unwrap();
+        let v = w.query(&[Value::Int(7)], Chronon(1000)).unwrap();
+        assert_eq!(v[0], Value::Int(5));
+        // Ring stayed bounded.
+        let ring = w.rings.get(&vec![Value::Int(7)]).unwrap();
+        assert!(ring.buckets.len() <= 3);
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(SlidingWindow::new(Chronon(0), 0, 10, vec![0], vec![AggFunc::CountStar]).is_err());
+        assert!(SlidingWindow::new(Chronon(0), 3, 0, vec![0], vec![AggFunc::CountStar]).is_err());
+        assert!(SlidingWindow::new(Chronon(0), 3, 10, vec![0], vec![]).is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Batch → incremental conversion for tiered computations (§5.3).
+//!
+//! *"A popular telephone discounting plan in the USA gives a discount of
+//! 10% on all calls made if the monthly undiscounted expenses exceed $10, a
+//! discount of 20% if the expenses exceed $25, and so on."* Computing such
+//! discounts once at period end leaves the answer out of date all month and
+//! forces batch processing; the paper asks for the *incremental* mapping.
+//!
+//! [`TierSchedule`] is that mapping: it keeps, per key, the running
+//! undiscounted total and derives the tier and discounted value on every
+//! increment in O(log #tiers). Because the discount applies retroactively
+//! to *all* activity in the period once a threshold is crossed, the derived
+//! value is recomputed from the (O(1)-sized) running total, not from the
+//! transaction history — no chronicle access, exactly the chronicle-model
+//! discipline. [`BatchDiscount`] is the end-of-period comparator for
+//! experiment E10.
+
+use std::collections::BTreeMap;
+
+use chronicle_types::{ChronicleError, Result, Value};
+
+/// One tier: at or above `threshold`, the `rate` applies to the whole
+/// period's activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tier {
+    /// Inclusive lower bound on the period total for this tier.
+    pub threshold: f64,
+    /// Discount (or fee/bonus) rate applied to the whole total.
+    pub rate: f64,
+}
+
+/// The per-key incremental state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TierState {
+    /// Running undiscounted total for the period.
+    pub total: f64,
+    /// Index of the currently applicable tier.
+    pub tier: usize,
+    /// Discounted value: `total · (1 − rate(tier))`.
+    pub discounted: f64,
+}
+
+/// A tiered schedule with per-key incremental maintenance.
+#[derive(Debug, Clone)]
+pub struct TierSchedule {
+    /// Sorted ascending by threshold; `tiers[0].threshold` is the base tier
+    /// (usually 0.0 with rate 0.0).
+    tiers: Vec<Tier>,
+    state: BTreeMap<Vec<Value>, TierState>,
+}
+
+impl TierSchedule {
+    /// Build a schedule. Tiers must start at a base threshold and be
+    /// strictly increasing.
+    pub fn new(mut tiers: Vec<Tier>) -> Result<Self> {
+        if tiers.is_empty() {
+            return Err(ChronicleError::InvalidSchema(
+                "tier schedule needs at least one tier".into(),
+            ));
+        }
+        tiers.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
+        for w in tiers.windows(2) {
+            if w[0].threshold == w[1].threshold {
+                return Err(ChronicleError::InvalidSchema(format!(
+                    "duplicate tier threshold {}",
+                    w[0].threshold
+                )));
+            }
+        }
+        Ok(TierSchedule {
+            tiers,
+            state: BTreeMap::new(),
+        })
+    }
+
+    /// The US telephone plan from the paper: 0% below $10, 10% from $10,
+    /// 20% from $25.
+    pub fn us_telephone_1995() -> TierSchedule {
+        TierSchedule::new(vec![
+            Tier {
+                threshold: 0.0,
+                rate: 0.0,
+            },
+            Tier {
+                threshold: 10.0,
+                rate: 0.10,
+            },
+            Tier {
+                threshold: 25.0,
+                rate: 0.20,
+            },
+        ])
+        .expect("static schedule is valid")
+    }
+
+    /// Tier index applicable to `total` — O(log #tiers).
+    pub fn tier_of(&self, total: f64) -> usize {
+        match self
+            .tiers
+            .binary_search_by(|t| t.threshold.total_cmp(&total))
+        {
+            Ok(i) => i,
+            Err(0) => 0, // below the base threshold: clamp to base tier
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Fold one transaction amount into `key`'s period state. Returns the
+    /// updated state (and implicitly whether a tier boundary was crossed).
+    pub fn apply(&mut self, key: &[Value], amount: f64) -> TierState {
+        let total = self.state.get(key).map_or(0.0, |s| s.total) + amount;
+        let tier = self.tier_of(total);
+        let st = TierState {
+            total,
+            tier,
+            discounted: total * (1.0 - self.tiers[tier].rate),
+        };
+        self.state.insert(key.to_vec(), st);
+        st
+    }
+
+    /// Current state for `key` (the always-fresh summary field).
+    pub fn get(&self, key: &[Value]) -> TierState {
+        self.state.get(key).copied().unwrap_or_default()
+    }
+
+    /// End the period: return all final states and reset (space reuse for
+    /// the next period).
+    pub fn close_period(&mut self) -> BTreeMap<Vec<Value>, TierState> {
+        std::mem::take(&mut self.state)
+    }
+
+    /// Number of keys with activity this period.
+    pub fn active_keys(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The tier table.
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+}
+
+/// The batch comparator: accumulates raw amounts and computes discounts
+/// only when [`BatchDiscount::compute`] is called at period end — the
+/// "out-of-date or inaccurate before the end of the period" approach the
+/// paper criticizes.
+#[derive(Debug, Clone)]
+pub struct BatchDiscount {
+    tiers: Vec<Tier>,
+    amounts: BTreeMap<Vec<Value>, Vec<f64>>,
+}
+
+impl BatchDiscount {
+    /// Build a batch computation over the same tier table.
+    pub fn new(schedule: &TierSchedule) -> Self {
+        BatchDiscount {
+            tiers: schedule.tiers.clone(),
+            amounts: BTreeMap::new(),
+        }
+    }
+
+    /// Record a transaction (no derived values are produced here — the
+    /// batch approach cannot answer mid-period queries accurately).
+    pub fn record(&mut self, key: &[Value], amount: f64) {
+        self.amounts.entry(key.to_vec()).or_default().push(amount);
+    }
+
+    /// The end-of-period batch job: one pass over all recorded
+    /// transactions. Returns final states; the work is O(#transactions).
+    pub fn compute(&self) -> BTreeMap<Vec<Value>, TierState> {
+        let mut out = BTreeMap::new();
+        for (key, amounts) in &self.amounts {
+            let total: f64 = amounts.iter().sum();
+            let tier = match self
+                .tiers
+                .binary_search_by(|t| t.threshold.total_cmp(&total))
+            {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            out.insert(
+                key.clone(),
+                TierState {
+                    total,
+                    tier,
+                    discounted: total * (1.0 - self.tiers[tier].rate),
+                },
+            );
+        }
+        out
+    }
+
+    /// Transactions recorded (the batch job's input size).
+    pub fn recorded(&self) -> usize {
+        self.amounts.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: i64) -> Vec<Value> {
+        vec![Value::Int(k)]
+    }
+
+    #[test]
+    fn paper_plan_tiers() {
+        let s = TierSchedule::us_telephone_1995();
+        assert_eq!(s.tier_of(0.0), 0);
+        assert_eq!(s.tier_of(9.99), 0);
+        assert_eq!(s.tier_of(10.0), 1);
+        assert_eq!(s.tier_of(24.99), 1);
+        assert_eq!(s.tier_of(25.0), 2);
+        assert_eq!(s.tier_of(1000.0), 2);
+    }
+
+    #[test]
+    fn incremental_crossing_retroactively_discounts() {
+        let mut s = TierSchedule::us_telephone_1995();
+        let st = s.apply(&key(1), 6.0);
+        assert_eq!(st.tier, 0);
+        assert_eq!(st.discounted, 6.0);
+        // Crossing $10: the 10% discount now applies to ALL $12.
+        let st = s.apply(&key(1), 6.0);
+        assert_eq!(st.tier, 1);
+        assert!((st.discounted - 12.0 * 0.9).abs() < 1e-12);
+        // Crossing $25.
+        let st = s.apply(&key(1), 20.0);
+        assert_eq!(st.tier, 2);
+        assert!((st.discounted - 32.0 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_batch_at_period_end() {
+        let mut inc = TierSchedule::us_telephone_1995();
+        let mut batch = BatchDiscount::new(&inc);
+        let txns = [
+            (1, 3.0),
+            (2, 30.0),
+            (1, 8.0),
+            (3, 9.99),
+            (2, 0.02),
+            (1, 15.0),
+        ];
+        for (k, amt) in txns {
+            inc.apply(&key(k), amt);
+            batch.record(&key(k), amt);
+        }
+        let inc_final: BTreeMap<_, _> = [1i64, 2, 3]
+            .iter()
+            .map(|&k| (key(k), inc.get(&key(k))))
+            .collect();
+        let batch_final = batch.compute();
+        assert_eq!(batch.recorded(), 6);
+        for (k, b) in &batch_final {
+            let i = &inc_final[k];
+            assert!((i.total - b.total).abs() < 1e-9);
+            assert_eq!(i.tier, b.tier);
+            assert!((i.discounted - b.discounted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mid_period_freshness() {
+        // The incremental state answers correctly mid-period; the batch
+        // approach has nothing until compute() runs.
+        let mut inc = TierSchedule::us_telephone_1995();
+        inc.apply(&key(1), 12.0);
+        let st = inc.get(&key(1));
+        assert_eq!(st.tier, 1);
+        assert!((st.discounted - 10.8).abs() < 1e-12);
+        assert_eq!(inc.get(&key(9)), TierState::default());
+    }
+
+    #[test]
+    fn close_period_resets() {
+        let mut s = TierSchedule::us_telephone_1995();
+        s.apply(&key(1), 100.0);
+        assert_eq!(s.active_keys(), 1);
+        let finals = s.close_period();
+        assert_eq!(finals.len(), 1);
+        assert_eq!(s.active_keys(), 0);
+        assert_eq!(s.get(&key(1)), TierState::default());
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(TierSchedule::new(vec![]).is_err());
+        assert!(TierSchedule::new(vec![
+            Tier {
+                threshold: 0.0,
+                rate: 0.0
+            },
+            Tier {
+                threshold: 0.0,
+                rate: 0.1
+            },
+        ])
+        .is_err());
+        // Unsorted input is sorted on construction.
+        let s = TierSchedule::new(vec![
+            Tier {
+                threshold: 10.0,
+                rate: 0.1,
+            },
+            Tier {
+                threshold: 0.0,
+                rate: 0.0,
+            },
+        ])
+        .unwrap();
+        assert_eq!(s.tiers()[0].threshold, 0.0);
+    }
+
+    #[test]
+    fn below_base_threshold_clamps() {
+        // Base threshold 5: totals below it still map to tier 0.
+        let s = TierSchedule::new(vec![Tier {
+            threshold: 5.0,
+            rate: 0.0,
+        }])
+        .unwrap();
+        assert_eq!(s.tier_of(1.0), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper's motivating domains — cellular telephony, frequent-flyer
+//! programs, consumer banking (the Chemical Bank ATM incident), stock
+//! trading — are represented by one generator each. All generators are
+//! deterministic under a seed, so every experiment and test is exactly
+//! reproducible.
+//!
+//! The AT&T production feeds the paper used are proprietary; these
+//! generators are the documented substitution (see DESIGN.md §3): the
+//! experiments measure scaling *shapes* against controlled parameters
+//! (chronicle size, relation size, batch size, window width, view count),
+//! which synthetic data exercises identically.
+
+#![warn(missing_docs)]
+
+mod gen;
+mod scenario;
+
+pub use gen::{
+    AtmGen, CallGen, CustomerGen, FlightGen, TradeGen, ATM_SCHEMA_SQL, CALLS_SCHEMA_SQL,
+    CUSTOMERS_SCHEMA_SQL, FLIGHTS_SCHEMA_SQL, TRADES_SCHEMA_SQL,
+};
+pub use scenario::{banking_db, cellular_db, drive, frequent_flyer_db, stock_db};

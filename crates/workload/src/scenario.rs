@@ -1,0 +1,152 @@
+//! Prebuilt scenario databases used by examples, benches and integration
+//! tests.
+
+use chronicle_db::ChronicleDb;
+use chronicle_types::{Chronon, Result};
+
+use crate::gen::{
+    CustomerGen, ATM_SCHEMA_SQL, CALLS_SCHEMA_SQL, CUSTOMERS_SCHEMA_SQL, FLIGHTS_SCHEMA_SQL,
+    TRADES_SCHEMA_SQL,
+};
+
+/// A cellular-billing database: `calls` chronicle, `customers` relation,
+/// and the two §1 summary views (minutes this setup, minutes ever).
+pub fn cellular_db(seed: u64, accounts: i64) -> Result<ChronicleDb> {
+    let mut db = ChronicleDb::new();
+    db.execute(CALLS_SCHEMA_SQL)?;
+    db.execute(CUSTOMERS_SCHEMA_SQL)?;
+    let mut customers = CustomerGen::new(seed);
+    for row in customers.table(accounts) {
+        let t = chronicle_types::Tuple::new(row);
+        db.insert_relation("customers", t)?;
+    }
+    db.execute(
+        "CREATE VIEW total_minutes AS \
+         SELECT caller, SUM(minutes) AS minutes_called, COUNT(*) AS calls \
+         FROM calls GROUP BY caller",
+    )?;
+    db.execute(
+        "CREATE VIEW total_cost AS \
+         SELECT caller, SUM(cost) AS dollars FROM calls GROUP BY caller",
+    )?;
+    Ok(db)
+}
+
+/// A frequent-flyer database (Example 2.1): `flights` chronicle,
+/// `customers` relation, and views for mileage balance and miles flown.
+pub fn frequent_flyer_db(seed: u64, accounts: i64) -> Result<ChronicleDb> {
+    let mut db = ChronicleDb::new();
+    db.execute(FLIGHTS_SCHEMA_SQL)?;
+    db.execute(CUSTOMERS_SCHEMA_SQL)?;
+    let mut customers = CustomerGen::new(seed);
+    for row in customers.table(accounts) {
+        db.insert_relation("customers", chronicle_types::Tuple::new(row))?;
+    }
+    db.execute(
+        "CREATE VIEW mileage_balance AS \
+         SELECT acct, SUM(miles) AS balance FROM flights GROUP BY acct",
+    )?;
+    db.execute(
+        "CREATE VIEW miles_flown AS \
+         SELECT acct, SUM(miles) AS flown, COUNT(*) AS segments FROM flights GROUP BY acct",
+    )?;
+    Ok(db)
+}
+
+/// A consumer-banking database: `atm` chronicle and the `dollar_balance`
+/// summary field as a persistent view (the anti-Chemical-Bank setup).
+pub fn banking_db() -> Result<ChronicleDb> {
+    let mut db = ChronicleDb::new();
+    db.execute(ATM_SCHEMA_SQL)?;
+    db.execute(
+        "CREATE VIEW balances AS \
+         SELECT acct, SUM(amount) AS dollar_balance, COUNT(*) AS txns \
+         FROM atm GROUP BY acct",
+    )?;
+    Ok(db)
+}
+
+/// A stock-trading database: `trades` chronicle plus per-symbol volume
+/// views. The 30-day moving window of §5.1 is built separately on top
+/// (see the `stock_window` example and experiment E8).
+pub fn stock_db() -> Result<ChronicleDb> {
+    let mut db = ChronicleDb::new();
+    db.execute(TRADES_SCHEMA_SQL)?;
+    db.execute(
+        "CREATE VIEW volume AS \
+         SELECT symbol, SUM(shares) AS shares, COUNT(*) AS trades \
+         FROM trades GROUP BY symbol",
+    )?;
+    Ok(db)
+}
+
+/// Drive `n` appends from a generator closure into `db` with one tuple per
+/// batch, advancing the chronon by `tick_step` per append.
+pub fn drive(
+    db: &mut ChronicleDb,
+    chronicle: &str,
+    n: usize,
+    tick_step: i64,
+    mut gen_row: impl FnMut() -> Vec<chronicle_types::Value>,
+) -> Result<()> {
+    for i in 0..n {
+        db.append(chronicle, Chronon(i as i64 * tick_step), &[gen_row()])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{AtmGen, CallGen, TradeGen};
+    use chronicle_types::Value;
+
+    #[test]
+    fn cellular_scenario_runs() {
+        let mut db = cellular_db(1, 20).unwrap();
+        let mut calls = CallGen::new(2, 20);
+        drive(&mut db, "calls", 100, 1, || calls.next_row()).unwrap();
+        let rows = db.query_view("total_minutes").unwrap();
+        assert!(!rows.is_empty());
+        let total: f64 = rows.iter().map(|r| r.get(1).as_float().unwrap()).sum();
+        assert!(total > 0.0);
+        // COUNT column sums to the number of calls.
+        let n: i64 = rows.iter().map(|r| r.get(2).as_int().unwrap()).sum();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn banking_scenario_balances() {
+        let mut db = banking_db().unwrap();
+        let mut atm = AtmGen::new(5, 4);
+        let mut expected = std::collections::HashMap::new();
+        for i in 0..200usize {
+            let row = atm.next_row();
+            *expected.entry(row[0].as_int().unwrap()).or_insert(0.0) += row[1].as_float().unwrap();
+            db.append("atm", Chronon(i as i64), &[row]).unwrap();
+        }
+        for (acct, bal) in expected {
+            let got = db
+                .query_view_key("balances", &[Value::Int(acct)])
+                .unwrap()
+                .unwrap();
+            assert!((got.get(1).as_float().unwrap() - bal).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stock_scenario_volume() {
+        let mut db = stock_db().unwrap();
+        let mut trades = TradeGen::new(8);
+        drive(&mut db, "trades", 50, 1, || trades.next_row()).unwrap();
+        let rows = db.query_view("volume").unwrap();
+        let n: i64 = rows.iter().map(|r| r.get(2).as_int().unwrap()).sum();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn frequent_flyer_scenario() {
+        let db = frequent_flyer_db(3, 10).unwrap();
+        assert!(db.query_view("mileage_balance").unwrap().is_empty());
+    }
+}

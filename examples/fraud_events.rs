@@ -1,0 +1,72 @@
+//! Composite-event detection over a transaction chronicle — the §6
+//! "active databases" incarnation of the chronicle model.
+//!
+//! Run with `cargo run --example fraud_events`.
+//!
+//! The event algebra (a variant of regular expressions) is just another
+//! view-definition language L: its persistent view is the per-key NFA
+//! state set, maintained history-lessly — O(pattern states) per event, no
+//! event log kept. Here a bank watches two patterns per account while the
+//! balances view is maintained from the same appends:
+//!
+//! * `withdrawal{3}` — three withdrawals in a row,
+//! * `login ; .* ; large_transfer` — a transfer any time after a login.
+
+use chronicle::prelude::*;
+use chronicle::views::{EventMatcher, Pattern};
+use chronicle::workload::AtmGen;
+
+fn main() -> Result<(), ChronicleError> {
+    let mut db = ChronicleDb::new();
+    db.execute("CREATE CHRONICLE atm (sn SEQ, acct INT, amount FLOAT, kind STRING)")?;
+    db.execute(
+        "CREATE VIEW balances AS SELECT acct, SUM(amount) AS balance FROM atm GROUP BY acct",
+    )?;
+
+    let mut burst = EventMatcher::new(&Pattern::repeat("withdrawal", 3))?;
+    let mut laundering = EventMatcher::new(&Pattern::then_eventually(
+        Pattern::Event("deposit".into()),
+        Pattern::Event("withdrawal".into()),
+    ))?;
+    println!(
+        "patterns compiled: burst={} NFA states, laundering={} states (per-key space bound)\n",
+        burst.state_bound(),
+        laundering.state_bound()
+    );
+
+    let mut gen = AtmGen::new(99, 6);
+    let mut burst_alerts = 0u64;
+    for i in 0..400usize {
+        let row = gen.next_row();
+        let acct = row[0].clone();
+        let kind = row[2].as_str().expect("kind").to_string();
+        db.append("atm", Chronon(i as i64), &[row])?;
+        if burst.on_event(&[acct.clone()], &kind) {
+            burst_alerts += 1;
+            if burst_alerts <= 5 {
+                let balance = db
+                    .query_view_key("balances", &[acct.clone()])?
+                    .and_then(|r| r.get(1).as_float())
+                    .unwrap_or(0.0);
+                println!(
+                    "ALERT txn #{i}: acct {acct} made 3 withdrawals in a row (balance now ${balance:.2})"
+                );
+            }
+        }
+        laundering.on_event(&[acct], &kind);
+    }
+
+    println!("\ntotal burst alerts: {burst_alerts}");
+    for acct in 0..6i64 {
+        println!(
+            "acct {acct}: {:>3} burst matches, {:>3} deposit→withdrawal matches",
+            burst.match_count(&[Value::Int(acct)]),
+            laundering.match_count(&[Value::Int(acct)])
+        );
+    }
+    println!(
+        "\n{} events processed; no event history stored anywhere — only NFA state sets",
+        burst.events_processed()
+    );
+    Ok(())
+}

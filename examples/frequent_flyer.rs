@@ -1,0 +1,108 @@
+//! The frequent-flyer program of Examples 2.1 and 2.2.
+//!
+//! Run with `cargo run --example frequent_flyer`.
+//!
+//! * one chronicle of mileage transactions,
+//! * a customers relation (account, name, address state),
+//! * persistent views for mileage balance and miles flown,
+//! * the New-Jersey bonus: *"each customer living in New Jersey gets a
+//!   bonus of 500 miles on each flight"* — with the implicit temporal join:
+//!   a flight qualifies only if it was made **during** the period of NJ
+//!   residence, which the proactive-update rule delivers automatically,
+//! * premier status (bronze/silver/gold) derived from miles via a tier
+//!   schedule (§5.3).
+
+use chronicle::prelude::*;
+use chronicle::views::{Tier, TierSchedule};
+
+fn main() -> Result<(), ChronicleError> {
+    let mut db = ChronicleDb::new();
+    db.execute("CREATE CHRONICLE flights (sn SEQ, acct INT, miles INT)")?;
+    db.execute(
+        "CREATE RELATION customers (acct INT, name STRING, state STRING, PRIMARY KEY (acct))",
+    )?;
+    db.execute("INSERT INTO customers VALUES (1, 'alice', 'NJ'), (2, 'bob', 'CA')")?;
+
+    // Example 2.1's three persistent views (premier status handled below).
+    db.execute(
+        "CREATE VIEW mileage_balance AS SELECT acct, SUM(miles) AS balance FROM flights GROUP BY acct",
+    )?;
+    db.execute(
+        "CREATE VIEW miles_flown AS SELECT acct, SUM(miles) AS flown, COUNT(*) AS segments \
+         FROM flights GROUP BY acct",
+    )?;
+    // Example 2.2's NJ bonus: 500 bonus miles per flight flown while the
+    // customer lives in NJ. COUNT(*) over the temporal join gives the
+    // number of qualifying flights.
+    db.execute(
+        "CREATE VIEW nj_bonus AS SELECT acct, COUNT(*) AS qualifying FROM flights \
+         JOIN customers ON acct = acct WHERE state = 'NJ' GROUP BY acct",
+    )?;
+
+    // Alice flies twice while living in NJ.
+    db.execute("APPEND INTO flights AT 10 VALUES (1, 1200)")?;
+    db.execute("APPEND INTO flights AT 20 VALUES (1, 800)")?;
+    // Bob flies once from CA (never qualifies).
+    db.execute("APPEND INTO flights AT 25 VALUES (2, 3000)")?;
+
+    // Alice moves to California. The update is *proactive*: it only
+    // affects flights with later sequence numbers (§2.3). Her two earlier
+    // flights keep their bonus.
+    db.execute("UPDATE customers SET state = 'CA' WHERE acct = 1")?;
+    db.execute("APPEND INTO flights AT 30 VALUES (1, 2500)")?;
+
+    let bonus_miles = |db: &ChronicleDb, acct: i64| -> Result<i64, ChronicleError> {
+        Ok(db
+            .query_view_key("nj_bonus", &[Value::Int(acct)])?
+            .and_then(|row| row.get(1).as_int())
+            .unwrap_or(0)
+            * 500)
+    };
+
+    println!("alice NJ bonus miles: {}", bonus_miles(&db, 1)?);
+    println!("bob   NJ bonus miles: {}", bonus_miles(&db, 2)?);
+    assert_eq!(bonus_miles(&db, 1)?, 1000, "two qualifying flights");
+    assert_eq!(bonus_miles(&db, 2)?, 0);
+
+    // Premier status: a §5.3 tier schedule over total miles. The incremental
+    // mapping keeps status current after every flight — no month-end batch.
+    let mut status = TierSchedule::new(vec![
+        Tier {
+            threshold: 0.0,
+            rate: 0.0,
+        }, // base
+        Tier {
+            threshold: 2_000.0,
+            rate: 0.0,
+        }, // bronze
+        Tier {
+            threshold: 4_000.0,
+            rate: 0.0,
+        }, // silver
+        Tier {
+            threshold: 10_000.0,
+            rate: 0.0,
+        }, // gold
+    ])?;
+    let names = ["member", "bronze", "silver", "gold"];
+    for acct in [1i64, 2] {
+        let balance = db
+            .query_view_key("mileage_balance", &[Value::Int(acct)])?
+            .and_then(|r| r.get(1).as_int())
+            .unwrap_or(0);
+        let st = status.apply(&[Value::Int(acct)], balance as f64);
+        println!(
+            "acct {acct}: balance {} (+{} bonus) -> {}",
+            balance,
+            bonus_miles(&db, acct)?,
+            names[st.tier]
+        );
+    }
+
+    // The whole history lives only in the views: the chronicle stored
+    // nothing.
+    let id = db.catalog().chronicle_id("flights")?;
+    assert_eq!(db.catalog().chronicle(id).stored_len(), 0);
+    println!("\nchronicle storage used: 0 tuples — the views carry the summary");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! An interactive shell for the chronicle database.
+//!
+//! Run with `cargo run --example repl`, then type statements:
+//!
+//! ```text
+//! chronicle> CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)
+//! chronicle> CREATE VIEW totals AS SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller
+//! chronicle> APPEND INTO calls VALUES (555, 12.5)
+//! chronicle> SELECT * FROM totals
+//! chronicle> .views          -- list views with their IM classes
+//! chronicle> .stats          -- maintenance statistics
+//! chronicle> .quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use chronicle::db::ExecOutcome;
+use chronicle::prelude::*;
+
+fn main() {
+    let mut db = ChronicleDb::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    println!("chronicle repl — SQL statements, or .views / .stats / .quit");
+    loop {
+        print!("chronicle> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".views" => {
+                for v in db.maintainer().iter_views() {
+                    println!(
+                        "{:<24} {:<10} {:<12} rows={:<8} {}",
+                        v.name(),
+                        v.expr().language_name(),
+                        v.expr().im_class().to_string(),
+                        v.len(),
+                        v.expr()
+                    );
+                }
+                continue;
+            }
+            ".stats" => {
+                let s = db.stats();
+                println!(
+                    "appends: {}  tuples: {}  mean maintenance: {:.0} ns  p99: {} ns",
+                    s.appends,
+                    s.tuples_appended,
+                    s.mean_maintenance_nanos(),
+                    s.latency_percentile(0.99)
+                );
+                println!(
+                    "router: {} guard-skips, {} interval-skips; work: {:?}",
+                    s.skipped_by_guard, s.skipped_by_interval, s.work
+                );
+                continue;
+            }
+            _ => {}
+        }
+        match db.execute(line) {
+            Ok(ExecOutcome::Created(kind, name)) => println!("created {kind} `{name}`"),
+            Ok(ExecOutcome::Appended(o)) => println!(
+                "appended at {} ({} views maintained in {} ns)",
+                o.seq,
+                o.report.views.len(),
+                o.report.elapsed_nanos
+            ),
+            Ok(ExecOutcome::RelationChanged(n)) => println!("{n} row(s) changed"),
+            Ok(ExecOutcome::Rows(rows)) => {
+                for r in &rows {
+                    println!("{r}");
+                }
+                println!("({} row(s))", rows.len());
+            }
+            Ok(ExecOutcome::Dropped(name)) => println!("dropped `{name}`"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

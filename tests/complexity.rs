@@ -1,0 +1,304 @@
+//! Deterministic complexity-shape assertions across crates, using the
+//! delta engine's work counters (never wall time).
+
+use chronicle::algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle::algebra::{
+    AggFunc, AggSpec, CaExpr, CmpOp, ImClass, LanguageFragment, Predicate, RelationRef, ScaExpr,
+    WorkCounter,
+};
+use chronicle::prelude::*;
+use chronicle::store::{Catalog, Retention};
+
+fn schema() -> Schema {
+    Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("v", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap()
+}
+
+fn setup(rel_size: i64) -> (Catalog, ChronicleId, RelationRef) {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    let c = cat
+        .create_chronicle("c", g, schema(), Retention::None)
+        .unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("w", AttrType::Float),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let r = cat.create_relation("r", rs.clone()).unwrap();
+    for i in 0..rel_size {
+        cat.relation_insert(r, g, Tuple::new(vec![Value::Int(i), Value::Float(1.0)]))
+            .unwrap();
+    }
+    (cat, c, RelationRef::new(r, rs, "r"))
+}
+
+fn one_tuple_batch(c: ChronicleId, seq: u64) -> DeltaBatch {
+    DeltaBatch {
+        chronicle: c,
+        seq: SeqNo(seq),
+        tuples: vec![Tuple::new(vec![
+            Value::Seq(SeqNo(seq)),
+            Value::Int(7),
+            Value::Float(1.0),
+        ])],
+    }
+}
+
+fn work_of(cat: &Catalog, view: &ScaExpr, c: ChronicleId) -> u64 {
+    let engine = DeltaEngine::new(cat);
+    let mut w = WorkCounter::default();
+    engine
+        .delta_sca(view, &one_tuple_batch(c, 1), &mut w)
+        .unwrap();
+    w.total()
+}
+
+#[test]
+fn sca1_work_independent_of_relation_and_chronicle_size() {
+    let mut works = Vec::new();
+    for rel_size in [0i64, 10, 10_000] {
+        let (cat, c, _) = setup(rel_size);
+        let view = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)),
+            &["k"],
+            vec![AggSpec::new(AggFunc::Sum(2), "s")],
+        )
+        .unwrap();
+        assert_eq!(view.im_class(), ImClass::Constant);
+        works.push(work_of(&cat, &view, c));
+    }
+    assert!(works.windows(2).all(|w| w[0] == w[1]), "{works:?}");
+
+    // And independent of how many appends have happened (|C| grows, work
+    // per append does not).
+    let (cat, c, _) = setup(0);
+    let view = ScaExpr::group_agg(
+        CaExpr::chronicle(cat.chronicle(c)),
+        &["k"],
+        vec![AggSpec::new(AggFunc::Sum(2), "s")],
+    )
+    .unwrap();
+    let engine = DeltaEngine::new(&cat);
+    let mut first = None;
+    for i in 1..=10_000u64 {
+        let mut w = WorkCounter::default();
+        engine
+            .delta_sca(&view, &one_tuple_batch(c, i), &mut w)
+            .unwrap();
+        match first {
+            None => first = Some(w.total()),
+            Some(f) => assert_eq!(w.total(), f, "work changed at append {i}"),
+        }
+    }
+}
+
+#[test]
+fn key_join_probes_constant_product_scans_linear() {
+    let mut probe_counts = Vec::new();
+    let mut scan_counts = Vec::new();
+    for rel_size in [10i64, 100, 1_000, 10_000] {
+        let (cat, c, rel) = setup(rel_size);
+        let keyed = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c))
+                .join_rel_key(rel.clone(), &["k"])
+                .unwrap(),
+            &["k"],
+            vec![AggSpec::new(AggFunc::Sum(2), "s")],
+        )
+        .unwrap();
+        assert_eq!(keyed.fragment(), LanguageFragment::CaKey);
+        let product = ScaExpr::group_agg(
+            CaExpr::chronicle(cat.chronicle(c)).product(rel).unwrap(),
+            &["k"],
+            vec![AggSpec::new(AggFunc::Sum(2), "s")],
+        )
+        .unwrap();
+        assert_eq!(product.fragment(), LanguageFragment::Ca);
+        let engine = DeltaEngine::new(&cat);
+        let mut wk = WorkCounter::default();
+        engine
+            .delta_sca(&keyed, &one_tuple_batch(c, 1), &mut wk)
+            .unwrap();
+        let mut wp = WorkCounter::default();
+        engine
+            .delta_sca(&product, &one_tuple_batch(c, 1), &mut wp)
+            .unwrap();
+        probe_counts.push(wk.index_probes);
+        scan_counts.push(wp.rel_tuples_scanned);
+    }
+    assert!(
+        probe_counts.windows(2).all(|w| w[0] == w[1]),
+        "key join probes must not grow with |R|: {probe_counts:?}"
+    );
+    assert_eq!(scan_counts, vec![10, 100, 1_000, 10_000]);
+}
+
+#[test]
+fn delta_size_matches_theorem_4_2_formula() {
+    // j chained products over a relation of size R produce R^j delta tuples
+    // per single-tuple append.
+    let r_size = 5i64;
+    for j in 0..4u32 {
+        let (cat, c, rel) = setup(r_size);
+        let mut expr = CaExpr::chronicle(cat.chronicle(c));
+        for _ in 0..j {
+            expr = expr.product(rel.clone()).unwrap();
+        }
+        let engine = DeltaEngine::new(&cat);
+        let mut w = WorkCounter::default();
+        let delta = engine
+            .delta_ca(&expr, &one_tuple_batch(c, 1), &mut w)
+            .unwrap();
+        assert_eq!(delta.len() as f64, (r_size as f64).powi(j as i32));
+        assert_eq!(expr.cost_model().joins, j);
+    }
+}
+
+#[test]
+fn view_apply_work_linear_in_batch_size() {
+    let (cat, c, _) = setup(0);
+    let expr = ScaExpr::group_agg(
+        CaExpr::chronicle(cat.chronicle(c)),
+        &["k"],
+        vec![AggSpec::new(AggFunc::Sum(2), "s")],
+    )
+    .unwrap();
+    let mut m = chronicle::views::Maintainer::new();
+    m.register("v", expr).unwrap();
+    let mut works = Vec::new();
+    for (i, t) in [1usize, 10, 100].into_iter().enumerate() {
+        let tuples: Vec<Tuple> = (0..t)
+            .map(|k| {
+                Tuple::new(vec![
+                    Value::Seq(SeqNo(i as u64 + 1)),
+                    Value::Int(k as i64 + 1_000_000), // brand-new groups each time
+                    Value::Float(1.0),
+                ])
+            })
+            .collect();
+        let ev = chronicle::views::AppendEvent {
+            chronicle: c,
+            seq: SeqNo(i as u64 + 1),
+            chronon: Chronon(i as i64),
+            tuples,
+        };
+        let report = m.on_append(&cat, &ev).unwrap();
+        works.push(report.total_work.total() as f64 / t as f64);
+    }
+    // Per-tuple work is constant => total is linear in t.
+    let max = works.iter().cloned().fold(0.0, f64::max);
+    let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max / min < 1.5, "per-tuple work should be flat: {works:?}");
+}
+
+#[test]
+fn theorem_4_3_all_rejections_have_reasons() {
+    let (cat, c, _) = setup(1);
+    let base = || CaExpr::chronicle(cat.chronicle(c));
+
+    // (1) SN-dropping projection inside CA.
+    let err = base().project(&["k", "v"]).unwrap_err();
+    assert!(matches!(
+        err,
+        ChronicleError::NotInLanguage { language: "CA", .. }
+    ));
+
+    // (2) SN-free grouping inside CA.
+    let err = base()
+        .group_by_seq(&["k"], vec![AggSpec::new(AggFunc::Sum(2), "s")])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ChronicleError::NotInLanguage { language: "CA", .. }
+    ));
+
+    // (3) chronicle × chronicle.
+    let err = base().product_chronicles(base()).unwrap_err();
+    assert!(err.to_string().contains("polynomial in |C|"));
+
+    // (4) non-equi SN join.
+    let err = base().join_seq_theta(base(), CmpOp::Le).unwrap_err();
+    assert!(err.to_string().contains("Theorem 4.3"));
+
+    // And the SCA summarization mirrors: SN must be dropped there.
+    let err = ScaExpr::project(base(), &["sn", "k"]).unwrap_err();
+    assert!(matches!(
+        err,
+        ChronicleError::NotInLanguage {
+            language: "SCA",
+            ..
+        }
+    ));
+    let err = ScaExpr::group_agg(base(), &["sn"], vec![AggSpec::new(AggFunc::CountStar, "n")])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ChronicleError::NotInLanguage {
+            language: "SCA",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn im_class_ladder_is_strict() {
+    assert!(ImClass::Constant < ImClass::LogR);
+    assert!(ImClass::LogR < ImClass::PolyR);
+    assert!(ImClass::PolyR < ImClass::PolyC);
+    assert_eq!(LanguageFragment::Ca1.im_class(), ImClass::Constant);
+    assert_eq!(LanguageFragment::CaKey.im_class(), ImClass::LogR);
+    assert_eq!(LanguageFragment::Ca.im_class(), ImClass::PolyR);
+}
+
+#[test]
+fn maintenance_never_reads_the_chronicle() {
+    // With Retention::None, anything that touched chronicle storage would
+    // error; maintain thousands of appends over a rich view to prove the
+    // path is storage-free.
+    let (cat, c, rel) = setup(100);
+    let base = CaExpr::chronicle(cat.chronicle(c));
+    let p = Predicate::attr_cmp_const(base.schema(), "v", CmpOp::Ge, Value::Float(0.0)).unwrap();
+    let expr = ScaExpr::group_agg(
+        base.clone()
+            .select(p)
+            .unwrap()
+            .union(base)
+            .unwrap()
+            .join_rel_key(rel, &["k"])
+            .unwrap(),
+        &["k"],
+        vec![
+            AggSpec::new(AggFunc::Sum(2), "s"),
+            AggSpec::new(AggFunc::Min(2), "lo"),
+            AggSpec::new(AggFunc::Max(2), "hi"),
+        ],
+    )
+    .unwrap();
+    let mut m = chronicle::views::Maintainer::new();
+    m.register("v", expr).unwrap();
+    for i in 1..=5_000u64 {
+        let ev = chronicle::views::AppendEvent {
+            chronicle: c,
+            seq: SeqNo(i),
+            chronon: Chronon(i as i64),
+            tuples: vec![Tuple::new(vec![
+                Value::Seq(SeqNo(i)),
+                Value::Int((i % 100) as i64),
+                Value::Float(0.5),
+            ])],
+        };
+        m.on_append(&cat, &ev).unwrap();
+    }
+    assert_eq!(m.view_by_name("v").unwrap().len(), 100);
+}

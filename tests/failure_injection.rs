@@ -1,0 +1,216 @@
+//! Failure injection: every documented error path produces a typed error
+//! and leaves the database in a usable, consistent state.
+
+use chronicle::prelude::*;
+
+fn db() -> ChronicleDb {
+    let mut db = ChronicleDb::new();
+    db.execute("CREATE CHRONICLE c (sn SEQ, k INT, v FLOAT)")
+        .unwrap();
+    db.execute("CREATE RELATION r (k INT, w FLOAT, PRIMARY KEY (k))")
+        .unwrap();
+    db.execute("CREATE VIEW s AS SELECT k, SUM(v) AS t FROM c GROUP BY k")
+        .unwrap();
+    db
+}
+
+#[test]
+fn non_monotonic_append_rejected_and_state_intact() {
+    let mut d = db();
+    d.execute("APPEND INTO c VALUES (5, 1, 1.0)").unwrap(); // explicit SN 5
+    let err = d.execute("APPEND INTO c VALUES (3, 1, 1.0)").unwrap_err();
+    assert!(matches!(err, ChronicleError::NonMonotonicAppend { .. }));
+    // No partial effects: the view still reflects exactly one append.
+    assert_eq!(
+        d.query_view_key("s", &[Value::Int(1)])
+            .unwrap()
+            .unwrap()
+            .get(1),
+        &Value::Float(1.0)
+    );
+    // The database keeps working.
+    d.execute("APPEND INTO c VALUES (1, 2.0)").unwrap();
+    assert_eq!(
+        d.query_view_key("s", &[Value::Int(1)])
+            .unwrap()
+            .unwrap()
+            .get(1),
+        &Value::Float(3.0)
+    );
+}
+
+#[test]
+fn schema_violations_rejected() {
+    let mut d = db();
+    // Wrong arity.
+    assert!(matches!(
+        d.execute("APPEND INTO c VALUES (1)").unwrap_err(),
+        ChronicleError::ArityMismatch { .. }
+    ));
+    // Wrong type.
+    assert!(d.execute("APPEND INTO c VALUES ('nope', 1.0)").is_err());
+    // NULL sequencing attribute (explicit full-arity row).
+    assert!(d.execute("APPEND INTO c VALUES (NULL, 1, 1.0)").is_err());
+    // Relation key violation.
+    d.execute("INSERT INTO r VALUES (1, 1.0)").unwrap();
+    assert!(matches!(
+        d.execute("INSERT INTO r VALUES (1, 2.0)").unwrap_err(),
+        ChronicleError::KeyViolation { .. }
+    ));
+}
+
+#[test]
+fn unknown_objects_rejected() {
+    let mut d = db();
+    assert!(matches!(
+        d.execute("APPEND INTO ghost VALUES (1, 1.0)").unwrap_err(),
+        ChronicleError::NotFound {
+            kind: "chronicle",
+            ..
+        }
+    ));
+    assert!(matches!(
+        d.execute("SELECT * FROM ghost").unwrap_err(),
+        ChronicleError::NotFound { .. }
+    ));
+    assert!(matches!(
+        d.execute("DROP VIEW ghost").unwrap_err(),
+        ChronicleError::NotFound { kind: "view", .. }
+    ));
+    assert!(d.execute("CREATE VIEW v AS SELECT ghost FROM c").is_err());
+}
+
+#[test]
+fn duplicate_names_rejected() {
+    let mut d = db();
+    assert!(matches!(
+        d.execute("CREATE CHRONICLE c (sn SEQ, x INT)").unwrap_err(),
+        ChronicleError::AlreadyExists { .. }
+    ));
+    assert!(matches!(
+        d.execute("CREATE RELATION r (x INT)").unwrap_err(),
+        ChronicleError::AlreadyExists { .. }
+    ));
+    assert!(matches!(
+        d.execute("CREATE VIEW s AS SELECT k FROM c").unwrap_err(),
+        ChronicleError::AlreadyExists { .. }
+    ));
+}
+
+#[test]
+fn parse_errors_carry_position_and_hint() {
+    let mut d = db();
+    let err = d
+        .execute("CREATE VIEW v AS SELECT k FROM c WHERE")
+        .unwrap_err();
+    assert!(matches!(err, ChronicleError::Parse { .. }));
+    let err = d
+        .execute("CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM c WHERE k = 1 AND v > 2 OR k = 3 GROUP BY k")
+        .unwrap_err();
+    assert!(err.to_string().contains("Def. 4.1"), "{err}");
+}
+
+#[test]
+fn chronicle_as_relation_and_vice_versa_rejected() {
+    let mut d = db();
+    // INSERT into a chronicle is not a thing — APPEND is.
+    assert!(d.execute("INSERT INTO c VALUES (1, 1.0)").is_err());
+    // APPEND into a relation is not a thing.
+    assert!(d.execute("APPEND INTO r VALUES (1, 1.0)").is_err());
+    // A relation schema cannot carry a SEQ column.
+    assert!(d.execute("CREATE RELATION bad (sn SEQ, x INT)").is_err());
+    // A chronicle schema must carry exactly one SEQ column.
+    assert!(d.execute("CREATE CHRONICLE bad (x INT, y INT)").is_err());
+}
+
+#[test]
+fn retroactive_updates_rejected_via_temporal_api() {
+    let mut d = db();
+    d.execute("APPEND INTO c VALUES (1, 1.0)").unwrap();
+    let g = d.catalog().group_id("default").unwrap();
+    let hw = d.catalog().group(g).high_water();
+    let rid = d.catalog().relation_id("r").unwrap();
+    let err = d
+        .catalog_mut()
+        .relation_mut(rid)
+        .insert_effective(
+            Tuple::new(vec![Value::Int(9), Value::Float(1.0)]),
+            SeqNo(1), // effective in the past
+            hw,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ChronicleError::RetroactiveUpdate { .. }));
+    // The proactive path still works afterwards.
+    d.execute("INSERT INTO r VALUES (9, 1.0)").unwrap();
+}
+
+#[test]
+fn cross_group_operations_rejected() {
+    let mut d = ChronicleDb::new();
+    d.execute("CREATE GROUP g1").unwrap();
+    d.execute("CREATE GROUP g2").unwrap();
+    d.execute("CREATE CHRONICLE a (sn SEQ, x INT) IN GROUP g1")
+        .unwrap();
+    d.execute("CREATE CHRONICLE b (sn SEQ, x INT) IN GROUP g2")
+        .unwrap();
+    let a = d.catalog().chronicle_id("a").unwrap();
+    let b = d.catalog().chronicle_id("b").unwrap();
+    let ea = chronicle::algebra::CaExpr::chronicle(d.catalog().chronicle(a));
+    let eb = chronicle::algebra::CaExpr::chronicle(d.catalog().chronicle(b));
+    assert!(matches!(
+        ea.clone().union(eb.clone()).unwrap_err(),
+        ChronicleError::CrossGroupOperation { .. }
+    ));
+    assert!(matches!(
+        ea.clone().diff(eb.clone()).unwrap_err(),
+        ChronicleError::CrossGroupOperation { .. }
+    ));
+    assert!(matches!(
+        ea.join_seq(eb).unwrap_err(),
+        ChronicleError::CrossGroupOperation { .. }
+    ));
+}
+
+#[test]
+fn failed_view_creation_rolls_back() {
+    let mut d = ChronicleDb::new();
+    d.execute("CREATE CHRONICLE c (sn SEQ, k INT, v FLOAT)")
+        .unwrap(); // RETAIN NONE
+    d.execute("APPEND INTO c VALUES (1, 1.0)").unwrap();
+    // Bootstrapping from unretained history fails...
+    let err = d
+        .execute("CREATE VIEW s AS SELECT k, SUM(v) AS t FROM c GROUP BY k")
+        .unwrap_err();
+    assert!(matches!(err, ChronicleError::ChronicleNotStored { .. }));
+    // ...and leaves no half-registered view behind: the name is reusable
+    // and appends do not crash on a phantom view.
+    assert!(d.query_view("s").is_err());
+    d.execute("APPEND INTO c VALUES (2, 1.0)").unwrap();
+}
+
+#[test]
+fn update_delete_require_key_filter() {
+    let mut d = db();
+    d.execute("INSERT INTO r VALUES (1, 1.0)").unwrap();
+    assert!(d.execute("UPDATE r SET w = 2.0 WHERE w = 1.0").is_err());
+    assert!(d.execute("DELETE FROM r WHERE w = 1.0").is_err());
+    d.execute("UPDATE r SET w = 2.0 WHERE k = 1").unwrap();
+    d.execute("DELETE FROM r WHERE k = 1").unwrap();
+}
+
+#[test]
+fn sql_type_mismatch_in_where_rejected() {
+    let mut d = db();
+    let err = d
+        .execute("CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM c WHERE v = 'text' GROUP BY k")
+        .unwrap_err();
+    assert!(matches!(err, ChronicleError::TypeMismatch { .. }));
+}
+
+#[test]
+fn empty_batch_append_is_harmless() {
+    let mut d = db();
+    let out = d.append("c", Chronon(1), &[]).unwrap();
+    assert_eq!(out.seq, SeqNo(1));
+    assert!(d.query_view("s").unwrap().is_empty());
+}

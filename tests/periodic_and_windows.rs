@@ -1,0 +1,216 @@
+//! Integration tests for §5.1: periodic views, calendars, expiration, and
+//! the equivalence of the cyclic-buffer optimization with the general
+//! periodic-view machinery.
+
+use proptest::prelude::*;
+
+use chronicle::algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
+use chronicle::prelude::*;
+use chronicle::views::SlidingWindow;
+
+fn trade_db(retain_all: bool) -> ChronicleDb {
+    let mut db = ChronicleDb::new();
+    let retain = if retain_all { "RETAIN ALL" } else { "" };
+    db.execute(&format!(
+        "CREATE CHRONICLE trades (sn SEQ, symbol STRING, shares INT) {retain}"
+    ))
+    .unwrap();
+    db
+}
+
+#[test]
+fn monthly_billing_statements() {
+    let mut db = trade_db(false);
+    db.execute(
+        "CREATE PERIODIC VIEW monthly AS SELECT symbol, SUM(shares) AS vol \
+         FROM trades GROUP BY symbol OVER CALENDAR EVERY 30",
+    )
+    .unwrap();
+    // Month 0: days 0..29, month 1: days 30..59.
+    db.execute("APPEND INTO trades AT 3 VALUES ('T', 100)")
+        .unwrap();
+    db.execute("APPEND INTO trades AT 29 VALUES ('T', 50)")
+        .unwrap();
+    db.execute("APPEND INTO trades AT 30 VALUES ('T', 7)")
+        .unwrap();
+    db.execute("APPEND INTO trades AT 59 VALUES ('IBM', 1)")
+        .unwrap();
+
+    let set = db.periodic_view("monthly").unwrap();
+    assert_eq!(
+        set.query(0, &[Value::str("T")]).unwrap().get(1),
+        &Value::Int(150)
+    );
+    assert_eq!(
+        set.query(1, &[Value::str("T")]).unwrap().get(1),
+        &Value::Int(7)
+    );
+    assert_eq!(
+        set.query(1, &[Value::str("IBM")]).unwrap().get(1),
+        &Value::Int(1)
+    );
+    let (live, closed, expired) = set.counts();
+    assert_eq!((live, closed, expired), (1, 1, 0));
+}
+
+#[test]
+fn expiry_bounds_space_for_infinite_calendars() {
+    let mut db = trade_db(false);
+    db.execute(
+        "CREATE PERIODIC VIEW m AS SELECT symbol, COUNT(*) AS n \
+         FROM trades GROUP BY symbol OVER CALENDAR EVERY 10 EXPIRE AFTER 10",
+    )
+    .unwrap();
+    for day in 0..500i64 {
+        db.execute(&format!("APPEND INTO trades AT {day} VALUES ('T', 1)"))
+            .unwrap();
+    }
+    let (live, closed, expired) = db.periodic_view("m").unwrap().counts();
+    assert_eq!(live, 1);
+    assert!(
+        closed <= 2,
+        "expiry keeps closed views bounded, got {closed}"
+    );
+    assert!(expired >= 45);
+}
+
+#[test]
+fn single_interval_calendar_is_a_plain_selected_view() {
+    // "When the calendar D has only one interval, the periodic view
+    // corresponds to a single view defined using an extra selection."
+    let mut db = trade_db(false);
+    let trades = db.catalog().chronicle_id("trades").unwrap();
+    let expr = ScaExpr::group_agg(
+        CaExpr::chronicle(db.catalog().chronicle(trades)),
+        &["symbol"],
+        vec![AggSpec::new(AggFunc::Sum(2), "vol")],
+    )
+    .unwrap();
+    db.create_periodic_view(
+        "q1",
+        expr,
+        Calendar::single(Interval::new(Chronon(10), Chronon(20)).unwrap()),
+        None,
+    )
+    .unwrap();
+    for day in 0..30i64 {
+        db.execute(&format!("APPEND INTO trades AT {day} VALUES ('T', 1)"))
+            .unwrap();
+    }
+    let set = db.periodic_view("q1").unwrap();
+    // Only days 10..19 counted.
+    assert_eq!(
+        set.query(0, &[Value::str("T")]).unwrap().get(1),
+        &Value::Int(10)
+    );
+    assert!(set.query(1, &[Value::str("T")]).is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The §5.1 cyclic buffer computes exactly what the general
+    /// periodic-view family computes for every overlapping window, for
+    /// arbitrary trade streams.
+    #[test]
+    fn cyclic_buffer_equals_periodic_views(
+        trades in prop::collection::vec((0..3usize, 1..100i64, 0..4i64), 1..60),
+        width in 2..6i64,
+    ) {
+        let symbols = ["T", "IBM", "GE"];
+        let mut db = trade_db(false);
+        let trades_id = db.catalog().chronicle_id("trades").unwrap();
+        let expr = ScaExpr::group_agg(
+            CaExpr::chronicle(db.catalog().chronicle(trades_id)),
+            &["symbol"],
+            vec![
+                AggSpec::new(AggFunc::Sum(2), "vol"),
+                AggSpec::new(AggFunc::Max(2), "biggest"),
+            ],
+        )
+        .unwrap();
+        db.create_periodic_view(
+            "win",
+            expr,
+            Calendar::sliding(Chronon(0), width, 1).unwrap(),
+            None,
+        )
+        .unwrap();
+        let mut cyclic = SlidingWindow::new(
+            Chronon(0),
+            width as usize,
+            1,
+            vec![0],
+            vec![AggFunc::Sum(1), AggFunc::Max(1)],
+        )
+        .unwrap();
+
+        // Trades arrive with non-decreasing day offsets.
+        let mut day = 0i64;
+        for (sym, shares, advance) in &trades {
+            day += advance;
+            let symbol = symbols[*sym];
+            db.execute(&format!(
+                "APPEND INTO trades AT {day} VALUES ('{symbol}', {shares})"
+            ))
+            .unwrap();
+            cyclic
+                .insert(Chronon(day), &Tuple::new(vec![Value::str(symbol), Value::Int(*shares)]))
+                .unwrap();
+        }
+
+        // The window ending today started (width-1) days ago.
+        let idx = (day - (width - 1)).max(0) as u64;
+        let set = db.periodic_view("win").unwrap();
+        for symbol in symbols {
+            let key = [Value::str(symbol)];
+            let cyc = cyclic.query(&key, Chronon(day)).unwrap();
+            match set.query(idx, &key) {
+                Some(row) => {
+                    prop_assert_eq!(&cyc[0], row.get(1), "SUM mismatch for {}", symbol);
+                    prop_assert_eq!(&cyc[1], row.get(2), "MAX mismatch for {}", symbol);
+                }
+                None => {
+                    prop_assert_eq!(&cyc[0], &Value::Null, "{} traded?", symbol);
+                }
+            }
+        }
+    }
+
+    /// Periodic views over a monthly calendar partition the lifetime view:
+    /// the per-month sums add up to the lifetime sum.
+    #[test]
+    fn monthly_views_partition_lifetime(
+        trades in prop::collection::vec((1..100i64, 0..5i64), 1..50),
+    ) {
+        let mut db = trade_db(false);
+        db.execute(
+            "CREATE VIEW lifetime AS SELECT symbol, SUM(shares) AS vol FROM trades GROUP BY symbol",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE PERIODIC VIEW monthly AS SELECT symbol, SUM(shares) AS vol \
+             FROM trades GROUP BY symbol OVER CALENDAR EVERY 7",
+        )
+        .unwrap();
+        let mut day = 0i64;
+        for (shares, advance) in &trades {
+            day += advance;
+            db.execute(&format!("APPEND INTO trades AT {day} VALUES ('T', {shares})"))
+                .unwrap();
+        }
+        let lifetime = db
+            .query_view_key("lifetime", &[Value::str("T")])
+            .unwrap()
+            .and_then(|r| r.get(1).as_int())
+            .unwrap_or(0);
+        let set = db.periodic_view("monthly").unwrap();
+        let mut monthly_total = 0i64;
+        for (_, state) in set.live_views().chain(set.closed_views()) {
+            if let Some(row) = state.view.get(&[Value::str("T")]) {
+                monthly_total += row.get(1).as_int().unwrap_or(0);
+            }
+        }
+        prop_assert_eq!(monthly_total, lifetime);
+    }
+}

@@ -1,0 +1,130 @@
+//! Restart persistence: persistent views are the only durable state of a
+//! chronicle system (the chronicle itself is not stored), so snapshotting
+//! the views plus replaying the DDL must fully reconstruct the system.
+
+use chronicle::prelude::*;
+use chronicle::workload::AtmGen;
+
+const DDL: &[&str] = &[
+    "CREATE CHRONICLE atm (sn SEQ, acct INT, amount FLOAT)",
+    "CREATE VIEW balances AS SELECT acct, SUM(amount) AS b, COUNT(*) AS n FROM atm GROUP BY acct",
+    "CREATE VIEW extremes AS SELECT acct, MIN(amount) AS lo, MAX(amount) AS hi, AVG(amount) AS mean FROM atm GROUP BY acct",
+    "CREATE VIEW seen_accts AS SELECT acct FROM atm",
+];
+
+fn fresh() -> ChronicleDb {
+    let mut db = ChronicleDb::new();
+    for stmt in DDL {
+        db.execute(stmt).unwrap();
+    }
+    db
+}
+
+#[test]
+fn snapshot_restore_reconstructs_all_views() {
+    // Phase 1: run a workload.
+    let mut db = fresh();
+    let mut gen = AtmGen::new(11, 50);
+    for i in 0..1_000usize {
+        let row = gen.next_row();
+        db.append(
+            "atm",
+            Chronon(i as i64),
+            &[vec![row[0].clone(), row[1].clone()]],
+        )
+        .unwrap();
+    }
+    let snapshots = db.snapshot_views();
+    assert_eq!(snapshots.len(), 3);
+    let before: Vec<(String, Vec<Tuple>)> = ["balances", "extremes", "seen_accts"]
+        .iter()
+        .map(|v| (v.to_string(), db.query_view(v).unwrap()))
+        .collect();
+
+    // Phase 2: "restart" — new process: replay DDL, restore snapshots.
+    let mut db2 = fresh();
+    for (name, bytes) in &snapshots {
+        db2.restore_view(name, bytes).unwrap();
+    }
+    for (name, rows) in &before {
+        assert_eq!(
+            &db2.query_view(name).unwrap(),
+            rows,
+            "view `{name}` differs after restart"
+        );
+    }
+
+    // Phase 3: both instances continue identically on the same suffix.
+    let suffix: Vec<Vec<Value>> = (0..50)
+        .map(|_| {
+            let row = gen.next_row();
+            vec![row[0].clone(), row[1].clone()]
+        })
+        .collect();
+    for (i, row) in suffix.iter().enumerate() {
+        db.append("atm", Chronon(1_000 + i as i64), &[row.clone()])
+            .unwrap();
+        db2.append("atm", Chronon(i as i64), &[row.clone()])
+            .unwrap();
+    }
+    for name in ["balances", "extremes", "seen_accts"] {
+        assert_eq!(
+            db.query_view(name).unwrap(),
+            db2.query_view(name).unwrap(),
+            "view `{name}` diverged after restart + continued ingest"
+        );
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_views() {
+    let mut db = fresh();
+    db.execute("APPEND INTO atm VALUES (1, 5.0)").unwrap();
+    let snapshots = db.snapshot_views();
+    let balances = &snapshots.iter().find(|(n, _)| n == "balances").unwrap().1;
+
+    let mut db2 = fresh();
+    // Wrong view (projection vs group-agg).
+    assert!(db2.restore_view("seen_accts", balances).is_err());
+    // Wrong aggregate list (extremes has 3 aggregates, balances 2).
+    assert!(db2.restore_view("extremes", balances).is_err());
+    // Unknown view.
+    assert!(db2.restore_view("ghost", balances).is_err());
+    // Corrupted payload.
+    let mut bad = balances.clone();
+    let last = bad.len() - 1;
+    bad.truncate(last);
+    assert!(db2.restore_view("balances", &bad).is_err());
+    // And the right one works.
+    db2.restore_view("balances", balances).unwrap();
+    assert_eq!(
+        db2.query_view_key("balances", &[Value::Int(1)])
+            .unwrap()
+            .unwrap()
+            .get(1),
+        &Value::Float(5.0)
+    );
+}
+
+#[test]
+fn snapshots_are_compact() {
+    // The snapshot is proportional to |V| (the view), not to the stream:
+    // 100k appends over 10 accounts must produce a tiny snapshot.
+    let mut db = fresh();
+    let mut gen = AtmGen::new(3, 10);
+    for i in 0..20_000usize {
+        let row = gen.next_row();
+        db.append(
+            "atm",
+            Chronon(i as i64),
+            &[vec![row[0].clone(), row[1].clone()]],
+        )
+        .unwrap();
+    }
+    let snapshots = db.snapshot_views();
+    let total: usize = snapshots.iter().map(|(_, b)| b.len()).sum();
+    assert!(
+        total < 4096,
+        "snapshot of 10-account views should be tiny, got {total} bytes"
+    );
+}
