@@ -9,7 +9,8 @@
 //! more, no less, for every operator combination. This is checked here for
 //! randomly generated expressions and append histories.
 
-use proptest::prelude::*;
+use chronicle_testkit::prop::{boxed, ints, just, map, pair, triple, vec_of, weighted, Gen};
+use chronicle_testkit::{prop_assert_eq, prop_test};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::eval::{canon, eval_ca};
@@ -17,11 +18,12 @@ use chronicle_algebra::{
     AggFunc, AggSpec, CaExpr, CmpOp, Operand, Predicate, RelationRef, WorkCounter,
 };
 use chronicle_store::{Catalog, Retention};
-use chronicle_types::{tuple, AttrType, Attribute, Chronon, ChronicleId, Schema, SeqNo, Tuple, Value};
+use chronicle_types::{
+    tuple, AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Tuple, Value,
+};
 
 #[derive(Debug, Clone)]
 enum Shape {
-    Base,
     Select(i8),
     Union,
     Diff,
@@ -31,17 +33,17 @@ enum Shape {
     Product,
 }
 
-fn shape_strategy() -> impl Strategy<Value = Vec<Shape>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => (-1..6i8).prop_map(Shape::Select),
-            2 => Just(Shape::Union),
-            2 => Just(Shape::Diff),
-            1 => Just(Shape::JoinSeqSelves),
-            1 => Just(Shape::GroupBySeq),
-            1 => Just(Shape::KeyJoin),
-            1 => Just(Shape::Product),
-        ],
+fn shape_gen() -> impl Gen<Value = Vec<Shape>> {
+    vec_of(
+        weighted(vec![
+            (3, boxed(map(ints(-1..6i8), Shape::Select))),
+            (2, boxed(just(Shape::Union))),
+            (2, boxed(just(Shape::Diff))),
+            (1, boxed(just(Shape::JoinSeqSelves))),
+            (1, boxed(just(Shape::GroupBySeq))),
+            (1, boxed(just(Shape::KeyJoin))),
+            (1, boxed(just(Shape::Product))),
+        ]),
         0..5,
     )
 }
@@ -77,15 +79,22 @@ fn setup() -> (Catalog, ChronicleId, ChronicleId, RelationRef) {
     (cat, c1, c2, RelationRef::new(r, rs, "r"))
 }
 
-fn build(cat: &Catalog, c1: ChronicleId, c2: ChronicleId, rel: &RelationRef, shapes: &[Shape]) -> CaExpr {
+fn build(
+    cat: &Catalog,
+    c1: ChronicleId,
+    c2: ChronicleId,
+    rel: &RelationRef,
+    shapes: &[Shape],
+) -> CaExpr {
     let base1 = CaExpr::chronicle(cat.chronicle(c1));
     let base2 = CaExpr::chronicle(cat.chronicle(c2));
     let mut expr = base1.clone();
     for s in shapes {
         expr = match s {
-            Shape::Base => expr,
             Shape::Select(t) => {
-                let Ok(pos) = expr.schema().position("v") else { continue };
+                let Ok(pos) = expr.schema().position("v") else {
+                    continue;
+                };
                 expr.clone()
                     .select(Predicate::atom(
                         pos,
@@ -108,8 +117,12 @@ fn build(cat: &Catalog, c1: ChronicleId, c2: ChronicleId, rel: &RelationRef, sha
             }
             Shape::GroupBySeq => {
                 let sn = expr.seq_pos();
-                let Ok(k) = expr.schema().position("k") else { continue };
-                let Ok(v) = expr.schema().position("v") else { continue };
+                let Ok(k) = expr.schema().position("k") else {
+                    continue;
+                };
+                let Ok(v) = expr.schema().position("v") else {
+                    continue;
+                };
                 expr.clone()
                     .group_by_seq_cols(
                         vec![sn, k],
@@ -139,15 +152,12 @@ fn build(cat: &Catalog, c1: ChronicleId, c2: ChronicleId, rel: &RelationRef, sha
     expr
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn delta_is_exactly_the_difference(
-        shapes in shape_strategy(),
-        history in prop::collection::vec((0..2u8, 0..5i64, 0..9i64), 1..20),
-        batch_rows in prop::collection::vec((0..5i64, 0..9i64), 1..3),
-        target in 0..2u8,
+prop_test! {
+    fn delta_is_exactly_the_difference(cases = 96, seed = 0xDE17A;
+        shapes in shape_gen(),
+        history in vec_of(triple(ints(0..2u8), ints(0..5i64), ints(0..9i64)), 1..20),
+        batch_rows in vec_of(pair(ints(0..5i64), ints(0..9i64)), 1..3),
+        target in ints(0..2u8),
     ) {
         let (mut cat, c1, c2, rel) = setup();
         let expr = build(&cat, c1, c2, &rel, &shapes);

@@ -3,7 +3,8 @@
 //! chronicle-algebra expressions, never changes the language fragment, and
 //! never *loses* router guards.
 
-use proptest::prelude::*;
+use chronicle_testkit::prop::{boxed, ints, just, map, triple, vec_of, weighted, Gen};
+use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::eval::{canon, eval_ca};
@@ -24,20 +25,26 @@ enum Step {
     Product,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0..2u8, 0..6u8, -2..8i8).prop_map(|(attr, op, threshold)| Step::Select {
-            attr,
-            op,
-            threshold
-        }),
-        1 => Just(Step::ProjectSwap),
-        2 => Just(Step::UnionOther),
-        2 => Just(Step::DiffOther),
-        1 => Just(Step::JoinSeqSelf),
-        1 => Just(Step::KeyJoin),
-        1 => Just(Step::Product),
-    ]
+fn step_gen() -> impl Gen<Value = Step> {
+    weighted(vec![
+        (
+            4,
+            boxed(map(
+                triple(ints(0..2u8), ints(0..6u8), ints(-2..8i8)),
+                |(attr, op, threshold)| Step::Select {
+                    attr,
+                    op,
+                    threshold,
+                },
+            )),
+        ),
+        (1, boxed(just(Step::ProjectSwap))),
+        (2, boxed(just(Step::UnionOther))),
+        (2, boxed(just(Step::DiffOther))),
+        (1, boxed(just(Step::JoinSeqSelf))),
+        (1, boxed(just(Step::KeyJoin))),
+        (1, boxed(just(Step::Product))),
+    ])
 }
 
 fn setup() -> (Catalog, ChronicleId, ChronicleId, RelationRef) {
@@ -194,11 +201,10 @@ fn populate(cat: &mut Catalog, c1: ChronicleId, c2: ChronicleId) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pushdown_preserves_semantics(steps in prop::collection::vec(step_strategy(), 1..8)) {
+prop_test! {
+    fn pushdown_preserves_semantics(cases = 128, seed = 0x5E1EC7;
+        steps in vec_of(step_gen(), 1..8),
+    ) {
         let (mut cat, c1, c2, rel) = setup();
         populate(&mut cat, c1, c2);
         let expr = build(&cat, c1, c2, &rel, &steps);
@@ -236,7 +242,7 @@ proptest! {
         let guards_after: usize = opt.base_guards().iter().map(|(_, g)| g.len()).sum();
         prop_assert!(
             guards_after >= guards_before,
-            "pushdown lost guards: {guards_before} -> {guards_after}"
+            "pushdown lost guards: {} -> {}", guards_before, guards_after
         );
 
         // Idempotence.

@@ -5,7 +5,8 @@
 //! filter runs; optimized, the filter runs at the base and the product
 //! only sees survivors.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::rewrite::optimize;
@@ -27,9 +28,7 @@ fn bench(c: &mut Criterion) {
             "sn",
         )
         .unwrap();
-        let chron = cat
-            .create_chronicle("c", g, cs, Retention::None)
-            .unwrap();
+        let chron = cat.create_chronicle("c", g, cs, Retention::None).unwrap();
         let rs = Schema::relation_with_key(
             vec![
                 Attribute::new("k", AttrType::Int),
@@ -47,9 +46,8 @@ fn bench(c: &mut Criterion) {
         // σ(v > 100) above the product — selective: the batch tuple fails it.
         let base = CaExpr::chronicle(cat.chronicle(chron));
         let product = base.product(rel_ref).unwrap();
-        let pred =
-            Predicate::attr_cmp_const(product.schema(), "v", CmpOp::Gt, Value::Float(100.0))
-                .unwrap();
+        let pred = Predicate::attr_cmp_const(product.schema(), "v", CmpOp::Gt, Value::Float(100.0))
+            .unwrap();
         let unopt = product.select(pred).unwrap();
         let opt = optimize(&unopt).unwrap();
         let engine = DeltaEngine::new(&cat);

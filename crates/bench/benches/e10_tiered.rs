@@ -1,6 +1,7 @@
 //! E10 — incremental tiered-discount maintenance per transaction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use chronicle_bench::timer::Criterion;
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_types::Value;
 use chronicle_views::{BatchDiscount, TierSchedule};

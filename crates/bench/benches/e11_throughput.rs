@@ -1,6 +1,7 @@
 //! E11 — append throughput with maintenance, and summary-query latency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use chronicle_bench::timer::{Criterion, Throughput};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_db::baseline::ProceduralSummary;
 use chronicle_db::ChronicleDb;

@@ -1,7 +1,8 @@
 //! E12 — proactive relation updates: maintenance cost of appends that
 //! follow interleaved relation updates, plus version_at reconstruction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_db::ChronicleDb;
 use chronicle_types::{Chronon, SeqNo, Value};

@@ -1,7 +1,8 @@
 //! E1 — per-append maintenance vs chronicle size (Prop. 3.1): SCA stays
 //! flat while naive recomputation grows with |C|.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
 use chronicle_db::baseline::NaiveRecomputeView;

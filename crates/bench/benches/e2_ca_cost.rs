@@ -1,7 +1,8 @@
 //! E2 — Theorem 4.2 cost model: delta computation time as products (j) and
 //! unions (u) grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::{CaExpr, CmpOp, Predicate, RelationRef, WorkCounter};

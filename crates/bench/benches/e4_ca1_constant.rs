@@ -1,7 +1,8 @@
 //! E4 — CA₁ change computation is constant time regardless of how much
 //! history has flowed through the chronicle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, ScaExpr, WorkCounter};

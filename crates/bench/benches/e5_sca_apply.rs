@@ -1,6 +1,7 @@
 //! E5 — Theorem 4.4: applying summarized deltas costs O(t log |V|).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
 use chronicle_store::{Catalog, Retention};

@@ -1,6 +1,7 @@
 //! E6 — IM-class separation: SCA₁ / SCA⋈ / SCA per-append time vs |R|.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
 use chronicle_algebra::{AggFunc, AggSpec, CaExpr, RelationRef, ScaExpr, WorkCounter};

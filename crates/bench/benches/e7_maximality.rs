@@ -1,6 +1,7 @@
 //! E7 — beyond-CA maintenance: C₁ ⋈_θ C₂ per-append cost grows with |C|.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::CmpOp;
 use chronicle_db::baseline::StoredThetaJoinCount;

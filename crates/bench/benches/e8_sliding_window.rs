@@ -1,6 +1,7 @@
 //! E8 — cyclic-buffer sliding windows vs per-window periodic views.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::AggFunc;
 use chronicle_types::{Chronon, Tuple, Value};

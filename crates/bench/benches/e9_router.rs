@@ -1,6 +1,7 @@
 //! E9 — affected-view routing vs maintaining every view.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use chronicle_bench::timer::{BenchmarkId, Criterion};
+use chronicle_bench::{criterion_group, criterion_main};
 
 use chronicle_algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, ScaExpr};
 use chronicle_store::{Catalog, Retention};

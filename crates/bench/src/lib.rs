@@ -8,10 +8,12 @@
 //!
 //! * `cargo run -p chronicle-bench --release --bin experiments` — prints
 //!   every derived figure as a text table (the source of EXPERIMENTS.md),
-//! * `cargo bench -p chronicle-bench` — Criterion wall-time benches, one
-//!   target per experiment.
+//! * `cargo bench -p chronicle-bench` — wall-time benches, one target per
+//!   experiment, driven by the in-tree [`timer`] shim (no external
+//!   benchmarking crate; the tier-1 verify runs fully offline).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod timer;

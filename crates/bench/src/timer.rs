@@ -1,0 +1,248 @@
+//! A dependency-free stand-in for the Criterion benchmarking API.
+//!
+//! The workspace's tier-1 verify must pass offline with an empty registry,
+//! so the `cargo bench` targets cannot link the external `criterion` crate.
+//! This module implements the small slice of Criterion's API the E1–E12
+//! bench files use — [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! and the [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — over
+//! `std::time::Instant`. Timing methodology is deliberately simple (a
+//! short warmup, then `sample_size` timed iterations reporting mean and
+//! minimum); the statistically honest shape assertions live in
+//! `experiments.rs`, which counts abstract work units instead of wall
+//! time.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every bench target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begin a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, used to annotate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a swept-parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name` with `parameter` appended (`name/parameter`).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// A group of measurements sharing a name and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput for output annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            sample: None,
+        };
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Measure a closure parameterized by a swept input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            sample: None,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// End the group (parity with Criterion; output is already printed).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        match &b.sample {
+            None => println!("  {}/{label}: no measurement taken", self.name),
+            Some(s) => {
+                let mean = s.total.as_nanos() as f64 / s.iters as f64;
+                let min = s.min.as_nanos();
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if mean > 0.0 => {
+                        format!(", {:.0} elem/s", n as f64 * 1e9 / mean)
+                    }
+                    Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                        format!(", {:.0} B/s", n as f64 * 1e9 / mean)
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "  {}/{label}: mean {mean:.0} ns, min {min} ns over {} iters{rate}",
+                    self.name, s.iters
+                );
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+/// Runs and times the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: u64,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Time `f`: a two-iteration warmup, then `sample_size` timed runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.sample = Some(Sample {
+            iters: self.sample_size,
+            total,
+            min,
+        });
+    }
+}
+
+/// Declare a bench group function from target functions, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::timer::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring Criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 2 warmup + 5 timed.
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        let mut seen = 0i64;
+        group.bench_with_input(BenchmarkId::new("id", 42), &42i64, |b, &n| {
+            b.iter(|| {
+                seen = n;
+                n
+            })
+        });
+        assert_eq!(seen, 42);
+    }
+}

@@ -14,7 +14,7 @@
 //!   applications do today),
 //! * [`stats`] — append/maintenance accounting,
 //! * [`pipeline`] — a concurrent append pipeline (producers feed a
-//!   maintenance thread over crossbeam channels), used by the throughput
+//!   maintenance thread over `std::sync::mpsc` channels), used by the throughput
 //!   experiment E11.
 
 #![warn(missing_docs)]

@@ -7,12 +7,11 @@
 //! many-producer / one-maintainer pipeline: producers submit batches over a
 //! channel; a dedicated thread owns the [`ChronicleDb`], serializes the
 //! appends, and runs maintenance. This module implements exactly that with
-//! crossbeam channels and is what experiment E11 drives.
+//! `std::sync::mpsc` bounded channels and is what experiment E11 drives.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use chronicle_types::{Chronon, Result, Value};
 
@@ -28,7 +27,7 @@ pub struct AppendRequest {
     /// Rows without the sequencing attribute.
     pub rows: Vec<Vec<Value>>,
     /// Where to send the outcome; `None` for fire-and-forget.
-    pub reply: Option<Sender<Result<AppendOutcome>>>,
+    pub reply: Option<SyncSender<Result<AppendOutcome>>>,
 }
 
 /// A request processed by the maintenance thread.
@@ -40,7 +39,7 @@ enum Request {
     Query {
         view: String,
         key: Vec<Value>,
-        reply: Sender<Result<Option<chronicle_types::Tuple>>>,
+        reply: SyncSender<Result<Option<chronicle_types::Tuple>>>,
     },
     /// Stop the worker after draining everything submitted before this
     /// message. Requests queued after it are answered with an error when
@@ -52,7 +51,7 @@ enum Request {
 /// producer.
 #[derive(Clone)]
 pub struct PipelineHandle {
-    tx: Sender<Request>,
+    tx: SyncSender<Request>,
 }
 
 impl PipelineHandle {
@@ -63,7 +62,7 @@ impl PipelineHandle {
         at: Chronon,
         rows: Vec<Vec<Value>>,
     ) -> Result<AppendOutcome> {
-        let (rtx, rrx) = bounded(1);
+        let (rtx, rrx) = sync_channel(1);
         self.tx
             .send(Request::Append(AppendRequest {
                 chronicle: chronicle.to_string(),
@@ -82,7 +81,7 @@ impl PipelineHandle {
     /// Point query against a view, serialized with the appends: the answer
     /// reflects every append submitted on this handle before the query.
     pub fn query(&self, view: &str, key: Vec<Value>) -> Result<Option<chronicle_types::Tuple>> {
-        let (rtx, rrx) = bounded(1);
+        let (rtx, rrx) = sync_channel(1);
         self.tx
             .send(Request::Query {
                 view: view.to_string(),
@@ -116,14 +115,14 @@ pub struct Pipeline {
     worker: Option<JoinHandle<ChronicleDb>>,
     /// Dropping all producer handles shuts the worker down; keep the
     /// original sender here so shutdown is explicit.
-    _keepalive: Mutex<Option<Sender<Request>>>,
+    _keepalive: Mutex<Option<SyncSender<Request>>>,
 }
 
 impl Pipeline {
     /// Start a pipeline over `db` with the given channel capacity
     /// (backpressure bound).
     pub fn start(mut db: ChronicleDb, capacity: usize) -> Pipeline {
-        let (tx, rx): (Sender<Request>, Receiver<Request>) = bounded(capacity);
+        let (tx, rx): (SyncSender<Request>, Receiver<Request>) = sync_channel(capacity);
         let worker = std::thread::spawn(move || {
             while let Ok(req) = rx.recv() {
                 match req {
@@ -163,8 +162,8 @@ impl Pipeline {
         // the worker exits when it sees it, dropping the receiver, which
         // fails any later sends instead of blocking them.
         let _ = self.handle.tx.send(Request::Shutdown);
-        *self._keepalive.lock() = None;
-        let (dead_tx, _) = bounded(0);
+        *self._keepalive.lock().expect("keepalive lock") = None;
+        let (dead_tx, _) = sync_channel(0);
         self.handle = PipelineHandle { tx: dead_tx };
         self.worker
             .take()

@@ -390,7 +390,8 @@ mod tests {
         // SN 1 saw NJ; SN 2 sees NY.
         let rel = cat.relation(r);
         assert_eq!(
-            rel.version_at(SeqNo(1)).unwrap()
+            rel.version_at(SeqNo(1))
+                .unwrap()
                 .get_by_key(&[Value::Int(1)])
                 .unwrap()
                 .get(1)
@@ -398,7 +399,8 @@ mod tests {
             Some("NJ")
         );
         assert_eq!(
-            rel.version_at(SeqNo(2)).unwrap()
+            rel.version_at(SeqNo(2))
+                .unwrap()
                 .get_by_key(&[Value::Int(1)])
                 .unwrap()
                 .get(1)

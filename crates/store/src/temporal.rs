@@ -357,7 +357,11 @@ mod tests {
         );
         // Current state untouched.
         assert_eq!(
-            r.current().get_by_key(&[Value::Int(1)]).unwrap().get(1).as_str(),
+            r.current()
+                .get_by_key(&[Value::Int(1)])
+                .unwrap()
+                .get(1)
+                .as_str(),
             Some("CA")
         );
         // Compacting backwards is a no-op.

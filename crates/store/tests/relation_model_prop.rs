@@ -5,7 +5,8 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use chronicle_testkit::prop::{boxed, ints, map, triple, vec_of, weighted, Gen};
+use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test};
 
 use chronicle_store::Relation;
 use chronicle_types::{tuple, AttrType, Attribute, Schema, Tuple, Value};
@@ -17,12 +18,27 @@ enum Op {
     Upsert { k: i64, name: u8, state: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..20i64, 0..5u8, 0..4u8).prop_map(|(k, name, state)| Op::Insert { k, name, state }),
-        2 => (0..20i64).prop_map(|k| Op::DeleteKey { k }),
-        2 => (0..20i64, 0..5u8, 0..4u8).prop_map(|(k, name, state)| Op::Upsert { k, name, state }),
-    ]
+fn op_gen() -> impl Gen<Value = Op> {
+    let field = || triple(ints(0..20i64), ints(0..5u8), ints(0..4u8));
+    weighted(vec![
+        (
+            3,
+            boxed(map(field(), |(k, name, state)| Op::Insert {
+                k,
+                name,
+                state,
+            })),
+        ),
+        (2, boxed(map(ints(0..20i64), |k| Op::DeleteKey { k }))),
+        (
+            2,
+            boxed(map(field(), |(k, name, state)| Op::Upsert {
+                k,
+                name,
+                state,
+            })),
+        ),
+    ])
 }
 
 const STATES: [&str; 4] = ["NJ", "NY", "CA", "TX"];
@@ -31,11 +47,10 @@ fn row(k: i64, name: u8, state: u8) -> Tuple {
     tuple![k, format!("n{name}"), STATES[state as usize]]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    #[test]
-    fn relation_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+prop_test! {
+    fn relation_agrees_with_model(cases = 256, seed = 0xB72EE;
+        ops in vec_of(op_gen(), 1..80),
+    ) {
         let schema = Schema::relation_with_key(
             vec![
                 Attribute::new("k", AttrType::Int),
@@ -55,7 +70,7 @@ proptest! {
                     let t = row(*k, *name, *state);
                     let res = rel.insert(t.clone());
                     if model.contains_key(k) {
-                        prop_assert!(res.is_err(), "duplicate key {k} must be rejected");
+                        prop_assert!(res.is_err(), "duplicate key {} must be rejected", k);
                     } else {
                         prop_assert!(res.is_ok());
                         model.insert(*k, t);
@@ -81,8 +96,7 @@ proptest! {
             }
             // Secondary index completeness: for every state, the indexed
             // rows equal the model's filter.
-            for (si, state) in STATES.iter().enumerate() {
-                let _ = si;
+            for state in STATES.iter() {
                 let mut via_index: Vec<Tuple> = rel
                     .lookup_secondary(state_idx, &[Value::str(*state)])
                     .into_iter()

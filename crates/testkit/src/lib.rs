@@ -1,0 +1,28 @@
+//! Zero-dependency test infrastructure for the chronicle workspace.
+//!
+//! The tier-1 verify (`cargo build --release && cargo test -q`) must pass on
+//! a machine with no network and no cached crate registry, so the workspace
+//! cannot depend on `rand`, `proptest` or any other external crate. This
+//! crate provides the two pieces of infrastructure those crates used to
+//! supply:
+//!
+//! * [`rng`] — a seeded, deterministic PRNG ([`rng::SmallRng`], a
+//!   xoshiro256++ generator seeded via SplitMix64) exposing the small
+//!   `Rng` / `SeedableRng` API surface the workload generators and test
+//!   suites use (`gen_range`, `gen_bool`, `seed_from_u64`).
+//! * [`prop`] — a minimal property-testing harness: generator combinators
+//!   ([`prop::ints`], [`prop::vec_of`], [`prop::weighted`], …), a
+//!   configurable-case-count runner with failure-case shrinking, and the
+//!   [`prop_test!`] macro the workspace's property suites are written
+//!   against.
+//!
+//! Both are deliberately tiny: they implement exactly what the workspace
+//! needs, with deterministic behavior given a fixed seed, so every property
+//! failure is reproducible from the seed recorded in the test source.
+
+#![warn(missing_docs)]
+
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SeedableRng, SmallRng};

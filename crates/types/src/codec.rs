@@ -1,0 +1,529 @@
+//! A dependency-free binary codec for the foundational types.
+//!
+//! This replaces the `serde` derives the types crate used to carry: every
+//! type that previously derived `Serialize`/`Deserialize` (values, tuples,
+//! schemas, sequence numbers, chronons, identifiers) now has explicit
+//! encode/decode methods on [`Writer`] / [`Reader`]. The format is the
+//! length-prefixed tagged encoding pioneered by the view-snapshot codec in
+//! `chronicle-views`, which now builds on this module for the base types
+//! and adds its own extension methods for algebra state.
+//!
+//! All integers are little-endian; floats are IEEE-754 bit patterns;
+//! strings are UTF-8 with a u32 length prefix; enums are u8-tagged. The
+//! codec detects truncation and unknown tags and reports them as
+//! [`ChronicleError::Internal`], never panicking on malformed input.
+
+use std::sync::Arc;
+
+use crate::error::{ChronicleError, Result};
+use crate::ids::{ChronicleId, GroupId, RelationId, ViewId};
+use crate::schema::{AttrType, Attribute, Schema};
+use crate::seq::{Chronon, SeqNo};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Byte-stream writer.
+#[derive(Debug, Default)]
+pub struct Writer(Vec<u8>);
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Write a u8.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Write a u32 (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a u64 (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an i64 (LE).
+    pub fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an f64 (LE bits).
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Write a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a sequence number.
+    pub fn seq_no(&mut self, s: SeqNo) {
+        self.u64(s.0);
+    }
+
+    /// Write a chronon.
+    pub fn chronon(&mut self, c: Chronon) {
+        self.i64(c.0);
+    }
+
+    /// Write a value.
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(3);
+                self.f64(*f);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+            Value::Seq(s) => {
+                self.u8(5);
+                self.u64(s.0);
+            }
+        }
+    }
+
+    /// Write an optional value.
+    pub fn opt_value(&mut self, v: &Option<Value>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.value(v);
+            }
+        }
+    }
+
+    /// Write a tuple.
+    pub fn tuple(&mut self, t: &Tuple) {
+        self.u32(t.arity() as u32);
+        for v in t.values() {
+            self.value(v);
+        }
+    }
+
+    /// Write an attribute type.
+    pub fn attr_type(&mut self, ty: AttrType) {
+        self.u8(match ty {
+            AttrType::Bool => 0,
+            AttrType::Int => 1,
+            AttrType::Float => 2,
+            AttrType::Str => 3,
+            AttrType::Seq => 4,
+        });
+    }
+
+    /// Write an attribute (name + type).
+    pub fn attribute(&mut self, a: &Attribute) {
+        self.str(&a.name);
+        self.attr_type(a.ty);
+    }
+
+    /// Write a schema: attributes, sequencing position, key positions.
+    pub fn schema(&mut self, s: &Schema) {
+        self.u32(s.arity() as u32);
+        for a in s.attrs() {
+            self.attribute(a);
+        }
+        match s.seq_attr() {
+            None => self.u8(0),
+            Some(p) => {
+                self.u8(1);
+                self.u32(p as u32);
+            }
+        }
+        match s.key() {
+            None => self.u8(0),
+            Some(key) => {
+                self.u8(1);
+                self.u32(key.len() as u32);
+                for &p in key {
+                    self.u32(p as u32);
+                }
+            }
+        }
+    }
+
+    /// Write a catalog identifier (chronicle/relation/view/group all share
+    /// the u32 representation).
+    pub fn chronicle_id(&mut self, id: ChronicleId) {
+        self.u32(id.0);
+    }
+
+    /// Write a relation identifier.
+    pub fn relation_id(&mut self, id: RelationId) {
+        self.u32(id.0);
+    }
+
+    /// Write a view identifier.
+    pub fn view_id(&mut self, id: ViewId) {
+        self.u32(id.0);
+    }
+
+    /// Write a group identifier.
+    pub fn group_id(&mut self, id: GroupId) {
+        self.u32(id.0);
+    }
+}
+
+/// Byte-stream reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// True iff all bytes were consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(ChronicleError::Internal(format!(
+                "encoded data truncated at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an i64.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ChronicleError::Internal("encoded string is invalid UTF-8".into()))
+    }
+
+    /// Read a sequence number.
+    pub fn seq_no(&mut self) -> Result<SeqNo> {
+        Ok(SeqNo(self.u64()?))
+    }
+
+    /// Read a chronon.
+    pub fn chronon(&mut self) -> Result<Chronon> {
+        Ok(Chronon(self.i64()?))
+    }
+
+    /// Read a value.
+    pub fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::Str(Arc::from(self.str()?.as_str())),
+            5 => Value::Seq(SeqNo(self.u64()?)),
+            t => {
+                return Err(ChronicleError::Internal(format!(
+                    "unknown value tag {t} in encoded data"
+                )))
+            }
+        })
+    }
+
+    /// Read an optional value.
+    pub fn opt_value(&mut self) -> Result<Option<Value>> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.value()?),
+        })
+    }
+
+    /// Read a tuple.
+    pub fn tuple(&mut self) -> Result<Tuple> {
+        let n = self.u32()? as usize;
+        let mut vals = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            vals.push(self.value()?);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Read an attribute type.
+    pub fn attr_type(&mut self) -> Result<AttrType> {
+        Ok(match self.u8()? {
+            0 => AttrType::Bool,
+            1 => AttrType::Int,
+            2 => AttrType::Float,
+            3 => AttrType::Str,
+            4 => AttrType::Seq,
+            t => {
+                return Err(ChronicleError::Internal(format!(
+                    "unknown attribute-type tag {t} in encoded data"
+                )))
+            }
+        })
+    }
+
+    /// Read an attribute.
+    pub fn attribute(&mut self) -> Result<Attribute> {
+        let name = self.str()?;
+        let ty = self.attr_type()?;
+        Ok(Attribute::new(name, ty))
+    }
+
+    /// Read a schema. Re-validates through the public constructors, so a
+    /// corrupted or hand-crafted encoding cannot produce an invalid schema.
+    pub fn schema(&mut self) -> Result<Schema> {
+        let arity = self.u32()? as usize;
+        let mut attrs = Vec::with_capacity(arity.min(1024));
+        for _ in 0..arity {
+            attrs.push(self.attribute()?);
+        }
+        let seq_attr = match self.u8()? {
+            0 => None,
+            _ => Some(self.u32()? as usize),
+        };
+        let key = match self.u8()? {
+            0 => None,
+            _ => {
+                let n = self.u32()? as usize;
+                let mut ps = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ps.push(self.u32()? as usize);
+                }
+                Some(ps)
+            }
+        };
+        match (seq_attr, key) {
+            (Some(p), None) => {
+                let name = attrs.get(p).map(|a| a.name.to_string()).ok_or_else(|| {
+                    ChronicleError::Internal(format!(
+                        "sequencing position {p} out of range in encoded schema"
+                    ))
+                })?;
+                Schema::chronicle(attrs, &name)
+            }
+            (None, Some(key)) => {
+                let names: Vec<String> = key
+                    .iter()
+                    .map(|&p| {
+                        attrs.get(p).map(|a| a.name.to_string()).ok_or_else(|| {
+                            ChronicleError::Internal(format!(
+                                "key position {p} out of range in encoded schema"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                Schema::relation_with_key(attrs, &refs)
+            }
+            (None, None) => Schema::relation(attrs),
+            (Some(_), Some(_)) => Err(ChronicleError::Internal(
+                "encoded schema claims both a sequencing attribute and a key".into(),
+            )),
+        }
+    }
+
+    /// Read a chronicle identifier.
+    pub fn chronicle_id(&mut self) -> Result<ChronicleId> {
+        Ok(ChronicleId(self.u32()?))
+    }
+
+    /// Read a relation identifier.
+    pub fn relation_id(&mut self) -> Result<RelationId> {
+        Ok(RelationId(self.u32()?))
+    }
+
+    /// Read a view identifier.
+    pub fn view_id(&mut self) -> Result<ViewId> {
+        Ok(ViewId(self.u32()?))
+    }
+
+    /// Read a group identifier.
+    pub fn group_id(&mut self) -> Result<GroupId> {
+        Ok(GroupId(self.u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::str("héllo"),
+            Value::Seq(SeqNo(9)),
+        ];
+        let mut w = Writer::new();
+        for v in &vals {
+            w.value(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for v in &vals {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = tuple![SeqNo(1), 42i64, "abc", 1.5f64];
+        let mut w = Writer::new();
+        w.tuple(&t);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).tuple().unwrap(), t);
+    }
+
+    #[test]
+    fn schemas_round_trip() {
+        let chronicle = Schema::chronicle(
+            vec![
+                Attribute::new("sn", AttrType::Seq),
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("amount", AttrType::Float),
+            ],
+            "sn",
+        )
+        .unwrap();
+        let keyed = Schema::relation_with_key(
+            vec![
+                Attribute::new("acct", AttrType::Int),
+                Attribute::new("name", AttrType::Str),
+            ],
+            &["acct"],
+        )
+        .unwrap();
+        let plain = Schema::relation(vec![Attribute::new("x", AttrType::Bool)]).unwrap();
+        for s in [&chronicle, &keyed, &plain] {
+            let mut w = Writer::new();
+            w.schema(s);
+            let bytes = w.into_bytes();
+            let back = Reader::new(&bytes).schema().unwrap();
+            assert_eq!(&back, s);
+            assert_eq!(back.seq_attr(), s.seq_attr());
+            assert_eq!(back.key(), s.key());
+        }
+    }
+
+    #[test]
+    fn ids_seqnos_chronons_round_trip() {
+        let mut w = Writer::new();
+        w.chronicle_id(ChronicleId(3));
+        w.relation_id(RelationId(4));
+        w.view_id(ViewId(5));
+        w.group_id(GroupId(6));
+        w.seq_no(SeqNo(77));
+        w.chronon(Chronon(-12));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.chronicle_id().unwrap(), ChronicleId(3));
+        assert_eq!(r.relation_id().unwrap(), RelationId(4));
+        assert_eq!(r.view_id().unwrap(), ViewId(5));
+        assert_eq!(r.group_id().unwrap(), GroupId(6));
+        assert_eq!(r.seq_no().unwrap(), SeqNo(77));
+        assert_eq!(r.chronon().unwrap(), Chronon(-12));
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.value(&Value::str("long enough"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 3]);
+        assert!(r.value().is_err());
+    }
+
+    #[test]
+    fn bad_tags_detected() {
+        assert!(Reader::new(&[99]).value().is_err());
+        assert!(Reader::new(&[7]).attr_type().is_err());
+    }
+
+    #[test]
+    fn corrupt_schema_rejected_by_validation() {
+        // A schema whose sequencing position points past the attributes.
+        let mut w = Writer::new();
+        w.u32(1);
+        w.attribute(&Attribute::new("sn", AttrType::Seq));
+        w.u8(1);
+        w.u32(9); // bogus seq position
+        w.u8(0);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).schema().is_err());
+    }
+}

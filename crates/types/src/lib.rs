@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod error;
 mod ids;
 mod schema;

@@ -1,13 +1,12 @@
 //! Schemas for relations and chronicles.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 use crate::error::{ChronicleError, Result};
 
 /// The declared type of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttrType {
     /// Boolean.
     Bool,
@@ -36,7 +35,7 @@ impl fmt::Display for AttrType {
 }
 
 /// A named, typed attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     /// Attribute name, unique within its schema.
     pub name: Arc<str>,
@@ -63,7 +62,7 @@ impl Attribute {
 /// values uniquely identify a tuple. Keys drive the CA⋈ key-join guarantee
 /// ("at most a constant number of relation tuples join with each chronicle
 /// tuple", Def. 4.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     attrs: Arc<[Attribute]>,
     /// Position of the sequencing attribute, if this is a chronicle schema.

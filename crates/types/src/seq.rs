@@ -1,6 +1,5 @@
 //! Sequence numbers and chronons.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A sequence number drawn from an infinite ordered domain (paper §2.1).
@@ -10,9 +9,7 @@ use std::fmt;
 /// numbers need not be dense, and several tuples appended together may share
 /// one `SeqNo` (paper §4: "multiple tuples with the same sequence number can
 /// be inserted simultaneously").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SeqNo(pub u64);
 
 impl SeqNo {
@@ -46,9 +43,7 @@ impl From<u64> for SeqNo {
 /// monotone `SeqNo → Chronon` mapping per chronicle group. We represent a
 /// chronon as an integer tick (e.g. seconds or milliseconds since an epoch —
 /// the unit is workload-defined).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Chronon(pub i64);
 
 impl Chronon {

@@ -1,6 +1,5 @@
 //! Immutable tuples.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -11,7 +10,7 @@ use crate::value::Value;
 
 /// An immutable row. `Arc<[Value]>` makes clones O(1), which matters because
 /// delta propagation moves the same tuples through many operators and views.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {

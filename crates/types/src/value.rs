@@ -5,8 +5,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ChronicleError;
 use crate::schema::AttrType;
 use crate::seq::SeqNo;
@@ -23,7 +21,7 @@ use crate::seq::SeqNo;
 /// type rank. Predicate evaluation (`A θ B` in chronicle-algebra selections)
 /// goes through [`Value::sql_cmp`], which only compares *compatible* types
 /// and reports a type error otherwise.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL. Compares equal to itself under `Ord` (needed for indexing)
     /// but is incomparable under [`Value::sql_cmp`].

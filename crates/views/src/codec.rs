@@ -1,97 +1,28 @@
-//! A small, dependency-free binary codec for view snapshots.
+//! View-snapshot codec, built on the base byte codec in `chronicle-types`.
 //!
 //! Persistent views are the *only* durable state of a chronicle system —
 //! the chronicle itself is not stored — so being able to snapshot and
-//! restore them is what makes restarts possible at all. The format is a
-//! simple length-prefixed tagged encoding; no external serialization crate
-//! is needed.
+//! restore them is what makes restarts possible at all. The base machinery
+//! (length-prefixed tagged encoding of values, tuples and schemas) lives in
+//! [`chronicle_types::codec`]; this module re-exports it and extends the
+//! [`Writer`] / [`Reader`] pair with the algebra state a snapshot carries:
+//! aggregate function descriptors and accumulator states.
 
 use chronicle_algebra::{AccState, Accumulator, AggFunc};
-use chronicle_types::{ChronicleError, Result, SeqNo, Tuple, Value};
+use chronicle_types::{ChronicleError, Result};
 
-/// Byte-stream writer.
-#[derive(Debug, Default)]
-pub struct Writer(Vec<u8>);
+pub use chronicle_types::codec::{Reader, Writer};
 
-impl Writer {
-    /// Fresh writer.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Finish and take the bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.0
-    }
-
-    /// Write a u8.
-    pub fn u8(&mut self, v: u8) {
-        self.0.push(v);
-    }
-
-    /// Write a u32 (LE).
-    pub fn u32(&mut self, v: u32) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Write a u64 (LE).
-    pub fn u64(&mut self, v: u64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Write an i64 (LE).
-    pub fn i64(&mut self, v: i64) {
-        self.0.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Write an f64 (LE bits).
-    pub fn f64(&mut self, v: f64) {
-        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-
-    /// Write a length-prefixed string.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.0.extend_from_slice(s.as_bytes());
-    }
-
-    /// Write a value.
-    pub fn value(&mut self, v: &Value) {
-        match v {
-            Value::Null => self.u8(0),
-            Value::Bool(b) => {
-                self.u8(1);
-                self.u8(*b as u8);
-            }
-            Value::Int(i) => {
-                self.u8(2);
-                self.i64(*i);
-            }
-            Value::Float(f) => {
-                self.u8(3);
-                self.f64(*f);
-            }
-            Value::Str(s) => {
-                self.u8(4);
-                self.str(s);
-            }
-            Value::Seq(s) => {
-                self.u8(5);
-                self.u64(s.0);
-            }
-        }
-    }
-
-    /// Write a tuple.
-    pub fn tuple(&mut self, t: &Tuple) {
-        self.u32(t.arity() as u32);
-        for v in t.values() {
-            self.value(v);
-        }
-    }
-
+/// Snapshot-specific encodings added to [`Writer`].
+pub trait WriterExt {
     /// Write an aggregate function descriptor.
-    pub fn agg_func(&mut self, f: AggFunc) {
+    fn agg_func(&mut self, f: AggFunc);
+    /// Write an accumulator (function + state).
+    fn accumulator(&mut self, a: &Accumulator);
+}
+
+impl WriterExt for Writer {
+    fn agg_func(&mut self, f: AggFunc) {
         let (tag, attr) = match f {
             AggFunc::CountStar => (0u8, u32::MAX),
             AggFunc::Count(a) => (1, a as u32),
@@ -107,8 +38,7 @@ impl Writer {
         self.u32(attr);
     }
 
-    /// Write an accumulator (function + state).
-    pub fn accumulator(&mut self, a: &Accumulator) {
+    fn accumulator(&mut self, a: &Accumulator) {
         self.agg_func(a.func());
         match a.state() {
             AccState::Count(n) => {
@@ -148,119 +78,18 @@ impl Writer {
             }
         }
     }
-
-    fn opt_value(&mut self, v: &Option<Value>) {
-        match v {
-            None => self.u8(0),
-            Some(v) => {
-                self.u8(1);
-                self.value(v);
-            }
-        }
-    }
 }
 
-/// Byte-stream reader.
-#[derive(Debug)]
-pub struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    /// Read from `bytes`.
-    pub fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
-    }
-
-    /// True iff all bytes were consumed.
-    pub fn at_end(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        match end {
-            Some(end) => {
-                let s = &self.bytes[self.pos..end];
-                self.pos = end;
-                Ok(s)
-            }
-            None => Err(ChronicleError::Internal(format!(
-                "snapshot truncated at byte {}",
-                self.pos
-            ))),
-        }
-    }
-
-    /// Read a u8.
-    pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Read a u32.
-    pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Read a u64.
-    pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Read an i64.
-    pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Read an f64.
-    pub fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// Read a string.
-    pub fn str(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| ChronicleError::Internal("snapshot contains invalid UTF-8".into()))
-    }
-
-    /// Read a value.
-    pub fn value(&mut self) -> Result<Value> {
-        Ok(match self.u8()? {
-            0 => Value::Null,
-            1 => Value::Bool(self.u8()? != 0),
-            2 => Value::Int(self.i64()?),
-            3 => Value::Float(self.f64()?),
-            4 => Value::str(self.str()?),
-            5 => Value::Seq(SeqNo(self.u64()?)),
-            t => {
-                return Err(ChronicleError::Internal(format!(
-                    "unknown value tag {t} in snapshot"
-                )))
-            }
-        })
-    }
-
-    /// Read a tuple.
-    pub fn tuple(&mut self) -> Result<Tuple> {
-        let n = self.u32()? as usize;
-        let mut vals = Vec::with_capacity(n);
-        for _ in 0..n {
-            vals.push(self.value()?);
-        }
-        Ok(Tuple::new(vals))
-    }
-
+/// Snapshot-specific decodings added to [`Reader`].
+pub trait ReaderExt {
     /// Read an aggregate function descriptor.
-    pub fn agg_func(&mut self) -> Result<AggFunc> {
+    fn agg_func(&mut self) -> Result<AggFunc>;
+    /// Read an accumulator.
+    fn accumulator(&mut self) -> Result<Accumulator>;
+}
+
+impl ReaderExt for Reader<'_> {
+    fn agg_func(&mut self) -> Result<AggFunc> {
         let tag = self.u8()?;
         let attr = self.u32()? as usize;
         Ok(match tag {
@@ -281,8 +110,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    /// Read an accumulator.
-    pub fn accumulator(&mut self) -> Result<Accumulator> {
+    fn accumulator(&mut self) -> Result<Accumulator> {
         let func = self.agg_func()?;
         let state = match self.u8()? {
             0 => AccState::Count(self.i64()?),
@@ -311,19 +139,12 @@ impl<'a> Reader<'a> {
         };
         Accumulator::from_parts(func, state)
     }
-
-    fn opt_value(&mut self) -> Result<Option<Value>> {
-        Ok(match self.u8()? {
-            0 => None,
-            _ => Some(self.value()?),
-        })
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chronicle_types::tuple;
+    use chronicle_types::{tuple, SeqNo, Value};
 
     #[test]
     fn values_round_trip() {

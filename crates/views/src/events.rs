@@ -147,9 +147,7 @@ impl Compiler {
             }
             Pattern::Seq(parts) => {
                 if parts.is_empty() {
-                    return Err(ChronicleError::InvalidSchema(
-                        "empty Seq pattern".into(),
-                    ));
+                    return Err(ChronicleError::InvalidSchema("empty Seq pattern".into()));
                 }
                 let mut frags = Vec::with_capacity(parts.len());
                 for part in parts {
@@ -164,9 +162,7 @@ impl Compiler {
             }
             Pattern::Alt(parts) => {
                 if parts.is_empty() {
-                    return Err(ChronicleError::InvalidSchema(
-                        "empty Alt pattern".into(),
-                    ));
+                    return Err(ChronicleError::InvalidSchema("empty Alt pattern".into()));
                 }
                 let exit = self.push(Trans::Eps(vec![]));
                 let mut entries = Vec::with_capacity(parts.len());
@@ -334,8 +330,14 @@ mod tests {
             Pattern::Opt(Box::new(Pattern::Event("check".into()))),
         ]);
         let mut m = EventMatcher::new(&p).unwrap();
-        assert!(m.on_event(&key(1), "refund"), "credit alone matches (check optional)");
-        assert!(m.on_event(&key(1), "check"), "…and with the check it matches again");
+        assert!(
+            m.on_event(&key(1), "refund"),
+            "credit alone matches (check optional)"
+        );
+        assert!(
+            m.on_event(&key(1), "check"),
+            "…and with the check it matches again"
+        );
         assert!(!m.on_event(&key(1), "withdrawal"));
         assert!(m.on_event(&key(1), "deposit"));
     }

@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::codec::{ReaderExt as _, WriterExt as _};
 use chronicle_algebra::delta::SummaryDelta;
 use chronicle_algebra::eval::seq_to_int;
 use chronicle_algebra::{Accumulator, ScaExpr, Summarize, WorkCounter};

@@ -1,7 +1,6 @@
 //! Record generators.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use chronicle_testkit::{Rng, SeedableRng, SmallRng};
 
 use chronicle_types::Value;
 
@@ -83,7 +82,7 @@ impl FlightGen {
     /// One flight record: `[acct, miles, fare]`.
     pub fn next_row(&mut self) -> Vec<Value> {
         let acct = self.rng.gen_range(0..self.accounts);
-        let miles = self.rng.gen_range(100..5000);
+        let miles = self.rng.gen_range(100..5000i64);
         let fare = (self.rng.gen_range(5000..150000) as f64) / 100.0;
         vec![Value::Int(acct), Value::Int(miles), Value::Float(fare)]
     }
@@ -150,7 +149,7 @@ impl TradeGen {
     /// One trade: `[symbol, shares, price]`.
     pub fn next_row(&mut self) -> Vec<Value> {
         let sym = self.symbols[self.rng.gen_range(0..self.symbols.len())];
-        let shares = self.rng.gen_range(100..10_000);
+        let shares = self.rng.gen_range(100..10_000i64);
         let price = (self.rng.gen_range(1000..20000) as f64) / 100.0;
         vec![Value::str(sym), Value::Int(shares), Value::Float(price)]
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate for the chronicle workspace.
+#
+# The workspace is hermetic (zero external dependencies — see README
+# "Build"), so everything here runs with --offline against an empty
+# registry. Any new external dependency breaks this script by design.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== examples (offline) =="
+cargo build --offline --examples
+
+echo "== benches compile (offline) =="
+cargo bench --offline --no-run 2>/dev/null || cargo build --offline -p chronicle-bench --benches
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -1,0 +1,125 @@
+//! Theorem 4.1 as a deterministic regression test against the public
+//! database API: the maintenance work charged for an append of `u` tuples
+//! depends only on `u` (and the view set), never on how many tuples the
+//! chronicle has already accumulated. Wall time is too noisy to assert
+//! this; the database's own work counters ([`chronicle::db::ChronicleDb::stats`])
+//! are exact, so the comparison is equality, not a tolerance.
+
+use chronicle::algebra::WorkCounter;
+use chronicle::db::ChronicleDb;
+use chronicle::prelude::*;
+
+fn build_db() -> ChronicleDb {
+    let mut db = ChronicleDb::new();
+    db.execute("CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)")
+        .unwrap();
+    db.execute("CREATE RELATION rates (acct INT, rate FLOAT, PRIMARY KEY (acct))")
+        .unwrap();
+    for a in 0..8i64 {
+        db.execute(&format!("INSERT INTO rates VALUES ({a}, 0.5)"))
+            .unwrap();
+    }
+    // One CA1 view (constant work per tuple) and one CAkey view (index
+    // probes, O(log |R|) per tuple) — both classes must be |C|-independent.
+    db.execute(
+        "CREATE VIEW spend AS SELECT caller, SUM(minutes) AS total \
+         FROM calls GROUP BY caller",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE VIEW billed AS SELECT caller, SUM(rate) AS r \
+         FROM calls JOIN rates ON caller = acct GROUP BY caller",
+    )
+    .unwrap();
+    db
+}
+
+/// Append one batch of `u` rows and return exactly the maintenance work it
+/// was charged.
+fn work_of_append(db: &mut ChronicleDb, u: usize, t: &mut i64) -> WorkCounter {
+    let before = db.stats().work;
+    *t += 1;
+    let rows: Vec<Vec<Value>> = (0..u)
+        .map(|i| vec![Value::Int((i % 8) as i64), Value::Float(1.5)])
+        .collect();
+    db.append("calls", Chronon(*t), &rows).unwrap();
+    let after = db.stats().work;
+    WorkCounter {
+        tuples_out: after.tuples_out - before.tuples_out,
+        tuples_in: after.tuples_in - before.tuples_in,
+        index_probes: after.index_probes - before.index_probes,
+        rel_tuples_scanned: after.rel_tuples_scanned - before.rel_tuples_scanned,
+    }
+}
+
+/// Sweep u = 1..=64, returning the work counter charged for each batch size.
+fn sweep(db: &mut ChronicleDb, t: &mut i64) -> Vec<WorkCounter> {
+    (1..=64).map(|u| work_of_append(db, u, t)).collect()
+}
+
+#[test]
+fn per_append_work_is_independent_of_chronicle_size() {
+    let mut db = build_db();
+    let mut t = 0i64;
+
+    // Epoch 1: the chronicle is nearly empty.
+    let early = sweep(&mut db, &mut t);
+
+    // Grow |C| by two orders of magnitude beyond everything the sweep
+    // appended (the group keys recur, so view sizes stay fixed while the
+    // chronicle's history grows).
+    for _ in 0..2_000 {
+        t += 1;
+        db.append(
+            "calls",
+            Chronon(t),
+            &[vec![Value::Int(3), Value::Float(0.5)]],
+        )
+        .unwrap();
+    }
+
+    // Epoch 2: same sweep against the much larger chronicle.
+    let late = sweep(&mut db, &mut t);
+
+    // Theorem 4.1: identical work, counter by counter, for every u.
+    for (u, (e, l)) in early.iter().zip(&late).enumerate() {
+        assert_eq!(
+            e,
+            l,
+            "maintenance work for a {}-tuple append changed as |C| grew",
+            u + 1
+        );
+    }
+
+    // And the chronicle really did grow between the epochs.
+    assert_eq!(db.stats().appends, 64 + 2_000 + 64);
+    assert!(db.stats().tuples_appended > 2_000);
+}
+
+#[test]
+fn per_append_work_is_linear_in_batch_size() {
+    let mut db = build_db();
+    let mut t = 0i64;
+    let works = sweep(&mut db, &mut t);
+
+    // Batch rows cycle through 8 group keys, so work has a per-distinct-
+    // group component that saturates at u = 8; past that point Work(u)
+    // must be *exactly* linear: Work(u+1) - Work(u) is one fixed per-tuple
+    // cost. Any |C|- or history-dependent term would break the
+    // progression.
+    let base = works[7].total(); // u = 8
+    let slope = works[8].total() - base; // u = 9 minus u = 8
+    assert!(slope > 0, "appending more tuples must cost more work");
+    for (i, w) in works.iter().enumerate().skip(7) {
+        assert_eq!(
+            w.total(),
+            base + slope * (i as u64 - 7),
+            "work for u = {} off the linear progression",
+            i + 1
+        );
+    }
+    // Below saturation the curve is still monotone.
+    for pair in works[..8].windows(2) {
+        assert!(pair[0].total() < pair[1].total());
+    }
+}

@@ -7,7 +7,10 @@
 //! covers σ/Π/∪/−/⋈SN/GROUPBY-SN, both summarization forms, key joins and
 //! products against a relation that is being proactively updated mid-run.
 
-use proptest::prelude::*;
+use chronicle_testkit::prop::{
+    boxed, floats, from_fn, ints, map, pair, triple, vec_of, weighted, Gen,
+};
+use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test, Rng};
 
 use chronicle::algebra::eval::{canon, eval_sca};
 use chronicle::algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, RelationRef, ScaExpr};
@@ -39,31 +42,82 @@ enum Op {
     UpdateRate { acct: i64, rate: f64 },
 }
 
-fn view_strategy() -> impl Strategy<Value = ViewSpec> {
-    (
-        0..4u8,
-        prop::option::of(0.0..8.0f64),
-        0..3u8,
-        any::<bool>(),
-        0..5u8,
-    )
-        .prop_map(
-            |(shape, select_threshold, rel_op, summarize_group, agg)| ViewSpec {
-                shape,
-                select_threshold,
-                rel_op,
-                summarize_group,
-                agg,
+fn view_gen() -> impl Gen<Value = ViewSpec> {
+    from_fn(
+        |rng| ViewSpec {
+            shape: rng.gen_range(0..4u8),
+            select_threshold: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0.0..8.0f64))
+            } else {
+                None
             },
-        )
+            rel_op: rng.gen_range(0..3u8),
+            summarize_group: rng.gen_bool(0.5),
+            agg: rng.gen_range(0..5u8),
+        },
+        // Shrink one knob at a time toward the plainest view.
+        |v| {
+            let mut out = Vec::new();
+            if v.shape != 0 {
+                out.push(ViewSpec {
+                    shape: 0,
+                    ..v.clone()
+                });
+            }
+            if v.select_threshold.is_some() {
+                out.push(ViewSpec {
+                    select_threshold: None,
+                    ..v.clone()
+                });
+            }
+            if v.rel_op != 0 {
+                out.push(ViewSpec {
+                    rel_op: 0,
+                    ..v.clone()
+                });
+            }
+            if v.summarize_group {
+                out.push(ViewSpec {
+                    summarize_group: false,
+                    ..v.clone()
+                });
+            }
+            if v.agg != 0 {
+                out.push(ViewSpec {
+                    agg: 0,
+                    ..v.clone()
+                });
+            }
+            out
+        },
+    )
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..6i64, 0.0..10.0f64, any::<bool>())
-            .prop_map(|(caller, minutes, batch2)| Op::Append { caller, minutes, batch2 }),
-        1 => (0..6i64, 0.0..1.0f64).prop_map(|(acct, rate)| Op::UpdateRate { acct, rate }),
-    ]
+fn op_gen() -> impl Gen<Value = Op> {
+    weighted(vec![
+        (
+            4,
+            boxed(map(
+                triple(
+                    ints(0..6i64),
+                    floats(0.0..10.0),
+                    chronicle_testkit::prop::bools(),
+                ),
+                |(caller, minutes, batch2)| Op::Append {
+                    caller,
+                    minutes,
+                    batch2,
+                },
+            )),
+        ),
+        (
+            1,
+            boxed(map(
+                pair(ints(0..6i64), floats(0.0..1.0)),
+                |(acct, rate)| Op::UpdateRate { acct, rate },
+            )),
+        ),
+    ])
 }
 
 fn build_db() -> ChronicleDb {
@@ -144,17 +198,49 @@ fn build_expr(db: &ChronicleDb, spec: &ViewSpec) -> ScaExpr {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
+/// Apply one generated op to the database; returns the updated chronon
+/// clock.
+fn apply_op(db: &mut ChronicleDb, i: usize, op: &Op, mut t: i64) -> i64 {
+    match op {
+        Op::Append {
+            caller,
+            minutes,
+            batch2,
+        } => {
+            t += 1;
+            // Round minutes to multiples of 0.5, which are exactly
+            // representable: float sums are then order-independent
+            // and the oracle comparison is exact.
+            let m = (minutes * 2.0).round() / 2.0;
+            let rows: Vec<Vec<Value>> = if *batch2 {
+                vec![
+                    vec![Value::Int(*caller), Value::Float(m)],
+                    vec![Value::Int((*caller + 1) % 6), Value::Float(m + 0.5)],
+                ]
+            } else {
+                vec![vec![Value::Int(*caller), Value::Float(m)]]
+            };
+            // Alternate target chronicle so joins/unions see data on
+            // both sides.
+            let target = if i % 3 == 2 { "texts" } else { "calls" };
+            db.append(target, Chronon(t), &rows).unwrap();
+        }
+        Op::UpdateRate { acct, rate } => {
+            let r = (rate * 2.0).round() / 2.0;
+            db.execute(&format!(
+                "UPDATE rates SET rate = {r:.1} WHERE acct = {acct}"
+            ))
+            .unwrap();
+        }
+    }
+    t
+}
 
-    #[test]
-    fn incremental_equals_oracle(
-        spec in view_strategy(),
-        ops in prop::collection::vec(op_strategy(), 1..40),
-        check_at in 0..40usize,
+prop_test! {
+    fn incremental_equals_oracle(cases = 64, seed = 0x0AC1E;
+        spec in view_gen(),
+        ops in vec_of(op_gen(), 1..40),
+        check_at in ints(0..40usize),
     ) {
         let mut db = build_db();
         let expr = build_expr(&db, &spec);
@@ -162,32 +248,7 @@ proptest! {
 
         let mut t = 0i64;
         for (i, op) in ops.iter().enumerate() {
-            match op {
-                Op::Append { caller, minutes, batch2 } => {
-                    t += 1;
-                    // Round minutes to multiples of 0.5, which are exactly
-                    // representable: float sums are then order-independent
-                    // and the oracle comparison is exact.
-                    let m = (minutes * 2.0).round() / 2.0;
-                    let rows: Vec<Vec<Value>> = if *batch2 {
-                        vec![
-                            vec![Value::Int(*caller), Value::Float(m)],
-                            vec![Value::Int((*caller + 1) % 6), Value::Float(m + 0.5)],
-                        ]
-                    } else {
-                        vec![vec![Value::Int(*caller), Value::Float(m)]]
-                    };
-                    // Alternate target chronicle so joins/unions see data on
-                    // both sides.
-                    let target = if i % 3 == 2 { "texts" } else { "calls" };
-                    db.append(target, Chronon(t), &rows).unwrap();
-                }
-                Op::UpdateRate { acct, rate } => {
-                    let r = (rate * 2.0).round() / 2.0;
-                    db.execute(&format!("UPDATE rates SET rate = {r:.1} WHERE acct = {acct}"))
-                        .unwrap();
-                }
-            }
+            t = apply_op(&mut db, i, op, t);
             if i == check_at {
                 let inc = canon(db.query_view("v").unwrap());
                 let oracle = canon(
@@ -203,12 +264,13 @@ proptest! {
         );
         prop_assert_eq!(inc, oracle, "divergence at end of history");
     }
+}
 
+prop_test! {
     /// Monotonicity (Theorem 4.1): before summarization, a chronicle view
     /// only ever grows, and only with the new sequence number.
-    #[test]
-    fn ca_views_are_monotonic(
-        ops in prop::collection::vec(op_strategy(), 1..25),
+    fn ca_views_are_monotonic(cases = 64, seed = 0x501D;
+        ops in vec_of(op_gen(), 1..25),
     ) {
         let mut db = build_db();
         let calls = db.catalog().chronicle_id("calls").unwrap();
@@ -228,7 +290,7 @@ proptest! {
                 let now = canon(chronicle::algebra::eval::eval_ca(db.catalog(), &expr).unwrap());
                 // Every previous tuple is still present.
                 for old in &prev {
-                    prop_assert!(now.contains(old), "tuple retracted: {old}");
+                    prop_assert!(now.contains(old), "tuple retracted: {}", old);
                 }
                 // New tuples carry the newest sequence number.
                 let hw = db.catalog().group(db.catalog().group_id("g").unwrap()).high_water();
@@ -240,5 +302,35 @@ proptest! {
                 prev = now;
             }
         }
+    }
+}
+
+prop_test! {
+    /// A deliberately broken "oracle" — it claims every view stays empty —
+    /// which the harness must refute and then shrink: this proves failure
+    /// detection and shrinking work end-to-end against the real database,
+    /// not just against toy integer properties.
+    #[should_panic(expected = "property failed")]
+    fn broken_oracle_is_refuted_and_shrunk(cases = 64, seed = 0xBAD0;
+        ops in vec_of(op_gen(), 1..40),
+    ) {
+        let mut db = build_db();
+        let calls = db.catalog().chronicle_id("calls").unwrap();
+        let expr = ScaExpr::project(
+            CaExpr::chronicle(db.catalog().chronicle(calls)),
+            &["caller"],
+        )
+        .unwrap();
+        db.create_view("v", expr).unwrap();
+        let mut t = 0i64;
+        for (i, op) in ops.iter().enumerate() {
+            t = apply_op(&mut db, i, op, t);
+        }
+        // False claim: appends never reach the view.
+        prop_assert!(
+            db.query_view("v").unwrap().is_empty(),
+            "view has {} rows",
+            db.query_view("v").unwrap().len()
+        );
     }
 }

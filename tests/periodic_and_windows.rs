@@ -2,7 +2,8 @@
 //! the equivalence of the cyclic-buffer optimization with the general
 //! periodic-view machinery.
 
-use proptest::prelude::*;
+use chronicle_testkit::prop::{ints, pair, triple, vec_of};
+use chronicle_testkit::{prop_assert_eq, prop_test};
 
 use chronicle::algebra::{AggFunc, AggSpec, CaExpr, ScaExpr};
 use chronicle::prelude::*;
@@ -106,16 +107,13 @@ fn single_interval_calendar_is_a_plain_selected_view() {
     assert!(set.query(1, &[Value::str("T")]).is_none());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
+prop_test! {
     /// The §5.1 cyclic buffer computes exactly what the general
     /// periodic-view family computes for every overlapping window, for
     /// arbitrary trade streams.
-    #[test]
-    fn cyclic_buffer_equals_periodic_views(
-        trades in prop::collection::vec((0..3usize, 1..100i64, 0..4i64), 1..60),
-        width in 2..6i64,
+    fn cyclic_buffer_equals_periodic_views(cases = 32, seed = 0xC1C11C;
+        trades in vec_of(triple(ints(0..3usize), ints(1..100i64), ints(0..4i64)), 1..60),
+        width in ints(2..6i64),
     ) {
         let symbols = ["T", "IBM", "GE"];
         let mut db = trade_db(false);
@@ -176,12 +174,13 @@ proptest! {
             }
         }
     }
+}
 
+prop_test! {
     /// Periodic views over a monthly calendar partition the lifetime view:
     /// the per-month sums add up to the lifetime sum.
-    #[test]
-    fn monthly_views_partition_lifetime(
-        trades in prop::collection::vec((1..100i64, 0..5i64), 1..50),
+    fn monthly_views_partition_lifetime(cases = 32, seed = 0x30DA45;
+        trades in vec_of(pair(ints(1..100i64), ints(0..5i64)), 1..50),
     ) {
         let mut db = trade_db(false);
         db.execute(
