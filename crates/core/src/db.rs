@@ -1,12 +1,17 @@
 //! The `ChronicleDb` facade.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use chronicle_algebra::ScaExpr;
+use chronicle_durability::{
+    checkpoint, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage, RelationImage, Wal,
+    WalRecord,
+};
 use chronicle_sql::{
     parse, plan_view, resolve_literal_row, CalendarSpec, RetentionSpec, Statement,
 };
-use chronicle_store::{Catalog, Retention};
+use chronicle_store::{Catalog, RelationChange, Retention};
 use chronicle_types::{
     ChronicleError, ChronicleId, Chronon, GroupId, RelationId, Result, Schema, SeqNo, Tuple, Value,
     ViewId,
@@ -44,6 +49,15 @@ pub enum ExecOutcome {
     Dropped(String),
 }
 
+/// Live durability plumbing for a database opened at a path.
+#[derive(Debug)]
+struct DurabilityState {
+    wal: Wal,
+    dir: PathBuf,
+    opts: DurabilityOptions,
+    records_since_checkpoint: u64,
+}
+
 /// The chronicle database system: Definition 2.1's *(C, R, L, V)*.
 #[derive(Debug, Default)]
 pub struct ChronicleDb {
@@ -55,12 +69,320 @@ pub struct ChronicleDb {
     /// Auto-advancing chronon used when an append carries no `AT` clause.
     tick: i64,
     stats: DbStats,
+    /// Present iff the database was opened at a path; `None` = in-memory.
+    durability: Option<DurabilityState>,
+    /// Every DDL statement executed so far, in order (checkpoint replay).
+    ddl_log: Vec<String>,
+    /// When true, WAL records accumulate in the buffer until an explicit
+    /// [`ChronicleDb::wal_flush`] — the group-commit mode the pipeline
+    /// uses. When false (default), every logged record is flushed before
+    /// the operation returns.
+    wal_buffered: bool,
 }
 
 impl ChronicleDb {
-    /// An empty database.
+    /// An empty in-memory database (no durability).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ---- durability -------------------------------------------------------
+
+    /// Open a durable database at `path` (created if absent) with default
+    /// [`DurabilityOptions`], recovering any existing state: the newest
+    /// valid checkpoint is loaded and the WAL tail is replayed through the
+    /// normal maintenance path.
+    pub fn open(path: impl AsRef<Path>) -> Result<ChronicleDb> {
+        Self::open_with(path, DurabilityOptions::default())
+    }
+
+    /// [`ChronicleDb::open`] with explicit durability options.
+    pub fn open_with(path: impl AsRef<Path>, opts: DurabilityOptions) -> Result<ChronicleDb> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| ChronicleError::Durability {
+            detail: format!("creating database directory {}: {e}", dir.display()),
+        })?;
+        let (image, skipped) = checkpoint::load_latest(&dir)?;
+        let checkpoint_lsn = image.as_ref().map(|i| i.lsn);
+        let floor = checkpoint_lsn.unwrap_or(0);
+        let (wal, tail) = Wal::open(dir.join("wal"), opts, floor)?;
+        let mut db = ChronicleDb::new();
+        if let Some(img) = image {
+            db.restore_from_image(img)?;
+        }
+        let replayed = tail.len() as u64;
+        for (lsn, rec) in tail {
+            db.apply_wal_record(rec)
+                .map_err(|e| ChronicleError::Corruption {
+                    detail: format!("WAL record lsn {lsn} does not replay: {e}"),
+                })?;
+        }
+        db.stats.recovery_checkpoint_lsn = checkpoint_lsn;
+        db.stats.recovery_replayed_records = replayed;
+        db.stats.recovery_skipped_checkpoints = skipped as u64;
+        // Attach the WAL only now: recovery itself must never re-log.
+        db.durability = Some(DurabilityState {
+            wal,
+            dir,
+            opts,
+            records_since_checkpoint: replayed,
+        });
+        Ok(db)
+    }
+
+    /// True iff this database persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Write a checkpoint: flush the WAL, persist every view's snapshot
+    /// plus the catalog DDL and watermarks, then truncate WAL segments the
+    /// checkpoint covers. Returns the covered LSN. Durable state after
+    /// this call is `O(|V| + tail)`, independent of chronicle length.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        if self.durability.is_none() {
+            return Err(ChronicleError::Durability {
+                detail: "checkpoint() requires a database opened with ChronicleDb::open".into(),
+            });
+        }
+        let lsn = {
+            let st = self.durability.as_mut().expect("checked above");
+            st.wal.flush()?;
+            st.wal.last_lsn()
+        };
+        let image = self.build_checkpoint_image(lsn);
+        let st = self.durability.as_mut().expect("checked above");
+        checkpoint::write(&st.dir, &image, st.opts.keep_checkpoints, st.opts.fsync)?;
+        st.wal.rotate()?;
+        st.wal.truncate_through(lsn)?;
+        st.records_since_checkpoint = 0;
+        self.stats.wal_flushes = st.wal.stats().flushes;
+        self.stats.checkpoints += 1;
+        Ok(lsn)
+    }
+
+    /// Flush buffered WAL records (no-op when nothing is buffered or the
+    /// database is in-memory). Returns how many records became durable.
+    pub fn wal_flush(&mut self) -> Result<u64> {
+        match self.durability.as_mut() {
+            Some(st) => {
+                let n = st.wal.flush()?;
+                self.stats.wal_flushes = st.wal.stats().flushes;
+                Ok(n)
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Switch between flush-per-operation (false, default) and buffered
+    /// group-commit mode (true), where durability happens at the next
+    /// [`ChronicleDb::wal_flush`]. The pipeline buffers a burst of appends
+    /// and acknowledges them after one shared flush.
+    pub fn set_wal_buffered(&mut self, buffered: bool) {
+        self.wal_buffered = buffered;
+    }
+
+    fn log_record(&mut self, rec: WalRecord) -> Result<()> {
+        let autoflush = !self.wal_buffered;
+        if let Some(st) = self.durability.as_mut() {
+            st.wal.append(&rec)?;
+            st.records_since_checkpoint += 1;
+            if autoflush {
+                st.wal.flush()?;
+            }
+            let ws = st.wal.stats();
+            self.stats.wal_records = ws.records;
+            self.stats.wal_bytes = ws.bytes;
+            self.stats.wal_flushes = ws.flushes;
+            let due = st
+                .opts
+                .auto_checkpoint_records
+                .is_some_and(|n| st.records_since_checkpoint >= n);
+            if due {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a DDL statement in the replay log and the WAL.
+    fn log_ddl(&mut self, sql: String) -> Result<()> {
+        self.ddl_log.push(sql.clone());
+        self.log_record(WalRecord::Ddl(sql))
+    }
+
+    fn build_checkpoint_image(&self, lsn: u64) -> CheckpointImage {
+        let groups = self
+            .catalog
+            .groups()
+            .iter()
+            .map(|g| GroupImage {
+                name: g.name().to_string(),
+                high_water: g.high_water(),
+                last_at: g.now(),
+            })
+            .collect();
+        let chronicles = self
+            .catalog
+            .chronicles()
+            .iter()
+            .map(|c| ChronicleImage {
+                name: c.name().to_string(),
+                total_appended: c.total_appended(),
+                last_seq: c.last_seq(),
+                first_stored_seq: c.first_stored_seq(),
+                window: c.scan_window().cloned().collect(),
+            })
+            .collect();
+        let relations = self
+            .catalog
+            .relations()
+            .map(|(name, r)| RelationImage {
+                name: name.to_string(),
+                floor: r.floor(),
+                base: r.base_rows(),
+                log: r
+                    .log()
+                    .iter()
+                    .map(|(at, ch)| match ch {
+                        RelationChange::Insert(t) => (*at, true, t.clone()),
+                        RelationChange::Delete(t) => (*at, false, t.clone()),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut periodic: Vec<(String, Vec<u8>)> = self
+            .periodic_names
+            .iter()
+            .map(|(name, &idx)| (name.clone(), self.maintainer.periodic(idx).snapshot()))
+            .collect();
+        periodic.sort();
+        CheckpointImage {
+            lsn,
+            tick: self.tick,
+            ddl: self.ddl_log.clone(),
+            groups,
+            chronicles,
+            relations,
+            views: self.maintainer.snapshot_views(),
+            periodic,
+        }
+    }
+
+    /// Rebuild catalog + views from a checkpoint image: replay the DDL
+    /// (windows are empty, so nothing bootstraps), then overwrite the
+    /// rebuilt objects' state with the persisted images.
+    fn restore_from_image(&mut self, img: CheckpointImage) -> Result<()> {
+        let corrupt = |detail: String| ChronicleError::Corruption { detail };
+        for sql in &img.ddl {
+            self.execute(sql)
+                .map_err(|e| corrupt(format!("replaying checkpoint DDL `{sql}`: {e}")))?;
+        }
+        self.tick = img.tick;
+        for g in img.groups {
+            let gid = self
+                .catalog
+                .group_id(&g.name)
+                .map_err(|e| corrupt(format!("checkpoint/DDL mismatch: {e}")))?;
+            self.catalog
+                .group_mut(gid)
+                .restore_watermark(g.high_water, g.last_at);
+        }
+        for c in img.chronicles {
+            let cid = self
+                .catalog
+                .chronicle_id(&c.name)
+                .map_err(|e| corrupt(format!("checkpoint/DDL mismatch: {e}")))?;
+            self.catalog.chronicle_mut(cid).restore_state(
+                c.total_appended,
+                c.last_seq,
+                c.first_stored_seq,
+                c.window,
+            )?;
+        }
+        for r in img.relations {
+            let rid = self
+                .catalog
+                .relation_id(&r.name)
+                .map_err(|e| corrupt(format!("checkpoint/DDL mismatch: {e}")))?;
+            let log = r
+                .log
+                .into_iter()
+                .map(|(at, is_insert, t)| {
+                    let ch = if is_insert {
+                        RelationChange::Insert(t)
+                    } else {
+                        RelationChange::Delete(t)
+                    };
+                    (at, ch)
+                })
+                .collect();
+            self.catalog
+                .relation_mut(rid)
+                .restore_state(r.base, r.floor, log)?;
+        }
+        for (name, bytes) in &img.views {
+            self.maintainer
+                .restore_view(name, bytes)
+                .map_err(|e| corrupt(format!("restoring view `{name}`: {e}")))?;
+        }
+        for (name, bytes) in &img.periodic {
+            let idx = *self.periodic_names.get(name).ok_or_else(|| {
+                corrupt(format!("checkpoint names unknown periodic view `{name}`"))
+            })?;
+            self.maintainer
+                .periodic_mut(idx)
+                .restore_state(bytes)
+                .map_err(|e| corrupt(format!("restoring periodic view `{name}`: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Re-apply one WAL-tail record through the normal mutation paths.
+    /// `self.durability` is still `None` here, so replay never re-logs.
+    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Ddl(sql) => {
+                self.execute(&sql)?;
+            }
+            WalRecord::Append {
+                chronicle,
+                seq,
+                at,
+                tuples,
+            } => {
+                let cid = self.catalog.chronicle_id(&chronicle)?;
+                self.append_tuples(cid, seq, at, tuples)?;
+            }
+            WalRecord::RelInsert {
+                relation,
+                at,
+                tuple,
+            } => {
+                let rid = self.catalog.relation_id(&relation)?;
+                self.catalog.relation_mut(rid).insert(tuple, at)?;
+            }
+            WalRecord::RelDelete {
+                relation,
+                at,
+                tuple,
+            } => {
+                let rid = self.catalog.relation_id(&relation)?;
+                self.catalog.relation_mut(rid).delete(&tuple, at)?;
+            }
+            WalRecord::RelUpdate {
+                relation,
+                at,
+                key,
+                new,
+            } => {
+                let rid = self.catalog.relation_id(&relation)?;
+                self.catalog
+                    .relation_mut(rid)
+                    .update_by_key(&key, new, at)?;
+            }
+        }
+        Ok(())
     }
 
     // ---- catalog management ----------------------------------------------
@@ -69,17 +391,14 @@ impl ChronicleDb {
     pub fn create_group(&mut self, name: &str) -> Result<GroupId> {
         let id = self.catalog.create_group(name)?;
         self.default_group.get_or_insert(id);
+        self.log_ddl(format!("CREATE GROUP {name}"))?;
         Ok(id)
     }
 
     fn default_group(&mut self) -> Result<GroupId> {
         match self.default_group {
             Some(g) => Ok(g),
-            None => {
-                let g = self.catalog.create_group("default")?;
-                self.default_group = Some(g);
-                Ok(g)
-            }
+            None => self.create_group("default"),
         }
     }
 
@@ -95,19 +414,48 @@ impl ChronicleDb {
             Some(g) => self.catalog.group_id(g)?,
             None => self.default_group()?,
         };
-        self.catalog.create_chronicle(name, gid, schema, retention)
+        let sql = ddl_for_chronicle(name, &schema, group, retention);
+        let id = self
+            .catalog
+            .create_chronicle(name, gid, schema, retention)?;
+        self.log_ddl(sql)?;
+        Ok(id)
     }
 
     /// Create a relation.
     pub fn create_relation(&mut self, name: &str, schema: Schema) -> Result<RelationId> {
-        self.catalog.create_relation(name, schema)
+        let sql = ddl_for_relation(name, &schema);
+        let id = self.catalog.create_relation(name, schema)?;
+        self.log_ddl(sql)?;
+        Ok(id)
     }
 
     /// Create a persistent view from a pre-built SCA expression. If the
     /// base chronicles are fully retained and non-empty, the view is
     /// bootstrapped from history (§2.1: "materialized when it is initially
     /// defined").
+    ///
+    /// On a *durable* database this fails: an `ScaExpr` has no SQL text to
+    /// log for replay, so view DDL must go through
+    /// [`ChronicleDb::execute`].
     pub fn create_view(&mut self, name: &str, expr: ScaExpr) -> Result<ViewId> {
+        self.create_view_inner(name, expr, None)
+    }
+
+    fn create_view_inner(
+        &mut self,
+        name: &str,
+        expr: ScaExpr,
+        source: Option<&str>,
+    ) -> Result<ViewId> {
+        if self.durability.is_some() && source.is_none() {
+            return Err(ChronicleError::Durability {
+                detail: format!(
+                    "create_view(`{name}`) on a durable database: define views with SQL \
+                     (`execute`) so the definition can be logged for recovery"
+                ),
+            });
+        }
         let has_history = expr.ca().base_chronicles().iter().any(|&c| {
             let ch = self.catalog.chronicle(c);
             ch.total_appended() > 0
@@ -121,10 +469,14 @@ impl ChronicleDb {
                 return Err(e);
             }
         }
+        if let Some(sql) = source {
+            self.log_ddl(sql.to_string())?;
+        }
         Ok(id)
     }
 
-    /// Create a periodic view family.
+    /// Create a periodic view family. Like [`ChronicleDb::create_view`],
+    /// this programmatic form is rejected on a durable database — use SQL.
     pub fn create_periodic_view(
         &mut self,
         name: &str,
@@ -132,6 +484,25 @@ impl ChronicleDb {
         calendar: Calendar,
         expire_after: Option<i64>,
     ) -> Result<usize> {
+        self.create_periodic_view_inner(name, expr, calendar, expire_after, None)
+    }
+
+    fn create_periodic_view_inner(
+        &mut self,
+        name: &str,
+        expr: ScaExpr,
+        calendar: Calendar,
+        expire_after: Option<i64>,
+        source: Option<&str>,
+    ) -> Result<usize> {
+        if self.durability.is_some() && source.is_none() {
+            return Err(ChronicleError::Durability {
+                detail: format!(
+                    "create_periodic_view(`{name}`) on a durable database: define views with \
+                     SQL (`execute`) so the definition can be logged for recovery"
+                ),
+            });
+        }
         if self.periodic_names.contains_key(name) {
             return Err(ChronicleError::AlreadyExists {
                 kind: "periodic view",
@@ -141,6 +512,9 @@ impl ChronicleDb {
         let set = PeriodicViewSet::new(name, expr, calendar, expire_after);
         let idx = self.maintainer.register_periodic(set);
         self.periodic_names.insert(name.into(), idx);
+        if let Some(sql) = source {
+            self.log_ddl(sql.to_string())?;
+        }
         Ok(idx)
     }
 
@@ -199,6 +573,15 @@ impl ChronicleDb {
         };
         let report = self.maintainer.on_append(&self.catalog, &event)?;
         self.stats.record_append(event.tuples.len(), &report);
+        if self.durability.is_some() {
+            let rec = WalRecord::Append {
+                chronicle: self.catalog.chronicle_name(chronicle).to_string(),
+                seq,
+                at,
+                tuples: event.tuples,
+            };
+            self.log_record(rec)?;
+        }
         Ok(AppendOutcome { seq, at, report })
     }
 
@@ -208,21 +591,51 @@ impl ChronicleDb {
     pub fn insert_relation(&mut self, name: &str, tuple: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
         let g = self.default_group()?;
-        self.catalog.relation_insert(rid, g, tuple)
+        let logged = self.durability.is_some().then(|| WalRecord::RelInsert {
+            relation: name.to_string(),
+            at: self.catalog.group(g).high_water(),
+            tuple: tuple.clone(),
+        });
+        self.catalog.relation_insert(rid, g, tuple)?;
+        if let Some(rec) = logged {
+            self.log_record(rec)?;
+        }
+        Ok(())
     }
 
     /// Update a relation tuple by primary key.
     pub fn update_relation(&mut self, name: &str, key: &[Value], new: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
         let g = self.default_group()?;
-        self.catalog.relation_update(rid, g, key, new)
+        let logged = self.durability.is_some().then(|| WalRecord::RelUpdate {
+            relation: name.to_string(),
+            at: self.catalog.group(g).high_water(),
+            key: key.to_vec(),
+            new: new.clone(),
+        });
+        self.catalog.relation_update(rid, g, key, new)?;
+        if let Some(rec) = logged {
+            self.log_record(rec)?;
+        }
+        Ok(())
     }
 
     /// Delete a relation tuple.
     pub fn delete_relation(&mut self, name: &str, tuple: &Tuple) -> Result<bool> {
         let rid = self.catalog.relation_id(name)?;
         let g = self.default_group()?;
-        self.catalog.relation_delete(rid, g, tuple)
+        let logged = self.durability.is_some().then(|| WalRecord::RelDelete {
+            relation: name.to_string(),
+            at: self.catalog.group(g).high_water(),
+            tuple: tuple.clone(),
+        });
+        let removed = self.catalog.relation_delete(rid, g, tuple)?;
+        if removed {
+            if let Some(rec) = logged {
+                self.log_record(rec)?;
+            }
+        }
+        Ok(removed)
     }
 
     // ---- queries ------------------------------------------------------------
@@ -306,11 +719,17 @@ impl ChronicleDb {
     /// Parse and execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
-        self.execute_stmt(stmt)
+        self.execute_stmt_inner(stmt, Some(sql))
     }
 
-    /// Execute a pre-parsed statement.
+    /// Execute a pre-parsed statement. On a durable database, view DDL is
+    /// rejected here (no SQL text to log) — go through
+    /// [`ChronicleDb::execute`] instead.
     pub fn execute_stmt(&mut self, stmt: Statement) -> Result<ExecOutcome> {
+        self.execute_stmt_inner(stmt, None)
+    }
+
+    fn execute_stmt_inner(&mut self, stmt: Statement, source: Option<&str>) -> Result<ExecOutcome> {
         match stmt {
             Statement::CreateGroup { name } => {
                 self.create_group(&name)?;
@@ -360,7 +779,7 @@ impl ChronicleDb {
             }
             Statement::CreateView { name, query } => {
                 let expr = plan_view(&self.catalog, &query)?;
-                self.create_view(&name, expr)?;
+                self.create_view_inner(&name, expr, source)?;
                 Ok(ExecOutcome::Created("view", name))
             }
             Statement::CreatePeriodicView {
@@ -370,7 +789,7 @@ impl ChronicleDb {
             } => {
                 let expr = plan_view(&self.catalog, &query)?;
                 let cal = calendar_from_spec(&calendar)?;
-                self.create_periodic_view(&name, expr, cal, calendar.expire_after)?;
+                self.create_periodic_view_inner(&name, expr, cal, calendar.expire_after, source)?;
                 Ok(ExecOutcome::Created("periodic view", name))
             }
             Statement::Append(a) => {
@@ -466,6 +885,7 @@ impl ChronicleDb {
             }
             Statement::DropView { name } => {
                 self.maintainer.drop_view(&name)?;
+                self.log_ddl(format!("DROP VIEW {name}"))?;
                 Ok(ExecOutcome::Dropped(name))
             }
         }
@@ -501,6 +921,46 @@ impl ChronicleDb {
 
 fn calendar_from_spec(spec: &CalendarSpec) -> Result<Calendar> {
     Calendar::periodic(Chronon(spec.anchor), spec.width, spec.step, None)
+}
+
+/// Normalized `CREATE CHRONICLE` text for the DDL replay log. The
+/// programmatic API has no SQL source, so one is synthesized; the SQL
+/// parser round-trips it.
+fn ddl_for_chronicle(
+    name: &str,
+    schema: &Schema,
+    group: Option<&str>,
+    retention: Retention,
+) -> String {
+    let cols: Vec<String> = schema
+        .attrs()
+        .iter()
+        .map(|a| format!("{} {}", a.name, a.ty))
+        .collect();
+    let mut sql = format!("CREATE CHRONICLE {name} ({})", cols.join(", "));
+    if let Some(g) = group {
+        sql.push_str(&format!(" IN GROUP {g}"));
+    }
+    match retention {
+        Retention::None => {}
+        Retention::All => sql.push_str(" RETAIN ALL"),
+        Retention::LastTuples(n) => sql.push_str(&format!(" RETAIN LAST {n}")),
+    }
+    sql
+}
+
+/// Normalized `CREATE RELATION` text for the DDL replay log.
+fn ddl_for_relation(name: &str, schema: &Schema) -> String {
+    let mut cols: Vec<String> = schema
+        .attrs()
+        .iter()
+        .map(|a| format!("{} {}", a.name, a.ty))
+        .collect();
+    if let Some(key) = schema.key() {
+        let key_names: Vec<&str> = key.iter().map(|&p| &*schema.attr(p).name).collect();
+        cols.push(format!("PRIMARY KEY ({})", key_names.join(", ")));
+    }
+    format!("CREATE RELATION {name} ({})", cols.join(", "))
 }
 
 #[cfg(test)]

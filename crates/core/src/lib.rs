@@ -16,6 +16,12 @@
 //! * [`pipeline`] — a concurrent append pipeline (producers feed a
 //!   maintenance thread over `std::sync::mpsc` channels), used by the throughput
 //!   experiment E11.
+//!
+//! Databases opened at a path ([`ChronicleDb::open`]) are durable: every
+//! mutation is written to a segmented write-ahead log, and
+//! [`ChronicleDb::checkpoint`] persists the views so the log can be
+//! truncated — durable state is `O(|V| + tail)`, never the chronicle
+//! itself. See the `chronicle_durability` crate for the format.
 
 #![warn(missing_docs)]
 
@@ -24,5 +30,6 @@ mod db;
 pub mod pipeline;
 pub mod stats;
 
+pub use chronicle_durability::DurabilityOptions;
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
 pub use stats::DbStats;

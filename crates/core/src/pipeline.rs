@@ -8,6 +8,13 @@
 //! channel; a dedicated thread owns the [`ChronicleDb`], serializes the
 //! appends, and runs maintenance. This module implements exactly that with
 //! `std::sync::mpsc` bounded channels and is what experiment E11 drives.
+//!
+//! When the database is durable, the worker runs in *group-commit* mode:
+//! it drains a burst of queued appends, applies them all with WAL records
+//! buffered, issues one shared flush, and only then acknowledges the
+//! producers. An acknowledged append has therefore always reached the log,
+//! and concurrent producers share the cost of a single flush (and a single
+//! fsync when enabled).
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
@@ -124,22 +131,60 @@ impl Pipeline {
     pub fn start(mut db: ChronicleDb, capacity: usize) -> Pipeline {
         let (tx, rx): (SyncSender<Request>, Receiver<Request>) = sync_channel(capacity);
         let worker = std::thread::spawn(move || {
-            while let Ok(req) = rx.recv() {
-                match req {
-                    Request::Append(req) => {
-                        let outcome = db.append(&req.chronicle, req.at, &req.rows);
-                        if let Some(reply) = req.reply {
-                            // A dropped receiver just means the producer
-                            // stopped caring; not a pipeline error.
-                            let _ = reply.send(outcome);
+            /// Bound on how many appends share one flush, so a saturated
+            /// queue cannot defer acknowledgement indefinitely.
+            const BURST: usize = 512;
+            // Buffer WAL records across a burst; durability happens at the
+            // shared flush below, before any producer is acknowledged.
+            db.set_wal_buffered(true);
+            'serve: while let Ok(first) = rx.recv() {
+                // Acknowledgements owed after the flush: the append's own
+                // outcome plus where to send it.
+                let mut pending: Vec<(Result<AppendOutcome>, Option<SyncSender<_>>)> = Vec::new();
+                let mut shutdown = false;
+                let mut next = Some(first);
+                while let Some(req) = next.take() {
+                    match req {
+                        Request::Append(req) => {
+                            let outcome = db.append(&req.chronicle, req.at, &req.rows);
+                            pending.push((outcome, req.reply));
+                            if pending.len() < BURST {
+                                next = rx.try_recv().ok();
+                            }
                         }
+                        Request::Query { view, key, reply } => {
+                            // Queries stay serialized with the appends; they
+                            // read applied (not necessarily yet durable)
+                            // state, matching the single-threaded API.
+                            let _ = reply.send(db.query_view_key(&view, &key));
+                            next = rx.try_recv().ok();
+                        }
+                        Request::Shutdown => shutdown = true,
                     }
-                    Request::Query { view, key, reply } => {
-                        let _ = reply.send(db.query_view_key(&view, &key));
+                }
+                // One flush covers the whole burst (no-op for an in-memory
+                // database). If it fails, every append that thought it
+                // succeeded is NOT durable — report that, not success.
+                if let Err(e) = db.wal_flush() {
+                    for slot in pending.iter_mut().filter(|(o, _)| o.is_ok()) {
+                        slot.0 = Err(chronicle_types::ChronicleError::Durability {
+                            detail: format!("group-commit flush failed: {e}"),
+                        });
                     }
-                    Request::Shutdown => break,
+                }
+                for (outcome, reply) in pending {
+                    if let Some(reply) = reply {
+                        // A dropped receiver just means the producer
+                        // stopped caring; not a pipeline error.
+                        let _ = reply.send(outcome);
+                    }
+                }
+                if shutdown {
+                    break 'serve;
                 }
             }
+            let _ = db.wal_flush();
+            db.set_wal_buffered(false);
             db
         });
         Pipeline {

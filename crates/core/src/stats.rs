@@ -1,7 +1,12 @@
 //! Append and maintenance accounting.
 
+use std::cell::{Cell, RefCell};
+
 use chronicle_algebra::WorkCounter;
 use chronicle_views::MaintenanceReport;
+
+/// Size of the retained latency sample.
+const SAMPLE: usize = 4096;
 
 /// Running statistics for a [`crate::ChronicleDb`].
 #[derive(Debug, Clone, Default)]
@@ -22,9 +27,30 @@ pub struct DbStats {
     pub skipped_by_interval: u64,
     /// Aggregate work counters across all maintenance.
     pub work: WorkCounter,
-    /// A bounded sample of per-append maintenance latencies (ns) for
-    /// percentile reporting; reservoir of the most recent 4096.
+    /// Records written to the write-ahead log.
+    pub wal_records: u64,
+    /// Bytes written to the write-ahead log.
+    pub wal_bytes: u64,
+    /// WAL flushes issued (group commit coalesces many records into one).
+    pub wal_flushes: u64,
+    /// Checkpoints taken (manual and automatic).
+    pub checkpoints: u64,
+    /// LSN of the checkpoint recovery started from, if the database was
+    /// opened from disk and a checkpoint existed.
+    pub recovery_checkpoint_lsn: Option<u64>,
+    /// WAL-tail records replayed during the most recent recovery.
+    pub recovery_replayed_records: u64,
+    /// Invalid checkpoint files skipped (newest-first) during recovery.
+    pub recovery_skipped_checkpoints: u64,
+    /// Ring buffer of the last `SAMPLE` per-append maintenance latencies
+    /// (ns). Once full, the slot for append number `n` (1-based) is
+    /// `(n - 1) % SAMPLE`, so the buffer always holds exactly the most
+    /// recent `SAMPLE` observations.
     latencies: Vec<u64>,
+    /// Lazily sorted copy of `latencies` for percentile queries; rebuilt
+    /// only when a query arrives after new data (`sorted_stale`).
+    sorted: RefCell<Vec<u64>>,
+    sorted_stale: Cell<bool>,
 }
 
 impl DbStats {
@@ -38,13 +64,13 @@ impl DbStats {
         self.skipped_by_guard += report.routing.skipped_guard as u64;
         self.skipped_by_interval += report.routing.skipped_interval as u64;
         self.work.absorb(report.total_work);
-        if self.latencies.len() == 4096 {
-            // Overwrite cyclically: cheap recency-biased sample.
-            let idx = (self.appends % 4096) as usize;
+        if self.latencies.len() == SAMPLE {
+            let idx = ((self.appends - 1) % SAMPLE as u64) as usize;
             self.latencies[idx] = report.elapsed_nanos;
         } else {
             self.latencies.push(report.elapsed_nanos);
         }
+        self.sorted_stale.set(true);
     }
 
     /// Mean maintenance time per append, nanoseconds.
@@ -57,12 +83,21 @@ impl DbStats {
     }
 
     /// Latency percentile (e.g. `0.5`, `0.99`) over the retained sample.
+    ///
+    /// The sorted view is cached: repeated percentile queries between
+    /// appends cost O(1) instead of re-sorting the sample every call.
     pub fn latency_percentile(&self, q: f64) -> u64 {
         if self.latencies.is_empty() {
             return 0;
         }
-        let mut v = self.latencies.clone();
-        v.sort_unstable();
+        if self.sorted_stale.get() {
+            let mut v = self.sorted.borrow_mut();
+            v.clear();
+            v.extend_from_slice(&self.latencies);
+            v.sort_unstable();
+            self.sorted_stale.set(false);
+        }
+        let v = self.sorted.borrow();
         let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         v[idx]
     }
@@ -121,7 +156,31 @@ mod tests {
         for i in 0..10_000u64 {
             s.record_append(1, &report(i));
         }
-        assert!(s.latencies.len() <= 4096);
+        assert!(s.latencies.len() <= SAMPLE);
         assert_eq!(s.appends, 10_000);
+    }
+
+    #[test]
+    fn percentile_cache_tracks_new_data() {
+        let mut s = DbStats::default();
+        s.record_append(1, &report(10));
+        assert_eq!(s.latency_percentile(1.0), 10);
+        // A second query with no new data must not change the answer…
+        assert_eq!(s.latency_percentile(1.0), 10);
+        // …and new data must invalidate the cache.
+        s.record_append(1, &report(999));
+        assert_eq!(s.latency_percentile(1.0), 999);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_slot_first() {
+        let mut s = DbStats::default();
+        for i in 0..SAMPLE as u64 {
+            s.record_append(1, &report(i));
+        }
+        // Append SAMPLE+1 must overwrite slot 0 (the oldest), not slot 1.
+        s.record_append(1, &report(777_777));
+        assert_eq!(s.latencies[0], 777_777);
+        assert_eq!(s.latencies[1], 1);
     }
 }

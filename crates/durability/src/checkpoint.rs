@@ -1,0 +1,430 @@
+//! Checkpoint images: durable snapshots of everything *except* the
+//! chronicle contents.
+//!
+//! A checkpoint persists the catalog DDL, group watermarks, retention
+//! windows, temporal relations, and every view's snapshot — the paper's
+//! `O(|V|)` durable state — together with the WAL LSN it covers. After a
+//! checkpoint is durable, WAL segments at or below that LSN are deleted,
+//! so total durable state is `O(|V| + tail)` and never grows with the
+//! chronicle length `|C|`.
+//!
+//! # Protocol
+//!
+//! 1. flush the WAL and note `lsn = last_lsn()`;
+//! 2. encode the image (magic `CHRCKPT1`, body, trailing CRC-32);
+//! 3. write `ckpt-{lsn}.tmp`, fsync, atomically rename to
+//!    `ckpt-{lsn}.ckpt`, fsync the directory;
+//! 4. prune to the newest `keep` checkpoints, rotate the WAL, delete
+//!    segments covered by `lsn`.
+//!
+//! A crash between steps 3 and 4 is harmless: recovery loads the new
+//! checkpoint and skips replayed records at or below its LSN. A crash
+//! during step 3 leaves a `.tmp` file, which recovery ignores. If the
+//! newest `.ckpt` is unreadable, [`load_latest`] falls back to an older
+//! one; the WAL gap check in [`crate::Wal::open`] then decides loudly
+//! whether the log still reaches back far enough to recover from it.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use chronicle_types::codec::{Reader, Writer};
+use chronicle_types::{ChronicleError, Chronon, Result, SeqNo, Tuple};
+
+use crate::crc::crc32;
+use crate::wal::sync_dir;
+
+const MAGIC: &str = "CHRCKPT1";
+
+/// Watermark state of one chronicle group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupImage {
+    /// Group name.
+    pub name: String,
+    /// High-water sequence number.
+    pub high_water: SeqNo,
+    /// Chronon of the last admitted batch, if any.
+    pub last_at: Option<Chronon>,
+}
+
+/// Counters and retained window of one chronicle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChronicleImage {
+    /// Chronicle name.
+    pub name: String,
+    /// Total tuples ever appended.
+    pub total_appended: u64,
+    /// Sequence number of the last appended batch.
+    pub last_seq: SeqNo,
+    /// Oldest sequence number still in the retention window.
+    pub first_stored_seq: Option<SeqNo>,
+    /// The retained window tuples, oldest first.
+    pub window: Vec<Tuple>,
+}
+
+/// Full state of one temporal relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationImage {
+    /// Relation name.
+    pub name: String,
+    /// Compaction floor.
+    pub floor: SeqNo,
+    /// Base version rows (the version at the floor).
+    pub base: Vec<Tuple>,
+    /// Change log above the floor: `(stamp, is_insert, tuple)`.
+    pub log: Vec<(SeqNo, bool, Tuple)>,
+}
+
+/// Everything needed to rebuild a `ChronicleDb` minus the WAL tail.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointImage {
+    /// WAL LSN this image covers through.
+    pub lsn: u64,
+    /// Database clock at checkpoint time.
+    pub tick: i64,
+    /// Every DDL statement executed so far, in order.
+    pub ddl: Vec<String>,
+    /// Group watermarks.
+    pub groups: Vec<GroupImage>,
+    /// Chronicle counters and windows.
+    pub chronicles: Vec<ChronicleImage>,
+    /// Temporal relations.
+    pub relations: Vec<RelationImage>,
+    /// Persistent view snapshots as `(name, bytes)`.
+    pub views: Vec<(String, Vec<u8>)>,
+    /// Periodic view-family snapshots as `(name, bytes)`.
+    pub periodic: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointImage {
+    /// Encode to bytes with a trailing CRC-32.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(MAGIC);
+        w.u64(self.lsn);
+        w.i64(self.tick);
+        w.u32(self.ddl.len() as u32);
+        for sql in &self.ddl {
+            w.str(sql);
+        }
+        w.u32(self.groups.len() as u32);
+        for g in &self.groups {
+            w.str(&g.name);
+            w.seq_no(g.high_water);
+            match g.last_at {
+                None => w.u8(0),
+                Some(at) => {
+                    w.u8(1);
+                    w.chronon(at);
+                }
+            }
+        }
+        w.u32(self.chronicles.len() as u32);
+        for c in &self.chronicles {
+            w.str(&c.name);
+            w.u64(c.total_appended);
+            w.seq_no(c.last_seq);
+            match c.first_stored_seq {
+                None => w.u8(0),
+                Some(s) => {
+                    w.u8(1);
+                    w.seq_no(s);
+                }
+            }
+            w.u32(c.window.len() as u32);
+            for t in &c.window {
+                w.tuple(t);
+            }
+        }
+        w.u32(self.relations.len() as u32);
+        for r in &self.relations {
+            w.str(&r.name);
+            w.seq_no(r.floor);
+            w.u32(r.base.len() as u32);
+            for t in &r.base {
+                w.tuple(t);
+            }
+            w.u32(r.log.len() as u32);
+            for (at, is_insert, t) in &r.log {
+                w.seq_no(*at);
+                w.u8(*is_insert as u8);
+                w.tuple(t);
+            }
+        }
+        for set in [&self.views, &self.periodic] {
+            w.u32(set.len() as u32);
+            for (name, bytes) in set {
+                w.str(name);
+                w.bytes(bytes);
+            }
+        }
+        let mut out = w.into_bytes();
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode and validate; any failure is [`ChronicleError::Corruption`].
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointImage> {
+        let corrupt = |detail: String| ChronicleError::Corruption { detail };
+        if bytes.len() < 4 {
+            return Err(corrupt("checkpoint file too short".into()));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(corrupt("checkpoint CRC mismatch".into()));
+        }
+        let mut r = Reader::new(body);
+        let mut parse = || -> Result<CheckpointImage> {
+            if r.str()? != MAGIC {
+                return Err(ChronicleError::Internal("bad checkpoint magic".into()));
+            }
+            let lsn = r.u64()?;
+            let tick = r.i64()?;
+            let mut ddl = Vec::new();
+            for _ in 0..r.u32()? {
+                ddl.push(r.str()?);
+            }
+            let mut groups = Vec::new();
+            for _ in 0..r.u32()? {
+                groups.push(GroupImage {
+                    name: r.str()?,
+                    high_water: r.seq_no()?,
+                    last_at: match r.u8()? {
+                        0 => None,
+                        _ => Some(r.chronon()?),
+                    },
+                });
+            }
+            let mut chronicles = Vec::new();
+            for _ in 0..r.u32()? {
+                let name = r.str()?;
+                let total_appended = r.u64()?;
+                let last_seq = r.seq_no()?;
+                let first_stored_seq = match r.u8()? {
+                    0 => None,
+                    _ => Some(r.seq_no()?),
+                };
+                let n = r.u32()? as usize;
+                let mut window = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    window.push(r.tuple()?);
+                }
+                chronicles.push(ChronicleImage {
+                    name,
+                    total_appended,
+                    last_seq,
+                    first_stored_seq,
+                    window,
+                });
+            }
+            let mut relations = Vec::new();
+            for _ in 0..r.u32()? {
+                let name = r.str()?;
+                let floor = r.seq_no()?;
+                let nb = r.u32()? as usize;
+                let mut base = Vec::with_capacity(nb.min(1024));
+                for _ in 0..nb {
+                    base.push(r.tuple()?);
+                }
+                let nl = r.u32()? as usize;
+                let mut log = Vec::with_capacity(nl.min(1024));
+                for _ in 0..nl {
+                    log.push((r.seq_no()?, r.u8()? != 0, r.tuple()?));
+                }
+                relations.push(RelationImage {
+                    name,
+                    floor,
+                    base,
+                    log,
+                });
+            }
+            let mut views = Vec::new();
+            for _ in 0..r.u32()? {
+                views.push((r.str()?, r.bytes()?));
+            }
+            let mut periodic = Vec::new();
+            for _ in 0..r.u32()? {
+                periodic.push((r.str()?, r.bytes()?));
+            }
+            Ok(CheckpointImage {
+                lsn,
+                tick,
+                ddl,
+                groups,
+                chronicles,
+                relations,
+                views,
+                periodic,
+            })
+        };
+        let image = parse().map_err(|e| corrupt(format!("checkpoint undecodable: {e}")))?;
+        if !r.at_end() {
+            return Err(corrupt("trailing bytes after checkpoint image".into()));
+        }
+        Ok(image)
+    }
+}
+
+fn ckpt_name(lsn: u64) -> String {
+    format!("ckpt-{lsn:020}.ckpt")
+}
+
+fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .map_err(|e| ChronicleError::Durability {
+            detail: format!("listing checkpoint directory {}: {e}", dir.display()),
+        })?
+        .filter_map(|entry| {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let lsn: u64 = name
+                .to_str()?
+                .strip_prefix("ckpt-")?
+                .strip_suffix(".ckpt")?
+                .parse()
+                .ok()?;
+            Some((lsn, entry.path()))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Durably write `image` to `dir` (tmp + fsync + atomic rename), then
+/// prune to the newest `keep` checkpoint files.
+pub fn write(dir: &Path, image: &CheckpointImage, keep: usize, fsync: bool) -> Result<PathBuf> {
+    fs::create_dir_all(dir).map_err(|e| ChronicleError::Durability {
+        detail: format!("creating checkpoint directory {}: {e}", dir.display()),
+    })?;
+    let io = |context: &str, p: &Path, e: std::io::Error| ChronicleError::Durability {
+        detail: format!("{context} {}: {e}", p.display()),
+    };
+    let bytes = image.encode();
+    let tmp = dir.join(format!("ckpt-{:020}.tmp", image.lsn));
+    let dest = dir.join(ckpt_name(image.lsn));
+    {
+        let mut f = File::create(&tmp).map_err(|e| io("creating checkpoint", &tmp, e))?;
+        f.write_all(&bytes)
+            .map_err(|e| io("writing checkpoint", &tmp, e))?;
+        if fsync {
+            f.sync_all()
+                .map_err(|e| io("syncing checkpoint", &tmp, e))?;
+        }
+    }
+    fs::rename(&tmp, &dest).map_err(|e| io("publishing checkpoint", &dest, e))?;
+    if fsync {
+        sync_dir(dir)?;
+    }
+    let mut all = list_checkpoints(dir)?;
+    while all.len() > keep.max(1) {
+        let (_, old) = all.remove(0);
+        let _ = fs::remove_file(old);
+    }
+    Ok(dest)
+}
+
+/// Load the newest valid checkpoint in `dir`, skipping unreadable ones.
+/// Returns the image (if any) and how many invalid files were skipped.
+/// `.tmp` files from interrupted writes are ignored entirely.
+pub fn load_latest(dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
+    if !dir.exists() {
+        return Ok((None, 0));
+    }
+    let mut all = list_checkpoints(dir)?;
+    let mut skipped = 0;
+    while let Some((_, path)) = all.pop() {
+        let bytes = fs::read(&path).map_err(|e| ChronicleError::Durability {
+            detail: format!("reading checkpoint {}: {e}", path.display()),
+        })?;
+        match CheckpointImage::decode(&bytes) {
+            Ok(image) => return Ok((Some(image), skipped)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::tuple;
+
+    fn sample(lsn: u64) -> CheckpointImage {
+        CheckpointImage {
+            lsn,
+            tick: 99,
+            ddl: vec![
+                "CREATE GROUP g".into(),
+                "CREATE CHRONICLE c (sn SEQ, x INT)".into(),
+            ],
+            groups: vec![GroupImage {
+                name: "g".into(),
+                high_water: SeqNo(7),
+                last_at: Some(Chronon(70)),
+            }],
+            chronicles: vec![ChronicleImage {
+                name: "c".into(),
+                total_appended: 7,
+                last_seq: SeqNo(7),
+                first_stored_seq: Some(SeqNo(5)),
+                window: vec![tuple![SeqNo(5), 1i64], tuple![SeqNo(6), 2i64]],
+            }],
+            relations: vec![RelationImage {
+                name: "r".into(),
+                floor: SeqNo(2),
+                base: vec![tuple![1i64, "a"]],
+                log: vec![(SeqNo(3), true, tuple![2i64, "b"])],
+            }],
+            views: vec![("v".into(), vec![1, 2, 3])],
+            periodic: vec![("p".into(), vec![9, 8])],
+        }
+    }
+
+    #[test]
+    fn image_round_trips() {
+        let img = sample(12);
+        assert_eq!(CheckpointImage::decode(&img.encode()).unwrap(), img);
+        let empty = CheckpointImage::default();
+        assert_eq!(CheckpointImage::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let mut bytes = sample(5).encode();
+        for i in (0..bytes.len()).step_by(7) {
+            bytes[i] ^= 0x10;
+            assert!(CheckpointImage::decode(&bytes).is_err(), "flip at {i}");
+            bytes[i] ^= 0x10;
+        }
+        assert!(CheckpointImage::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn write_load_prune() {
+        let dir = std::env::temp_dir().join(format!("chronicle-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(load_latest(&dir).unwrap(), (None, 0));
+        for lsn in [3, 9, 27] {
+            write(&dir, &sample(lsn), 2, false).unwrap();
+        }
+        let (img, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(img.unwrap().lsn, 27);
+        assert_eq!(skipped, 0);
+        // Pruned to 2.
+        assert_eq!(list_checkpoints(&dir).unwrap().len(), 2);
+        // A corrupt newest falls back to the previous one.
+        let newest = dir.join(ckpt_name(27));
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let (img, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(img.unwrap().lsn, 9);
+        assert_eq!(skipped, 1);
+        // Leftover .tmp files are ignored.
+        fs::write(dir.join("ckpt-00000000000000000099.tmp"), b"junk").unwrap();
+        assert_eq!(load_latest(&dir).unwrap().0.unwrap().lsn, 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Durability for the chronicle data model: segmented WAL, group commit,
+//! view checkpointing, and crash recovery.
+//!
+//! The paper's premise (§2, Thm 4.1/4.4) is that the chronicle `C` is
+//! unbounded and *not stored*: the persistent views, relations, and
+//! catalog are the only state, and maintenance cost must not depend on
+//! `|C|`. This crate is the system-level analogue of that discipline:
+//!
+//! * the [`Wal`] logs only the *deltas* (append batches, relation updates,
+//!   DDL) — never the chronicle base;
+//! * a [`checkpoint::CheckpointImage`] persists the `O(|V|)` view state
+//!   plus the low-water LSN, after which older WAL segments are deleted;
+//! * recovery loads the newest valid checkpoint and replays only the WAL
+//!   *tail* through the normal maintenance path, so recovery time depends
+//!   on tail length, not chronicle length.
+//!
+//! Torn final records are detected by CRC and cleanly discarded (they were
+//! never acknowledged — acks happen only after flush); any other damage
+//! fails recovery loudly with [`chronicle_types::ChronicleError::Corruption`].
+//!
+//! Everything here is built on `std` and the in-tree
+//! [`chronicle_types::codec`]; the workspace's zero-dependency policy
+//! holds.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod crc;
+mod group_commit;
+mod record;
+mod wal;
+
+pub use checkpoint::{CheckpointImage, ChronicleImage, GroupImage, RelationImage};
+pub use group_commit::GroupCommit;
+pub use record::WalRecord;
+pub use wal::{Wal, WalStats};
+
+/// Policy knobs for the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Target size of one WAL segment file in bytes; a record that would
+    /// overflow the active segment seals it first.
+    pub segment_bytes: u64,
+    /// When true, every WAL flush `fdatasync`s the segment and checkpoint
+    /// publication syncs the directory (survives power loss). When false,
+    /// writes go to the OS page cache (survives process crash only) —
+    /// the right default for tests and benchmarks.
+    pub fsync: bool,
+    /// Checkpoint automatically after this many WAL records since the
+    /// last checkpoint. `None` leaves checkpointing to explicit
+    /// `checkpoint()` calls.
+    pub auto_checkpoint_records: Option<u64>,
+    /// How many checkpoint files to retain (the newest N; at least 1).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            segment_bytes: 1 << 20,
+            fsync: false,
+            auto_checkpoint_records: None,
+            keep_checkpoints: 2,
+        }
+    }
+}

@@ -1,0 +1,654 @@
+//! Segmented write-ahead log.
+//!
+//! # On-disk format
+//!
+//! The log is a directory of segment files named `wal-{first_lsn:020}.seg`.
+//! Each segment starts with a 16-byte header — the 8-byte magic
+//! `b"CHRWAL01"` followed by the little-endian `u64` LSN of the first
+//! record in the segment — and is followed by record frames:
+//!
+//! ```text
+//! [u32 len][u32 crc][u64 lsn][payload...]
+//!           \------- body: len bytes ------/
+//! ```
+//!
+//! `len` counts the body (LSN + payload); `crc` is CRC-32 over the body.
+//! LSNs are assigned contiguously starting at 1, so a valid log is a gap-
+//! free sequence of records split across segments.
+//!
+//! # Torn-tail policy
+//!
+//! A crash can tear the *last* write: an incomplete frame or a CRC
+//! mismatch at the end of the final segment is expected, and recovery
+//! truncates the file back to the last valid record (the discarded bytes
+//! were never acknowledged — acks happen after flush). The same damage
+//! anywhere else cannot be explained by a torn write, so it is reported as
+//! [`ChronicleError::Corruption`] and recovery refuses to proceed.
+//!
+//! Appends are buffered in memory; [`Wal::flush`] writes the buffer to the
+//! active segment in one `write` call (and `fdatasync`s it when the
+//! `fsync` policy knob is on). Group commit falls out of this split: many
+//! appends, one flush, then ack them all.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use chronicle_types::{ChronicleError, Result};
+
+use crate::crc::crc32;
+use crate::record::WalRecord;
+use crate::DurabilityOptions;
+
+const MAGIC: &[u8; 8] = b"CHRWAL01";
+const HEADER_LEN: usize = 16;
+/// Upper bound on one frame body; anything larger in a length field is
+/// treated as garbage rather than allocated.
+const MAX_BODY: u32 = 256 * 1024 * 1024;
+
+/// Counters describing WAL activity since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (buffered or flushed).
+    pub records: u64,
+    /// Frame bytes appended.
+    pub bytes: u64,
+    /// Flush calls that wrote data.
+    pub flushes: u64,
+    /// Segment files created.
+    pub segments_created: u64,
+    /// Sealed segment files deleted by checkpoint truncation.
+    pub segments_deleted: u64,
+    /// Bytes discarded from a torn tail during the last open.
+    pub torn_bytes_discarded: u64,
+}
+
+/// A segmented, CRC-checksummed write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: DurabilityOptions,
+    /// Sealed segments as `(first_lsn, path)`, ascending.
+    sealed: Vec<(u64, PathBuf)>,
+    active: File,
+    active_path: PathBuf,
+    active_first_lsn: u64,
+    active_len: u64,
+    buf: Vec<u8>,
+    buf_records: u64,
+    next_lsn: u64,
+    stats: WalStats,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
+    ChronicleError::Durability {
+        detail: format!("{context} {}: {e}", path.display()),
+    }
+}
+
+fn segment_name(first_lsn: u64) -> String {
+    format!("wal-{first_lsn:020}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// How a frame failed to parse.
+enum FrameError {
+    /// Incomplete frame or CRC mismatch — a legitimate torn write if it is
+    /// the last thing in the last segment.
+    Torn(String),
+    /// The frame checksummed correctly but its contents are wrong (LSN
+    /// discontinuity, undecodable payload) — never explainable by a torn
+    /// write.
+    Corrupt(String),
+}
+
+fn parse_frame(
+    bytes: &[u8],
+    expected_lsn: u64,
+) -> std::result::Result<(usize, WalRecord), FrameError> {
+    if bytes.len() < 8 {
+        return Err(FrameError::Torn(format!(
+            "{} trailing bytes, too short for a frame header",
+            bytes.len()
+        )));
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if len < 8 || len > MAX_BODY {
+        return Err(FrameError::Torn(format!("implausible frame length {len}")));
+    }
+    let end = 8 + len as usize;
+    if bytes.len() < end {
+        return Err(FrameError::Torn(format!(
+            "frame claims {len} body bytes but only {} remain",
+            bytes.len() - 8
+        )));
+    }
+    let body = &bytes[8..end];
+    if crc32(body) != crc {
+        return Err(FrameError::Torn(format!(
+            "CRC mismatch on record lsn~{expected_lsn}"
+        )));
+    }
+    let lsn = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+    if lsn != expected_lsn {
+        return Err(FrameError::Corrupt(format!(
+            "LSN discontinuity: expected {expected_lsn}, frame carries {lsn}"
+        )));
+    }
+    let record = WalRecord::decode(&body[8..]).map_err(|e| {
+        FrameError::Corrupt(format!(
+            "record lsn {lsn} checksums but does not decode: {e}"
+        ))
+    })?;
+    Ok((end, record))
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, validating every segment.
+    ///
+    /// `floor` is the LSN through which the latest checkpoint already
+    /// covers the state; records at or below it are validated but not
+    /// returned. Returns the log handle plus the tail of records above the
+    /// floor, in LSN order. A torn tail in the final segment is repaired
+    /// by truncating the file; damage anywhere else is an error.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+        floor: u64,
+    ) -> Result<(Wal, Vec<(u64, WalRecord)>)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("creating WAL directory", &dir, e))?;
+
+        let mut segs: Vec<(u64, PathBuf)> = fs::read_dir(&dir)
+            .map_err(|e| io_err("listing WAL directory", &dir, e))?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let name = entry.file_name();
+                let first = parse_segment_name(name.to_str()?)?;
+                Some((first, entry.path()))
+            })
+            .collect();
+        segs.sort();
+
+        let mut stats = WalStats::default();
+        let mut tail = Vec::new();
+        let mut kept: Vec<(u64, PathBuf)> = Vec::new();
+        let mut expected: Option<u64> = None;
+        let count = segs.len();
+        for (i, (named_first, path)) in segs.into_iter().enumerate() {
+            let last = i + 1 == count;
+            let data = fs::read(&path).map_err(|e| io_err("reading WAL segment", &path, e))?;
+            if data.len() < HEADER_LEN || &data[..8] != MAGIC {
+                if last {
+                    // A crash while creating a fresh segment: nothing in it
+                    // was ever acknowledged, so drop the file.
+                    stats.torn_bytes_discarded += data.len() as u64;
+                    fs::remove_file(&path)
+                        .map_err(|e| io_err("removing torn WAL segment", &path, e))?;
+                    continue;
+                }
+                return Err(ChronicleError::Corruption {
+                    detail: format!("WAL segment {} has a corrupt header", path.display()),
+                });
+            }
+            let first = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+            if first != named_first {
+                return Err(ChronicleError::Corruption {
+                    detail: format!(
+                        "WAL segment {} is named for lsn {named_first} but its header says {first}",
+                        path.display()
+                    ),
+                });
+            }
+            match expected {
+                Some(exp) if first != exp => {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!(
+                            "WAL segment sequence broken: expected a segment starting at lsn \
+                             {exp}, found {first}"
+                        ),
+                    });
+                }
+                None if first > floor + 1 => {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!(
+                            "WAL gap: checkpoint covers through lsn {floor} but the oldest \
+                             segment starts at lsn {first}"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            let mut lsn = first;
+            let mut pos = HEADER_LEN;
+            while pos < data.len() {
+                match parse_frame(&data[pos..], lsn) {
+                    Ok((consumed, record)) => {
+                        if lsn > floor {
+                            tail.push((lsn, record));
+                        }
+                        lsn += 1;
+                        pos += consumed;
+                    }
+                    Err(FrameError::Torn(_)) if last => {
+                        stats.torn_bytes_discarded += (data.len() - pos) as u64;
+                        let f = OpenOptions::new()
+                            .write(true)
+                            .open(&path)
+                            .map_err(|e| io_err("repairing torn WAL segment", &path, e))?;
+                        f.set_len(pos as u64)
+                            .map_err(|e| io_err("truncating torn WAL segment", &path, e))?;
+                        break;
+                    }
+                    Err(FrameError::Torn(detail)) => {
+                        return Err(ChronicleError::Corruption {
+                            detail: format!(
+                                "damage in non-final WAL segment {}: {detail}",
+                                path.display()
+                            ),
+                        });
+                    }
+                    Err(FrameError::Corrupt(detail)) => {
+                        return Err(ChronicleError::Corruption {
+                            detail: format!("WAL segment {}: {detail}", path.display()),
+                        });
+                    }
+                }
+            }
+            expected = Some(lsn);
+            kept.push((first, path));
+        }
+
+        let next_lsn = expected.unwrap_or(floor + 1).max(floor + 1);
+
+        // Always start a fresh active segment. A header-only segment from a
+        // previous open can collide on the name; recreating it loses
+        // nothing, but it must not stay listed as sealed.
+        let active_path = dir.join(segment_name(next_lsn));
+        kept.retain(|(_, p)| *p != active_path);
+        let mut active = File::create(&active_path)
+            .map_err(|e| io_err("creating WAL segment", &active_path, e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&next_lsn.to_le_bytes());
+        active
+            .write_all(&header)
+            .map_err(|e| io_err("writing WAL segment header", &active_path, e))?;
+        stats.segments_created += 1;
+        if opts.fsync {
+            active
+                .sync_data()
+                .map_err(|e| io_err("syncing WAL segment", &active_path, e))?;
+            sync_dir(&dir)?;
+        }
+
+        Ok((
+            Wal {
+                dir,
+                opts,
+                sealed: kept,
+                active,
+                active_path,
+                active_first_lsn: next_lsn,
+                active_len: HEADER_LEN as u64,
+                buf: Vec::new(),
+                buf_records: 0,
+                next_lsn,
+                stats,
+            },
+            tail,
+        ))
+    }
+
+    /// Append a record to the in-memory buffer; returns its LSN. The
+    /// record is durable only after the next [`Wal::flush`].
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        let lsn = self.next_lsn;
+        let payload = rec.encode();
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&lsn.to_le_bytes());
+        body.extend_from_slice(&payload);
+        let frame_len = 8 + body.len();
+
+        // Seal the current segment first if this record would push it past
+        // the configured size; a single oversized record is still allowed
+        // in an otherwise-empty segment.
+        let pending = self.active_len + self.buf.len() as u64;
+        if pending > HEADER_LEN as u64 && pending + frame_len as u64 > self.opts.segment_bytes {
+            self.rotate()?;
+        }
+
+        self.buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        self.buf.extend_from_slice(&body);
+        self.buf_records += 1;
+        self.next_lsn += 1;
+        self.stats.records += 1;
+        self.stats.bytes += frame_len as u64;
+        Ok(lsn)
+    }
+
+    /// Write all buffered records to the active segment (one write, one
+    /// optional `fdatasync`). Returns how many records were flushed.
+    pub fn flush(&mut self) -> Result<u64> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        self.active
+            .write_all(&self.buf)
+            .map_err(|e| io_err("writing WAL segment", &self.active_path, e))?;
+        self.active_len += self.buf.len() as u64;
+        let n = self.buf_records;
+        self.buf.clear();
+        self.buf_records = 0;
+        if self.opts.fsync {
+            self.active
+                .sync_data()
+                .map_err(|e| io_err("syncing WAL segment", &self.active_path, e))?;
+        }
+        self.stats.flushes += 1;
+        Ok(n)
+    }
+
+    /// Seal the active segment and start a new one at the next LSN.
+    pub fn rotate(&mut self) -> Result<()> {
+        self.flush()?;
+        if self.active_first_lsn == self.next_lsn {
+            // The active segment holds no records: a new segment would get
+            // the very same name (truncating the live file out from under
+            // us). There is nothing to seal; rotating is a no-op.
+            return Ok(());
+        }
+        let new_path = self.dir.join(segment_name(self.next_lsn));
+        let mut file =
+            File::create(&new_path).map_err(|e| io_err("creating WAL segment", &new_path, e))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&self.next_lsn.to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| io_err("writing WAL segment header", &new_path, e))?;
+        if self.opts.fsync {
+            file.sync_data()
+                .map_err(|e| io_err("syncing WAL segment", &new_path, e))?;
+            sync_dir(&self.dir)?;
+        }
+        let old_path = std::mem::replace(&mut self.active_path, new_path);
+        self.sealed.push((self.active_first_lsn, old_path));
+        self.active = file;
+        self.active_first_lsn = self.next_lsn;
+        self.active_len = HEADER_LEN as u64;
+        self.stats.segments_created += 1;
+        Ok(())
+    }
+
+    /// Delete sealed segments whose every record has LSN ≤ `lsn` (i.e. is
+    /// covered by a checkpoint). The active segment is never deleted.
+    pub fn truncate_through(&mut self, lsn: u64) -> Result<()> {
+        let mut keep = Vec::with_capacity(self.sealed.len());
+        for i in 0..self.sealed.len() {
+            let next_first = self
+                .sealed
+                .get(i + 1)
+                .map(|s| s.0)
+                .unwrap_or(self.active_first_lsn);
+            let (first, path) = &self.sealed[i];
+            // The segment's last record has LSN next_first - 1.
+            if next_first > *first && next_first - 1 <= lsn {
+                fs::remove_file(path)
+                    .map_err(|e| io_err("deleting covered WAL segment", path, e))?;
+                self.stats.segments_deleted += 1;
+            } else {
+                keep.push((*first, path.clone()));
+            }
+        }
+        self.sealed = keep;
+        if self.opts.fsync {
+            sync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// LSN of the most recently appended record (0 if none ever).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Number of records appended but not yet flushed.
+    pub fn unflushed(&self) -> u64 {
+        self.buf_records
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Number of segment files currently live (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// fsync a directory so renames/creates/unlinks inside it are durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let f = File::open(dir).map_err(|e| io_err("opening directory for sync", dir, e))?;
+    f.sync_all()
+        .map_err(|e| io_err("syncing directory", dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::{tuple, Chronon, SeqNo};
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::Append {
+            chronicle: "c".into(),
+            seq: SeqNo(i),
+            at: Chronon(i as i64),
+            tuples: vec![tuple![SeqNo(i), i as i64]],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chronicle-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_flush_reopen_round_trip() {
+        let dir = tmp("roundtrip");
+        {
+            let (mut wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            assert!(tail.is_empty());
+            for i in 1..=10 {
+                assert_eq!(wal.append(&rec(i)).unwrap(), i);
+            }
+            assert_eq!(wal.flush().unwrap(), 10);
+            assert_eq!(wal.flush().unwrap(), 0);
+        }
+        let (wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        assert_eq!(tail.len(), 10);
+        for (i, (lsn, r)) in tail.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(*r, rec(*lsn));
+        }
+        assert_eq!(wal.last_lsn(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn floor_filters_tail() {
+        let dir = tmp("floor");
+        {
+            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            for i in 1..=6 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        let (_, tail) = Wal::open(&dir, DurabilityOptions::default(), 4).unwrap();
+        assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![5, 6]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_records_are_lost_not_corrupt() {
+        let dir = tmp("unflushed");
+        {
+            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            wal.append(&rec(1)).unwrap();
+            wal.flush().unwrap();
+            wal.append(&rec(2)).unwrap();
+            // Simulate a crash before flush: forget the buffer.
+            wal.buf.clear();
+            wal.buf_records = 0;
+        }
+        let (_, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        assert_eq!(tail.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_by_size_and_truncate() {
+        let dir = tmp("rotate");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+        for i in 1..=40 {
+            wal.append(&rec(i)).unwrap();
+            wal.flush().unwrap();
+        }
+        assert!(wal.segment_count() > 3, "tiny segments should have rotated");
+        let before = wal.segment_count();
+        wal.rotate().unwrap();
+        wal.truncate_through(35).unwrap();
+        assert!(wal.segment_count() < before);
+        drop(wal);
+        // Everything above the checkpoint floor survives truncation.
+        let (_, tail) = Wal::open(&dir, opts, 35).unwrap();
+        assert_eq!(tail.first().map(|(l, _)| *l), Some(36));
+        assert_eq!(tail.last().map(|(l, _)| *l), Some(40));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gap_below_floor_is_detected() {
+        let dir = tmp("gap");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+            for i in 1..=20 {
+                wal.append(&rec(i)).unwrap();
+                wal.flush().unwrap();
+            }
+            wal.rotate().unwrap();
+            wal.truncate_through(15).unwrap();
+        }
+        // Claiming a floor of 0 when lsns 1..=15 are gone must fail.
+        let err = Wal::open(&dir, opts, 0).unwrap_err();
+        assert!(matches!(err, ChronicleError::Corruption { .. }), "{err}");
+        // The true floor is fine.
+        assert!(Wal::open(&dir, opts, 15).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_every_cut_point() {
+        let dir = tmp("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            for i in 1..=3 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        let seg = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let full = fs::read(&seg).unwrap();
+        // Find where record 3's frame starts by reparsing lengths.
+        let mut offsets = vec![HEADER_LEN];
+        let mut pos = HEADER_LEN;
+        while pos < full.len() {
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            offsets.push(pos);
+        }
+        let rec3_start = offsets[2];
+        for cut in rec3_start + 1..full.len() {
+            fs::write(&seg, &full[..cut]).unwrap();
+            let (wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            assert_eq!(tail.len(), 2, "cut at {cut}");
+            assert!(wal.stats().torn_bytes_discarded > 0);
+            drop(wal);
+            // Remove the fresh segment the open created so the next
+            // iteration sees only the original file.
+            for e in fs::read_dir(&dir).unwrap() {
+                let p = e.unwrap().path();
+                if p != seg {
+                    fs::remove_file(p).unwrap();
+                }
+            }
+            fs::write(&seg, &full).unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_damage_is_loud() {
+        let dir = tmp("midlog");
+        let opts = DurabilityOptions {
+            segment_bytes: 96,
+            ..DurabilityOptions::default()
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+            for i in 1..=12 {
+                wal.append(&rec(i)).unwrap();
+                wal.flush().unwrap();
+            }
+        }
+        // Flip one payload bit in the FIRST segment (not the last).
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        assert!(segs.len() >= 2);
+        let mut data = fs::read(&segs[0]).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x01;
+        fs::write(&segs[0], &data).unwrap();
+        let err = Wal::open(&dir, opts, 0).unwrap_err();
+        assert!(matches!(err, ChronicleError::Corruption { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -75,6 +75,11 @@ impl Catalog {
         &mut self.groups[id.0 as usize]
     }
 
+    /// All groups, in id order.
+    pub fn groups(&self) -> &[ChronicleGroup] {
+        &self.groups
+    }
+
     // ---- chronicles -----------------------------------------------------
 
     /// Create a chronicle inside `group`.
@@ -123,6 +128,11 @@ impl Catalog {
     /// All chronicles.
     pub fn chronicles(&self) -> &[Chronicle] {
         &self.chronicles
+    }
+
+    /// Mutable chronicle access (restart/restore path).
+    pub fn chronicle_mut(&mut self, id: ChronicleId) -> &mut Chronicle {
+        &mut self.chronicles[id.0 as usize]
     }
 
     /// Append a batch of tuples to chronicle `id` at temporal instant `at`.
@@ -249,6 +259,19 @@ impl Catalog {
     /// Number of relations.
     pub fn relation_count(&self) -> usize {
         self.relations.len()
+    }
+
+    /// Iterate relations with their names, in id order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &TemporalRelation)> + '_ {
+        let mut named: Vec<(&str, RelationId)> = self
+            .relation_names
+            .iter()
+            .map(|(n, &id)| (n.as_str(), id))
+            .collect();
+        named.sort_by_key(|&(_, id)| id.0);
+        named
+            .into_iter()
+            .map(move |(n, id)| (n, &self.relations[id.0 as usize]))
     }
 
     /// Name of chronicle `id` (for diagnostics).

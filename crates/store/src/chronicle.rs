@@ -119,6 +119,43 @@ impl Chronicle {
         self.last_seq
     }
 
+    /// Sequence number of the oldest stored tuple, if any.
+    pub fn first_stored_seq(&self) -> Option<SeqNo> {
+        self.first_stored_seq
+    }
+
+    /// Restore counters and the retained window from a checkpoint image.
+    /// Window tuples are re-validated against the schema so a corrupted
+    /// image cannot smuggle malformed tuples into the store.
+    pub fn restore_state(
+        &mut self,
+        total_appended: u64,
+        last_seq: SeqNo,
+        first_stored_seq: Option<SeqNo>,
+        window: Vec<Tuple>,
+    ) -> Result<()> {
+        let sp = self.seq_pos();
+        for t in &window {
+            t.check_against(&self.schema)?;
+            t.seq_at(sp)?;
+        }
+        if window.len() as u64 > total_appended {
+            return Err(ChronicleError::Corruption {
+                detail: format!(
+                    "chronicle `{}` image stores {} tuples but claims only {} were appended",
+                    self.name,
+                    window.len(),
+                    total_appended
+                ),
+            });
+        }
+        self.window = window.into();
+        self.total_appended = total_appended;
+        self.first_stored_seq = first_stored_seq;
+        self.last_seq = last_seq;
+        Ok(())
+    }
+
     /// Record a batch of tuples that the group has already admitted at
     /// sequence number `seq`. All tuples must carry `seq` in their
     /// sequencing attribute and conform to the schema. (Group-level

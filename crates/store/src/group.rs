@@ -107,6 +107,22 @@ impl ChronicleGroup {
     pub fn timeline_len(&self) -> usize {
         self.timeline.len()
     }
+
+    /// Restore the watermark from a checkpoint image: the high-water mark
+    /// plus the last admitted (SN, chronon) point. The full timeline is
+    /// deliberately not persisted — durable state must stay `O(|V|)`, not
+    /// `O(|C|)` — so after recovery [`ChronicleGroup::chronon_of`] and
+    /// [`ChronicleGroup::first_seq_at_or_after`] only answer for batches
+    /// admitted since (plus the final pre-crash point).
+    pub fn restore_watermark(&mut self, high_water: SeqNo, last_at: Option<Chronon>) {
+        self.high_water = high_water;
+        self.timeline.clear();
+        if let Some(at) = last_at {
+            if high_water > SeqNo::ZERO {
+                self.timeline.push((high_water, at));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,51 @@ impl TemporalRelation {
     pub fn log(&self) -> &[(SeqNo, RelationChange)] {
         &self.log
     }
+
+    /// The base-version rows (the state at the compaction floor).
+    pub fn base_rows(&self) -> Vec<Tuple> {
+        self.base.to_vec()
+    }
+
+    /// Replace the full temporal state from a checkpoint image: base rows
+    /// at `floor` plus the change log above it; the current version is
+    /// rebuilt by replaying the log. Secondary indexes are not restored —
+    /// callers that need them re-issue `add_index` after recovery.
+    pub fn restore_state(
+        &mut self,
+        base_rows: Vec<Tuple>,
+        floor: SeqNo,
+        log: Vec<(SeqNo, RelationChange)>,
+    ) -> Result<()> {
+        if log.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(ChronicleError::Corruption {
+                detail: "relation change log in checkpoint image is not sorted".into(),
+            });
+        }
+        let schema = self.current.schema().clone();
+        let mut base = Relation::new(schema.clone());
+        for t in base_rows {
+            t.check_against(&schema)?;
+            base.insert(t)?;
+        }
+        let mut current = base.clone();
+        for (_, change) in &log {
+            match change {
+                RelationChange::Insert(t) => {
+                    t.check_against(&schema)?;
+                    current.insert(t.clone())?;
+                }
+                RelationChange::Delete(t) => {
+                    current.delete(t);
+                }
+            }
+        }
+        self.base = base;
+        self.current = current;
+        self.floor = floor;
+        self.log = log;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //!   configurable-case-count runner with failure-case shrinking, and the
 //!   [`prop_test!`] macro the workspace's property suites are written
 //!   against.
+//! * [`tempdir`] — a scoped temporary directory ([`tempdir::TempDir`])
+//!   for durability tests, removed with its contents on drop.
 //!
 //! Both are deliberately tiny: they implement exactly what the workspace
 //! needs, with deterministic behavior given a fixed seed, so every property
@@ -24,5 +26,7 @@
 
 pub mod prop;
 pub mod rng;
+pub mod tempdir;
 
 pub use rng::{Rng, SeedableRng, SmallRng};
+pub use tempdir::TempDir;

@@ -1,0 +1,75 @@
+//! A tiny scoped temporary directory, replacing the `tempfile` crate.
+//!
+//! Durability tests need real directories on disk (WAL segments,
+//! checkpoint files, crash-and-reopen round trips). This helper creates a
+//! uniquely named directory under the system temp dir and removes it — and
+//! everything inside — on drop. Uniqueness comes from the process id, a
+//! per-process counter, and the wall clock, so concurrent test binaries
+//! never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that exists for the lifetime of this value.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the system temp dir, its name
+    /// prefixed with `prefix` for identifiability in stray-file listings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — in tests that is the
+    /// right response.
+    pub fn new(prefix: &str) -> TempDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("{prefix}-{}-{n}-{nanos:x}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a leaked temp dir is annoying, not incorrect.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("tk-test");
+        let b = TempDir::new("tk-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.join("f.txt"), b"x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

@@ -78,6 +78,13 @@ impl Writer {
         self.0.extend_from_slice(s.as_bytes());
     }
 
+    /// Write a length-prefixed raw byte blob (nested encodings, e.g. a view
+    /// snapshot embedded in a checkpoint).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+
     /// Write a sequence number.
     pub fn seq_no(&mut self, s: SeqNo) {
         self.u64(s.0);
@@ -268,6 +275,12 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ChronicleError::Internal("encoded string is invalid UTF-8".into()))
+    }
+
+    /// Read a length-prefixed raw byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Read a sequence number.

@@ -105,6 +105,21 @@ pub enum ChronicleError {
         /// Description.
         detail: String,
     },
+    /// Durable storage failed: an I/O error in the WAL/checkpoint layer, or
+    /// an operation that requires a database opened with a durability
+    /// directory (e.g. `checkpoint()` on an in-memory database).
+    Durability {
+        /// What failed and where.
+        detail: String,
+    },
+    /// Durable state failed integrity validation: a CRC mismatch outside
+    /// the torn tail, a gap in the log-sequence numbering, or an
+    /// undecodable checkpoint. Recovery refuses to continue rather than
+    /// silently dropping acknowledged data.
+    Corruption {
+        /// What failed validation.
+        detail: String,
+    },
     /// Internal invariant breakage — indicates a bug in this library, kept
     /// as an error instead of a panic so servers can shed the request.
     Internal(String),
@@ -153,6 +168,12 @@ impl fmt::Display for ChronicleError {
                 write!(f, "parse error at offset {offset}: {message}")
             }
             ChronicleError::BadAggregate { detail } => write!(f, "bad aggregate: {detail}"),
+            ChronicleError::Durability { detail } => {
+                write!(f, "durable storage failure: {detail}")
+            }
+            ChronicleError::Corruption { detail } => {
+                write!(f, "durable state corrupted: {detail}")
+            }
             ChronicleError::Internal(s) => write!(f, "internal invariant violated: {s}"),
         }
     }

@@ -131,6 +131,16 @@ impl Maintainer {
         &self.periodic[idx]
     }
 
+    /// Mutable periodic family access (restart/restore path).
+    pub fn periodic_mut(&mut self, idx: usize) -> &mut PeriodicViewSet {
+        &mut self.periodic[idx]
+    }
+
+    /// Number of registered periodic families.
+    pub fn periodic_count(&self) -> usize {
+        self.periodic.len()
+    }
+
     /// Materialize a view from fully stored chronicle history.
     pub fn bootstrap_view(&mut self, id: ViewId, catalog: &Catalog) -> Result<()> {
         self.view_mut(id)?.bootstrap(catalog)

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use chronicle_algebra::delta::DeltaEngine;
 use chronicle_algebra::{ScaExpr, WorkCounter};
 use chronicle_store::Catalog;
-use chronicle_types::{Result, Value, ViewId};
+use chronicle_types::{ChronicleError, Result, Value, ViewId};
 
 use crate::calendar::{Calendar, Interval};
 use crate::maintenance::AppendEvent;
@@ -172,6 +172,64 @@ impl PeriodicViewSet {
     /// Counts: (live, closed, expired).
     pub fn counts(&self) -> (usize, usize, u64) {
         (self.live.len(), self.closed.len(), self.expired)
+    }
+
+    /// Serialize the family's materialized state: the retirement cursor,
+    /// the expiry counter, and every live/closed interval view's snapshot.
+    /// The template and calendar are *not* included — they are rebuilt by
+    /// replaying the defining DDL on recovery.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = crate::codec::Writer::new();
+        w.str("CHRP1");
+        w.u64(self.retire_cursor);
+        w.u64(self.expired);
+        for set in [&self.live, &self.closed] {
+            w.u32(set.len() as u32);
+            for (idx, state) in set {
+                w.u64(*idx);
+                w.bytes(&state.view.snapshot());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restore from [`PeriodicViewSet::snapshot`] bytes taken on an
+    /// identically defined family (same template and calendar).
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = crate::codec::Reader::new(bytes);
+        if r.str()? != "CHRP1" {
+            return Err(ChronicleError::Internal(
+                "not a periodic-view snapshot".into(),
+            ));
+        }
+        let retire_cursor = r.u64()?;
+        let expired = r.u64()?;
+        let mut sets = [BTreeMap::new(), BTreeMap::new()];
+        for set in &mut sets {
+            let n = r.u32()?;
+            for _ in 0..n {
+                let idx = r.u64()?;
+                let view_bytes = r.bytes()?;
+                let interval = self.calendar.interval(idx).ok_or_else(|| {
+                    ChronicleError::Internal(format!(
+                        "periodic snapshot names interval {idx} outside the calendar"
+                    ))
+                })?;
+                let view = PersistentView::restore(
+                    ViewId(idx as u32),
+                    format!("{}[{}]", self.name, idx),
+                    self.template.clone(),
+                    &view_bytes,
+                )?;
+                set.insert(idx, IntervalViewState { interval, view });
+            }
+        }
+        let [live, closed] = sets;
+        self.live = live;
+        self.closed = closed;
+        self.retire_cursor = retire_cursor;
+        self.expired = expired;
+        Ok(())
     }
 }
 

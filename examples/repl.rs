@@ -1,6 +1,9 @@
 //! An interactive shell for the chronicle database.
 //!
-//! Run with `cargo run --example repl`, then type statements:
+//! Run with `cargo run --example repl` for an in-memory session, or
+//! `cargo run --example repl -- /path/to/db` for a durable one (the path
+//! is created on first use and recovered on every start). Then type
+//! statements:
 //!
 //! ```text
 //! chronicle> CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)
@@ -8,7 +11,8 @@
 //! chronicle> APPEND INTO calls VALUES (555, 12.5)
 //! chronicle> SELECT * FROM totals
 //! chronicle> .views          -- list views with their IM classes
-//! chronicle> .stats          -- maintenance statistics
+//! chronicle> .stats          -- maintenance + durability statistics
+//! chronicle> .checkpoint     -- persist views, truncate the WAL (\checkpoint works too)
 //! chronicle> .quit
 //! ```
 
@@ -18,10 +22,26 @@ use chronicle::db::ExecOutcome;
 use chronicle::prelude::*;
 
 fn main() {
-    let mut db = ChronicleDb::new();
+    let mut db = match std::env::args().nth(1) {
+        Some(path) => match ChronicleDb::open(&path) {
+            Ok(db) => {
+                let s = db.stats();
+                println!(
+                    "opened `{path}` (checkpoint lsn {:?}, {} WAL records replayed)",
+                    s.recovery_checkpoint_lsn, s.recovery_replayed_records
+                );
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open `{path}`: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => ChronicleDb::new(),
+    };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("chronicle repl — SQL statements, or .views / .stats / .quit");
+    println!("chronicle repl — SQL statements, or .views / .stats / .checkpoint / .quit");
     loop {
         print!("chronicle> ");
         out.flush().ok();
@@ -66,6 +86,19 @@ fn main() {
                     "router: {} guard-skips, {} interval-skips; work: {:?}",
                     s.skipped_by_guard, s.skipped_by_interval, s.work
                 );
+                if db.is_durable() {
+                    println!(
+                        "wal: {} records, {} bytes, {} flushes; checkpoints: {}",
+                        s.wal_records, s.wal_bytes, s.wal_flushes, s.checkpoints
+                    );
+                }
+                continue;
+            }
+            ".checkpoint" | "\\checkpoint" => {
+                match db.checkpoint() {
+                    Ok(lsn) => println!("checkpoint written through lsn {lsn}"),
+                    Err(e) => println!("error: {e}"),
+                }
                 continue;
             }
             _ => {}

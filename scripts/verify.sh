@@ -23,4 +23,24 @@ cargo bench --offline --no-run 2>/dev/null || cargo build --offline -p chronicle
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
 
+echo "== crash-recovery gate (offline) =="
+# The durability suites: exact-prefix recovery at every torn-write cut
+# point, plus the restart/checkpoint round trips.
+cargo test -q --offline --test restart
+cargo test -q --offline --test failure_injection
+# End-to-end reopen through the repl: write a durable database in one
+# process, abandon it without a clean shutdown, and query the recovered
+# view from a second process.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --offline --example repl -- "$tmp/db" <<'EOF' >/dev/null
+CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)
+CREATE VIEW totals AS SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller
+APPEND INTO calls VALUES (7, 2.5)
+APPEND INTO calls VALUES (7, 2.5)
+EOF
+cargo run -q --offline --example repl -- "$tmp/db" <<'EOF' | grep -q "(1 row(s))"
+SELECT * FROM totals
+EOF
+
 echo "verify: OK"

@@ -18,6 +18,8 @@
 //! * [`sql`] — the declarative SQL-like view-definition language,
 //! * [`db`] — the [`db::ChronicleDb`] facade tying the quadruple
 //!   (C, R, L, V) together, plus baselines and a concurrent append pipeline,
+//! * [`durability`] — segmented write-ahead log, view checkpointing, and
+//!   crash recovery backing [`db::ChronicleDb::open`],
 //! * [`workload`] — seeded synthetic workload generators.
 //!
 //! ## Quick start
@@ -38,9 +40,24 @@
 //! let rows = db.query_view("total_minutes").unwrap();
 //! assert_eq!(rows.len(), 1);
 //! ```
+//!
+//! For a database that survives restarts, open it at a path instead of
+//! `ChronicleDb::new()`:
+//!
+//! ```no_run
+//! use chronicle::prelude::*;
+//!
+//! let mut db = ChronicleDb::open("/var/lib/myapp/chronicle")?;
+//! // … appends are logged; checkpoint() persists the views and truncates
+//! // the log. Reopening the same path recovers exactly the state every
+//! // acknowledged operation produced.
+//! db.checkpoint()?;
+//! # Ok::<(), ChronicleError>(())
+//! ```
 
 pub use chronicle_algebra as algebra;
 pub use chronicle_db as db;
+pub use chronicle_durability as durability;
 pub use chronicle_sql as sql;
 pub use chronicle_store as store;
 pub use chronicle_types as types;
@@ -52,7 +69,7 @@ pub mod prelude {
     pub use chronicle_algebra::{
         AggFunc, CaExpr, ImClass, LanguageFragment, Predicate, ScaExpr, Summarize,
     };
-    pub use chronicle_db::{AppendOutcome, ChronicleDb};
+    pub use chronicle_db::{AppendOutcome, ChronicleDb, DurabilityOptions};
     pub use chronicle_store::{Catalog, Chronicle, ChronicleGroup, Relation};
     pub use chronicle_types::{
         AttrType, Attribute, ChronicleError, ChronicleId, Chronon, GroupId, RelationId, Schema,
