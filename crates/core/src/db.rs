@@ -682,6 +682,12 @@ impl ChronicleDb {
         Ok(self.maintainer.periodic(*idx))
     }
 
+    /// Names of every periodic view family, in no particular order (shard
+    /// route rebuilding after recovery).
+    pub fn periodic_view_names(&self) -> impl Iterator<Item = &str> {
+        self.periodic_names.keys().map(String::as_str)
+    }
+
     /// The underlying catalog (read access for oracles and experiments).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

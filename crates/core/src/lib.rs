@@ -15,7 +15,12 @@
 //! * [`stats`] — append/maintenance accounting,
 //! * [`pipeline`] — a concurrent append pipeline (producers feed a
 //!   maintenance thread over `std::sync::mpsc` channels), used by the throughput
-//!   experiment E11.
+//!   experiment E11,
+//! * [`shard`] — [`ShardedDb`]: the catalog hash-partitioned by chronicle
+//!   group into independent maintenance shards (Thm 4.1 makes groups the
+//!   natural unit), each with its own maintenance loop, WAL stream, and
+//!   checkpoints; [`pipeline::ShardedPipeline`] gives every shard its own
+//!   worker thread so group commits and maintenance overlap across shards.
 //!
 //! Databases opened at a path ([`ChronicleDb::open`]) are durable: every
 //! mutation is written to a segmented write-ahead log, and
@@ -28,8 +33,10 @@
 pub mod baseline;
 mod db;
 pub mod pipeline;
+pub mod shard;
 pub mod stats;
 
 pub use chronicle_durability::DurabilityOptions;
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
+pub use shard::{shard_of_group, ShardRoutes, ShardedDb};
 pub use stats::DbStats;

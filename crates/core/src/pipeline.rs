@@ -17,12 +17,13 @@
 //! fsync when enabled).
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use chronicle_types::{Chronon, Result, Value};
 
 use crate::db::{AppendOutcome, ChronicleDb};
+use crate::shard::{ShardRoutes, ShardedDb};
 
 /// A request to append `rows` (SN-less) to `chronicle` at `at`.
 #[derive(Debug)]
@@ -127,13 +128,21 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Start a pipeline over `db` with the given channel capacity
-    /// (backpressure bound).
-    pub fn start(mut db: ChronicleDb, capacity: usize) -> Pipeline {
+    /// (backpressure bound). The group-commit window defaults to the
+    /// capacity; see [`Pipeline::start_with_window`] to set it separately.
+    pub fn start(db: ChronicleDb, capacity: usize) -> Pipeline {
+        Pipeline::start_with_window(db, capacity, capacity)
+    }
+
+    /// Start a pipeline with an explicit group-commit `window`: at most
+    /// that many appends share one WAL flush, so a saturated queue cannot
+    /// defer acknowledgement (or, with `fsync` on, durability) beyond the
+    /// window, while a deeper channel keeps producers unblocked across a
+    /// flush stall.
+    pub fn start_with_window(mut db: ChronicleDb, capacity: usize, window: usize) -> Pipeline {
         let (tx, rx): (SyncSender<Request>, Receiver<Request>) = sync_channel(capacity);
         let worker = std::thread::spawn(move || {
-            /// Bound on how many appends share one flush, so a saturated
-            /// queue cannot defer acknowledgement indefinitely.
-            const BURST: usize = 512;
+            let burst = window.max(1);
             // Buffer WAL records across a burst; durability happens at the
             // shared flush below, before any producer is acknowledged.
             db.set_wal_buffered(true);
@@ -148,7 +157,7 @@ impl Pipeline {
                         Request::Append(req) => {
                             let outcome = db.append(&req.chronicle, req.at, &req.rows);
                             pending.push((outcome, req.reply));
-                            if pending.len() < BURST {
+                            if pending.len() < burst {
                                 next = rx.try_recv().ok();
                             }
                         }
@@ -215,6 +224,106 @@ impl Pipeline {
             .expect("worker present until shutdown")
             .join()
             .expect("maintenance thread panicked")
+    }
+}
+
+/// Handle to a running [`ShardedPipeline`]: a routing front-end over one
+/// [`PipelineHandle`] per shard. Cloneable; each clone is an independent
+/// producer. Appends hash-route to the shard owning the target chronicle's
+/// group, so two producers appending to different groups never contend on
+/// the same channel or maintainer.
+#[derive(Clone)]
+pub struct ShardedPipelineHandle {
+    handles: Vec<PipelineHandle>,
+    routes: Arc<ShardRoutes>,
+}
+
+impl ShardedPipelineHandle {
+    /// The shard an append to `chronicle` would go to.
+    pub fn shard_of(&self, chronicle: &str) -> Result<usize> {
+        self.routes.chronicle_shard(chronicle)
+    }
+
+    /// Submit an append to the owning shard and wait for its outcome
+    /// (acknowledged only after that shard's group-commit flush).
+    pub fn append(
+        &self,
+        chronicle: &str,
+        at: Chronon,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<AppendOutcome> {
+        let s = self.routes.chronicle_shard(chronicle)?;
+        self.handles[s].append(chronicle, at, rows)
+    }
+
+    /// Submit an append to the owning shard without waiting.
+    pub fn append_nowait(&self, chronicle: &str, at: Chronon, rows: Vec<Vec<Value>>) -> Result<()> {
+        let s = self.routes.chronicle_shard(chronicle)?;
+        self.handles[s].append_nowait(chronicle, at, rows)
+    }
+
+    /// Point query against a view, serialized with the owning shard's
+    /// appends: the answer reflects every append to that shard submitted
+    /// on this handle before the query.
+    pub fn query(&self, view: &str, key: Vec<Value>) -> Result<Option<chronicle_types::Tuple>> {
+        let s = self.routes.view_shard(view)?;
+        self.handles[s].query(view, key)
+    }
+}
+
+/// A [`Pipeline`] per shard: each shard's maintenance loop, group commit,
+/// and WAL stream run on their own worker thread, so one shard's fsync
+/// stall overlaps with another's maintenance. Producers route through
+/// [`ShardedPipelineHandle`]. DDL is not available here — define the
+/// catalog on the [`ShardedDb`] before starting the pipeline.
+pub struct ShardedPipeline {
+    workers: Vec<Pipeline>,
+    routes: Arc<ShardRoutes>,
+}
+
+impl ShardedPipeline {
+    /// Start one worker per shard, each with its own bounded channel of
+    /// `capacity` (the per-shard backpressure bound and group-commit burst
+    /// ceiling).
+    pub fn start(db: ShardedDb, capacity: usize) -> ShardedPipeline {
+        ShardedPipeline::start_with_window(db, capacity, capacity)
+    }
+
+    /// Like [`ShardedPipeline::start`], but with the per-shard group-commit
+    /// window set separately from the channel capacity (see
+    /// [`Pipeline::start_with_window`]).
+    pub fn start_with_window(db: ShardedDb, capacity: usize, window: usize) -> ShardedPipeline {
+        let (shards, routes) = db.into_parts();
+        ShardedPipeline {
+            workers: shards
+                .into_iter()
+                .map(|s| Pipeline::start_with_window(s, capacity, window))
+                .collect(),
+            routes: Arc::new(routes),
+        }
+    }
+
+    /// A producer handle (routing front-end over all shards).
+    pub fn handle(&self) -> ShardedPipelineHandle {
+        ShardedPipelineHandle {
+            handles: self.workers.iter().map(Pipeline::handle).collect(),
+            routes: Arc::clone(&self.routes),
+        }
+    }
+
+    /// Shut down every shard worker (each drains its queue first) and
+    /// reassemble the database.
+    pub fn shutdown(self) -> ShardedDb {
+        // Post every worker its shutdown marker up front so all shards
+        // drain concurrently; the per-pipeline shutdown below then sends a
+        // redundant marker (harmlessly ignored once the worker is gone)
+        // and joins.
+        for w in &self.workers {
+            let _ = w.handle.tx.send(Request::Shutdown);
+        }
+        let routes = (*self.routes).clone();
+        let shards = self.workers.into_iter().map(Pipeline::shutdown).collect();
+        ShardedDb::from_parts(shards, routes)
     }
 }
 
@@ -307,6 +416,90 @@ mod tests {
         }
         let db = p.shutdown();
         assert_eq!(db.stats().appends, 100);
+    }
+
+    fn sharded_db(shards: usize) -> ShardedDb {
+        let mut db = ShardedDb::new(shards).unwrap();
+        for g in 0..4 {
+            db.execute(&format!("CREATE GROUP g{g}")).unwrap();
+            db.execute(&format!(
+                "CREATE CHRONICLE c{g} (sn SEQ, acct INT, amount FLOAT) IN GROUP g{g}"
+            ))
+            .unwrap();
+            db.execute(&format!(
+                "CREATE VIEW v{g} AS SELECT acct, SUM(amount) AS balance FROM c{g} GROUP BY acct"
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn sharded_pipeline_routes_appends_and_queries() {
+        let p = ShardedPipeline::start(sharded_db(3), 16);
+        let h = p.handle();
+        for g in 0..4 {
+            let out = h
+                .append(
+                    &format!("c{g}"),
+                    Chronon(1),
+                    vec![vec![Value::Int(7), Value::Float(g as f64)]],
+                )
+                .unwrap();
+            // Every group runs its own SN sequence.
+            assert_eq!(out.seq, SeqNo(1));
+        }
+        assert_eq!(
+            h.query("v2", vec![Value::Int(7)]).unwrap().unwrap().get(1),
+            &Value::Float(2.0)
+        );
+        let db = p.shutdown();
+        assert_eq!(db.stats().appends, 4);
+    }
+
+    #[test]
+    fn sharded_concurrent_producers_per_group() {
+        let p = ShardedPipeline::start(sharded_db(4), 32);
+        let mut joins = Vec::new();
+        for g in 0..4i64 {
+            let h = p.handle();
+            joins.push(std::thread::spawn(move || {
+                let chron = format!("c{g}");
+                for i in 0..50i64 {
+                    h.append(
+                        &chron,
+                        Chronon(i),
+                        vec![vec![Value::Int(g), Value::Float(i as f64)]],
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let db = p.shutdown();
+        for g in 0..4i64 {
+            assert_eq!(
+                db.query_view_key(&format!("v{g}"), &[Value::Int(g)])
+                    .unwrap()
+                    .unwrap()
+                    .get(1),
+                &Value::Float(1225.0)
+            );
+        }
+        assert_eq!(db.stats().appends, 200);
+    }
+
+    #[test]
+    fn sharded_unknown_chronicle_is_routing_error() {
+        let p = ShardedPipeline::start(sharded_db(2), 8);
+        let h = p.handle();
+        assert!(h.append("ghost", Chronon(0), vec![]).is_err());
+        assert!(h.append_nowait("ghost", Chronon(0), vec![]).is_err());
+        assert!(h.query("ghost_view", vec![]).is_err());
+        let db = p.shutdown();
+        assert_eq!(db.stats().appends, 0);
     }
 
     #[test]

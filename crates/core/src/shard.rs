@@ -1,0 +1,710 @@
+//! Sharded maintenance: hash-partitioning the catalog by chronicle group.
+//!
+//! Theorem 4.1 restricts joins (and union/difference) to chronicles within
+//! one chronicle group, and SN monotonicity is enforced per group — so a
+//! chronicle group, its chronicles, and every view over them form a unit
+//! whose maintenance is independent of every other group's. [`ShardedDb`]
+//! exploits that: it owns `N` complete [`ChronicleDb`] instances
+//! ("shards"), assigns each group to the shard `fnv1a(name) % N`, and
+//! routes every statement to the shard that owns its objects. Each shard
+//! keeps the existing serial maintenance loop, WAL stream, and checkpoint
+//! cadence; nothing inside a shard knows it is one of many.
+//!
+//! Placement rules:
+//!
+//! * a **group** lives on `fnv1a(group name) % N`; chronicles live with
+//!   their group (a chronicle created without a group lives wherever the
+//!   implicit `default` group hashes);
+//! * a **view** lives with the chronicle its `FROM` names — deltas then
+//!   never cross a shard boundary; a view over no chronicle at all (a
+//!   pure-relation view) pins to shard 0;
+//! * **relations** are replicated to every shard and DML broadcasts to
+//!   all replicas, because CA allows a chronicle in any group to join a
+//!   relation. Each replica stamps the update against its own group
+//!   watermarks, which is exactly the paper's per-group proactive
+//!   semantics. Replicas stay identical because every shard applies the
+//!   same DML in the same order;
+//! * **DDL** is serialized through the facade (`&mut self` — exclusive
+//!   access is the catalog lock) and is *not* available through the
+//!   concurrent pipeline.
+//!
+//! Durable layout: `path/SHARDS` (the
+//! [`chronicle_durability::ShardManifest`]) plus one full database
+//! directory per shard, `path/shard-000/`, `path/shard-001/`, ….
+//! [`ShardedDb::open`] refuses a shard count that disagrees with the
+//! manifest (the hash assignment is only stable for a fixed `N`) and
+//! recovers all shards in parallel, one thread each.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use chronicle_durability::{DurabilityOptions, ShardManifest};
+use chronicle_sql::{parse, Statement};
+use chronicle_types::{ChronicleError, Chronon, Result, Tuple, Value};
+
+use crate::db::{AppendOutcome, ChronicleDb, ExecOutcome};
+use crate::stats::DbStats;
+
+/// 64-bit FNV-1a. In-tree so the group→shard assignment is deterministic
+/// across runs and builds (`std`'s `DefaultHasher` is explicitly allowed
+/// to change between releases, which would scatter a reopened database's
+/// groups across the wrong shards).
+fn fnv1a(name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The shard that owns chronicle group `name` in an `n`-shard database.
+pub fn shard_of_group(name: &str, n: usize) -> usize {
+    (fnv1a(name) % n as u64) as usize
+}
+
+/// Name of the group a chronicle without an explicit `IN GROUP` joins.
+const DEFAULT_GROUP: &str = "default";
+
+/// Name → owning-shard maps for every kind of catalog object. Cheap to
+/// clone; the pipeline front-end shares one snapshot across producers.
+#[derive(Debug, Clone)]
+pub struct ShardRoutes {
+    shards: usize,
+    groups: HashMap<String, usize>,
+    chronicles: HashMap<String, usize>,
+    views: HashMap<String, usize>,
+    periodic: HashMap<String, usize>,
+    /// Relations exist on every shard; the set only answers existence.
+    relations: HashSet<String>,
+}
+
+impl ShardRoutes {
+    fn new(shards: usize) -> Self {
+        ShardRoutes {
+            shards,
+            groups: HashMap::new(),
+            chronicles: HashMap::new(),
+            views: HashMap::new(),
+            periodic: HashMap::new(),
+            relations: HashSet::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning chronicle `name`.
+    pub fn chronicle_shard(&self, name: &str) -> Result<usize> {
+        self.chronicles
+            .get(name)
+            .copied()
+            .ok_or_else(|| ChronicleError::NotFound {
+                kind: "chronicle",
+                name: name.into(),
+            })
+    }
+
+    /// The shard owning persistent view `name`.
+    pub fn view_shard(&self, name: &str) -> Result<usize> {
+        self.views
+            .get(name)
+            .copied()
+            .ok_or_else(|| ChronicleError::NotFound {
+                kind: "view",
+                name: name.into(),
+            })
+    }
+}
+
+/// A chronicle database hash-partitioned into independent maintenance
+/// shards. See the module docs for the placement rules; the API mirrors
+/// the [`ChronicleDb`] surface the single-shard facade offers.
+#[derive(Debug)]
+pub struct ShardedDb {
+    shards: Vec<ChronicleDb>,
+    routes: ShardRoutes,
+}
+
+impl ShardedDb {
+    /// An in-memory database partitioned into `shards` shards.
+    pub fn new(shards: usize) -> Result<ShardedDb> {
+        if shards == 0 {
+            return Err(ChronicleError::Internal(
+                "a sharded database needs at least one shard".into(),
+            ));
+        }
+        Ok(ShardedDb {
+            shards: (0..shards).map(|_| ChronicleDb::new()).collect(),
+            routes: ShardRoutes::new(shards),
+        })
+    }
+
+    /// Open (creating if absent) a durable sharded database at `path` with
+    /// default [`DurabilityOptions`]. `shards` must match the on-disk
+    /// manifest when the database already exists.
+    pub fn open(path: impl AsRef<Path>, shards: usize) -> Result<ShardedDb> {
+        Self::open_with(path, shards, DurabilityOptions::default())
+    }
+
+    /// [`ShardedDb::open`] with explicit durability options (applied to
+    /// every shard). Recovery runs all shards in parallel — each shard
+    /// loads its newest checkpoint and replays its own WAL tail on its own
+    /// thread — then the name→shard routes are rebuilt from the recovered
+    /// catalogs.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        shards: usize,
+        opts: DurabilityOptions,
+    ) -> Result<ShardedDb> {
+        if shards == 0 {
+            return Err(ChronicleError::Internal(
+                "a sharded database needs at least one shard".into(),
+            ));
+        }
+        let root = path.as_ref();
+        std::fs::create_dir_all(root).map_err(|e| ChronicleError::Durability {
+            detail: format!("creating database directory {}: {e}", root.display()),
+        })?;
+        match ShardManifest::load(root)? {
+            Some(m) if m.shards as usize != shards => {
+                return Err(ChronicleError::Durability {
+                    detail: format!(
+                        "shard count mismatch: {} is partitioned into {} shards, requested {} \
+                         (the group hash assignment is only stable for a fixed shard count)",
+                        root.display(),
+                        m.shards,
+                        shards
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => ShardManifest {
+                shards: shards as u32,
+            }
+            .write(root, opts.fsync)?,
+        }
+        let recovered: Vec<Result<ChronicleDb>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|i| {
+                    let dir = ShardManifest::shard_dir(root, i);
+                    s.spawn(move || ChronicleDb::open_with(dir, opts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard recovery thread panicked"))
+                .collect()
+        });
+        let mut dbs = Vec::with_capacity(shards);
+        for (i, r) in recovered.into_iter().enumerate() {
+            dbs.push(r.map_err(|e| ChronicleError::Durability {
+                detail: format!("recovering shard {i}: {e}"),
+            })?);
+        }
+        let routes = Self::rebuild_routes(&dbs);
+        Ok(ShardedDb {
+            shards: dbs,
+            routes,
+        })
+    }
+
+    /// Reconstruct the name→shard maps from recovered shard catalogs.
+    /// Groups take their hash assignment (the `default` group may exist on
+    /// several shards — relation DML broadcasts create it everywhere — but
+    /// it always exists on its hash shard if it exists at all); everything
+    /// else routes to the shard that actually holds it.
+    fn rebuild_routes(dbs: &[ChronicleDb]) -> ShardRoutes {
+        let n = dbs.len();
+        let mut routes = ShardRoutes::new(n);
+        for (i, db) in dbs.iter().enumerate() {
+            for g in db.catalog().groups() {
+                routes
+                    .groups
+                    .insert(g.name().to_string(), shard_of_group(g.name(), n));
+            }
+            for c in db.catalog().chronicles() {
+                routes.chronicles.insert(c.name().to_string(), i);
+            }
+            for (name, _) in db.catalog().relations() {
+                routes.relations.insert(name.to_string());
+            }
+            for v in db.maintainer().iter_views() {
+                routes.views.insert(v.name().to_string(), i);
+            }
+            for p in db.periodic_view_names() {
+                routes.periodic.insert(p.to_string(), i);
+            }
+        }
+        routes
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's database (tests, experiments, `.views`).
+    pub fn shard(&self, i: usize) -> &ChronicleDb {
+        &self.shards[i]
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[ChronicleDb] {
+        &self.shards
+    }
+
+    /// The current name→shard routing table.
+    pub fn routes(&self) -> &ShardRoutes {
+        &self.routes
+    }
+
+    /// The shard owning chronicle `name`.
+    pub fn shard_of_chronicle(&self, name: &str) -> Result<usize> {
+        self.routes.chronicle_shard(name)
+    }
+
+    /// Statistics aggregated across every shard (counters add, maxima take
+    /// the max, latency percentiles draw on all shards' samples). Use
+    /// [`ShardedDb::shard`]`.stats()` for one shard's own numbers.
+    pub fn stats(&self) -> DbStats {
+        let mut total = DbStats::default();
+        for s in &self.shards {
+            total.absorb(s.stats());
+        }
+        total
+    }
+
+    /// Snapshot every persistent view across all shards, sorted by view
+    /// name — shard-count-independent, so a sharded database and a
+    /// single-shard one holding the same logical state produce identical
+    /// images (the equivalence the property tests assert).
+    pub fn snapshot_views(&self) -> Vec<(String, Vec<u8>)> {
+        let mut all: Vec<(String, Vec<u8>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.snapshot_views())
+            .collect();
+        all.sort();
+        all
+    }
+
+    // ---- durability -------------------------------------------------------
+
+    /// Checkpoint every shard; returns the covered LSN per shard.
+    pub fn checkpoint(&mut self) -> Result<Vec<u64>> {
+        self.shards.iter_mut().map(|s| s.checkpoint()).collect()
+    }
+
+    /// Flush buffered WAL records on every shard; returns the total
+    /// records made durable.
+    pub fn wal_flush(&mut self) -> Result<u64> {
+        let mut n = 0;
+        for s in &mut self.shards {
+            n += s.wal_flush()?;
+        }
+        Ok(n)
+    }
+
+    // ---- statement routing ------------------------------------------------
+
+    /// Parse and execute one SQL statement, routed to the owning shard
+    /// (relation DDL/DML broadcasts to all shards). `&mut self` serializes
+    /// DDL against everything else — exclusive access is the catalog lock.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        match &stmt {
+            Statement::CreateGroup { name } => {
+                self.check_new_group(name)?;
+                let target = shard_of_group(name, self.shard_count());
+                let out = self.shards[target].execute(sql)?;
+                self.routes.groups.insert(name.clone(), target);
+                Ok(out)
+            }
+            Statement::CreateChronicle { name, group, .. } => {
+                if self.routes.chronicles.contains_key(name) {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "chronicle",
+                        name: name.clone(),
+                    });
+                }
+                let target = match group {
+                    Some(g) => self.routes.groups.get(g).copied().ok_or_else(|| {
+                        ChronicleError::NotFound {
+                            kind: "chronicle group",
+                            name: g.clone(),
+                        }
+                    })?,
+                    // No explicit group: the shard owning the implicit
+                    // `default` group creates it on first use.
+                    None => self
+                        .routes
+                        .groups
+                        .get(DEFAULT_GROUP)
+                        .copied()
+                        .unwrap_or_else(|| shard_of_group(DEFAULT_GROUP, self.shard_count())),
+                };
+                let out = self.shards[target].execute(sql)?;
+                if group.is_none() {
+                    self.routes.groups.insert(DEFAULT_GROUP.into(), target);
+                }
+                self.routes.chronicles.insert(name.clone(), target);
+                Ok(out)
+            }
+            Statement::CreateRelation { name, .. } => {
+                if self.routes.relations.contains(name) {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "relation",
+                        name: name.clone(),
+                    });
+                }
+                let out = self.broadcast(sql)?;
+                self.routes.relations.insert(name.clone());
+                Ok(out)
+            }
+            Statement::CreateView { name, query } => {
+                self.check_new_view(name)?;
+                let target = self.view_target(&query.from)?;
+                let out = self.shards[target].execute(sql)?;
+                self.routes.views.insert(name.clone(), target);
+                Ok(out)
+            }
+            Statement::CreatePeriodicView { name, query, .. } => {
+                self.check_new_view(name)?;
+                let target = self.view_target(&query.from)?;
+                let out = self.shards[target].execute(sql)?;
+                self.routes.periodic.insert(name.clone(), target);
+                Ok(out)
+            }
+            Statement::Append(a) => {
+                let target = self.routes.chronicle_shard(&a.chronicle)?;
+                self.shards[target].execute(sql)
+            }
+            Statement::InsertRelation { .. }
+            | Statement::UpdateRelation { .. }
+            | Statement::DeleteRelation { .. } => self.broadcast(sql),
+            Statement::Select { target, .. } => {
+                let shard = if let Some(&s) = self.routes.views.get(target) {
+                    s
+                } else if self.routes.relations.contains(target) {
+                    // Replicas are identical; shard 0 answers for all.
+                    0
+                } else if let Some(&s) = self.routes.chronicles.get(target) {
+                    s
+                } else {
+                    // Unknown name: let a shard produce the NotFound error.
+                    0
+                };
+                self.shards[shard].execute(sql)
+            }
+            Statement::DropView { name } => {
+                let target = self.routes.view_shard(name)?;
+                let out = self.shards[target].execute(sql)?;
+                self.routes.views.remove(name);
+                Ok(out)
+            }
+        }
+    }
+
+    fn check_new_group(&self, name: &str) -> Result<()> {
+        if self.routes.groups.contains_key(name) {
+            return Err(ChronicleError::AlreadyExists {
+                kind: "chronicle group",
+                name: name.into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_new_view(&self, name: &str) -> Result<()> {
+        if self.routes.views.contains_key(name) || self.routes.periodic.contains_key(name) {
+            return Err(ChronicleError::AlreadyExists {
+                kind: "view",
+                name: name.into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Where a view defined `FROM from` lives: with its base chronicle's
+    /// group, so maintenance deltas never cross shards. A view over a
+    /// relation only (no chronicle anywhere in the shard map) pins to
+    /// shard 0.
+    fn view_target(&self, from: &str) -> Result<usize> {
+        if let Some(&s) = self.routes.chronicles.get(from) {
+            return Ok(s);
+        }
+        if self.routes.relations.contains(from) {
+            return Ok(0);
+        }
+        Err(ChronicleError::NotFound {
+            kind: "chronicle",
+            name: from.into(),
+        })
+    }
+
+    /// Apply a relation DDL/DML statement to every shard's replica. All
+    /// replicas see the same statements in the same order, so a failure is
+    /// deterministic: it strikes shard 0 before any replica mutates, or
+    /// all replicas identically.
+    fn broadcast(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let mut last = None;
+        for s in &mut self.shards {
+            last = Some(s.execute(sql)?);
+        }
+        Ok(last.expect("at least one shard"))
+    }
+
+    // ---- direct append / query (programmatic path) ------------------------
+
+    /// Append rows to a chronicle at chronon `at` on its owning shard,
+    /// maintaining that shard's views.
+    pub fn append(
+        &mut self,
+        chronicle: &str,
+        at: Chronon,
+        rows: &[Vec<Value>],
+    ) -> Result<AppendOutcome> {
+        let target = self.routes.chronicle_shard(chronicle)?;
+        self.shards[target].append(chronicle, at, rows)
+    }
+
+    /// All rows of a persistent view (ordered by group key).
+    pub fn query_view(&self, name: &str) -> Result<Vec<Tuple>> {
+        let target = self.routes.view_shard(name)?;
+        self.shards[target].query_view(name)
+    }
+
+    /// Point lookup in a persistent view.
+    pub fn query_view_key(&self, name: &str, key: &[Value]) -> Result<Option<Tuple>> {
+        let target = self.routes.view_shard(name)?;
+        self.shards[target].query_view_key(name, key)
+    }
+
+    // ---- pipeline plumbing ------------------------------------------------
+
+    /// Split into per-shard databases plus the routing table (the sharded
+    /// pipeline gives each shard its own worker thread).
+    pub(crate) fn into_parts(self) -> (Vec<ChronicleDb>, ShardRoutes) {
+        (self.shards, self.routes)
+    }
+
+    /// Reassemble after the pipeline returns the shards.
+    pub(crate) fn from_parts(shards: Vec<ChronicleDb>, routes: ShardRoutes) -> ShardedDb {
+        debug_assert_eq!(shards.len(), routes.shards);
+        ShardedDb { shards, routes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_group_db(shards: usize) -> ShardedDb {
+        let mut db = ShardedDb::new(shards).unwrap();
+        db.execute("CREATE GROUP telecom").unwrap();
+        db.execute("CREATE GROUP banking").unwrap();
+        db.execute("CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom")
+            .unwrap();
+        db.execute("CREATE CHRONICLE txns (sn SEQ, acct INT, amount FLOAT) IN GROUP banking")
+            .unwrap();
+        db.execute(
+            "CREATE VIEW call_totals AS SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+        )
+        .unwrap();
+        db.execute("CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM txns GROUP BY acct")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn routes_follow_groups() {
+        let db = two_group_db(4);
+        let calls_shard = db.shard_of_chronicle("calls").unwrap();
+        let txns_shard = db.shard_of_chronicle("txns").unwrap();
+        assert_eq!(calls_shard, shard_of_group("telecom", 4));
+        assert_eq!(txns_shard, shard_of_group("banking", 4));
+        // Views live with their base chronicle.
+        assert_eq!(db.routes().view_shard("call_totals").unwrap(), calls_shard);
+        assert_eq!(db.routes().view_shard("balances").unwrap(), txns_shard);
+        // The owning shard has the view; a different shard does not.
+        assert!(db.shard(calls_shard).query_view("call_totals").is_ok());
+    }
+
+    #[test]
+    fn appends_and_queries_route_transparently() {
+        let mut db = two_group_db(3);
+        db.execute("APPEND INTO calls VALUES (555, 12.5)").unwrap();
+        db.execute("APPEND INTO txns VALUES (1, 100.0)").unwrap();
+        db.execute("APPEND INTO txns VALUES (1, -30.0)").unwrap();
+        assert_eq!(
+            db.query_view_key("balances", &[Value::Int(1)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(70.0)
+        );
+        assert_eq!(
+            db.query_view_key("call_totals", &[Value::Int(555)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(12.5)
+        );
+        // Aggregated stats see both shards' appends.
+        assert_eq!(db.stats().appends, 3);
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_group() {
+        let mut db = two_group_db(2);
+        let a = db
+            .append(
+                "calls",
+                Chronon(1),
+                &[vec![Value::Int(1), Value::Float(1.0)]],
+            )
+            .unwrap();
+        let b = db
+            .append(
+                "txns",
+                Chronon(1),
+                &[vec![Value::Int(1), Value::Float(1.0)]],
+            )
+            .unwrap();
+        // Each group starts its own SN sequence regardless of shard count.
+        assert_eq!(a.seq, b.seq);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_shards() {
+        let mut db = two_group_db(4);
+        assert!(db.execute("CREATE GROUP telecom").is_err());
+        assert!(db
+            .execute("CREATE CHRONICLE calls (sn SEQ, x INT) IN GROUP banking")
+            .is_err());
+        assert!(db
+            .execute(
+                "CREATE VIEW balances AS SELECT caller, COUNT(*) AS n FROM calls GROUP BY caller"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn relations_replicate_and_join_views_work_on_any_shard() {
+        let mut db = two_group_db(4);
+        db.execute(
+            "CREATE RELATION customers (acct INT, name STRING, state STRING, PRIMARY KEY (acct))",
+        )
+        .unwrap();
+        db.execute("INSERT INTO customers VALUES (555, 'alice', 'NJ')")
+            .unwrap();
+        // A join view over a chronicle in either group finds the replica
+        // on its own shard.
+        db.execute(
+            "CREATE VIEW nj_calls AS SELECT caller, COUNT(*) AS n FROM calls \
+             JOIN customers ON caller = acct WHERE state = 'NJ' GROUP BY caller",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE VIEW nj_txns AS SELECT acct, COUNT(*) AS n FROM txns \
+             JOIN customers ON acct = acct WHERE state = 'NJ' GROUP BY acct",
+        )
+        .unwrap();
+        db.execute("APPEND INTO calls VALUES (555, 2.0)").unwrap();
+        db.execute("APPEND INTO txns VALUES (555, 10.0)").unwrap();
+        assert_eq!(db.query_view("nj_calls").unwrap().len(), 1);
+        assert_eq!(db.query_view("nj_txns").unwrap().len(), 1);
+        // Relation SELECTs answer from shard 0's replica.
+        match db.execute("SELECT * FROM customers").unwrap() {
+            ExecOutcome::Rows(rows) => assert_eq!(rows.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_semantics() {
+        let mut sharded = two_group_db(1);
+        let mut plain = ChronicleDb::new();
+        for sql in [
+            "CREATE GROUP telecom",
+            "CREATE GROUP banking",
+            "CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom",
+            "CREATE CHRONICLE txns (sn SEQ, acct INT, amount FLOAT) IN GROUP banking",
+            "CREATE VIEW call_totals AS SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+            "CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM txns GROUP BY acct",
+        ] {
+            plain.execute(sql).unwrap();
+        }
+        for sql in [
+            "APPEND INTO calls VALUES (555, 12.5)",
+            "APPEND INTO txns VALUES (9, 4.0)",
+            "APPEND INTO calls VALUES (555, 0.5)",
+        ] {
+            sharded.execute(sql).unwrap();
+            plain.execute(sql).unwrap();
+        }
+        assert_eq!(sharded.snapshot_views(), {
+            let mut v = plain.snapshot_views();
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ShardedDb::new(0).is_err());
+    }
+
+    #[test]
+    fn durable_shards_recover_in_parallel() {
+        let tmp = chronicle_testkit::TempDir::new("sharded-recovery");
+        let snap_before = {
+            let mut db = ShardedDb::open(tmp.path(), 3).unwrap();
+            db.execute("CREATE GROUP telecom").unwrap();
+            db.execute("CREATE GROUP banking").unwrap();
+            db.execute(
+                "CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom",
+            )
+            .unwrap();
+            db.execute("CREATE CHRONICLE txns (sn SEQ, acct INT, amount FLOAT) IN GROUP banking")
+                .unwrap();
+            db.execute(
+                "CREATE VIEW call_totals AS \
+                 SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+            )
+            .unwrap();
+            db.execute("APPEND INTO calls VALUES (555, 2.5)").unwrap();
+            db.execute("APPEND INTO txns VALUES (1, 10.0)").unwrap();
+            db.checkpoint().unwrap();
+            db.execute("APPEND INTO calls VALUES (555, 1.5)").unwrap();
+            db.wal_flush().unwrap();
+            db.snapshot_views()
+            // Dropped without a clean shutdown: recovery must replay the
+            // post-checkpoint WAL tail of every shard.
+        };
+        let db = ShardedDb::open(tmp.path(), 3).unwrap();
+        assert_eq!(db.snapshot_views(), snap_before);
+        assert_eq!(
+            db.query_view_key("call_totals", &[Value::Int(555)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(4.0)
+        );
+        // Routes were rebuilt from the recovered catalogs.
+        assert_eq!(
+            db.shard_of_chronicle("calls").unwrap(),
+            shard_of_group("telecom", 3)
+        );
+        // A different shard count refuses to open the same directory.
+        let err = ShardedDb::open(tmp.path(), 2).unwrap_err();
+        assert!(matches!(err, ChronicleError::Durability { .. }));
+    }
+}

@@ -73,6 +73,40 @@ impl DbStats {
         self.sorted_stale.set(true);
     }
 
+    /// Fold another database's statistics into this one — the cross-shard
+    /// aggregation used by `ShardedDb::stats`. Counters add, maxima take
+    /// the max, and the latency samples are concatenated (capped at the
+    /// ring size), so percentiles over the merged snapshot draw on the
+    /// retained observations of every shard. The
+    /// merged value is a read-only snapshot: feeding it further
+    /// `record_append` calls would interleave with the foreign samples.
+    pub fn absorb(&mut self, other: &DbStats) {
+        self.appends += other.appends;
+        self.tuples_appended += other.tuples_appended;
+        self.maintenance_nanos += other.maintenance_nanos;
+        self.max_maintenance_nanos = self.max_maintenance_nanos.max(other.max_maintenance_nanos);
+        self.views_maintained += other.views_maintained;
+        self.skipped_by_guard += other.skipped_by_guard;
+        self.skipped_by_interval += other.skipped_by_interval;
+        self.work.absorb(other.work);
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_flushes += other.wal_flushes;
+        self.checkpoints += other.checkpoints;
+        self.recovery_checkpoint_lsn =
+            match (self.recovery_checkpoint_lsn, other.recovery_checkpoint_lsn) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        self.recovery_replayed_records += other.recovery_replayed_records;
+        self.recovery_skipped_checkpoints += other.recovery_skipped_checkpoints;
+        let room = SAMPLE.saturating_sub(self.latencies.len());
+        let take = other.latencies.len().min(room);
+        self.latencies
+            .extend_from_slice(&other.latencies[other.latencies.len() - take..]);
+        self.sorted_stale.set(true);
+    }
+
     /// Mean maintenance time per append, nanoseconds.
     pub fn mean_maintenance_nanos(&self) -> f64 {
         if self.appends == 0 {
@@ -170,6 +204,39 @@ mod tests {
         // …and new data must invalidate the cache.
         s.record_append(1, &report(999));
         assert_eq!(s.latency_percentile(1.0), 999);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_samples() {
+        let mut a = DbStats::default();
+        let mut b = DbStats::default();
+        a.record_append(2, &report(100));
+        b.record_append(3, &report(500));
+        b.record_append(1, &report(300));
+        b.wal_records = 7;
+        b.recovery_checkpoint_lsn = Some(42);
+        a.absorb(&b);
+        assert_eq!(a.appends, 3);
+        assert_eq!(a.tuples_appended, 6);
+        assert_eq!(a.max_maintenance_nanos, 500);
+        assert_eq!(a.wal_records, 7);
+        assert_eq!(a.recovery_checkpoint_lsn, Some(42));
+        // Percentiles see the union of both samples.
+        assert_eq!(a.latency_percentile(0.0), 100);
+        assert_eq!(a.latency_percentile(1.0), 500);
+    }
+
+    #[test]
+    fn absorb_caps_merged_sample() {
+        let mut a = DbStats::default();
+        let mut b = DbStats::default();
+        for i in 0..SAMPLE as u64 {
+            a.record_append(1, &report(i));
+            b.record_append(1, &report(i));
+        }
+        a.absorb(&b);
+        assert_eq!(a.appends, 2 * SAMPLE as u64);
+        assert!(a.latencies.len() <= SAMPLE);
     }
 
     #[test]

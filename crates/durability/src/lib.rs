@@ -27,11 +27,13 @@
 pub mod checkpoint;
 pub mod crc;
 mod group_commit;
+pub mod manifest;
 mod record;
 mod wal;
 
 pub use checkpoint::{CheckpointImage, ChronicleImage, GroupImage, RelationImage};
 pub use group_commit::GroupCommit;
+pub use manifest::ShardManifest;
 pub use record::WalRecord;
 pub use wal::{Wal, WalStats};
 

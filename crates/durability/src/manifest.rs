@@ -1,0 +1,147 @@
+//! The shard manifest: a tiny root-level file that records how a durable
+//! database directory is partitioned into maintenance shards.
+//!
+//! A sharded database lives at `path/` with one complete single-shard
+//! database (checkpoints + WAL) per subdirectory `shard-000/`,
+//! `shard-001/`, …; the manifest at `path/SHARDS` records the shard count
+//! so recovery knows how many shard streams to replay (in parallel) and
+//! can refuse to open the directory with a different partitioning — the
+//! group→shard hash assignment is only stable for a fixed shard count.
+//!
+//! The file is 16 bytes: an 8-byte magic, the shard count as `u32` LE, and
+//! a CRC-32 of the count. It is written once at creation time via the
+//! usual tmp + rename + dir-sync dance and never modified afterwards.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use chronicle_types::{ChronicleError, Result};
+
+use crate::crc::crc32;
+use crate::wal::sync_dir;
+
+/// Magic prefix identifying a shard manifest file.
+const MAGIC: &[u8; 8] = b"CHRSHRD1";
+
+/// File name of the manifest inside the database root directory.
+pub const MANIFEST_FILE: &str = "SHARDS";
+
+/// The persisted partitioning of a sharded database directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Number of shards the catalog is hash-partitioned into (≥ 1).
+    pub shards: u32,
+}
+
+impl ShardManifest {
+    /// The subdirectory holding shard `i`'s single-shard database.
+    pub fn shard_dir(root: &Path, i: usize) -> PathBuf {
+        root.join(format!("shard-{i:03}"))
+    }
+
+    /// Read the manifest under `root`, if one exists. A present-but-invalid
+    /// manifest is loud [`ChronicleError::Corruption`], never a silent
+    /// `None`: guessing a shard count would scatter groups across the
+    /// wrong shards.
+    pub fn load(root: &Path) -> Result<Option<ShardManifest>> {
+        let path = root.join(MANIFEST_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(ChronicleError::Durability {
+                    detail: format!("reading shard manifest {}: {e}", path.display()),
+                })
+            }
+        };
+        let corrupt = |detail: String| ChronicleError::Corruption { detail };
+        if bytes.len() != 16 || &bytes[..8] != MAGIC {
+            return Err(corrupt(format!(
+                "shard manifest {} is malformed ({} bytes)",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        let shards = u32::from_le_bytes(bytes[8..12].try_into().expect("length checked"));
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("length checked"));
+        if crc != crc32(&bytes[8..12]) {
+            return Err(corrupt(format!(
+                "shard manifest {} fails its checksum",
+                path.display()
+            )));
+        }
+        if shards == 0 {
+            return Err(corrupt(format!(
+                "shard manifest {} records zero shards",
+                path.display()
+            )));
+        }
+        Ok(Some(ShardManifest { shards }))
+    }
+
+    /// Persist the manifest under `root` (which must exist): write to a
+    /// temporary name, rename into place, and optionally sync the
+    /// directory so the rename itself is durable.
+    pub fn write(&self, root: &Path, fsync: bool) -> Result<()> {
+        let io_err = |what: &str, e: std::io::Error| ChronicleError::Durability {
+            detail: format!("{what} shard manifest in {}: {e}", root.display()),
+        };
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&self.shards.to_le_bytes());
+        bytes.extend_from_slice(&crc32(&self.shards.to_le_bytes()).to_le_bytes());
+        let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
+        let final_path = root.join(MANIFEST_FILE);
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("creating", e))?;
+        f.write_all(&bytes).map_err(|e| io_err("writing", e))?;
+        if fsync {
+            f.sync_all().map_err(|e| io_err("syncing", e))?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, &final_path).map_err(|e| io_err("publishing", e))?;
+        if fsync {
+            sync_dir(root)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("chronicle-manifest-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = tmpdir("round-trip");
+        assert_eq!(ShardManifest::load(&d).unwrap(), None);
+        let m = ShardManifest { shards: 4 };
+        m.write(&d, false).unwrap();
+        assert_eq!(ShardManifest::load(&d).unwrap(), Some(m));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn damage_is_loud() {
+        let d = tmpdir("damage");
+        ShardManifest { shards: 2 }.write(&d, false).unwrap();
+        let path = d.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardManifest::load(&d),
+            Err(ChronicleError::Corruption { .. })
+        ));
+        std::fs::write(&path, b"short").unwrap();
+        assert!(ShardManifest::load(&d).is_err());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

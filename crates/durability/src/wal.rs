@@ -120,7 +120,7 @@ fn parse_frame(
     }
     let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if len < 8 || len > MAX_BODY {
+    if !(8..=MAX_BODY).contains(&len) {
         return Err(FrameError::Torn(format!("implausible frame length {len}")));
     }
     let end = 8 + len as usize;

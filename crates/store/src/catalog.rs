@@ -135,6 +135,14 @@ impl Catalog {
         &mut self.chronicles[id.0 as usize]
     }
 
+    /// The chronicles belonging to one group, in creation order — the unit
+    /// a maintenance shard owns (Thm 4.1: joins never cross a group, so a
+    /// group's chronicles and the views over them are independent of every
+    /// other group's).
+    pub fn chronicles_in_group(&self, group: GroupId) -> impl Iterator<Item = &Chronicle> {
+        self.chronicles.iter().filter(move |c| c.group() == group)
+    }
+
     /// Append a batch of tuples to chronicle `id` at temporal instant `at`.
     ///
     /// The group allocates the next sequence number; every tuple's

@@ -44,6 +44,17 @@ pub enum ChronicleError {
         /// Offending sequence number.
         attempted: u64,
     },
+    /// A sliding-window insert landed in a bucket strictly older than the
+    /// newest bucket already folded for its key. Bucket indices are signed
+    /// offsets from the window anchor, so chronons before the anchor
+    /// legitimately produce negative indices (§5.1); this variant keeps them
+    /// signed instead of wrapping through `u64`.
+    NonMonotonicBucket {
+        /// Newest bucket index already present for the key.
+        newest: i64,
+        /// Offending (older) bucket index.
+        attempted: i64,
+    },
     /// A relation update would have been *retroactive*: it changes versions
     /// already seen by some chronicle sequence number (paper §2.3 excludes
     /// these from the model).
@@ -146,6 +157,10 @@ impl fmt::Display for ChronicleError {
             } => write!(
                 f,
                 "non-monotonic append: sequence number {attempted} is not greater than group high-water mark {high_water}"
+            ),
+            ChronicleError::NonMonotonicBucket { newest, attempted } => write!(
+                f,
+                "non-monotonic window insert: bucket {attempted} is older than the newest bucket {newest}"
             ),
             ChronicleError::RetroactiveUpdate { detail } => {
                 write!(f, "retroactive relation update rejected: {detail}")

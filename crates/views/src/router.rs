@@ -63,7 +63,13 @@ impl Router {
     }
 
     /// Register a view's dependency and guard structure.
+    ///
+    /// Re-registering an id replaces its routes wholesale: the old
+    /// expression's chronicle dependencies are dropped first, so a view
+    /// redefined over different chronicles stops routing (and being
+    /// maintained) on chronicles it no longer references.
     pub fn register(&mut self, id: ViewId, expr: &ScaExpr) {
+        self.unregister(id);
         let mut guards: HashMap<ChronicleId, Vec<Vec<Predicate>>> = HashMap::new();
         for (chron, preds) in expr.ca().base_guards() {
             guards.entry(chron).or_default().push(preds);
@@ -287,6 +293,26 @@ mod tests {
             .route(calls, Chronon(0), &[tuple![SeqNo(1), 1i64, 1.0f64]])
             .unwrap();
         assert!(d.selected.is_empty());
+    }
+
+    #[test]
+    fn re_register_drops_stale_chronicle_routes() {
+        // Regression: `register` used to overwrite the `entries` slot but
+        // leave the view's old chronicle ids in `by_chronicle`, so a view
+        // redefined over `texts` kept routing on `calls` — and `route` then
+        // panicked looking up guards for a dependency the new expression
+        // no longer has.
+        let (cat, calls, texts) = setup();
+        let mut r = Router::new();
+        r.register(ViewId(0), &sum_view(&cat, calls));
+        r.register(ViewId(0), &sum_view(&cat, texts));
+        assert_eq!(r.len(), 1);
+        let batch = vec![tuple![SeqNo(1), 555i64, 2.0f64]];
+        let d = r.route(calls, Chronon(0), &batch).unwrap();
+        assert!(d.selected.is_empty(), "stale route on old chronicle");
+        assert_eq!(d.candidates, 0);
+        let d = r.route(texts, Chronon(0), &batch).unwrap();
+        assert_eq!(d.selected, vec![ViewId(0)]);
     }
 
     #[test]

@@ -107,9 +107,12 @@ impl SlidingWindow {
         } else {
             let last = ring.front_bucket + ring.buckets.len() as i64 - 1;
             if bucket < last {
-                return Err(ChronicleError::NonMonotonicAppend {
-                    high_water: last as u64,
-                    attempted: bucket as u64,
+                // Bucket indices are signed (chronons before `anchor` land in
+                // negative buckets), so the error must carry them as i64 — an
+                // `as u64` cast here turned bucket -3 into 2^64-3.
+                return Err(ChronicleError::NonMonotonicBucket {
+                    newest: last,
+                    attempted: bucket,
                 });
             }
             if bucket - last >= self.window_buckets as i64 {
@@ -273,6 +276,35 @@ mod tests {
         assert!(w.insert(Chronon(5), &tuple![7i64, 1i64]).is_err());
         // Same-bucket insert is fine.
         w.insert(Chronon(29), &tuple![7i64, 1i64]).unwrap();
+    }
+
+    #[test]
+    fn before_anchor_inserts_use_signed_buckets() {
+        // Chronons before the anchor land in negative buckets; the ring
+        // handles them like any other signed index.
+        let mut w = window();
+        w.insert(Chronon(-25), &tuple![7i64, 100i64]).unwrap(); // bucket -3
+        w.insert(Chronon(-15), &tuple![7i64, 50i64]).unwrap(); // bucket -2
+        let v = w.query(&[Value::Int(7)], Chronon(-11)).unwrap();
+        assert_eq!(v[0], Value::Int(150));
+        assert_eq!(v[1], Value::Int(2));
+    }
+
+    #[test]
+    fn negative_bucket_error_is_signed() {
+        // Regression: the out-of-order error used to cast the signed bucket
+        // indices through `as u64`, so an insert at bucket -3 reported
+        // `attempted: 18446744073709551613`.
+        let mut w = window();
+        w.insert(Chronon(25), &tuple![7i64, 1i64]).unwrap(); // bucket 2
+        let err = w.insert(Chronon(-25), &tuple![7i64, 1i64]).unwrap_err();
+        match err {
+            ChronicleError::NonMonotonicBucket { newest, attempted } => {
+                assert_eq!(newest, 2);
+                assert_eq!(attempted, -3);
+            }
+            other => panic!("expected NonMonotonicBucket, got {other:?}"),
+        }
     }
 
     #[test]

@@ -41,11 +41,11 @@ fn main() -> Result<(), ChronicleError> {
         let acct = row[0].clone();
         let kind = row[2].as_str().expect("kind").to_string();
         db.append("atm", Chronon(i as i64), &[row])?;
-        if burst.on_event(&[acct.clone()], &kind) {
+        if burst.on_event(std::slice::from_ref(&acct), &kind) {
             burst_alerts += 1;
             if burst_alerts <= 5 {
                 let balance = db
-                    .query_view_key("balances", &[acct.clone()])?
+                    .query_view_key("balances", std::slice::from_ref(&acct))?
                     .and_then(|r| r.get(1).as_float())
                     .unwrap_or(0.0);
                 println!(

@@ -2,8 +2,11 @@
 //!
 //! Run with `cargo run --example repl` for an in-memory session, or
 //! `cargo run --example repl -- /path/to/db` for a durable one (the path
-//! is created on first use and recovered on every start). Then type
-//! statements:
+//! is created on first use and recovered on every start). Add
+//! `shards=N` to run the maintenance engine hash-partitioned by
+//! chronicle group into N shards (`cargo run --example repl -- /path/to/db
+//! shards=4`); a durable sharded database must be reopened with the same
+//! N it was created with. Then type statements:
 //!
 //! ```text
 //! chronicle> CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)
@@ -18,26 +21,127 @@
 
 use std::io::{BufRead, Write};
 
-use chronicle::db::ExecOutcome;
+use chronicle::db::{ExecOutcome, ShardedDb};
 use chronicle::prelude::*;
 
+/// The repl drives either a plain database or a sharded one behind the
+/// same command surface.
+enum Session {
+    Single(Box<ChronicleDb>),
+    Sharded(Box<ShardedDb>),
+}
+
+impl Session {
+    fn execute(&mut self, sql: &str) -> Result<ExecOutcome, ChronicleError> {
+        match self {
+            Session::Single(db) => db.execute(sql),
+            Session::Sharded(db) => db.execute(sql),
+        }
+    }
+
+    fn stats(&self) -> chronicle::db::DbStats {
+        match self {
+            Session::Single(db) => db.stats().clone(),
+            Session::Sharded(db) => db.stats(),
+        }
+    }
+
+    fn is_durable(&self) -> bool {
+        match self {
+            Session::Single(db) => db.is_durable(),
+            Session::Sharded(db) => db.shard(0).is_durable(),
+        }
+    }
+
+    fn print_views(&self) {
+        let print = |shard: Option<usize>, db: &ChronicleDb| {
+            for v in db.maintainer().iter_views() {
+                let origin = shard.map(|s| format!("s{s} ")).unwrap_or_default();
+                println!(
+                    "{origin}{:<24} {:<10} {:<12} rows={:<8} {}",
+                    v.name(),
+                    v.expr().language_name(),
+                    v.expr().im_class().to_string(),
+                    v.len(),
+                    v.expr()
+                );
+            }
+        };
+        match self {
+            Session::Single(db) => print(None, db),
+            Session::Sharded(db) => {
+                for (i, shard) in db.shards().iter().enumerate() {
+                    print(Some(i), shard);
+                }
+            }
+        }
+    }
+
+    fn checkpoint(&mut self) {
+        match self {
+            Session::Single(db) => match db.checkpoint() {
+                Ok(lsn) => println!("checkpoint written through lsn {lsn}"),
+                Err(e) => println!("error: {e}"),
+            },
+            Session::Sharded(db) => match db.checkpoint() {
+                Ok(lsns) => {
+                    for (i, lsn) in lsns.iter().enumerate() {
+                        println!("shard {i}: checkpoint written through lsn {lsn}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+}
+
 fn main() {
-    let mut db = match std::env::args().nth(1) {
-        Some(path) => match ChronicleDb::open(&path) {
+    let mut path: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(n) = arg.strip_prefix("shards=") {
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("invalid shard count `{n}` (want shards=N, N >= 1)");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let mut db = match (path, shards) {
+        (Some(path), None) => match ChronicleDb::open(&path) {
             Ok(db) => {
                 let s = db.stats();
                 println!(
                     "opened `{path}` (checkpoint lsn {:?}, {} WAL records replayed)",
                     s.recovery_checkpoint_lsn, s.recovery_replayed_records
                 );
-                db
+                Session::Single(Box::new(db))
             }
             Err(e) => {
                 eprintln!("cannot open `{path}`: {e}");
                 std::process::exit(1);
             }
         },
-        None => ChronicleDb::new(),
+        (Some(path), Some(n)) => match ShardedDb::open(&path, n) {
+            Ok(db) => {
+                let s = db.stats();
+                println!(
+                    "opened `{path}` across {n} shard(s) ({} WAL records replayed)",
+                    s.recovery_replayed_records
+                );
+                Session::Sharded(Box::new(db))
+            }
+            Err(e) => {
+                eprintln!("cannot open `{path}` with {n} shard(s): {e}");
+                std::process::exit(1);
+            }
+        },
+        (None, Some(n)) => Session::Sharded(Box::new(ShardedDb::new(n).expect("shards >= 1"))),
+        (None, None) => Session::Single(Box::new(ChronicleDb::new())),
     };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -61,16 +165,7 @@ fn main() {
         match line {
             ".quit" | ".exit" => break,
             ".views" => {
-                for v in db.maintainer().iter_views() {
-                    println!(
-                        "{:<24} {:<10} {:<12} rows={:<8} {}",
-                        v.name(),
-                        v.expr().language_name(),
-                        v.expr().im_class().to_string(),
-                        v.len(),
-                        v.expr()
-                    );
-                }
+                db.print_views();
                 continue;
             }
             ".stats" => {
@@ -95,10 +190,7 @@ fn main() {
                 continue;
             }
             ".checkpoint" | "\\checkpoint" => {
-                match db.checkpoint() {
-                    Ok(lsn) => println!("checkpoint written through lsn {lsn}"),
-                    Err(e) => println!("error: {e}"),
-                }
+                db.checkpoint();
                 continue;
             }
             _ => {}

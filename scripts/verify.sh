@@ -14,6 +14,9 @@ cargo fmt --all --check
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
+echo "== clippy (offline, deny warnings) =="
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "== examples (offline) =="
 cargo build --offline --examples
 
@@ -28,6 +31,11 @@ echo "== crash-recovery gate (offline) =="
 # point, plus the restart/checkpoint round trips.
 cargo test -q --offline --test restart
 cargo test -q --offline --test failure_injection
+
+echo "== sharded maintenance gate (offline) =="
+# The concurrent-shard property test: sharded view states must be
+# byte-identical to the single-threaded reference at SHARDS=4.
+SHARDS=4 cargo test -q --offline --test maintenance_independence
 # End-to-end reopen through the repl: write a durable database in one
 # process, abandon it without a clean shutdown, and query the recovered
 # view from a second process.

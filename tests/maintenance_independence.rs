@@ -6,8 +6,11 @@
 //! are exact, so the comparison is equality, not a tolerance.
 
 use chronicle::algebra::WorkCounter;
-use chronicle::db::ChronicleDb;
+use chronicle::db::pipeline::ShardedPipeline;
+use chronicle::db::{ChronicleDb, ShardedDb};
 use chronicle::prelude::*;
+use chronicle_testkit::prop::{floats, ints, pair, vec_of};
+use chronicle_testkit::{prop_assert_eq, prop_test};
 
 fn build_db() -> ChronicleDb {
     let mut db = ChronicleDb::new();
@@ -121,5 +124,108 @@ fn per_append_work_is_linear_in_batch_size() {
     // Below saturation the curve is still monotone.
     for pair in works[..8].windows(2) {
         assert!(pair[0].total() < pair[1].total());
+    }
+}
+
+/// Number of chronicle groups in the sharded-equivalence property test.
+const GROUPS: i64 = 4;
+
+/// Shard count for the sharded-equivalence property test; `SHARDS=n`
+/// overrides (verify.sh runs the suite with `SHARDS=4`).
+fn shard_count() -> usize {
+    std::env::var("SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// DDL shared by the sharded and single-threaded runs: `GROUPS` chronicle
+/// groups, one chronicle each, and two views per group (an unguarded SUM
+/// and a guarded one, so maintenance exercises both selection paths).
+fn sharded_prop_ddl() -> Vec<String> {
+    let mut ddl = Vec::new();
+    for g in 0..GROUPS {
+        ddl.push(format!("CREATE GROUP g{g}"));
+        ddl.push(format!(
+            "CREATE CHRONICLE c{g} (sn SEQ, acct INT, amount FLOAT) IN GROUP g{g}"
+        ));
+        ddl.push(format!(
+            "CREATE VIEW v{g} AS SELECT acct, SUM(amount) AS total FROM c{g} GROUP BY acct"
+        ));
+        ddl.push(format!(
+            "CREATE VIEW w{g} AS SELECT acct, COUNT(*) AS n FROM c{g} \
+             WHERE amount > 5.0 GROUP BY acct"
+        ));
+    }
+    ddl
+}
+
+prop_test! {
+    /// Theorem 4.1, concurrently: hash-sharding maintenance by chronicle
+    /// group and running every shard on its own thread must produce view
+    /// states identical to the single-threaded serial engine. Each group's
+    /// appends are issued by a dedicated producer thread (per-group order
+    /// preserved, cross-group order deliberately scrambled by the
+    /// scheduler), so any hidden cross-group coupling in the sharded
+    /// engine shows up as a snapshot mismatch.
+    fn sharded_maintenance_matches_single_threaded(cases = 8, seed = 0x5A4D;
+        ops in vec_of(
+            pair(ints(0..GROUPS), pair(ints(0..6i64), floats(0.5..9.5))),
+            20..120,
+        )
+    ) {
+        // Per-op chronons: the global op index keeps every group's
+        // subsequence strictly monotone, and both runs stamp identically.
+        let ops: Vec<(i64, i64, f64, i64)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, (g, (acct, amount)))| (*g, *acct, *amount, i as i64 + 1))
+            .collect();
+
+        // Single-threaded reference: one serial engine, generated order.
+        let mut reference = ChronicleDb::new();
+        for stmt in sharded_prop_ddl() {
+            reference.execute(&stmt).unwrap();
+        }
+        for (g, acct, amount, at) in &ops {
+            reference
+                .append(
+                    &format!("c{g}"),
+                    Chronon(*at),
+                    &[vec![Value::Int(*acct), Value::Float(*amount)]],
+                )
+                .unwrap();
+        }
+
+        // Sharded run: same DDL, appends fanned out by one producer
+        // thread per group through the sharded pipeline.
+        let mut sharded = ShardedDb::new(shard_count()).unwrap();
+        for stmt in sharded_prop_ddl() {
+            sharded.execute(&stmt).unwrap();
+        }
+        let pipeline = ShardedPipeline::start(sharded, 8);
+        let handle = pipeline.handle();
+        std::thread::scope(|scope| {
+            for g in 0..GROUPS {
+                let handle = handle.clone();
+                let ops = &ops;
+                scope.spawn(move || {
+                    for (og, acct, amount, at) in ops.iter().filter(|(og, ..)| *og == g) {
+                        handle
+                            .append(
+                                &format!("c{og}"),
+                                Chronon(*at),
+                                vec![vec![Value::Int(*acct), Value::Float(*amount)]],
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let sharded = pipeline.shutdown();
+
+        let mut expect = reference.snapshot_views();
+        expect.sort();
+        prop_assert_eq!(sharded.snapshot_views(), expect);
     }
 }

@@ -35,8 +35,12 @@ fn ingest(dbs: &mut [&mut ChronicleDb], seed: u64, n: usize, base_chronon: i64) 
         let row = gen.next_row();
         let vals = vec![row[0].clone(), row[1].clone()];
         for db in dbs.iter_mut() {
-            db.append("atm", Chronon(base_chronon + i as i64), &[vals.clone()])
-                .unwrap();
+            db.append(
+                "atm",
+                Chronon(base_chronon + i as i64),
+                std::slice::from_ref(&vals),
+            )
+            .unwrap();
         }
     }
 }
@@ -278,9 +282,9 @@ fn snapshot_restore_reconstructs_all_views() {
         })
         .collect();
     for (i, row) in suffix.iter().enumerate() {
-        db.append("atm", Chronon(1_000 + i as i64), &[row.clone()])
+        db.append("atm", Chronon(1_000 + i as i64), std::slice::from_ref(row))
             .unwrap();
-        db2.append("atm", Chronon(i as i64), &[row.clone()])
+        db2.append("atm", Chronon(i as i64), std::slice::from_ref(row))
             .unwrap();
     }
     for name in ["balances", "extremes", "seen_accts"] {
