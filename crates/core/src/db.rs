@@ -2,12 +2,14 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use chronicle_algebra::ScaExpr;
 use chronicle_durability::{
     checkpoint, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage, RelationImage, Wal,
     WalRecord,
 };
+use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{
     parse, plan_view, resolve_literal_row, CalendarSpec, RetentionSpec, Statement,
 };
@@ -52,6 +54,7 @@ pub enum ExecOutcome {
 /// Live durability plumbing for a database opened at a path.
 #[derive(Debug)]
 struct DurabilityState {
+    vfs: Arc<dyn Vfs>,
     wal: Wal,
     dir: PathBuf,
     opts: DurabilityOptions,
@@ -98,14 +101,26 @@ impl ChronicleDb {
 
     /// [`ChronicleDb::open`] with explicit durability options.
     pub fn open_with(path: impl AsRef<Path>, opts: DurabilityOptions) -> Result<ChronicleDb> {
+        Self::open_with_vfs(RealFs::arc(), path, opts)
+    }
+
+    /// [`ChronicleDb::open_with`] over an explicit filesystem — the entry
+    /// point the deterministic simulation harness uses to run the whole
+    /// recovery path against an in-memory fault-injecting filesystem.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        opts: DurabilityOptions,
+    ) -> Result<ChronicleDb> {
         let dir = path.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir).map_err(|e| ChronicleError::Durability {
-            detail: format!("creating database directory {}: {e}", dir.display()),
-        })?;
-        let (image, skipped) = checkpoint::load_latest(&dir)?;
+        vfs.create_dir_all(&dir)
+            .map_err(|e| ChronicleError::Durability {
+                detail: format!("creating database directory {}: {e}", dir.display()),
+            })?;
+        let (image, skipped) = checkpoint::load_latest_with_vfs(vfs.as_ref(), &dir)?;
         let checkpoint_lsn = image.as_ref().map(|i| i.lsn);
         let floor = checkpoint_lsn.unwrap_or(0);
-        let (wal, tail) = Wal::open(dir.join("wal"), opts, floor)?;
+        let (wal, tail) = Wal::open_with_vfs(Arc::clone(&vfs), dir.join("wal"), opts, floor)?;
         let mut db = ChronicleDb::new();
         if let Some(img) = image {
             db.restore_from_image(img)?;
@@ -122,6 +137,7 @@ impl ChronicleDb {
         db.stats.recovery_skipped_checkpoints = skipped as u64;
         // Attach the WAL only now: recovery itself must never re-log.
         db.durability = Some(DurabilityState {
+            vfs,
             wal,
             dir,
             opts,
@@ -152,7 +168,13 @@ impl ChronicleDb {
         };
         let image = self.build_checkpoint_image(lsn);
         let st = self.durability.as_mut().expect("checked above");
-        checkpoint::write(&st.dir, &image, st.opts.keep_checkpoints, st.opts.fsync)?;
+        checkpoint::write_with_vfs(
+            st.vfs.as_ref(),
+            &st.dir,
+            &image,
+            st.opts.keep_checkpoints,
+            st.opts.fsync,
+        )?;
         st.wal.rotate()?;
         st.wal.truncate_through(lsn)?;
         st.records_since_checkpoint = 0;
@@ -280,10 +302,19 @@ impl ChronicleDb {
         }
         self.tick = img.tick;
         for g in img.groups {
-            let gid = self
-                .catalog
-                .group_id(&g.name)
-                .map_err(|e| corrupt(format!("checkpoint/DDL mismatch: {e}")))?;
+            let gid = match self.catalog.group_id(&g.name) {
+                Ok(id) => id,
+                // A lazily derived group (created without its own DDL
+                // statement, e.g. `default`): recreate it from its image.
+                Err(_) => {
+                    let id = self
+                        .catalog
+                        .create_group(&g.name)
+                        .map_err(|e| corrupt(format!("recreating group `{}`: {e}", g.name)))?;
+                    self.default_group.get_or_insert(id);
+                    id
+                }
+            };
             self.catalog
                 .group_mut(gid)
                 .restore_watermark(g.high_water, g.last_at);
@@ -395,11 +426,32 @@ impl ChronicleDb {
         Ok(id)
     }
 
+    /// The lazily created `default` group is *derived* state, never
+    /// logged on its own: the statement that needed it (`CREATE
+    /// CHRONICLE` without `IN GROUP`) re-runs this path during WAL
+    /// replay and checkpoint-DDL replay, recreating the group at the
+    /// same point. Logging it separately would split one statement
+    /// across two WAL commits, and a crash between them would recover a
+    /// half-applied statement that no legal history explains.
     fn default_group(&mut self) -> Result<GroupId> {
         match self.default_group {
             Some(g) => Ok(g),
-            None => self.create_group("default"),
+            None => {
+                let id = self.catalog.create_group("default")?;
+                self.default_group = Some(id);
+                Ok(id)
+            }
         }
+    }
+
+    /// Chronon stamp for relation versioning: the default group's
+    /// high-water, or `SeqNo(0)` before any group exists. Relation DML
+    /// deliberately does not materialize a group as a side effect — a
+    /// relation statement must stay a single WAL record.
+    fn relation_stamp(&self) -> SeqNo {
+        self.default_group
+            .map(|g| self.catalog.group(g).high_water())
+            .unwrap_or(SeqNo(0))
     }
 
     /// Create a chronicle (in the default group unless `group` is given).
@@ -412,7 +464,18 @@ impl ChronicleDb {
     ) -> Result<ChronicleId> {
         let gid = match group {
             Some(g) => self.catalog.group_id(g)?,
-            None => self.default_group()?,
+            None => {
+                // Validate before the lazy group creation: a rejected
+                // statement must not leave the group behind (it would be
+                // invisible to the log yet persisted by checkpoints).
+                if self.catalog.chronicle_id(name).is_ok() {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "chronicle",
+                        name: name.into(),
+                    });
+                }
+                self.default_group()?
+            }
         };
         let sql = ddl_for_chronicle(name, &schema, group, retention);
         let id = self
@@ -590,13 +653,13 @@ impl ChronicleDb {
     /// Insert a tuple into a relation.
     pub fn insert_relation(&mut self, name: &str, tuple: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
-        let g = self.default_group()?;
+        let at = self.relation_stamp();
         let logged = self.durability.is_some().then(|| WalRecord::RelInsert {
             relation: name.to_string(),
-            at: self.catalog.group(g).high_water(),
+            at,
             tuple: tuple.clone(),
         });
-        self.catalog.relation_insert(rid, g, tuple)?;
+        self.catalog.relation_mut(rid).insert(tuple, at)?;
         if let Some(rec) = logged {
             self.log_record(rec)?;
         }
@@ -606,14 +669,14 @@ impl ChronicleDb {
     /// Update a relation tuple by primary key.
     pub fn update_relation(&mut self, name: &str, key: &[Value], new: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
-        let g = self.default_group()?;
+        let at = self.relation_stamp();
         let logged = self.durability.is_some().then(|| WalRecord::RelUpdate {
             relation: name.to_string(),
-            at: self.catalog.group(g).high_water(),
+            at,
             key: key.to_vec(),
             new: new.clone(),
         });
-        self.catalog.relation_update(rid, g, key, new)?;
+        self.catalog.relation_mut(rid).update_by_key(key, new, at)?;
         if let Some(rec) = logged {
             self.log_record(rec)?;
         }
@@ -623,13 +686,13 @@ impl ChronicleDb {
     /// Delete a relation tuple.
     pub fn delete_relation(&mut self, name: &str, tuple: &Tuple) -> Result<bool> {
         let rid = self.catalog.relation_id(name)?;
-        let g = self.default_group()?;
+        let at = self.relation_stamp();
         let logged = self.durability.is_some().then(|| WalRecord::RelDelete {
             relation: name.to_string(),
-            at: self.catalog.group(g).high_water(),
+            at,
             tuple: tuple.clone(),
         });
-        let removed = self.catalog.relation_delete(rid, g, tuple)?;
+        let removed = self.catalog.relation_mut(rid).delete(tuple, at)?;
         if removed {
             if let Some(rec) = logged {
                 self.log_record(rec)?;

@@ -37,8 +37,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::Arc;
 
 use chronicle_durability::{DurabilityOptions, ShardManifest};
+use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{parse, Statement};
 use chronicle_types::{ChronicleError, Chronon, Result, Tuple, Value};
 
@@ -161,16 +163,33 @@ impl ShardedDb {
         shards: usize,
         opts: DurabilityOptions,
     ) -> Result<ShardedDb> {
+        Self::open_with_vfs(RealFs::arc(), path, shards, opts)
+    }
+
+    /// [`ShardedDb::open_with`] against an explicit filesystem — the hook
+    /// the deterministic simulation harness uses to run every shard over
+    /// one shared [`SimFs`](chronicle_simkit::SimFs) world. Note the
+    /// parallel per-shard recovery: a `SimFs` fault plan (crash countdown,
+    /// short reads) trips in thread-scheduling order here, so simulation
+    /// drivers clear fault plans before a sharded reopen and inject faults
+    /// only while the database is serially executing.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        shards: usize,
+        opts: DurabilityOptions,
+    ) -> Result<ShardedDb> {
         if shards == 0 {
             return Err(ChronicleError::Internal(
                 "a sharded database needs at least one shard".into(),
             ));
         }
         let root = path.as_ref();
-        std::fs::create_dir_all(root).map_err(|e| ChronicleError::Durability {
-            detail: format!("creating database directory {}: {e}", root.display()),
-        })?;
-        match ShardManifest::load(root)? {
+        vfs.create_dir_all(root)
+            .map_err(|e| ChronicleError::Durability {
+                detail: format!("creating database directory {}: {e}", root.display()),
+            })?;
+        match ShardManifest::load_with_vfs(vfs.as_ref(), root)? {
             Some(m) if m.shards as usize != shards => {
                 return Err(ChronicleError::Durability {
                     detail: format!(
@@ -186,13 +205,14 @@ impl ShardedDb {
             None => ShardManifest {
                 shards: shards as u32,
             }
-            .write(root, opts.fsync)?,
+            .write_with_vfs(vfs.as_ref(), root, opts.fsync)?,
         }
         let recovered: Vec<Result<ChronicleDb>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..shards)
                 .map(|i| {
                     let dir = ShardManifest::shard_dir(root, i);
-                    s.spawn(move || ChronicleDb::open_with(dir, opts))
+                    let vfs = Arc::clone(&vfs);
+                    s.spawn(move || ChronicleDb::open_with_vfs(vfs, dir, opts))
                 })
                 .collect();
             handles

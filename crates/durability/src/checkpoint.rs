@@ -24,10 +24,9 @@
 //! one; the WAL gap check in [`crate::Wal::open`] then decides loudly
 //! whether the log still reaches back far enough to recover from it.
 
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use chronicle_simkit::{RealFs, Vfs};
 use chronicle_types::codec::{Reader, Writer};
 use chronicle_types::{ChronicleError, Chronon, Result, SeqNo, Tuple};
 
@@ -271,33 +270,46 @@ fn ckpt_name(lsn: u64) -> String {
     format!("ckpt-{lsn:020}.ckpt")
 }
 
-fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
-    let mut out: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out: Vec<(u64, PathBuf)> = vfs
+        .list(dir)
         .map_err(|e| ChronicleError::Durability {
             detail: format!("listing checkpoint directory {}: {e}", dir.display()),
         })?
-        .filter_map(|entry| {
-            let entry = entry.ok()?;
-            let name = entry.file_name();
-            let lsn: u64 = name
+        .into_iter()
+        .filter_map(|path| {
+            let lsn: u64 = path
+                .file_name()?
                 .to_str()?
                 .strip_prefix("ckpt-")?
                 .strip_suffix(".ckpt")?
                 .parse()
                 .ok()?;
-            Some((lsn, entry.path()))
+            Some((lsn, path))
         })
         .collect();
     out.sort();
     Ok(out)
 }
 
+/// [`write_with_vfs`] on the real filesystem.
+pub fn write(dir: &Path, image: &CheckpointImage, keep: usize, fsync: bool) -> Result<PathBuf> {
+    write_with_vfs(&RealFs, dir, image, keep, fsync)
+}
+
 /// Durably write `image` to `dir` (tmp + fsync + atomic rename), then
 /// prune to the newest `keep` checkpoint files.
-pub fn write(dir: &Path, image: &CheckpointImage, keep: usize, fsync: bool) -> Result<PathBuf> {
-    fs::create_dir_all(dir).map_err(|e| ChronicleError::Durability {
-        detail: format!("creating checkpoint directory {}: {e}", dir.display()),
-    })?;
+pub fn write_with_vfs(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    image: &CheckpointImage,
+    keep: usize,
+    fsync: bool,
+) -> Result<PathBuf> {
+    vfs.create_dir_all(dir)
+        .map_err(|e| ChronicleError::Durability {
+            detail: format!("creating checkpoint directory {}: {e}", dir.display()),
+        })?;
     let io = |context: &str, p: &Path, e: std::io::Error| ChronicleError::Durability {
         detail: format!("{context} {}: {e}", p.display()),
     };
@@ -305,37 +317,45 @@ pub fn write(dir: &Path, image: &CheckpointImage, keep: usize, fsync: bool) -> R
     let tmp = dir.join(format!("ckpt-{:020}.tmp", image.lsn));
     let dest = dir.join(ckpt_name(image.lsn));
     {
-        let mut f = File::create(&tmp).map_err(|e| io("creating checkpoint", &tmp, e))?;
+        let mut f = vfs
+            .create(&tmp)
+            .map_err(|e| io("creating checkpoint", &tmp, e))?;
         f.write_all(&bytes)
             .map_err(|e| io("writing checkpoint", &tmp, e))?;
         if fsync {
-            f.sync_all()
+            f.sync_data()
                 .map_err(|e| io("syncing checkpoint", &tmp, e))?;
         }
     }
-    fs::rename(&tmp, &dest).map_err(|e| io("publishing checkpoint", &dest, e))?;
+    vfs.rename(&tmp, &dest)
+        .map_err(|e| io("publishing checkpoint", &dest, e))?;
     if fsync {
-        sync_dir(dir)?;
+        sync_dir(vfs, dir)?;
     }
-    let mut all = list_checkpoints(dir)?;
+    let mut all = list_checkpoints(vfs, dir)?;
     while all.len() > keep.max(1) {
         let (_, old) = all.remove(0);
-        let _ = fs::remove_file(old);
+        let _ = vfs.remove_file(&old);
     }
     Ok(dest)
+}
+
+/// [`load_latest_with_vfs`] on the real filesystem.
+pub fn load_latest(dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
+    load_latest_with_vfs(&RealFs, dir)
 }
 
 /// Load the newest valid checkpoint in `dir`, skipping unreadable ones.
 /// Returns the image (if any) and how many invalid files were skipped.
 /// `.tmp` files from interrupted writes are ignored entirely.
-pub fn load_latest(dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
-    if !dir.exists() {
+pub fn load_latest_with_vfs(vfs: &dyn Vfs, dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
+    if !vfs.exists(dir) {
         return Ok((None, 0));
     }
-    let mut all = list_checkpoints(dir)?;
+    let mut all = list_checkpoints(vfs, dir)?;
     let mut skipped = 0;
     while let Some((_, path)) = all.pop() {
-        let bytes = fs::read(&path).map_err(|e| ChronicleError::Durability {
+        let bytes = vfs.read(&path).map_err(|e| ChronicleError::Durability {
             detail: format!("reading checkpoint {}: {e}", path.display()),
         })?;
         match CheckpointImage::decode(&bytes) {
@@ -403,8 +423,8 @@ mod tests {
 
     #[test]
     fn write_load_prune() {
-        let dir = std::env::temp_dir().join(format!("chronicle-ckpt-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let tmp = chronicle_testkit::TempDir::new("chronicle-ckpt");
+        let dir = tmp.join("db");
         assert_eq!(load_latest(&dir).unwrap(), (None, 0));
         for lsn in [3, 9, 27] {
             write(&dir, &sample(lsn), 2, false).unwrap();
@@ -413,18 +433,17 @@ mod tests {
         assert_eq!(img.unwrap().lsn, 27);
         assert_eq!(skipped, 0);
         // Pruned to 2.
-        assert_eq!(list_checkpoints(&dir).unwrap().len(), 2);
+        assert_eq!(list_checkpoints(&RealFs, &dir).unwrap().len(), 2);
         // A corrupt newest falls back to the previous one.
         let newest = dir.join(ckpt_name(27));
-        let mut bytes = fs::read(&newest).unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
         bytes[10] ^= 0xFF;
-        fs::write(&newest, &bytes).unwrap();
+        std::fs::write(&newest, &bytes).unwrap();
         let (img, skipped) = load_latest(&dir).unwrap();
         assert_eq!(img.unwrap().lsn, 9);
         assert_eq!(skipped, 1);
         // Leftover .tmp files are ignored.
-        fs::write(dir.join("ckpt-00000000000000000099.tmp"), b"junk").unwrap();
+        std::fs::write(dir.join("ckpt-00000000000000000099.tmp"), b"junk").unwrap();
         assert_eq!(load_latest(&dir).unwrap().0.unwrap().lsn, 9);
-        fs::remove_dir_all(&dir).unwrap();
     }
 }

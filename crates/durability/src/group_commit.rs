@@ -105,14 +105,15 @@ impl GroupCommit {
 mod tests {
     use super::*;
     use crate::DurabilityOptions;
+    use chronicle_testkit::TempDir;
     use chronicle_types::{Chronon, SeqNo};
     use std::sync::Arc;
 
     #[test]
     fn concurrent_commits_coalesce_flushes() {
-        let dir = std::env::temp_dir().join(format!("chronicle-gc-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let (wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        let tmp = TempDir::new("chronicle-gc");
+        let dir = tmp.path();
+        let (wal, _) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
         let gc = Arc::new(GroupCommit::new(wal));
         let threads = 8;
         let per_thread = 200u64;
@@ -146,8 +147,7 @@ mod tests {
         // Every committed record really is on disk.
         let gc = Arc::into_inner(gc).expect("all committers joined");
         drop(gc.into_wal());
-        let (_, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        let (_, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
         assert_eq!(tail.len(), total as usize);
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,9 +12,9 @@
 //! a CRC-32 of the count. It is written once at creation time via the
 //! usual tmp + rename + dir-sync dance and never modified afterwards.
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use chronicle_simkit::{RealFs, Vfs};
 use chronicle_types::{ChronicleError, Result};
 
 use crate::crc::crc32;
@@ -39,13 +39,18 @@ impl ShardManifest {
         root.join(format!("shard-{i:03}"))
     }
 
+    /// [`ShardManifest::load_with_vfs`] on the real filesystem.
+    pub fn load(root: &Path) -> Result<Option<ShardManifest>> {
+        Self::load_with_vfs(&RealFs, root)
+    }
+
     /// Read the manifest under `root`, if one exists. A present-but-invalid
     /// manifest is loud [`ChronicleError::Corruption`], never a silent
     /// `None`: guessing a shard count would scatter groups across the
     /// wrong shards.
-    pub fn load(root: &Path) -> Result<Option<ShardManifest>> {
+    pub fn load_with_vfs(vfs: &dyn Vfs, root: &Path) -> Result<Option<ShardManifest>> {
         let path = root.join(MANIFEST_FILE);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
@@ -79,10 +84,15 @@ impl ShardManifest {
         Ok(Some(ShardManifest { shards }))
     }
 
+    /// [`ShardManifest::write_with_vfs`] on the real filesystem.
+    pub fn write(&self, root: &Path, fsync: bool) -> Result<()> {
+        self.write_with_vfs(&RealFs, root, fsync)
+    }
+
     /// Persist the manifest under `root` (which must exist): write to a
     /// temporary name, rename into place, and optionally sync the
     /// directory so the rename itself is durable.
-    pub fn write(&self, root: &Path, fsync: bool) -> Result<()> {
+    pub fn write_with_vfs(&self, vfs: &dyn Vfs, root: &Path, fsync: bool) -> Result<()> {
         let io_err = |what: &str, e: std::io::Error| ChronicleError::Durability {
             detail: format!("{what} shard manifest in {}: {e}", root.display()),
         };
@@ -92,15 +102,16 @@ impl ShardManifest {
         bytes.extend_from_slice(&crc32(&self.shards.to_le_bytes()).to_le_bytes());
         let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
         let final_path = root.join(MANIFEST_FILE);
-        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("creating", e))?;
+        let mut f = vfs.create(&tmp).map_err(|e| io_err("creating", e))?;
         f.write_all(&bytes).map_err(|e| io_err("writing", e))?;
         if fsync {
-            f.sync_all().map_err(|e| io_err("syncing", e))?;
+            f.sync_data().map_err(|e| io_err("syncing", e))?;
         }
         drop(f);
-        std::fs::rename(&tmp, &final_path).map_err(|e| io_err("publishing", e))?;
+        vfs.rename(&tmp, &final_path)
+            .map_err(|e| io_err("publishing", e))?;
         if fsync {
-            sync_dir(root)?;
+            sync_dir(vfs, root)?;
         }
         Ok(())
     }
@@ -109,39 +120,32 @@ impl ShardManifest {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn tmpdir(name: &str) -> PathBuf {
-        let d =
-            std::env::temp_dir().join(format!("chronicle-manifest-{name}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
-    }
+    use chronicle_testkit::TempDir;
 
     #[test]
     fn round_trip() {
-        let d = tmpdir("round-trip");
-        assert_eq!(ShardManifest::load(&d).unwrap(), None);
+        let tmp = TempDir::new("chronicle-manifest-round-trip");
+        let d = tmp.path();
+        assert_eq!(ShardManifest::load(d).unwrap(), None);
         let m = ShardManifest { shards: 4 };
-        m.write(&d, false).unwrap();
-        assert_eq!(ShardManifest::load(&d).unwrap(), Some(m));
-        std::fs::remove_dir_all(&d).unwrap();
+        m.write(d, false).unwrap();
+        assert_eq!(ShardManifest::load(d).unwrap(), Some(m));
     }
 
     #[test]
     fn damage_is_loud() {
-        let d = tmpdir("damage");
-        ShardManifest { shards: 2 }.write(&d, false).unwrap();
+        let tmp = TempDir::new("chronicle-manifest-damage");
+        let d = tmp.path();
+        ShardManifest { shards: 2 }.write(d, false).unwrap();
         let path = d.join(MANIFEST_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[9] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
-            ShardManifest::load(&d),
+            ShardManifest::load(d),
             Err(ChronicleError::Corruption { .. })
         ));
         std::fs::write(&path, b"short").unwrap();
-        assert!(ShardManifest::load(&d).is_err());
-        std::fs::remove_dir_all(&d).unwrap();
+        assert!(ShardManifest::load(d).is_err());
     }
 }

@@ -23,17 +23,25 @@
 //! truncates the file back to the last valid record (the discarded bytes
 //! were never acknowledged — acks happen after flush). The same damage
 //! anywhere else cannot be explained by a torn write, so it is reported as
-//! [`ChronicleError::Corruption`] and recovery refuses to proceed.
+//! [`ChronicleError::Corruption`] and recovery refuses to proceed. One
+//! exception: a missing *run* of segments that lies entirely at or below
+//! the checkpoint floor is tolerated — checkpoint truncation unlinks
+//! covered segments, and a crash can persist some of those unlinks but not
+//! others, leaving a gap that the checkpoint fully covers.
 //!
 //! Appends are buffered in memory; [`Wal::flush`] writes the buffer to the
 //! active segment in one `write` call (and `fdatasync`s it when the
 //! `fsync` policy knob is on). Group commit falls out of this split: many
 //! appends, one flush, then ack them all.
+//!
+//! All filesystem access goes through [`Vfs`]: production uses
+//! [`RealFs`](chronicle_simkit::RealFs) (plain `std::fs`), the simulation
+//! harness substitutes an in-memory filesystem with fault injection.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use chronicle_simkit::{RealFs, Vfs, VfsFile};
 use chronicle_types::{ChronicleError, Result};
 
 use crate::crc::crc32;
@@ -66,11 +74,12 @@ pub struct WalStats {
 /// A segmented, CRC-checksummed write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     opts: DurabilityOptions,
     /// Sealed segments as `(first_lsn, path)`, ascending.
     sealed: Vec<(u64, PathBuf)>,
-    active: File,
+    active: Box<dyn VfsFile>,
     active_path: PathBuf,
     active_first_lsn: u64,
     active_len: u64,
@@ -78,6 +87,12 @@ pub struct Wal {
     buf_records: u64,
     next_lsn: u64,
     stats: WalStats,
+    /// Set when a flush or rotation hit an I/O error. The records in
+    /// flight were reported failed to the caller, so they must never
+    /// reach the log afterwards: recovery may already have repaired the
+    /// file and handed the same LSNs to a fresh log. A poisoned `Wal`
+    /// refuses all further writes and its `Drop` is a no-op.
+    poisoned: bool,
 }
 
 fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
@@ -151,28 +166,43 @@ fn parse_frame(
 }
 
 impl Wal {
-    /// Open (or create) the log in `dir`, validating every segment.
-    ///
-    /// `floor` is the LSN through which the latest checkpoint already
-    /// covers the state; records at or below it are validated but not
-    /// returned. Returns the log handle plus the tail of records above the
-    /// floor, in LSN order. A torn tail in the final segment is repaired
-    /// by truncating the file; damage anywhere else is an error.
+    /// Open (or create) the log in `dir` on the real filesystem. See
+    /// [`Wal::open_with_vfs`].
     pub fn open(
         dir: impl AsRef<Path>,
         opts: DurabilityOptions,
         floor: u64,
     ) -> Result<(Wal, Vec<(u64, WalRecord)>)> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir).map_err(|e| io_err("creating WAL directory", &dir, e))?;
+        Self::open_with_vfs(RealFs::arc(), dir, opts, floor)
+    }
 
-        let mut segs: Vec<(u64, PathBuf)> = fs::read_dir(&dir)
+    /// Open (or create) the log in `dir` over `vfs`, validating every
+    /// segment.
+    ///
+    /// `floor` is the LSN through which the latest checkpoint already
+    /// covers the state; records at or below it are validated but not
+    /// returned. Returns the log handle plus the tail of records above the
+    /// floor, in LSN order. A torn tail in the final segment is repaired
+    /// by truncating the file; damage anywhere else is an error, except a
+    /// segment gap that lies entirely at or below the floor (a partially
+    /// persisted checkpoint truncation).
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+        floor: u64,
+    ) -> Result<(Wal, Vec<(u64, WalRecord)>)> {
+        let dir = dir.as_ref().to_path_buf();
+        vfs.create_dir_all(&dir)
+            .map_err(|e| io_err("creating WAL directory", &dir, e))?;
+
+        let mut segs: Vec<(u64, PathBuf)> = vfs
+            .list(&dir)
             .map_err(|e| io_err("listing WAL directory", &dir, e))?
-            .filter_map(|entry| {
-                let entry = entry.ok()?;
-                let name = entry.file_name();
-                let first = parse_segment_name(name.to_str()?)?;
-                Some((first, entry.path()))
+            .into_iter()
+            .filter_map(|path| {
+                let first = parse_segment_name(path.file_name()?.to_str()?)?;
+                Some((first, path))
             })
             .collect();
         segs.sort();
@@ -184,13 +214,15 @@ impl Wal {
         let count = segs.len();
         for (i, (named_first, path)) in segs.into_iter().enumerate() {
             let last = i + 1 == count;
-            let data = fs::read(&path).map_err(|e| io_err("reading WAL segment", &path, e))?;
+            let data = vfs
+                .read(&path)
+                .map_err(|e| io_err("reading WAL segment", &path, e))?;
             if data.len() < HEADER_LEN || &data[..8] != MAGIC {
                 if last {
                     // A crash while creating a fresh segment: nothing in it
                     // was ever acknowledged, so drop the file.
                     stats.torn_bytes_discarded += data.len() as u64;
-                    fs::remove_file(&path)
+                    vfs.remove_file(&path)
                         .map_err(|e| io_err("removing torn WAL segment", &path, e))?;
                     continue;
                 }
@@ -208,6 +240,12 @@ impl Wal {
                 });
             }
             match expected {
+                // A forward gap entirely at or below the checkpoint floor:
+                // checkpoint truncation unlinked a covered segment and the
+                // unlink persisted while an older segment's did not. Every
+                // missing record is covered by the checkpoint, so the chain
+                // safely restarts here.
+                Some(exp) if first > exp && first <= floor + 1 => {}
                 Some(exp) if first != exp => {
                     return Err(ChronicleError::Corruption {
                         detail: format!(
@@ -239,11 +277,12 @@ impl Wal {
                     }
                     Err(FrameError::Torn(_)) if last => {
                         stats.torn_bytes_discarded += (data.len() - pos) as u64;
-                        let f = OpenOptions::new()
-                            .write(true)
-                            .open(&path)
-                            .map_err(|e| io_err("repairing torn WAL segment", &path, e))?;
-                        f.set_len(pos as u64)
+                        // The truncation must be durable before the fresh
+                        // active segment below can accept new records:
+                        // otherwise a later crash can resurrect the stale
+                        // tail bytes next to newly acknowledged records in
+                        // the following segment. Vfs::truncate persists.
+                        vfs.truncate(&path, pos as u64)
                             .map_err(|e| io_err("truncating torn WAL segment", &path, e))?;
                         break;
                     }
@@ -273,7 +312,8 @@ impl Wal {
         // nothing, but it must not stay listed as sealed.
         let active_path = dir.join(segment_name(next_lsn));
         kept.retain(|(_, p)| *p != active_path);
-        let mut active = File::create(&active_path)
+        let mut active = vfs
+            .create(&active_path)
             .map_err(|e| io_err("creating WAL segment", &active_path, e))?;
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(MAGIC);
@@ -286,11 +326,12 @@ impl Wal {
             active
                 .sync_data()
                 .map_err(|e| io_err("syncing WAL segment", &active_path, e))?;
-            sync_dir(&dir)?;
+            sync_dir(vfs.as_ref(), &dir)?;
         }
 
         Ok((
             Wal {
+                vfs,
                 dir,
                 opts,
                 sealed: kept,
@@ -302,6 +343,7 @@ impl Wal {
                 buf_records: 0,
                 next_lsn,
                 stats,
+                poisoned: false,
             },
             tail,
         ))
@@ -310,6 +352,7 @@ impl Wal {
     /// Append a record to the in-memory buffer; returns its LSN. The
     /// record is durable only after the next [`Wal::flush`].
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64> {
+        self.check_poisoned()?;
         let lsn = self.next_lsn;
         let payload = rec.encode();
         let mut body = Vec::with_capacity(8 + payload.len());
@@ -338,27 +381,61 @@ impl Wal {
 
     /// Write all buffered records to the active segment (one write, one
     /// optional `fdatasync`). Returns how many records were flushed.
+    ///
+    /// An I/O error here **poisons** the log: the buffered records were
+    /// just reported failed, so retrying them later — from a subsequent
+    /// call or from `Drop` — would append records the caller believes
+    /// lost, possibly after recovery has already repaired this very file
+    /// and reissued the same LSNs to a fresh segment. The buffer is
+    /// discarded and every further write refuses with an error; the only
+    /// way forward is to reopen the database.
     pub fn flush(&mut self) -> Result<u64> {
+        self.check_poisoned()?;
         if self.buf.is_empty() {
             return Ok(0);
         }
-        self.active
-            .write_all(&self.buf)
-            .map_err(|e| io_err("writing WAL segment", &self.active_path, e))?;
+        if let Err(e) = self.active.write_all(&self.buf) {
+            self.poison();
+            return Err(io_err("writing WAL segment", &self.active_path, e));
+        }
         self.active_len += self.buf.len() as u64;
         let n = self.buf_records;
         self.buf.clear();
         self.buf_records = 0;
         if self.opts.fsync {
-            self.active
-                .sync_data()
-                .map_err(|e| io_err("syncing WAL segment", &self.active_path, e))?;
+            if let Err(e) = self.active.sync_data() {
+                // Post-fsync-failure page-cache state is unknowable; never
+                // trust this handle again.
+                self.poison();
+                return Err(io_err("syncing WAL segment", &self.active_path, e));
+            }
         }
         self.stats.flushes += 1;
         Ok(n)
     }
 
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.buf.clear();
+        self.buf_records = 0;
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(ChronicleError::Durability {
+                detail: "WAL poisoned by an earlier I/O failure; reopen the database to recover"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
     /// Seal the active segment and start a new one at the next LSN.
+    ///
+    /// An error once the new segment may exist on disk poisons the log:
+    /// appending to the *old* active segment with a later-named segment
+    /// already present would fork the chain (two segments claiming the
+    /// same LSNs on the next recovery).
     pub fn rotate(&mut self) -> Result<()> {
         self.flush()?;
         if self.active_first_lsn == self.next_lsn {
@@ -368,17 +445,29 @@ impl Wal {
             return Ok(());
         }
         let new_path = self.dir.join(segment_name(self.next_lsn));
-        let mut file =
-            File::create(&new_path).map_err(|e| io_err("creating WAL segment", &new_path, e))?;
+        let mut file = match self.vfs.create(&new_path) {
+            Ok(f) => f,
+            Err(e) => {
+                self.poison();
+                return Err(io_err("creating WAL segment", &new_path, e));
+            }
+        };
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&self.next_lsn.to_le_bytes());
-        file.write_all(&header)
-            .map_err(|e| io_err("writing WAL segment header", &new_path, e))?;
+        if let Err(e) = file.write_all(&header) {
+            self.poison();
+            return Err(io_err("writing WAL segment header", &new_path, e));
+        }
         if self.opts.fsync {
-            file.sync_data()
-                .map_err(|e| io_err("syncing WAL segment", &new_path, e))?;
-            sync_dir(&self.dir)?;
+            if let Err(e) = file.sync_data() {
+                self.poison();
+                return Err(io_err("syncing WAL segment", &new_path, e));
+            }
+            if let Err(e) = sync_dir(self.vfs.as_ref(), &self.dir) {
+                self.poison();
+                return Err(e);
+            }
         }
         let old_path = std::mem::replace(&mut self.active_path, new_path);
         self.sealed.push((self.active_first_lsn, old_path));
@@ -402,7 +491,8 @@ impl Wal {
             let (first, path) = &self.sealed[i];
             // The segment's last record has LSN next_first - 1.
             if next_first > *first && next_first - 1 <= lsn {
-                fs::remove_file(path)
+                self.vfs
+                    .remove_file(path)
                     .map_err(|e| io_err("deleting covered WAL segment", path, e))?;
                 self.stats.segments_deleted += 1;
             } else {
@@ -411,7 +501,7 @@ impl Wal {
         }
         self.sealed = keep;
         if self.opts.fsync {
-            sync_dir(&self.dir)?;
+            sync_dir(self.vfs.as_ref(), &self.dir)?;
         }
         Ok(())
     }
@@ -444,21 +534,26 @@ impl Wal {
 
 impl Drop for Wal {
     fn drop(&mut self) {
+        // `flush` refuses on a poisoned log, so a handle whose last flush
+        // failed cannot resurrect its discarded records here — recovery
+        // may already have repaired the file and reissued those LSNs.
         let _ = self.flush();
     }
 }
 
 /// fsync a directory so renames/creates/unlinks inside it are durable.
-pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
-    let f = File::open(dir).map_err(|e| io_err("opening directory for sync", dir, e))?;
-    f.sync_all()
+pub(crate) fn sync_dir(vfs: &dyn Vfs, dir: &Path) -> Result<()> {
+    vfs.sync_dir(dir)
         .map_err(|e| io_err("syncing directory", dir, e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chronicle_simkit::SimFs;
+    use chronicle_testkit::TempDir;
     use chronicle_types::{tuple, Chronon, SeqNo};
+    use std::fs;
 
     fn rec(i: u64) -> WalRecord {
         WalRecord::Append {
@@ -469,17 +564,12 @@ mod tests {
         }
     }
 
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("chronicle-wal-{name}-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
-        dir
-    }
-
     #[test]
     fn append_flush_reopen_round_trip() {
-        let dir = tmp("roundtrip");
+        let tmp = TempDir::new("chronicle-wal-roundtrip");
+        let dir = tmp.path();
         {
-            let (mut wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            let (mut wal, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
             assert!(tail.is_empty());
             for i in 1..=10 {
                 assert_eq!(wal.append(&rec(i)).unwrap(), i);
@@ -487,36 +577,36 @@ mod tests {
             assert_eq!(wal.flush().unwrap(), 10);
             assert_eq!(wal.flush().unwrap(), 0);
         }
-        let (wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        let (wal, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
         assert_eq!(tail.len(), 10);
         for (i, (lsn, r)) in tail.iter().enumerate() {
             assert_eq!(*lsn, i as u64 + 1);
             assert_eq!(*r, rec(*lsn));
         }
         assert_eq!(wal.last_lsn(), 10);
-        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn floor_filters_tail() {
-        let dir = tmp("floor");
+        let tmp = TempDir::new("chronicle-wal-floor");
+        let dir = tmp.path();
         {
-            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            let (mut wal, _) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
             for i in 1..=6 {
                 wal.append(&rec(i)).unwrap();
             }
             wal.flush().unwrap();
         }
-        let (_, tail) = Wal::open(&dir, DurabilityOptions::default(), 4).unwrap();
+        let (_, tail) = Wal::open(dir, DurabilityOptions::default(), 4).unwrap();
         assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![5, 6]);
-        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn unflushed_records_are_lost_not_corrupt() {
-        let dir = tmp("unflushed");
+        let tmp = TempDir::new("chronicle-wal-unflushed");
+        let dir = tmp.path();
         {
-            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            let (mut wal, _) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
             wal.append(&rec(1)).unwrap();
             wal.flush().unwrap();
             wal.append(&rec(2)).unwrap();
@@ -524,19 +614,19 @@ mod tests {
             wal.buf.clear();
             wal.buf_records = 0;
         }
-        let (_, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+        let (_, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
         assert_eq!(tail.len(), 1);
-        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn segments_rotate_by_size_and_truncate() {
-        let dir = tmp("rotate");
+        let tmp = TempDir::new("chronicle-wal-rotate");
+        let dir = tmp.path();
         let opts = DurabilityOptions {
             segment_bytes: 128,
             ..DurabilityOptions::default()
         };
-        let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+        let (mut wal, _) = Wal::open(dir, opts, 0).unwrap();
         for i in 1..=40 {
             wal.append(&rec(i)).unwrap();
             wal.flush().unwrap();
@@ -548,21 +638,21 @@ mod tests {
         assert!(wal.segment_count() < before);
         drop(wal);
         // Everything above the checkpoint floor survives truncation.
-        let (_, tail) = Wal::open(&dir, opts, 35).unwrap();
+        let (_, tail) = Wal::open(dir, opts, 35).unwrap();
         assert_eq!(tail.first().map(|(l, _)| *l), Some(36));
         assert_eq!(tail.last().map(|(l, _)| *l), Some(40));
-        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn gap_below_floor_is_detected() {
-        let dir = tmp("gap");
+        let tmp = TempDir::new("chronicle-wal-gap");
+        let dir = tmp.path();
         let opts = DurabilityOptions {
             segment_bytes: 128,
             ..DurabilityOptions::default()
         };
         {
-            let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+            let (mut wal, _) = Wal::open(dir, opts, 0).unwrap();
             for i in 1..=20 {
                 wal.append(&rec(i)).unwrap();
                 wal.flush().unwrap();
@@ -571,24 +661,64 @@ mod tests {
             wal.truncate_through(15).unwrap();
         }
         // Claiming a floor of 0 when lsns 1..=15 are gone must fail.
-        let err = Wal::open(&dir, opts, 0).unwrap_err();
+        let err = Wal::open(dir, opts, 0).unwrap_err();
         assert!(matches!(err, ChronicleError::Corruption { .. }), "{err}");
         // The true floor is fine.
-        assert!(Wal::open(&dir, opts, 15).is_ok());
-        fs::remove_dir_all(&dir).unwrap();
+        assert!(Wal::open(dir, opts, 15).is_ok());
+    }
+
+    #[test]
+    fn mid_chain_gap_covered_by_floor_is_tolerated() {
+        // Checkpoint truncation unlinks covered segments; a crash can
+        // persist some unlinks but not others, resurrecting an *older*
+        // covered segment while a middle one stays gone. As long as the
+        // hole sits at or below the floor, recovery must proceed.
+        let tmp = TempDir::new("chronicle-wal-midgap");
+        let dir = tmp.path();
+        let opts = DurabilityOptions {
+            segment_bytes: 96,
+            ..DurabilityOptions::default()
+        };
+        {
+            let (mut wal, _) = Wal::open(dir, opts, 0).unwrap();
+            for i in 1..=12 {
+                wal.append(&rec(i)).unwrap();
+                wal.flush().unwrap();
+            }
+        }
+        let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        assert!(segs.len() >= 3, "need a middle segment to delete");
+        // Records in the first two segments: parse the second segment's
+        // header for its first LSN; everything before the third segment's
+        // first LSN is "covered".
+        let third_first =
+            u64::from_le_bytes(fs::read(&segs[2]).unwrap()[8..16].try_into().unwrap());
+        fs::remove_file(&segs[1]).unwrap();
+        let floor = third_first - 1;
+        let (_, tail) = Wal::open(dir, opts, floor).unwrap();
+        assert_eq!(tail.first().map(|(l, _)| *l), Some(floor + 1));
+        assert_eq!(tail.last().map(|(l, _)| *l), Some(12));
+        // The same hole above the floor is still loud.
+        let err = Wal::open(dir, opts, 0).unwrap_err();
+        assert!(matches!(err, ChronicleError::Corruption { .. }), "{err}");
     }
 
     #[test]
     fn torn_tail_is_truncated_every_cut_point() {
-        let dir = tmp("torn");
+        let tmp = TempDir::new("chronicle-wal-torn");
+        let dir = tmp.path();
         {
-            let (mut wal, _) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            let (mut wal, _) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
             for i in 1..=3 {
                 wal.append(&rec(i)).unwrap();
             }
             wal.flush().unwrap();
         }
-        let seg = fs::read_dir(&dir)
+        let seg = fs::read_dir(dir)
             .unwrap()
             .map(|e| e.unwrap().path())
             .find(|p| p.extension().is_some_and(|x| x == "seg"))
@@ -605,13 +735,13 @@ mod tests {
         let rec3_start = offsets[2];
         for cut in rec3_start + 1..full.len() {
             fs::write(&seg, &full[..cut]).unwrap();
-            let (wal, tail) = Wal::open(&dir, DurabilityOptions::default(), 0).unwrap();
+            let (wal, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
             assert_eq!(tail.len(), 2, "cut at {cut}");
             assert!(wal.stats().torn_bytes_discarded > 0);
             drop(wal);
             // Remove the fresh segment the open created so the next
             // iteration sees only the original file.
-            for e in fs::read_dir(&dir).unwrap() {
+            for e in fs::read_dir(dir).unwrap() {
                 let p = e.unwrap().path();
                 if p != seg {
                     fs::remove_file(p).unwrap();
@@ -619,25 +749,25 @@ mod tests {
             }
             fs::write(&seg, &full).unwrap();
         }
-        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn mid_log_damage_is_loud() {
-        let dir = tmp("midlog");
+        let tmp = TempDir::new("chronicle-wal-midlog");
+        let dir = tmp.path();
         let opts = DurabilityOptions {
             segment_bytes: 96,
             ..DurabilityOptions::default()
         };
         {
-            let (mut wal, _) = Wal::open(&dir, opts, 0).unwrap();
+            let (mut wal, _) = Wal::open(dir, opts, 0).unwrap();
             for i in 1..=12 {
                 wal.append(&rec(i)).unwrap();
                 wal.flush().unwrap();
             }
         }
         // Flip one payload bit in the FIRST segment (not the last).
-        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+        let mut segs: Vec<PathBuf> = fs::read_dir(dir)
             .unwrap()
             .map(|e| e.unwrap().path())
             .collect();
@@ -647,8 +777,83 @@ mod tests {
         let n = data.len();
         data[n - 1] ^= 0x01;
         fs::write(&segs[0], &data).unwrap();
-        let err = Wal::open(&dir, opts, 0).unwrap_err();
+        let err = Wal::open(dir, opts, 0).unwrap_err();
         assert!(matches!(err, ChronicleError::Corruption { .. }), "{err}");
-        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_flush_poisons_wal_and_drop_appends_nothing() {
+        // The zombie-handle scenario the simulator found (seed 0): a flush
+        // dies mid-write, recovery repairs the torn tail and reissues the
+        // lost LSN into a fresh segment — and only then is the old handle
+        // dropped. Its buffered frame must NOT come back from the dead:
+        // the repaired segment would grow a frame whose LSN the new
+        // active segment also carries, forking the chain.
+        let fs = SimFs::new(42);
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        let opts = DurabilityOptions {
+            fsync: true,
+            ..DurabilityOptions::default()
+        };
+        let dir = Path::new("/db/wal");
+        let (mut wal, _) = Wal::open_with_vfs(Arc::clone(&vfs), dir, opts, 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.flush().unwrap();
+        wal.append(&rec(2)).unwrap();
+        fs.set_crash_after(1); // the flush's write dies mid-syscall
+        assert!(wal.flush().is_err());
+        fs.crash_and_restore();
+
+        // The poisoned handle refuses everything but dropping.
+        let msg = wal.append(&rec(3)).unwrap_err().to_string();
+        assert!(msg.contains("poisoned"), "unexpected error: {msg}");
+        assert!(wal.flush().is_err());
+        assert!(wal.rotate().is_err());
+
+        // Recovery on the crash-consistent disk: record 1 survives,
+        // record 2 (never acknowledged) is repaired away, and a fresh
+        // active segment takes over its LSN.
+        let (wal2, tail) = Wal::open_with_vfs(Arc::clone(&vfs), dir, opts, 0).unwrap();
+        assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+
+        let snapshot = |fs: &SimFs| -> Vec<(PathBuf, Vec<u8>)> {
+            let mut files: Vec<_> = fs
+                .live_files()
+                .into_iter()
+                .map(|p| (p.clone(), fs.peek(&p).unwrap()))
+                .collect();
+            files.sort();
+            files
+        };
+        let before = snapshot(&fs);
+        drop(wal); // the zombie handle dies; the disk must not move
+        assert_eq!(snapshot(&fs), before);
+
+        drop(wal2);
+        let (_, tail) = Wal::open_with_vfs(vfs, dir, opts, 0).unwrap();
+        assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn wal_over_simfs_round_trips() {
+        // The same WAL code, zero disk: write, "crash" with everything
+        // synced, reopen, and the tail is intact.
+        let fs = SimFs::new(77);
+        let opts = DurabilityOptions {
+            fsync: true,
+            ..DurabilityOptions::default()
+        };
+        let dir = Path::new("/db/wal");
+        {
+            let (mut wal, tail) = Wal::open_with_vfs(Arc::new(fs.clone()), dir, opts, 0).unwrap();
+            assert!(tail.is_empty());
+            for i in 1..=5 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        fs.crash_and_restore();
+        let (_, tail) = Wal::open_with_vfs(Arc::new(fs.clone()), dir, opts, 0).unwrap();
+        assert_eq!(tail.len(), 5);
     }
 }

@@ -1,0 +1,32 @@
+//! Deterministic simulation layer for the chronicle engine
+//! (FoundationDB-style).
+//!
+//! Crash consistency is only as good as the crashes you test. This crate
+//! supplies the three deterministic ingredients the simulation driver (in
+//! the root crate, `chronicle::sim`) combines:
+//!
+//! * [`Vfs`] / [`VfsFile`] — the filesystem abstraction the durability
+//!   layer is written against, with [`RealFs`] (straight `std::fs`, the
+//!   production path) and [`SimFs`] (in-memory, programmable faults:
+//!   torn writes, unsynced-data loss, rename tearing, resurrected
+//!   unlinks, fsync reordering across files, transient short reads —
+//!   all drawn from a seeded RNG).
+//! * [`VirtualClock`] — monotone logical chronons, so no timestamp ever
+//!   comes from the wall clock.
+//! * [`Schedule`] / [`generate`] — seeded op sequences (SQL text plus
+//!   checkpoint / crash / reopen meta-ops) as pure data.
+//!
+//! One `u64` seed determines the schedule *and* every fault decision, so
+//! any failure replays exactly from the seed printed by the driver.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod schedule;
+mod simfs;
+mod vfs;
+
+pub use clock::VirtualClock;
+pub use schedule::{generate, Schedule, ScheduleConfig, SimOp};
+pub use simfs::{SimFs, CRASH_MSG, SHORT_READ_MSG};
+pub use vfs::{RealFs, Vfs, VfsFile};

@@ -1,0 +1,296 @@
+//! Seeded operation schedules for the simulation driver.
+//!
+//! A [`Schedule`] is pure data: a list of [`SimOp`]s — SQL statements plus
+//! meta-operations (checkpoint, crash, clean reopen) — generated
+//! deterministically from a single `u64` seed. The driver (in the root
+//! crate) executes the ops against `ChronicleDb`/`ShardedDb` over a
+//! [`crate::SimFs`] seeded with the same value, so *everything* a failing
+//! run did — which statements ran, where the crash hit, which bytes the
+//! torn write kept — replays from that one seed.
+//!
+//! The generator keeps just enough bookkeeping to emit mostly-valid
+//! statements (live relation keys for `UPDATE`/`DELETE`, live view names
+//! for `DROP VIEW`, monotone chronons from a [`crate::VirtualClock`]), so
+//! schedules exercise the maintenance machinery rather than the error
+//! paths.
+
+use chronicle_testkit::{Rng, SeedableRng, SmallRng};
+
+use crate::clock::VirtualClock;
+
+/// One step of a simulation schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOp {
+    /// Execute one SQL statement. Counts as *acknowledged* iff it returns
+    /// `Ok` — the oracle replays exactly the acknowledged prefix.
+    Sql(String),
+    /// Flush the WAL and write a checkpoint (no logical state change).
+    Checkpoint,
+    /// Arm the filesystem to crash after `countdown` further mutating
+    /// operations, then keep executing: some later op dies mid-syscall,
+    /// the driver power-cycles the disk, reopens, and compares against
+    /// the oracle.
+    Crash {
+        /// Mutating fs ops until the lights go out (1 = the very next).
+        countdown: u64,
+    },
+    /// Clean shutdown and reopen: recovery must reproduce the exact
+    /// acknowledged state. `short_reads` transient read faults are armed
+    /// first (single-shard runs only — parallel shard recovery would
+    /// consume them in nondeterministic thread order), so recovery must
+    /// fail cleanly and succeed on retry rather than corrupt anything.
+    Reopen {
+        /// Whole-file reads that fail with `Interrupted` before recovery
+        /// reads start succeeding again (0 = a plain clean reopen).
+        short_reads: u64,
+    },
+}
+
+/// Tuning knobs for [`generate`]. `Default` gives a small, fast schedule
+/// (a few hundred ops) suitable for running many seeds in a test gate.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleConfig {
+    /// Chronicle groups to create.
+    pub groups: usize,
+    /// Chronicles to create (assigned to groups round-robin).
+    pub chronicles: usize,
+    /// Body operations to generate after the DDL prologue.
+    pub ops: usize,
+    /// Upper bound on concurrently live persistent views.
+    pub max_views: usize,
+    /// Upper bound on periodic view families (never dropped).
+    pub max_periodic: usize,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> ScheduleConfig {
+        ScheduleConfig {
+            groups: 2,
+            chronicles: 3,
+            ops: 120,
+            max_views: 4,
+            max_periodic: 2,
+        }
+    }
+}
+
+/// A generated schedule, tagged with the seed that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The seed [`generate`] was called with.
+    pub seed: u64,
+    /// The ops, in execution order.
+    pub ops: Vec<SimOp>,
+}
+
+/// Deterministically generate a schedule from `seed`.
+///
+/// Shape: a DDL prologue (groups, `RETAIN ALL` chronicles, one keyed
+/// relation, one view) followed by `cfg.ops` weighted body ops — appends
+/// with monotone chronons, relation inserts/updates/deletes against live
+/// keys, mid-stream view DDL and drops, periodic views, checkpoints,
+/// armed crashes, and clean reopens.
+pub fn generate(seed: u64, cfg: &ScheduleConfig) -> Schedule {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_5c4e_d01e_u64);
+    let mut clock = VirtualClock::new(1);
+    let mut ops = Vec::with_capacity(cfg.ops + 16);
+
+    // ---- prologue: the world the body mutates --------------------------
+    for g in 0..cfg.groups {
+        ops.push(SimOp::Sql(format!("CREATE GROUP g{g}")));
+    }
+    for c in 0..cfg.chronicles {
+        let g = c % cfg.groups;
+        ops.push(SimOp::Sql(format!(
+            "CREATE CHRONICLE c{c} (sn SEQ, k INT, v FLOAT) IN GROUP g{g} RETAIN ALL"
+        )));
+    }
+    ops.push(SimOp::Sql(
+        "CREATE RELATION r0 (rk INT, tag STRING, PRIMARY KEY (rk))".into(),
+    ));
+
+    let mut next_view;
+    let mut live_views: Vec<String> = Vec::new();
+    let mut next_periodic = 0usize;
+    let mut next_key = 0i64;
+    let mut live_keys: Vec<i64> = Vec::new();
+
+    ops.push(SimOp::Sql(
+        "CREATE VIEW v0 AS SELECT k, SUM(v) AS s FROM c0 GROUP BY k".into(),
+    ));
+    next_view = 1;
+    live_views.push("v0".into());
+
+    // ---- body ----------------------------------------------------------
+    for _ in 0..cfg.ops {
+        let roll = rng.gen_range(0..100u64);
+        match roll {
+            // Appends dominate: this is an append-mostly model.
+            0..=54 => {
+                let c = rng.gen_range(0..cfg.chronicles as u64);
+                let nrows = 1 + rng.gen_range(0..3u64);
+                let rows: Vec<String> = (0..nrows)
+                    .map(|_| {
+                        let k = rng.gen_range(0..8u64);
+                        let v = rng.gen_range(0..40u64) as f64 / 4.0;
+                        format!("({k}, {v:.2})")
+                    })
+                    .collect();
+                let at = clock.advance(rng.gen_range(0..3u64));
+                ops.push(SimOp::Sql(format!(
+                    "APPEND INTO c{c} AT {at} VALUES {}",
+                    rows.join(", ")
+                )));
+            }
+            55..=64 => {
+                let k = next_key;
+                next_key += 1;
+                live_keys.push(k);
+                ops.push(SimOp::Sql(format!("INSERT INTO r0 VALUES ({k}, 't{k}')")));
+            }
+            65..=70 => {
+                if live_keys.is_empty() {
+                    continue;
+                }
+                let k = live_keys[rng.gen_range(0..live_keys.len() as u64) as usize];
+                ops.push(SimOp::Sql(format!(
+                    "UPDATE r0 SET tag = 'u{}' WHERE rk = {k}",
+                    rng.gen_range(0..1000u64)
+                )));
+            }
+            71..=73 => {
+                if live_keys.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..live_keys.len() as u64) as usize;
+                let k = live_keys.swap_remove(i);
+                ops.push(SimOp::Sql(format!("DELETE FROM r0 WHERE rk = {k}")));
+            }
+            74..=79 => {
+                if live_views.len() >= cfg.max_views {
+                    continue;
+                }
+                let name = format!("v{next_view}");
+                next_view += 1;
+                let c = rng.gen_range(0..cfg.chronicles as u64);
+                let sql = match rng.gen_range(0..4u64) {
+                    0 => {
+                        format!("CREATE VIEW {name} AS SELECT k, SUM(v) AS s FROM c{c} GROUP BY k")
+                    }
+                    1 => format!(
+                        "CREATE VIEW {name} AS SELECT k, COUNT(*) AS n FROM c{c} GROUP BY k"
+                    ),
+                    2 => format!(
+                        "CREATE VIEW {name} AS SELECT k, MAX(v) AS m FROM c{c} \
+                         WHERE v > 0.5 GROUP BY k"
+                    ),
+                    _ => format!(
+                        "CREATE VIEW {name} AS SELECT k, COUNT(*) AS n FROM c{c} \
+                         JOIN r0 ON k = rk GROUP BY k"
+                    ),
+                };
+                live_views.push(name);
+                ops.push(SimOp::Sql(sql));
+            }
+            80..=81 => {
+                if live_views.len() <= 1 {
+                    continue;
+                }
+                let i = rng.gen_range(0..live_views.len() as u64) as usize;
+                let name = live_views.swap_remove(i);
+                ops.push(SimOp::Sql(format!("DROP VIEW {name}")));
+            }
+            82..=84 => {
+                if next_periodic >= cfg.max_periodic {
+                    continue;
+                }
+                let name = format!("p{next_periodic}");
+                next_periodic += 1;
+                let c = rng.gen_range(0..cfg.chronicles as u64);
+                let width = 5 + rng.gen_range(0..20u64);
+                let expire = if rng.gen_bool(0.5) {
+                    format!(" EXPIRE AFTER {}", width * 3)
+                } else {
+                    String::new()
+                };
+                ops.push(SimOp::Sql(format!(
+                    "CREATE PERIODIC VIEW {name} AS SELECT k, SUM(v) AS s FROM c{c} \
+                     GROUP BY k OVER CALENDAR EVERY {width}{expire}"
+                )));
+            }
+            85..=90 => ops.push(SimOp::Checkpoint),
+            91..=96 => ops.push(SimOp::Crash {
+                countdown: 1 + rng.gen_range(0..24u64),
+            }),
+            _ => {
+                let short_reads = if rng.gen_bool(0.4) {
+                    1 + rng.gen_range(0..2u64)
+                } else {
+                    0
+                };
+                ops.push(SimOp::Reopen { short_reads });
+            }
+        }
+    }
+    // Every schedule ends with a hard power cut + recovery check in the
+    // driver, so even crash-free rolls exercise recovery.
+    Schedule { seed, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = ScheduleConfig::default();
+        let a = generate(7, &cfg);
+        let b = generate(7, &cfg);
+        assert_eq!(a.ops, b.ops);
+        let c = generate(8, &cfg);
+        assert_ne!(a.ops, c.ops, "different seeds diverge");
+    }
+
+    #[test]
+    fn schedule_has_expected_shape() {
+        let cfg = ScheduleConfig::default();
+        let mut seen_crash = false;
+        let mut seen_checkpoint = false;
+        for seed in 0..16 {
+            let s = generate(seed, &cfg);
+            assert!(s.ops.len() > cfg.groups + cfg.chronicles);
+            for op in &s.ops {
+                match op {
+                    SimOp::Crash { countdown } => {
+                        assert!(*countdown >= 1);
+                        seen_crash = true;
+                    }
+                    SimOp::Checkpoint => seen_checkpoint = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(seen_crash && seen_checkpoint);
+    }
+
+    #[test]
+    fn chronons_are_monotone() {
+        let s = generate(3, &ScheduleConfig::default());
+        let mut last = 0i64;
+        for op in &s.ops {
+            if let SimOp::Sql(sql) = op {
+                if let Some(rest) = sql.strip_prefix("APPEND INTO ") {
+                    let at: i64 = rest
+                        .split(" AT ")
+                        .nth(1)
+                        .and_then(|r| r.split(' ').next())
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    assert!(at >= last, "chronon went backwards: {sql}");
+                    last = at;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,847 @@
+//! An in-memory filesystem with programmable faults, for deterministic
+//! crash-consistency simulation (FoundationDB-style).
+//!
+//! # Model
+//!
+//! `SimFs` models the two layers a real disk stack has:
+//!
+//! * the **page cache** — every write lands here first; reads see it;
+//! * the **durable medium** — a file's content reaches it only on
+//!   `sync_data`, and a *name* (creation, rename, removal) reaches it only
+//!   on `sync_dir` of the parent directory.
+//!
+//! A simulated crash (power loss) discards the cache and keeps only what
+//! was durable, with the same latitude a real disk has:
+//!
+//! * **torn / partial writes** — an unsynced appended suffix survives as
+//!   an arbitrary byte prefix (possibly empty, possibly whole);
+//! * **unsynced-data loss** — unsynced content may vanish entirely;
+//! * **fsync reordering** — each file's unsynced data survives or not
+//!   *independently*, so writes issued in program order may survive out
+//!   of order across files;
+//! * **rename tearing** — an unsynced rename/create/remove may or may not
+//!   have reached the disk, and a removed-but-unsynced name may resurrect
+//!   with its old durable content.
+//!
+//! Crashes are injected at *syscall granularity*: arm a countdown with
+//! [`SimFs::set_crash_after`] and the N-th subsequent mutating operation
+//! partially applies (a write keeps only a seeded prefix), the filesystem
+//! enters the crashed state, and every operation fails with a "simulated
+//! crash" error until [`SimFs::crash_and_restore`] resolves survival and
+//! brings the disk back. All nondeterminism is drawn from a seeded
+//! [`SmallRng`], so a schedule replays byte-for-byte from its seed.
+//!
+//! Transient **short reads** ([`SimFs::set_short_reads`]) make the next N
+//! whole-file reads fail with an `Interrupted` error, exercising error
+//! propagation through recovery without corrupting state.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use chronicle_testkit::{Rng, SeedableRng, SmallRng};
+
+use crate::vfs::{Vfs, VfsFile};
+
+/// Message carried by every error after the simulated power loss.
+pub const CRASH_MSG: &str = "simulated crash (power loss)";
+
+/// Message carried by an injected transient read fault.
+pub const SHORT_READ_MSG: &str = "simulated transient read fault";
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Live content — what reads observe (the page cache view).
+    cache: Vec<u8>,
+    /// Content guaranteed to survive a crash (synced).
+    durable: Vec<u8>,
+    /// The *link* to this name survives a crash (parent dir synced since
+    /// this name appeared).
+    name_durable: bool,
+    /// When this (not yet durable) link was produced by renaming a durably
+    /// linked name, that old name. Rename is atomic: exactly one of the
+    /// two dirents survives a crash, so if this link is lost the tombstone
+    /// at the old name *must* resurrect — the inode cannot vanish.
+    renamed_from: Option<PathBuf>,
+    /// When this (not yet durable) link was produced by renaming *over* a
+    /// durably linked name, the overwritten file's durable content. Rename
+    /// never unlinks its target: the on-disk dirent flips atomically from
+    /// the old inode to the new one, so if this link is lost the old
+    /// content is *certainly* still at this name after a crash.
+    replaced_durable: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    files: BTreeMap<PathBuf, Node>,
+    dirs: Vec<PathBuf>,
+    /// Durably linked names removed (unlink / rename-away) without a dir
+    /// sync yet: on crash each may resurrect with its durable content.
+    tombstones: BTreeMap<PathBuf, Vec<u8>>,
+    crashed: bool,
+    crash_after: Option<u64>,
+    short_reads: u64,
+    mutations: u64,
+}
+
+/// The deterministic in-memory filesystem. Cheap to clone the *handle*
+/// (`Clone` shares state); use [`SimFs::fork`] for an independent copy.
+#[derive(Debug, Clone)]
+pub struct SimFs {
+    state: Arc<Mutex<State>>,
+    rng: Arc<Mutex<SmallRng>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other(CRASH_MSG)
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such file: {}", path.display()),
+    )
+}
+
+impl State {
+    /// Count one mutating operation against the crash countdown. Returns
+    /// true when this very operation trips the crash (the caller then
+    /// partially applies it and errors out).
+    fn count_mutation(&mut self) -> bool {
+        self.mutations += 1;
+        match self.crash_after.as_mut() {
+            Some(0) | None => false,
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.crash_after = None;
+                    self.crashed = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn has_dir(&self, dir: &Path) -> bool {
+        self.dirs.iter().any(|d| d == dir)
+    }
+}
+
+impl SimFs {
+    /// An empty filesystem whose fault decisions replay deterministically
+    /// from `seed`.
+    pub fn new(seed: u64) -> SimFs {
+        SimFs {
+            state: Arc::new(Mutex::new(State::default())),
+            rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// A deep, independent copy: same files, same pending cache state,
+    /// same fault plan and RNG position. Mutating the fork never affects
+    /// the original — the torn-tail sweeps fork once per cut point.
+    pub fn fork(&self) -> SimFs {
+        SimFs {
+            state: Arc::new(Mutex::new(lock(&self.state).clone())),
+            rng: Arc::new(Mutex::new(lock(&self.rng).clone())),
+        }
+    }
+
+    // ---- fault programming -------------------------------------------------
+
+    /// Arm the crash countdown: the `n`-th subsequent mutating operation
+    /// (write, create, rename, remove, truncate, sync) partially applies
+    /// and fails, and the filesystem stays down until
+    /// [`SimFs::crash_and_restore`]. `n = 1` trips the very next one.
+    pub fn set_crash_after(&self, n: u64) {
+        lock(&self.state).crash_after = if n == 0 { None } else { Some(n) };
+    }
+
+    /// Disarm any pending crash countdown and transient read faults.
+    pub fn clear_faults(&self) {
+        let mut st = lock(&self.state);
+        st.crash_after = None;
+        st.short_reads = 0;
+    }
+
+    /// Make the next `n` whole-file reads fail with a transient
+    /// [`io::ErrorKind::Interrupted`] error carrying [`SHORT_READ_MSG`].
+    pub fn set_short_reads(&self, n: u64) {
+        lock(&self.state).short_reads = n;
+    }
+
+    /// True iff the simulated machine is down (a crash tripped and
+    /// [`SimFs::crash_and_restore`] has not run yet).
+    pub fn crashed(&self) -> bool {
+        lock(&self.state).crashed
+    }
+
+    /// Mutating operations performed since construction (diagnostics; the
+    /// schedule driver uses it to spread crash points over an op range).
+    pub fn mutation_count(&self) -> u64 {
+        lock(&self.state).mutations
+    }
+
+    /// Power-cycle the machine: resolve what survives on the durable
+    /// medium (seeded — torn suffixes, lost renames, resurrected names)
+    /// and bring the filesystem back up. Also callable while the machine
+    /// is still "up" to simulate a hard power cut with no warning.
+    pub fn crash_and_restore(&self) {
+        let mut st = lock(&self.state);
+        let mut rng = lock(&self.rng);
+        let mut survivors: BTreeMap<PathBuf, Node> = BTreeMap::new();
+        let mut tombstones = std::mem::take(&mut st.tombstones);
+        // Rename-away tombstones whose new link was lost: the rename never
+        // reached the disk, so the old dirent is certainly still there.
+        let mut forced: Vec<PathBuf> = Vec::new();
+        for (path, node) in std::mem::take(&mut st.files) {
+            let name_survives = node.name_durable || rng.gen_bool(0.5);
+            if let Some(src) = &node.renamed_from {
+                if name_survives {
+                    // The rename reached the disk: the old dirent is gone.
+                    tombstones.remove(src);
+                } else {
+                    forced.push(src.clone());
+                }
+            }
+            if !name_survives {
+                // The link flip never hit the disk — but if it was a
+                // rename *over* a durably linked file, that dirent is
+                // certainly still there with the overwritten content.
+                if let Some(old) = node.replaced_durable {
+                    survivors.insert(
+                        path,
+                        Node {
+                            cache: old.clone(),
+                            durable: old,
+                            name_durable: true,
+                            renamed_from: None,
+                            replaced_durable: None,
+                        },
+                    );
+                }
+                continue;
+            }
+            let content = resolve_content(&node, &mut rng);
+            survivors.insert(
+                path,
+                Node {
+                    cache: content.clone(),
+                    durable: content,
+                    name_durable: true,
+                    renamed_from: None,
+                    replaced_durable: None,
+                },
+            );
+        }
+        // A durably linked name whose removal was never dir-synced may
+        // come back with its old durable content — unless the name is now
+        // occupied by a surviving rename target. Removal tombstones come
+        // back on a coin flip; rename-away tombstones whose target link
+        // was lost come back unconditionally (atomicity).
+        for (path, durable) in tombstones {
+            let resurrect = forced.contains(&path) || rng.gen_bool(0.5);
+            if !survivors.contains_key(&path) && resurrect {
+                survivors.insert(
+                    path,
+                    Node {
+                        cache: durable.clone(),
+                        durable,
+                        name_durable: true,
+                        renamed_from: None,
+                        replaced_durable: None,
+                    },
+                );
+            }
+        }
+        st.files = survivors;
+        st.crashed = false;
+        st.crash_after = None;
+        st.short_reads = 0;
+    }
+
+    // ---- test hooks (direct durable-state surgery) -------------------------
+
+    /// Overwrite (or create) `path` with `bytes`, both live and durable —
+    /// the hook the torn-tail sweeps use to install a cut segment.
+    pub fn install(&self, path: &Path, bytes: &[u8]) {
+        let mut st = lock(&self.state);
+        if let Some(parent) = path.parent() {
+            add_dirs(&mut st, parent);
+        }
+        st.tombstones.remove(path);
+        st.files.insert(
+            path.to_path_buf(),
+            Node {
+                cache: bytes.to_vec(),
+                durable: bytes.to_vec(),
+                name_durable: true,
+                renamed_from: None,
+                replaced_durable: None,
+            },
+        );
+    }
+
+    /// Remove `path` outright (live and durable), without fault
+    /// accounting.
+    pub fn delete(&self, path: &Path) {
+        let mut st = lock(&self.state);
+        st.files.remove(path);
+        st.tombstones.remove(path);
+    }
+
+    /// The live content of `path`, bypassing fault injection.
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        lock(&self.state).files.get(path).map(|n| n.cache.clone())
+    }
+
+    /// Every live file path, sorted (diagnostics and sweeps).
+    pub fn live_files(&self) -> Vec<PathBuf> {
+        lock(&self.state).files.keys().cloned().collect()
+    }
+}
+
+/// What a file's content looks like after power loss.
+fn resolve_content(node: &Node, rng: &mut SmallRng) -> Vec<u8> {
+    let (c, d) = (&node.cache, &node.durable);
+    if c == d {
+        return d.clone();
+    }
+    if c.len() > d.len() && c[..d.len()] == d[..] {
+        // Pure unsynced append: a torn byte prefix of the suffix survives
+        // (0 = lost entirely, len = fully survived).
+        let keep = rng.gen_range(0..(c.len() - d.len()) as u64 + 1) as usize;
+        let mut out = d.clone();
+        out.extend_from_slice(&c[d.len()..d.len() + keep]);
+        return out;
+    }
+    // Truncate or rewrite in flight: the old durable image, or a torn
+    // prefix of the new one.
+    if rng.gen_bool(0.5) {
+        d.clone()
+    } else {
+        let keep = rng.gen_range(0..c.len() as u64 + 1) as usize;
+        c[..keep].to_vec()
+    }
+}
+
+fn add_dirs(st: &mut State, dir: &Path) {
+    let mut cur = PathBuf::new();
+    for comp in dir.components() {
+        cur.push(comp);
+        if !st.has_dir(&cur) {
+            st.dirs.push(cur.clone());
+        }
+    }
+}
+
+/// A writable handle into the simulated cache.
+#[derive(Debug)]
+pub struct SimFile {
+    fs: SimFs,
+    path: PathBuf,
+}
+
+impl VfsFile for SimFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut st = lock(&self.fs.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        if st.count_mutation() {
+            // Torn write: a seeded prefix reaches the cache before the
+            // lights go out.
+            let keep = lock(&self.fs.rng).gen_range(0..data.len() as u64 + 1) as usize;
+            if let Some(node) = st.files.get_mut(&self.path) {
+                node.cache.extend_from_slice(&data[..keep]);
+            }
+            return Err(crash_err());
+        }
+        match st.files.get_mut(&self.path) {
+            Some(node) => {
+                node.cache.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(not_found(&self.path)),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut st = lock(&self.fs.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        if st.count_mutation() {
+            return Err(crash_err());
+        }
+        match st.files.get_mut(&self.path) {
+            Some(node) => {
+                node.durable = node.cache.clone();
+                Ok(())
+            }
+            None => Err(not_found(&self.path)),
+        }
+    }
+}
+
+impl Vfs for SimFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        // Directory creation is modelled as always durable: losing an
+        // empty directory is invisible to recovery (open re-creates it),
+        // and modelling it would only add noise to every schedule.
+        add_dirs(&mut st, dir);
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        if !st.has_dir(dir) {
+            return Err(not_found(dir));
+        }
+        let mut out: Vec<PathBuf> = st
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect();
+        out.extend(st.dirs.iter().filter(|d| d.parent() == Some(dir)).cloned());
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        if st.short_reads > 0 {
+            st.short_reads -= 1;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, SHORT_READ_MSG));
+        }
+        st.files
+            .get(path)
+            .map(|n| n.cache.clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = lock(&self.state);
+        !st.crashed && (st.files.contains_key(path) || st.has_dir(path))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        let tripped = st.count_mutation();
+        let create_it = !tripped || lock(&self.rng).gen_bool(0.5);
+        if create_it {
+            let parent = path.parent().unwrap_or(Path::new("")).to_path_buf();
+            add_dirs(&mut st, &parent);
+            // Truncating an existing file keeps its inode's durable image
+            // (the old bytes may resurface after a crash); a fresh file
+            // starts with nothing durable, and its *name* becomes durable
+            // only on dir sync.
+            match st.files.get_mut(path) {
+                Some(node) => node.cache.clear(),
+                None => {
+                    st.files.insert(
+                        path.to_path_buf(),
+                        Node {
+                            cache: Vec::new(),
+                            durable: Vec::new(),
+                            name_durable: false,
+                            renamed_from: None,
+                            replaced_durable: None,
+                        },
+                    );
+                }
+            }
+        }
+        if tripped {
+            return Err(crash_err());
+        }
+        Ok(Box::new(SimFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        let tripped = st.count_mutation();
+        let apply = !tripped || lock(&self.rng).gen_bool(0.5);
+        let node = st.files.get_mut(path).ok_or_else(|| not_found(path))?;
+        if apply {
+            node.cache.truncate(len as usize);
+            if !tripped {
+                // The contract persists the truncated image (set_len +
+                // fdatasync); a crash mid-call leaves it ambiguous.
+                node.durable = node.cache.clone();
+            }
+        }
+        if tripped {
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        let tripped = st.count_mutation();
+        let apply = !tripped || lock(&self.rng).gen_bool(0.5);
+        if apply {
+            let node = st.files.remove(from).ok_or_else(|| not_found(from))?;
+            let renamed_from = if node.name_durable {
+                st.tombstones
+                    .insert(from.to_path_buf(), node.durable.clone());
+                Some(from.to_path_buf())
+            } else {
+                // Chained rename of a still-unsynced link: the inode trail
+                // still ends at the original durable name, if any. If that
+                // unsynced link had itself overwritten a durable dirent at
+                // `from`, the disk may still hold the overwritten file
+                // there — an ordinary (coin-flip) tombstone.
+                if let Some(old) = node.replaced_durable.clone() {
+                    st.tombstones.insert(from.to_path_buf(), old);
+                }
+                node.renamed_from.clone()
+            };
+            // Rename never unlinks its target: the dirent flips atomically
+            // from the old inode to ours once the directory is synced.
+            // Until then the overwritten durable content rides on the new
+            // node, to be restored verbatim if this link is lost.
+            let replaced_durable = match st.files.remove(to) {
+                Some(old) if old.name_durable => Some(old.durable),
+                Some(old) => old.replaced_durable,
+                None => None,
+            };
+            st.files.insert(
+                to.to_path_buf(),
+                Node {
+                    name_durable: false,
+                    renamed_from,
+                    replaced_durable,
+                    ..node
+                },
+            );
+        } else if !st.files.contains_key(from) {
+            return Err(not_found(from));
+        }
+        if tripped {
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        let tripped = st.count_mutation();
+        let apply = !tripped || lock(&self.rng).gen_bool(0.5);
+        if apply {
+            let node = st.files.remove(path).ok_or_else(|| not_found(path))?;
+            if node.name_durable {
+                st.tombstones.insert(path.to_path_buf(), node.durable);
+            } else if let Some(old) = node.replaced_durable {
+                // Unlinking an unsynced rename target: on disk the dirent
+                // may still hold the file the rename overwrote.
+                st.tombstones.insert(path.to_path_buf(), old);
+            }
+        } else if !st.files.contains_key(path) {
+            return Err(not_found(path));
+        }
+        if tripped {
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut st = lock(&self.state);
+        if st.crashed {
+            return Err(crash_err());
+        }
+        if st.count_mutation() {
+            return Err(crash_err());
+        }
+        if !st.has_dir(dir) {
+            return Err(not_found(dir));
+        }
+        for (path, node) in st.files.iter_mut() {
+            if path.parent() == Some(dir) {
+                node.name_durable = true;
+                node.renamed_from = None;
+                node.replaced_durable = None;
+            }
+        }
+        let keep: Vec<PathBuf> = st
+            .tombstones
+            .keys()
+            .filter(|p| p.parent() != Some(dir))
+            .cloned()
+            .collect();
+        st.tombstones.retain(|p, _| keep.contains(p));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_sync(fs: &SimFs, path: &Path, bytes: &[u8]) {
+        let mut f = fs.create(path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_data().unwrap();
+        fs.sync_dir(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn synced_data_survives_any_crash() {
+        let fs = SimFs::new(1);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a"), b"durable");
+        for _ in 0..8 {
+            fs.crash_and_restore();
+            assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"durable");
+        }
+    }
+
+    #[test]
+    fn unsynced_suffix_survives_as_prefix_only() {
+        // Across many seeds the torn suffix must always be a byte prefix
+        // of what was written, and both extremes must be reachable.
+        let (mut lost, mut full) = (false, false);
+        for seed in 0..64 {
+            let fs = SimFs::new(seed);
+            fs.create_dir_all(Path::new("/d")).unwrap();
+            write_sync(&fs, Path::new("/d/a"), b"base-");
+            let mut f = fs.create(Path::new("/d/a")).unwrap();
+            // create() truncated the cache; re-sync the base then append
+            // without syncing.
+            f.write_all(b"base-").unwrap();
+            f.sync_data().unwrap();
+            f.write_all(b"unsynced").unwrap();
+            fs.crash_and_restore();
+            let got = fs.read(Path::new("/d/a")).unwrap();
+            assert!(b"base-unsynced".starts_with(&got[..]), "got {got:?}");
+            assert!(got.len() >= 5, "synced base must survive, got {got:?}");
+            lost |= got.len() == 5;
+            full |= got.len() == 13;
+        }
+        assert!(
+            lost && full,
+            "both extremes reachable: lost={lost} full={full}"
+        );
+    }
+
+    #[test]
+    fn crash_countdown_trips_and_blocks_everything() {
+        let fs = SimFs::new(7);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a"), b"ok");
+        fs.set_crash_after(2);
+        let mut f = fs.create(Path::new("/d/b")).unwrap(); // mutation 1
+        let err = f.write_all(b"xxxx").unwrap_err(); // mutation 2 -> trip
+        assert_eq!(err.to_string(), CRASH_MSG);
+        assert!(fs.crashed());
+        assert!(fs.read(Path::new("/d/a")).is_err(), "reads fail while down");
+        assert!(!fs.exists(Path::new("/d/a")));
+        fs.crash_and_restore();
+        assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"ok");
+        // The unsynced, unlinked b may or may not exist; if it does, its
+        // content is a prefix of the torn write.
+        if let Some(b) = fs.peek(Path::new("/d/b")) {
+            assert!(b"xxxx".starts_with(&b[..]));
+        }
+    }
+
+    #[test]
+    fn rename_tearing_resolves_to_old_or_new() {
+        let (mut olds, mut news) = (0, 0);
+        for seed in 0..64 {
+            let fs = SimFs::new(seed);
+            fs.create_dir_all(Path::new("/d")).unwrap();
+            write_sync(&fs, Path::new("/d/a.tmp"), b"payload");
+            fs.rename(Path::new("/d/a.tmp"), Path::new("/d/a")).unwrap();
+            // No sync_dir: the rename is in the namespace cache only.
+            fs.crash_and_restore();
+            let new = fs.read(Path::new("/d/a")).is_ok();
+            let old = fs.read(Path::new("/d/a.tmp")).is_ok();
+            assert!(new || old, "the synced payload exists under some name");
+            if new {
+                assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"payload");
+                news += 1;
+            }
+            if old {
+                assert_eq!(fs.read(Path::new("/d/a.tmp")).unwrap(), b"payload");
+                olds += 1;
+            }
+        }
+        assert!(
+            olds > 0 && news > 0,
+            "tearing reachable: old={olds} new={news}"
+        );
+    }
+
+    #[test]
+    fn rename_over_durable_target_never_loses_the_name() {
+        // Rename never unlinks its target: the dirent flips atomically
+        // from old inode to new, so after a crash the target name holds
+        // the old bytes or the new bytes — it cannot be absent. (The
+        // simulator once modeled the overwritten file as an ordinary
+        // coin-flip tombstone; the seed-370 schedule then "lost" a
+        // checkpoint that a second checkpoint write was replacing, after
+        // the first had already truncated the WAL segments it covered.)
+        let (mut olds, mut news) = (0, 0);
+        for seed in 0..64 {
+            let fs = SimFs::new(seed);
+            fs.create_dir_all(Path::new("/d")).unwrap();
+            write_sync(&fs, Path::new("/d/a"), b"old");
+            fs.sync_dir(Path::new("/d")).unwrap();
+            write_sync(&fs, Path::new("/d/a.tmp"), b"new");
+            fs.rename(Path::new("/d/a.tmp"), Path::new("/d/a")).unwrap();
+            // No sync_dir: the link flip is in the namespace cache only.
+            fs.crash_and_restore();
+            let got = fs.read(Path::new("/d/a")).expect("target name survives");
+            match got.as_slice() {
+                b"old" => olds += 1,
+                b"new" => news += 1,
+                other => panic!("target holds neither image: {other:?}"),
+            }
+        }
+        assert!(
+            olds > 0 && news > 0,
+            "both outcomes reachable: old={olds} new={news}"
+        );
+    }
+
+    #[test]
+    fn synced_rename_is_stable() {
+        let fs = SimFs::new(3);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a.tmp"), b"payload");
+        fs.rename(Path::new("/d/a.tmp"), Path::new("/d/a")).unwrap();
+        fs.sync_dir(Path::new("/d")).unwrap();
+        for _ in 0..8 {
+            fs.crash_and_restore();
+            assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"payload");
+            assert!(fs.read(Path::new("/d/a.tmp")).is_err());
+        }
+    }
+
+    #[test]
+    fn unsynced_remove_may_resurrect_synced_remove_never() {
+        let mut resurrected = 0;
+        for seed in 0..64 {
+            let fs = SimFs::new(seed);
+            fs.create_dir_all(Path::new("/d")).unwrap();
+            write_sync(&fs, Path::new("/d/a"), b"ghost");
+            fs.remove_file(Path::new("/d/a")).unwrap();
+            fs.crash_and_restore();
+            if let Ok(got) = fs.read(Path::new("/d/a")) {
+                assert_eq!(got, b"ghost");
+                resurrected += 1;
+            }
+        }
+        assert!(resurrected > 0, "resurrection reachable");
+        let fs = SimFs::new(9);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a"), b"ghost");
+        fs.remove_file(Path::new("/d/a")).unwrap();
+        fs.sync_dir(Path::new("/d")).unwrap();
+        fs.crash_and_restore();
+        assert!(fs.read(Path::new("/d/a")).is_err());
+    }
+
+    #[test]
+    fn short_reads_are_transient() {
+        let fs = SimFs::new(5);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a"), b"abc");
+        fs.set_short_reads(2);
+        assert_eq!(
+            fs.read(Path::new("/d/a")).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        assert!(fs.read(Path::new("/d/a")).is_err());
+        assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fork_is_independent_and_deterministic() {
+        let fs = SimFs::new(11);
+        fs.create_dir_all(Path::new("/d")).unwrap();
+        write_sync(&fs, Path::new("/d/a"), b"shared");
+        let fork = fs.fork();
+        fork.install(Path::new("/d/a"), b"forked");
+        assert_eq!(fs.read(Path::new("/d/a")).unwrap(), b"shared");
+        assert_eq!(fork.read(Path::new("/d/a")).unwrap(), b"forked");
+        // Identical forks make identical fault decisions.
+        let (f1, f2) = (fs.fork(), fs.fork());
+        for f in [&f1, &f2] {
+            let mut h = f.create(Path::new("/d/t")).unwrap();
+            h.write_all(b"0123456789").unwrap();
+            f.crash_and_restore();
+        }
+        assert_eq!(f1.peek(Path::new("/d/t")), f2.peek(Path::new("/d/t")));
+    }
+
+    #[test]
+    fn same_seed_same_world() {
+        let run = || {
+            let fs = SimFs::new(42);
+            fs.create_dir_all(Path::new("/d")).unwrap();
+            for i in 0..5u8 {
+                let p = PathBuf::from(format!("/d/f{i}"));
+                let mut f = fs.create(&p).unwrap();
+                f.write_all(&[i; 16]).unwrap();
+                if i % 2 == 0 {
+                    f.sync_data().unwrap();
+                }
+            }
+            fs.crash_and_restore();
+            fs.live_files()
+                .into_iter()
+                .map(|p| (p.clone(), fs.peek(&p).unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn listing_and_exists() {
+        let fs = SimFs::new(0);
+        fs.create_dir_all(Path::new("/root/sub")).unwrap();
+        write_sync(&fs, Path::new("/root/f"), b"x");
+        let listed = fs.list(Path::new("/root")).unwrap();
+        assert!(listed.contains(&PathBuf::from("/root/f")));
+        assert!(listed.contains(&PathBuf::from("/root/sub")));
+        assert!(fs.exists(Path::new("/root/sub")));
+        assert!(!fs.exists(Path::new("/root/ghost")));
+        assert!(fs.list(Path::new("/ghost")).is_err());
+    }
+}

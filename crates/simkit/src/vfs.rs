@@ -1,0 +1,189 @@
+//! The filesystem abstraction the durability layer is written against.
+//!
+//! [`Vfs`] captures exactly the operations the WAL, checkpoint, and
+//! manifest code need — whole-file reads, append-oriented writable
+//! handles, rename, remove, directory listing, and the two sync points
+//! (`sync_data` on a file, `sync_dir` on a directory). Production code
+//! runs over [`RealFs`], which maps each method 1:1 onto `std::fs`; the
+//! deterministic simulator runs over [`crate::SimFs`], which models the
+//! page cache and injects crashes and faults at syscall granularity.
+//!
+//! All methods return `std::io::Result` so implementations stay free of
+//! workspace error types; callers wrap failures into their own typed
+//! errors exactly as they did with `std::fs`.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A writable file handle obtained from [`Vfs::create`].
+///
+/// Handles are append-oriented: the durability layer only ever creates a
+/// file and extends it (WAL segments, checkpoint temporaries); in-place
+/// rewrites go through create-truncate or [`Vfs::truncate`].
+pub trait VfsFile: Send + fmt::Debug {
+    /// Append `data` at the current end of the file.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+
+    /// Make everything written so far durable (survives a crash).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem. Object-safe; shared as `Arc<dyn Vfs>`.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Full paths of the entries directly inside `dir` (files and
+    /// directories), in no guaranteed order.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// The entire contents of the file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// True iff `path` exists (file or directory).
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Create (or truncate) the file at `path` and return a writable
+    /// handle positioned at its start.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Shrink the existing file at `path` to `len` bytes and make the new
+    /// content durable before returning. Used by recovery repair (torn-tail
+    /// truncation), where the shorter image must not be lost to a later
+    /// crash once new records land after it.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to` (replacing `to` if present). The
+    /// rename is durable only after [`Vfs::sync_dir`] on the parent.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Make the *namespace* of `dir` durable: creations, renames, and
+    /// removals inside it survive a crash only after this returns.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production filesystem: every method maps directly onto `std::fs`,
+/// preserving the exact behaviour the durability layer had when it called
+/// `std::fs` itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shared handle, ready to pass where `Arc<dyn Vfs>` is expected.
+    pub fn arc() -> Arc<dyn Vfs> {
+        Arc::new(RealFs)
+    }
+}
+
+/// A real file opened for appending writes.
+struct RealFile {
+    file: File,
+    path: PathBuf,
+}
+
+impl fmt::Debug for RealFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RealFile")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = File::create(path)?;
+        Ok(Box::new(RealFile {
+            file,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_testkit::TempDir;
+
+    #[test]
+    fn realfs_round_trip() {
+        let tmp = TempDir::new("simkit-realfs");
+        let fs = RealFs;
+        let dir = tmp.join("sub");
+        fs.create_dir_all(&dir).unwrap();
+        let a = dir.join("a.bin");
+        {
+            let mut f = fs.create(&a).unwrap();
+            f.write_all(b"hello ").unwrap();
+            f.write_all(b"world").unwrap();
+            f.sync_data().unwrap();
+        }
+        assert_eq!(fs.read(&a).unwrap(), b"hello world");
+        assert!(fs.exists(&a));
+        fs.truncate(&a, 5).unwrap();
+        assert_eq!(fs.read(&a).unwrap(), b"hello");
+        let b = dir.join("b.bin");
+        fs.rename(&a, &b).unwrap();
+        assert!(!fs.exists(&a));
+        let listed = fs.list(&dir).unwrap();
+        assert_eq!(listed, vec![b.clone()]);
+        fs.sync_dir(&dir).unwrap();
+        fs.remove_file(&b).unwrap();
+        assert!(fs.list(&dir).unwrap().is_empty());
+        assert!(fs.read(&b).is_err());
+    }
+}

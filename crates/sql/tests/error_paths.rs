@@ -1,0 +1,238 @@
+//! Parser and planner error paths: every malformed input produces a
+//! *typed* [`ChronicleError`] — never a panic, never a stringly blob —
+//! and parse errors carry a byte offset inside the source text.
+//!
+//! Engine-level rejection of the same statements (unknown view in a
+//! `SELECT` against a live database, arity violations through
+//! `ChronicleDb::execute`) is covered in `tests/failure_injection.rs`;
+//! this suite pins the contract of the language layer itself.
+
+use chronicle_sql::{parse, plan_view, resolve_literal_row, Literal, Statement};
+use chronicle_store::{Catalog, Retention};
+use chronicle_types::{AttrType, Attribute, ChronicleError, Schema, SeqNo};
+
+// ---- parser: malformed DDL -------------------------------------------------
+
+/// Parse must fail with `Parse { offset }`, the offset landing inside
+/// (or at the end of) the source.
+fn assert_parse_err(sql: &str) -> ChronicleError {
+    let err = parse(sql).unwrap_err();
+    match &err {
+        ChronicleError::Parse { offset, .. } => {
+            assert!(
+                *offset <= sql.len(),
+                "offset {offset} outside source (len {}) for {sql:?}",
+                sql.len()
+            );
+        }
+        other => panic!("expected Parse error for {sql:?}, got {other:?}"),
+    }
+    err
+}
+
+#[test]
+fn malformed_ddl_is_a_typed_parse_error() {
+    // Missing object name.
+    assert_parse_err("CREATE CHRONICLE");
+    assert_parse_err("CREATE GROUP");
+    assert_parse_err("DROP VIEW");
+    // Unterminated / empty column lists.
+    assert_parse_err("CREATE CHRONICLE c (sn SEQ,");
+    assert_parse_err("CREATE CHRONICLE c ()");
+    assert_parse_err("CREATE RELATION r (");
+    // Unknown column type.
+    assert_parse_err("CREATE CHRONICLE c (sn SEQ, x BLOB)");
+    // SELECT with nothing selected, or no FROM.
+    assert_parse_err("CREATE VIEW v AS SELECT FROM c");
+    assert_parse_err("CREATE VIEW v AS SELECT x, SUM(y) AS s");
+    // Dangling WHERE.
+    assert_parse_err("CREATE VIEW v AS SELECT x, COUNT(*) AS n FROM c WHERE");
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    assert_parse_err("DROP VIEW v nonsense");
+    assert_parse_err("CREATE GROUP g; CREATE GROUP h");
+    assert_parse_err("APPEND INTO c VALUES (1, 2.0) AND MORE");
+}
+
+#[test]
+fn mixed_and_or_carries_the_paper_hint() {
+    // Def. 4.1's predicate language has conjunctions or disjunctions, not
+    // arbitrary nesting; the rejection says so instead of a bare "syntax
+    // error".
+    let err = assert_parse_err(
+        "CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM c \
+         WHERE k = 1 AND v > 2 OR k = 3 GROUP BY k",
+    );
+    assert!(err.to_string().contains("Def. 4.1"), "{err}");
+}
+
+#[test]
+fn malformed_append_and_dml_are_parse_errors() {
+    assert_parse_err("APPEND INTO c VALUES"); // no tuple at all
+    assert_parse_err("APPEND INTO c VALUES (1,)"); // dangling comma
+    assert_parse_err("APPEND INTO c AT VALUES (1)"); // AT without a chronon
+    assert_parse_err("INSERT INTO r"); // no VALUES
+    assert_parse_err("UPDATE r SET WHERE k = 1"); // no assignments
+    assert_parse_err("DELETE FROM r"); // no key filter
+    assert_parse_err("DELETE FROM r WHERE"); // dangling WHERE
+}
+
+// ---- literal-row resolution: APPEND arity and types ------------------------
+
+fn chronicle_schema() -> Schema {
+    Schema::chronicle(
+        vec![
+            Attribute::new("sn", AttrType::Seq),
+            Attribute::new("k", AttrType::Int),
+            Attribute::new("v", AttrType::Float),
+        ],
+        "sn",
+    )
+    .unwrap()
+}
+
+fn rows_of(sql: &str) -> Vec<Vec<Literal>> {
+    match parse(sql).unwrap() {
+        Statement::Append(a) => a.rows,
+        other => panic!("expected APPEND, got {other:?}"),
+    }
+}
+
+#[test]
+fn append_arity_mismatch_is_typed() {
+    let schema = chronicle_schema();
+    // One value for a (k, v) payload: neither full arity nor SN-omitted.
+    let rows = rows_of("APPEND INTO c VALUES (1)");
+    let err = resolve_literal_row(&schema, &rows[0], Some(SeqNo(1))).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ChronicleError::ArityMismatch {
+                expected: 3,
+                found: 1
+            }
+        ),
+        "{err:?}"
+    );
+    // Four values overflow the 3-attribute schema.
+    let rows = rows_of("APPEND INTO c VALUES (1, 2, 3.0, 4.0)");
+    let err = resolve_literal_row(&schema, &rows[0], Some(SeqNo(1))).unwrap_err();
+    assert!(
+        matches!(err, ChronicleError::ArityMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn append_type_mismatches_are_typed() {
+    let schema = chronicle_schema();
+    // A string where the INT attribute lives.
+    let rows = rows_of("APPEND INTO c VALUES ('nope', 2.0)");
+    let err = resolve_literal_row(&schema, &rows[0], Some(SeqNo(1))).unwrap_err();
+    assert!(
+        matches!(err, ChronicleError::TypeMismatch { .. }),
+        "{err:?}"
+    );
+    // Full-arity row spelling the SN as a non-integer.
+    let rows = rows_of("APPEND INTO c VALUES (1.5, 1, 2.0)");
+    let err = resolve_literal_row(&schema, &rows[0], Some(SeqNo(1))).unwrap_err();
+    assert!(
+        matches!(err, ChronicleError::TypeMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+// ---- planner: unresolved names and bad aggregates --------------------------
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let g = cat.create_group("g").unwrap();
+    cat.create_chronicle("calls", g, chronicle_schema(), Retention::None)
+        .unwrap();
+    let rs = Schema::relation_with_key(
+        vec![
+            Attribute::new("acct", AttrType::Int),
+            Attribute::new("state", AttrType::Str),
+        ],
+        &["acct"],
+    )
+    .unwrap();
+    cat.create_relation("customers", rs).unwrap();
+    cat
+}
+
+fn plan(cat: &Catalog, sql: &str) -> Result<(), ChronicleError> {
+    match parse(sql)? {
+        Statement::CreateView { query, .. } => plan_view(cat, &query).map(|_| ()),
+        other => panic!("expected CREATE VIEW, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_chronicle_in_from_is_not_found() {
+    let cat = catalog();
+    let err = plan(
+        &cat,
+        "CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM ghost GROUP BY k",
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ChronicleError::NotFound {
+                kind: "chronicle",
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn unknown_relation_in_join_is_not_found() {
+    let cat = catalog();
+    let err = plan(
+        &cat,
+        "CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM calls \
+         JOIN ghost ON k = acct GROUP BY k",
+    )
+    .unwrap_err();
+    assert!(matches!(err, ChronicleError::NotFound { .. }), "{err:?}");
+}
+
+#[test]
+fn unknown_attributes_are_typed() {
+    let cat = catalog();
+    for sql in [
+        // In the SELECT list.
+        "CREATE VIEW v AS SELECT ghost, COUNT(*) AS n FROM calls GROUP BY ghost",
+        // In the aggregate argument.
+        "CREATE VIEW v AS SELECT k, SUM(ghost) AS s FROM calls GROUP BY k",
+        // In the WHERE clause.
+        "CREATE VIEW v AS SELECT k, COUNT(*) AS n FROM calls WHERE ghost = 1 GROUP BY k",
+    ] {
+        let err = plan(&cat, sql).unwrap_err();
+        assert!(
+            matches!(err, ChronicleError::UnknownAttribute { .. }),
+            "{sql}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_over_wrong_type_is_typed() {
+    let cat = catalog();
+    // SUM over the join partner's string attribute.
+    let err = plan(
+        &cat,
+        "CREATE VIEW v AS SELECT k, SUM(state) AS s FROM calls \
+         JOIN customers ON k = acct GROUP BY k",
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ChronicleError::BadAggregate { .. }),
+        "{err:?}"
+    );
+}

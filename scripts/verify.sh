@@ -32,6 +32,16 @@ echo "== crash-recovery gate (offline) =="
 cargo test -q --offline --test restart
 cargo test -q --offline --test failure_injection
 
+echo "== deterministic simulation gate (offline) =="
+# Seeded crash/fault schedules against the durable engine over the
+# in-memory fault-injecting filesystem (DESIGN.md §11), alternating
+# single and sharded topologies. On failure the runner prints the single
+# u64 seed (and the exact command) that replays the run byte-for-byte.
+cargo run -q --offline --release --example sim -- \
+    --base 0 --seeds 300 --ops 120 --budget-ms 90000
+cargo run -q --offline --release --example sim -- \
+    --base 5000 --seeds 100 --shards 3 --ops 240 --budget-ms 60000
+
 echo "== sharded maintenance gate (offline) =="
 # The concurrent-shard property test: sharded view states must be
 # byte-identical to the single-threaded reference at SHARDS=4.

@@ -58,11 +58,14 @@
 pub use chronicle_algebra as algebra;
 pub use chronicle_db as db;
 pub use chronicle_durability as durability;
+pub use chronicle_simkit as simkit;
 pub use chronicle_sql as sql;
 pub use chronicle_store as store;
 pub use chronicle_types as types;
 pub use chronicle_views as views;
 pub use chronicle_workload as workload;
+
+pub mod sim;
 
 /// One-stop imports for examples and applications.
 pub mod prelude {

@@ -1,0 +1,644 @@
+//! Deterministic simulation driver: seeded fault schedules against the
+//! durable engine over [`SimFs`], checked after every recovery against a
+//! naive in-memory oracle.
+//!
+//! One `u64` seed determines *everything* a run does — the operation
+//! schedule ([`chronicle_simkit::generate`]), the filesystem's fault
+//! decisions (which bytes a torn write keeps, which unsynced renames
+//! survive a power cut), and where each armed crash strikes. A failing
+//! run therefore reproduces from its seed alone: `run_seed(seed, &cfg)`
+//! replays it byte-for-byte.
+//!
+//! # Protocol
+//!
+//! The driver executes the schedule against a durable
+//! [`ChronicleDb`]/[`ShardedDb`] opened over a [`SimFs`] with `fsync`
+//! enabled, so every acknowledged (`Ok`) statement is durable by
+//! contract. It tracks the acknowledged SQL prefix; after every recovery
+//! — crash-induced, clean reopen, or the hard power cut that ends every
+//! schedule — it rebuilds a fresh in-memory database replaying that
+//! prefix and compares complete logical state (every view snapshot
+//! byte-for-byte, periodic-view snapshots, relation contents, chronicle
+//! windows and watermarks).
+//!
+//! A crash can strike mid-statement, leaving exactly one statement
+//! *in flight*: its WAL record may or may not have reached the durable
+//! medium before the lights went out. Recovery must land on one of the
+//! two legal histories — `acked` or `acked + [in_flight]` — and the
+//! driver adopts whichever matched as the canonical history going
+//! forward. Anything else is a correctness bug, reported as a
+//! [`SimFailure`] carrying the reproducing seed.
+//!
+//! # Known torn state: cross-shard relation broadcasts
+//!
+//! [`ShardedDb`] replicates relations to every shard by broadcasting DML
+//! shard-by-shard, each with its own WAL commit. A power cut mid-broadcast
+//! legally leaves a *prefix* of shards with the statement applied and the
+//! rest without — the replicas have genuinely diverged, which the sharded
+//! engine does not repair (there is no cross-shard atomic commit). The
+//! driver verifies the per-shard prefix property (shards `0..j` match the
+//! applied history, shards `j..` the unapplied one) and then halts the
+//! schedule: subsequent broadcasts against diverged replicas are outside
+//! the oracle's model. The halt is counted in
+//! [`SimReport::halted_on_divergence`], not a failure.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use chronicle_db::{ChronicleDb, DurabilityOptions, ShardedDb};
+use chronicle_simkit::{generate, ScheduleConfig, SimFs, SimOp, Vfs, SHORT_READ_MSG};
+use chronicle_sql::{parse, Statement};
+
+/// Salt xored into the schedule seed to derive the filesystem RNG seed,
+/// so the two deterministic streams never accidentally correlate.
+const FS_SEED_SALT: u64 = 0x0f5f_5eed_0d15_c0de;
+
+/// `SIM_TRACE=1` streams every executed op (with the filesystem mutation
+/// counter), crash points, reopens, and — on failure — the surviving
+/// files with their WAL frames decoded plus the full recovered/oracle
+/// digests, all to stderr. Purely diagnostic: reads no RNG and never
+/// changes what a run does, so a traced replay is byte-identical to the
+/// original.
+fn trace_on() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("SIM_TRACE").is_ok())
+}
+
+macro_rules! trace {
+    ($($t:tt)*) => {
+        if trace_on() {
+            eprintln!($($t)*);
+        }
+    };
+}
+
+/// Attempts before a reopen loop gives up (each retry first resolves any
+/// pending crash, so this bound is never reached on correct code).
+const MAX_REOPEN_ATTEMPTS: u32 = 8;
+
+/// A simulation found a correctness violation (or could not recover).
+/// `Display` leads with the seed: pasting it into [`run_seed`] replays
+/// the failing run deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFailure {
+    /// The schedule seed that reproduces this failure.
+    pub seed: u64,
+    /// What went wrong, with the first diverging state line if any.
+    pub detail: String,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation failure [reproduce with seed {}]: {}",
+            self.seed, self.detail
+        )
+    }
+}
+
+impl std::error::Error for SimFailure {}
+
+/// What one completed run did (diagnostics for gates and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// The seed the run replayed.
+    pub seed: u64,
+    /// SQL statements acknowledged (including adopted in-flight ones).
+    pub sql_acked: usize,
+    /// Power losses suffered (armed crashes plus the final hard cut).
+    pub crashes: usize,
+    /// Recoveries performed and verified against the oracle.
+    pub recoveries: usize,
+    /// Explicit checkpoints completed.
+    pub checkpoints: usize,
+    /// The run stopped early because a mid-broadcast power cut left
+    /// relation replicas legally diverged across shards (sharded mode
+    /// only; the diverged state itself was verified shard-by-shard).
+    pub halted_on_divergence: bool,
+}
+
+/// Run one seeded schedule against a single durable [`ChronicleDb`].
+pub fn run_seed(seed: u64, cfg: &ScheduleConfig) -> Result<SimReport, SimFailure> {
+    run(seed, cfg, None)
+}
+
+/// Run one seeded schedule against a [`ShardedDb`] with `shards` shards.
+/// Fault plans are cleared before every reopen (shard recovery is
+/// parallel, so an armed countdown would trip in nondeterministic thread
+/// order); faults strike only while the database is serially executing.
+pub fn run_seed_sharded(
+    seed: u64,
+    shards: usize,
+    cfg: &ScheduleConfig,
+) -> Result<SimReport, SimFailure> {
+    run(seed, cfg, Some(shards))
+}
+
+// ---- driver ---------------------------------------------------------------
+
+/// The system under test: one durable database in either topology.
+/// (One instance exists per run, so the size skew between the variants
+/// is irrelevant — no boxing.)
+#[allow(clippy::large_enum_variant)]
+enum Db {
+    Single(ChronicleDb),
+    Sharded(ShardedDb),
+}
+
+impl Db {
+    fn execute(&mut self, sql: &str) -> chronicle_types::Result<()> {
+        match self {
+            Db::Single(db) => db.execute(sql).map(|_| ()),
+            Db::Sharded(db) => db.execute(sql).map(|_| ()),
+        }
+    }
+
+    fn checkpoint(&mut self) -> chronicle_types::Result<()> {
+        match self {
+            Db::Single(db) => db.checkpoint().map(|_| ()),
+            Db::Sharded(db) => db.checkpoint().map(|_| ()),
+        }
+    }
+
+    fn digest(&self) -> String {
+        match self {
+            Db::Single(db) => digest_single(db),
+            Db::Sharded(db) => digest_sharded(db),
+        }
+    }
+}
+
+fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimReport, SimFailure> {
+    let schedule = generate(seed, cfg);
+    let fs = SimFs::new(seed ^ FS_SEED_SALT);
+    let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+    let root = PathBuf::from("/sim/db");
+    let opts = DurabilityOptions {
+        // Small segments force frequent rotation, so schedules exercise
+        // the sealed-segment chain, truncation, and gap checks.
+        segment_bytes: 1024,
+        // Acknowledged ⇒ durable is the invariant the oracle relies on.
+        fsync: true,
+        auto_checkpoint_records: None,
+        keep_checkpoints: 2,
+    };
+    let mut report = SimReport {
+        seed,
+        ..SimReport::default()
+    };
+    let mut acked: Vec<String> = Vec::new();
+    let mut db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+
+    for op in &schedule.ops {
+        match op {
+            SimOp::Sql(sql) => {
+                trace!(
+                    "TRACE sql[{}] muts={} {sql}",
+                    acked.len(),
+                    fs.mutation_count()
+                );
+                match db.execute(sql) {
+                    Ok(()) => acked.push(sql.clone()),
+                    Err(_) if fs.crashed() => {
+                        trace!("TRACE crash tripped during sql: {sql}");
+                        report.crashes += 1;
+                        fs.crash_and_restore();
+                        db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+                        match verify(&db, &mut acked, Some(sql), shards, seed, &mut report)? {
+                            Verdict::Continue => {}
+                            Verdict::Halt => {
+                                report.halted_on_divergence = true;
+                                report.sql_acked = acked.len();
+                                return Ok(report);
+                            }
+                        }
+                    }
+                    // A benign semantic rejection: the statement depended
+                    // on an object whose creating statement was lost in an
+                    // earlier crash (e.g. DROP VIEW of a never-durable
+                    // view). The oracle agrees — the statement is simply
+                    // not part of the acknowledged history.
+                    Err(_) => {}
+                }
+            }
+            SimOp::Checkpoint => {
+                trace!("TRACE checkpoint muts={}", fs.mutation_count());
+                match db.checkpoint() {
+                    Ok(()) => report.checkpoints += 1,
+                    Err(_) if fs.crashed() => {
+                        // Checkpoints change no logical state: recovery
+                        // must reproduce exactly the acknowledged history,
+                        // however torn the checkpoint/prune/truncate
+                        // sequence was.
+                        report.crashes += 1;
+                        fs.crash_and_restore();
+                        db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+                        match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+                            Verdict::Continue => {}
+                            Verdict::Halt => unreachable!("no in-flight statement"),
+                        }
+                    }
+                    Err(e) => {
+                        return Err(SimFailure {
+                            seed,
+                            detail: format!("checkpoint failed on a healthy disk: {e}"),
+                        })
+                    }
+                }
+            }
+            SimOp::Crash { countdown } => {
+                trace!(
+                    "TRACE arm crash countdown={countdown} muts={}",
+                    fs.mutation_count()
+                );
+                fs.set_crash_after(*countdown);
+            }
+            SimOp::Reopen { short_reads } => {
+                trace!(
+                    "TRACE clean reopen short_reads={short_reads} muts={}",
+                    fs.mutation_count()
+                );
+                drop(db);
+                if shards.is_none() {
+                    fs.set_short_reads(*short_reads);
+                }
+                db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+                match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+                    Verdict::Continue => {}
+                    Verdict::Halt => unreachable!("no in-flight statement"),
+                }
+            }
+        }
+    }
+
+    // Every schedule ends with a hard power cut — no warning, no flush —
+    // and one final verified recovery.
+    fs.crash_and_restore();
+    report.crashes += 1;
+    db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+    match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+        Verdict::Continue => {}
+        Verdict::Halt => unreachable!("no in-flight statement"),
+    }
+    report.sql_acked = acked.len();
+    Ok(report)
+}
+
+/// Open (or re-open) the database, riding out injected faults: a crash
+/// countdown tripping mid-recovery gets a power cycle and a fresh
+/// attempt; a transient short read gets a plain retry. Any other failure
+/// is a real recovery bug. Sharded mode clears fault plans first — its
+/// parallel per-shard recovery would otherwise consume them in
+/// nondeterministic thread order.
+fn reopen(
+    fs: &SimFs,
+    vfs: &Arc<dyn Vfs>,
+    root: &std::path::Path,
+    opts: DurabilityOptions,
+    shards: Option<usize>,
+    seed: u64,
+    report: &mut SimReport,
+) -> Result<Db, SimFailure> {
+    if shards.is_some() {
+        fs.clear_faults();
+    }
+    let mut last_err = String::new();
+    for _ in 0..MAX_REOPEN_ATTEMPTS {
+        if trace_on() {
+            trace_dump_disk(fs);
+        }
+        let attempt = match shards {
+            None => ChronicleDb::open_with_vfs(Arc::clone(vfs), root, opts).map(Db::Single),
+            Some(n) => ShardedDb::open_with_vfs(Arc::clone(vfs), root, n, opts).map(Db::Sharded),
+        };
+        match attempt {
+            Ok(db) => {
+                report.recoveries += 1;
+                return Ok(db);
+            }
+            Err(e) if fs.crashed() => {
+                trace!("TRACE crash during recovery: {e}");
+                report.crashes += 1;
+                fs.crash_and_restore();
+                last_err = e.to_string();
+            }
+            Err(e) if e.to_string().contains(SHORT_READ_MSG) => {
+                last_err = e.to_string();
+            }
+            Err(e) => {
+                if trace_on() {
+                    trace_dump_disk(fs);
+                }
+                return Err(SimFailure {
+                    seed,
+                    detail: format!("recovery failed on a crash-consistent disk: {e}"),
+                });
+            }
+        }
+    }
+    Err(SimFailure {
+        seed,
+        detail: format!(
+            "recovery did not converge after {MAX_REOPEN_ATTEMPTS} attempts: {last_err}"
+        ),
+    })
+}
+
+/// `SIM_TRACE` diagnostic: print every file currently live on the
+/// simulated disk, decoding WAL segments frame-by-frame (lsn and on-disk
+/// size per frame, torn tails called out explicitly). Reading what a
+/// crash actually left behind is usually the fastest way to understand a
+/// recovery failure.
+fn trace_dump_disk(fs: &SimFs) {
+    for p in fs.live_files() {
+        let data = fs.peek(&p).unwrap_or_default();
+        let name = p.display().to_string();
+        if !name.ends_with(".seg") {
+            eprintln!("TRACE file {name} len={}", data.len());
+            continue;
+        }
+        let mut out = format!("TRACE seg {name} len={}", data.len());
+        if data.len() < 16 || &data[..8] != b"CHRWAL01" {
+            out.push_str(" <bad header>");
+            eprintln!("{out}");
+            continue;
+        }
+        let first = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        out.push_str(&format!(" first={first} frames=["));
+        let mut pos = 16usize;
+        while pos + 16 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let lsn = u64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
+            if pos + 8 + len > data.len() {
+                out.push_str(&format!(
+                    " torn(lsn={lsn},need={},have={})",
+                    len,
+                    data.len() - pos - 8
+                ));
+                pos = data.len();
+                break;
+            }
+            out.push_str(&format!(" {lsn}({}B)", 8 + len));
+            pos += 8 + len;
+        }
+        if pos < data.len() {
+            out.push_str(&format!(" +{}B trailing", data.len() - pos));
+        }
+        out.push_str(" ]");
+        eprintln!("{out}");
+    }
+}
+
+enum Verdict {
+    /// Recovered state matched a legal history; `acked` was updated if
+    /// the in-flight statement turned out durable.
+    Continue,
+    /// Sharded relation replicas legally diverged mid-broadcast; stop.
+    Halt,
+}
+
+/// Compare the recovered database against the oracle. Legal outcomes are
+/// `replay(acked)` and `replay(acked + [in_flight])`; in sharded mode a
+/// broadcast in-flight statement may also land on a per-shard prefix of
+/// the two (see the module docs).
+fn verify(
+    db: &Db,
+    acked: &mut Vec<String>,
+    in_flight: Option<&str>,
+    shards: Option<usize>,
+    seed: u64,
+    report: &mut SimReport,
+) -> Result<Verdict, SimFailure> {
+    let got = db.digest();
+    let oracle_a = replay(acked, shards, seed)?;
+    let digest_a = oracle_a.digest();
+    if got == digest_a {
+        return Ok(Verdict::Continue);
+    }
+    let Some(sql) = in_flight else {
+        return Err(diverged(seed, "acknowledged history", &got, &digest_a));
+    };
+    let mut with_in_flight = acked.clone();
+    with_in_flight.push(sql.to_string());
+    let oracle_b = replay_lenient(&with_in_flight, shards, seed);
+    if let Some(b) = &oracle_b {
+        if got == b.digest() {
+            acked.push(sql.to_string());
+            return Ok(Verdict::Continue);
+        }
+    }
+    // A broadcast statement commits shard-by-shard: a power cut mid-way
+    // legally applies it to a prefix of shards only.
+    if let (Db::Sharded(real), Db::Sharded(a), Some(Db::Sharded(b))) =
+        (db, &oracle_a, oracle_b.as_ref())
+    {
+        if is_broadcast(sql) {
+            let n = real.shard_count();
+            let per: Vec<(bool, bool)> = (0..n)
+                .map(|i| {
+                    let g = digest_single(real.shard(i));
+                    (
+                        g == digest_single(a.shard(i)),
+                        g == digest_single(b.shard(i)),
+                    )
+                })
+                .collect();
+            let prefix_ok = (0..=n).any(|j| {
+                per.iter()
+                    .enumerate()
+                    .all(|(i, &(ma, mb))| if i < j { mb } else { ma })
+            });
+            if prefix_ok {
+                report.halted_on_divergence = true;
+                return Ok(Verdict::Halt);
+            }
+        }
+    }
+    let digest_b = oracle_b.map(|b| b.digest()).unwrap_or_default();
+    trace!(
+        "== RECOVERED ==\n{got}== ORACLE A (acked) ==\n{digest_a}== ORACLE B (acked+in-flight) ==\n{digest_b}"
+    );
+    let vs = if digest_b.is_empty() {
+        digest_a
+    } else {
+        digest_b
+    };
+    Err(diverged(
+        seed,
+        "both legal histories (with and without the in-flight statement)",
+        &got,
+        &vs,
+    ))
+}
+
+fn diverged(seed: u64, what: &str, got: &str, expected: &str) -> SimFailure {
+    let first_diff = got
+        .lines()
+        .zip(expected.lines())
+        .find(|(g, e)| g != e)
+        .map(|(g, e)| format!("first diff: recovered `{g}` vs oracle `{e}`"))
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: recovered {} vs oracle {}",
+                got.lines().count(),
+                expected.lines().count()
+            )
+        });
+    SimFailure {
+        seed,
+        detail: format!("recovered state diverges from {what}; {first_diff}"),
+    }
+}
+
+fn is_broadcast(sql: &str) -> bool {
+    matches!(
+        parse(sql),
+        Ok(Statement::CreateRelation { .. }
+            | Statement::InsertRelation { .. }
+            | Statement::UpdateRelation { .. }
+            | Statement::DeleteRelation { .. })
+    )
+}
+
+/// The naive oracle: a fresh in-memory database replaying `history`.
+/// Every statement in an acknowledged history succeeded against the
+/// durable engine, so a replay rejection is itself a correctness signal.
+fn replay(history: &[String], shards: Option<usize>, seed: u64) -> Result<Db, SimFailure> {
+    let mut db = fresh(shards, seed)?;
+    for sql in history {
+        db.execute(sql).map_err(|e| SimFailure {
+            seed,
+            detail: format!("oracle rejected acknowledged statement `{sql}`: {e}"),
+        })?;
+    }
+    Ok(db)
+}
+
+/// Oracle replay for a *candidate* history (acked + in-flight): a
+/// rejection just means the candidate is not the branch that survived.
+fn replay_lenient(history: &[String], shards: Option<usize>, seed: u64) -> Option<Db> {
+    let mut db = fresh(shards, seed).ok()?;
+    for sql in history {
+        db.execute(sql).ok()?;
+    }
+    Some(db)
+}
+
+fn fresh(shards: Option<usize>, seed: u64) -> Result<Db, SimFailure> {
+    match shards {
+        None => Ok(Db::Single(ChronicleDb::new())),
+        Some(n) => ShardedDb::new(n).map(Db::Sharded).map_err(|e| SimFailure {
+            seed,
+            detail: format!("building oracle: {e}"),
+        }),
+    }
+}
+
+// ---- state digest ---------------------------------------------------------
+
+/// A deterministic text rendering of one database's complete logical
+/// state: every persistent-view snapshot byte-for-byte, periodic-view
+/// snapshots, relation current versions, chronicle windows and counters,
+/// and group watermarks. Two databases are state-equivalent iff their
+/// digests are equal; the text form makes the first diverging line
+/// reportable.
+fn digest_single(db: &ChronicleDb) -> String {
+    let mut out = String::new();
+    let mut views = db.snapshot_views();
+    views.sort();
+    for (name, bytes) in views {
+        writeln!(out, "view {name} {bytes:?}").expect("string write");
+    }
+    let mut periodic: Vec<&str> = db.periodic_view_names().collect();
+    periodic.sort_unstable();
+    for name in periodic {
+        let snap = db
+            .periodic_view(name)
+            .expect("listed periodic view exists")
+            .snapshot();
+        writeln!(out, "periodic {name} {snap:?}").expect("string write");
+    }
+    for (name, rel) in db.catalog().relations() {
+        let cur = rel.current();
+        let mut rows: Vec<String> = cur.to_vec().iter().map(|t| format!("{t:?}")).collect();
+        rows.sort_unstable();
+        writeln!(out, "relation {name} {rows:?}").expect("string write");
+    }
+    for c in db.catalog().chronicles() {
+        let rows: Vec<String> = c.scan_window().map(|t| format!("{t:?}")).collect();
+        writeln!(
+            out,
+            "chronicle {} last_seq={:?} total={} window={rows:?}",
+            c.name(),
+            c.last_seq(),
+            c.total_appended()
+        )
+        .expect("string write");
+    }
+    for g in db.catalog().groups() {
+        // Only the watermark is durable group state: a checkpoint's
+        // `GroupImage` persists `high_water` and the last chronon, not
+        // the full SN→chronon timeline.
+        writeln!(
+            out,
+            "group {} high_water={:?} now={:?}",
+            g.name(),
+            g.high_water(),
+            g.now()
+        )
+        .expect("string write");
+    }
+    out
+}
+
+fn digest_sharded(db: &ShardedDb) -> String {
+    let mut out = String::new();
+    for (i, shard) in db.shards().iter().enumerate() {
+        writeln!(out, "-- shard {i}").expect("string write");
+        out.push_str(&digest_single(shard));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            ops: 60,
+            ..ScheduleConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_seed_runs_clean() {
+        let report = run_seed(1, &quick_cfg()).unwrap();
+        assert!(report.sql_acked > 0);
+        assert!(report.recoveries >= 1, "final hard cut always recovers");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = run_seed(77, &quick_cfg());
+        let b = run_seed(77, &quick_cfg());
+        assert_eq!(a, b, "a run is a pure function of its seed");
+    }
+
+    #[test]
+    fn sharded_seed_runs_clean() {
+        let report = run_seed_sharded(5, 2, &quick_cfg()).unwrap();
+        assert!(report.sql_acked > 0);
+    }
+
+    #[test]
+    fn failure_prints_reproducing_seed() {
+        let f = SimFailure {
+            seed: 424242,
+            detail: "x".into(),
+        };
+        assert!(f.to_string().contains("424242"));
+    }
+}

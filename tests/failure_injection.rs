@@ -226,9 +226,11 @@ fn empty_batch_append_is_harmless() {
 
 mod wal_crash_points {
     use super::*;
+    use chronicle::simkit::{SimFs, Vfs};
     use chronicle_testkit::TempDir;
     use std::fs;
     use std::path::{Path, PathBuf};
+    use std::sync::Arc;
 
     const DDL: &[&str] = &[
         "CREATE CHRONICLE c (sn SEQ, k INT, v FLOAT)",
@@ -299,9 +301,64 @@ mod wal_crash_points {
     /// EVERY byte length and reopen. Each cut must recover exactly the
     /// acknowledged prefix that survived intact — byte-identical views —
     /// with the torn suffix discarded, never an error, never extra state.
+    ///
+    /// Runs over [`SimFs`]: the whole O(file²) sweep is in-memory work
+    /// with no tempdir churn, so every byte stays covered on every
+    /// `cargo test`. `torn_final_record_real_disk_smoke` keeps the same
+    /// fault family exercised through the real `std::fs` path.
     #[test]
     fn torn_final_record_recovers_exact_acknowledged_prefix() {
         const APPENDS: usize = 12;
+        let sim = SimFs::new(0x70c4);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/torn");
+        {
+            let mut d =
+                ChronicleDb::open_with_vfs(Arc::clone(&vfs), root, DurabilityOptions::default())
+                    .unwrap();
+            for stmt in DDL {
+                d.execute(stmt).unwrap();
+            }
+            d.checkpoint().unwrap(); // WAL tail now holds only appends
+            for i in 0..APPENDS {
+                append_nth(&mut d, i);
+            }
+        }
+        let snaps = oracle_snapshots(APPENDS);
+        let segs: Vec<PathBuf> = sim
+            .live_files()
+            .into_iter()
+            .filter(|p| {
+                p.starts_with(root.join("wal")) && p.extension().is_some_and(|x| x == "seg")
+            })
+            .collect();
+        assert_eq!(segs.len(), 1, "workload fits one segment");
+        let full = sim.peek(&segs[0]).unwrap();
+
+        for cut in 0..=full.len() {
+            // An independent copy of the disk with the segment cut at
+            // `cut` bytes — exactly what a torn write leaves behind.
+            let torn = sim.fork();
+            torn.install(&segs[0], &full[..cut]);
+            let d = ChronicleDb::open_with_vfs(Arc::new(torn), root, DurabilityOptions::default())
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got: {e}"));
+            let recovered = d.stats().appends as usize;
+            assert!(recovered <= APPENDS);
+            assert_eq!(
+                d.snapshot_views(),
+                snaps[recovered],
+                "cut at byte {cut}: recovered state is not the acknowledged prefix"
+            );
+        }
+    }
+
+    /// Real-disk smoke case for the torn-tail family: a few representative
+    /// cut points (bare header, mid-record, one byte short of intact)
+    /// through actual `std::fs` I/O. The exhaustive per-byte sweep runs on
+    /// `SimFs` above.
+    #[test]
+    fn torn_final_record_real_disk_smoke() {
+        const APPENDS: usize = 6;
         let tmp = TempDir::new("chronicle-torn");
         {
             let mut d = durable_db(tmp.path());
@@ -314,9 +371,7 @@ mod wal_crash_points {
         assert_eq!(segs.len(), 1, "workload fits one segment");
         let full = fs::read(&segs[0]).unwrap();
 
-        // Sweeping every byte is O(file²) work for the test driver but the
-        // file is small; step 1 keeps the guarantee airtight.
-        for cut in 0..=full.len() {
+        for cut in [16, full.len() / 2, full.len() - 1] {
             let scratch = TempDir::new("chronicle-torn-cut");
             copy_dir(tmp.path(), scratch.path());
             let seg = segments(scratch.path()).pop().unwrap();
@@ -529,9 +584,11 @@ mod wal_crash_points {
 mod sharded_crash_points {
     use super::*;
     use chronicle::db::{shard_of_group, ShardedDb};
+    use chronicle::simkit::{SimFs, Vfs};
     use chronicle_testkit::TempDir;
     use std::fs;
     use std::path::{Path, PathBuf};
+    use std::sync::Arc;
 
     const SHARDS: usize = 3;
     const GROUPS: usize = 6;
@@ -621,11 +678,19 @@ mod sharded_crash_points {
     /// victim must recover exactly the acknowledged prefix of the appends
     /// destined to it; every other shard must recover its full state —
     /// shard failure domains are independent.
+    ///
+    /// Runs over [`SimFs`] (every victim × every byte, in memory);
+    /// `torn_shard_tail_real_disk_smoke` keeps the family covered through
+    /// real `std::fs` I/O.
     #[test]
     fn torn_shard_tail_recovers_prefix_and_leaves_peers_intact() {
-        let tmp = TempDir::new("chronicle-sharded-torn");
+        let sim = SimFs::new(0x54a2d);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/sharded-torn");
         {
-            let mut d = ShardedDb::open(tmp.path(), SHARDS).unwrap();
+            let mut d =
+                ShardedDb::open_with_vfs(Arc::clone(&vfs), root, SHARDS, Default::default())
+                    .unwrap();
             for stmt in ddl() {
                 d.execute(&stmt).unwrap();
             }
@@ -648,22 +713,22 @@ mod sharded_crash_points {
         }
 
         for victim in 0..SHARDS {
-            let shard_dir = tmp.path().join(format!("shard-{victim:03}"));
-            let segs = segments(&shard_dir);
+            let wal_dir = root.join(format!("shard-{victim:03}")).join("wal");
+            let segs: Vec<PathBuf> = sim
+                .live_files()
+                .into_iter()
+                .filter(|p| p.starts_with(&wal_dir) && p.extension().is_some_and(|x| x == "seg"))
+                .collect();
             assert_eq!(segs.len(), 1, "shard {victim}: workload fits one segment");
-            let full = fs::read(&segs[0]).unwrap();
+            let full = sim.peek(&segs[0]).unwrap();
 
             for cut in 0..=full.len() {
-                let scratch = TempDir::new("chronicle-sharded-torn-cut");
-                copy_dir(tmp.path(), scratch.path());
-                let seg = segments(&scratch.path().join(format!("shard-{victim:03}")))
-                    .pop()
-                    .unwrap();
-                fs::write(&seg, &full[..cut]).unwrap();
-
-                let d = ShardedDb::open(scratch.path(), SHARDS).unwrap_or_else(|e| {
-                    panic!("shard {victim} cut at byte {cut} must recover, got: {e}")
-                });
+                let torn = sim.fork();
+                torn.install(&segs[0], &full[..cut]);
+                let d = ShardedDb::open_with_vfs(Arc::new(torn), root, SHARDS, Default::default())
+                    .unwrap_or_else(|e| {
+                        panic!("shard {victim} cut at byte {cut} must recover, got: {e}")
+                    });
                 for (s, oracle) in oracles.iter().enumerate() {
                     let mut got = d.shard(s).snapshot_views();
                     got.sort();
@@ -681,6 +746,57 @@ mod sharded_crash_points {
                             "shard {s} must be untouched by shard {victim}'s torn tail (cut {cut})"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// Real-disk smoke case for the sharded torn-tail family: one victim
+    /// shard, three representative cut points, actual `std::fs` I/O.
+    #[test]
+    fn torn_shard_tail_real_disk_smoke() {
+        let tmp = TempDir::new("chronicle-sharded-torn");
+        {
+            let mut d = ShardedDb::open(tmp.path(), SHARDS).unwrap();
+            for stmt in ddl() {
+                d.execute(&stmt).unwrap();
+            }
+            d.checkpoint().unwrap();
+            for (g, at, k, v) in history() {
+                d.append(
+                    &format!("c{g}"),
+                    Chronon(at),
+                    &[vec![Value::Int(k), Value::Float(v)]],
+                )
+                .unwrap();
+            }
+        }
+        let oracles: Vec<_> = (0..SHARDS).map(shard_oracle).collect();
+        let victim = 0;
+        let shard_dir = tmp.path().join(format!("shard-{victim:03}"));
+        let segs = segments(&shard_dir);
+        assert_eq!(segs.len(), 1, "shard {victim}: workload fits one segment");
+        let full = fs::read(&segs[0]).unwrap();
+
+        for cut in [16, full.len() / 2, full.len() - 1] {
+            let scratch = TempDir::new("chronicle-sharded-torn-cut");
+            copy_dir(tmp.path(), scratch.path());
+            let seg = segments(&scratch.path().join(format!("shard-{victim:03}")))
+                .pop()
+                .unwrap();
+            fs::write(&seg, &full[..cut]).unwrap();
+
+            let d = ShardedDb::open(scratch.path(), SHARDS)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got: {e}"));
+            for (s, oracle) in oracles.iter().enumerate() {
+                let mut got = d.shard(s).snapshot_views();
+                got.sort();
+                if s == victim {
+                    let recovered = d.shard(s).stats().appends as usize;
+                    assert!(recovered < oracle.len());
+                    assert_eq!(got, oracle[recovered], "cut at byte {cut}");
+                } else {
+                    assert_eq!(got, *oracle.last().unwrap(), "peer shard {s} (cut {cut})");
                 }
             }
         }

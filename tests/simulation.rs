@@ -1,0 +1,92 @@
+//! Tier-visible deterministic-simulation gate: a fixed seed set over both
+//! topologies, run on every `cargo test`.
+//!
+//! Each seed drives a full schedule — DDL, appends, relation DML, view
+//! creation, checkpoints, armed crashes, clean reopens — against a
+//! durable database over the in-memory fault-injecting [`SimFs`], and
+//! verifies every recovery byte-for-byte against an in-memory oracle.
+//! The deep sweeps live in `examples/sim.rs` (driven by `scripts/verify.sh`);
+//! this suite pins a small deterministic slice of them into tier-1 so a
+//! recovery regression fails `cargo test` with the reproducing seed in
+//! the panic message.
+//!
+//! Reproducing a failure printed by this suite:
+//!
+//! ```text
+//! SIM_TRACE=1 cargo run --release --example sim -- \
+//!     --base <seed> --seeds 1 --shards <0 or 2> --ops 120
+//! ```
+
+use chronicle::sim::{run_seed, run_seed_sharded};
+use chronicle::simkit::ScheduleConfig;
+
+fn cfg() -> ScheduleConfig {
+    ScheduleConfig {
+        ops: 120,
+        ..ScheduleConfig::default()
+    }
+}
+
+/// The pinned seed block. Nothing is special about these values — they
+/// are simply a contiguous range so a reader can line them up with a
+/// `--base 0 --seeds 24` sweep of the example runner.
+const SEEDS: std::ops::Range<u64> = 0..24;
+
+#[test]
+fn single_topology_fixed_seeds_recover_clean() {
+    for seed in SEEDS {
+        let report = run_seed(seed, &cfg())
+            .unwrap_or_else(|f| panic!("single-topology simulation failed: {f}"));
+        assert!(
+            report.recoveries >= 1,
+            "seed {seed}: every schedule ends in a verified recovery"
+        );
+    }
+}
+
+#[test]
+fn sharded_topology_fixed_seeds_recover_clean() {
+    for seed in SEEDS {
+        let report = run_seed_sharded(seed, 2, &cfg())
+            .unwrap_or_else(|f| panic!("sharded simulation failed: {f}"));
+        assert!(
+            report.recoveries >= 1,
+            "seed {seed}: every schedule ends in a verified recovery"
+        );
+    }
+}
+
+#[test]
+fn reports_are_reproducible_across_topologies() {
+    // A run is a pure function of (seed, config, topology): the report —
+    // acked-statement count, crash count, recovery count — must match
+    // exactly on replay. This is the property the whole seed-reproduction
+    // workflow rests on.
+    for seed in [3, 11, 19] {
+        assert_eq!(run_seed(seed, &cfg()), run_seed(seed, &cfg()));
+        assert_eq!(
+            run_seed_sharded(seed, 3, &cfg()),
+            run_seed_sharded(seed, 3, &cfg())
+        );
+    }
+}
+
+#[test]
+fn simulation_exercises_the_interesting_paths() {
+    // Guard against the schedule generator quietly degenerating (e.g. a
+    // weight change that stops producing crashes): across the pinned
+    // block, runs must collectively ack statements, suffer crashes,
+    // recover, and checkpoint.
+    let mut acked = 0;
+    let mut crashes = 0;
+    let mut checkpoints = 0;
+    for seed in SEEDS {
+        let r = run_seed(seed, &cfg()).expect("pinned seeds run clean");
+        acked += r.sql_acked;
+        crashes += r.crashes;
+        checkpoints += r.checkpoints;
+    }
+    assert!(acked > 100, "schedules ack real work (got {acked})");
+    assert!(crashes > 10, "schedules inject crashes (got {crashes})");
+    assert!(checkpoints > 5, "schedules checkpoint (got {checkpoints})");
+}
