@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use chronicle_algebra::ScaExpr;
 use chronicle_durability::{
-    checkpoint, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage, RelationImage, Wal,
-    WalRecord,
+    checkpoint, scrub_database, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage,
+    LsnRange, RelationImage, SalvageReport, ScrubReport, Wal, WalRecord,
 };
 use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{
@@ -49,6 +49,12 @@ pub enum ExecOutcome {
     Rows(Vec<Tuple>),
     /// A view was dropped.
     Dropped(String),
+}
+
+/// Test-only mutation backdoor for the verify.sh mutation check: prove the
+/// simulation gate notices when the salvage report is silently dropped.
+fn mutate(which: &str) -> bool {
+    std::env::var("CHRONICLE_MUTATE").is_ok_and(|v| v == which)
 }
 
 /// Live durability plumbing for a database opened at a path.
@@ -117,10 +123,41 @@ impl ChronicleDb {
             .map_err(|e| ChronicleError::Durability {
                 detail: format!("creating database directory {}: {e}", dir.display()),
             })?;
-        let (image, skipped) = checkpoint::load_latest_with_vfs(vfs.as_ref(), &dir)?;
+        let (image, skipped, ckpt_quarantined, ckpt_dropped_lsn) =
+            checkpoint::load_latest_salvaging_with_vfs(
+                vfs.as_ref(),
+                &dir,
+                opts.recovery,
+                opts.fsync,
+            )?;
         let checkpoint_lsn = image.as_ref().map(|i| i.lsn);
         let floor = checkpoint_lsn.unwrap_or(0);
         let (wal, tail) = Wal::open_with_vfs(Arc::clone(&vfs), dir.join("wal"), opts, floor)?;
+        // Under Salvage the WAL open produced a report; fold the
+        // checkpoint-level decisions into it.
+        let mut salvage = wal.salvage_report().cloned();
+        if let Some(report) = salvage.as_mut() {
+            report.checkpoints_skipped = skipped as u64;
+            report.checkpoints_quarantined = ckpt_quarantined;
+            // A dropped checkpoint at lsn X proves records 1..=X were once
+            // durable (checkpoints are only written behind the WAL). If
+            // replay could not reach back up to X — the records below the
+            // dropped image were already pruned — the difference is real
+            // loss and must be confessed, not absorbed by the fallback.
+            if ckpt_dropped_lsn > report.replayed_through {
+                let first = report.replayed_through + 1;
+                report.lost = Some(match report.lost {
+                    Some(r) => LsnRange {
+                        first: r.first.min(first),
+                        last: r.last.max(ckpt_dropped_lsn),
+                    },
+                    None => LsnRange {
+                        first,
+                        last: ckpt_dropped_lsn,
+                    },
+                });
+            }
+        }
         let mut db = ChronicleDb::new();
         if let Some(img) = image {
             db.restore_from_image(img)?;
@@ -135,6 +172,11 @@ impl ChronicleDb {
         db.stats.recovery_checkpoint_lsn = checkpoint_lsn;
         db.stats.recovery_replayed_records = replayed;
         db.stats.recovery_skipped_checkpoints = skipped as u64;
+        db.stats.salvage = if mutate("drop_salvage_report") {
+            salvage.map(|_| SalvageReport::default())
+        } else {
+            salvage
+        };
         // Attach the WAL only now: recovery itself must never re-log.
         db.durability = Some(DurabilityState {
             vfs,
@@ -144,6 +186,20 @@ impl ChronicleDb {
             records_since_checkpoint: replayed,
         });
         Ok(db)
+    }
+
+    /// Verify every checkpoint image and WAL segment of this database
+    /// without disturbing live state: re-read the files through the
+    /// [`Vfs`], re-check CRCs, headers, and LSN chain continuity, and
+    /// report findings instead of acting on them. Requires a durable
+    /// database (like [`ChronicleDb::checkpoint`]).
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        match self.durability.as_ref() {
+            Some(st) => scrub_database(st.vfs.as_ref(), &st.dir),
+            None => Err(ChronicleError::Durability {
+                detail: "scrub() requires a database opened with ChronicleDb::open".into(),
+            }),
+        }
     }
 
     /// True iff this database persists to disk.

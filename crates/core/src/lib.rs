@@ -36,7 +36,9 @@ pub mod pipeline;
 pub mod shard;
 pub mod stats;
 
-pub use chronicle_durability::DurabilityOptions;
+pub use chronicle_durability::{
+    DurabilityOptions, LsnRange, RecoveryPolicy, SalvageReport, ScrubReport,
+};
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
 pub use shard::{shard_of_group, ShardRoutes, ShardedDb};
 pub use stats::DbStats;

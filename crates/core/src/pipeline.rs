@@ -279,6 +279,7 @@ impl ShardedPipelineHandle {
 pub struct ShardedPipeline {
     workers: Vec<Pipeline>,
     routes: Arc<ShardRoutes>,
+    manifest_salvaged: bool,
 }
 
 impl ShardedPipeline {
@@ -293,13 +294,14 @@ impl ShardedPipeline {
     /// window set separately from the channel capacity (see
     /// [`Pipeline::start_with_window`]).
     pub fn start_with_window(db: ShardedDb, capacity: usize, window: usize) -> ShardedPipeline {
-        let (shards, routes) = db.into_parts();
+        let (shards, routes, manifest_salvaged) = db.into_parts();
         ShardedPipeline {
             workers: shards
                 .into_iter()
                 .map(|s| Pipeline::start_with_window(s, capacity, window))
                 .collect(),
             routes: Arc::new(routes),
+            manifest_salvaged,
         }
     }
 
@@ -323,7 +325,7 @@ impl ShardedPipeline {
         }
         let routes = (*self.routes).clone();
         let shards = self.workers.into_iter().map(Pipeline::shutdown).collect();
-        ShardedDb::from_parts(shards, routes)
+        ShardedDb::from_parts(shards, routes, self.manifest_salvaged)
     }
 }
 

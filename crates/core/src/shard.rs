@@ -39,7 +39,9 @@ use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
 
-use chronicle_durability::{DurabilityOptions, ShardManifest};
+use chronicle_durability::{
+    DurabilityOptions, RecoveryPolicy, SalvageReport, ScrubReport, ShardManifest,
+};
 use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{parse, Statement};
 use chronicle_types::{ChronicleError, Chronon, Result, Tuple, Value};
@@ -130,6 +132,9 @@ impl ShardRoutes {
 pub struct ShardedDb {
     shards: Vec<ChronicleDb>,
     routes: ShardRoutes,
+    /// True when a salvage open found the `SHARDS` manifest corrupt,
+    /// quarantined it, and rewrote it from the requested shard count.
+    manifest_salvaged: bool,
 }
 
 impl ShardedDb {
@@ -143,6 +148,7 @@ impl ShardedDb {
         Ok(ShardedDb {
             shards: (0..shards).map(|_| ChronicleDb::new()).collect(),
             routes: ShardRoutes::new(shards),
+            manifest_salvaged: false,
         })
     }
 
@@ -189,7 +195,24 @@ impl ShardedDb {
             .map_err(|e| ChronicleError::Durability {
                 detail: format!("creating database directory {}: {e}", root.display()),
             })?;
-        match ShardManifest::load_with_vfs(vfs.as_ref(), root)? {
+        // A corrupt manifest is a loud error under Strict. Under Salvage it
+        // is quarantined and rewritten from the requested shard count — the
+        // caller's `shards` is the only remaining source of truth, and an
+        // honest wrong guess surfaces immediately as per-shard recovery
+        // errors rather than silent misrouting (shard directories for a
+        // different count would not line up). A *valid* manifest that
+        // disagrees with `shards` stays loud under every policy: that is an
+        // operator error, not rot.
+        let mut manifest_salvaged = false;
+        let loaded = match ShardManifest::load_with_vfs(vfs.as_ref(), root) {
+            Err(ChronicleError::Corruption { .. }) if opts.recovery == RecoveryPolicy::Salvage => {
+                ShardManifest::quarantine_with_vfs(vfs.as_ref(), root, opts.fsync)?;
+                manifest_salvaged = true;
+                None
+            }
+            other => other?,
+        };
+        match loaded {
             Some(m) if m.shards as usize != shards => {
                 return Err(ChronicleError::Durability {
                     detail: format!(
@@ -230,6 +253,7 @@ impl ShardedDb {
         Ok(ShardedDb {
             shards: dbs,
             routes,
+            manifest_salvaged,
         })
     }
 
@@ -298,7 +322,43 @@ impl ShardedDb {
         for s in &self.shards {
             total.absorb(s.stats());
         }
+        if self.manifest_salvaged {
+            total
+                .salvage
+                .get_or_insert_with(SalvageReport::default)
+                .manifest_rewritten = true;
+        }
         total
+    }
+
+    /// Per-shard salvage reports from the most recent open, in shard order
+    /// (only shards that were opened with
+    /// [`RecoveryPolicy::Salvage`] carry one). The aggregated view is
+    /// [`ShardedDb::stats`]`.salvage`.
+    pub fn salvage_reports(&self) -> Vec<(usize, SalvageReport)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.stats().salvage.clone().map(|r| (i, r)))
+            .collect()
+    }
+
+    /// True when the most recent open quarantined a corrupt `SHARDS`
+    /// manifest and rewrote it from the requested shard count.
+    pub fn manifest_salvaged(&self) -> bool {
+        self.manifest_salvaged
+    }
+
+    /// Scrub every shard's checkpoints and WAL segments (read-only; see
+    /// [`chronicle_durability::scrub_database`]) and merge the findings.
+    /// The `SHARDS` manifest itself is fully validated on every open, so a
+    /// database that is running has a sound manifest by construction.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let mut total = ScrubReport::default();
+        for s in &self.shards {
+            total.merge(&s.scrub()?);
+        }
+        Ok(total)
     }
 
     /// Snapshot every persistent view across all shards, sorted by view
@@ -511,14 +571,22 @@ impl ShardedDb {
 
     /// Split into per-shard databases plus the routing table (the sharded
     /// pipeline gives each shard its own worker thread).
-    pub(crate) fn into_parts(self) -> (Vec<ChronicleDb>, ShardRoutes) {
-        (self.shards, self.routes)
+    pub(crate) fn into_parts(self) -> (Vec<ChronicleDb>, ShardRoutes, bool) {
+        (self.shards, self.routes, self.manifest_salvaged)
     }
 
     /// Reassemble after the pipeline returns the shards.
-    pub(crate) fn from_parts(shards: Vec<ChronicleDb>, routes: ShardRoutes) -> ShardedDb {
+    pub(crate) fn from_parts(
+        shards: Vec<ChronicleDb>,
+        routes: ShardRoutes,
+        manifest_salvaged: bool,
+    ) -> ShardedDb {
         debug_assert_eq!(shards.len(), routes.shards);
-        ShardedDb { shards, routes }
+        ShardedDb {
+            shards,
+            routes,
+            manifest_salvaged,
+        }
     }
 }
 

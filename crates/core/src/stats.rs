@@ -3,6 +3,7 @@
 use std::cell::{Cell, RefCell};
 
 use chronicle_algebra::WorkCounter;
+use chronicle_durability::SalvageReport;
 use chronicle_views::MaintenanceReport;
 
 /// Size of the retained latency sample.
@@ -42,6 +43,10 @@ pub struct DbStats {
     pub recovery_replayed_records: u64,
     /// Invalid checkpoint files skipped (newest-first) during recovery.
     pub recovery_skipped_checkpoints: u64,
+    /// What the most recent open salvaged; `Some` iff the database was
+    /// opened with `RecoveryPolicy::Salvage` (aggregated across shards
+    /// for a sharded database).
+    pub salvage: Option<SalvageReport>,
     /// Ring buffer of the last `SAMPLE` per-append maintenance latencies
     /// (ns). Once full, the slot for append number `n` (1-based) is
     /// `(n - 1) % SAMPLE`, so the buffer always holds exactly the most
@@ -100,6 +105,11 @@ impl DbStats {
             };
         self.recovery_replayed_records += other.recovery_replayed_records;
         self.recovery_skipped_checkpoints += other.recovery_skipped_checkpoints;
+        match (self.salvage.as_mut(), other.salvage.as_ref()) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.salvage = Some(theirs.clone()),
+            _ => {}
+        }
         let room = SAMPLE.saturating_sub(self.latencies.len());
         let take = other.latencies.len().min(room);
         self.latencies

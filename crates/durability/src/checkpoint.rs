@@ -31,7 +31,9 @@ use chronicle_types::codec::{Reader, Writer};
 use chronicle_types::{ChronicleError, Chronon, Result, SeqNo, Tuple};
 
 use crate::crc::crc32;
-use crate::wal::sync_dir;
+use crate::retry::read_with_retry;
+use crate::salvage::RecoveryPolicy;
+use crate::wal::{quarantine_rename, sync_dir};
 
 const MAGIC: &str = "CHRCKPT1";
 
@@ -270,7 +272,7 @@ fn ckpt_name(lsn: u64) -> String {
     format!("ckpt-{lsn:020}.ckpt")
 }
 
-fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let mut out: Vec<(u64, PathBuf)> = vfs
         .list(dir)
         .map_err(|e| ChronicleError::Durability {
@@ -349,21 +351,66 @@ pub fn load_latest(dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
 /// Returns the image (if any) and how many invalid files were skipped.
 /// `.tmp` files from interrupted writes are ignored entirely.
 pub fn load_latest_with_vfs(vfs: &dyn Vfs, dir: &Path) -> Result<(Option<CheckpointImage>, usize)> {
+    let (image, skipped, _, _) =
+        load_latest_salvaging_with_vfs(vfs, dir, RecoveryPolicy::Strict, false)?;
+    Ok((image, skipped))
+}
+
+/// [`load_latest_with_vfs`], recovery-policy aware.
+///
+/// Both policies fall back past an undecodable newest image to the
+/// previous generation (counting it in `skipped`); transient read faults
+/// are retried with backoff either way. Salvage additionally moves each
+/// undecodable image into `dir/quarantine/` (the returned paths) instead
+/// of leaving it in place, and treats a *persistently* unreadable image as
+/// one more file to skip rather than failing the open.
+///
+/// The final element is the highest lsn named by a skipped or quarantined
+/// image (0 when none was dropped): a checkpoint at lsn X proves records
+/// `1..=X` were once durable, so a recovery that ends below X after
+/// dropping it must confess the difference as loss.
+pub fn load_latest_salvaging_with_vfs(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    policy: RecoveryPolicy,
+    fsync: bool,
+) -> Result<(Option<CheckpointImage>, usize, Vec<PathBuf>, u64)> {
     if !vfs.exists(dir) {
-        return Ok((None, 0));
+        return Ok((None, 0, Vec::new(), 0));
     }
+    let salvage = policy == RecoveryPolicy::Salvage;
     let mut all = list_checkpoints(vfs, dir)?;
     let mut skipped = 0;
-    while let Some((_, path)) = all.pop() {
-        let bytes = vfs.read(&path).map_err(|e| ChronicleError::Durability {
-            detail: format!("reading checkpoint {}: {e}", path.display()),
-        })?;
+    let mut quarantined = Vec::new();
+    let mut dropped_lsn = 0u64;
+    while let Some((lsn, path)) = all.pop() {
+        let bytes = match read_with_retry(vfs, &path) {
+            Ok(bytes) => bytes,
+            Err(e) if salvage => {
+                let _ = e;
+                skipped += 1;
+                dropped_lsn = dropped_lsn.max(lsn);
+                quarantined.push(quarantine_rename(vfs, dir, &path, fsync)?);
+                continue;
+            }
+            Err(e) => {
+                return Err(ChronicleError::Durability {
+                    detail: format!("reading checkpoint {}: {e}", path.display()),
+                });
+            }
+        };
         match CheckpointImage::decode(&bytes) {
-            Ok(image) => return Ok((Some(image), skipped)),
-            Err(_) => skipped += 1,
+            Ok(image) => return Ok((Some(image), skipped, quarantined, dropped_lsn)),
+            Err(_) => {
+                skipped += 1;
+                dropped_lsn = dropped_lsn.max(lsn);
+                if salvage {
+                    quarantined.push(quarantine_rename(vfs, dir, &path, fsync)?);
+                }
+            }
         }
     }
-    Ok((None, skipped))
+    Ok((None, skipped, quarantined, dropped_lsn))
 }
 
 #[cfg(test)]

@@ -29,12 +29,17 @@ pub mod crc;
 mod group_commit;
 pub mod manifest;
 mod record;
+mod retry;
+pub mod salvage;
+pub mod scrub;
 mod wal;
 
 pub use checkpoint::{CheckpointImage, ChronicleImage, GroupImage, RelationImage};
 pub use group_commit::GroupCommit;
 pub use manifest::ShardManifest;
 pub use record::WalRecord;
+pub use salvage::{LsnRange, QuarantinedSegment, RecoveryPolicy, SalvageReport};
+pub use scrub::{scrub_database, ScrubFinding, ScrubReport};
 pub use wal::{Wal, WalStats};
 
 /// Policy knobs for the durability layer.
@@ -54,6 +59,11 @@ pub struct DurabilityOptions {
     pub auto_checkpoint_records: Option<u64>,
     /// How many checkpoint files to retain (the newest N; at least 1).
     pub keep_checkpoints: usize,
+    /// How recovery reacts to unexplained damage: fail loudly
+    /// ([`RecoveryPolicy::Strict`], the default) or recover the maximal
+    /// legal prefix and report what was lost
+    /// ([`RecoveryPolicy::Salvage`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for DurabilityOptions {
@@ -63,6 +73,7 @@ impl Default for DurabilityOptions {
             fsync: false,
             auto_checkpoint_records: None,
             keep_checkpoints: 2,
+            recovery: RecoveryPolicy::Strict,
         }
     }
 }

@@ -18,7 +18,8 @@ use chronicle_simkit::{RealFs, Vfs};
 use chronicle_types::{ChronicleError, Result};
 
 use crate::crc::crc32;
-use crate::wal::sync_dir;
+use crate::retry::read_with_retry;
+use crate::wal::{quarantine_rename, sync_dir};
 
 /// Magic prefix identifying a shard manifest file.
 const MAGIC: &[u8; 8] = b"CHRSHRD1";
@@ -50,7 +51,7 @@ impl ShardManifest {
     /// wrong shards.
     pub fn load_with_vfs(vfs: &dyn Vfs, root: &Path) -> Result<Option<ShardManifest>> {
         let path = root.join(MANIFEST_FILE);
-        let bytes = match vfs.read(&path) {
+        let bytes = match read_with_retry(vfs, &path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => {
@@ -87,6 +88,13 @@ impl ShardManifest {
     /// [`ShardManifest::write_with_vfs`] on the real filesystem.
     pub fn write(&self, root: &Path, fsync: bool) -> Result<()> {
         self.write_with_vfs(&RealFs, root, fsync)
+    }
+
+    /// Move a corrupt manifest into `root/quarantine/` so a salvage open
+    /// can rewrite it from the caller's requested shard count. Returns
+    /// where the untrusted file ended up.
+    pub fn quarantine_with_vfs(vfs: &dyn Vfs, root: &Path, fsync: bool) -> Result<PathBuf> {
+        quarantine_rename(vfs, root, &root.join(MANIFEST_FILE), fsync)
     }
 
     /// Persist the manifest under `root` (which must exist): write to a

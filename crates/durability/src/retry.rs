@@ -1,0 +1,69 @@
+//! Bounded retry for transient read faults.
+//!
+//! Recovery and scrub read whole files through the `Vfs`. A transient
+//! fault — an `Interrupted` short read from a flaky device or the
+//! simulator's `SHORT_READ_MSG` injection — must not abort an otherwise
+//! clean recovery, so reads retry a few times with a tiny backoff before
+//! surfacing the error. Anything other than `Interrupted` is returned
+//! immediately: real corruption or a missing file is not transient.
+
+use std::io::ErrorKind;
+use std::path::Path;
+use std::time::Duration;
+
+use chronicle_simkit::Vfs;
+
+/// How many read attempts before giving up on a transient fault.
+const MAX_READ_ATTEMPTS: u32 = 4;
+
+/// Read a whole file, retrying `Interrupted` errors with exponential
+/// backoff (1ms, 2ms, 4ms). Other error kinds return immediately.
+pub(crate) fn read_with_retry(vfs: &dyn Vfs, path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut attempt = 0;
+    loop {
+        match vfs.read(path) {
+            Ok(data) => return Ok(data),
+            Err(e) if e.kind() == ErrorKind::Interrupted && attempt + 1 < MAX_READ_ATTEMPTS => {
+                std::thread::sleep(Duration::from_millis(1 << attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_simkit::{SimFs, SHORT_READ_MSG};
+    use std::sync::Arc;
+
+    #[test]
+    fn transient_short_reads_are_retried_away() {
+        let fs = SimFs::new(9);
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        {
+            let mut f = vfs.create(Path::new("/d/x")).unwrap();
+            f.write_all(b"payload").unwrap();
+        }
+        fs.set_short_reads(u64::from(MAX_READ_ATTEMPTS) - 1);
+        let data = read_with_retry(vfs.as_ref(), Path::new("/d/x")).unwrap();
+        assert_eq!(data, b"payload");
+    }
+
+    #[test]
+    fn persistent_faults_still_surface() {
+        let fs = SimFs::new(9);
+        let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        {
+            let mut f = vfs.create(Path::new("/d/x")).unwrap();
+            f.write_all(b"payload").unwrap();
+        }
+        fs.set_short_reads(u64::from(MAX_READ_ATTEMPTS) + 5);
+        let err = read_with_retry(vfs.as_ref(), Path::new("/d/x")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted);
+        assert!(err.to_string().contains(SHORT_READ_MSG), "{err}");
+    }
+}

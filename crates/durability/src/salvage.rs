@@ -1,0 +1,219 @@
+//! Recovery policies and the salvage report.
+//!
+//! The durability layer supports two recovery policies. [`Strict`] is the
+//! historical behaviour: any damage that cannot be explained by a torn
+//! final write fails the open with `ChronicleError::Corruption`.
+//! [`Salvage`] instead recovers the **maximal legal prefix** of the
+//! acknowledged history: a corrupt newest checkpoint falls back to the
+//! previous generation, WAL replay truncates at the first unrecoverable
+//! frame, and untrusted files are moved aside into a `quarantine/`
+//! directory instead of being deleted — nothing the operator might want
+//! for forensics is destroyed. Every salvage decision is recorded in a
+//! [`SalvageReport`] so that lost data is *enumerated*, never silent.
+//!
+//! [`Strict`]: RecoveryPolicy::Strict
+//! [`Salvage`]: RecoveryPolicy::Salvage
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How recovery reacts to damage it cannot explain as a torn final write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Fail the open loudly on any unexplained damage (the default).
+    #[default]
+    Strict,
+    /// Recover the maximal legal prefix, quarantine untrusted files, and
+    /// report exactly what was lost in a [`SalvageReport`].
+    Salvage,
+}
+
+/// An inclusive range of LSNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsnRange {
+    /// First LSN in the range.
+    pub first: u64,
+    /// Last LSN in the range (inclusive; `>= first`).
+    pub last: u64,
+}
+
+impl fmt::Display for LsnRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.first == self.last {
+            write!(f, "lsn {}", self.first)
+        } else {
+            write!(f, "lsns {}..={}", self.first, self.last)
+        }
+    }
+}
+
+/// A WAL segment moved to `quarantine/` during a salvage open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedSegment {
+    /// Where the segment now lives (inside the quarantine directory).
+    pub path: PathBuf,
+    /// The first LSN the segment was named for.
+    pub first_lsn: u64,
+    /// Why the segment was not trusted.
+    pub reason: String,
+}
+
+/// What a `Salvage` open did and what it could not save.
+///
+/// The contract proven by the simulation gate: after a salvage open the
+/// database state equals `replay(prefix of acked ops)`, and if that prefix
+/// is proper then [`SalvageReport::data_lost`] is true and
+/// [`SalvageReport::lost`] starts exactly at the first dropped LSN.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SalvageReport {
+    /// Checkpoint images that failed to decode and were skipped (Strict
+    /// skips these too; the counter is shared).
+    pub checkpoints_skipped: u64,
+    /// Corrupt checkpoint images moved to `quarantine/`.
+    pub checkpoints_quarantined: Vec<PathBuf>,
+    /// True when a corrupt `SHARDS` manifest was rewritten from the
+    /// requested shard count.
+    pub manifest_rewritten: bool,
+    /// WAL segments (or copies of damaged segments) moved to
+    /// `wal/quarantine/`.
+    pub segments_quarantined: Vec<QuarantinedSegment>,
+    /// Bytes discarded from the final segment's torn/damaged tail.
+    pub tail_bytes_discarded: u64,
+    /// Highest LSN whose record was recovered and replayed (0 if none).
+    pub replayed_through: u64,
+    /// The contiguous LSN range that was acknowledged (or at least
+    /// durable) but could not be recovered. `None` when nothing above the
+    /// recovered prefix was seen on disk.
+    pub lost: Option<LsnRange>,
+}
+
+impl SalvageReport {
+    /// True when the salvage open dropped durable records: something was
+    /// quarantined, a damaged tail was discarded, or an LSN range is gone.
+    pub fn data_lost(&self) -> bool {
+        self.lost.is_some()
+            || !self.segments_quarantined.is_empty()
+            || !self.checkpoints_quarantined.is_empty()
+            || self.tail_bytes_discarded > 0
+    }
+
+    /// True when the open behaved exactly like a clean `Strict` open:
+    /// nothing skipped, quarantined, discarded, or lost.
+    pub fn is_trivial(&self) -> bool {
+        !self.data_lost() && self.checkpoints_skipped == 0 && !self.manifest_rewritten
+    }
+
+    /// Fold another report into this one (used by the sharded engine to
+    /// aggregate per-shard reports into the `DbStats` view).
+    pub fn merge(&mut self, other: &SalvageReport) {
+        self.checkpoints_skipped += other.checkpoints_skipped;
+        self.checkpoints_quarantined
+            .extend(other.checkpoints_quarantined.iter().cloned());
+        self.manifest_rewritten |= other.manifest_rewritten;
+        self.segments_quarantined
+            .extend(other.segments_quarantined.iter().cloned());
+        self.tail_bytes_discarded += other.tail_bytes_discarded;
+        self.replayed_through = self.replayed_through.max(other.replayed_through);
+        self.lost = match (self.lost, other.lost) {
+            (Some(a), Some(b)) => Some(LsnRange {
+                first: a.first.min(b.first),
+                last: a.last.max(b.last),
+            }),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_trivial() {
+            return write!(f, "salvage: clean open, nothing lost");
+        }
+        writeln!(f, "salvage report:")?;
+        writeln!(f, "  replayed through lsn {}", self.replayed_through)?;
+        match self.lost {
+            Some(range) => writeln!(f, "  LOST {range}")?,
+            None => writeln!(f, "  no acknowledged records lost")?,
+        }
+        if self.checkpoints_skipped > 0 {
+            writeln!(
+                f,
+                "  checkpoints skipped as undecodable: {}",
+                self.checkpoints_skipped
+            )?;
+        }
+        for p in &self.checkpoints_quarantined {
+            writeln!(f, "  quarantined checkpoint: {}", p.display())?;
+        }
+        if self.manifest_rewritten {
+            writeln!(f, "  shard manifest was corrupt and has been rewritten")?;
+        }
+        for seg in &self.segments_quarantined {
+            writeln!(
+                f,
+                "  quarantined segment {} (first lsn {}): {}",
+                seg.path.display(),
+                seg.first_lsn,
+                seg.reason
+            )?;
+        }
+        if self.tail_bytes_discarded > 0 {
+            writeln!(
+                f,
+                "  damaged tail bytes discarded: {}",
+                self.tail_bytes_discarded
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_strict_and_trivial() {
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Strict);
+        let r = SalvageReport::default();
+        assert!(r.is_trivial());
+        assert!(!r.data_lost());
+    }
+
+    #[test]
+    fn merge_widens_lost_range_and_ors_flags() {
+        let mut a = SalvageReport {
+            lost: Some(LsnRange {
+                first: 10,
+                last: 12,
+            }),
+            replayed_through: 9,
+            ..SalvageReport::default()
+        };
+        let b = SalvageReport {
+            lost: Some(LsnRange { first: 4, last: 20 }),
+            replayed_through: 3,
+            manifest_rewritten: true,
+            checkpoints_skipped: 2,
+            ..SalvageReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lost, Some(LsnRange { first: 4, last: 20 }));
+        assert_eq!(a.replayed_through, 9);
+        assert!(a.manifest_rewritten);
+        assert_eq!(a.checkpoints_skipped, 2);
+        assert!(a.data_lost());
+    }
+
+    #[test]
+    fn display_mentions_loss() {
+        let r = SalvageReport {
+            lost: Some(LsnRange { first: 7, last: 7 }),
+            replayed_through: 6,
+            ..SalvageReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("LOST lsn 7"), "{s}");
+        assert!(s.contains("replayed through lsn 6"), "{s}");
+    }
+}

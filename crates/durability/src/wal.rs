@@ -46,13 +46,17 @@ use chronicle_types::{ChronicleError, Result};
 
 use crate::crc::crc32;
 use crate::record::WalRecord;
+use crate::retry::read_with_retry;
+use crate::salvage::{LsnRange, QuarantinedSegment, RecoveryPolicy, SalvageReport};
 use crate::DurabilityOptions;
 
-const MAGIC: &[u8; 8] = b"CHRWAL01";
-const HEADER_LEN: usize = 16;
+pub(crate) const MAGIC: &[u8; 8] = b"CHRWAL01";
+pub(crate) const HEADER_LEN: usize = 16;
 /// Upper bound on one frame body; anything larger in a length field is
 /// treated as garbage rather than allocated.
 const MAX_BODY: u32 = 256 * 1024 * 1024;
+/// Subdirectory of the WAL directory where salvage moves untrusted files.
+pub(crate) const QUARANTINE_DIR: &str = "quarantine";
 
 /// Counters describing WAL activity since open.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,6 +97,9 @@ pub struct Wal {
     /// file and handed the same LSNs to a fresh log. A poisoned `Wal`
     /// refuses all further writes and its `Drop` is a no-op.
     poisoned: bool,
+    /// What the open salvaged; `Some` iff opened with
+    /// [`RecoveryPolicy::Salvage`].
+    salvage: Option<SalvageReport>,
 }
 
 fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
@@ -105,7 +112,7 @@ fn segment_name(first_lsn: u64) -> String {
     format!("wal-{first_lsn:020}.seg")
 }
 
-fn parse_segment_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
     name.strip_prefix("wal-")?
         .strip_suffix(".seg")?
         .parse()
@@ -113,7 +120,7 @@ fn parse_segment_name(name: &str) -> Option<u64> {
 }
 
 /// How a frame failed to parse.
-enum FrameError {
+pub(crate) enum FrameError {
     /// Incomplete frame or CRC mismatch — a legitimate torn write if it is
     /// the last thing in the last segment.
     Torn(String),
@@ -123,7 +130,117 @@ enum FrameError {
     Corrupt(String),
 }
 
-fn parse_frame(
+/// Best-effort resynchronising scan: walk `bytes` looking for CRC-valid
+/// frames at any offset (advancing one byte past anything that does not
+/// parse) and return the highest LSN found. Used only by salvage to
+/// *enumerate* what a damaged region contained — never to replay it: a
+/// record after unexplained damage is not part of any recoverable prefix.
+fn lenient_max_lsn(bytes: &[u8]) -> Option<u64> {
+    let mut max = None;
+    let mut pos = 0;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if (8..=MAX_BODY).contains(&len) {
+            let end = pos + 8 + len as usize;
+            if end <= bytes.len() {
+                let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+                let body = &bytes[pos + 8..end];
+                if crc32(body) == crc {
+                    let lsn = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+                    max = Some(max.map_or(lsn, |m: u64| m.max(lsn)));
+                    pos = end;
+                    continue;
+                }
+            }
+        }
+        pos += 1;
+    }
+    max
+}
+
+/// Test-only mutation backdoor for the verify.sh mutation check: prove the
+/// simulation gate notices when salvage stops quarantining or reporting.
+pub(crate) fn mutate(which: &str) -> bool {
+    std::env::var("CHRONICLE_MUTATE").is_ok_and(|v| v == which)
+}
+
+/// Pick a collision-free name for `name` inside the quarantine directory.
+fn quarantine_target(vfs: &dyn Vfs, qdir: &Path, name: &str) -> PathBuf {
+    let mut target = qdir.join(name);
+    let mut n = 0;
+    while vfs.exists(&target) {
+        n += 1;
+        target = qdir.join(format!("{name}.{n}"));
+    }
+    target
+}
+
+/// Move an untrusted file into `dir/quarantine/` (never delete it — the
+/// operator may want it for forensics). Returns where it ended up.
+pub(crate) fn quarantine_rename(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    path: &Path,
+    fsync: bool,
+) -> Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    vfs.create_dir_all(&qdir)
+        .map_err(|e| io_err("creating quarantine directory", &qdir, e))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("untrusted")
+        .to_string();
+    let target = quarantine_target(vfs, &qdir, &name);
+    if mutate("no_quarantine") {
+        vfs.remove_file(path)
+            .map_err(|e| io_err("removing untrusted file", path, e))?;
+        return Ok(target);
+    }
+    vfs.rename(path, &target)
+        .map_err(|e| io_err("quarantining file", path, e))?;
+    if fsync {
+        sync_dir(vfs, &qdir)?;
+        sync_dir(vfs, dir)?;
+    }
+    Ok(target)
+}
+
+/// Write a copy of `data` into `dir/quarantine/` (used when the original
+/// must stay in place, e.g. a final segment about to be truncated).
+fn quarantine_copy(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    path: &Path,
+    data: &[u8],
+    fsync: bool,
+) -> Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    vfs.create_dir_all(&qdir)
+        .map_err(|e| io_err("creating quarantine directory", &qdir, e))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("untrusted")
+        .to_string();
+    let target = quarantine_target(vfs, &qdir, &name);
+    if mutate("no_quarantine") {
+        return Ok(target);
+    }
+    let mut f = vfs
+        .create(&target)
+        .map_err(|e| io_err("creating quarantine copy", &target, e))?;
+    f.write_all(data)
+        .map_err(|e| io_err("writing quarantine copy", &target, e))?;
+    if fsync {
+        f.sync_data()
+            .map_err(|e| io_err("syncing quarantine copy", &target, e))?;
+        sync_dir(vfs, &qdir)?;
+    }
+    Ok(target)
+}
+
+pub(crate) fn parse_frame(
     bytes: &[u8],
     expected_lsn: u64,
 ) -> std::result::Result<(usize, WalRecord), FrameError> {
@@ -195,6 +312,8 @@ impl Wal {
         let dir = dir.as_ref().to_path_buf();
         vfs.create_dir_all(&dir)
             .map_err(|e| io_err("creating WAL directory", &dir, e))?;
+        let salvage = opts.recovery == RecoveryPolicy::Salvage;
+        let mut report = SalvageReport::default();
 
         let mut segs: Vec<(u64, PathBuf)> = vfs
             .list(&dir)
@@ -211,34 +330,87 @@ impl Wal {
         let mut tail = Vec::new();
         let mut kept: Vec<(u64, PathBuf)> = Vec::new();
         let mut expected: Option<u64> = None;
+        // Salvage bookkeeping: when the chain stops at an unrecoverable
+        // point, `stopped` holds the index of the first remaining segment
+        // to quarantine plus the best loss evidence scanned so far.
+        let mut stopped: Option<(usize, Option<u64>)> = None;
         let count = segs.len();
-        for (i, (named_first, path)) in segs.into_iter().enumerate() {
+        let mut i = 0;
+        'chain: while i < count {
             let last = i + 1 == count;
-            let data = vfs
-                .read(&path)
+            let (named_first, path) = segs[i].clone();
+            i += 1;
+            let data = read_with_retry(vfs.as_ref(), &path)
                 .map_err(|e| io_err("reading WAL segment", &path, e))?;
-            if data.len() < HEADER_LEN || &data[..8] != MAGIC {
-                if last {
+
+            let header_first = if data.len() >= HEADER_LEN && &data[..8] == MAGIC {
+                Some(u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")))
+            } else {
+                None
+            };
+            let untrusted: Option<String> = match header_first {
+                None if last && !salvage => {
                     // A crash while creating a fresh segment: nothing in it
                     // was ever acknowledged, so drop the file.
                     stats.torn_bytes_discarded += data.len() as u64;
                     vfs.remove_file(&path)
                         .map_err(|e| io_err("removing torn WAL segment", &path, e))?;
-                    continue;
+                    continue 'chain;
                 }
-                return Err(ChronicleError::Corruption {
-                    detail: format!("WAL segment {} has a corrupt header", path.display()),
+                None if salvage => Some("corrupt segment header".into()),
+                None => {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!("WAL segment {} has a corrupt header", path.display()),
+                    });
+                }
+                Some(first) if first != named_first => {
+                    if salvage {
+                        Some(format!(
+                            "named for lsn {named_first} but its header says {first}"
+                        ))
+                    } else {
+                        return Err(ChronicleError::Corruption {
+                            detail: format!(
+                                "WAL segment {} is named for lsn {named_first} but its header \
+                                 says {first}",
+                                path.display()
+                            ),
+                        });
+                    }
+                }
+                Some(_) => None,
+            };
+            if let Some(reason) = untrusted {
+                // Salvage only: the whole segment is untrusted. Move it
+                // aside; whether the chain can continue depends on whether
+                // the checkpoint already covers everything it could hold.
+                let covered = i < count && segs[i].0 <= floor + 1;
+                let evidence = lenient_max_lsn(&data);
+                let q = quarantine_rename(vfs.as_ref(), &dir, &path, opts.fsync)?;
+                report.segments_quarantined.push(QuarantinedSegment {
+                    path: q,
+                    first_lsn: named_first,
+                    reason,
                 });
+                if covered {
+                    continue 'chain;
+                }
+                let l = expected.unwrap_or(floor + 1).max(floor + 1);
+                // A final segment holding nothing but a (rotted or torn)
+                // header is the footprint of a crash while creating a fresh
+                // segment: no record was ever written to it, so nothing
+                // acknowledged is being dropped. Anything *with* frame
+                // bytes is different — rot may have mangled records past
+                // recognition (no CRC-valid frame left to serve as
+                // evidence), so the discard must be confessed as potential
+                // loss rather than silently absorbed.
+                if !last || evidence.is_some_and(|m| m >= l) || data.len() > HEADER_LEN {
+                    stopped = Some((i, evidence));
+                    break 'chain;
+                }
+                continue 'chain;
             }
-            let first = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
-            if first != named_first {
-                return Err(ChronicleError::Corruption {
-                    detail: format!(
-                        "WAL segment {} is named for lsn {named_first} but its header says {first}",
-                        path.display()
-                    ),
-                });
-            }
+            let first = header_first.expect("header validated above");
             match expected {
                 // A forward gap entirely at or below the checkpoint floor:
                 // checkpoint truncation unlinked a covered segment and the
@@ -247,6 +419,23 @@ impl Wal {
                 // safely restarts here.
                 Some(exp) if first > exp && first <= floor + 1 => {}
                 Some(exp) if first != exp => {
+                    if salvage {
+                        // This segment's records do not connect to the
+                        // recovered prefix; it and everything after it are
+                        // beyond saving.
+                        let evidence = lenient_max_lsn(&data);
+                        let q = quarantine_rename(vfs.as_ref(), &dir, &path, opts.fsync)?;
+                        report.segments_quarantined.push(QuarantinedSegment {
+                            path: q,
+                            first_lsn: named_first,
+                            reason: format!(
+                                "segment sequence broken: expected a segment starting at lsn \
+                                 {exp}, found {first}"
+                            ),
+                        });
+                        stopped = Some((i, evidence));
+                        break 'chain;
+                    }
                     return Err(ChronicleError::Corruption {
                         detail: format!(
                             "WAL segment sequence broken: expected a segment starting at lsn \
@@ -255,6 +444,20 @@ impl Wal {
                     });
                 }
                 None if first > floor + 1 => {
+                    if salvage {
+                        let evidence = lenient_max_lsn(&data);
+                        let q = quarantine_rename(vfs.as_ref(), &dir, &path, opts.fsync)?;
+                        report.segments_quarantined.push(QuarantinedSegment {
+                            path: q,
+                            first_lsn: named_first,
+                            reason: format!(
+                                "WAL gap: checkpoint covers through lsn {floor} but this \
+                                 segment starts at lsn {first}"
+                            ),
+                        });
+                        stopped = Some((i, evidence));
+                        break 'chain;
+                    }
                     return Err(ChronicleError::Corruption {
                         detail: format!(
                             "WAL gap: checkpoint covers through lsn {floor} but the oldest \
@@ -266,6 +469,7 @@ impl Wal {
             }
             let mut lsn = first;
             let mut pos = HEADER_LEN;
+            let mut damage: Option<FrameError> = None;
             while pos < data.len() {
                 match parse_frame(&data[pos..], lsn) {
                     Ok((consumed, record)) => {
@@ -275,7 +479,7 @@ impl Wal {
                         lsn += 1;
                         pos += consumed;
                     }
-                    Err(FrameError::Torn(_)) if last => {
+                    Err(FrameError::Torn(_)) if last && !salvage => {
                         stats.torn_bytes_discarded += (data.len() - pos) as u64;
                         // The truncation must be durable before the fresh
                         // active segment below can accept new records:
@@ -286,7 +490,7 @@ impl Wal {
                             .map_err(|e| io_err("truncating torn WAL segment", &path, e))?;
                         break;
                     }
-                    Err(FrameError::Torn(detail)) => {
+                    Err(FrameError::Torn(detail)) if !salvage => {
                         return Err(ChronicleError::Corruption {
                             detail: format!(
                                 "damage in non-final WAL segment {}: {detail}",
@@ -294,18 +498,97 @@ impl Wal {
                             ),
                         });
                     }
-                    Err(FrameError::Corrupt(detail)) => {
+                    Err(FrameError::Corrupt(detail)) if !salvage => {
                         return Err(ChronicleError::Corruption {
                             detail: format!("WAL segment {}: {detail}", path.display()),
                         });
                     }
+                    Err(e) => {
+                        damage = Some(e);
+                        break;
+                    }
                 }
+            }
+            if let Some(e) = damage {
+                // Salvage only: the segment has a valid frame prefix and
+                // unexplained damage at `pos` / lsn `lsn`.
+                let detail = match &e {
+                    FrameError::Torn(d) | FrameError::Corrupt(d) => d.clone(),
+                };
+                if i < count && segs[i].0 <= floor + 1 {
+                    // Everything this segment could contribute is already
+                    // checkpoint-covered; drop it from the chain and let
+                    // the covered-gap rule restart at the next segment.
+                    let q = quarantine_rename(vfs.as_ref(), &dir, &path, opts.fsync)?;
+                    report.segments_quarantined.push(QuarantinedSegment {
+                        path: q,
+                        first_lsn: named_first,
+                        reason: detail,
+                    });
+                    expected = Some(lsn);
+                    continue 'chain;
+                }
+                let suffix_len = data.len() - pos;
+                let evidence = lenient_max_lsn(&data[pos..]);
+                // A plain torn final write (incomplete trailing frame, no
+                // intact frame beyond it) is routine crash damage — keep
+                // the repair quiet, exactly like Strict. Anything else is
+                // bit rot: preserve the original bytes for forensics.
+                let plain_torn = last && matches!(e, FrameError::Torn(_)) && evidence.is_none();
+                if !plain_torn {
+                    let q = quarantine_copy(vfs.as_ref(), &dir, &path, &data, opts.fsync)?;
+                    report.segments_quarantined.push(QuarantinedSegment {
+                        path: q,
+                        first_lsn: named_first,
+                        reason: detail,
+                    });
+                }
+                // The maximal recoverable content of this segment is a
+                // byte prefix of the original file, so the repair is an
+                // in-place truncation (persisted by Vfs::truncate).
+                stats.torn_bytes_discarded += suffix_len as u64;
+                report.tail_bytes_discarded += suffix_len as u64;
+                vfs.truncate(&path, pos as u64)
+                    .map_err(|e| io_err("truncating damaged WAL segment", &path, e))?;
+                expected = Some(lsn);
+                kept.push((first, path));
+                stopped = Some((i, evidence));
+                break 'chain;
             }
             expected = Some(lsn);
             kept.push((first, path));
         }
 
+        if let Some((from, mut evidence)) = stopped {
+            // Quarantine every segment past the stop point, scanning each
+            // (best effort) to enumerate how far the lost range extends. A
+            // segment named for lsn X also proves records through X-1 were
+            // once flushed — rotation seals the predecessor first.
+            for (named, path) in segs.iter().take(count).skip(from).cloned() {
+                if let Ok(d) = read_with_retry(vfs.as_ref(), &path) {
+                    if let Some(m) = lenient_max_lsn(&d) {
+                        evidence = Some(evidence.map_or(m, |e| e.max(m)));
+                    }
+                }
+                if named > 1 {
+                    evidence = Some(evidence.map_or(named - 1, |e| e.max(named - 1)));
+                }
+                let q = quarantine_rename(vfs.as_ref(), &dir, &path, opts.fsync)?;
+                report.segments_quarantined.push(QuarantinedSegment {
+                    path: q,
+                    first_lsn: named,
+                    reason: "beyond the first unrecoverable point".into(),
+                });
+            }
+            let l = expected.unwrap_or(floor + 1).max(floor + 1);
+            report.lost = Some(LsnRange {
+                first: l,
+                last: evidence.map_or(l, |m| m.max(l)),
+            });
+        }
+
         let next_lsn = expected.unwrap_or(floor + 1).max(floor + 1);
+        report.replayed_through = next_lsn - 1;
 
         // Always start a fresh active segment. A header-only segment from a
         // previous open can collide on the name; recreating it loses
@@ -344,6 +627,7 @@ impl Wal {
                 next_lsn,
                 stats,
                 poisoned: false,
+                salvage: salvage.then_some(report),
             },
             tail,
         ))
@@ -519,6 +803,12 @@ impl Wal {
     /// Activity counters.
     pub fn stats(&self) -> WalStats {
         self.stats
+    }
+
+    /// What the open salvaged; `Some` iff the log was opened with
+    /// [`RecoveryPolicy::Salvage`].
+    pub fn salvage_report(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
     }
 
     /// Number of segment files currently live (sealed + active).

@@ -306,6 +306,45 @@ impl SimFs {
     pub fn live_files(&self) -> Vec<PathBuf> {
         lock(&self.state).files.keys().cloned().collect()
     }
+
+    /// Seeded bit rot: flip 1–3 random bits in each of 1–2 random
+    /// non-empty files, in *both* the cache and the durable image.
+    /// Intended to run right after [`SimFs::crash_and_restore`], when the
+    /// two agree — the decay then looks exactly like a sector that went
+    /// bad while the machine was down. Returns the number of bits
+    /// flipped (0 when the disk holds no bytes at all). Draws from the
+    /// filesystem RNG, so a run's rot pattern replays from its seed; it
+    /// is not a mutating *operation* (the medium decaying is not an op),
+    /// so it never advances the crash countdown.
+    pub fn inject_bit_rot(&self) -> usize {
+        let mut st = lock(&self.state);
+        let mut rng = lock(&self.rng);
+        let candidates: Vec<PathBuf> = st
+            .files
+            .iter()
+            .filter(|(_, n)| !n.durable.is_empty())
+            .map(|(p, _)| p.clone())
+            .collect();
+        if candidates.is_empty() {
+            return 0;
+        }
+        let files = (1 + rng.gen_range(0..2usize)).min(candidates.len());
+        let mut flipped = 0;
+        for _ in 0..files {
+            let path = &candidates[rng.gen_range(0..candidates.len())];
+            let node = st.files.get_mut(path).expect("candidate is live");
+            for _ in 0..1 + rng.gen_range(0..3usize) {
+                let i = rng.gen_range(0..node.durable.len());
+                let bit = 1u8 << rng.gen_range(0..8u8);
+                node.durable[i] ^= bit;
+                if i < node.cache.len() {
+                    node.cache[i] ^= bit;
+                }
+                flipped += 1;
+            }
+        }
+        flipped
+    }
 }
 
 /// What a file's content looks like after power loss.

@@ -6,7 +6,10 @@
 //! `shards=N` to run the maintenance engine hash-partitioned by
 //! chronicle group into N shards (`cargo run --example repl -- /path/to/db
 //! shards=4`); a durable sharded database must be reopened with the same
-//! N it was created with. Then type statements:
+//! N it was created with. Add `salvage` to open under
+//! [`RecoveryPolicy::Salvage`]: instead of refusing a corrupt disk, the
+//! open recovers the maximal legal prefix, quarantines every untrusted
+//! file, and prints the salvage report. Then type statements:
 //!
 //! ```text
 //! chronicle> CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)
@@ -16,6 +19,7 @@
 //! chronicle> .views          -- list views with their IM classes
 //! chronicle> .stats          -- maintenance + durability statistics
 //! chronicle> .checkpoint     -- persist views, truncate the WAL (\checkpoint works too)
+//! chronicle> .scrub          -- read-only integrity check of every durable file
 //! chronicle> .quit
 //! ```
 
@@ -77,6 +81,46 @@ impl Session {
         }
     }
 
+    fn scrub(&self) {
+        if !self.is_durable() {
+            println!("nothing to scrub: this session is in-memory");
+            return;
+        }
+        let result = match self {
+            Session::Single(db) => db.scrub(),
+            Session::Sharded(db) => db.scrub(),
+        };
+        match result {
+            Ok(report) => println!("{report}"),
+            Err(e) => println!("scrub failed: {e}"),
+        }
+    }
+
+    /// After a durable open: surface what salvage recovery had to do, if
+    /// anything. Quiet on clean opens and under `Strict` (no report).
+    fn print_salvage(&self) {
+        match self {
+            Session::Single(db) => {
+                if let Some(sr) = &db.stats().salvage {
+                    if !sr.is_trivial() {
+                        print!("{sr}");
+                    }
+                }
+            }
+            Session::Sharded(db) => {
+                for (i, sr) in db.salvage_reports() {
+                    if !sr.is_trivial() {
+                        println!("shard {i}:");
+                        print!("{sr}");
+                    }
+                }
+                if db.manifest_salvaged() {
+                    println!("shard manifest was corrupt: quarantined and rewritten");
+                }
+            }
+        }
+    }
+
     fn checkpoint(&mut self) {
         match self {
             Session::Single(db) => match db.checkpoint() {
@@ -98,6 +142,7 @@ impl Session {
 fn main() {
     let mut path: Option<String> = None;
     let mut shards: Option<usize> = None;
+    let mut recovery = RecoveryPolicy::Strict;
     for arg in std::env::args().skip(1) {
         if let Some(n) = arg.strip_prefix("shards=") {
             match n.parse::<usize>() {
@@ -107,33 +152,43 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        } else if arg == "salvage" {
+            recovery = RecoveryPolicy::Salvage;
         } else {
             path = Some(arg);
         }
     }
+    let opts = DurabilityOptions {
+        recovery,
+        ..DurabilityOptions::default()
+    };
     let mut db = match (path, shards) {
-        (Some(path), None) => match ChronicleDb::open(&path) {
+        (Some(path), None) => match ChronicleDb::open_with(&path, opts) {
             Ok(db) => {
                 let s = db.stats();
                 println!(
                     "opened `{path}` (checkpoint lsn {:?}, {} WAL records replayed)",
                     s.recovery_checkpoint_lsn, s.recovery_replayed_records
                 );
-                Session::Single(Box::new(db))
+                let session = Session::Single(Box::new(db));
+                session.print_salvage();
+                session
             }
             Err(e) => {
                 eprintln!("cannot open `{path}`: {e}");
                 std::process::exit(1);
             }
         },
-        (Some(path), Some(n)) => match ShardedDb::open(&path, n) {
+        (Some(path), Some(n)) => match ShardedDb::open_with(&path, n, opts) {
             Ok(db) => {
                 let s = db.stats();
                 println!(
                     "opened `{path}` across {n} shard(s) ({} WAL records replayed)",
                     s.recovery_replayed_records
                 );
-                Session::Sharded(Box::new(db))
+                let session = Session::Sharded(Box::new(db));
+                session.print_salvage();
+                session
             }
             Err(e) => {
                 eprintln!("cannot open `{path}` with {n} shard(s): {e}");
@@ -145,7 +200,7 @@ fn main() {
     };
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
-    println!("chronicle repl — SQL statements, or .views / .stats / .checkpoint / .quit");
+    println!("chronicle repl — SQL statements, or .views / .stats / .checkpoint / .scrub / .quit");
     loop {
         print!("chronicle> ");
         out.flush().ok();
@@ -191,6 +246,10 @@ fn main() {
             }
             ".checkpoint" | "\\checkpoint" => {
                 db.checkpoint();
+                continue;
+            }
+            ".scrub" => {
+                db.scrub();
                 continue;
             }
             _ => {}

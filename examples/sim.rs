@@ -3,19 +3,24 @@
 //!
 //! ```text
 //! cargo run --release --example sim -- [--base N] [--seeds N]
-//!     [--shards N] [--ops N] [--budget-ms N]
+//!     [--shards N] [--ops N] [--budget-ms N] [--bit-rot]
 //! ```
 //!
 //! Runs `--seeds` schedules starting at seed `--base`, alternating the
 //! single-database and sharded topologies, until done or the time budget
-//! is spent. On a failure it prints the one seed that reproduces the run
-//! and exits nonzero; re-running with `--base <seed> --seeds 1` (plus the
-//! same `--shards`/`--ops`) replays it deterministically.
+//! is spent. With `--bit-rot` every power cut also flips bits in durable
+//! files and recovery runs under the `Salvage` policy (with a Strict
+//! fails-loudly probe on a fork of each rotted disk). On a failure it
+//! prints the one seed that reproduces the run and exits nonzero;
+//! re-running with `--base <seed> --seeds 1` (plus the same
+//! `--shards`/`--ops`/`--bit-rot`) replays it deterministically.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use chronicle::sim::{run_seed, run_seed_sharded, SimReport};
+use chronicle::sim::{
+    run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded, SimReport,
+};
 use chronicle::simkit::ScheduleConfig;
 
 fn main() -> ExitCode {
@@ -24,6 +29,7 @@ fn main() -> ExitCode {
     let mut shards: usize = 2;
     let mut ops: usize = 120;
     let mut budget_ms: u64 = u64::MAX;
+    let mut bit_rot = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
             "--shards" => shards = take("--shards").parse().expect("--shards: usize"),
             "--ops" => ops = take("--ops").parse().expect("--ops: usize"),
             "--budget-ms" => budget_ms = take("--budget-ms").parse().expect("--budget-ms: u64"),
+            "--bit-rot" => bit_rot = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
     };
     let start = Instant::now();
     let mut totals = SimReport::default();
+    let mut halted = 0u64;
     let mut ran = 0u64;
     for seed in base..base.saturating_add(seeds) {
         if start.elapsed().as_millis() as u64 >= budget_ms {
@@ -57,10 +65,12 @@ fn main() -> ExitCode {
         }
         // Even seeds drive the single-database topology, odd seeds the
         // sharded one, so one sweep covers both recovery paths.
-        let result = if shards == 0 || seed % 2 == 0 {
-            run_seed(seed, &cfg)
-        } else {
-            run_seed_sharded(seed, shards, &cfg)
+        let single = shards == 0 || seed % 2 == 0;
+        let result = match (single, bit_rot) {
+            (true, false) => run_seed(seed, &cfg),
+            (false, false) => run_seed_sharded(seed, shards, &cfg),
+            (true, true) => run_seed_bit_rot(seed, &cfg),
+            (false, true) => run_seed_bit_rot_sharded(seed, shards, &cfg),
         };
         match result {
             Ok(r) => {
@@ -69,26 +79,34 @@ fn main() -> ExitCode {
                 totals.crashes += r.crashes;
                 totals.recoveries += r.recoveries;
                 totals.checkpoints += r.checkpoints;
-                totals.halted_on_divergence |= r.halted_on_divergence;
+                totals.bit_rot_flips += r.bit_rot_flips;
+                totals.salvaged_opens += r.salvaged_opens;
+                totals.acked_lost += r.acked_lost;
+                halted += u64::from(r.halted_on_divergence);
             }
             Err(f) => {
                 eprintln!("{f}");
                 eprintln!(
                     "reproduce: cargo run --release --example sim -- \
-                     --base {} --seeds 1 --shards {shards} --ops {ops}",
-                    f.seed
+                     --base {} --seeds 1 --shards {shards} --ops {ops}{}",
+                    f.seed,
+                    if bit_rot { " --bit-rot" } else { "" }
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
-    println!(
-        "sim ok: {ran} seeds ({} acked stmts, {} crashes, {} recoveries, {} checkpoints) in {:?}",
-        totals.sql_acked,
-        totals.crashes,
-        totals.recoveries,
-        totals.checkpoints,
-        start.elapsed()
+    print!(
+        "sim ok: {ran} seeds ({} acked stmts, {} crashes, {} recoveries, {} checkpoints",
+        totals.sql_acked, totals.crashes, totals.recoveries, totals.checkpoints,
     );
+    if bit_rot {
+        print!(
+            ", {} bits flipped, {} salvaged opens, {} acked stmts confessed lost, \
+             {halted} halted",
+            totals.bit_rot_flips, totals.salvaged_opens, totals.acked_lost,
+        );
+    }
+    println!(") in {:?}", start.elapsed());
     ExitCode::SUCCESS
 }

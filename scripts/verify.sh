@@ -42,6 +42,34 @@ cargo run -q --offline --release --example sim -- \
 cargo run -q --offline --release --example sim -- \
     --base 5000 --seeds 100 --shards 3 --ops 240 --budget-ms 60000
 
+echo "== bit-rot salvage gate (offline) =="
+# The same schedules with seeded bit rot injected at every power cut and
+# recovery running under RecoveryPolicy::Salvage (DESIGN.md §12): every
+# open must land on a prefix of the acknowledged history with the dropped
+# suffix exactly enumerated by the salvage report, quarantined files
+# preserved, and Strict probes refusing the same damage loudly.
+cargo run -q --offline --release --example sim -- \
+    --bit-rot --base 10000 --seeds 300 --ops 120 --budget-ms 90000
+cargo run -q --offline --release --example sim -- \
+    --bit-rot --base 20000 --seeds 100 --shards 3 --ops 180 --budget-ms 60000
+
+echo "== salvage mutation checks (offline) =="
+# Prove the gate has teeth: sabotage the salvage path through the
+# test-only CHRONICLE_MUTATE backdoor and require the sweep to FAIL.
+# `no_quarantine` deletes untrusted files instead of preserving them;
+# `drop_salvage_report` blanks the loss accounting. Either escaping the
+# sweep means the harness stopped checking what it claims to check.
+if CHRONICLE_MUTATE=no_quarantine cargo run -q --offline --release --example sim -- \
+    --bit-rot --base 10000 --seeds 50 --ops 120 --budget-ms 60000 >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: no_quarantine was not caught by the bit-rot sweep"
+    exit 1
+fi
+if CHRONICLE_MUTATE=drop_salvage_report cargo run -q --offline --release --example sim -- \
+    --bit-rot --base 10000 --seeds 50 --ops 120 --budget-ms 60000 >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: drop_salvage_report was not caught by the bit-rot sweep"
+    exit 1
+fi
+
 echo "== sharded maintenance gate (offline) =="
 # The concurrent-shard property test: sharded view states must be
 # byte-identical to the single-threaded reference at SHARDS=4.

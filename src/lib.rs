@@ -72,7 +72,9 @@ pub mod prelude {
     pub use chronicle_algebra::{
         AggFunc, CaExpr, ImClass, LanguageFragment, Predicate, ScaExpr, Summarize,
     };
-    pub use chronicle_db::{AppendOutcome, ChronicleDb, DurabilityOptions};
+    pub use chronicle_db::{
+        AppendOutcome, ChronicleDb, DurabilityOptions, RecoveryPolicy, SalvageReport, ScrubReport,
+    };
     pub use chronicle_store::{Catalog, Chronicle, ChronicleGroup, Relation};
     pub use chronicle_types::{
         AttrType, Attribute, ChronicleError, ChronicleId, Chronon, GroupId, RelationId, Schema,

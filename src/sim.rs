@@ -41,12 +41,44 @@
 //! schedule: subsequent broadcasts against diverged replicas are outside
 //! the oracle's model. The halt is counted in
 //! [`SimReport::halted_on_divergence`], not a failure.
+//!
+//! # Bit-rot mode
+//!
+//! [`run_seed_bit_rot`] and [`run_seed_bit_rot_sharded`] run the same
+//! schedule with [`RecoveryPolicy::Salvage`] and, after every power cut,
+//! flip a few seeded bits in the durable medium
+//! ([`SimFs::inject_bit_rot`]) before recovering. Two properties are
+//! checked at every rotted recovery:
+//!
+//! * **Strict fails loudly.** On a fork of the rotted disk,
+//!   [`RecoveryPolicy::Strict`] must either refuse to open or land
+//!   exactly on a prefix of the acknowledged history (rot in the final
+//!   segment's tail is indistinguishable from a clean torn write, which
+//!   Strict legally repairs). Opening onto any other state is a failure.
+//! * **Salvage recovers the maximal legal prefix and confesses.** The
+//!   salvage open must land on `replay(acked[..k])` for some `k` — and in
+//!   single topology the check is *exact*: the driver records the WAL
+//!   high-water lsn after every acknowledged statement (statements may
+//!   log zero records — a no-op `DELETE` is acknowledged without touching
+//!   the log — so statement index and lsn are not interchangeable), and
+//!   the [`SalvageReport`]'s `replayed_through`/`lost` fields must name
+//!   `k` precisely under that map. Dropped acknowledged statements
+//!   without a matching loss confession, or a quarantined file the
+//!   report names that does not exist, are failures. After a lossy
+//!   salvage the driver rebases its acknowledged history to the
+//!   surviving prefix and plays on.
+//!
+//! In sharded bit-rot runs each shard owns an independent WAL, so the
+//! driver checks the per-shard prefix property instead of exact LSN
+//! accounting, requires the aggregated report to admit loss whenever a
+//! shard dropped acknowledged work, and halts the schedule when shards
+//! land on different prefixes (diverged replicas, as above).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use chronicle_db::{ChronicleDb, DurabilityOptions, ShardedDb};
+use chronicle_db::{ChronicleDb, DurabilityOptions, RecoveryPolicy, SalvageReport, ShardedDb};
 use chronicle_simkit::{generate, ScheduleConfig, SimFs, SimOp, Vfs, SHORT_READ_MSG};
 use chronicle_sql::{parse, Statement};
 
@@ -113,15 +145,24 @@ pub struct SimReport {
     pub recoveries: usize,
     /// Explicit checkpoints completed.
     pub checkpoints: usize,
-    /// The run stopped early because a mid-broadcast power cut left
-    /// relation replicas legally diverged across shards (sharded mode
-    /// only; the diverged state itself was verified shard-by-shard).
+    /// The run stopped early because shards legally landed on different
+    /// history prefixes — a mid-broadcast power cut, or a bit-rot salvage
+    /// that cost one shard more than another (sharded mode only; the
+    /// diverged state itself was verified shard-by-shard).
     pub halted_on_divergence: bool,
+    /// Bits flipped into the durable medium (bit-rot mode only).
+    pub bit_rot_flips: usize,
+    /// Salvage opens whose report was non-trivial (something quarantined,
+    /// skipped, or lost).
+    pub salvaged_opens: usize,
+    /// Acknowledged statements dropped by lossy salvages — every one of
+    /// them enumerated by a matching [`SalvageReport`].
+    pub acked_lost: usize,
 }
 
 /// Run one seeded schedule against a single durable [`ChronicleDb`].
 pub fn run_seed(seed: u64, cfg: &ScheduleConfig) -> Result<SimReport, SimFailure> {
-    run(seed, cfg, None)
+    run(seed, cfg, None, false)
 }
 
 /// Run one seeded schedule against a [`ShardedDb`] with `shards` shards.
@@ -133,7 +174,23 @@ pub fn run_seed_sharded(
     shards: usize,
     cfg: &ScheduleConfig,
 ) -> Result<SimReport, SimFailure> {
-    run(seed, cfg, Some(shards))
+    run(seed, cfg, Some(shards), false)
+}
+
+/// [`run_seed`] with seeded bit rot after every power cut and
+/// [`RecoveryPolicy::Salvage`] recovery (see the module docs).
+pub fn run_seed_bit_rot(seed: u64, cfg: &ScheduleConfig) -> Result<SimReport, SimFailure> {
+    run(seed, cfg, None, true)
+}
+
+/// [`run_seed_sharded`] with seeded bit rot after every power cut and
+/// [`RecoveryPolicy::Salvage`] recovery (see the module docs).
+pub fn run_seed_bit_rot_sharded(
+    seed: u64,
+    shards: usize,
+    cfg: &ScheduleConfig,
+) -> Result<SimReport, SimFailure> {
+    run(seed, cfg, Some(shards), true)
 }
 
 // ---- driver ---------------------------------------------------------------
@@ -168,9 +225,32 @@ impl Db {
             Db::Sharded(db) => digest_sharded(db),
         }
     }
+
+    /// The salvage report of the most recent open (`Some` iff it ran
+    /// under [`RecoveryPolicy::Salvage`]; aggregated across shards).
+    fn salvage(&self) -> Option<SalvageReport> {
+        match self {
+            Db::Single(db) => db.stats().salvage.clone(),
+            Db::Sharded(db) => db.stats().salvage,
+        }
+    }
+
+    /// WAL records written since the most recent open (summed across
+    /// shards; only meaningful for exact accounting in single topology).
+    fn wal_records(&self) -> u64 {
+        match self {
+            Db::Single(db) => db.stats().wal_records,
+            Db::Sharded(db) => db.stats().wal_records,
+        }
+    }
 }
 
-fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimReport, SimFailure> {
+fn run(
+    seed: u64,
+    cfg: &ScheduleConfig,
+    shards: Option<usize>,
+    bit_rot: bool,
+) -> Result<SimReport, SimFailure> {
     let schedule = generate(seed, cfg);
     let fs = SimFs::new(seed ^ FS_SEED_SALT);
     let vfs: Arc<dyn Vfs> = Arc::new(fs.clone());
@@ -183,13 +263,29 @@ fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimRepo
         fsync: true,
         auto_checkpoint_records: None,
         keep_checkpoints: 2,
+        // Bit rot produces exactly the damage Strict refuses by design;
+        // salvage recovery is the subject under test in rot mode.
+        recovery: if bit_rot {
+            RecoveryPolicy::Salvage
+        } else {
+            RecoveryPolicy::Strict
+        },
     };
     let mut report = SimReport {
         seed,
         ..SimReport::default()
     };
     let mut acked: Vec<String> = Vec::new();
+    // Single-topology bit-rot accounting: `lsn_map[i]` is the absolute
+    // WAL high-water lsn right after `acked[i]` was acknowledged. Not
+    // every statement logs a record (a no-op DELETE is acked with none),
+    // so this map — not the statement index — is what `replayed_through`
+    // is measured against. `wal_base` rebases the per-open record count
+    // to absolute lsns after every recovery.
+    let mut lsn_map: Vec<u64> = Vec::new();
+    let mut wal_base: u64 = 0;
     let mut db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
+    wal_base = db.salvage().map_or(wal_base, |r| r.replayed_through);
 
     for op in &schedule.ops {
         match op {
@@ -200,13 +296,41 @@ fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimRepo
                     fs.mutation_count()
                 );
                 match db.execute(sql) {
-                    Ok(()) => acked.push(sql.clone()),
+                    Ok(()) => {
+                        acked.push(sql.clone());
+                        if bit_rot && shards.is_none() {
+                            lsn_map.push(wal_base + db.wal_records());
+                        }
+                    }
                     Err(_) if fs.crashed() => {
                         trace!("TRACE crash tripped during sql: {sql}");
                         report.crashes += 1;
                         fs.crash_and_restore();
+                        if bit_rot {
+                            rot_and_probe(
+                                &fs,
+                                &root,
+                                opts,
+                                shards,
+                                &acked,
+                                Some(sql),
+                                seed,
+                                &mut report,
+                            )?;
+                        }
                         db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
-                        match verify(&db, &mut acked, Some(sql), shards, seed, &mut report)? {
+                        wal_base = db.salvage().map_or(wal_base, |r| r.replayed_through);
+                        match check(
+                            &db,
+                            &fs,
+                            &mut acked,
+                            &mut lsn_map,
+                            Some(sql),
+                            shards,
+                            seed,
+                            bit_rot,
+                            &mut report,
+                        )? {
                             Verdict::Continue => {}
                             Verdict::Halt => {
                                 report.halted_on_divergence = true;
@@ -234,10 +358,37 @@ fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimRepo
                         // sequence was.
                         report.crashes += 1;
                         fs.crash_and_restore();
+                        if bit_rot {
+                            rot_and_probe(
+                                &fs,
+                                &root,
+                                opts,
+                                shards,
+                                &acked,
+                                None,
+                                seed,
+                                &mut report,
+                            )?;
+                        }
                         db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
-                        match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+                        wal_base = db.salvage().map_or(wal_base, |r| r.replayed_through);
+                        match check(
+                            &db,
+                            &fs,
+                            &mut acked,
+                            &mut lsn_map,
+                            None,
+                            shards,
+                            seed,
+                            bit_rot,
+                            &mut report,
+                        )? {
                             Verdict::Continue => {}
-                            Verdict::Halt => unreachable!("no in-flight statement"),
+                            Verdict::Halt => {
+                                report.halted_on_divergence = true;
+                                report.sql_acked = acked.len();
+                                return Ok(report);
+                            }
                         }
                     }
                     Err(e) => {
@@ -265,9 +416,24 @@ fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimRepo
                     fs.set_short_reads(*short_reads);
                 }
                 db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
-                match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+                wal_base = db.salvage().map_or(wal_base, |r| r.replayed_through);
+                match check(
+                    &db,
+                    &fs,
+                    &mut acked,
+                    &mut lsn_map,
+                    None,
+                    shards,
+                    seed,
+                    bit_rot,
+                    &mut report,
+                )? {
                     Verdict::Continue => {}
-                    Verdict::Halt => unreachable!("no in-flight statement"),
+                    Verdict::Halt => {
+                        report.halted_on_divergence = true;
+                        report.sql_acked = acked.len();
+                        return Ok(report);
+                    }
                 }
             }
         }
@@ -277,13 +443,69 @@ fn run(seed: u64, cfg: &ScheduleConfig, shards: Option<usize>) -> Result<SimRepo
     // and one final verified recovery.
     fs.crash_and_restore();
     report.crashes += 1;
+    if bit_rot {
+        rot_and_probe(&fs, &root, opts, shards, &acked, None, seed, &mut report)?;
+    }
     db = reopen(&fs, &vfs, &root, opts, shards, seed, &mut report)?;
-    match verify(&db, &mut acked, None, shards, seed, &mut report)? {
+    match check(
+        &db,
+        &fs,
+        &mut acked,
+        &mut lsn_map,
+        None,
+        shards,
+        seed,
+        bit_rot,
+        &mut report,
+    )? {
         Verdict::Continue => {}
-        Verdict::Halt => unreachable!("no in-flight statement"),
+        Verdict::Halt => report.halted_on_divergence = true,
     }
     report.sql_acked = acked.len();
     Ok(report)
+}
+
+/// Dispatch to the right post-recovery verifier for this run mode.
+#[allow(clippy::too_many_arguments)]
+fn check(
+    db: &Db,
+    fs: &SimFs,
+    acked: &mut Vec<String>,
+    lsn_map: &mut Vec<u64>,
+    in_flight: Option<&str>,
+    shards: Option<usize>,
+    seed: u64,
+    bit_rot: bool,
+    report: &mut SimReport,
+) -> Result<Verdict, SimFailure> {
+    if bit_rot {
+        verify_salvage(db, fs, acked, lsn_map, in_flight, shards, seed, report)
+    } else {
+        verify(db, acked, in_flight, shards, seed, report)
+    }
+}
+
+/// Bit-rot mode, right after a power cut: decay the durable medium, then
+/// prove Strict still fails loudly on a fork of the rotted disk (see the
+/// module docs).
+#[allow(clippy::too_many_arguments)]
+fn rot_and_probe(
+    fs: &SimFs,
+    root: &std::path::Path,
+    opts: DurabilityOptions,
+    shards: Option<usize>,
+    acked: &[String],
+    in_flight: Option<&str>,
+    seed: u64,
+    report: &mut SimReport,
+) -> Result<(), SimFailure> {
+    let flips = fs.inject_bit_rot();
+    trace!(
+        "TRACE bit rot: {flips} bit(s) flipped, muts={}",
+        fs.mutation_count()
+    );
+    report.bit_rot_flips += flips;
+    strict_probe(fs, root, opts, shards, acked, in_flight, seed)
 }
 
 /// Open (or re-open) the database, riding out injected faults: a crash
@@ -492,6 +714,321 @@ fn diverged(seed: u64, what: &str, got: &str, expected: &str) -> SimFailure {
     }
 }
 
+// ---- bit-rot verification -------------------------------------------------
+
+/// Oracle digests for every prefix of the acknowledged history, plus the
+/// in-flight extension when that candidate replays cleanly.
+struct LegalDigests {
+    /// `full[k]` = digest of `replay(acked[..k])`; length `acked.len() + 1`.
+    full: Vec<String>,
+    /// `per_shard[k][i]` = digest of shard `i` after `replay(acked[..k])`
+    /// (sharded runs only; empty vectors in single topology).
+    per_shard: Vec<Vec<String>>,
+    /// Digest of `replay(acked + [in_flight])`, when it replays.
+    ext_full: Option<String>,
+    /// Its per-shard digests (sharded runs only).
+    ext_per_shard: Option<Vec<String>>,
+}
+
+fn legal_digests(
+    acked: &[String],
+    in_flight: Option<&str>,
+    shards: Option<usize>,
+    seed: u64,
+) -> Result<LegalDigests, SimFailure> {
+    let mut db = fresh(shards, seed)?;
+    let mut full = vec![db.digest()];
+    let mut per_shard = vec![shard_digests(&db)];
+    for sql in acked {
+        db.execute(sql).map_err(|e| SimFailure {
+            seed,
+            detail: format!("oracle rejected acknowledged statement `{sql}`: {e}"),
+        })?;
+        full.push(db.digest());
+        per_shard.push(shard_digests(&db));
+    }
+    // Extending the same oracle in place is exactly replay(acked + [sql]).
+    let (ext_full, ext_per_shard) = match in_flight {
+        Some(sql) if db.execute(sql).is_ok() => (Some(db.digest()), Some(shard_digests(&db))),
+        _ => (None, None),
+    };
+    Ok(LegalDigests {
+        full,
+        per_shard,
+        ext_full,
+        ext_per_shard,
+    })
+}
+
+fn shard_digests(db: &Db) -> Vec<String> {
+    match db {
+        Db::Single(_) => Vec::new(),
+        Db::Sharded(s) => s.shards().iter().map(digest_single).collect(),
+    }
+}
+
+/// The prefix `k` of the (possibly extended) acknowledged history that
+/// shard `i`'s recovered state matches, preferring the longest plain
+/// prefix and falling back to the in-flight extension.
+fn shard_prefix_match(g: &str, i: usize, l: usize, legal: &LegalDigests) -> Option<usize> {
+    (0..=l)
+        .rev()
+        .find(|&k| g == legal.per_shard[k][i])
+        .or_else(|| {
+            legal
+                .ext_per_shard
+                .as_ref()
+                .and_then(|e| (g == e[i]).then_some(l + 1))
+        })
+}
+
+/// Bit-rot-mode verification: the salvage open must land on *some prefix*
+/// of the acknowledged history (possibly extended by the in-flight
+/// statement), and its [`SalvageReport`] must name the cut.
+///
+/// The single-topology check is exact: `lsn_map[i]` carries the WAL
+/// high-water lsn observed right after `acked[i]` was acknowledged
+/// (statements may log zero records — a no-op DELETE is acknowledged
+/// without touching the log — so statement index and lsn are *not*
+/// interchangeable), and the report's `replayed_through` pins precisely
+/// which acknowledged statements survived — the driver demands the
+/// recovered state equal that prefix and `lost` start at exactly
+/// `replayed_through + 1`. In sharded mode each shard has its own LSN
+/// sequence, so the driver checks the per-shard prefix property instead
+/// and halts the schedule when shards land on different prefixes.
+#[allow(clippy::too_many_arguments)]
+fn verify_salvage(
+    db: &Db,
+    fs: &SimFs,
+    acked: &mut Vec<String>,
+    lsn_map: &mut Vec<u64>,
+    in_flight: Option<&str>,
+    shards: Option<usize>,
+    seed: u64,
+    report: &mut SimReport,
+) -> Result<Verdict, SimFailure> {
+    let got = db.digest();
+    let legal = legal_digests(acked, in_flight, shards, seed)?;
+    let l = acked.len();
+    let Some(sr) = db.salvage() else {
+        return Err(SimFailure {
+            seed,
+            detail: "a salvage open produced no salvage report".into(),
+        });
+    };
+    // Quarantine means preserved: every file the report names must exist.
+    for path in sr
+        .checkpoints_quarantined
+        .iter()
+        .chain(sr.segments_quarantined.iter().map(|q| &q.path))
+    {
+        if fs.peek(path).is_none() {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "salvage report names quarantined file {} but nothing is there",
+                    path.display()
+                ),
+            });
+        }
+    }
+    if !sr.is_trivial() {
+        report.salvaged_opens += 1;
+    }
+    trace!("TRACE salvage report: {sr}");
+
+    if shards.is_none() {
+        // `lost` must dovetail with `replayed_through`: the first lost
+        // lsn is always the one right after the last record replayed.
+        if let Some(lost) = sr.lost {
+            if lost.first != sr.replayed_through + 1 {
+                return Err(SimFailure {
+                    seed,
+                    detail: format!(
+                        "salvage report is inconsistent: replayed through lsn {} but reports \
+                         loss starting at lsn {}",
+                        sr.replayed_through, lost.first
+                    ),
+                });
+            }
+        }
+        debug_assert_eq!(
+            lsn_map.len(),
+            l,
+            "lsn_map tracks acked one-for-one in single topology"
+        );
+        let r = sr.replayed_through;
+        let high = lsn_map.last().copied().unwrap_or(0);
+        if r > high {
+            // More records survived than the acknowledged history ever
+            // wrote: the extra tail can only be the in-flight statement's.
+            let (Some(sql), Some(ext)) = (in_flight, &legal.ext_full) else {
+                return Err(SimFailure {
+                    seed,
+                    detail: format!(
+                        "salvage replayed through lsn {r} but the acknowledged history \
+                         wrote only {high} records{}",
+                        if in_flight.is_some() {
+                            " (and the in-flight candidate does not replay)"
+                        } else {
+                            " and none was in flight"
+                        }
+                    ),
+                });
+            };
+            if got != *ext {
+                return Err(diverged(
+                    seed,
+                    "the acknowledged history plus the in-flight statement",
+                    &got,
+                    ext,
+                ));
+            }
+            acked.push(sql.to_string());
+            lsn_map.push(r);
+            return Ok(Verdict::Continue);
+        }
+        // The acknowledged prefix covered by the replay: every statement
+        // whose high-water lsn is at or below the cut. Zero-record
+        // statements at the boundary ride along with their predecessor,
+        // which is digest-exact because they changed no state.
+        let k = lsn_map.partition_point(|&x| x <= r);
+        if got != legal.full[k] {
+            return Err(diverged(
+                seed,
+                &format!("the {k}-statement prefix the salvage report claims"),
+                &got,
+                &legal.full[k],
+            ));
+        }
+        if k < l {
+            // Acknowledged statements were dropped: the report must say
+            // so explicitly — silent loss is the cardinal sin here.
+            if sr.lost.is_none() {
+                return Err(SimFailure {
+                    seed,
+                    detail: format!(
+                        "{} acknowledged statements were dropped but the salvage report \
+                         lists no loss",
+                        l - k
+                    ),
+                });
+            }
+            trace!(
+                "TRACE salvage dropped {} acked statement(s); rebasing to prefix {k}",
+                l - k
+            );
+            report.acked_lost += l - k;
+            acked.truncate(k);
+            lsn_map.truncate(k);
+        }
+        return Ok(Verdict::Continue);
+    }
+
+    // ---- sharded: per-shard prefix property.
+    // Fast paths mirror the non-rot verifier: everything survived, with
+    // or without the in-flight statement.
+    if got == legal.full[l] {
+        return Ok(Verdict::Continue);
+    }
+    if let (Some(sql), Some(ext)) = (in_flight, &legal.ext_full) {
+        if got == *ext {
+            acked.push(sql.to_string());
+            return Ok(Verdict::Continue);
+        }
+    }
+    let Db::Sharded(real) = db else {
+        unreachable!("sharded run holds a sharded database")
+    };
+    let n = real.shard_count();
+    let mut ks = Vec::with_capacity(n);
+    for i in 0..n {
+        let g = digest_single(real.shard(i));
+        let Some(k) = shard_prefix_match(&g, i, l, &legal) else {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "shard {i} recovered to a state matching no prefix of the acknowledged \
+                     history ({l} statements)"
+                ),
+            });
+        };
+        ks.push(k);
+    }
+    // Shards landed on different prefixes: rot cost one shard more than
+    // another, or a mid-broadcast cut legally diverged the replicas. Any
+    // dropped acknowledged work must be confessed; either way the oracle
+    // cannot model broadcasts against diverged replicas, so halt.
+    let min_k = *ks.iter().min().expect("at least one shard");
+    if min_k < l {
+        report.acked_lost += l - min_k;
+        if !sr.data_lost() {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "shards dropped acknowledged statements (per-shard prefixes {ks:?} of \
+                     {l}) but the salvage report admits no loss"
+                ),
+            });
+        }
+    }
+    trace!("TRACE shards on prefixes {ks:?} of {l}; halting");
+    Ok(Verdict::Halt)
+}
+
+/// Strict recovery must never invent state: on a fork of the rotted
+/// disk, [`RecoveryPolicy::Strict`] either refuses loudly or lands
+/// exactly on a legal prefix of the acknowledged history (rot in the
+/// final segment's tail is indistinguishable from a clean torn write,
+/// which Strict legally repairs in place). Succeeding onto anything else
+/// is a failure. The fork keeps the probe from disturbing the real run.
+fn strict_probe(
+    fs: &SimFs,
+    root: &std::path::Path,
+    opts: DurabilityOptions,
+    shards: Option<usize>,
+    acked: &[String],
+    in_flight: Option<&str>,
+    seed: u64,
+) -> Result<(), SimFailure> {
+    let forked = fs.fork();
+    // The probe is about rot, not scheduled faults — and sharded recovery
+    // would consume an armed countdown in nondeterministic thread order.
+    forked.clear_faults();
+    let strict = DurabilityOptions {
+        recovery: RecoveryPolicy::Strict,
+        ..opts
+    };
+    let vfs: Arc<dyn Vfs> = Arc::new(forked);
+    let opened = match shards {
+        None => ChronicleDb::open_with_vfs(vfs, root, strict).map(Db::Single),
+        Some(n) => ShardedDb::open_with_vfs(vfs, root, n, strict).map(Db::Sharded),
+    };
+    let Ok(db) = opened else {
+        return Ok(()); // refused loudly: exactly what Strict is for
+    };
+    let legal = legal_digests(acked, in_flight, shards, seed)?;
+    let l = acked.len();
+    let ok = match &db {
+        Db::Single(_) => {
+            let got = db.digest();
+            legal.full.contains(&got) || legal.ext_full.as_deref() == Some(got.as_str())
+        }
+        Db::Sharded(real) => (0..real.shard_count())
+            .all(|i| shard_prefix_match(&digest_single(real.shard(i)), i, l, &legal).is_some()),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(SimFailure {
+            seed,
+            detail: "strict recovery opened a rotted disk onto a state matching no prefix of \
+                     the acknowledged history (it must refuse, or repair only a torn tail)"
+                .into(),
+        })
+    }
+}
+
 fn is_broadcast(sql: &str) -> bool {
     matches!(
         parse(sql),
@@ -631,6 +1168,26 @@ mod tests {
     fn sharded_seed_runs_clean() {
         let report = run_seed_sharded(5, 2, &quick_cfg()).unwrap();
         assert!(report.sql_acked > 0);
+    }
+
+    #[test]
+    fn bit_rot_seed_runs_clean() {
+        let report = run_seed_bit_rot(3, &quick_cfg()).unwrap();
+        assert!(report.bit_rot_flips > 0, "every cut decays the medium");
+        assert!(report.recoveries >= 1);
+    }
+
+    #[test]
+    fn bit_rot_same_seed_same_report() {
+        let a = run_seed_bit_rot(11, &quick_cfg());
+        let b = run_seed_bit_rot(11, &quick_cfg());
+        assert_eq!(a, b, "rot is part of the deterministic replay");
+    }
+
+    #[test]
+    fn bit_rot_sharded_seed_runs_clean() {
+        let report = run_seed_bit_rot_sharded(7, 2, &quick_cfg()).unwrap();
+        assert!(report.bit_rot_flips > 0);
     }
 
     #[test]

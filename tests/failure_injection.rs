@@ -7,6 +7,14 @@
 //! recovery invariant: reopening either reproduces exactly a prefix of the
 //! acknowledged state, or fails loudly with a typed `Corruption` error.
 //! It never silently recovers wrong state.
+//!
+//! The final modules sweep *bit rot* — a single flipped byte at EVERY
+//! offset of a sealed WAL segment and of the newest checkpoint image, in
+//! both topologies — and pin the salvage contract: under
+//! [`RecoveryPolicy::Strict`] every flip is refused loudly, while under
+//! [`RecoveryPolicy::Salvage`] the open recovers the maximal acknowledged
+//! prefix, quarantines (never deletes) every untrusted file, and reports
+//! the dropped LSN range exactly.
 
 use chronicle::prelude::*;
 
@@ -799,6 +807,605 @@ mod sharded_crash_points {
                     assert_eq!(got, *oracle.last().unwrap(), "peer shard {s} (cut {cut})");
                 }
             }
+        }
+    }
+}
+
+// ---- Bit-rot sweeps: Strict refuses, Salvage recovers the maximal prefix ---
+
+mod bit_rot_salvage {
+    use super::*;
+    use chronicle::simkit::{SimFs, Vfs};
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    const DDL: &[&str] = &[
+        "CREATE CHRONICLE c (sn SEQ, k INT, v FLOAT)",
+        "CREATE VIEW s AS SELECT k, SUM(v) AS t, COUNT(*) AS n FROM c GROUP BY k",
+    ];
+
+    fn append_nth(d: &mut ChronicleDb, i: usize) {
+        d.append(
+            "c",
+            Chronon(i as i64),
+            &[vec![Value::Int((i % 3) as i64), Value::Float(i as f64)]],
+        )
+        .unwrap();
+    }
+
+    /// `snaps[i]` = byte-exact view state after `i` acknowledged appends.
+    fn oracle_snapshots(n: usize) -> Vec<Vec<(String, Vec<u8>)>> {
+        let mut oracle = ChronicleDb::new();
+        for stmt in DDL {
+            oracle.execute(stmt).unwrap();
+        }
+        let mut snaps = vec![oracle.snapshot_views()];
+        for i in 0..n {
+            append_nth(&mut oracle, i);
+            snaps.push(oracle.snapshot_views());
+        }
+        snaps
+    }
+
+    /// Files under `dir` with extension `ext`, sorted by name.
+    fn files_with_ext(sim: &SimFs, dir: &Path, ext: &str) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = sim
+            .live_files()
+            .into_iter()
+            .filter(|p| p.starts_with(dir) && p.extension().is_some_and(|x| x == ext))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn salvage_opts(base: DurabilityOptions) -> DurabilityOptions {
+        DurabilityOptions {
+            recovery: RecoveryPolicy::Salvage,
+            ..base
+        }
+    }
+
+    /// The salvage report of a single-topology open, which must exist and
+    /// name only quarantined files that are really present on `fs`.
+    fn report_of(d: &ChronicleDb, fs: &SimFs) -> SalvageReport {
+        let sr = d.stats().salvage.clone().expect("salvage open reports");
+        for path in sr
+            .checkpoints_quarantined
+            .iter()
+            .chain(sr.segments_quarantined.iter().map(|q| &q.path))
+        {
+            assert!(
+                fs.peek(path).is_some(),
+                "report names quarantined file {} but nothing is there",
+                path.display()
+            );
+        }
+        sr
+    }
+
+    /// Sweep: flip one byte at EVERY offset of a sealed, non-final WAL
+    /// segment. Acknowledged records live both inside the victim and in
+    /// later segments, so no flip can be explained as a crash artifact.
+    /// Strict must refuse every one; Salvage must land on exactly the
+    /// acknowledged prefix preceding the damage, quarantine the victim and
+    /// everything after it, and confess the dropped LSN range precisely.
+    /// A second open of the salvaged disk must then be clean.
+    #[test]
+    fn rotted_sealed_segment_swept_per_byte() {
+        const APPENDS: usize = 40;
+        let sim = SimFs::new(0xb17_5e6);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/rot-seg");
+        let opts = DurabilityOptions {
+            segment_bytes: 256, // force several segments
+            ..Default::default()
+        };
+        let floor = {
+            let mut d = ChronicleDb::open_with_vfs(Arc::clone(&vfs), root, opts).unwrap();
+            for stmt in DDL {
+                d.execute(stmt).unwrap();
+            }
+            let floor = d.checkpoint().unwrap(); // WAL now holds only appends
+            for i in 0..APPENDS {
+                append_nth(&mut d, i);
+            }
+            floor
+        };
+        let last_lsn = floor + APPENDS as u64;
+        let snaps = oracle_snapshots(APPENDS);
+        let segs = files_with_ext(&sim, &root.join("wal"), "seg");
+        assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
+        let victim = &segs[1];
+        let full = sim.peek(victim).unwrap();
+
+        for at in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[at] ^= 0x40;
+
+            // Strict: acknowledged records follow the damage, so the open
+            // must refuse loudly whichever byte rotted.
+            let rotten = sim.fork();
+            rotten.install(victim, &bytes);
+            let err = ChronicleDb::open_with_vfs(Arc::new(rotten), root, opts).unwrap_err();
+            assert!(
+                matches!(err, ChronicleError::Corruption { .. }),
+                "byte {at}: strict open must refuse, got: {err}"
+            );
+
+            // Salvage: maximal acknowledged prefix, exact loss accounting.
+            let rotten = sim.fork();
+            rotten.install(victim, &bytes);
+            let d = ChronicleDb::open_with_vfs(Arc::new(rotten.clone()), root, salvage_opts(opts))
+                .unwrap_or_else(|e| panic!("byte {at}: salvage open must recover, got: {e}"));
+            let recovered = d.stats().appends as usize;
+            assert!(recovered < APPENDS, "byte {at}: the rotted record must go");
+            assert_eq!(
+                d.snapshot_views(),
+                snaps[recovered],
+                "byte {at}: salvaged state is not the acknowledged prefix"
+            );
+            let sr = report_of(&d, &rotten);
+            assert_eq!(
+                sr.replayed_through,
+                floor + recovered as u64,
+                "byte {at}: report and replayed state disagree"
+            );
+            assert!(
+                !sr.segments_quarantined.is_empty(),
+                "byte {at}: the untrusted tail must be quarantined, not deleted"
+            );
+            let lost = sr
+                .lost
+                .unwrap_or_else(|| panic!("byte {at}: records were dropped but none confessed"));
+            assert_eq!(lost.first, sr.replayed_through + 1, "byte {at}");
+            assert_eq!(
+                lost.last, last_lsn,
+                "byte {at}: loss must extend through the newest record on disk"
+            );
+
+            // The salvaged disk is repaired: a second open — back under
+            // Strict — succeeds with the same state and nothing to report.
+            drop(d);
+            let d = ChronicleDb::open_with_vfs(Arc::new(rotten), root, opts)
+                .unwrap_or_else(|e| panic!("byte {at}: reopen after salvage failed: {e}"));
+            assert_eq!(d.snapshot_views(), snaps[recovered], "byte {at}: reopen");
+        }
+    }
+
+    /// Sweep: flip one byte at EVERY offset of the NEWEST checkpoint
+    /// image while an older image is still retained. Checkpointing
+    /// truncated the WAL through the newest image, so its records exist
+    /// nowhere else: Strict must refuse (falling back to the older image
+    /// exposes a WAL gap), and Salvage must quarantine the rotted image,
+    /// rebuild from the older one, and confess every LSN between the two
+    /// images and the tail as lost.
+    #[test]
+    fn rotted_newest_checkpoint_swept_per_byte() {
+        let sim = SimFs::new(0xb17_c49);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/rot-ckpt");
+        let opts = DurabilityOptions::default();
+        let (first_ckpt, second_ckpt) = {
+            let mut d = ChronicleDb::open_with_vfs(Arc::clone(&vfs), root, opts).unwrap();
+            for stmt in DDL {
+                d.execute(stmt).unwrap();
+            }
+            for i in 0..4 {
+                append_nth(&mut d, i);
+            }
+            let first = d.checkpoint().unwrap();
+            for i in 4..10 {
+                append_nth(&mut d, i);
+            }
+            let second = d.checkpoint().unwrap(); // prunes the WAL through here
+            for i in 10..12 {
+                append_nth(&mut d, i); // a tail beyond the newest image
+            }
+            (first, second)
+        };
+        let last_lsn = second_ckpt + 2;
+        let snaps = oracle_snapshots(12);
+        let ckpts = files_with_ext(&sim, root, "ckpt");
+        assert_eq!(ckpts.len(), 2, "both retained images are on disk");
+        let newest = ckpts.last().unwrap();
+        let full = sim.peek(newest).unwrap();
+
+        for at in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[at] ^= 0x40;
+
+            let rotten = sim.fork();
+            rotten.install(newest, &bytes);
+            let err = ChronicleDb::open_with_vfs(Arc::new(rotten), root, opts).unwrap_err();
+            assert!(
+                matches!(err, ChronicleError::Corruption { .. }),
+                "byte {at}: strict open must refuse the WAL gap, got: {err}"
+            );
+
+            let rotten = sim.fork();
+            rotten.install(newest, &bytes);
+            let d = ChronicleDb::open_with_vfs(Arc::new(rotten.clone()), root, salvage_opts(opts))
+                .unwrap_or_else(|e| panic!("byte {at}: salvage open must recover, got: {e}"));
+            // All that is trustworthy is the older image: 4 appends.
+            assert_eq!(
+                d.snapshot_views(),
+                snaps[4],
+                "byte {at}: salvaged state is not the older checkpoint's state"
+            );
+            let sr = report_of(&d, &rotten);
+            assert_eq!(sr.replayed_through, first_ckpt, "byte {at}");
+            assert_eq!(
+                sr.checkpoints_quarantined.len(),
+                1,
+                "byte {at}: the rotted image must be quarantined, not deleted"
+            );
+            let lost = sr
+                .lost
+                .unwrap_or_else(|| panic!("byte {at}: records were dropped but none confessed"));
+            assert_eq!(lost.first, first_ckpt + 1, "byte {at}");
+            assert_eq!(
+                lost.last, last_lsn,
+                "byte {at}: loss must cover the pruned range and the tail"
+            );
+
+            drop(d);
+            let d = ChronicleDb::open_with_vfs(Arc::new(rotten), root, opts)
+                .unwrap_or_else(|e| panic!("byte {at}: reopen after salvage failed: {e}"));
+            assert_eq!(d.snapshot_views(), snaps[4], "byte {at}: reopen");
+        }
+    }
+
+    /// Transient `Interrupted` short reads are a device hiccup, not rot:
+    /// both recovery and the scrubber must retry them away and succeed
+    /// with no salvage action and no findings.
+    #[test]
+    fn transient_short_reads_are_retried_by_open_and_scrub() {
+        const APPENDS: usize = 8;
+        let sim = SimFs::new(0x5407);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/short-reads");
+        let opts = DurabilityOptions::default();
+        {
+            let mut d = ChronicleDb::open_with_vfs(Arc::clone(&vfs), root, opts).unwrap();
+            for stmt in DDL {
+                d.execute(stmt).unwrap();
+            }
+            d.checkpoint().unwrap();
+            for i in 0..APPENDS {
+                append_nth(&mut d, i);
+            }
+        }
+        let snaps = oracle_snapshots(APPENDS);
+
+        sim.set_short_reads(2);
+        let d = ChronicleDb::open_with_vfs(Arc::clone(&vfs), root, opts)
+            .expect("transient short reads must be retried, not fatal");
+        assert_eq!(d.snapshot_views(), snaps[APPENDS]);
+
+        sim.set_short_reads(2);
+        let report = d.scrub().expect("scrub must retry transient short reads");
+        assert!(report.clean(), "hiccups are not findings: {report}");
+        assert!(report.segments_checked >= 1);
+        assert!(report.checkpoints_checked >= 1);
+    }
+}
+
+// ---- Sharded bit-rot sweeps -----------------------------------------------
+
+mod sharded_bit_rot {
+    use super::*;
+    use chronicle::db::{shard_of_group, ShardedDb};
+    use chronicle::simkit::{SimFs, Vfs};
+    use std::path::{Path, PathBuf};
+    use std::sync::Arc;
+
+    const SHARDS: usize = 4;
+    const GROUPS: usize = 8;
+    const APPENDS: usize = 48;
+
+    fn ddl_for_group(g: usize) -> [String; 3] {
+        [
+            format!("CREATE GROUP g{g}"),
+            format!("CREATE CHRONICLE c{g} (sn SEQ, k INT, v FLOAT) IN GROUP g{g}"),
+            format!("CREATE VIEW v{g} AS SELECT k, SUM(v) AS t FROM c{g} GROUP BY k"),
+        ]
+    }
+
+    fn ddl() -> Vec<String> {
+        (0..GROUPS).flat_map(ddl_for_group).collect()
+    }
+
+    fn history() -> Vec<(usize, i64, i64, f64)> {
+        (0..APPENDS)
+            .map(|i| (i % GROUPS, i as i64 + 1, (i % 3) as i64, i as f64))
+            .collect()
+    }
+
+    fn groups_of(shard: usize) -> Vec<usize> {
+        (0..GROUPS)
+            .filter(|g| shard_of_group(&format!("g{g}"), SHARDS) == shard)
+            .collect()
+    }
+
+    /// One sorted view snapshot per acknowledged append prefix.
+    type Snapshots = Vec<Vec<(String, Vec<u8>)>>;
+
+    /// Per-shard oracle over the first `upto` global appends: `snaps[k]`
+    /// is the (sorted) view state of `shard` after the first `k` appends
+    /// destined to it.
+    fn shard_oracle(shard: usize) -> Snapshots {
+        let groups = groups_of(shard);
+        let mut db = ChronicleDb::new();
+        for stmt in groups.iter().flat_map(|g| ddl_for_group(*g)) {
+            db.execute(&stmt).unwrap();
+        }
+        let sorted = |db: &ChronicleDb| {
+            let mut s = db.snapshot_views();
+            s.sort();
+            s
+        };
+        let mut snaps = vec![sorted(&db)];
+        for (g, at, k, v) in history() {
+            if !groups.contains(&g) {
+                continue;
+            }
+            db.append(
+                &format!("c{g}"),
+                Chronon(at),
+                &[vec![Value::Int(k), Value::Float(v)]],
+            )
+            .unwrap();
+            snaps.push(sorted(&db));
+        }
+        snaps
+    }
+
+    /// How many of the first `upto` global appends land on `shard`.
+    fn appends_to(shard: usize, upto: usize) -> usize {
+        let groups = groups_of(shard);
+        history()
+            .iter()
+            .take(upto)
+            .filter(|(g, ..)| groups.contains(g))
+            .count()
+    }
+
+    fn files_with_ext(sim: &SimFs, dir: &Path, ext: &str) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = sim
+            .live_files()
+            .into_iter()
+            .filter(|p| p.starts_with(dir) && p.extension().is_some_and(|x| x == ext))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn salvage_opts(base: DurabilityOptions) -> DurabilityOptions {
+        DurabilityOptions {
+            recovery: RecoveryPolicy::Salvage,
+            ..base
+        }
+    }
+
+    /// Check the per-shard states of a salvaged open: the victim holds
+    /// exactly a proper prefix of its appends — `expect` if given, else
+    /// however many WAL records its recovery replayed — and every peer
+    /// holds its full state with a trivial report. Returns the victim's
+    /// report. (`expect` matters when the victim rebuilt from a
+    /// checkpoint image: image restores don't count as replayed appends.)
+    fn check_shards(
+        d: &ShardedDb,
+        fs: &SimFs,
+        oracles: &[Snapshots],
+        victim: usize,
+        expect: Option<usize>,
+        label: &str,
+    ) -> SalvageReport {
+        for (s, oracle) in oracles.iter().enumerate() {
+            let mut got = d.shard(s).snapshot_views();
+            got.sort();
+            if s == victim {
+                let recovered = expect.unwrap_or_else(|| d.shard(s).stats().appends as usize);
+                assert!(recovered < oracle.len() - 1, "{label}: shard {s} lost data");
+                assert_eq!(
+                    got, oracle[recovered],
+                    "{label}: victim state is not its acknowledged prefix"
+                );
+            } else {
+                assert_eq!(
+                    got,
+                    *oracle.last().unwrap(),
+                    "{label}: peer shard {s} must be untouched"
+                );
+                if let Some(sr) = &d.shard(s).stats().salvage {
+                    assert!(sr.is_trivial(), "{label}: peer shard {s} reports {sr}");
+                }
+            }
+        }
+        let sr = d
+            .shard(victim)
+            .stats()
+            .salvage
+            .clone()
+            .expect("victim shard reports");
+        for path in sr
+            .checkpoints_quarantined
+            .iter()
+            .chain(sr.segments_quarantined.iter().map(|q| &q.path))
+        {
+            assert!(
+                fs.peek(path).is_some(),
+                "{label}: report names quarantined file {} but nothing is there",
+                path.display()
+            );
+        }
+        let agg = d.stats().salvage.expect("aggregate report");
+        assert!(agg.data_lost(), "{label}: aggregate report must admit loss");
+        sr
+    }
+
+    /// Sweep a sealed non-final WAL segment of ONE shard, byte by byte.
+    /// Strict refuses the whole database; Salvage recovers the victim's
+    /// acknowledged prefix while every peer shard recovers completely —
+    /// rot, like crashes, respects shard failure domains.
+    #[test]
+    fn rotted_shard_segment_swept_per_byte() {
+        let sim = SimFs::new(0xb17_54a);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/sharded-rot-seg");
+        let opts = DurabilityOptions {
+            segment_bytes: 256,
+            ..Default::default()
+        };
+        let floors = {
+            let mut d = ShardedDb::open_with_vfs(Arc::clone(&vfs), root, SHARDS, opts).unwrap();
+            for stmt in ddl() {
+                d.execute(&stmt).unwrap();
+            }
+            let floors = d.checkpoint().unwrap(); // WAL tails now hold only appends
+            for (g, at, k, v) in history() {
+                d.append(
+                    &format!("c{g}"),
+                    Chronon(at),
+                    &[vec![Value::Int(k), Value::Float(v)]],
+                )
+                .unwrap();
+            }
+            floors
+        };
+        let oracles: Vec<_> = (0..SHARDS).map(shard_oracle).collect();
+        for (s, oracle) in oracles.iter().enumerate() {
+            assert!(
+                oracle.len() > 1,
+                "shard {s} owns no appends; grow GROUPS so every shard is exercised"
+            );
+        }
+        let victim = 0;
+        let wal_dir = root.join(format!("shard-{victim:03}")).join("wal");
+        let segs = files_with_ext(&sim, &wal_dir, "seg");
+        assert!(
+            segs.len() >= 2,
+            "victim shard needs a sealed segment, got {}",
+            segs.len()
+        );
+        let target = &segs[0];
+        let full = sim.peek(target).unwrap();
+
+        for at in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[at] ^= 0x40;
+
+            let rotten = sim.fork();
+            rotten.install(target, &bytes);
+            let err = ShardedDb::open_with_vfs(Arc::new(rotten), root, SHARDS, opts).unwrap_err();
+            assert!(
+                matches!(err, ChronicleError::Durability { .. })
+                    && err.to_string().contains("corrupt"),
+                "byte {at}: strict open must refuse, got: {err}"
+            );
+
+            let rotten = sim.fork();
+            rotten.install(target, &bytes);
+            let d = ShardedDb::open_with_vfs(
+                Arc::new(rotten.clone()),
+                root,
+                SHARDS,
+                salvage_opts(opts),
+            )
+            .unwrap_or_else(|e| panic!("byte {at}: salvage open must recover, got: {e}"));
+            let label = format!("byte {at}");
+            let sr = check_shards(&d, &rotten, &oracles, victim, None, &label);
+            let recovered = d.shard(victim).stats().appends;
+            assert_eq!(sr.replayed_through, floors[victim] + recovered, "{label}");
+            let lost = sr
+                .lost
+                .unwrap_or_else(|| panic!("{label}: records were dropped but none confessed"));
+            assert_eq!(lost.first, sr.replayed_through + 1, "{label}");
+        }
+    }
+
+    /// Sweep the victim shard's NEWEST checkpoint image, byte by byte,
+    /// with an older image retained and the WAL pruned through the newest.
+    /// Strict refuses; Salvage rebuilds the victim from the older image
+    /// (confessing the pruned range) and every peer recovers completely.
+    #[test]
+    fn rotted_shard_checkpoint_swept_per_byte() {
+        // Checkpoint after the first 16 appends (the fallback image), again
+        // after 40 (the victim image; this prunes every shard's WAL), and
+        // leave the final 8 — one per group, so one reaches every shard —
+        // as a WAL tail beyond the newest image.
+        const FIRST: usize = 16;
+        const SECOND: usize = 40;
+        let sim = SimFs::new(0xb17_54b);
+        let vfs: Arc<dyn Vfs> = Arc::new(sim.clone());
+        let root = Path::new("/sim/sharded-rot-ckpt");
+        let opts = DurabilityOptions::default();
+        let append = |d: &mut ShardedDb, (g, at, k, v): (usize, i64, i64, f64)| {
+            d.append(
+                &format!("c{g}"),
+                Chronon(at),
+                &[vec![Value::Int(k), Value::Float(v)]],
+            )
+            .unwrap();
+        };
+        let floors = {
+            let mut d = ShardedDb::open_with_vfs(Arc::clone(&vfs), root, SHARDS, opts).unwrap();
+            for stmt in ddl() {
+                d.execute(&stmt).unwrap();
+            }
+            let h = history();
+            for op in &h[..FIRST] {
+                append(&mut d, *op);
+            }
+            let floors = d.checkpoint().unwrap();
+            for op in &h[FIRST..SECOND] {
+                append(&mut d, *op);
+            }
+            d.checkpoint().unwrap(); // prunes each shard's WAL through here
+            for op in &h[SECOND..] {
+                append(&mut d, *op);
+            }
+            floors
+        };
+        let oracles: Vec<_> = (0..SHARDS).map(shard_oracle).collect();
+        let victim = 0;
+        let shard_dir = root.join(format!("shard-{victim:03}"));
+        let ckpts = files_with_ext(&sim, &shard_dir, "ckpt");
+        assert_eq!(ckpts.len(), 2, "victim shard retains both images");
+        let newest = ckpts.last().unwrap();
+        let full = sim.peek(newest).unwrap();
+        let at_older = appends_to(victim, FIRST);
+
+        for at in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[at] ^= 0x40;
+
+            let rotten = sim.fork();
+            rotten.install(newest, &bytes);
+            let err = ShardedDb::open_with_vfs(Arc::new(rotten), root, SHARDS, opts).unwrap_err();
+            assert!(
+                matches!(err, ChronicleError::Durability { .. })
+                    && err.to_string().contains("corrupt"),
+                "byte {at}: strict open must refuse the WAL gap, got: {err}"
+            );
+
+            let rotten = sim.fork();
+            rotten.install(newest, &bytes);
+            let d = ShardedDb::open_with_vfs(
+                Arc::new(rotten.clone()),
+                root,
+                SHARDS,
+                salvage_opts(opts),
+            )
+            .unwrap_or_else(|e| panic!("byte {at}: salvage open must recover, got: {e}"));
+            let label = format!("byte {at}");
+            let sr = check_shards(&d, &rotten, &oracles, victim, Some(at_older), &label);
+            assert_eq!(sr.replayed_through, floors[victim], "{label}");
+            assert_eq!(sr.checkpoints_quarantined.len(), 1, "{label}");
+            let lost = sr
+                .lost
+                .unwrap_or_else(|| panic!("{label}: records were dropped but none confessed"));
+            assert_eq!(lost.first, floors[victim] + 1, "{label}");
         }
     }
 }

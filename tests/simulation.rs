@@ -17,7 +17,7 @@
 //!     --base <seed> --seeds 1 --shards <0 or 2> --ops 120
 //! ```
 
-use chronicle::sim::{run_seed, run_seed_sharded};
+use chronicle::sim::{run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded};
 use chronicle::simkit::ScheduleConfig;
 
 fn cfg() -> ScheduleConfig {
@@ -89,4 +89,39 @@ fn simulation_exercises_the_interesting_paths() {
     assert!(acked > 100, "schedules ack real work (got {acked})");
     assert!(crashes > 10, "schedules inject crashes (got {crashes})");
     assert!(checkpoints > 5, "schedules checkpoint (got {checkpoints})");
+}
+
+/// A pinned slice of the bit-rot sweeps (`--bit-rot` in the example
+/// runner): every crash also flips seeded bytes across the surviving
+/// files, the database reopens under `RecoveryPolicy::Salvage`, and the
+/// driver proves each open landed on a prefix of the acknowledged history
+/// with the dropped suffix exactly enumerated by the salvage report.
+#[test]
+fn single_topology_bit_rot_seeds_salvage_clean() {
+    let mut flips = 0;
+    for seed in SEEDS {
+        let report = run_seed_bit_rot(seed, &cfg())
+            .unwrap_or_else(|f| panic!("single-topology bit-rot simulation failed: {f}"));
+        assert!(report.recoveries >= 1, "seed {seed}: recovery exercised");
+        flips += report.bit_rot_flips;
+    }
+    assert!(
+        flips > 50,
+        "the sweep must actually rot bytes (got {flips})"
+    );
+}
+
+#[test]
+fn sharded_topology_bit_rot_seeds_salvage_clean() {
+    let mut flips = 0;
+    for seed in SEEDS {
+        let report = run_seed_bit_rot_sharded(seed, 2, &cfg())
+            .unwrap_or_else(|f| panic!("sharded bit-rot simulation failed: {f}"));
+        assert!(report.recoveries >= 1, "seed {seed}: recovery exercised");
+        flips += report.bit_rot_flips;
+    }
+    assert!(
+        flips > 50,
+        "the sweep must actually rot bytes (got {flips})"
+    );
 }
