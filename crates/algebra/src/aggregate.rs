@@ -10,6 +10,14 @@
 //! AVG and STDDEV are *decomposable*: maintained as (SUM, COUNT) and
 //! (SUM, SUMSQ, COUNT) respectively and finalized on read. FIRST/LAST
 //! exploit the sequence order of chronicles.
+//!
+//! The Z-set delta core additionally distinguishes the **retractable**
+//! functions — COUNT/SUM/AVG/STDDEV, whose states form a group, so a
+//! deleted input can be undone in O(1) via [`Accumulator::update_weighted`]
+//! with a negative weight — from MIN/MAX/FIRST/LAST, whose states only
+//! form a monoid (a retracted witness would force a rescan). Relation-
+//! backed views, which face deletes, are restricted to the retractable
+//! set; chronicle views may use all nine.
 
 use std::fmt;
 
@@ -98,6 +106,21 @@ impl AggFunc {
         }
     }
 
+    /// Whether this function can undo a deleted input in O(1): its state
+    /// forms a group under the update operation. MIN/MAX/FIRST/LAST are
+    /// not retractable — removing the current witness would require a
+    /// rescan of the group.
+    pub fn is_retractable(&self) -> bool {
+        matches!(
+            self,
+            AggFunc::CountStar
+                | AggFunc::Count(_)
+                | AggFunc::Sum(_)
+                | AggFunc::Avg(_)
+                | AggFunc::StdDev(_)
+        )
+    }
+
     /// Create the empty accumulator for this function.
     pub fn new_state(&self) -> AccState {
         match self {
@@ -105,7 +128,7 @@ impl AggFunc {
             AggFunc::Sum(_) => AccState::Sum {
                 int: 0,
                 float: 0.0,
-                saw_float: false,
+                floats: 0,
                 n: 0,
             },
             AggFunc::Min(_) => AccState::Extreme(None),
@@ -167,15 +190,17 @@ pub enum AccState {
     /// COUNT state.
     Count(i64),
     /// SUM state. Keeps an exact integer sum while all inputs are ints and
-    /// switches to float on the first float input, so `SUM(INT)` stays
-    /// exact over billions of tuples.
+    /// switches to float while any float input is live, so `SUM(INT)`
+    /// stays exact over billions of tuples. The float-input *count* (not a
+    /// sticky bool) makes the representation retractable: deleting the
+    /// last float input returns the sum to the exact integer domain.
     Sum {
         /// Exact integer partial sum.
         int: i64,
-        /// Float partial sum (used once `saw_float`).
+        /// Float partial sum (used while `floats > 0`).
         float: f64,
-        /// Whether any float input was seen.
-        saw_float: bool,
+        /// Number of live float inputs.
+        floats: u64,
         /// Number of non-NULL inputs.
         n: u64,
     },
@@ -262,7 +287,7 @@ impl Accumulator {
                 AccState::Sum {
                     int,
                     float,
-                    saw_float,
+                    floats,
                     n,
                 },
                 AggFunc::Sum(_),
@@ -276,7 +301,7 @@ impl Accumulator {
                         *n += 1;
                     }
                     Value::Float(f) => {
-                        *saw_float = true;
+                        *floats += 1;
                         *float += f;
                         *n += 1;
                     }
@@ -343,6 +368,97 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Fold one tuple into the state `weight` times — the Z-set form of
+    /// [`Self::update`]. Positive weights insert; negative weights retract
+    /// (only for [`AggFunc::is_retractable`] functions — MIN/MAX and
+    /// FIRST/LAST reject negative weights with a typed error instead of
+    /// silently keeping a dead witness).
+    pub fn update_weighted(&mut self, tuple: &Tuple, weight: i64) -> Result<()> {
+        if weight == 0 {
+            return Ok(());
+        }
+        if weight < 0 && !self.func.is_retractable() {
+            return Err(ChronicleError::BadAggregate {
+                detail: format!(
+                    "{} is not retractable: undoing a deleted input needs a group rescan",
+                    self.func
+                ),
+            });
+        }
+        // Presence-based states (MIN/MAX/FIRST/LAST): folding the same
+        // tuple once or `weight > 0` times is identical.
+        if matches!(self.state, AccState::Extreme(_) | AccState::Held(_)) {
+            return self.update(tuple);
+        }
+        let input = self.func.input_attr().map(|a| tuple.get(a));
+        match (&mut self.state, self.func) {
+            (AccState::Count(n), AggFunc::CountStar) => *n += weight,
+            (AccState::Count(n), AggFunc::Count(_)) => {
+                if !input.expect("Count has input").is_null() {
+                    *n += weight;
+                }
+            }
+            (
+                AccState::Sum {
+                    int,
+                    float,
+                    floats,
+                    n,
+                },
+                AggFunc::Sum(_),
+            ) => {
+                let v = input.expect("Sum has input");
+                match v {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        *int = int.wrapping_add(i.wrapping_mul(weight));
+                        *float += *i as f64 * weight as f64;
+                        adjust_count(n, weight, "SUM")?;
+                    }
+                    Value::Float(f) => {
+                        *float += f * weight as f64;
+                        adjust_count(floats, weight, "SUM")?;
+                        adjust_count(n, weight, "SUM")?;
+                    }
+                    other => {
+                        return Err(ChronicleError::BadAggregate {
+                            detail: format!("SUM over non-numeric value {other:?}"),
+                        })
+                    }
+                }
+            }
+            (AccState::SumCount { sum, n }, AggFunc::Avg(_)) => {
+                let v = input.expect("Avg has input");
+                if let Some(f) = v.as_float() {
+                    *sum += f * weight as f64;
+                    adjust_count(n, weight, "AVG")?;
+                } else if !v.is_null() {
+                    return Err(ChronicleError::BadAggregate {
+                        detail: format!("AVG over non-numeric value {v:?}"),
+                    });
+                }
+            }
+            (AccState::Moments { sum, sumsq, n }, AggFunc::StdDev(_)) => {
+                let v = input.expect("StdDev has input");
+                if let Some(f) = v.as_float() {
+                    *sum += f * weight as f64;
+                    *sumsq += f * f * weight as f64;
+                    adjust_count(n, weight, "STDDEV")?;
+                } else if !v.is_null() {
+                    return Err(ChronicleError::BadAggregate {
+                        detail: format!("STDDEV over non-numeric value {v:?}"),
+                    });
+                }
+            }
+            (state, func) => {
+                return Err(ChronicleError::Internal(format!(
+                    "accumulator state {state:?} does not match function {func}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
     /// Merge another accumulator of the *same function* into this one —
     /// the decomposability property, used by the sliding-window cyclic
     /// buffer (§5.1) to combine per-bucket sub-aggregates.
@@ -358,19 +474,19 @@ impl Accumulator {
                 AccState::Sum {
                     int: ai,
                     float: af,
-                    saw_float: asf,
+                    floats: afl,
                     n: an,
                 },
                 AccState::Sum {
                     int: bi,
                     float: bf,
-                    saw_float: bsf,
+                    floats: bfl,
                     n: bn,
                 },
             ) => {
                 *ai = ai.wrapping_add(*bi);
                 *af += bf;
-                *asf |= bsf;
+                *afl += bfl;
                 *an += bn;
             }
             (AccState::Extreme(a), AccState::Extreme(b)) => {
@@ -427,6 +543,82 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Subtract another accumulator of the same function from this one —
+    /// the inverse of [`Self::merge`], used by the sliding-window engine to
+    /// retire an expired bucket as an ordinary negative-weight delta.
+    /// Only defined for retractable functions; MIN/MAX/FIRST/LAST states
+    /// cannot be unmerged and return a typed error.
+    pub fn unmerge(&mut self, other: &Accumulator) -> Result<()> {
+        if self.func != other.func {
+            return Err(ChronicleError::BadAggregate {
+                detail: format!("cannot unmerge {} from {}", other.func, self.func),
+            });
+        }
+        match (&mut self.state, &other.state) {
+            (AccState::Count(a), AccState::Count(b)) => *a -= b,
+            (
+                AccState::Sum {
+                    int: ai,
+                    float: af,
+                    floats: afl,
+                    n: an,
+                },
+                AccState::Sum {
+                    int: bi,
+                    float: bf,
+                    floats: bfl,
+                    n: bn,
+                },
+            ) => {
+                *ai = ai.wrapping_sub(*bi);
+                *af -= bf;
+                sub_count(afl, *bfl, "SUM")?;
+                sub_count(an, *bn, "SUM")?;
+            }
+            (AccState::SumCount { sum: a, n: an }, AccState::SumCount { sum: b, n: bn }) => {
+                *a -= b;
+                sub_count(an, *bn, "AVG")?;
+            }
+            (
+                AccState::Moments {
+                    sum: a,
+                    sumsq: aq,
+                    n: an,
+                },
+                AccState::Moments {
+                    sum: b,
+                    sumsq: bq,
+                    n: bn,
+                },
+            ) => {
+                *a -= b;
+                *aq -= bq;
+                sub_count(an, *bn, "STDDEV")?;
+            }
+            _ => {
+                return Err(ChronicleError::BadAggregate {
+                    detail: format!(
+                        "{} is not retractable: expired buckets need recomputation",
+                        self.func
+                    ),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every live input has been retracted again — the group is
+    /// observationally empty and may be consolidated away.
+    pub fn is_drained(&self) -> bool {
+        match &self.state {
+            AccState::Count(n) => *n == 0,
+            AccState::Sum { n, .. } => *n == 0,
+            AccState::SumCount { n, .. } => *n == 0,
+            AccState::Moments { n, .. } => *n == 0,
+            AccState::Extreme(v) | AccState::Held(v) => v.is_none(),
+        }
+    }
+
     /// Finalize to the SQL result value.
     pub fn finalize(&self) -> Value {
         match &self.state {
@@ -434,12 +626,12 @@ impl Accumulator {
             AccState::Sum {
                 int,
                 float,
-                saw_float,
+                floats,
                 n,
             } => {
                 if *n == 0 {
                     Value::Null
-                } else if *saw_float {
+                } else if *floats > 0 {
                     Value::Float(*float)
                 } else {
                     Value::Int(*int)
@@ -467,6 +659,27 @@ impl Accumulator {
     }
 }
 
+/// Adjust an unsigned live-input count by a signed weight; underflow is a
+/// logic error (retracting an input that was never inserted), reported
+/// rather than wrapped.
+fn adjust_count(n: &mut u64, weight: i64, what: &str) -> Result<()> {
+    if weight >= 0 {
+        *n += weight as u64;
+        Ok(())
+    } else {
+        sub_count(n, weight.unsigned_abs(), what)
+    }
+}
+
+fn sub_count(n: &mut u64, by: u64, what: &str) -> Result<()> {
+    *n = n.checked_sub(by).ok_or_else(|| {
+        ChronicleError::Internal(format!(
+            "{what} retraction underflow: more inputs retracted than inserted"
+        ))
+    })?;
+    Ok(())
+}
+
 /// Compute `aggs` over a complete group in one pass (the O(n) batch form
 /// the paper requires each function to also have). Used by the oracle and
 /// by CA's GROUPBY-with-SN, whose groups are always brand new.
@@ -475,6 +688,18 @@ pub fn aggregate_group(aggs: &[AggFunc], tuples: &[&Tuple]) -> Result<Vec<Value>
     for t in tuples {
         for acc in &mut accs {
             acc.update(t)?;
+        }
+    }
+    Ok(accs.iter().map(Accumulator::finalize).collect())
+}
+
+/// The weighted form of [`aggregate_group`]: fold Z-set entries, each
+/// carrying a signed multiplicity, into fresh accumulators.
+pub fn aggregate_group_weighted(aggs: &[AggFunc], members: &[(&Tuple, i64)]) -> Result<Vec<Value>> {
+    let mut accs: Vec<Accumulator> = aggs.iter().map(|&f| Accumulator::new(f)).collect();
+    for (t, w) in members {
+        for acc in &mut accs {
+            acc.update_weighted(t, *w)?;
         }
     }
     Ok(accs.iter().map(Accumulator::finalize).collect())
@@ -608,6 +833,107 @@ mod tests {
         let refs: Vec<&Tuple> = r.iter().collect();
         let out = aggregate_group(&[AggFunc::CountStar, AggFunc::Sum(0)], &refs).unwrap();
         assert_eq!(out, vec![Value::Int(3), Value::Int(6)]);
+    }
+
+    #[test]
+    fn weighted_update_retracts_exactly() {
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Count(1),
+            AggFunc::Sum(1),
+            AggFunc::Avg(1),
+            AggFunc::StdDev(1),
+        ] {
+            let mut acc = Accumulator::new(func);
+            acc.update_weighted(&tuple![1i64, 10.0f64], 1).unwrap();
+            acc.update_weighted(&tuple![2i64, 30.0f64], 2).unwrap();
+            acc.update_weighted(&tuple![2i64, 30.0f64], -2).unwrap();
+            let mut expect = Accumulator::new(func);
+            expect.update(&tuple![1i64, 10.0f64]).unwrap();
+            assert_eq!(
+                acc.finalize(),
+                expect.finalize(),
+                "insert+retract must cancel exactly for {func}"
+            );
+            assert!(!acc.is_drained());
+            acc.update_weighted(&tuple![1i64, 10.0f64], -1).unwrap();
+            assert!(acc.is_drained(), "{func} fully retracted must drain");
+        }
+    }
+
+    #[test]
+    fn sum_reverts_to_int_when_floats_retracted() {
+        let mut acc = Accumulator::new(AggFunc::Sum(0));
+        acc.update(&tuple![2i64]).unwrap();
+        acc.update_weighted(&tuple![0.5f64], 1).unwrap();
+        assert_eq!(acc.finalize(), Value::Float(2.5));
+        acc.update_weighted(&tuple![0.5f64], -1).unwrap();
+        assert_eq!(
+            acc.finalize(),
+            Value::Int(2),
+            "retracting the last float input returns SUM to the exact integer domain"
+        );
+    }
+
+    #[test]
+    fn non_retractable_functions_reject_negative_weights() {
+        for func in [
+            AggFunc::Min(0),
+            AggFunc::Max(0),
+            AggFunc::First(0),
+            AggFunc::Last(0),
+        ] {
+            assert!(!func.is_retractable());
+            let mut acc = Accumulator::new(func);
+            acc.update(&tuple![1i64]).unwrap();
+            assert!(acc.update_weighted(&tuple![1i64], -1).is_err());
+            // Positive weights still work (presence semantics).
+            acc.update_weighted(&tuple![0i64], 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn unmerge_inverts_merge() {
+        let r = rows();
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Sum(1),
+            AggFunc::Avg(1),
+            AggFunc::StdDev(1),
+        ] {
+            let mut total = Accumulator::new(func);
+            for t in &r {
+                total.update(t).unwrap();
+            }
+            let mut bucket = Accumulator::new(func);
+            bucket.update(&r[2]).unwrap();
+            total.unmerge(&bucket).unwrap();
+            let mut expect = Accumulator::new(func);
+            expect.update(&r[0]).unwrap();
+            expect.update(&r[1]).unwrap();
+            assert_eq!(total.finalize(), expect.finalize(), "unmerge for {func}");
+        }
+        let mut m = Accumulator::new(AggFunc::Min(0));
+        assert!(m.unmerge(&Accumulator::new(AggFunc::Min(0))).is_err());
+    }
+
+    #[test]
+    fn retraction_underflow_is_loud() {
+        let mut acc = Accumulator::new(AggFunc::Sum(0));
+        assert!(acc.update_weighted(&tuple![1i64], -1).is_err());
+    }
+
+    #[test]
+    fn aggregate_group_weighted_matches_expansion() {
+        let r = rows();
+        let weighted: Vec<(&Tuple, i64)> = vec![(&r[0], 2), (&r[1], 1)];
+        let expanded = vec![r[0].clone(), r[0].clone(), r[1].clone()];
+        let refs: Vec<&Tuple> = expanded.iter().collect();
+        let funcs = [AggFunc::CountStar, AggFunc::Sum(0), AggFunc::Avg(1)];
+        assert_eq!(
+            aggregate_group_weighted(&funcs, &weighted).unwrap(),
+            aggregate_group(&funcs, &refs).unwrap()
+        );
     }
 
     #[test]

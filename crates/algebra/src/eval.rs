@@ -137,8 +137,10 @@ fn eval_node(catalog: &Catalog, expr: &CaExpr, cache: &mut VersionCache) -> Resu
                 groups.entry(key).or_default().push(t);
             }
             let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+            let sn = input.seq_pos();
             let mut out = Vec::with_capacity(groups.len());
-            for (key, members) in groups {
+            for (key, mut members) in groups {
+                sort_canonical(&mut members, sn);
                 let aggv = aggregate_group(&funcs, &members)?;
                 let mut row = key;
                 row.extend(aggv);
@@ -207,8 +209,10 @@ pub fn eval_sca(catalog: &Catalog, expr: &ScaExpr) -> Result<Vec<Tuple>> {
                 groups.entry(key).or_default().push(t);
             }
             let funcs: Vec<_> = aggs.iter().map(|a| a.func).collect();
+            let sn = expr.ca().seq_pos();
             let mut out = Vec::with_capacity(groups.len());
-            for (key, members) in groups {
+            for (key, mut members) in groups {
+                sort_canonical(&mut members, sn);
                 let aggv = aggregate_group(&funcs, &members)?;
                 let mut row = key;
                 // Sequence numbers leaving the chronicle become plain
@@ -219,6 +223,22 @@ pub fn eval_sca(catalog: &Catalog, expr: &ScaExpr) -> Result<Vec<Tuple>> {
             Ok(out)
         }
     }
+}
+
+/// Order group members by (sequence number, tuple). Chronicle storage
+/// yields SN-ascending scans already, so this only permutes *within* one
+/// sequence number, where arrival order is semantically unobservable (one
+/// batch = one SN). Fixing the tie-break to tuple order makes the
+/// order-sensitive aggregates (FIRST/LAST) agree exactly with the
+/// incremental path, which applies batches as consolidated Z-sets in tuple
+/// order.
+fn sort_canonical(members: &mut [&Tuple], sn: usize) {
+    members.sort_by(|a, b| {
+        a.seq_at(sn)
+            .ok()
+            .cmp(&b.seq_at(sn).ok())
+            .then_with(|| a.cmp(b))
+    });
 }
 
 /// Convert `Seq` aggregate outputs (e.g. `MAX(sn)`) to `Int`, matching the

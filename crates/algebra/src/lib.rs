@@ -33,13 +33,17 @@ pub mod eval;
 mod expr;
 mod predicate;
 pub mod ra;
+mod relq;
 pub mod rewrite;
 mod sca;
+pub mod zset;
 
 pub use aggregate::{AccState, Accumulator, AggFunc, AggSpec};
 pub use classify::{CostModel, ImClass, LanguageFragment};
-pub use delta::{DeltaBatch, WorkCounter};
+pub use delta::{DeltaBatch, SummaryDelta, WorkCounter};
 pub use expr::{CaExpr, ChronicleRef, RelationRef};
 pub use predicate::{Atom, CmpOp, Operand, Predicate};
+pub use relq::RelQuery;
 pub use rewrite::optimize;
 pub use sca::{ScaExpr, Summarize};
+pub use zset::ZSet;

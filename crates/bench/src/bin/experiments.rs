@@ -1,20 +1,45 @@
 //! Regenerate every derived figure (E1–E12) and print the tables that
 //! EXPERIMENTS.md records.
 //!
-//! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick]`
-//! — `quick` runs the reduced (scale 0) sweeps.
+//! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick] [json]`
+//! — `quick` runs the reduced (scale 0) sweeps; `json` skips the text
+//! tables and instead writes the machine-readable `BENCH_E11.json`,
+//! `BENCH_E14.json`, and `BENCH_E15.json` artifacts at the repo root.
 
 use chronicle_bench::experiments as ex;
 use chronicle_bench::harness::Figure;
+use chronicle_bench::json;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    let json_mode = std::env::args().any(|a| a == "json");
     let scale: u32 = if quick { 0 } else { 1 };
+    if json_mode {
+        emit_json(scale);
+        return;
+    }
     println!("# Chronicle data model — derived experiments (scale {scale})\n");
 
     for f in run_all(scale) {
         println!("{}", f.render());
     }
+}
+
+/// Emit the machine-readable artifacts regression tooling diffs:
+/// E11 (throughput/latency), E14 (recovery), E15 (sharding).
+fn emit_json(scale: u32) {
+    eprintln!("[E11] throughput & latency...");
+    let (a, b) = ex::e11_throughput(scale);
+    let p = json::emit("E11", scale, &[a, b]).expect("write BENCH_E11.json");
+    println!("wrote {}", p.display());
+    eprintln!("[E14] recovery...");
+    let f = ex::e14_recovery(scale);
+    let p = json::emit("E14", scale, &[f]).expect("write BENCH_E14.json");
+    println!("wrote {}", p.display());
+    eprintln!("[E15] sharding...");
+    let f = ex::e15_sharding(scale);
+    let p = json::emit("E15", scale, &[f]).expect("write BENCH_E15.json");
+    println!("wrote {}", p.display());
 }
 
 fn run_all(scale: u32) -> Vec<Figure> {

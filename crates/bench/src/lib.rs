@@ -16,4 +16,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod timer;

@@ -4,14 +4,15 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use chronicle_algebra::ScaExpr;
+use chronicle_algebra::{RelQuery, ScaExpr, ZSet};
 use chronicle_durability::{
     checkpoint, scrub_database, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage,
     LsnRange, RelationImage, SalvageReport, ScrubReport, Wal, WalRecord,
 };
 use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{
-    parse, plan_view, resolve_literal_row, CalendarSpec, RetentionSpec, Statement,
+    parse, plan_any_view, plan_view, resolve_literal_row, CalendarSpec, PlannedView, RetentionSpec,
+    Statement,
 };
 use chronicle_store::{Catalog, RelationChange, Retention};
 use chronicle_types::{
@@ -447,7 +448,7 @@ impl ChronicleDb {
                 tuple,
             } => {
                 let rid = self.catalog.relation_id(&relation)?;
-                self.catalog.relation_mut(rid).insert(tuple, at)?;
+                self.relation_insert_at(rid, tuple, at)?;
             }
             WalRecord::RelDelete {
                 relation,
@@ -455,7 +456,7 @@ impl ChronicleDb {
                 tuple,
             } => {
                 let rid = self.catalog.relation_id(&relation)?;
-                self.catalog.relation_mut(rid).delete(&tuple, at)?;
+                self.relation_delete_at(rid, &tuple, at)?;
             }
             WalRecord::RelUpdate {
                 relation,
@@ -464,9 +465,7 @@ impl ChronicleDb {
                 new,
             } => {
                 let rid = self.catalog.relation_id(&relation)?;
-                self.catalog
-                    .relation_mut(rid)
-                    .update_by_key(&key, new, at)?;
+                self.relation_update_at(rid, &key, new, at)?;
             }
         }
         Ok(())
@@ -594,6 +593,43 @@ impl ChronicleDb {
         Ok(id)
     }
 
+    /// Create a relation-backed view from a pre-built [`RelQuery`],
+    /// bootstrapped from the relation's current rows (always possible —
+    /// relations are fully stored) and thereafter maintained under
+    /// inserts, updates and deletes via signed Z-set deltas.
+    ///
+    /// Like [`ChronicleDb::create_view`], the programmatic form is
+    /// rejected on a durable database — use SQL so the definition is
+    /// logged for recovery.
+    pub fn create_relation_view(&mut self, name: &str, query: RelQuery) -> Result<ViewId> {
+        self.create_relation_view_inner(name, query, None)
+    }
+
+    fn create_relation_view_inner(
+        &mut self,
+        name: &str,
+        query: RelQuery,
+        source: Option<&str>,
+    ) -> Result<ViewId> {
+        if self.durability.is_some() && source.is_none() {
+            return Err(ChronicleError::Durability {
+                detail: format!(
+                    "create_relation_view(`{name}`) on a durable database: define views with \
+                     SQL (`execute`) so the definition can be logged for recovery"
+                ),
+            });
+        }
+        let id = self.maintainer.register_relation_view(name, query)?;
+        if let Err(e) = self.maintainer.bootstrap_relation_view(id, &self.catalog) {
+            self.maintainer.drop_view(name)?;
+            return Err(e);
+        }
+        if let Some(sql) = source {
+            self.log_ddl(sql.to_string())?;
+        }
+        Ok(id)
+    }
+
     /// Create a periodic view family. Like [`ChronicleDb::create_view`],
     /// this programmatic form is rejected on a durable database — use SQL.
     pub fn create_periodic_view(
@@ -705,6 +741,13 @@ impl ChronicleDb {
     }
 
     // ---- relation updates (proactive by construction) ----------------------
+    //
+    // Every relation mutation — public DML and WAL-tail replay alike — goes
+    // through the `*_at` inner methods below: mutate the catalog, build the
+    // signed Z-set delta (insert `+1`, delete `−1`, update `−old +new`),
+    // and drive it through every relation-backed view. Replay runs with
+    // `self.durability == None`, so it re-drives maintenance with the
+    // recorded chronon without re-logging.
 
     /// Insert a tuple into a relation.
     pub fn insert_relation(&mut self, name: &str, tuple: Tuple) -> Result<()> {
@@ -715,7 +758,7 @@ impl ChronicleDb {
             at,
             tuple: tuple.clone(),
         });
-        self.catalog.relation_mut(rid).insert(tuple, at)?;
+        self.relation_insert_at(rid, tuple, at)?;
         if let Some(rec) = logged {
             self.log_record(rec)?;
         }
@@ -732,7 +775,7 @@ impl ChronicleDb {
             key: key.to_vec(),
             new: new.clone(),
         });
-        self.catalog.relation_mut(rid).update_by_key(key, new, at)?;
+        self.relation_update_at(rid, key, new, at)?;
         if let Some(rec) = logged {
             self.log_record(rec)?;
         }
@@ -748,7 +791,7 @@ impl ChronicleDb {
             at,
             tuple: tuple.clone(),
         });
-        let removed = self.catalog.relation_mut(rid).delete(tuple, at)?;
+        let removed = self.relation_delete_at(rid, tuple, at)?;
         if removed {
             if let Some(rec) = logged {
                 self.log_record(rec)?;
@@ -757,11 +800,62 @@ impl ChronicleDb {
         Ok(removed)
     }
 
+    fn relation_insert_at(&mut self, rid: RelationId, tuple: Tuple, at: SeqNo) -> Result<()> {
+        self.catalog.relation_mut(rid).insert(tuple.clone(), at)?;
+        self.propagate_relation_delta(rid, ZSet::singleton(tuple, 1))
+    }
+
+    fn relation_delete_at(&mut self, rid: RelationId, tuple: &Tuple, at: SeqNo) -> Result<bool> {
+        let removed = self.catalog.relation_mut(rid).delete(tuple, at)?;
+        if removed {
+            self.propagate_relation_delta(rid, ZSet::singleton(tuple.clone(), -1))?;
+        }
+        Ok(removed)
+    }
+
+    fn relation_update_at(
+        &mut self,
+        rid: RelationId,
+        key: &[Value],
+        new: Tuple,
+        at: SeqNo,
+    ) -> Result<()> {
+        // Fetch the old image first: the view delta needs the retraction
+        // side, and `update_by_key` errors when the key is absent anyway.
+        let old = self
+            .catalog
+            .relation(rid)
+            .current()
+            .get_by_key(key)
+            .cloned();
+        self.catalog
+            .relation_mut(rid)
+            .update_by_key(key, new.clone(), at)?;
+        let old = old.expect("update_by_key succeeded, so the key existed");
+        let mut delta = ZSet::new();
+        delta.insert(old, -1);
+        delta.insert(new, 1);
+        self.propagate_relation_delta(rid, delta)
+    }
+
+    /// Drive one signed relation delta through maintenance and fold the
+    /// report into the statistics. An in-place update that leaves the
+    /// tuple unchanged consolidates to the empty Z-set and is a no-op.
+    fn propagate_relation_delta(&mut self, rid: RelationId, delta: ZSet) -> Result<()> {
+        if self.maintainer.relation_view_count() == 0 || delta.is_empty() {
+            return Ok(());
+        }
+        let report = self.maintainer.on_relation_change(rid, &delta)?;
+        self.stats.record_relation_change(&report);
+        Ok(())
+    }
+
     // ---- queries ------------------------------------------------------------
 
-    /// All rows of a persistent view (ordered by group key).
+    /// All rows of a persistent view (ordered by group key). Works for
+    /// chronicle-backed and relation-backed views alike.
     pub fn query_view(&self, name: &str) -> Result<Vec<Tuple>> {
-        Ok(self.maintainer.view_by_name(name)?.rows())
+        self.maintainer.rows_of(name)
     }
 
     /// Point lookup in a persistent view — the sub-second summary query.
@@ -903,8 +997,14 @@ impl ChronicleDb {
                 Ok(ExecOutcome::Created("relation", name))
             }
             Statement::CreateView { name, query } => {
-                let expr = plan_view(&self.catalog, &query)?;
-                self.create_view_inner(&name, expr, source)?;
+                match plan_any_view(&self.catalog, &query)? {
+                    PlannedView::Chronicle(expr) => {
+                        self.create_view_inner(&name, expr, source)?;
+                    }
+                    PlannedView::Relation(q) => {
+                        self.create_relation_view_inner(&name, q, source)?;
+                    }
+                }
                 Ok(ExecOutcome::Created("view", name))
             }
             Statement::CreatePeriodicView {
@@ -1024,6 +1124,8 @@ impl ChronicleDb {
         // Views first, then relations, then chronicle windows (§2.2:
         // "detailed queries over some latest window on the chronicle").
         let (rows, schema) = if let Ok(v) = self.maintainer.view_by_name(target) {
+            (v.rows(), v.schema().clone())
+        } else if let Ok(v) = self.maintainer.rel_view_by_name(target) {
             (v.rows(), v.schema().clone())
         } else if let Ok(rid) = self.catalog.relation_id(target) {
             let rel = self.catalog.relation(rid).current();
@@ -1157,6 +1259,74 @@ mod tests {
                 .get(1),
             &Value::Int(1)
         );
+    }
+
+    #[test]
+    fn relation_view_tracks_inserts_updates_deletes() {
+        let mut db = db_with_schema();
+        db.execute("INSERT INTO customers VALUES (1, 'alice', 'NJ')")
+            .unwrap();
+        db.execute("INSERT INTO customers VALUES (2, 'bob', 'NJ')")
+            .unwrap();
+        // Bootstraps from the two existing rows.
+        db.execute(
+            "CREATE VIEW per_state AS SELECT state, COUNT(*) AS n FROM customers GROUP BY state",
+        )
+        .unwrap();
+        assert_eq!(
+            db.query_view("per_state").unwrap(),
+            vec![tuple!["NJ", 2i64]]
+        );
+        // Insert propagates as +1.
+        db.execute("INSERT INTO customers VALUES (3, 'carol', 'NY')")
+            .unwrap();
+        // Update propagates as −old +new, moving bob across groups.
+        db.execute("UPDATE customers SET state = 'NY' WHERE acct = 2")
+            .unwrap();
+        assert_eq!(
+            db.query_view("per_state").unwrap(),
+            vec![tuple!["NJ", 1i64], tuple!["NY", 2i64]]
+        );
+        // Delete propagates as −1 and drains the NJ group entirely.
+        db.execute("DELETE FROM customers WHERE acct = 1").unwrap();
+        assert_eq!(
+            db.query_view("per_state").unwrap(),
+            vec![tuple!["NY", 2i64]]
+        );
+        // Only mutations made while a relation view existed drive
+        // maintenance: carol's insert, bob's update, alice's delete.
+        assert_eq!(db.stats().relation_changes, 3);
+        assert!(db.stats().work.tuples_in > 0);
+        // SELECT resolves relation views like any other view.
+        match db
+            .execute("SELECT * FROM per_state WHERE state = 'NY'")
+            .unwrap()
+        {
+            ExecOutcome::Rows(rows) => assert_eq!(rows, vec![tuple!["NY", 2i64]]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // DROP VIEW works on relation views too; DML afterwards is fine.
+        db.execute("DROP VIEW per_state").unwrap();
+        db.execute("INSERT INTO customers VALUES (9, 'zoe', 'CA')")
+            .unwrap();
+        assert!(db.query_view("per_state").is_err());
+    }
+
+    #[test]
+    fn relation_projection_view_keeps_set_semantics() {
+        let mut db = db_with_schema();
+        db.execute("CREATE VIEW states AS SELECT state FROM customers")
+            .unwrap();
+        db.execute("INSERT INTO customers VALUES (1, 'alice', 'NJ')")
+            .unwrap();
+        db.execute("INSERT INTO customers VALUES (2, 'bob', 'NJ')")
+            .unwrap();
+        assert_eq!(db.query_view("states").unwrap(), vec![tuple!["NJ"]]);
+        // Removing one NJ row keeps the distinct row; removing both clears.
+        db.execute("DELETE FROM customers WHERE acct = 1").unwrap();
+        assert_eq!(db.query_view("states").unwrap(), vec![tuple!["NJ"]]);
+        db.execute("DELETE FROM customers WHERE acct = 2").unwrap();
+        assert!(db.query_view("states").unwrap().is_empty());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub struct DbStats {
     pub appends: u64,
     /// Total tuples appended.
     pub tuples_appended: u64,
+    /// Relation mutations (insert/update/delete) that drove view
+    /// maintenance.
+    pub relation_changes: u64,
     /// Total nanoseconds spent in maintenance.
     pub maintenance_nanos: u64,
     /// Worst single-append maintenance time.
@@ -78,6 +81,18 @@ impl DbStats {
         self.sorted_stale.set(true);
     }
 
+    /// Fold one relation mutation's maintenance report into the stats.
+    /// Relation changes share the work counters with appends (Theorem 4.1
+    /// accounting is uniform over signed deltas) but are tallied — and
+    /// latency-sampled — separately from append batches.
+    pub fn record_relation_change(&mut self, report: &MaintenanceReport) {
+        self.relation_changes += 1;
+        self.maintenance_nanos += report.elapsed_nanos;
+        self.max_maintenance_nanos = self.max_maintenance_nanos.max(report.elapsed_nanos);
+        self.views_maintained += report.views.len() as u64;
+        self.work.absorb(report.total_work);
+    }
+
     /// Fold another database's statistics into this one — the cross-shard
     /// aggregation used by `ShardedDb::stats`. Counters add, maxima take
     /// the max, and the latency samples are concatenated (capped at the
@@ -88,6 +103,7 @@ impl DbStats {
     pub fn absorb(&mut self, other: &DbStats) {
         self.appends += other.appends;
         self.tuples_appended += other.tuples_appended;
+        self.relation_changes += other.relation_changes;
         self.maintenance_nanos += other.maintenance_nanos;
         self.max_maintenance_nanos = self.max_maintenance_nanos.max(other.max_maintenance_nanos);
         self.views_maintained += other.views_maintained;

@@ -13,7 +13,9 @@
 //! whenever all its columns resolve against the chronicle alone, which both
 //! shrinks deltas and gives the §5.2 router a guard predicate.
 
-use chronicle_algebra::{AggFunc, AggSpec, Atom, CaExpr, Operand, Predicate, RelationRef, ScaExpr};
+use chronicle_algebra::{
+    AggFunc, AggSpec, Atom, CaExpr, Operand, Predicate, RelQuery, RelationRef, ScaExpr,
+};
 use chronicle_store::Catalog;
 use chronicle_types::{ChronicleError, Result, Schema, SeqNo, Tuple, Value};
 
@@ -284,6 +286,126 @@ pub fn plan_view(catalog: &Catalog, query: &ViewQuery) -> Result<ScaExpr> {
             .map(|call| Ok(AggSpec::new(agg_func(expr.schema(), call)?, &call.alias)))
             .collect::<Result<_>>()?;
         ScaExpr::group_agg_cols(expr, group_cols, specs)
+    }
+}
+
+/// A planned `CREATE VIEW`: chronicle-backed (SCA, append-only
+/// maintenance) or relation-backed (RQ, maintained under inserts, updates
+/// and deletes via signed Z-set deltas).
+#[derive(Debug, Clone)]
+pub enum PlannedView {
+    /// `FROM` named a chronicle.
+    Chronicle(ScaExpr),
+    /// `FROM` named a relation.
+    Relation(RelQuery),
+}
+
+/// Lower a parsed view query against whichever source `FROM` names: a
+/// chronicle plans to SCA exactly as [`plan_view`]; a relation plans onto
+/// the retractable [`RelQuery`] fragment (σ/Π/γ, no joins).
+pub fn plan_any_view(catalog: &Catalog, query: &ViewQuery) -> Result<PlannedView> {
+    if catalog.chronicle_id(&query.from).is_ok() {
+        return plan_view(catalog, query).map(PlannedView::Chronicle);
+    }
+    if catalog.relation_id(&query.from).is_ok() {
+        return plan_relation_view(catalog, query).map(PlannedView::Relation);
+    }
+    // Neither exists: surface the chronicle-resolution error, which names
+    // the missing source.
+    plan_view(catalog, query).map(PlannedView::Chronicle)
+}
+
+/// Lower a view whose `FROM` is a relation onto [`RelQuery`].
+fn plan_relation_view(catalog: &Catalog, query: &ViewQuery) -> Result<RelQuery> {
+    let rid = catalog.relation_id(&query.from)?;
+    let schema = catalog.relation(rid).current().schema().clone();
+    if query.join.is_some() {
+        return Err(ChronicleError::NotInLanguage {
+            language: "RQ",
+            reason: "JOIN is only available with a chronicle on the left; a relation view \
+                     covers σ/Π/γ over a single relation"
+                .into(),
+        });
+    }
+    // A conjunction becomes stacked σ (each predicate linear over Z-sets);
+    // a disjunction is one Def. 4.1 predicate.
+    let preds: Vec<Predicate> = match &query.where_clause {
+        None => Vec::new(),
+        Some(WhereClause::And(atoms)) => atoms
+            .iter()
+            .map(|a| atom_to_predicate(&schema, a))
+            .collect::<Result<_>>()?,
+        Some(WhereClause::Or(atoms)) => {
+            let alg_atoms: Vec<Atom> = atoms
+                .iter()
+                .map(|atom| {
+                    let left = resolve_col(&schema, &atom.left)?;
+                    let right = match &atom.right {
+                        WhereRhs::Lit(l) => Operand::Const(l.to_value()),
+                        WhereRhs::Col(c) => Operand::Attr(resolve_col(&schema, c)?),
+                    };
+                    Ok(Atom {
+                        left,
+                        op: atom.op,
+                        right,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let pred = Predicate::disjunction(alg_atoms)?;
+            pred.validate(&schema)?;
+            vec![pred]
+        }
+    };
+
+    let rel_ref = RelationRef::new(rid, schema.clone(), query.from.clone());
+    let plain: Vec<&String> = query
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Column(c) => Some(c),
+            SelectItem::Agg(_) => None,
+        })
+        .collect();
+    let aggs: Vec<&AggCall> = query
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            SelectItem::Agg(a) => Some(a),
+            SelectItem::Column(_) => None,
+        })
+        .collect();
+
+    if aggs.is_empty() {
+        if !query.group_by.is_empty() {
+            return Err(ChronicleError::Parse {
+                message: "GROUP BY without aggregates: list the columns in SELECT instead".into(),
+                offset: 0,
+            });
+        }
+        let cols: Vec<usize> = plain
+            .iter()
+            .map(|n| resolve_col(&schema, n))
+            .collect::<Result<_>>()?;
+        RelQuery::project_cols(rel_ref, preds, cols)
+    } else {
+        for c in &plain {
+            if !query.group_by.contains(c) {
+                return Err(ChronicleError::Parse {
+                    message: format!("column `{c}` appears in SELECT but not in GROUP BY"),
+                    offset: 0,
+                });
+            }
+        }
+        let group_cols: Vec<usize> = query
+            .group_by
+            .iter()
+            .map(|n| resolve_col(&schema, n))
+            .collect::<Result<_>>()?;
+        let specs: Vec<AggSpec> = aggs
+            .iter()
+            .map(|call| Ok(AggSpec::new(agg_func(&schema, call)?, &call.alias)))
+            .collect::<Result<_>>()?;
+        RelQuery::group_agg_cols(rel_ref, preds, group_cols, specs)
     }
 }
 
@@ -590,6 +712,88 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v.schema().arity(), 2);
+    }
+
+    fn plan_rel(cat: &Catalog, sql: &str) -> Result<RelQuery> {
+        match parse(sql)? {
+            Statement::CreateView { query, .. } => match plan_any_view(cat, &query)? {
+                PlannedView::Relation(q) => Ok(q),
+                PlannedView::Chronicle(_) => panic!("expected a relation view"),
+            },
+            other => panic!("expected CREATE VIEW, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relation_from_plans_to_relquery() {
+        let cat = setup();
+        let q = plan_rel(
+            &cat,
+            "CREATE VIEW v AS SELECT state, COUNT(*) AS n, AVG(rate) AS r \
+             FROM customers GROUP BY state",
+        )
+        .unwrap();
+        assert_eq!(q.rel_name(), "customers");
+        assert_eq!(q.schema().arity(), 3);
+        assert_eq!(q.schema().attr(1).name.as_ref(), "n");
+    }
+
+    #[test]
+    fn relation_projection_with_conjunctive_where() {
+        let cat = setup();
+        let q = plan_rel(
+            &cat,
+            "CREATE VIEW v AS SELECT acct FROM customers \
+             WHERE rate > 1.0 AND state = 'NJ'",
+        )
+        .unwrap();
+        assert_eq!(q.preds().len(), 2, "stacked σ");
+        assert_eq!(q.schema().arity(), 1);
+    }
+
+    #[test]
+    fn relation_view_rejects_join_and_min_max() {
+        let cat = setup();
+        match parse(
+            "CREATE VIEW v AS SELECT state, COUNT(*) AS n FROM customers \
+             JOIN surcharges ON state = region GROUP BY state",
+        )
+        .unwrap()
+        {
+            Statement::CreateView { query, .. } => {
+                let err = plan_any_view(&cat, &query).unwrap_err();
+                assert!(matches!(err, ChronicleError::NotInLanguage { .. }));
+            }
+            _ => unreachable!(),
+        }
+        match parse("CREATE VIEW v AS SELECT state, MAX(rate) AS m FROM customers GROUP BY state")
+            .unwrap()
+        {
+            Statement::CreateView { query, .. } => {
+                let err = plan_any_view(&cat, &query).unwrap_err();
+                assert!(
+                    matches!(err, ChronicleError::NotInLanguage { language: "RQ", .. }),
+                    "MAX not retractable: {err}"
+                );
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn chronicle_from_still_plans_to_sca() {
+        let cat = setup();
+        match parse("CREATE VIEW v AS SELECT caller, COUNT(*) AS n FROM calls GROUP BY caller")
+            .unwrap()
+        {
+            Statement::CreateView { query, .. } => {
+                assert!(matches!(
+                    plan_any_view(&cat, &query).unwrap(),
+                    PlannedView::Chronicle(_)
+                ));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

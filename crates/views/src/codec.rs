@@ -48,13 +48,13 @@ impl WriterExt for Writer {
             AccState::Sum {
                 int,
                 float,
-                saw_float,
+                floats,
                 n,
             } => {
                 self.u8(1);
                 self.i64(*int);
                 self.f64(*float);
-                self.u8(*saw_float as u8);
+                self.u64(*floats);
                 self.u64(*n);
             }
             AccState::Extreme(v) => {
@@ -117,7 +117,7 @@ impl ReaderExt for Reader<'_> {
             1 => AccState::Sum {
                 int: self.i64()?,
                 float: self.f64()?,
-                saw_float: self.u8()? != 0,
+                floats: self.u64()?,
                 n: self.u64()?,
             },
             2 => AccState::Extreme(self.opt_value()?),

@@ -4,8 +4,11 @@
 //! * [`PersistentView`] — a materialized SCA view: group accumulators (or
 //!   multiplicity counts for projection views) behind an ordered index,
 //!   applied in `O(t log |V|)` per batch (Theorem 4.4),
-//! * [`Maintainer`] — the engine that, on every append, routes the batch to
-//!   the affected views and drives delta propagation + application,
+//! * [`RelationView`] — a materialized view over a *relation*, maintained
+//!   under inserts, updates and deletes via signed Z-set deltas,
+//! * [`Maintainer`] — the engine that, on every append (and every relation
+//!   change), routes the delta to the affected views and drives
+//!   propagation + application,
 //! * [`Router`] — affected-view identification (§5.2): chronicle→view maps,
 //!   guard-predicate pre-filters, and active-interval filters for periodic
 //!   views,
@@ -28,6 +31,7 @@ pub mod events;
 mod maintenance;
 mod periodic;
 mod persistent;
+mod relview;
 mod router;
 mod sliding;
 mod tiered;
@@ -37,6 +41,7 @@ pub use events::{CompiledPattern, EventMatcher, Pattern};
 pub use maintenance::{AppendEvent, Maintainer, MaintenanceReport, RouteMode, ViewReport};
 pub use periodic::{IntervalViewState, PeriodicViewSet};
 pub use persistent::PersistentView;
+pub use relview::RelationView;
 pub use router::{Router, RoutingDecision};
 pub use sliding::SlidingWindow;
 pub use tiered::{BatchDiscount, Tier, TierSchedule};

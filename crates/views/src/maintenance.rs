@@ -10,12 +10,13 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
-use chronicle_algebra::{ScaExpr, WorkCounter};
+use chronicle_algebra::{RelQuery, ScaExpr, WorkCounter, ZSet};
 use chronicle_store::Catalog;
-use chronicle_types::{ChronicleId, Chronon, Result, SeqNo, Tuple, Value, ViewId};
+use chronicle_types::{ChronicleId, Chronon, RelationId, Result, SeqNo, Tuple, Value, ViewId};
 
 use crate::periodic::PeriodicViewSet;
 use crate::persistent::PersistentView;
+use crate::relview::RelationView;
 use crate::router::{Router, RoutingDecision};
 
 /// One append event, as seen by the maintenance engine.
@@ -83,6 +84,7 @@ pub enum RouteMode {
 #[derive(Debug, Default)]
 pub struct Maintainer {
     views: BTreeMap<ViewId, PersistentView>,
+    rel_views: BTreeMap<ViewId, RelationView>,
     names: BTreeMap<String, ViewId>,
     periodic: Vec<PeriodicViewSet>,
     router: Router,
@@ -119,6 +121,34 @@ impl Maintainer {
         Ok(id)
     }
 
+    /// Register a relation-backed view. The view starts empty; call
+    /// [`Maintainer::bootstrap_relation_view`] if the relation already has
+    /// rows to fold in.
+    pub fn register_relation_view(&mut self, name: &str, query: RelQuery) -> Result<ViewId> {
+        if self.names.contains_key(name) {
+            return Err(chronicle_types::ChronicleError::AlreadyExists {
+                kind: "view",
+                name: name.into(),
+            });
+        }
+        let id = ViewId(self.next_id);
+        self.next_id += 1;
+        // Relation views never react to chronicle appends, so the append
+        // router does not learn about them; routing happens by relation id
+        // in on_relation_change.
+        self.rel_views
+            .insert(id, RelationView::new(id, name, query));
+        self.names.insert(name.into(), id);
+        Ok(id)
+    }
+
+    /// Materialize a relation view from the relation's current rows.
+    pub fn bootstrap_relation_view(&mut self, id: ViewId, catalog: &Catalog) -> Result<()> {
+        let view = self.rel_view_mut(id)?;
+        let rid = view.query().relation();
+        view.bootstrap(catalog.relation(rid).current())
+    }
+
     /// Register a periodic view family `V<D>`.
     pub fn register_periodic(&mut self, set: PeriodicViewSet) -> usize {
         self.periodic.push(set);
@@ -146,11 +176,12 @@ impl Maintainer {
         self.view_mut(id)?.bootstrap(catalog)
     }
 
-    /// Drop a view.
+    /// Drop a view (chronicle-backed or relation-backed).
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         let id = self.view_id(name)?;
         self.router.unregister(id);
         self.views.remove(&id);
+        self.rel_views.remove(&id);
         self.names.remove(name);
         Ok(())
     }
@@ -190,20 +221,74 @@ impl Maintainer {
         self.view(self.view_id(name)?)
     }
 
-    /// Point lookup: one group's row of a named view (the paper's
-    /// "summary query ... executed whenever a cellular phone is turned on").
-    pub fn query(&self, name: &str, key: &[Value]) -> Result<Option<Tuple>> {
-        Ok(self.view_by_name(name)?.get(key))
+    /// The relation-backed view with this id.
+    pub fn rel_view(&self, id: ViewId) -> Result<&RelationView> {
+        self.rel_views
+            .get(&id)
+            .ok_or_else(|| chronicle_types::ChronicleError::NotFound {
+                kind: "view",
+                name: id.to_string(),
+            })
     }
 
-    /// Number of registered plain views.
+    fn rel_view_mut(&mut self, id: ViewId) -> Result<&mut RelationView> {
+        self.rel_views
+            .get_mut(&id)
+            .ok_or_else(|| chronicle_types::ChronicleError::NotFound {
+                kind: "view",
+                name: id.to_string(),
+            })
+    }
+
+    /// The relation-backed view with this name.
+    pub fn rel_view_by_name(&self, name: &str) -> Result<&RelationView> {
+        self.rel_view(self.view_id(name)?)
+    }
+
+    /// True iff `name` resolves to a relation-backed view.
+    pub fn is_relation_view(&self, name: &str) -> bool {
+        self.view_id(name)
+            .is_ok_and(|id| self.rel_views.contains_key(&id))
+    }
+
+    /// Point lookup: one group's row of a named view (the paper's
+    /// "summary query ... executed whenever a cellular phone is turned on").
+    /// Works uniformly across chronicle-backed and relation-backed views.
+    pub fn query(&self, name: &str, key: &[Value]) -> Result<Option<Tuple>> {
+        let id = self.view_id(name)?;
+        if let Some(v) = self.rel_views.get(&id) {
+            return Ok(v.get(key));
+        }
+        Ok(self.view(id)?.get(key))
+    }
+
+    /// Full contents of a named view of either kind, in index order.
+    pub fn rows_of(&self, name: &str) -> Result<Vec<Tuple>> {
+        let id = self.view_id(name)?;
+        if let Some(v) = self.rel_views.get(&id) {
+            return Ok(v.rows());
+        }
+        Ok(self.view(id)?.rows())
+    }
+
+    /// Number of registered plain (chronicle-backed) views.
     pub fn view_count(&self) -> usize {
         self.views.len()
     }
 
-    /// Iterate over registered views.
+    /// Number of registered relation-backed views.
+    pub fn relation_view_count(&self) -> usize {
+        self.rel_views.len()
+    }
+
+    /// Iterate over registered chronicle-backed views.
     pub fn iter_views(&self) -> impl Iterator<Item = &PersistentView> {
         self.views.values()
+    }
+
+    /// Iterate over registered relation-backed views.
+    pub fn iter_relation_views(&self) -> impl Iterator<Item = &RelationView> {
+        self.rel_views.values()
     }
 
     /// Maintain every affected view for one append. The catalog is borrowed
@@ -266,6 +351,50 @@ impl Maintainer {
         report.elapsed_nanos = start.elapsed().as_nanos() as u64;
         Ok(report)
     }
+
+    /// Maintain every relation-backed view of `relation` for one signed
+    /// Z-set delta (insert `+1`, delete `−1`, update `−old +new`). The
+    /// same route → propagate → apply shape as [`Maintainer::on_append`];
+    /// routing here is the relation-id filter.
+    pub fn on_relation_change(
+        &mut self,
+        relation: RelationId,
+        delta: &ZSet,
+    ) -> Result<MaintenanceReport> {
+        let start = Instant::now();
+        let mut report = MaintenanceReport::default();
+        if delta.is_empty() {
+            return Ok(report);
+        }
+        let selected: Vec<ViewId> = self
+            .rel_views
+            .iter()
+            .filter(|(_, v)| v.query().relation() == relation)
+            .map(|(&id, _)| id)
+            .collect();
+        report.routing = RoutingDecision {
+            candidates: self.rel_views.len(),
+            selected: selected.clone(),
+            ..Default::default()
+        };
+        for vid in selected {
+            let view = self.rel_views.get_mut(&vid).expect("selected from map");
+            let mut work = WorkCounter::default();
+            let sd = view.query().delta(delta, &mut work)?;
+            let affected = sd.affected();
+            if affected > 0 {
+                view.apply(&sd, &mut work)?;
+            }
+            report.total_work.absorb(work);
+            report.views.push(ViewReport {
+                view: vid,
+                affected_rows: affected,
+                work,
+            });
+        }
+        report.elapsed_nanos = start.elapsed().as_nanos() as u64;
+        Ok(report)
+    }
 }
 
 impl Maintainer {
@@ -276,12 +405,24 @@ impl Maintainer {
         self.views
             .values()
             .map(|v| (v.name().to_string(), v.snapshot()))
+            .chain(
+                self.rel_views
+                    .values()
+                    .map(|v| (v.name().to_string(), v.snapshot())),
+            )
             .collect()
     }
 
     /// Replace a registered view's state from a snapshot (restart path).
+    /// Dispatches on the registered kind: relation-backed views restore
+    /// through their own codec.
     pub fn restore_view(&mut self, name: &str, bytes: &[u8]) -> Result<()> {
         let id = self.view_id(name)?;
+        if let Some(old) = self.rel_views.get(&id) {
+            let restored = RelationView::restore(id, name, old.query().clone(), bytes)?;
+            self.rel_views.insert(id, restored);
+            return Ok(());
+        }
         let old = self.views.get(&id).expect("registered");
         let restored =
             crate::persistent::PersistentView::restore(id, name, old.expr().clone(), bytes)?;

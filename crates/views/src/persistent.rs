@@ -34,8 +34,13 @@ pub struct PersistentView {
 enum ViewState {
     /// GROUPBY summarization: group key → accumulators.
     Groups(BTreeMap<Vec<Value>, Vec<Accumulator>>),
-    /// Projection summarization: row → multiplicity.
-    Counts(BTreeMap<Tuple, u64>),
+    /// Projection summarization: row → signed multiplicity. Chronicle
+    /// appends only add, but the state is Z-set-shaped so the same apply
+    /// path absorbs signed deltas; a row whose multiplicity reaches zero is
+    /// removed (unless the `skip_consolidation` mutation is active — the
+    /// lingering zero-count row is then *visible* through [`PersistentView::rows`],
+    /// which is what lets the differential suite catch the mutation).
+    Counts(BTreeMap<Tuple, i64>),
 }
 
 impl PersistentView {
@@ -95,6 +100,8 @@ impl PersistentView {
 
     /// Apply a summarized delta — the Theorem 4.4 step. `O(t)` ordered-map
     /// probes, `t` = affected groups/rows; each probe is `O(log |V|)`.
+    /// Work is charged per logical tuple (by |weight|), so batch-internal
+    /// consolidation never perturbs the counters.
     pub fn apply(&mut self, delta: &SummaryDelta, work: &mut WorkCounter) -> Result<()> {
         match (&mut self.state, delta, self.expr.summarize()) {
             (
@@ -102,24 +109,28 @@ impl PersistentView {
                 SummaryDelta::Groups(batch),
                 Summarize::GroupAgg { aggs, .. },
             ) => {
-                for (key, tuples) in batch {
+                for (key, members) in batch {
                     work.index_probes += 1; // one O(log|V|) group lookup
                     let accs = groups
                         .entry(key.clone())
                         .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
-                    for t in tuples {
-                        work.tuples_in += 1;
+                    for (t, w) in members.iter() {
+                        work.tuples_in += w.unsigned_abs();
                         for acc in accs.iter_mut() {
-                            acc.update(t)?;
+                            acc.update_weighted(t, w)?;
                         }
                     }
                 }
             }
             (ViewState::Counts(counts), SummaryDelta::Rows(rows), Summarize::Project { .. }) => {
-                for row in rows {
+                for (row, w) in rows.iter() {
                     work.index_probes += 1;
-                    work.tuples_in += 1;
-                    *counts.entry(row.clone()).or_insert(0) += 1;
+                    work.tuples_in += w.unsigned_abs();
+                    let m = counts.entry(row.clone()).or_insert(0);
+                    *m += w;
+                    if *m == 0 && !chronicle_algebra::zset::consolidation_disabled() {
+                        counts.remove(row);
+                    }
                 }
             }
             _ => {
@@ -208,9 +219,9 @@ impl PersistentView {
         Ok(())
     }
 
-    /// The multiplicity of a projected row (projection views only) —
+    /// The signed multiplicity of a projected row (projection views only) —
     /// exposes the counting mechanism for tests and ablations.
-    pub fn multiplicity(&self, row: &Tuple) -> Option<u64> {
+    pub fn multiplicity(&self, row: &Tuple) -> Option<i64> {
         match &self.state {
             ViewState::Counts(c) => c.get(row).copied(),
             ViewState::Groups(_) => None,
@@ -245,7 +256,7 @@ impl PersistentView {
                 w.u64(counts.len() as u64);
                 for (row, n) in counts {
                     w.tuple(row);
-                    w.u64(*n);
+                    w.i64(*n);
                 }
             }
         }
@@ -306,7 +317,7 @@ impl PersistentView {
                 let n = r.u64()?;
                 for _ in 0..n {
                     let row = r.tuple()?;
-                    let m = r.u64()?;
+                    let m = r.i64()?;
                     counts.insert(row, m);
                 }
             }
@@ -534,7 +545,7 @@ mod tests {
     fn mismatched_delta_kind_rejected() {
         let (cat, c) = setup(Retention::None);
         let mut v = sum_view(&cat, c);
-        let bogus = SummaryDelta::Rows(vec![tuple![1i64]]);
+        let bogus = SummaryDelta::Rows(chronicle_algebra::ZSet::singleton(tuple![1i64], 1));
         let mut w = WorkCounter::default();
         assert!(matches!(
             v.apply(&bogus, &mut w).unwrap_err(),

@@ -14,6 +14,17 @@
 //! bucket (O(#aggs)); window rollover pops expired buckets (amortized
 //! O(1)); a window query merges the `k` buckets (O(k·#aggs)).
 //!
+//! **Bucket retirement is a negative-weight delta.** For the retractable
+//! aggregates (COUNT/SUM/AVG/STDDEV — the group-structured ones) each ring
+//! also carries a *running window total*; a retiring bucket is not simply
+//! dropped but **unmerged** from that total ([`Accumulator::unmerge`], the
+//! `−1`-weighted inverse of merge), exactly the Z-set retraction that
+//! relation deletes use. A whole-window query at the ring's frontier then
+//! reads the running total in O(#aggs) instead of re-merging `k` buckets.
+//! Non-retractable aggregates (MIN/MAX — no inverse: the retiring bucket
+//! may hold the witness) keep the merge-scan, which stays exact because
+//! buckets are disjoint.
+//!
 //! Contrast with [`crate::PeriodicViewSet`] over a sliding calendar, which
 //! maintains one full view per overlapping window and hence does
 //! `width/step` times the work per append — the comparison is experiment E8.
@@ -30,6 +41,11 @@ struct Ring {
     /// Bucket index (global, since anchor) of the front of `buckets`.
     front_bucket: i64,
     buckets: VecDeque<Vec<Accumulator>>,
+    /// Running merge of every bucket currently in the ring, maintained at
+    /// the retractable aggregate positions only (the others stay at their
+    /// initial state and are never consulted). Retirement subtracts the
+    /// departing bucket via `unmerge` — an ordinary negative-weight delta.
+    totals: Vec<Accumulator>,
 }
 
 /// A keyed sliding-window aggregate with bucketed sub-aggregation.
@@ -45,9 +61,16 @@ pub struct SlidingWindow {
     aggs: Vec<AggFunc>,
     /// Key columns within inserted tuples.
     key_cols: Vec<usize>,
+    /// `retractable[i]` ⇔ `aggs[i]` has an exact inverse (running totals
+    /// are maintained only at these positions).
+    retractable: Vec<bool>,
     rings: BTreeMap<Vec<Value>, Ring>,
-    /// Total accumulator updates performed (work accounting for E8).
+    /// Total accumulator updates performed (work accounting for E8; counts
+    /// bucket folds only, not running-total bookkeeping).
     updates: u64,
+    /// Accumulators retracted out of running totals by bucket retirement
+    /// (each is one negative-weight delta application).
+    retractions: u64,
 }
 
 impl SlidingWindow {
@@ -71,14 +94,17 @@ impl SlidingWindow {
                 detail: "sliding window needs at least one aggregate".into(),
             });
         }
+        let retractable = aggs.iter().map(|f| f.is_retractable()).collect();
         Ok(SlidingWindow {
             window_buckets,
             bucket_ticks,
             anchor,
             aggs,
             key_cols,
+            retractable,
             rings: BTreeMap::new(),
             updates: 0,
+            retractions: 0,
         })
     }
 
@@ -96,9 +122,11 @@ impl SlidingWindow {
             .map(|&c| tuple.get(c).clone())
             .collect();
         let aggs = &self.aggs;
+        let retractable = &self.retractable;
         let ring = self.rings.entry(key).or_insert_with(|| Ring {
             front_bucket: bucket,
             buckets: VecDeque::new(),
+            totals: aggs.iter().map(|&f| Accumulator::new(f)).collect(),
         });
         if ring.buckets.is_empty() {
             ring.front_bucket = bucket;
@@ -118,20 +146,31 @@ impl SlidingWindow {
             if bucket - last >= self.window_buckets as i64 {
                 // The gap exceeds the window: every existing bucket has
                 // expired, so reset in O(1) instead of sliding one bucket
-                // at a time.
+                // at a time. Resetting the totals is the consolidated form
+                // of unmerging every bucket individually.
                 ring.buckets.clear();
                 ring.front_bucket = bucket;
                 ring.buckets
                     .push_back(aggs.iter().map(|&f| Accumulator::new(f)).collect());
+                ring.totals = aggs.iter().map(|&f| Accumulator::new(f)).collect();
             } else {
-                // Extend the ring up to `bucket`, dropping buckets older
+                // Extend the ring up to `bucket`, retiring buckets older
                 // than the window as it slides (≤ window_buckets steps).
+                // Each retirement is a negative-weight delta: the departing
+                // bucket is *unmerged* from the running totals, the same
+                // retraction a relation delete drives through a view.
                 while ring.front_bucket + (ring.buckets.len() as i64) <= bucket {
                     ring.buckets
                         .push_back(aggs.iter().map(|&f| Accumulator::new(f)).collect());
                     if ring.buckets.len() > self.window_buckets {
-                        ring.buckets.pop_front();
+                        let retired = ring.buckets.pop_front().expect("len > window ≥ 1");
                         ring.front_bucket += 1;
+                        for (i, acc) in retired.iter().enumerate() {
+                            if retractable[i] {
+                                ring.totals[i].unmerge(acc)?;
+                                self.retractions += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -141,21 +180,38 @@ impl SlidingWindow {
             acc.update(tuple)?;
             self.updates += 1;
         }
+        for (i, acc) in ring.totals.iter_mut().enumerate() {
+            if retractable[i] {
+                acc.update(tuple)?;
+            }
+        }
         Ok(())
     }
 
     /// The window aggregate for `key` as of chronon `now`: merge of the
-    /// buckets inside `[now − window, now]`. O(window_buckets · #aggs).
+    /// buckets inside `[now − window, now]`.
+    ///
+    /// When that range covers the whole ring — the common "query at the
+    /// frontier" case — retractable aggregates read the running totals in
+    /// O(#aggs); otherwise (and always for MIN/MAX) the in-range buckets
+    /// are merged, O(window_buckets · #aggs).
     pub fn query(&self, key: &[Value], now: Chronon) -> Result<Vec<Value>> {
         let current = self.bucket_of(now);
         let oldest = current - self.window_buckets as i64 + 1;
         let mut merged: Vec<Accumulator> = self.aggs.iter().map(|&f| Accumulator::new(f)).collect();
         if let Some(ring) = self.rings.get(key) {
-            for (i, bucket) in ring.buckets.iter().enumerate() {
-                let b = ring.front_bucket + i as i64;
-                if b >= oldest && b <= current {
-                    for (m, acc) in merged.iter_mut().zip(bucket) {
-                        m.merge(acc)?;
+            let last = ring.front_bucket + ring.buckets.len() as i64 - 1;
+            let covered =
+                !ring.buckets.is_empty() && ring.front_bucket >= oldest && last <= current;
+            for (i, m) in merged.iter_mut().enumerate() {
+                if covered && self.retractable[i] {
+                    *m = ring.totals[i].clone();
+                    continue;
+                }
+                for (j, bucket) in ring.buckets.iter().enumerate() {
+                    let b = ring.front_bucket + j as i64;
+                    if b >= oldest && b <= current {
+                        m.merge(&bucket[i])?;
                     }
                 }
             }
@@ -171,6 +227,12 @@ impl SlidingWindow {
     /// Total accumulator updates performed (the per-append work metric).
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Accumulators retracted from running totals by bucket retirement —
+    /// how many negative-weight deltas window expiration has driven.
+    pub fn retractions(&self) -> u64 {
+        self.retractions
     }
 
     /// The window width in ticks.
@@ -317,6 +379,87 @@ mod tests {
         // Ring stayed bounded.
         let ring = w.rings.get(&vec![Value::Int(7)]).unwrap();
         assert!(ring.buckets.len() <= 3);
+    }
+
+    #[test]
+    fn retirement_unmerges_from_running_totals() {
+        let mut w = window();
+        assert_eq!(w.retractions(), 0);
+        w.insert(Chronon(1), &tuple![7i64, 100i64]).unwrap(); // bucket 0
+        w.insert(Chronon(11), &tuple![7i64, 50i64]).unwrap(); // bucket 1
+        w.insert(Chronon(35), &tuple![7i64, 25i64]).unwrap(); // bucket 3 → retires bucket 0
+                                                              // SUM and COUNT are retractable: one retired bucket = 2 negative
+                                                              // deltas. MAX is not (its witness may retire), so no retraction.
+        assert_eq!(w.retractions(), 2);
+        let v = w.query(&[Value::Int(7)], Chronon(35)).unwrap();
+        assert_eq!(
+            v,
+            vec![Value::Int(75), Value::Int(2), Value::Int(50)],
+            "totals after unmerge must match the merge-scan answer"
+        );
+    }
+
+    #[test]
+    fn running_totals_agree_with_merge_scan_across_slides() {
+        // Differential check within the window itself: after every insert
+        // the frontier query (running totals fast path) must equal a
+        // freshly-built control window queried the same way after replaying
+        // only the in-window suffix.
+        let mut w = SlidingWindow::new(
+            Chronon(0),
+            4,
+            5,
+            vec![0],
+            vec![
+                AggFunc::Sum(1),
+                AggFunc::Avg(1),
+                AggFunc::StdDev(1),
+                AggFunc::CountStar,
+            ],
+        )
+        .unwrap();
+        let trades: Vec<(i64, i64)> = vec![
+            (1, 100),
+            (4, 50),
+            (7, 25),
+            (12, 10),
+            (22, 5),
+            (23, 200),
+            (31, 8),
+            (44, 1),
+            (45, 2),
+            (46, 4),
+        ];
+        for (i, &(t, x)) in trades.iter().enumerate() {
+            w.insert(Chronon(t), &tuple![1i64, x]).unwrap();
+            // Control: replay only the tuples whose bucket is in range.
+            let mut control =
+                SlidingWindow::new(Chronon(0), 4, 5, vec![0], vec![AggFunc::Sum(1)]).unwrap();
+            let cur = t.div_euclid(5);
+            for &(t2, x2) in &trades[..=i] {
+                if t2.div_euclid(5) > cur - 4 {
+                    control.insert(Chronon(t2), &tuple![1i64, x2]).unwrap();
+                }
+            }
+            let got = w.query(&[Value::Int(1)], Chronon(t)).unwrap();
+            let want = control.query(&[Value::Int(1)], Chronon(t)).unwrap();
+            assert_eq!(got[0], want[0], "SUM diverged at t={t}");
+        }
+        assert!(w.retractions() > 0, "the schedule must exercise retirement");
+    }
+
+    #[test]
+    fn mid_ring_query_still_exact_after_retirements() {
+        let mut w = window();
+        w.insert(Chronon(1), &tuple![7i64, 10i64]).unwrap(); // bucket 0
+        w.insert(Chronon(11), &tuple![7i64, 20i64]).unwrap(); // bucket 1
+        w.insert(Chronon(35), &tuple![7i64, 40i64]).unwrap(); // bucket 3, retires 0
+                                                              // `now` in the past relative to the frontier: the window covers
+                                                              // buckets -1..=1 but bucket 0 is gone and 3 is out of range — the
+                                                              // fast path must not apply; the scan answers from bucket 1 alone.
+        let v = w.query(&[Value::Int(7)], Chronon(15)).unwrap();
+        assert_eq!(v[0], Value::Int(20));
+        assert_eq!(v[1], Value::Int(1));
     }
 
     #[test]

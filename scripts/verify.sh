@@ -70,10 +70,23 @@ if CHRONICLE_MUTATE=drop_salvage_report cargo run -q --offline --release --examp
     exit 1
 fi
 
+echo "== z-set consolidation mutation check (offline) =="
+# Prove the differential oracle suite has teeth: sabotage zero-weight
+# elimination through the test-only CHRONICLE_MUTATE backdoor
+# (`skip_consolidation` keeps fully-retracted rows/groups visible) and
+# require the suite to FAIL — the deterministic +1/−1 residue pin
+# guarantees the catch at a fixed seed.
+if CHRONICLE_MUTATE=skip_consolidation cargo test -q --offline --test oracle_equivalence >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: skip_consolidation was not caught by the oracle suite"
+    exit 1
+fi
+
 echo "== sharded maintenance gate (offline) =="
-# The concurrent-shard property test: sharded view states must be
-# byte-identical to the single-threaded reference at SHARDS=4.
+# The concurrent-shard property tests: sharded view states must be
+# byte-identical to the single-threaded reference at SHARDS=4, for
+# append-only chronicle workloads and mixed relation-DML schedules alike.
 SHARDS=4 cargo test -q --offline --test maintenance_independence
+SHARDS=4 cargo test -q --offline --test oracle_equivalence
 # End-to-end reopen through the repl: write a durable database in one
 # process, abandon it without a clean shutdown, and query the recovered
 # view from a second process.

@@ -127,6 +127,139 @@ fn per_append_work_is_linear_in_batch_size() {
     }
 }
 
+/// DDL with relation-backed views: the retraction-bearing counterpart of
+/// [`build_db`]. Chronicle views and relation views coexist; relation
+/// DML drives signed Z-set deltas through the relation views only.
+fn build_retraction_db() -> ChronicleDb {
+    let mut db = build_db();
+    db.execute("CREATE RELATION accts (acct INT, region INT, amount FLOAT, PRIMARY KEY (acct))")
+        .unwrap();
+    db.execute(
+        "CREATE VIEW by_region AS SELECT region, SUM(amount) AS s, COUNT(*) AS n \
+         FROM accts GROUP BY region",
+    )
+    .unwrap();
+    db.execute("CREATE VIEW region_set AS SELECT region FROM accts")
+        .unwrap();
+    db
+}
+
+/// Run `f` and return exactly the maintenance work it was charged.
+fn work_of(db: &mut ChronicleDb, f: impl FnOnce(&mut ChronicleDb)) -> WorkCounter {
+    let before = db.stats().work;
+    f(db);
+    let after = db.stats().work;
+    WorkCounter {
+        tuples_out: after.tuples_out - before.tuples_out,
+        tuples_in: after.tuples_in - before.tuples_in,
+        index_probes: after.index_probes - before.index_probes,
+        rel_tuples_scanned: after.rel_tuples_scanned - before.rel_tuples_scanned,
+    }
+}
+
+/// One retraction-bearing DML round over keys 0..8: insert, update
+/// (`−old +new`), and delete every key, recording the work of each
+/// statement. The relation ends the round exactly as it started (empty),
+/// so rounds are directly comparable.
+fn retraction_round(db: &mut ChronicleDb) -> Vec<WorkCounter> {
+    let mut works = Vec::new();
+    for k in 0..8i64 {
+        works.push(work_of(db, |db| {
+            db.execute(&format!("INSERT INTO accts VALUES ({k}, {}, 2.5)", k % 3))
+                .unwrap();
+        }));
+    }
+    for k in 0..8i64 {
+        works.push(work_of(db, |db| {
+            db.execute(&format!(
+                "UPDATE accts SET region = {}, amount = 4.0 WHERE acct = {k}",
+                (k + 1) % 3
+            ))
+            .unwrap();
+        }));
+    }
+    for k in 0..8i64 {
+        works.push(work_of(db, |db| {
+            db.execute(&format!("DELETE FROM accts WHERE acct = {k}"))
+                .unwrap();
+        }));
+    }
+    works
+}
+
+#[test]
+fn retraction_work_is_independent_of_chronicle_size() {
+    let mut db = build_retraction_db();
+    let mut t = 0i64;
+
+    // Epoch 1: the chronicle is nearly empty.
+    let early = retraction_round(&mut db);
+
+    // Grow |C| by three orders of magnitude. Relation views are not
+    // routed appends, so this must not change what relation DML costs —
+    // Theorem 4.1's |C|-independence extends to signed deltas.
+    for _ in 0..2_000 {
+        t += 1;
+        db.append(
+            "calls",
+            Chronon(t),
+            &[vec![Value::Int(3), Value::Float(0.5)]],
+        )
+        .unwrap();
+    }
+
+    // Epoch 2: the identical DML round against the much larger chronicle.
+    let late = retraction_round(&mut db);
+    for (i, (e, l)) in early.iter().zip(&late).enumerate() {
+        assert_eq!(
+            e, l,
+            "retraction-bearing statement {i} was charged different work after |C| grew"
+        );
+    }
+    assert_eq!(db.stats().relation_changes, 2 * 24);
+}
+
+#[test]
+fn insert_and_delete_charge_identical_work() {
+    // A `+1` and its `−1` are the same delta up to sign, and work is
+    // charged per |weight| — so inserting a tuple and deleting it must
+    // produce counter-for-counter identical work. An update is the
+    // consolidated `−old +new` pair: exactly twice the tuple traffic when
+    // the group key moves (two groups probed, two signed tuples folded).
+    let mut db = build_retraction_db();
+    let ins = work_of(&mut db, |db| {
+        db.execute("INSERT INTO accts VALUES (1, 0, 2.5)").unwrap();
+    });
+    let upd = work_of(&mut db, |db| {
+        db.execute("UPDATE accts SET region = 1, amount = 4.0 WHERE acct = 1")
+            .unwrap();
+    });
+    let del = work_of(&mut db, |db| {
+        db.execute("DELETE FROM accts WHERE acct = 1").unwrap();
+    });
+    assert_eq!(ins, del, "+1 and −1 deltas must cost the same work");
+    assert_eq!(
+        upd.tuples_in,
+        ins.tuples_in + del.tuples_in,
+        "an update is one −old +new pair"
+    );
+    assert!(ins.tuples_in > 0, "the delta actually reached the views");
+}
+
+#[test]
+fn retraction_work_does_not_grow_with_view_history() {
+    // The dual of |C|-independence: per-change work must not grow with
+    // how many deltas the *view* has already absorbed, either. Drive many
+    // rounds and compare the first against the last.
+    let mut db = build_retraction_db();
+    let first = retraction_round(&mut db);
+    for _ in 0..50 {
+        retraction_round(&mut db);
+    }
+    let last = retraction_round(&mut db);
+    assert_eq!(first, last, "work drifted as the view absorbed deltas");
+}
+
 /// Number of chronicle groups in the sharded-equivalence property test.
 const GROUPS: i64 = 4;
 

@@ -10,12 +10,15 @@
 use chronicle_testkit::prop::{
     boxed, floats, from_fn, ints, map, pair, triple, vec_of, weighted, Gen,
 };
-use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test, Rng};
+use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test, Rng, TempDir};
 
-use chronicle::algebra::eval::{canon, eval_sca};
-use chronicle::algebra::{AggFunc, AggSpec, CaExpr, CmpOp, Predicate, RelationRef, ScaExpr};
-use chronicle::db::ChronicleDb;
+use chronicle::algebra::eval::{canon, eval_sca, seq_to_int};
+use chronicle::algebra::{
+    Accumulator, AggFunc, AggSpec, CaExpr, CmpOp, Predicate, RelationRef, ScaExpr,
+};
+use chronicle::db::{ChronicleDb, ShardedDb};
 use chronicle::prelude::*;
+use chronicle::views::{RelationView, SlidingWindow};
 
 /// A compact description of a generated view, turned into a real `ScaExpr`
 /// against the live catalog.
@@ -302,6 +305,373 @@ prop_test! {
                 prev = now;
             }
         }
+    }
+}
+
+// ===================================================================
+// Z-set differential suite: signed deltas (inserts, updates, deletes)
+// through relation-backed views, interleaved with chronicle appends and
+// sliding-window advances, checked against full recomputation after
+// every single operation.
+// ===================================================================
+
+/// One operation of a mixed DML schedule.
+#[derive(Debug, Clone)]
+enum Dml {
+    /// Insert-or-update `acct` (an update arrives at the views as a
+    /// `−old +new` Z-set pair).
+    Upsert { acct: i64, region: i64, amount: f64 },
+    /// Delete `acct` if present (a `−1` delta); a no-op otherwise.
+    Delete { acct: i64 },
+    /// Append one trade `advance` ticks after the previous one — crossing
+    /// a bucket boundary advances the sliding window, retiring buckets as
+    /// negative-weight deltas.
+    Trade {
+        acct: i64,
+        amount: f64,
+        advance: i64,
+    },
+}
+
+fn dml_gen() -> impl Gen<Value = Dml> {
+    weighted(vec![
+        (
+            3,
+            boxed(map(
+                triple(ints(0..8i64), ints(0..4i64), floats(0.0..10.0)),
+                |(acct, region, amount)| Dml::Upsert {
+                    acct,
+                    region,
+                    amount,
+                },
+            )),
+        ),
+        (2, boxed(map(ints(0..8i64), |acct| Dml::Delete { acct }))),
+        (
+            4,
+            boxed(map(
+                triple(ints(0..4i64), floats(0.0..10.0), ints(0..7i64)),
+                |(acct, amount, advance)| Dml::Trade {
+                    acct,
+                    amount,
+                    advance,
+                },
+            )),
+        ),
+    ])
+}
+
+/// DDL for the differential suite: one chronicle with a chronicle view,
+/// one keyed relation with three relation-backed views — a group
+/// aggregate, a pure projection (set semantics: the consolidation
+/// teeth), and a conjunctive-WHERE aggregate (a stacked-σ `RelQuery`).
+fn zset_ddl() -> Vec<&'static str> {
+    vec![
+        "CREATE CHRONICLE trades (sn SEQ, acct INT, amount FLOAT) RETAIN ALL",
+        "CREATE RELATION accts (acct INT, region INT, amount FLOAT, PRIMARY KEY (acct))",
+        "CREATE VIEW by_region AS SELECT region, SUM(amount) AS s, COUNT(*) AS n \
+         FROM accts GROUP BY region",
+        "CREATE VIEW regions AS SELECT region FROM accts",
+        "CREATE VIEW rich AS SELECT region, AVG(amount) AS m FROM accts \
+         WHERE amount > 4.0 AND region < 3 GROUP BY region",
+        "CREATE VIEW volume AS SELECT acct, SUM(amount) AS v FROM trades GROUP BY acct",
+    ]
+}
+
+fn build_zset_db() -> ChronicleDb {
+    let mut db = ChronicleDb::new();
+    for stmt in zset_ddl() {
+        db.execute(stmt).unwrap();
+    }
+    db
+}
+
+/// Round to a multiple of 0.5: exactly representable, so float sums and
+/// retractions are exact and the oracle comparison is equality.
+fn half(x: f64) -> f64 {
+    (x * 2.0).round() / 2.0
+}
+
+/// Render one op as the SQL statement(s) to execute, consulting
+/// `reference` for key existence (so the same statements replay
+/// identically on a second engine). Returns the SQL and the new clock.
+fn dml_sql(reference: &ChronicleDb, op: &Dml, now: i64) -> (String, i64) {
+    match op {
+        Dml::Upsert {
+            acct,
+            region,
+            amount,
+        } => {
+            let a = half(*amount);
+            let rid = reference.catalog().relation_id("accts").unwrap();
+            let exists = reference
+                .catalog()
+                .relation(rid)
+                .current()
+                .get_by_key(&[Value::Int(*acct)])
+                .is_some();
+            let sql = if exists {
+                format!("UPDATE accts SET region = {region}, amount = {a:.1} WHERE acct = {acct}")
+            } else {
+                format!("INSERT INTO accts VALUES ({acct}, {region}, {a:.1})")
+            };
+            (sql, now)
+        }
+        Dml::Delete { acct } => (format!("DELETE FROM accts WHERE acct = {acct}"), now),
+        Dml::Trade {
+            acct,
+            amount,
+            advance,
+        } => {
+            let a = half(*amount);
+            let t = now + advance;
+            (
+                format!("APPEND INTO trades AT {t} VALUES ({acct}, {a:.1})"),
+                t,
+            )
+        }
+    }
+}
+
+/// Every relation-backed view must equal a from-scratch `RelQuery::eval`
+/// over the live relation, and the chronicle view its SCA oracle.
+macro_rules! assert_views_match_oracle {
+    ($db:expr) => {{
+        let db = &$db;
+        let rid = db.catalog().relation_id("accts").unwrap();
+        for name in ["by_region", "regions", "rich"] {
+            let v = db.maintainer().rel_view_by_name(name).unwrap();
+            let inc = canon(v.rows());
+            let oracle = canon(
+                v.query()
+                    .eval(db.catalog().relation(rid).current())
+                    .unwrap(),
+            );
+            prop_assert_eq!(inc, oracle, "relation view `{}` diverged", name);
+        }
+        let inc = canon(db.query_view("volume").unwrap());
+        let oracle = canon(
+            eval_sca(
+                db.catalog(),
+                db.maintainer().view_by_name("volume").unwrap().expr(),
+            )
+            .unwrap(),
+        );
+        prop_assert_eq!(inc, oracle, "chronicle view `volume` diverged");
+    }};
+}
+
+/// Sliding-window parameters shared by the incremental window and its
+/// naive oracle: 4 buckets × 5 ticks, keyed on the account.
+const WIN_BUCKETS: i64 = 4;
+const WIN_TICKS: i64 = 5;
+
+fn win_aggs() -> Vec<AggFunc> {
+    vec![
+        AggFunc::Sum(1),
+        AggFunc::CountStar,
+        AggFunc::Avg(1),
+        AggFunc::Max(1),
+    ]
+}
+
+/// Naive window recomputation: fold every logged in-window tuple for
+/// `key` through fresh accumulators — no buckets, no running totals, no
+/// unmerge. This is the recomputation the retirement deltas must match.
+fn naive_window(log: &[(i64, Tuple)], key: i64, now: i64) -> Vec<Value> {
+    let cur = now.div_euclid(WIN_TICKS);
+    let oldest = cur - WIN_BUCKETS + 1;
+    let mut accs: Vec<Accumulator> = win_aggs().iter().map(|&f| Accumulator::new(f)).collect();
+    for (at, t) in log {
+        let b = at.div_euclid(WIN_TICKS);
+        if t.get(0) != &Value::Int(key) || b < oldest || b > cur {
+            continue;
+        }
+        for a in accs.iter_mut() {
+            a.update(t).unwrap();
+        }
+    }
+    accs.iter().map(|a| seq_to_int(a.finalize())).collect()
+}
+
+prop_test! {
+    /// The headline differential property: replay a seeded schedule of
+    /// relation inserts/updates/deletes, chronicle appends, and window
+    /// advances; after **every** operation the incremental state (signed
+    /// Z-set deltas through the views, negative-delta bucket retirement
+    /// in the window) must equal full recomputation.
+    fn zset_deltas_equal_recomputation(cases = 256, seed = 0x25E7D1FF;
+        ops in vec_of(dml_gen(), 1..48),
+    ) {
+        let mut db = build_zset_db();
+        let mut win = SlidingWindow::new(
+            Chronon(0),
+            WIN_BUCKETS as usize,
+            WIN_TICKS,
+            vec![0],
+            win_aggs(),
+        )
+        .unwrap();
+        let mut log: Vec<(i64, Tuple)> = Vec::new();
+        let mut now = 0i64;
+        for op in &ops {
+            let (sql, t) = dml_sql(&db, op, now);
+            now = t;
+            db.execute(&sql).unwrap();
+            if let Dml::Trade { acct, amount, .. } = op {
+                let row = Tuple::new(vec![Value::Int(*acct), Value::Float(half(*amount))]);
+                win.insert(Chronon(now), &row).unwrap();
+                log.push((now, row));
+                for key in 0..4i64 {
+                    prop_assert_eq!(
+                        win.query(&[Value::Int(key)], Chronon(now)).unwrap(),
+                        naive_window(&log, key, now),
+                        "window diverged for key {} at chronon {}",
+                        key,
+                        now
+                    );
+                }
+            }
+            assert_views_match_oracle!(db);
+        }
+    }
+}
+
+/// Shard count for the sharded differential test; `SHARDS=n` overrides
+/// (verify.sh runs the suite at `SHARDS=4`).
+fn shard_count() -> usize {
+    std::env::var("SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+prop_test! {
+    /// The same mixed DML schedules against a hash-sharded engine:
+    /// relation views pin to one shard and relation DML broadcasts, so
+    /// sharded view snapshots must be byte-identical to the serial
+    /// single-engine reference.
+    fn sharded_zset_dml_matches_single_engine(cases = 160, seed = 0x54A2DED;
+        ops in vec_of(dml_gen(), 1..40),
+    ) {
+        let mut reference = build_zset_db();
+        let mut sharded = ShardedDb::new(shard_count()).unwrap();
+        for stmt in zset_ddl() {
+            sharded.execute(stmt).unwrap();
+        }
+        let mut now = 0i64;
+        for op in &ops {
+            let (sql, t) = dml_sql(&reference, op, now);
+            now = t;
+            reference.execute(&sql).unwrap();
+            sharded.execute(&sql).unwrap();
+        }
+        let mut expect = reference.snapshot_views();
+        expect.sort();
+        prop_assert_eq!(sharded.snapshot_views(), expect);
+    }
+}
+
+// =================================================================
+// Deterministic Z-set regression pins (PR-3 semantics + consolidation
+// teeth for the `CHRONICLE_MUTATE=skip_consolidation` mutation check).
+// =================================================================
+
+/// A `+1/−1` pair on the same tuple must leave **no** residue in view
+/// state: not a zero-multiplicity projected row, not a zero-live group,
+/// and not a byte of difference in view snapshots. Under
+/// `CHRONICLE_MUTATE=skip_consolidation` the zero-weight entries survive
+/// and this test fails — verify.sh runs exactly that mutation and
+/// requires the failure.
+#[test]
+fn plus_minus_pair_leaves_no_residue() {
+    let mut db = build_zset_db();
+    db.execute("INSERT INTO accts VALUES (1, 2, 6.0)").unwrap();
+    db.execute("DELETE FROM accts WHERE acct = 1").unwrap();
+
+    for name in ["by_region", "regions", "rich"] {
+        let v = db.maintainer().rel_view_by_name(name).unwrap();
+        assert!(
+            v.rows().is_empty(),
+            "view `{name}` kept residue after +1/−1: {:?}",
+            v.rows()
+        );
+        assert!(v.is_empty(), "view `{name}` state not empty after +1/−1");
+    }
+    assert_eq!(
+        db.maintainer()
+            .rel_view_by_name("regions")
+            .unwrap()
+            .multiplicity(&Tuple::new(vec![Value::Int(2)])),
+        None,
+        "zero-weight multiplicity entry must be consolidated away"
+    );
+    // The snapshot bytes carry no residue entries either: restoring the
+    // checkpoint payload of each view yields an empty state.
+    for name in ["by_region", "regions", "rich"] {
+        let v = db.maintainer().rel_view_by_name(name).unwrap();
+        let restored =
+            RelationView::restore(v.id(), name, v.query().clone(), &v.snapshot()).unwrap();
+        assert!(
+            restored.is_empty(),
+            "snapshot of `{name}` restored to a non-empty state after +1/−1"
+        );
+    }
+}
+
+/// The durable variant: after an insert/delete pair, a checkpoint and a
+/// restart must come back with empty relation views — checkpoints carry
+/// no zero-weight residue either.
+#[test]
+fn plus_minus_pair_leaves_no_residue_in_checkpoints() {
+    let tmp = TempDir::new("zset-residue");
+    {
+        let mut db = ChronicleDb::open(tmp.path()).unwrap();
+        for stmt in zset_ddl() {
+            db.execute(stmt).unwrap();
+        }
+        db.execute("INSERT INTO accts VALUES (1, 2, 6.0)").unwrap();
+        db.execute("UPDATE accts SET amount = 7.5 WHERE acct = 1")
+            .unwrap();
+        db.execute("DELETE FROM accts WHERE acct = 1").unwrap();
+        db.checkpoint().unwrap();
+    }
+    let db = ChronicleDb::open(tmp.path()).unwrap();
+    for name in ["by_region", "regions", "rich"] {
+        assert!(
+            db.query_view(name).unwrap().is_empty(),
+            "recovered view `{name}` kept +1/−1 residue through a checkpoint"
+        );
+        assert!(db.maintainer().rel_view_by_name(name).unwrap().is_empty());
+    }
+}
+
+/// PR-3 pin: appends strictly before the window anchor land in negative
+/// bucket indices and a later-then-earlier insert is rejected with the
+/// signed `NonMonotonicBucket` error — not wrapped to 2^64−k.
+#[test]
+fn before_anchor_appends_keep_signed_bucket_indices() {
+    let mut win =
+        SlidingWindow::new(Chronon(100), 3, 10, vec![0], vec![AggFunc::CountStar]).unwrap();
+    // Entirely before the anchor: bucket −3. Legal on its own.
+    win.insert(Chronon(75), &Tuple::new(vec![Value::Int(1), Value::Int(1)]))
+        .unwrap();
+    // Forward to bucket 2…
+    win.insert(
+        Chronon(120),
+        &Tuple::new(vec![Value::Int(1), Value::Int(1)]),
+    )
+    .unwrap();
+    // …then back before the anchor: must fail with both indices signed.
+    let err = win
+        .insert(Chronon(95), &Tuple::new(vec![Value::Int(1), Value::Int(1)]))
+        .unwrap_err();
+    match err {
+        ChronicleError::NonMonotonicBucket { newest, attempted } => {
+            assert_eq!(newest, 2);
+            assert_eq!(attempted, -1, "pre-anchor bucket must stay signed");
+        }
+        other => panic!("expected NonMonotonicBucket, got {other}"),
     }
 }
 
