@@ -4,7 +4,8 @@
 //! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick] [json]`
 //! — `quick` runs the reduced (scale 0) sweeps; `json` skips the text
 //! tables and instead writes the machine-readable `BENCH_E11.json`,
-//! `BENCH_E14.json`, and `BENCH_E15.json` artifacts at the repo root.
+//! `BENCH_E14.json`, `BENCH_E15.json`, and `BENCH_E16.json` artifacts at
+//! the repo root.
 
 use chronicle_bench::experiments as ex;
 use chronicle_bench::harness::Figure;
@@ -26,7 +27,8 @@ fn main() {
 }
 
 /// Emit the machine-readable artifacts regression tooling diffs:
-/// E11 (throughput/latency), E14 (recovery), E15 (sharding).
+/// E11 (throughput/latency), E14 (recovery), E15 (sharding),
+/// E16 (replication catch-up).
 fn emit_json(scale: u32) {
     eprintln!("[E11] throughput & latency...");
     let (a, b) = ex::e11_throughput(scale);
@@ -39,6 +41,10 @@ fn emit_json(scale: u32) {
     eprintln!("[E15] sharding...");
     let f = ex::e15_sharding(scale);
     let p = json::emit("E15", scale, &[f]).expect("write BENCH_E15.json");
+    println!("wrote {}", p.display());
+    eprintln!("[E16] replication...");
+    let f = ex::e16_replication(scale);
+    let p = json::emit("E16", scale, &[f]).expect("write BENCH_E16.json");
     println!("wrote {}", p.display());
 }
 

@@ -11,7 +11,8 @@ use chronicle_algebra::{
 };
 use chronicle_db::baseline::{NaiveRecomputeView, ProceduralSummary, StoredThetaJoinCount};
 use chronicle_db::pipeline::{Pipeline, ShardedPipeline};
-use chronicle_db::{shard_of_group, ChronicleDb, DurabilityOptions, ShardedDb};
+use chronicle_db::{shard_of_group, ChronicleDb, DurabilityOptions, FollowerDb, ShardedDb};
+use chronicle_net::{ShipEvent, Shipper, WalSource, DEFAULT_CHUNK};
 use chronicle_store::{Catalog, Retention};
 use chronicle_testkit::TempDir;
 use chronicle_types::{AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Tuple, Value};
@@ -1200,6 +1201,153 @@ pub fn e15_sharding(scale: u32) -> Figure {
     fig
 }
 
+// ===================================================================== E16
+
+/// E16 — follower catch-up: WAL-shipping throughput and replication lag.
+/// A fresh follower pulls the leader's entire WAL through the [`Shipper`]
+/// cursor machinery — the same code path the TCP server drives, minus the
+/// socket — persists it byte-identically, and replays it through the
+/// recovery path. Catch-up cost is linear in shipped WAL bytes (not in
+/// how *old* the history is), lag after one uninterrupted catch-up is 0,
+/// and the follower's views are byte-identical to the leader's.
+/// Measurement core of the `e16_replication` bench target, exposed for
+/// `BENCH_E16.json`.
+pub fn e16_replication(scale: u32) -> Figure {
+    const SHARDS: usize = 2;
+    let sizes: &[usize] = if scale == 0 {
+        &[400, 800, 1_600]
+    } else {
+        &[4_000, 8_000, 16_000]
+    };
+    // Small segments so every size rotates several times: catch-up covers
+    // the sealed-chain walk, not just one active-segment tail.
+    let opts = || DurabilityOptions {
+        segment_bytes: 64 << 10,
+        fsync: true,
+        ..Default::default()
+    };
+    // Two group names on distinct shards mod 2 — both shards carry WAL.
+    let mut names: Vec<String> = Vec::new();
+    let mut taken = [false; SHARDS];
+    let mut i = 0usize;
+    while names.len() < SHARDS {
+        let cand = format!("g{i}");
+        let slot = shard_of_group(&cand, SHARDS);
+        if !taken[slot] {
+            taken[slot] = true;
+            names.push(cand);
+        }
+        i += 1;
+    }
+
+    let mut fig = Figure::new(
+        "E16 — follower catch-up over WAL shipping",
+        "leader appends before the follower attaches",
+        "records/sec, bytes, lag",
+    );
+    let mut tp = Series::new("catch-up (records applied/sec)");
+    let mut shipped = Series::new("WAL bytes shipped");
+    let mut lag = Series::new("replication lag after catch-up (records)");
+    let mut all_identical = true;
+    for &n in sizes {
+        let leader_tmp = TempDir::new("e16-leader");
+        let mut db = ShardedDb::open_with(leader_tmp.path(), SHARDS, opts()).expect("open");
+        for g in &names {
+            db.execute(&format!("CREATE GROUP {g}")).expect("ddl");
+            db.execute(&format!(
+                "CREATE CHRONICLE {g}_c (sn SEQ, acct INT, amount FLOAT) IN GROUP {g}"
+            ))
+            .expect("ddl");
+            db.execute(&format!(
+                "CREATE VIEW {g}_sum AS SELECT acct, SUM(amount) AS total \
+                 FROM {g}_c GROUP BY acct"
+            ))
+            .expect("ddl");
+        }
+        let pipeline = ShardedPipeline::start(db, 64);
+        let handle = pipeline.handle();
+        std::thread::scope(|scope| {
+            for g in &names {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let chron = format!("{g}_c");
+                    for i in 0..n / SHARDS {
+                        handle
+                            .append_nowait(
+                                &chron,
+                                Chronon(i as i64 + 1),
+                                vec![vec![
+                                    Value::Int((i % 16) as i64),
+                                    Value::Float(i as f64 % 9.0),
+                                ]],
+                            )
+                            .expect("pipeline alive");
+                    }
+                });
+            }
+        });
+        let db = pipeline.shutdown();
+
+        // The follower attaches cold and catches up in one uninterrupted
+        // pull; the timed region is exactly what a freshly started
+        // `Replica` does between connect and lag 0.
+        let follower_tmp = TempDir::new("e16-follower");
+        let mut follower =
+            FollowerDb::open_with(follower_tmp.path(), SHARDS, opts()).expect("open follower");
+        let mut shipper = Shipper::new(&follower.applied_lsns(), DEFAULT_CHUNK);
+        let mut bytes = 0u64;
+        let start = std::time::Instant::now();
+        loop {
+            let caught_up = {
+                let follower = &mut follower;
+                let bytes = &mut bytes;
+                shipper
+                    .pump(&db, &mut |ev| match ev {
+                        ShipEvent::Start { shard, first_lsn } => {
+                            follower.begin_segment(shard, first_lsn)
+                        }
+                        ShipEvent::Bytes {
+                            shard,
+                            offset,
+                            bytes: chunk,
+                            ..
+                        } => {
+                            *bytes += chunk.len() as u64;
+                            follower.ingest(shard, offset, &chunk).map(|_| ())
+                        }
+                        ShipEvent::Seal { shard, first_lsn } => {
+                            follower.seal_segment(shard, first_lsn)
+                        }
+                    })
+                    .expect("ship")
+            };
+            if caught_up {
+                break;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        for shard in 0..SHARDS {
+            let durable = WalSource::last_durable_lsn(&db, shard).expect("leader lsn");
+            follower.note_leader_durable(shard, durable);
+        }
+        let records: u64 = follower.applied_lsns().iter().sum();
+        tp.push(n as f64, records as f64 / elapsed.max(1e-9));
+        shipped.push(n as f64, bytes as f64);
+        lag.push(n as f64, follower.replication_lag().unwrap_or(0) as f64);
+        all_identical &= follower.snapshot_views() == db.snapshot_views();
+    }
+    fig.series.push(tp);
+    fig.series.push(shipped);
+    fig.series.push(lag);
+    fig.note(format!(
+        "{SHARDS} shards, 64 KiB segments, durable leader and follower; \
+         expected: shipped bytes linear in appends, lag 0 after catch-up; \
+         follower views byte-identical to the leader at every size: \
+         {all_identical}"
+    ));
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1301,5 +1449,29 @@ mod tests {
         let fig = e12_proactive(0);
         assert_eq!(fig.series[0].points[0].1, 1.0, "incremental == oracle");
         assert!(fig.notes.iter().any(|n| n.contains("retroactive")));
+    }
+
+    #[test]
+    fn e16_lag_zero_views_identical_bytes_linear() {
+        let fig = e16_replication(0);
+        let lag = fig
+            .series("replication lag after catch-up (records)")
+            .expect("series");
+        assert!(
+            lag.points.iter().all(|&(_, y)| y == 0.0),
+            "an uninterrupted catch-up must end at lag 0, got {:?}",
+            lag.points
+        );
+        let shipped = fig.series("WAL bytes shipped").expect("series");
+        assert!(
+            shipped.growth() > 2.0,
+            "shipped bytes must track history length, got {:?}",
+            shipped.points
+        );
+        assert!(
+            fig.notes.iter().any(|n| n.contains("every size: true")),
+            "follower views must mirror the leader: {:?}",
+            fig.notes
+        );
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use chronicle_algebra::{RelQuery, ScaExpr, ZSet};
 use chronicle_durability::{
     checkpoint, scrub_database, CheckpointImage, ChronicleImage, DurabilityOptions, GroupImage,
-    LsnRange, RelationImage, SalvageReport, ScrubReport, Wal, WalRecord,
+    LsnRange, RelationImage, SalvageReport, ScrubReport, SegmentInfo, SegmentRead, Wal, WalRecord,
 };
 use chronicle_simkit::{RealFs, Vfs};
 use chronicle_sql::{
@@ -261,6 +261,66 @@ impl ChronicleDb {
         self.wal_buffered = buffered;
     }
 
+    // ---- WAL shipping (leader-side replication surface) -------------------
+    //
+    // Thin pass-throughs over the live [`Wal`] so log shipping never pokes
+    // at directory listings. All of them require a durable database.
+
+    fn durability_ref(&self) -> Result<&DurabilityState> {
+        self.durability.as_ref().ok_or(ChronicleError::Durability {
+            detail: "WAL shipping requires a database opened with ChronicleDb::open".into(),
+        })
+    }
+
+    /// Every live WAL segment, oldest first (see [`Wal::segments`]).
+    pub fn wal_segments(&self) -> Result<Vec<SegmentInfo>> {
+        Ok(self.durability_ref()?.wal.segments())
+    }
+
+    /// The live segment containing `lsn` (see [`Wal::segment_containing`]).
+    pub fn wal_segment_containing(&self, lsn: u64) -> Result<Option<SegmentInfo>> {
+        Ok(self.durability_ref()?.wal.segment_containing(lsn))
+    }
+
+    /// Read raw segment bytes for shipping (see [`Wal::read_segment`]).
+    /// Only flushed bytes of the active segment are visible, so a
+    /// follower can never apply a record the leader could lose in a
+    /// crash.
+    pub fn wal_read_segment(&self, first_lsn: u64, offset: u64, max: usize) -> Result<SegmentRead> {
+        self.durability_ref()?
+            .wal
+            .read_segment(first_lsn, offset, max)
+    }
+
+    /// The highest WAL lsn guaranteed on the durable medium.
+    pub fn wal_last_durable_lsn(&self) -> Result<u64> {
+        Ok(self.durability_ref()?.wal.last_durable_lsn())
+    }
+
+    /// Pin WAL truncation so segments at or above `lsn` survive
+    /// checkpoints — the leader sets this while followers still need the
+    /// history (see [`Wal::set_retain_floor`]).
+    pub fn set_wal_retain_floor(&mut self, lsn: u64) -> Result<()> {
+        match self.durability.as_mut() {
+            Some(st) => {
+                st.wal.set_retain_floor(lsn);
+                Ok(())
+            }
+            None => Err(ChronicleError::Durability {
+                detail: "WAL shipping requires a database opened with ChronicleDb::open".into(),
+            }),
+        }
+    }
+
+    /// Detach the durability layer, turning this into a read-only replica
+    /// state holder: further mutations are applied through
+    /// [`ChronicleDb::apply_wal_record`] without re-logging (the follower
+    /// ingests the leader's WAL bytes verbatim instead). Returns the
+    /// highest lsn recovery replayed — the follower's applied watermark.
+    pub(crate) fn detach_durability(&mut self) -> u64 {
+        self.durability.take().map_or(0, |st| st.wal.last_lsn())
+    }
+
     fn log_record(&mut self, rec: WalRecord) -> Result<()> {
         let autoflush = !self.wal_buffered;
         if let Some(st) = self.durability.as_mut() {
@@ -427,8 +487,9 @@ impl ChronicleDb {
     }
 
     /// Re-apply one WAL-tail record through the normal mutation paths.
-    /// `self.durability` is still `None` here, so replay never re-logs.
-    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
+    /// `self.durability` is still `None` here (recovery attaches it last,
+    /// and followers never attach it), so replay never re-logs.
+    pub(crate) fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
         match rec {
             WalRecord::Ddl(sql) => {
                 self.execute(&sql)?;
@@ -1116,7 +1177,7 @@ impl ChronicleDb {
         }
     }
 
-    fn select_rows(
+    pub(crate) fn select_rows(
         &self,
         target: &str,
         filters: &[(String, chronicle_sql::Literal)],

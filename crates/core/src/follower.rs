@@ -1,0 +1,443 @@
+//! Read-only replication follower.
+//!
+//! A [`FollowerDb`] is the receiving end of WAL log shipping: the same
+//! per-shard layout as [`ShardedDb`](crate::ShardedDb) (one `SHARDS`
+//! manifest, one directory per shard), recovered through the identical
+//! checkpoint-plus-WAL-tail path — but with the write-side durability
+//! layer *detached*. Mutations arrive only as raw leader WAL bytes fed
+//! through [`chronicle_durability::WalIngest`], which persists them into
+//! the follower's own WAL directory (so a follower crash recovers through
+//! the normal path) and surfaces decoded records that are applied through
+//! the same maintenance machinery the leader ran.
+//!
+//! Consequences of that design:
+//!
+//! * the follower's durable state is byte-compatible with a leader's — a
+//!   follower directory can be opened as a [`ShardedDb`] to *promote* it;
+//! * replay order per shard is exactly the leader's WAL order, so every
+//!   view converges to a prefix of the leader's history (the invariant the
+//!   replication simulation asserts against its acked-prefix oracle);
+//! * the follower never logs, never checkpoints, and never truncates in
+//!   this version — retention is the leader's problem (it pins a retain
+//!   floor while followers are attached).
+//!
+//! The shipping protocol itself (framing, resume, heartbeats) lives in
+//! `crates/net`; this type is transport-agnostic and is driven the same
+//! way by the TCP server, the deterministic simulation, and the bench
+//! harness.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use chronicle_durability::{
+    DurabilityOptions, RecoveryPolicy, ShardManifest, WalIngest, WalRecord,
+};
+use chronicle_simkit::{RealFs, Vfs};
+use chronicle_types::{ChronicleError, Result, Tuple, Value};
+
+use crate::db::ChronicleDb;
+use crate::shard::{ShardRoutes, ShardedDb};
+use crate::stats::DbStats;
+
+/// A read-only sharded replica fed by leader WAL bytes.
+#[derive(Debug)]
+pub struct FollowerDb {
+    shards: Vec<ChronicleDb>,
+    ingests: Vec<WalIngest>,
+    routes: ShardRoutes,
+    /// Leader's last durable lsn per shard, from heartbeats (0 = unseen).
+    leader_durable: Vec<u64>,
+}
+
+impl FollowerDb {
+    /// Open (or create) a follower database at `path` with `shards`
+    /// shards. Existing state recovers exactly like
+    /// [`ShardedDb::open_with`]; ingest then resumes after the highest
+    /// recovered lsn per shard.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        shards: usize,
+        opts: DurabilityOptions,
+    ) -> Result<FollowerDb> {
+        Self::open_with_vfs(RealFs::arc(), path, shards, opts)
+    }
+
+    /// [`FollowerDb::open_with`] against an explicit filesystem (the
+    /// deterministic replication simulation runs followers over
+    /// [`SimFs`](chronicle_simkit::SimFs)).
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        shards: usize,
+        opts: DurabilityOptions,
+    ) -> Result<FollowerDb> {
+        if shards == 0 {
+            return Err(ChronicleError::Internal(
+                "a follower database needs at least one shard".into(),
+            ));
+        }
+        let root = path.as_ref();
+        vfs.create_dir_all(root)
+            .map_err(|e| ChronicleError::Durability {
+                detail: format!("creating database directory {}: {e}", root.display()),
+            })?;
+        // Same manifest discipline as the leader side: corrupt manifests
+        // are quarantined under Salvage, a *valid* manifest that disagrees
+        // with the requested shard count is a loud operator error.
+        let loaded = match ShardManifest::load_with_vfs(vfs.as_ref(), root) {
+            Err(ChronicleError::Corruption { .. }) if opts.recovery == RecoveryPolicy::Salvage => {
+                ShardManifest::quarantine_with_vfs(vfs.as_ref(), root, opts.fsync)?;
+                None
+            }
+            other => other?,
+        };
+        match loaded {
+            Some(m) if m.shards as usize != shards => {
+                return Err(ChronicleError::Durability {
+                    detail: format!(
+                        "shard count mismatch: {} is partitioned into {} shards, requested {}",
+                        root.display(),
+                        m.shards,
+                        shards
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => ShardManifest {
+                shards: shards as u32,
+            }
+            .write_with_vfs(vfs.as_ref(), root, opts.fsync)?,
+        }
+        let mut dbs = Vec::with_capacity(shards);
+        let mut ingests = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let dir = ShardManifest::shard_dir(root, i);
+            let mut db = ChronicleDb::open_with_vfs(Arc::clone(&vfs), &dir, opts).map_err(|e| {
+                ChronicleError::Durability {
+                    detail: format!("recovering follower shard {i}: {e}"),
+                }
+            })?;
+            // Detach the write-side WAL: from here on the only mutations
+            // are shipped records, persisted by the ingest instead.
+            let applied = db.detach_durability();
+            ingests.push(WalIngest::open(
+                Arc::clone(&vfs),
+                dir.join("wal"),
+                opts.fsync,
+                applied,
+            )?);
+            dbs.push(db);
+        }
+        let routes = ShardedDb::rebuild_routes(&dbs);
+        Ok(FollowerDb {
+            shards: dbs,
+            ingests,
+            routes,
+            leader_durable: vec![0; shards],
+        })
+    }
+
+    // ---- ingest (driven by the shipping protocol) -------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard applied lsn — the resume point a (re)connecting follower
+    /// sends its leader.
+    pub fn applied_lsns(&self) -> Vec<u64> {
+        self.ingests.iter().map(|i| i.applied()).collect()
+    }
+
+    /// One shard's applied lsn.
+    pub fn applied_lsn(&self, shard: usize) -> u64 {
+        self.ingests[shard].applied()
+    }
+
+    /// The leader announced a segment stream for `shard` (see
+    /// [`WalIngest::begin_segment`]).
+    pub fn begin_segment(&mut self, shard: usize, first_lsn: u64) -> Result<()> {
+        self.ingests[shard].begin_segment(first_lsn)
+    }
+
+    /// Ingest raw segment bytes for `shard` at `offset`: persist them,
+    /// decode complete frames, and apply every new record through the
+    /// normal maintenance path. Returns how many records were applied.
+    pub fn ingest(&mut self, shard: usize, offset: u64, bytes: &[u8]) -> Result<usize> {
+        let records = self.ingests[shard].ingest(offset, bytes)?;
+        let n = records.len();
+        let mut ddl = false;
+        for (lsn, rec) in records {
+            ddl |= matches!(rec, WalRecord::Ddl(_));
+            self.shards[shard]
+                .apply_wal_record(rec)
+                .map_err(|e| ChronicleError::Corruption {
+                    detail: format!("shipped record lsn {lsn} does not apply: {e}"),
+                })?;
+        }
+        if ddl {
+            // DDL changes the name→shard maps; rebuild them the same way
+            // recovery does. Rare enough that eager rebuild beats tracking
+            // incremental effects across replicated shards.
+            self.routes = ShardedDb::rebuild_routes(&self.shards);
+        }
+        Ok(n)
+    }
+
+    /// The leader sealed the segment (see [`WalIngest::seal_segment`]).
+    pub fn seal_segment(&mut self, shard: usize, first_lsn: u64) -> Result<()> {
+        self.ingests[shard].seal_segment(first_lsn)
+    }
+
+    /// Record a leader heartbeat: its last durable lsn for `shard`.
+    pub fn note_leader_durable(&mut self, shard: usize, lsn: u64) {
+        let d = &mut self.leader_durable[shard];
+        *d = (*d).max(lsn);
+    }
+
+    /// Worst-case replication lag in records across shards — leader
+    /// durable minus follower applied, using the freshest heartbeat.
+    /// `None` until a heartbeat has been seen.
+    pub fn replication_lag(&self) -> Option<u64> {
+        if self.leader_durable.iter().all(|&d| d == 0) {
+            return None;
+        }
+        Some(
+            self.leader_durable
+                .iter()
+                .zip(&self.ingests)
+                .map(|(&d, i)| d.saturating_sub(i.applied()))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    // ---- read-only serving ------------------------------------------------
+
+    /// All rows of a persistent view (ordered by group key).
+    pub fn query_view(&self, name: &str) -> Result<Vec<Tuple>> {
+        let target = self.routes.view_shard(name)?;
+        self.shards[target].query_view(name)
+    }
+
+    /// Point lookup in a persistent view.
+    pub fn query_view_key(&self, name: &str, key: &[Value]) -> Result<Option<Tuple>> {
+        let target = self.routes.view_shard(name)?;
+        self.shards[target].query_view_key(name, key)
+    }
+
+    /// `SELECT`-shaped read: rows of a view, relation, or chronicle
+    /// window, with equality filters — the follower side of
+    /// `ExecOutcome::Rows`.
+    pub fn select(
+        &self,
+        target: &str,
+        filters: &[(String, chronicle_sql::Literal)],
+    ) -> Result<Vec<Tuple>> {
+        let shard = self.routes.select_shard(target);
+        self.shards[shard].select_rows(target, filters)
+    }
+
+    /// Read access to one shard (experiments, digests).
+    pub fn shard(&self, i: usize) -> &ChronicleDb {
+        &self.shards[i]
+    }
+
+    /// Snapshot every persistent view across shards, sorted by name —
+    /// directly comparable with [`ShardedDb::snapshot_views`] on the
+    /// leader at the same applied lsns.
+    pub fn snapshot_views(&self) -> Vec<(String, Vec<u8>)> {
+        let mut all: Vec<(String, Vec<u8>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.snapshot_views())
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// Aggregated statistics plus the follower-side replication gauges.
+    pub fn stats(&self) -> DbStats {
+        let mut total = DbStats::default();
+        for s in &self.shards {
+            total.absorb(s.stats());
+        }
+        total.net_shipped_bytes = self.ingests.iter().map(|i| i.bytes_received()).sum();
+        total.follower_applied_lsn = self.ingests.iter().map(|i| i.applied()).max();
+        total.replication_lag = self.replication_lag();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_simkit::SimFs;
+
+    fn opts() -> DurabilityOptions {
+        DurabilityOptions {
+            segment_bytes: 512,
+            fsync: true,
+            ..DurabilityOptions::default()
+        }
+    }
+
+    /// Ship everything the leader has flushed into the follower, in
+    /// `chunk`-byte pieces, resuming from the follower's applied lsns.
+    fn ship_all(leader: &ShardedDb, f: &mut FollowerDb, chunk: usize) {
+        for shard in 0..leader.shard_count() {
+            let db = leader.shard(shard);
+            let mut resume = f.applied_lsn(shard) + 1;
+            loop {
+                let Some(seg) = db.wal_segment_containing(resume).unwrap() else {
+                    break; // caught up past the durable end
+                };
+                f.begin_segment(shard, seg.first_lsn).unwrap();
+                let mut offset = 0;
+                loop {
+                    let read = db.wal_read_segment(seg.first_lsn, offset, chunk).unwrap();
+                    f.ingest(shard, offset, &read.bytes).unwrap();
+                    offset += read.bytes.len() as u64;
+                    if offset >= read.total_len {
+                        break;
+                    }
+                }
+                if !read_sealed(db, seg.first_lsn) {
+                    break; // active segment: fully caught up
+                }
+                f.seal_segment(shard, seg.first_lsn).unwrap();
+                resume = db
+                    .wal_segment_containing(seg.first_lsn)
+                    .unwrap()
+                    .unwrap()
+                    .last_lsn
+                    + 1;
+            }
+            f.note_leader_durable(shard, db.wal_last_durable_lsn().unwrap());
+        }
+    }
+
+    fn read_sealed(db: &ChronicleDb, first_lsn: u64) -> bool {
+        db.wal_segment_containing(first_lsn)
+            .unwrap()
+            .map(|s| s.sealed)
+            .unwrap_or(false)
+    }
+
+    fn seeded_leader(fs: &Arc<dyn Vfs>, shards: usize) -> ShardedDb {
+        let mut db = ShardedDb::open_with_vfs(Arc::clone(fs), "/leader", shards, opts()).unwrap();
+        db.execute("CREATE GROUP telecom").unwrap();
+        db.execute("CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom")
+            .unwrap();
+        db.execute(
+            "CREATE VIEW totals AS SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+        )
+        .unwrap();
+        for i in 0..40 {
+            db.execute(&format!(
+                "APPEND INTO calls VALUES ({}, {:.1})",
+                i % 5,
+                (i % 7) as f64
+            ))
+            .unwrap();
+        }
+        db.wal_flush().unwrap();
+        db
+    }
+
+    #[test]
+    fn follower_converges_to_leader_views() {
+        for shards in [1usize, 3] {
+            let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(77));
+            let leader = seeded_leader(&fs, shards);
+            let mut f =
+                FollowerDb::open_with_vfs(Arc::clone(&fs), "/follower", shards, opts()).unwrap();
+            ship_all(&leader, &mut f, 97);
+            assert_eq!(
+                f.snapshot_views(),
+                leader.snapshot_views(),
+                "{shards} shards"
+            );
+            assert_eq!(
+                f.query_view("totals").unwrap(),
+                leader.query_view("totals").unwrap()
+            );
+            assert_eq!(f.replication_lag(), Some(0));
+            let stats = f.stats();
+            assert!(stats.net_shipped_bytes > 0);
+            assert_eq!(stats.replication_lag, Some(0));
+        }
+    }
+
+    #[test]
+    fn follower_restart_resumes_from_applied() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(78));
+        let mut leader = seeded_leader(&fs, 2);
+        let mut f = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 2, opts()).unwrap();
+        ship_all(&leader, &mut f, 64);
+        let before = f.applied_lsns();
+        assert!(before.iter().any(|&l| l > 0));
+        drop(f);
+
+        // More leader writes while the follower is down.
+        for i in 0..10 {
+            leader
+                .execute(&format!("APPEND INTO calls VALUES ({}, 1.0)", 100 + i))
+                .unwrap();
+        }
+        leader.wal_flush().unwrap();
+
+        // Reopen: local recovery replays the ingested WAL, then shipping
+        // resumes from the applied watermark.
+        let mut f = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 2, opts()).unwrap();
+        assert_eq!(f.applied_lsns(), before, "recovery rebuilt the watermark");
+        ship_all(&leader, &mut f, 64);
+        assert_eq!(f.snapshot_views(), leader.snapshot_views());
+    }
+
+    #[test]
+    fn follower_select_and_ddl_route_rebuild() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(79));
+        let mut leader = seeded_leader(&fs, 3);
+        let mut f = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 3, opts()).unwrap();
+        ship_all(&leader, &mut f, 128);
+
+        // DDL shipped mid-stream must become routable on the follower.
+        leader.execute("CREATE GROUP banking").unwrap();
+        leader
+            .execute("CREATE CHRONICLE txns (sn SEQ, acct INT, amount FLOAT) IN GROUP banking")
+            .unwrap();
+        leader
+            .execute(
+                "CREATE VIEW balances AS SELECT acct, SUM(amount) AS b FROM txns GROUP BY acct",
+            )
+            .unwrap();
+        leader.execute("APPEND INTO txns VALUES (7, 12.5)").unwrap();
+        leader.wal_flush().unwrap();
+        ship_all(&leader, &mut f, 128);
+
+        assert_eq!(
+            f.query_view("balances").unwrap(),
+            leader.query_view("balances").unwrap()
+        );
+        let rows = f.select("balances", &[]).unwrap();
+        assert_eq!(rows, leader.query_view("balances").unwrap());
+        // Equality-filtered select against a view row.
+        let filtered = f
+            .select(
+                "totals",
+                &[("caller".to_string(), chronicle_sql::Literal::Int(1))],
+            )
+            .unwrap();
+        assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_loud() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(80));
+        drop(FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 2, opts()).unwrap());
+        let err = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 3, opts()).unwrap_err();
+        assert!(err.to_string().contains("shard count mismatch"), "{err}");
+    }
+}

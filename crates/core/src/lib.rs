@@ -32,6 +32,7 @@
 
 pub mod baseline;
 mod db;
+pub mod follower;
 pub mod pipeline;
 pub mod shard;
 pub mod stats;
@@ -40,5 +41,6 @@ pub use chronicle_durability::{
     DurabilityOptions, LsnRange, RecoveryPolicy, SalvageReport, ScrubReport,
 };
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
+pub use follower::FollowerDb;
 pub use shard::{shard_of_group, ShardRoutes, ShardedDb};
-pub use stats::DbStats;
+pub use stats::{DbStats, LatencySample};

@@ -17,13 +17,16 @@
 //! fsync when enabled).
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
+use chronicle_durability::{SegmentInfo, SegmentRead};
+use chronicle_sql::parse;
 use chronicle_types::{Chronon, Result, Value};
 
-use crate::db::{AppendOutcome, ChronicleDb};
-use crate::shard::{ShardRoutes, ShardedDb};
+use crate::db::{AppendOutcome, ChronicleDb, ExecOutcome};
+use crate::shard::{RouteTarget, ShardRoutes, ShardedDb};
+use crate::stats::DbStats;
 
 /// A request to append `rows` (SN-less) to `chronicle` at `at`.
 #[derive(Debug)]
@@ -38,6 +41,41 @@ pub struct AppendRequest {
     pub reply: Option<SyncSender<Result<AppendOutcome>>>,
 }
 
+/// A WAL-shipping sub-request against one worker's database — the
+/// leader-side replication surface, exposed over the pipeline so a
+/// network server can ship segments while the workers keep appending.
+#[derive(Debug, Clone)]
+pub enum WalRequest {
+    /// The highest lsn guaranteed durable.
+    LastDurableLsn,
+    /// The live segment containing an lsn.
+    SegmentContaining(u64),
+    /// Raw segment bytes (only flushed bytes of the active segment).
+    ReadSegment {
+        /// First lsn of the segment (its identity).
+        first_lsn: u64,
+        /// Byte offset to read from.
+        offset: u64,
+        /// At most this many bytes.
+        max: usize,
+    },
+    /// Pin WAL truncation below `lsn` (followers still need the history).
+    SetRetainFloor(u64),
+}
+
+/// Answer to a [`WalRequest`], variant-matched to the request kind.
+#[derive(Debug, Clone)]
+pub enum WalResponse {
+    /// Answer to [`WalRequest::LastDurableLsn`].
+    Lsn(u64),
+    /// Answer to [`WalRequest::SegmentContaining`].
+    Segment(Option<SegmentInfo>),
+    /// Answer to [`WalRequest::ReadSegment`].
+    Bytes(SegmentRead),
+    /// Answer to [`WalRequest::SetRetainFloor`].
+    Done,
+}
+
 /// A request processed by the maintenance thread.
 #[derive(Debug)]
 enum Request {
@@ -49,10 +87,68 @@ enum Request {
         key: Vec<Value>,
         reply: SyncSender<Result<Option<chronicle_types::Tuple>>>,
     },
+    /// A full SQL statement executed on this worker's database. Like an
+    /// append it may log WAL records, so it is acknowledged only after
+    /// the burst's shared flush.
+    Exec {
+        sql: String,
+        reply: SyncSender<Result<ExecOutcome>>,
+    },
+    /// Stats snapshot of this worker's database, answered immediately.
+    Stats {
+        reply: SyncSender<DbStats>,
+    },
+    /// WAL shipping sub-request, answered immediately: reads expose only
+    /// flushed bytes, so a mid-burst answer can never leak an
+    /// unacknowledged record.
+    Wal {
+        req: WalRequest,
+        reply: SyncSender<Result<WalResponse>>,
+    },
     /// Stop the worker after draining everything submitted before this
     /// message. Requests queued after it are answered with an error when
     /// the channel closes.
     Shutdown,
+}
+
+/// An acknowledgement owed after the burst's shared flush.
+enum Pending {
+    Append(
+        Result<AppendOutcome>,
+        Option<SyncSender<Result<AppendOutcome>>>,
+    ),
+    Exec(Result<ExecOutcome>, SyncSender<Result<ExecOutcome>>),
+}
+
+impl Pending {
+    /// Rewrite a success into a durability error (the shared flush failed,
+    /// so nothing in this burst actually reached the log).
+    fn fail_if_ok(&mut self, e: &chronicle_types::ChronicleError) {
+        let detail = format!("group-commit flush failed: {e}");
+        match self {
+            Pending::Append(o, _) if o.is_ok() => {
+                *o = Err(chronicle_types::ChronicleError::Durability { detail });
+            }
+            Pending::Exec(o, _) if o.is_ok() => {
+                *o = Err(chronicle_types::ChronicleError::Durability { detail });
+            }
+            _ => {}
+        }
+    }
+
+    fn ack(self) {
+        match self {
+            // A dropped receiver just means the producer stopped caring;
+            // not a pipeline error.
+            Pending::Append(outcome, Some(reply)) => {
+                let _ = reply.send(outcome);
+            }
+            Pending::Append(_, None) => {}
+            Pending::Exec(outcome, reply) => {
+                let _ = reply.send(outcome);
+            }
+        }
+    }
 }
 
 /// Handle to a running pipeline. Cloneable; each clone is an independent
@@ -115,6 +211,47 @@ impl PipelineHandle {
             }))
             .map_err(|_| chronicle_types::ChronicleError::Internal("pipeline has shut down".into()))
     }
+
+    /// Execute one SQL statement on the worker's database, serialized with
+    /// the appends and acknowledged after the burst's shared flush.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let (rtx, rrx) = sync_channel(1);
+        self.tx
+            .send(Request::Exec {
+                sql: sql.to_string(),
+                reply: rtx,
+            })
+            .map_err(|_| {
+                chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+            })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })?
+    }
+
+    /// A snapshot of the worker database's statistics.
+    pub fn stats(&self) -> Result<DbStats> {
+        let (rtx, rrx) = sync_channel(1);
+        self.tx.send(Request::Stats { reply: rtx }).map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+        })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })
+    }
+
+    /// Issue one WAL-shipping sub-request against the worker's database.
+    pub fn wal(&self, req: WalRequest) -> Result<WalResponse> {
+        let (rtx, rrx) = sync_channel(1);
+        self.tx
+            .send(Request::Wal { req, reply: rtx })
+            .map_err(|_| {
+                chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+            })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })?
+    }
 }
 
 /// The running pipeline: owns the maintenance thread.
@@ -147,16 +284,23 @@ impl Pipeline {
             // shared flush below, before any producer is acknowledged.
             db.set_wal_buffered(true);
             'serve: while let Ok(first) = rx.recv() {
-                // Acknowledgements owed after the flush: the append's own
+                // Acknowledgements owed after the flush: each request's own
                 // outcome plus where to send it.
-                let mut pending: Vec<(Result<AppendOutcome>, Option<SyncSender<_>>)> = Vec::new();
+                let mut pending: Vec<Pending> = Vec::new();
                 let mut shutdown = false;
                 let mut next = Some(first);
                 while let Some(req) = next.take() {
                     match req {
                         Request::Append(req) => {
                             let outcome = db.append(&req.chronicle, req.at, &req.rows);
-                            pending.push((outcome, req.reply));
+                            pending.push(Pending::Append(outcome, req.reply));
+                            if pending.len() < burst {
+                                next = rx.try_recv().ok();
+                            }
+                        }
+                        Request::Exec { sql, reply } => {
+                            let outcome = db.execute(&sql);
+                            pending.push(Pending::Exec(outcome, reply));
                             if pending.len() < burst {
                                 next = rx.try_recv().ok();
                             }
@@ -168,25 +312,45 @@ impl Pipeline {
                             let _ = reply.send(db.query_view_key(&view, &key));
                             next = rx.try_recv().ok();
                         }
+                        Request::Stats { reply } => {
+                            let _ = reply.send(db.stats().clone());
+                            next = rx.try_recv().ok();
+                        }
+                        Request::Wal { req, reply } => {
+                            let resp = match req {
+                                WalRequest::LastDurableLsn => {
+                                    db.wal_last_durable_lsn().map(WalResponse::Lsn)
+                                }
+                                WalRequest::SegmentContaining(lsn) => {
+                                    db.wal_segment_containing(lsn).map(WalResponse::Segment)
+                                }
+                                WalRequest::ReadSegment {
+                                    first_lsn,
+                                    offset,
+                                    max,
+                                } => db
+                                    .wal_read_segment(first_lsn, offset, max)
+                                    .map(WalResponse::Bytes),
+                                WalRequest::SetRetainFloor(lsn) => {
+                                    db.set_wal_retain_floor(lsn).map(|_| WalResponse::Done)
+                                }
+                            };
+                            let _ = reply.send(resp);
+                            next = rx.try_recv().ok();
+                        }
                         Request::Shutdown => shutdown = true,
                     }
                 }
                 // One flush covers the whole burst (no-op for an in-memory
-                // database). If it fails, every append that thought it
+                // database). If it fails, every request that thought it
                 // succeeded is NOT durable — report that, not success.
                 if let Err(e) = db.wal_flush() {
-                    for slot in pending.iter_mut().filter(|(o, _)| o.is_ok()) {
-                        slot.0 = Err(chronicle_types::ChronicleError::Durability {
-                            detail: format!("group-commit flush failed: {e}"),
-                        });
+                    for slot in pending.iter_mut() {
+                        slot.fail_if_ok(&e);
                     }
                 }
-                for (outcome, reply) in pending {
-                    if let Some(reply) = reply {
-                        // A dropped receiver just means the producer
-                        // stopped caring; not a pipeline error.
-                        let _ = reply.send(outcome);
-                    }
+                for p in pending {
+                    p.ack();
                 }
                 if shutdown {
                     break 'serve;
@@ -235,13 +399,24 @@ impl Pipeline {
 #[derive(Clone)]
 pub struct ShardedPipelineHandle {
     handles: Vec<PipelineHandle>,
-    routes: Arc<ShardRoutes>,
+    /// Shared, mutable routing table: SQL DDL submitted through
+    /// [`ShardedPipelineHandle::execute`] updates it under the write
+    /// lock, while appends and queries take cheap read locks.
+    routes: Arc<RwLock<ShardRoutes>>,
 }
 
 impl ShardedPipelineHandle {
     /// The shard an append to `chronicle` would go to.
     pub fn shard_of(&self, chronicle: &str) -> Result<usize> {
-        self.routes.chronicle_shard(chronicle)
+        self.routes
+            .read()
+            .expect("routes lock")
+            .chronicle_shard(chronicle)
+    }
+
+    /// Number of shards behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.handles.len()
     }
 
     /// Submit an append to the owning shard and wait for its outcome
@@ -252,13 +427,13 @@ impl ShardedPipelineHandle {
         at: Chronon,
         rows: Vec<Vec<Value>>,
     ) -> Result<AppendOutcome> {
-        let s = self.routes.chronicle_shard(chronicle)?;
+        let s = self.shard_of(chronicle)?;
         self.handles[s].append(chronicle, at, rows)
     }
 
     /// Submit an append to the owning shard without waiting.
     pub fn append_nowait(&self, chronicle: &str, at: Chronon, rows: Vec<Vec<Value>>) -> Result<()> {
-        let s = self.routes.chronicle_shard(chronicle)?;
+        let s = self.shard_of(chronicle)?;
         self.handles[s].append_nowait(chronicle, at, rows)
     }
 
@@ -266,8 +441,66 @@ impl ShardedPipelineHandle {
     /// appends: the answer reflects every append to that shard submitted
     /// on this handle before the query.
     pub fn query(&self, view: &str, key: Vec<Value>) -> Result<Option<chronicle_types::Tuple>> {
-        let s = self.routes.view_shard(view)?;
+        let s = self.routes.read().expect("routes lock").view_shard(view)?;
         self.handles[s].query(view, key)
+    }
+
+    /// Parse and execute one SQL statement through the shard workers —
+    /// the full [`ShardedDb::execute`] surface over a *running* pipeline,
+    /// routed by the same [`ShardRoutes::plan`] authority.
+    ///
+    /// Single-shard statements (appends, selects) take only a read lock
+    /// and ride the owning shard's group-commit burst. DDL and relation
+    /// broadcasts take the write lock: it serializes route updates and —
+    /// critically for replica consistency — gives every shard the same
+    /// broadcast order, since two unserialized broadcasts could apply in
+    /// different orders on different shards and silently diverge the
+    /// relation replicas.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        let single = {
+            let routes = self.routes.read().expect("routes lock");
+            match routes.plan(&stmt)? {
+                (RouteTarget::One(i), None) => Some(i),
+                _ => None,
+            }
+        };
+        if let Some(i) = single {
+            return self.handles[i].execute(sql);
+        }
+        let mut routes = self.routes.write().expect("routes lock");
+        // Re-plan under the exclusive lock: another DDL may have slipped
+        // in between the read probe and here.
+        let (target, effect) = routes.plan(&stmt)?;
+        let out = match target {
+            RouteTarget::One(i) => self.handles[i].execute(sql)?,
+            RouteTarget::All => {
+                let mut last = None;
+                for h in &self.handles {
+                    last = Some(h.execute(sql)?);
+                }
+                last.expect("at least one shard")
+            }
+        };
+        if let Some(e) = effect {
+            routes.apply(e);
+        }
+        Ok(out)
+    }
+
+    /// Statistics aggregated across every shard worker (see
+    /// [`ShardedDb::stats`] for the merge semantics).
+    pub fn stats(&self) -> Result<DbStats> {
+        let mut total = DbStats::default();
+        for h in &self.handles {
+            total.absorb(&h.stats()?);
+        }
+        Ok(total)
+    }
+
+    /// Issue one WAL-shipping sub-request against shard `shard`.
+    pub fn wal(&self, shard: usize, req: WalRequest) -> Result<WalResponse> {
+        self.handles[shard].wal(req)
     }
 }
 
@@ -278,7 +511,7 @@ impl ShardedPipelineHandle {
 /// catalog on the [`ShardedDb`] before starting the pipeline.
 pub struct ShardedPipeline {
     workers: Vec<Pipeline>,
-    routes: Arc<ShardRoutes>,
+    routes: Arc<RwLock<ShardRoutes>>,
     manifest_salvaged: bool,
 }
 
@@ -300,7 +533,7 @@ impl ShardedPipeline {
                 .into_iter()
                 .map(|s| Pipeline::start_with_window(s, capacity, window))
                 .collect(),
-            routes: Arc::new(routes),
+            routes: Arc::new(RwLock::new(routes)),
             manifest_salvaged,
         }
     }
@@ -323,7 +556,7 @@ impl ShardedPipeline {
         for w in &self.workers {
             let _ = w.handle.tx.send(Request::Shutdown);
         }
-        let routes = (*self.routes).clone();
+        let routes = self.routes.read().expect("routes lock").clone();
         let shards = self.workers.into_iter().map(Pipeline::shutdown).collect();
         ShardedDb::from_parts(shards, routes, self.manifest_salvaged)
     }

@@ -72,6 +72,35 @@ pub fn shard_of_group(name: &str, n: usize) -> usize {
 /// Name of the group a chronicle without an explicit `IN GROUP` joins.
 const DEFAULT_GROUP: &str = "default";
 
+/// Where one statement executes: a single owning shard, or every shard
+/// (relation DDL/DML replicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RouteTarget {
+    /// Execute on this shard only.
+    One(usize),
+    /// Broadcast to every shard, in shard order.
+    All,
+}
+
+/// The routing-table update a successful DDL statement commits. Planned
+/// before execution, applied only after the owning shard accepted the
+/// statement — so a rejected statement never pollutes the routes.
+#[derive(Debug, Clone)]
+pub(crate) enum RouteEffect {
+    AddGroup(String, usize),
+    AddChronicle {
+        name: String,
+        shard: usize,
+        /// The statement had no `IN GROUP`: record where the implicit
+        /// `default` group landed.
+        implicit_default: bool,
+    },
+    AddRelation(String),
+    AddView(String, usize),
+    AddPeriodic(String, usize),
+    DropView(String),
+}
+
 /// Name → owning-shard maps for every kind of catalog object. Cheap to
 /// clone; the pipeline front-end shares one snapshot across producers.
 #[derive(Debug, Clone)]
@@ -122,6 +151,178 @@ impl ShardRoutes {
                 kind: "view",
                 name: name.into(),
             })
+    }
+
+    /// Plan one statement against the current routes: where it executes,
+    /// and (for DDL) the route update to commit once it succeeds. This is
+    /// the single routing authority shared by [`ShardedDb::execute`] and
+    /// the concurrent pipeline's SQL front end — duplicate-name checks
+    /// and placement rules live here, nowhere else.
+    pub(crate) fn plan(&self, stmt: &Statement) -> Result<(RouteTarget, Option<RouteEffect>)> {
+        match stmt {
+            Statement::CreateGroup { name } => {
+                if self.groups.contains_key(name) {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "chronicle group",
+                        name: name.clone(),
+                    });
+                }
+                let target = shard_of_group(name, self.shards);
+                Ok((
+                    RouteTarget::One(target),
+                    Some(RouteEffect::AddGroup(name.clone(), target)),
+                ))
+            }
+            Statement::CreateChronicle { name, group, .. } => {
+                if self.chronicles.contains_key(name) {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "chronicle",
+                        name: name.clone(),
+                    });
+                }
+                let target = match group {
+                    Some(g) => {
+                        self.groups
+                            .get(g)
+                            .copied()
+                            .ok_or_else(|| ChronicleError::NotFound {
+                                kind: "chronicle group",
+                                name: g.clone(),
+                            })?
+                    }
+                    // No explicit group: the shard owning the implicit
+                    // `default` group creates it on first use.
+                    None => self
+                        .groups
+                        .get(DEFAULT_GROUP)
+                        .copied()
+                        .unwrap_or_else(|| shard_of_group(DEFAULT_GROUP, self.shards)),
+                };
+                Ok((
+                    RouteTarget::One(target),
+                    Some(RouteEffect::AddChronicle {
+                        name: name.clone(),
+                        shard: target,
+                        implicit_default: group.is_none(),
+                    }),
+                ))
+            }
+            Statement::CreateRelation { name, .. } => {
+                if self.relations.contains(name) {
+                    return Err(ChronicleError::AlreadyExists {
+                        kind: "relation",
+                        name: name.clone(),
+                    });
+                }
+                Ok((
+                    RouteTarget::All,
+                    Some(RouteEffect::AddRelation(name.clone())),
+                ))
+            }
+            Statement::CreateView { name, query } => {
+                self.check_new_view(name)?;
+                let target = self.view_target(&query.from)?;
+                Ok((
+                    RouteTarget::One(target),
+                    Some(RouteEffect::AddView(name.clone(), target)),
+                ))
+            }
+            Statement::CreatePeriodicView { name, query, .. } => {
+                self.check_new_view(name)?;
+                let target = self.view_target(&query.from)?;
+                Ok((
+                    RouteTarget::One(target),
+                    Some(RouteEffect::AddPeriodic(name.clone(), target)),
+                ))
+            }
+            Statement::Append(a) => {
+                Ok((RouteTarget::One(self.chronicle_shard(&a.chronicle)?), None))
+            }
+            Statement::InsertRelation { .. }
+            | Statement::UpdateRelation { .. }
+            | Statement::DeleteRelation { .. } => Ok((RouteTarget::All, None)),
+            Statement::Select { target, .. } => {
+                Ok((RouteTarget::One(self.select_shard(target)), None))
+            }
+            Statement::DropView { name } => Ok((
+                RouteTarget::One(self.view_shard(name)?),
+                Some(RouteEffect::DropView(name.clone())),
+            )),
+        }
+    }
+
+    /// Commit the route update of a DDL statement that succeeded.
+    pub(crate) fn apply(&mut self, effect: RouteEffect) {
+        match effect {
+            RouteEffect::AddGroup(name, shard) => {
+                self.groups.insert(name, shard);
+            }
+            RouteEffect::AddChronicle {
+                name,
+                shard,
+                implicit_default,
+            } => {
+                if implicit_default {
+                    self.groups.insert(DEFAULT_GROUP.into(), shard);
+                }
+                self.chronicles.insert(name, shard);
+            }
+            RouteEffect::AddRelation(name) => {
+                self.relations.insert(name);
+            }
+            RouteEffect::AddView(name, shard) => {
+                self.views.insert(name, shard);
+            }
+            RouteEffect::AddPeriodic(name, shard) => {
+                self.periodic.insert(name, shard);
+            }
+            RouteEffect::DropView(name) => {
+                self.views.remove(&name);
+            }
+        }
+    }
+
+    /// The shard that answers `SELECT * FROM target`: the view's owner,
+    /// any relation replica (shard 0 answers for all — replicas are
+    /// identical), the chronicle's owner for a window scan, or shard 0 so
+    /// an unknown name gets its NotFound from a real shard.
+    pub(crate) fn select_shard(&self, target: &str) -> usize {
+        if let Some(&s) = self.views.get(target) {
+            s
+        } else if self.relations.contains(target) {
+            0
+        } else if let Some(&s) = self.chronicles.get(target) {
+            s
+        } else {
+            0
+        }
+    }
+
+    fn check_new_view(&self, name: &str) -> Result<()> {
+        if self.views.contains_key(name) || self.periodic.contains_key(name) {
+            return Err(ChronicleError::AlreadyExists {
+                kind: "view",
+                name: name.into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Where a view defined `FROM from` lives: with its base chronicle's
+    /// group, so maintenance deltas never cross shards. A view over a
+    /// relation only (no chronicle anywhere in the shard map) pins to
+    /// shard 0.
+    fn view_target(&self, from: &str) -> Result<usize> {
+        if let Some(&s) = self.chronicles.get(from) {
+            return Ok(s);
+        }
+        if self.relations.contains(from) {
+            return Ok(0);
+        }
+        Err(ChronicleError::NotFound {
+            kind: "chronicle",
+            name: from.into(),
+        })
     }
 }
 
@@ -262,7 +463,7 @@ impl ShardedDb {
     /// several shards — relation DML broadcasts create it everywhere — but
     /// it always exists on its hash shard if it exists at all); everything
     /// else routes to the shard that actually holds it.
-    fn rebuild_routes(dbs: &[ChronicleDb]) -> ShardRoutes {
+    pub(crate) fn rebuild_routes(dbs: &[ChronicleDb]) -> ShardRoutes {
         let n = dbs.len();
         let mut routes = ShardRoutes::new(n);
         for (i, db) in dbs.iter().enumerate() {
@@ -400,136 +601,19 @@ impl ShardedDb {
     /// Parse and execute one SQL statement, routed to the owning shard
     /// (relation DDL/DML broadcasts to all shards). `&mut self` serializes
     /// DDL against everything else — exclusive access is the catalog lock.
+    /// Routing decisions come from [`ShardRoutes::plan`], the same
+    /// authority the concurrent pipeline's SQL front end uses.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
-        match &stmt {
-            Statement::CreateGroup { name } => {
-                self.check_new_group(name)?;
-                let target = shard_of_group(name, self.shard_count());
-                let out = self.shards[target].execute(sql)?;
-                self.routes.groups.insert(name.clone(), target);
-                Ok(out)
-            }
-            Statement::CreateChronicle { name, group, .. } => {
-                if self.routes.chronicles.contains_key(name) {
-                    return Err(ChronicleError::AlreadyExists {
-                        kind: "chronicle",
-                        name: name.clone(),
-                    });
-                }
-                let target = match group {
-                    Some(g) => self.routes.groups.get(g).copied().ok_or_else(|| {
-                        ChronicleError::NotFound {
-                            kind: "chronicle group",
-                            name: g.clone(),
-                        }
-                    })?,
-                    // No explicit group: the shard owning the implicit
-                    // `default` group creates it on first use.
-                    None => self
-                        .routes
-                        .groups
-                        .get(DEFAULT_GROUP)
-                        .copied()
-                        .unwrap_or_else(|| shard_of_group(DEFAULT_GROUP, self.shard_count())),
-                };
-                let out = self.shards[target].execute(sql)?;
-                if group.is_none() {
-                    self.routes.groups.insert(DEFAULT_GROUP.into(), target);
-                }
-                self.routes.chronicles.insert(name.clone(), target);
-                Ok(out)
-            }
-            Statement::CreateRelation { name, .. } => {
-                if self.routes.relations.contains(name) {
-                    return Err(ChronicleError::AlreadyExists {
-                        kind: "relation",
-                        name: name.clone(),
-                    });
-                }
-                let out = self.broadcast(sql)?;
-                self.routes.relations.insert(name.clone());
-                Ok(out)
-            }
-            Statement::CreateView { name, query } => {
-                self.check_new_view(name)?;
-                let target = self.view_target(&query.from)?;
-                let out = self.shards[target].execute(sql)?;
-                self.routes.views.insert(name.clone(), target);
-                Ok(out)
-            }
-            Statement::CreatePeriodicView { name, query, .. } => {
-                self.check_new_view(name)?;
-                let target = self.view_target(&query.from)?;
-                let out = self.shards[target].execute(sql)?;
-                self.routes.periodic.insert(name.clone(), target);
-                Ok(out)
-            }
-            Statement::Append(a) => {
-                let target = self.routes.chronicle_shard(&a.chronicle)?;
-                self.shards[target].execute(sql)
-            }
-            Statement::InsertRelation { .. }
-            | Statement::UpdateRelation { .. }
-            | Statement::DeleteRelation { .. } => self.broadcast(sql),
-            Statement::Select { target, .. } => {
-                let shard = if let Some(&s) = self.routes.views.get(target) {
-                    s
-                } else if self.routes.relations.contains(target) {
-                    // Replicas are identical; shard 0 answers for all.
-                    0
-                } else if let Some(&s) = self.routes.chronicles.get(target) {
-                    s
-                } else {
-                    // Unknown name: let a shard produce the NotFound error.
-                    0
-                };
-                self.shards[shard].execute(sql)
-            }
-            Statement::DropView { name } => {
-                let target = self.routes.view_shard(name)?;
-                let out = self.shards[target].execute(sql)?;
-                self.routes.views.remove(name);
-                Ok(out)
-            }
+        let (target, effect) = self.routes.plan(&stmt)?;
+        let out = match target {
+            RouteTarget::One(i) => self.shards[i].execute(sql)?,
+            RouteTarget::All => self.broadcast(sql)?,
+        };
+        if let Some(e) = effect {
+            self.routes.apply(e);
         }
-    }
-
-    fn check_new_group(&self, name: &str) -> Result<()> {
-        if self.routes.groups.contains_key(name) {
-            return Err(ChronicleError::AlreadyExists {
-                kind: "chronicle group",
-                name: name.into(),
-            });
-        }
-        Ok(())
-    }
-
-    fn check_new_view(&self, name: &str) -> Result<()> {
-        if self.routes.views.contains_key(name) || self.routes.periodic.contains_key(name) {
-            return Err(ChronicleError::AlreadyExists {
-                kind: "view",
-                name: name.into(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Where a view defined `FROM from` lives: with its base chronicle's
-    /// group, so maintenance deltas never cross shards. A view over a
-    /// relation only (no chronicle anywhere in the shard map) pins to
-    /// shard 0.
-    fn view_target(&self, from: &str) -> Result<usize> {
-        if let Some(&s) = self.routes.chronicles.get(from) {
-            return Ok(s);
-        }
-        if self.routes.relations.contains(from) {
-            return Ok(0);
-        }
-        Err(ChronicleError::NotFound {
-            kind: "chronicle",
-            name: from.into(),
-        })
+        Ok(out)
     }
 
     /// Apply a relation DDL/DML statement to every shard's replica. All

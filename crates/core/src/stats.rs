@@ -9,6 +9,81 @@ use chronicle_views::MaintenanceReport;
 /// Size of the retained latency sample.
 const SAMPLE: usize = 4096;
 
+/// A bounded ring of latency observations with cached percentiles.
+///
+/// This is the lazy-percentile plumbing behind
+/// [`DbStats::latency_percentile`], factored out so other subsystems
+/// (network request latency, replication apply latency) reuse the same
+/// ring + cached-sort discipline instead of growing their own. Once the
+/// ring is full, the slot for observation number `n` (1-based) is
+/// `(n - 1) % SAMPLE`, so it always holds exactly the most recent
+/// `SAMPLE` observations.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySample {
+    /// Ring buffer of the most recent `SAMPLE` observations (ns).
+    samples: Vec<u64>,
+    /// Total observations ever recorded (drives the ring slot).
+    seen: u64,
+    /// Lazily sorted copy of `samples` for percentile queries; rebuilt
+    /// only when a query arrives after new data (`stale`).
+    sorted: RefCell<Vec<u64>>,
+    stale: Cell<bool>,
+}
+
+impl LatencySample {
+    /// Record one observation in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.seen += 1;
+        if self.samples.len() == SAMPLE {
+            let idx = ((self.seen - 1) % SAMPLE as u64) as usize;
+            self.samples[idx] = nanos;
+        } else {
+            self.samples.push(nanos);
+        }
+        self.stale.set(true);
+    }
+
+    /// Fold another sample in: observations are concatenated (capped at
+    /// the ring size, keeping the other side's most recent ones).
+    pub fn absorb(&mut self, other: &LatencySample) {
+        self.seen += other.seen;
+        let room = SAMPLE.saturating_sub(self.samples.len());
+        let take = other.samples.len().min(room);
+        self.samples
+            .extend_from_slice(&other.samples[other.samples.len() - take..]);
+        self.stale.set(true);
+    }
+
+    /// Latency percentile (e.g. `0.5`, `0.99`) over the retained sample;
+    /// `0` when empty. The sorted view is cached, so repeated queries
+    /// between observations cost O(1).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if self.stale.get() {
+            let mut v = self.sorted.borrow_mut();
+            v.clear();
+            v.extend_from_slice(&self.samples);
+            v.sort_unstable();
+            self.stale.set(false);
+        }
+        let v = self.sorted.borrow();
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Observations currently retained (at most the ring size).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
 /// Running statistics for a [`crate::ChronicleDb`].
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
@@ -50,15 +125,28 @@ pub struct DbStats {
     /// opened with `RecoveryPolicy::Salvage` (aggregated across shards
     /// for a sharded database).
     pub salvage: Option<SalvageReport>,
-    /// Ring buffer of the last `SAMPLE` per-append maintenance latencies
-    /// (ns). Once full, the slot for append number `n` (1-based) is
-    /// `(n - 1) % SAMPLE`, so the buffer always holds exactly the most
-    /// recent `SAMPLE` observations.
-    latencies: Vec<u64>,
-    /// Lazily sorted copy of `latencies` for percentile queries; rebuilt
-    /// only when a query arrives after new data (`sorted_stale`).
-    sorted: RefCell<Vec<u64>>,
-    sorted_stale: Cell<bool>,
+    /// Network sessions accepted by a wire-protocol server fronting this
+    /// database (client and follower connections alike).
+    pub net_sessions: u64,
+    /// Wire frames received from peers.
+    pub net_frames_in: u64,
+    /// Wire frames sent to peers.
+    pub net_frames_out: u64,
+    /// WAL bytes shipped to followers (segment payload, not framing).
+    pub net_shipped_bytes: u64,
+    /// Network requests served (SQL round trips over the wire).
+    pub net_requests: u64,
+    /// On a follower: the highest WAL lsn applied (max across shards).
+    /// `None` on a leader or an embedded database.
+    pub follower_applied_lsn: Option<u64>,
+    /// On a follower: worst per-shard gap between the leader's last
+    /// reported durable lsn and this follower's applied lsn. `None` when
+    /// no leader heartbeat has been seen.
+    pub replication_lag: Option<u64>,
+    /// Per-append maintenance latencies (see [`LatencySample`]).
+    latencies: LatencySample,
+    /// Per-request network service latencies (see [`LatencySample`]).
+    net_latencies: LatencySample,
 }
 
 impl DbStats {
@@ -72,13 +160,14 @@ impl DbStats {
         self.skipped_by_guard += report.routing.skipped_guard as u64;
         self.skipped_by_interval += report.routing.skipped_interval as u64;
         self.work.absorb(report.total_work);
-        if self.latencies.len() == SAMPLE {
-            let idx = ((self.appends - 1) % SAMPLE as u64) as usize;
-            self.latencies[idx] = report.elapsed_nanos;
-        } else {
-            self.latencies.push(report.elapsed_nanos);
-        }
-        self.sorted_stale.set(true);
+        self.latencies.record(report.elapsed_nanos);
+    }
+
+    /// Record one served network request (SQL round trip) and its
+    /// service latency.
+    pub fn record_net_request(&mut self, nanos: u64) {
+        self.net_requests += 1;
+        self.net_latencies.record(nanos);
     }
 
     /// Fold one relation mutation's maintenance report into the stats.
@@ -126,11 +215,21 @@ impl DbStats {
             (None, Some(theirs)) => self.salvage = Some(theirs.clone()),
             _ => {}
         }
-        let room = SAMPLE.saturating_sub(self.latencies.len());
-        let take = other.latencies.len().min(room);
-        self.latencies
-            .extend_from_slice(&other.latencies[other.latencies.len() - take..]);
-        self.sorted_stale.set(true);
+        self.net_sessions += other.net_sessions;
+        self.net_frames_in += other.net_frames_in;
+        self.net_frames_out += other.net_frames_out;
+        self.net_shipped_bytes += other.net_shipped_bytes;
+        self.net_requests += other.net_requests;
+        self.follower_applied_lsn = match (self.follower_applied_lsn, other.follower_applied_lsn) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.replication_lag = match (self.replication_lag, other.replication_lag) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.latencies.absorb(&other.latencies);
+        self.net_latencies.absorb(&other.net_latencies);
     }
 
     /// Mean maintenance time per append, nanoseconds.
@@ -142,24 +241,19 @@ impl DbStats {
         }
     }
 
-    /// Latency percentile (e.g. `0.5`, `0.99`) over the retained sample.
+    /// Maintenance-latency percentile (e.g. `0.5`, `0.99`) over the
+    /// retained per-append sample.
     ///
     /// The sorted view is cached: repeated percentile queries between
     /// appends cost O(1) instead of re-sorting the sample every call.
     pub fn latency_percentile(&self, q: f64) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        if self.sorted_stale.get() {
-            let mut v = self.sorted.borrow_mut();
-            v.clear();
-            v.extend_from_slice(&self.latencies);
-            v.sort_unstable();
-            self.sorted_stale.set(false);
-        }
-        let v = self.sorted.borrow();
-        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        v[idx]
+        self.latencies.percentile(q)
+    }
+
+    /// Network request-latency percentile over the retained sample
+    /// recorded by [`DbStats::record_net_request`].
+    pub fn net_latency_percentile(&self, q: f64) -> u64 {
+        self.net_latencies.percentile(q)
     }
 }
 
@@ -273,7 +367,49 @@ mod tests {
         }
         // Append SAMPLE+1 must overwrite slot 0 (the oldest), not slot 1.
         s.record_append(1, &report(777_777));
-        assert_eq!(s.latencies[0], 777_777);
-        assert_eq!(s.latencies[1], 1);
+        assert_eq!(s.latencies.samples[0], 777_777);
+        assert_eq!(s.latencies.samples[1], 1);
+    }
+
+    #[test]
+    fn net_requests_have_their_own_percentiles() {
+        let mut s = DbStats::default();
+        s.record_append(1, &report(5));
+        for i in 1..=100u64 {
+            s.record_net_request(i * 1000);
+        }
+        assert_eq!(s.net_requests, 100);
+        assert_eq!(s.net_latency_percentile(0.0), 1000);
+        assert_eq!(s.net_latency_percentile(1.0), 100_000);
+        // The maintenance sample is untouched by network traffic.
+        assert_eq!(s.latency_percentile(1.0), 5);
+    }
+
+    #[test]
+    fn absorb_merges_net_counters() {
+        let mut a = DbStats::default();
+        let mut b = DbStats::default();
+        a.net_sessions = 2;
+        a.net_frames_in = 10;
+        a.replication_lag = Some(3);
+        b.net_sessions = 1;
+        b.net_frames_out = 7;
+        b.net_shipped_bytes = 4096;
+        b.follower_applied_lsn = Some(41);
+        b.replication_lag = Some(9);
+        b.record_net_request(500);
+        a.absorb(&b);
+        assert_eq!(a.net_sessions, 3);
+        assert_eq!(a.net_frames_in, 10);
+        assert_eq!(a.net_frames_out, 7);
+        assert_eq!(a.net_shipped_bytes, 4096);
+        assert_eq!(a.net_requests, 1);
+        assert_eq!(a.follower_applied_lsn, Some(41));
+        assert_eq!(
+            a.replication_lag,
+            Some(9),
+            "lag aggregates as the worst shard"
+        );
+        assert_eq!(a.net_latency_percentile(0.5), 500);
     }
 }

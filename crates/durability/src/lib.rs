@@ -27,6 +27,7 @@
 pub mod checkpoint;
 pub mod crc;
 mod group_commit;
+mod ingest;
 pub mod manifest;
 mod record;
 mod retry;
@@ -36,11 +37,12 @@ mod wal;
 
 pub use checkpoint::{CheckpointImage, ChronicleImage, GroupImage, RelationImage};
 pub use group_commit::GroupCommit;
+pub use ingest::WalIngest;
 pub use manifest::ShardManifest;
 pub use record::WalRecord;
 pub use salvage::{LsnRange, QuarantinedSegment, RecoveryPolicy, SalvageReport};
 pub use scrub::{scrub_database, ScrubFinding, ScrubReport};
-pub use wal::{Wal, WalStats};
+pub use wal::{SegmentInfo, SegmentRead, Wal, WalStats};
 
 /// Policy knobs for the durability layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -75,6 +75,49 @@ pub struct WalStats {
     pub torn_bytes_discarded: u64,
 }
 
+/// One live segment of the log, as tracked in memory — shipping consumers
+/// enumerate these instead of poking at directory listings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// LSN of the first record in the segment (also encoded in its name
+    /// and header).
+    pub first_lsn: u64,
+    /// LSN of the last *durable* record in the segment; `first_lsn - 1`
+    /// if the (active) segment holds no flushed records yet.
+    pub last_lsn: u64,
+    /// `true` for sealed (immutable) segments, `false` for the active one.
+    pub sealed: bool,
+    /// Path of the segment file.
+    pub path: PathBuf,
+}
+
+/// A byte range read out of a live segment by [`Wal::read_segment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRead {
+    /// First LSN of the segment the bytes came from.
+    pub first_lsn: u64,
+    /// The requested bytes, starting at the requested offset. Shorter than
+    /// asked (possibly empty) when the readable region ends first.
+    pub bytes: Vec<u8>,
+    /// Whether the segment is sealed. A sealed segment at
+    /// `offset + bytes.len() == total_len` has been shipped completely;
+    /// an active one may grow.
+    pub sealed: bool,
+    /// Readable length of the segment right now: the file size for sealed
+    /// segments, the flushed (durable) length for the active one.
+    pub total_len: u64,
+}
+
+/// Callback invoked with each segment the log seals; registered via
+/// [`Wal::set_seal_hook`].
+pub struct SealHook(Box<dyn FnMut(&SegmentInfo) + Send>);
+
+impl std::fmt::Debug for SealHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SealHook(..)")
+    }
+}
+
 /// A segmented, CRC-checksummed write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
@@ -100,6 +143,16 @@ pub struct Wal {
     /// What the open salvaged; `Some` iff opened with
     /// [`RecoveryPolicy::Salvage`].
     salvage: Option<SalvageReport>,
+    /// Monotonic count of segments sealed by this handle; lets a polling
+    /// shipper notice rotation without re-enumerating segments.
+    seal_epoch: u64,
+    /// Notification hook fired from [`Wal::rotate`] with each sealed
+    /// segment.
+    on_seal: Option<SealHook>,
+    /// When set, [`Wal::truncate_through`] keeps every segment holding
+    /// records at or above this LSN, regardless of the checkpoint floor —
+    /// the shipping retention pin.
+    retain_floor: Option<u64>,
 }
 
 fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
@@ -108,7 +161,7 @@ fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
     }
 }
 
-fn segment_name(first_lsn: u64) -> String {
+pub(crate) fn segment_name(first_lsn: u64) -> String {
     format!("wal-{first_lsn:020}.seg")
 }
 
@@ -595,6 +648,23 @@ impl Wal {
         // nothing, but it must not stay listed as sealed.
         let active_path = dir.join(segment_name(next_lsn));
         kept.retain(|(_, p)| *p != active_path);
+        if opts.fsync {
+            // Commit the kept chain before the new active segment becomes
+            // durable below. Recovery may have replayed bytes that never
+            // reached the medium (a replication follower's shipped-but-
+            // unsealed segment, read back from the page cache): once a
+            // durable successor exists, every kept segment is non-final,
+            // and a power cut must not be able to leave one torn or
+            // missing. `Vfs::truncate` persists the image it is given.
+            for (_, path) in &kept {
+                let len = vfs
+                    .read(path)
+                    .map_err(|e| io_err("reading WAL segment", path, e))?
+                    .len() as u64;
+                vfs.truncate(path, len)
+                    .map_err(|e| io_err("persisting WAL segment", path, e))?;
+            }
+        }
         let mut active = vfs
             .create(&active_path)
             .map_err(|e| io_err("creating WAL segment", &active_path, e))?;
@@ -628,6 +698,9 @@ impl Wal {
                 stats,
                 poisoned: false,
                 salvage: salvage.then_some(report),
+                seal_epoch: 0,
+                on_seal: None,
+                retain_floor: None,
             },
             tail,
         ))
@@ -754,17 +827,34 @@ impl Wal {
             }
         }
         let old_path = std::mem::replace(&mut self.active_path, new_path);
+        let sealed_info = SegmentInfo {
+            first_lsn: self.active_first_lsn,
+            // `flush` above drained the buffer, so every record through
+            // `next_lsn - 1` is in the file being sealed.
+            last_lsn: self.next_lsn - 1,
+            sealed: true,
+            path: old_path.clone(),
+        };
         self.sealed.push((self.active_first_lsn, old_path));
         self.active = file;
         self.active_first_lsn = self.next_lsn;
         self.active_len = HEADER_LEN as u64;
         self.stats.segments_created += 1;
+        self.seal_epoch += 1;
+        if let Some(hook) = self.on_seal.as_mut() {
+            (hook.0)(&sealed_info);
+        }
         Ok(())
     }
 
     /// Delete sealed segments whose every record has LSN ≤ `lsn` (i.e. is
-    /// covered by a checkpoint). The active segment is never deleted.
+    /// covered by a checkpoint). The active segment is never deleted, and
+    /// a [`Wal::set_retain_floor`] pin further caps what may go.
     pub fn truncate_through(&mut self, lsn: u64) -> Result<()> {
+        let lsn = match self.retain_floor {
+            Some(f) => lsn.min(f.saturating_sub(1)),
+            None => lsn,
+        };
         let mut keep = Vec::with_capacity(self.sealed.len());
         for i in 0..self.sealed.len() {
             let next_first = self
@@ -798,6 +888,110 @@ impl Wal {
     /// Number of records appended but not yet flushed.
     pub fn unflushed(&self) -> u64 {
         self.buf_records
+    }
+
+    /// LSN of the last record written to the active segment file (0 if
+    /// none ever). Records past this are buffered only; a shipper must
+    /// never send them — a crash-recovered leader would not have them,
+    /// leaving the follower ahead of its own leader.
+    pub fn last_durable_lsn(&self) -> u64 {
+        self.next_lsn - 1 - self.buf_records
+    }
+
+    /// Number of segments this handle has sealed since open. Monotonic;
+    /// a polling shipper compares epochs to detect rotation cheaply.
+    pub fn seal_epoch(&self) -> u64 {
+        self.seal_epoch
+    }
+
+    /// Register a callback fired from [`Wal::rotate`] with each newly
+    /// sealed segment (replacing any previous hook).
+    pub fn set_seal_hook(&mut self, hook: impl FnMut(&SegmentInfo) + Send + 'static) {
+        self.on_seal = Some(SealHook(Box::new(hook)));
+    }
+
+    /// Pin every record with LSN ≥ `lsn` against checkpoint truncation,
+    /// so a shipping leader never deletes segments a follower still
+    /// needs. Replaces any previous pin.
+    pub fn set_retain_floor(&mut self, lsn: u64) {
+        self.retain_floor = Some(lsn);
+    }
+
+    /// Drop the retention pin; the next checkpoint truncates normally.
+    pub fn clear_retain_floor(&mut self) {
+        self.retain_floor = None;
+    }
+
+    /// Enumerate the live segments (sealed then active, ascending by
+    /// first LSN) from in-memory state — no directory listing involved.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        let mut out = Vec::with_capacity(self.sealed.len() + 1);
+        for i in 0..self.sealed.len() {
+            let next_first = self
+                .sealed
+                .get(i + 1)
+                .map(|s| s.0)
+                .unwrap_or(self.active_first_lsn);
+            let (first, path) = &self.sealed[i];
+            out.push(SegmentInfo {
+                first_lsn: *first,
+                last_lsn: next_first - 1,
+                sealed: true,
+                path: path.clone(),
+            });
+        }
+        out.push(SegmentInfo {
+            first_lsn: self.active_first_lsn,
+            last_lsn: self.last_durable_lsn().max(self.active_first_lsn - 1),
+            sealed: false,
+            path: self.active_path.clone(),
+        });
+        out
+    }
+
+    /// The live segment whose LSN range contains `lsn`. Any `lsn` at or
+    /// past the active segment's first LSN maps to the active segment
+    /// (that is where a record with that LSN would land), so a shipper
+    /// waiting at the durable frontier still gets a valid cursor. Returns
+    /// `None` when the covering segment was checkpoint-truncated away.
+    pub fn segment_containing(&self, lsn: u64) -> Option<SegmentInfo> {
+        let segs = self.segments();
+        if lsn >= self.active_first_lsn {
+            return segs.last().cloned();
+        }
+        let idx = segs.partition_point(|s| s.first_lsn <= lsn);
+        if idx == 0 {
+            return None;
+        }
+        let s = &segs[idx - 1];
+        (s.first_lsn <= lsn && lsn <= s.last_lsn).then(|| s.clone())
+    }
+
+    /// Read up to `max` bytes of the segment whose first LSN is
+    /// `first_lsn`, starting at byte `offset`. For the active segment only
+    /// the flushed (durable) prefix is readable — see
+    /// [`Wal::last_durable_lsn`] for why buffered bytes must never ship.
+    pub fn read_segment(&self, first_lsn: u64, offset: u64, max: usize) -> Result<SegmentRead> {
+        let (path, sealed, limit) = if first_lsn == self.active_first_lsn {
+            (self.active_path.clone(), false, Some(self.active_len))
+        } else if let Ok(i) = self.sealed.binary_search_by_key(&first_lsn, |s| s.0) {
+            (self.sealed[i].1.clone(), true, None)
+        } else {
+            return Err(ChronicleError::Durability {
+                detail: format!("WAL segment starting at lsn {first_lsn} is not live"),
+            });
+        };
+        let data = read_with_retry(self.vfs.as_ref(), &path)
+            .map_err(|e| io_err("reading WAL segment", &path, e))?;
+        let total = limit.map_or(data.len() as u64, |l| l.min(data.len() as u64));
+        let start = offset.min(total);
+        let end = total.min(start.saturating_add(max as u64));
+        Ok(SegmentRead {
+            first_lsn,
+            bytes: data[start as usize..end as usize].to_vec(),
+            sealed,
+            total_len: total,
+        })
     }
 
     /// Activity counters.
@@ -1122,6 +1316,229 @@ mod tests {
         drop(wal2);
         let (_, tail) = Wal::open_with_vfs(vfs, dir, opts, 0).unwrap();
         assert_eq!(tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(), vec![1]);
+    }
+
+    /// Decode every frame in a raw segment byte string (header + frames),
+    /// returning the LSNs. Panics on any damage — these tests only feed it
+    /// segments the log claims are clean.
+    fn lsns_in_segment(bytes: &[u8], first_lsn: u64) -> Vec<u64> {
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            first_lsn
+        );
+        let mut lsns = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut lsn = first_lsn;
+        while pos < bytes.len() {
+            let (consumed, _) = match parse_frame(&bytes[pos..], lsn) {
+                Ok(ok) => ok,
+                Err(FrameError::Torn(d) | FrameError::Corrupt(d)) => {
+                    panic!("unexpected damage at lsn {lsn}: {d}")
+                }
+            };
+            lsns.push(lsn);
+            lsn += 1;
+            pos += consumed;
+        }
+        lsns
+    }
+
+    #[test]
+    fn segments_enumeration_tracks_rotation() {
+        let tmp = TempDir::new("chronicle-wal-segments");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        let (mut wal, _) = Wal::open(tmp.path(), opts, 0).unwrap();
+        assert_eq!(wal.seal_epoch(), 0);
+        for i in 1..=40 {
+            wal.append(&rec(i)).unwrap();
+            wal.flush().unwrap();
+        }
+        let segs = wal.segments();
+        assert_eq!(segs.len(), wal.segment_count());
+        assert_eq!(wal.seal_epoch(), segs.len() as u64 - 1);
+        // The enumeration is a contiguous chain covering exactly 1..=40.
+        assert_eq!(segs[0].first_lsn, 1);
+        for pair in segs.windows(2) {
+            assert_eq!(pair[1].first_lsn, pair[0].last_lsn + 1);
+            assert!(pair[0].sealed);
+        }
+        let active = segs.last().unwrap();
+        assert!(!active.sealed);
+        assert_eq!(active.last_lsn, 40);
+        assert_eq!(wal.last_durable_lsn(), 40);
+        // A buffered (unflushed) record is not durable and not enumerated.
+        wal.append(&rec(41)).unwrap();
+        assert_eq!(wal.last_durable_lsn(), 40);
+        assert_eq!(wal.segments().last().unwrap().last_lsn, 40);
+        wal.flush().unwrap();
+        assert_eq!(wal.last_durable_lsn(), 41);
+        assert_eq!(wal.segments().last().unwrap().last_lsn, 41);
+    }
+
+    #[test]
+    fn seal_hook_fires_with_each_sealed_segment() {
+        use std::sync::Mutex;
+        let tmp = TempDir::new("chronicle-wal-sealhook");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        let (mut wal, _) = Wal::open(tmp.path(), opts, 0).unwrap();
+        let sealed: Arc<Mutex<Vec<SegmentInfo>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&sealed);
+        wal.set_seal_hook(move |info| sink.lock().unwrap().push(info.clone()));
+        for i in 1..=40 {
+            wal.append(&rec(i)).unwrap();
+            wal.flush().unwrap();
+        }
+        wal.rotate().unwrap();
+        let sealed = sealed.lock().unwrap();
+        assert_eq!(sealed.len() as u64, wal.seal_epoch());
+        assert!(sealed.len() >= 3, "tiny segments should have rotated");
+        // Each notification names a contiguous, sealed LSN range, and the
+        // notified ranges chain end to end starting at 1.
+        let mut next = 1;
+        for info in sealed.iter() {
+            assert!(info.sealed);
+            assert_eq!(info.first_lsn, next);
+            assert!(info.last_lsn >= info.first_lsn);
+            next = info.last_lsn + 1;
+        }
+        assert_eq!(next, 41);
+        // Every notified segment matches the enumeration's view of it.
+        let segs = wal.segments();
+        for info in sealed.iter() {
+            assert_eq!(
+                segs.iter().find(|s| s.first_lsn == info.first_lsn),
+                Some(info)
+            );
+        }
+    }
+
+    #[test]
+    fn segments_reflect_torn_tail_repair() {
+        let tmp = TempDir::new("chronicle-wal-segtorn");
+        let dir = tmp.path();
+        {
+            let (mut wal, _) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
+            for i in 1..=3 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        // Tear the last frame: cut the (single) segment mid-record-3.
+        let seg = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .max()
+            .unwrap();
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 3]).unwrap();
+        let (wal, tail) = Wal::open(dir, DurabilityOptions::default(), 0).unwrap();
+        assert_eq!(tail.len(), 2);
+        // The enumeration sees the repaired world: the old segment sealed
+        // with exactly the surviving records, the fresh active one empty.
+        let segs = wal.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].first_lsn, segs[0].last_lsn), (1, 2));
+        assert!(segs[0].sealed);
+        assert_eq!((segs[1].first_lsn, segs[1].last_lsn), (3, 2));
+        assert!(!segs[1].sealed);
+        // Reading the repaired segment yields exactly records 1..=2; the
+        // torn bytes are gone from what shipping would see.
+        let read = wal.read_segment(1, 0, usize::MAX).unwrap();
+        assert!(read.sealed);
+        assert_eq!(read.total_len, read.bytes.len() as u64);
+        assert_eq!(lsns_in_segment(&read.bytes, 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn read_segment_exposes_only_flushed_bytes() {
+        let tmp = TempDir::new("chronicle-wal-readdurable");
+        let (mut wal, _) = Wal::open(tmp.path(), DurabilityOptions::default(), 0).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.flush().unwrap();
+        wal.append(&rec(2)).unwrap(); // buffered, not durable
+        let read = wal.read_segment(1, 0, usize::MAX).unwrap();
+        assert!(!read.sealed);
+        assert_eq!(lsns_in_segment(&read.bytes, 1), vec![1]);
+        wal.flush().unwrap();
+        let read = wal.read_segment(1, 0, usize::MAX).unwrap();
+        assert_eq!(lsns_in_segment(&read.bytes, 1), vec![1, 2]);
+        // Chunked reads stitch back to the same bytes.
+        let mut stitched = Vec::new();
+        let mut offset = 0;
+        loop {
+            let chunk = wal.read_segment(1, offset, 7).unwrap();
+            assert_eq!(chunk.total_len, read.total_len);
+            if chunk.bytes.is_empty() {
+                break;
+            }
+            offset += chunk.bytes.len() as u64;
+            stitched.extend_from_slice(&chunk.bytes);
+        }
+        assert_eq!(stitched, read.bytes);
+    }
+
+    #[test]
+    fn segment_containing_resolves_across_truncation() {
+        let tmp = TempDir::new("chronicle-wal-containing");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        let (mut wal, _) = Wal::open(tmp.path(), opts, 0).unwrap();
+        for i in 1..=40 {
+            wal.append(&rec(i)).unwrap();
+            wal.flush().unwrap();
+        }
+        for lsn in 1..=40 {
+            let seg = wal.segment_containing(lsn).expect("live record");
+            assert!(seg.first_lsn <= lsn && lsn <= seg.last_lsn, "lsn {lsn}");
+        }
+        // The durable frontier (where the next record will land) resolves
+        // to the active segment.
+        assert!(!wal.segment_containing(41).unwrap().sealed);
+        wal.rotate().unwrap();
+        wal.truncate_through(20).unwrap();
+        let floor = wal.segments().first().unwrap().first_lsn;
+        assert!(floor > 1, "truncation should have deleted a prefix");
+        assert!(wal.segment_containing(floor - 1).is_none());
+        assert!(wal.segment_containing(floor).is_some());
+    }
+
+    #[test]
+    fn retain_floor_pins_segments_against_truncation() {
+        let tmp = TempDir::new("chronicle-wal-retain");
+        let opts = DurabilityOptions {
+            segment_bytes: 128,
+            ..DurabilityOptions::default()
+        };
+        let (mut wal, _) = Wal::open(tmp.path(), opts, 0).unwrap();
+        for i in 1..=40 {
+            wal.append(&rec(i)).unwrap();
+            wal.flush().unwrap();
+        }
+        wal.rotate().unwrap();
+        let before = wal.segment_count();
+        wal.set_retain_floor(1);
+        wal.truncate_through(40).unwrap();
+        assert_eq!(wal.segment_count(), before, "pin must block deletion");
+        assert!(wal.segment_containing(1).is_some());
+        // A higher pin lets the prefix below it go.
+        wal.set_retain_floor(21);
+        wal.truncate_through(40).unwrap();
+        let floor = wal.segments().first().unwrap().first_lsn;
+        assert!(floor > 1 && floor <= 21, "floor {floor}");
+        assert!(wal.segment_containing(21).is_some());
+        // Clearing the pin restores normal truncation.
+        wal.clear_retain_floor();
+        wal.truncate_through(40).unwrap();
+        assert_eq!(wal.segment_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! The blocking SQL client.
+//!
+//! One TCP connection, one in-flight request: [`Client::sql`] and
+//! [`Client::stats`] send a frame and block for the reply. Appends
+//! acknowledged with `SqlOk` are durable on the leader (the server answers
+//! after the shard's group-commit flush).
+
+use std::net::TcpStream;
+
+use chronicle_types::{ChronicleError, Result};
+
+use crate::conn::Conn;
+use crate::proto::{Message, RemoteOutcome, Role, WireStats};
+
+fn remote_err(detail: String) -> ChronicleError {
+    ChronicleError::Durability {
+        detail: format!("remote: {detail}"),
+    }
+}
+
+/// A connected SQL session.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn,
+    shards: u32,
+}
+
+impl Client {
+    /// Connect to a leader (or a read-only follower) at `addr`.
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| ChronicleError::Durability {
+            detail: format!("network: connecting {addr}: {e}"),
+        })?;
+        let mut conn = Conn::new(stream)?;
+        conn.send(&Message::Hello(Role::Client))?;
+        match conn.recv()? {
+            Message::Welcome { shards } => Ok(Client { conn, shards }),
+            Message::ErrReply(detail) => Err(remote_err(detail)),
+            other => Err(ChronicleError::Corruption {
+                detail: format!("expected Welcome, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Shard count of the server.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Execute one SQL statement remotely.
+    pub fn sql(&mut self, sql: &str) -> Result<RemoteOutcome> {
+        self.conn.send(&Message::Sql(sql.to_string()))?;
+        match self.conn.recv()? {
+            Message::SqlOk(outcome) => Ok(outcome),
+            Message::ErrReply(detail) => Err(remote_err(detail)),
+            other => Err(ChronicleError::Corruption {
+                detail: format!("expected SqlOk, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetch the server's statistics.
+    pub fn stats(&mut self) -> Result<WireStats> {
+        self.conn.send(&Message::StatsReq)?;
+        match self.conn.recv()? {
+            Message::StatsReply(stats) => Ok(stats),
+            Message::ErrReply(detail) => Err(remote_err(detail)),
+            other => Err(ChronicleError::Corruption {
+                detail: format!("expected StatsReply, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Orderly close.
+    pub fn goodbye(mut self) {
+        let _ = self.conn.send(&Message::Goodbye);
+    }
+}

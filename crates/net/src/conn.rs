@@ -1,0 +1,118 @@
+//! One framed, message-typed connection over a `TcpStream`.
+//!
+//! Shared by the server, the client, and the replica: send a
+//! [`Message`] as one CRC frame, receive messages either blocking or with
+//! a bounded wait (so serving loops can interleave socket reads with
+//! shipping work and stop-flag checks).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use chronicle_types::{ChronicleError, Result};
+
+use crate::frame::{encode_frame, FrameDecoder};
+use crate::proto::Message;
+
+fn net_err(context: &str, e: std::io::Error) -> ChronicleError {
+    ChronicleError::Durability {
+        detail: format!("network: {context}: {e}"),
+    }
+}
+
+fn closed(context: &str) -> ChronicleError {
+    ChronicleError::Durability {
+        detail: format!("network: {context}: connection closed"),
+    }
+}
+
+/// A framed connection; counts frames for the stats surface.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Frames received on this connection.
+    pub frames_in: u64,
+    /// Frames sent on this connection.
+    pub frames_out: u64,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Result<Conn> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| net_err("setting TCP_NODELAY", e))?;
+        Ok(Conn {
+            stream,
+            dec: FrameDecoder::new(),
+            frames_in: 0,
+            frames_out: 0,
+        })
+    }
+
+    /// Send one message (one frame), flushing to the socket.
+    pub(crate) fn send(&mut self, msg: &Message) -> Result<()> {
+        let frame = encode_frame(&msg.encode());
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| net_err("sending frame", e))?;
+        self.frames_out += 1;
+        Ok(())
+    }
+
+    /// Receive the next message, blocking until one arrives. An orderly or
+    /// disorderly close is an error — callers treat it as end-of-session.
+    pub(crate) fn recv(&mut self) -> Result<Message> {
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| net_err("clearing read timeout", e))?;
+        loop {
+            if let Some(payload) = self.dec.next_frame()? {
+                self.frames_in += 1;
+                return Message::decode(&payload);
+            }
+            let mut buf = [0u8; 16 * 1024];
+            let n = self
+                .stream
+                .read(&mut buf)
+                .map_err(|e| net_err("reading", e))?;
+            if n == 0 {
+                return Err(closed("reading"));
+            }
+            self.dec.feed(&buf[..n]);
+        }
+    }
+
+    /// Receive the next message, waiting at most `wait`. `Ok(None)` means
+    /// the wait elapsed with no complete frame.
+    pub(crate) fn try_recv(&mut self, wait: Duration) -> Result<Option<Message>> {
+        if let Some(payload) = self.dec.next_frame()? {
+            self.frames_in += 1;
+            return Ok(Some(Message::decode(&payload)?));
+        }
+        // set_read_timeout(0) is invalid; clamp to 1ms.
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))
+            .map_err(|e| net_err("setting read timeout", e))?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(closed("reading")),
+                Ok(n) => {
+                    self.dec.feed(&buf[..n]);
+                    if let Some(payload) = self.dec.next_frame()? {
+                        self.frames_in += 1;
+                        return Ok(Some(Message::decode(&payload)?));
+                    }
+                    // Partial frame: keep waiting within this call's
+                    // timeout budget (approximately — each read re-arms).
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(net_err("reading", e)),
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Network access and WAL-shipping replication for the chronicle engine.
+//!
+//! The paper's deployment story (§6) has many observers asking sub-second
+//! summary questions while one stream of transactions flows in. This crate
+//! gives that shape a process boundary:
+//!
+//! * [`Server`] — a leader serving SQL sessions over TCP, multiplexed onto
+//!   the concurrent [`ShardedPipeline`](chronicle_db::pipeline::ShardedPipeline)
+//!   (appends acknowledged after group-commit flush, exactly like the
+//!   local API);
+//! * [`Shipper`] / [`WalSource`] — leader-side WAL log shipping: sealed
+//!   segments stream to followers in order, the active segment tails as
+//!   it grows, and only *flushed* bytes ever leave the leader;
+//! * [`Replica`] — a follower process: continuous ingest through
+//!   [`chronicle_db::FollowerDb`] (local WAL persisted byte-identically,
+//!   crash recovery through the normal path) plus an optional read-only
+//!   `SELECT` listener serving continuously maintained views;
+//! * [`Client`] — the blocking request/reply SQL client.
+//!
+//! Everything is built on `std::net` and the in-tree codec/CRC — the
+//! workspace's zero-dependency policy holds. Framing is
+//! `[u32 len][u32 crc][payload]` ([`frame`]); messages are u8-tagged
+//! ([`proto`]); anything that does not checksum or parse drops the
+//! connection loudly, the same discipline the WAL applies on disk.
+
+#![warn(missing_docs)]
+
+mod client;
+mod conn;
+pub mod frame;
+pub mod proto;
+mod replica;
+mod server;
+pub mod ship;
+
+pub use client::Client;
+pub use proto::{Message, RemoteOutcome, Role, WireStats};
+pub use replica::Replica;
+pub use server::Server;
+pub use ship::{ShipEvent, Shipper, WalSource, DEFAULT_CHUNK};

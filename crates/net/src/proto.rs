@@ -1,0 +1,561 @@
+//! The chronicle wire protocol: message types and their binary codec.
+//!
+//! Messages ride inside CRC frames ([`crate::frame`]) and are encoded with
+//! the in-tree [`chronicle_types::codec`] — u8-tagged enums, little-endian
+//! integers, length-prefixed strings and blobs. No external serialization
+//! library is involved, keeping the workspace's zero-dependency policy.
+//!
+//! Connection flow:
+//!
+//! * every connection opens with [`Message::Hello`] and is answered by
+//!   [`Message::Welcome`] carrying the shard count;
+//! * a [`Role::Client`] session then alternates requests
+//!   ([`Message::Sql`], [`Message::StatsReq`]) and replies;
+//! * a [`Role::Follower`] session sends one [`Message::FetchWal`] with its
+//!   per-shard applied lsns and then only *receives*: segment streams
+//!   ([`Message::SegStart`] / [`Message::SegBytes`] / [`Message::SegSeal`])
+//!   interleaved with [`Message::Heartbeat`]s carrying the leader's
+//!   durable frontier.
+//!
+//! Unknown tags and truncated payloads decode to
+//! [`ChronicleError::Corruption`]; like a bad frame CRC, they terminate
+//! the connection.
+
+use chronicle_db::{AppendOutcome, DbStats, ExecOutcome};
+use chronicle_types::codec::{Reader, Writer};
+use chronicle_types::{ChronicleError, Result, Tuple};
+
+/// What a connecting peer wants from the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Interactive SQL over the leader pipeline.
+    Client,
+    /// WAL log shipping (a replication follower).
+    Follower,
+}
+
+/// The result of one remotely executed statement — [`ExecOutcome`] with
+/// the local-only maintenance report reduced to its wire-relevant core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteOutcome {
+    /// A catalog object was created (kind, name).
+    Created(String, String),
+    /// A batch was appended (sequence number, chronon).
+    Appended {
+        /// Sequence number the batch was admitted under.
+        seq: u64,
+        /// Chronon the batch was stamped with.
+        at: i64,
+    },
+    /// Relation rows changed (count).
+    RelationChanged(u64),
+    /// Query rows.
+    Rows(Vec<Tuple>),
+    /// A view was dropped.
+    Dropped(String),
+}
+
+impl From<&ExecOutcome> for RemoteOutcome {
+    fn from(o: &ExecOutcome) -> Self {
+        match o {
+            ExecOutcome::Created(kind, name) => {
+                RemoteOutcome::Created((*kind).to_string(), name.clone())
+            }
+            ExecOutcome::Appended(AppendOutcome { seq, at, .. }) => RemoteOutcome::Appended {
+                seq: seq.0,
+                at: at.0,
+            },
+            ExecOutcome::RelationChanged(n) => RemoteOutcome::RelationChanged(*n as u64),
+            ExecOutcome::Rows(rows) => RemoteOutcome::Rows(rows.clone()),
+            ExecOutcome::Dropped(name) => RemoteOutcome::Dropped(name.clone()),
+        }
+    }
+}
+
+/// The statistics a server reports over the wire — the replication- and
+/// network-relevant cut of [`DbStats`], plus the server's own session
+/// counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Appends executed.
+    pub appends: u64,
+    /// Tuples appended.
+    pub tuples_appended: u64,
+    /// WAL records logged.
+    pub wal_records: u64,
+    /// WAL bytes written.
+    pub wal_bytes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Network sessions accepted since the server started.
+    pub net_sessions: u64,
+    /// Frames received.
+    pub net_frames_in: u64,
+    /// Frames sent.
+    pub net_frames_out: u64,
+    /// Raw WAL segment bytes shipped to followers.
+    pub net_shipped_bytes: u64,
+    /// Request messages served.
+    pub net_requests: u64,
+    /// p50 request service latency in nanoseconds (0 with no samples).
+    pub net_latency_p50_nanos: u64,
+    /// p99 request service latency in nanoseconds (0 with no samples).
+    pub net_latency_p99_nanos: u64,
+    /// Follower only: highest lsn applied from shipped WAL.
+    pub follower_applied_lsn: Option<u64>,
+    /// Follower only: worst-shard replication lag in records.
+    pub replication_lag: Option<u64>,
+}
+
+impl WireStats {
+    /// Project the wire-relevant fields out of a [`DbStats`].
+    pub fn from_db(stats: &DbStats) -> WireStats {
+        WireStats {
+            appends: stats.appends,
+            tuples_appended: stats.tuples_appended,
+            wal_records: stats.wal_records,
+            wal_bytes: stats.wal_bytes,
+            checkpoints: stats.checkpoints,
+            net_sessions: stats.net_sessions,
+            net_frames_in: stats.net_frames_in,
+            net_frames_out: stats.net_frames_out,
+            net_shipped_bytes: stats.net_shipped_bytes,
+            net_requests: stats.net_requests,
+            net_latency_p50_nanos: stats.net_latency_percentile(0.50),
+            net_latency_p99_nanos: stats.net_latency_percentile(0.99),
+            follower_applied_lsn: stats.follower_applied_lsn,
+            replication_lag: stats.replication_lag,
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Connection opener: what the peer wants.
+    Hello(Role),
+    /// Server's answer to [`Message::Hello`]: the shard count.
+    Welcome {
+        /// Number of shards behind the server.
+        shards: u32,
+    },
+    /// Execute one SQL statement.
+    Sql(String),
+    /// Successful statement result.
+    SqlOk(RemoteOutcome),
+    /// Request failed; the error rendered as text.
+    ErrReply(String),
+    /// Request server statistics.
+    StatsReq,
+    /// Statistics reply.
+    StatsReply(WireStats),
+    /// Follower: start shipping from these per-shard applied lsns.
+    FetchWal {
+        /// Applied lsn per shard (length must equal the shard count).
+        applied: Vec<u64>,
+    },
+    /// A segment stream begins for one shard (from byte offset 0).
+    SegStart {
+        /// Shard index.
+        shard: u32,
+        /// First lsn of the segment (its identity).
+        first_lsn: u64,
+    },
+    /// Raw segment bytes.
+    SegBytes {
+        /// Shard index.
+        shard: u32,
+        /// Segment identity.
+        first_lsn: u64,
+        /// Byte offset within the segment file.
+        offset: u64,
+        /// The bytes (leader file content, verbatim).
+        bytes: Vec<u8>,
+    },
+    /// The segment is complete (leader sealed it).
+    SegSeal {
+        /// Shard index.
+        shard: u32,
+        /// Segment identity.
+        first_lsn: u64,
+    },
+    /// Leader's durable frontier per shard.
+    Heartbeat {
+        /// Last durable lsn per shard.
+        durable: Vec<u64>,
+    },
+    /// Orderly goodbye; the connection closes after this.
+    Goodbye,
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_WELCOME: u8 = 1;
+const TAG_SQL: u8 = 2;
+const TAG_SQL_OK: u8 = 3;
+const TAG_ERR: u8 = 4;
+const TAG_STATS_REQ: u8 = 5;
+const TAG_STATS_REPLY: u8 = 6;
+const TAG_FETCH_WAL: u8 = 7;
+const TAG_SEG_START: u8 = 8;
+const TAG_SEG_BYTES: u8 = 9;
+const TAG_SEG_SEAL: u8 = 10;
+const TAG_SEG_HEARTBEAT: u8 = 11;
+const TAG_GOODBYE: u8 = 12;
+
+const OUT_CREATED: u8 = 0;
+const OUT_APPENDED: u8 = 1;
+const OUT_REL_CHANGED: u8 = 2;
+const OUT_ROWS: u8 = 3;
+const OUT_DROPPED: u8 = 4;
+
+fn corrupt(detail: String) -> ChronicleError {
+    ChronicleError::Corruption { detail }
+}
+
+fn write_u64s(w: &mut Writer, xs: &[u64]) {
+    w.u32(xs.len() as u32);
+    for &x in xs {
+        w.u64(x);
+    }
+}
+
+fn read_u64s(r: &mut Reader) -> Result<Vec<u64>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+fn write_opt_u64(w: &mut Writer, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(x) => {
+            w.u8(1);
+            w.u64(x);
+        }
+    }
+}
+
+fn read_opt_u64(r: &mut Reader) -> Result<Option<u64>> {
+    Ok(match r.u8()? {
+        0 => None,
+        _ => Some(r.u64()?),
+    })
+}
+
+fn write_outcome(w: &mut Writer, o: &RemoteOutcome) {
+    match o {
+        RemoteOutcome::Created(kind, name) => {
+            w.u8(OUT_CREATED);
+            w.str(kind);
+            w.str(name);
+        }
+        RemoteOutcome::Appended { seq, at } => {
+            w.u8(OUT_APPENDED);
+            w.u64(*seq);
+            w.i64(*at);
+        }
+        RemoteOutcome::RelationChanged(n) => {
+            w.u8(OUT_REL_CHANGED);
+            w.u64(*n);
+        }
+        RemoteOutcome::Rows(rows) => {
+            w.u8(OUT_ROWS);
+            w.u32(rows.len() as u32);
+            for t in rows {
+                w.tuple(t);
+            }
+        }
+        RemoteOutcome::Dropped(name) => {
+            w.u8(OUT_DROPPED);
+            w.str(name);
+        }
+    }
+}
+
+fn read_outcome(r: &mut Reader) -> Result<RemoteOutcome> {
+    Ok(match r.u8()? {
+        OUT_CREATED => RemoteOutcome::Created(r.str()?, r.str()?),
+        OUT_APPENDED => RemoteOutcome::Appended {
+            seq: r.u64()?,
+            at: r.i64()?,
+        },
+        OUT_REL_CHANGED => RemoteOutcome::RelationChanged(r.u64()?),
+        OUT_ROWS => {
+            let n = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                rows.push(r.tuple()?);
+            }
+            RemoteOutcome::Rows(rows)
+        }
+        OUT_DROPPED => RemoteOutcome::Dropped(r.str()?),
+        t => return Err(corrupt(format!("unknown outcome tag {t}"))),
+    })
+}
+
+fn write_stats(w: &mut Writer, s: &WireStats) {
+    w.u64(s.appends);
+    w.u64(s.tuples_appended);
+    w.u64(s.wal_records);
+    w.u64(s.wal_bytes);
+    w.u64(s.checkpoints);
+    w.u64(s.net_sessions);
+    w.u64(s.net_frames_in);
+    w.u64(s.net_frames_out);
+    w.u64(s.net_shipped_bytes);
+    w.u64(s.net_requests);
+    w.u64(s.net_latency_p50_nanos);
+    w.u64(s.net_latency_p99_nanos);
+    write_opt_u64(w, s.follower_applied_lsn);
+    write_opt_u64(w, s.replication_lag);
+}
+
+fn read_stats(r: &mut Reader) -> Result<WireStats> {
+    Ok(WireStats {
+        appends: r.u64()?,
+        tuples_appended: r.u64()?,
+        wal_records: r.u64()?,
+        wal_bytes: r.u64()?,
+        checkpoints: r.u64()?,
+        net_sessions: r.u64()?,
+        net_frames_in: r.u64()?,
+        net_frames_out: r.u64()?,
+        net_shipped_bytes: r.u64()?,
+        net_requests: r.u64()?,
+        net_latency_p50_nanos: r.u64()?,
+        net_latency_p99_nanos: r.u64()?,
+        follower_applied_lsn: read_opt_u64(r)?,
+        replication_lag: read_opt_u64(r)?,
+    })
+}
+
+impl Message {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::Hello(role) => {
+                w.u8(TAG_HELLO);
+                w.u8(match role {
+                    Role::Client => 0,
+                    Role::Follower => 1,
+                });
+            }
+            Message::Welcome { shards } => {
+                w.u8(TAG_WELCOME);
+                w.u32(*shards);
+            }
+            Message::Sql(sql) => {
+                w.u8(TAG_SQL);
+                w.str(sql);
+            }
+            Message::SqlOk(outcome) => {
+                w.u8(TAG_SQL_OK);
+                write_outcome(&mut w, outcome);
+            }
+            Message::ErrReply(detail) => {
+                w.u8(TAG_ERR);
+                w.str(detail);
+            }
+            Message::StatsReq => w.u8(TAG_STATS_REQ),
+            Message::StatsReply(stats) => {
+                w.u8(TAG_STATS_REPLY);
+                write_stats(&mut w, stats);
+            }
+            Message::FetchWal { applied } => {
+                w.u8(TAG_FETCH_WAL);
+                write_u64s(&mut w, applied);
+            }
+            Message::SegStart { shard, first_lsn } => {
+                w.u8(TAG_SEG_START);
+                w.u32(*shard);
+                w.u64(*first_lsn);
+            }
+            Message::SegBytes {
+                shard,
+                first_lsn,
+                offset,
+                bytes,
+            } => {
+                w.u8(TAG_SEG_BYTES);
+                w.u32(*shard);
+                w.u64(*first_lsn);
+                w.u64(*offset);
+                w.bytes(bytes);
+            }
+            Message::SegSeal { shard, first_lsn } => {
+                w.u8(TAG_SEG_SEAL);
+                w.u32(*shard);
+                w.u64(*first_lsn);
+            }
+            Message::Heartbeat { durable } => {
+                w.u8(TAG_SEG_HEARTBEAT);
+                write_u64s(&mut w, durable);
+            }
+            Message::Goodbye => w.u8(TAG_GOODBYE),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload. Trailing garbage after a well-formed
+    /// message is corruption too — frames carry exactly one message.
+    pub fn decode(payload: &[u8]) -> Result<Message> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8().map_err(|e| corrupt(format!("empty message: {e}")))? {
+            TAG_HELLO => Message::Hello(match r.u8()? {
+                0 => Role::Client,
+                1 => Role::Follower,
+                t => return Err(corrupt(format!("unknown role tag {t}"))),
+            }),
+            TAG_WELCOME => Message::Welcome { shards: r.u32()? },
+            TAG_SQL => Message::Sql(r.str()?),
+            TAG_SQL_OK => Message::SqlOk(read_outcome(&mut r)?),
+            TAG_ERR => Message::ErrReply(r.str()?),
+            TAG_STATS_REQ => Message::StatsReq,
+            TAG_STATS_REPLY => Message::StatsReply(read_stats(&mut r)?),
+            TAG_FETCH_WAL => Message::FetchWal {
+                applied: read_u64s(&mut r)?,
+            },
+            TAG_SEG_START => Message::SegStart {
+                shard: r.u32()?,
+                first_lsn: r.u64()?,
+            },
+            TAG_SEG_BYTES => Message::SegBytes {
+                shard: r.u32()?,
+                first_lsn: r.u64()?,
+                offset: r.u64()?,
+                bytes: r.bytes()?,
+            },
+            TAG_SEG_SEAL => Message::SegSeal {
+                shard: r.u32()?,
+                first_lsn: r.u64()?,
+            },
+            TAG_SEG_HEARTBEAT => Message::Heartbeat {
+                durable: read_u64s(&mut r)?,
+            },
+            TAG_GOODBYE => Message::Goodbye,
+            t => return Err(corrupt(format!("unknown message tag {t}"))),
+        };
+        if !r.at_end() {
+            return Err(corrupt("trailing bytes after message".into()));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_testkit::{Rng, SeedableRng, SmallRng};
+    use chronicle_types::{tuple, SeqNo};
+
+    fn sample_messages(rng: &mut SmallRng) -> Vec<Message> {
+        let mut msgs = vec![
+            Message::Hello(Role::Client),
+            Message::Hello(Role::Follower),
+            Message::Welcome { shards: 4 },
+            Message::Sql("SELECT * FROM totals".into()),
+            Message::SqlOk(RemoteOutcome::Created("view".into(), "totals".into())),
+            Message::SqlOk(RemoteOutcome::Appended { seq: 17, at: -3 }),
+            Message::SqlOk(RemoteOutcome::RelationChanged(2)),
+            Message::SqlOk(RemoteOutcome::Rows(vec![
+                tuple![SeqNo(1), 42i64, "x", 1.5f64],
+                tuple![SeqNo(2), -7i64, "y", 0.25f64],
+            ])),
+            Message::SqlOk(RemoteOutcome::Dropped("totals".into())),
+            Message::ErrReply("no such view".into()),
+            Message::StatsReq,
+            Message::StatsReply(WireStats {
+                appends: 10,
+                net_shipped_bytes: 12345,
+                follower_applied_lsn: Some(99),
+                replication_lag: None,
+                ..WireStats::default()
+            }),
+            Message::FetchWal {
+                applied: vec![0, 17, 4],
+            },
+            Message::SegSeal {
+                shard: 2,
+                first_lsn: 18,
+            },
+            Message::Heartbeat {
+                durable: vec![40, 41],
+            },
+            Message::Goodbye,
+        ];
+        for _ in 0..20 {
+            let n = rng.gen_range(0..300usize);
+            msgs.push(Message::SegBytes {
+                shard: rng.gen_range(0..8u32),
+                first_lsn: rng.next_u64() >> 20,
+                offset: rng.next_u64() >> 40,
+                bytes: (0..n).map(|_| rng.gen_range(0..256u32) as u8).collect(),
+            });
+            msgs.push(Message::SegStart {
+                shard: rng.gen_range(0..8u32),
+                first_lsn: rng.next_u64() >> 20,
+            });
+        }
+        msgs
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let mut rng = SmallRng::seed_from_u64(0xc0de_ca11);
+        for msg in sample_messages(&mut rng) {
+            let bytes = msg.encode();
+            assert_eq!(Message::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncations_never_panic_and_never_misparse() {
+        let mut rng = SmallRng::seed_from_u64(0xdead_50f7);
+        for msg in sample_messages(&mut rng) {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // Either an error, or (only possible when the cut removes
+                // trailing-garbage-sensitive padding — it cannot here) a
+                // different message. Never the original bytes' meaning.
+                if let Ok(parsed) = Message::decode(&bytes[..cut]) {
+                    assert_ne!(parsed, msg, "cut {cut} of {msg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Message::Goodbye.encode();
+        bytes.push(0);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn framed_messages_survive_rechunking() {
+        use crate::frame::{encode_frame, FrameDecoder};
+        let mut rng = SmallRng::seed_from_u64(0x0b5e_55ed);
+        let msgs = sample_messages(&mut rng);
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(&m.encode()));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = 1 + rng.gen_range(0..100usize);
+            let end = (pos + n).min(stream.len());
+            dec.feed(&stream[pos..end]);
+            pos = end;
+            while let Some(p) = dec.next_frame().unwrap() {
+                got.push(Message::decode(&p).unwrap());
+            }
+        }
+        assert_eq!(got, msgs);
+    }
+}

@@ -15,6 +15,9 @@
 //!   comes from the wall clock.
 //! * [`Schedule`] / [`generate`] — seeded op sequences (SQL text plus
 //!   checkpoint / crash / reopen meta-ops) as pure data.
+//! * [`SimPipe`] — a byte queue standing in for a TCP connection in
+//!   replication runs: deliveries re-chunk at driver-chosen boundaries,
+//!   and a cut loses exactly the in-flight bytes.
 //!
 //! One `u64` seed determines the schedule *and* every fault decision, so
 //! any failure replays exactly from the seed printed by the driver.
@@ -22,11 +25,13 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod netsim;
 mod schedule;
 mod simfs;
 mod vfs;
 
 pub use clock::VirtualClock;
+pub use netsim::SimPipe;
 pub use schedule::{generate, Schedule, ScheduleConfig, SimOp};
 pub use simfs::{SimFs, CRASH_MSG, SHORT_READ_MSG};
 pub use vfs::{RealFs, Vfs, VfsFile};

@@ -22,10 +22,30 @@
 //! chronicle> .scrub          -- read-only integrity check of every durable file
 //! chronicle> .quit
 //! ```
+//!
+//! The same binary also speaks the wire protocol (`chronicle::net`). A
+//! leading mode word picks the role:
+//!
+//! ```text
+//! repl serve <path> [shards=N] [addr=HOST:PORT] [salvage]
+//!     Open the database and serve SQL sessions + WAL shipping on
+//!     addr (default 127.0.0.1:7878). The console stays interactive
+//!     (.stats / .quit).
+//! repl follow <leader HOST:PORT> <path> [ro=HOST:PORT] [salvage]
+//!     Start a follower: ship the leader's WAL into a local database at
+//!     <path> and keep views maintained. With ro=, also serve read-only
+//!     SELECTs on that address. Console: .lag / .applied / .views /
+//!     SELECT … / .quit.
+//! repl connect <HOST:PORT>
+//!     A SQL shell over the wire against a leader (full SQL) or a
+//!     follower's ro= listener (SELECT only).
+//! ```
 
 use std::io::{BufRead, Write};
 
+use chronicle::db::pipeline::ShardedPipeline;
 use chronicle::db::{ExecOutcome, ShardedDb};
+use chronicle::net::{Client, RemoteOutcome, Replica, Server};
 use chronicle::prelude::*;
 
 /// The repl drives either a plain database or a sharded one behind the
@@ -140,10 +160,17 @@ impl Session {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("follow") => return follow_main(&args[1..]),
+        Some("connect") => return connect_main(&args[1..]),
+        _ => {}
+    }
     let mut path: Option<String> = None;
     let mut shards: Option<usize> = None;
     let mut recovery = RecoveryPolicy::Strict;
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         if let Some(n) = arg.strip_prefix("shards=") {
             match n.parse::<usize>() {
                 Ok(n) if n > 0 => shards = Some(n),
@@ -273,5 +300,267 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+    println!("bye");
+}
+
+/// Prompt, read one trimmed console line; `None` on EOF or read error.
+fn read_line(prompt: &str) -> Option<String> {
+    print!("{prompt}");
+    std::io::stdout().flush().ok();
+    let mut line = String::new();
+    match std::io::stdin().lock().read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim().to_string()),
+        Err(e) => {
+            eprintln!("read error: {e}");
+            None
+        }
+    }
+}
+
+fn print_remote(outcome: RemoteOutcome) {
+    match outcome {
+        RemoteOutcome::Created(kind, name) => println!("created {kind} `{name}`"),
+        RemoteOutcome::Appended { seq, at } => println!("appended at {seq} (chronon {at})"),
+        RemoteOutcome::RelationChanged(n) => println!("{n} row(s) changed"),
+        RemoteOutcome::Rows(rows) => {
+            for r in &rows {
+                println!("{r}");
+            }
+            println!("({} row(s))", rows.len());
+        }
+        RemoteOutcome::Dropped(name) => println!("dropped `{name}`"),
+    }
+}
+
+/// `repl serve <path> [shards=N] [addr=HOST:PORT] [salvage]` — the leader:
+/// open a durable database, serve SQL sessions and WAL shipping on a TCP
+/// listener, and keep a small console for the operator.
+fn serve_main(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut shards = 1usize;
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut recovery = RecoveryPolicy::Strict;
+    for arg in args {
+        if let Some(n) = arg.strip_prefix("shards=") {
+            match n.parse::<usize>() {
+                Ok(n) if n > 0 => shards = n,
+                _ => {
+                    eprintln!("invalid shard count `{n}` (want shards=N, N >= 1)");
+                    std::process::exit(1);
+                }
+            }
+        } else if let Some(a) = arg.strip_prefix("addr=") {
+            addr = a.to_string();
+        } else if arg == "salvage" {
+            recovery = RecoveryPolicy::Salvage;
+        } else {
+            path = Some(arg.clone());
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: repl serve <path> [shards=N] [addr=HOST:PORT] [salvage]");
+        std::process::exit(1);
+    };
+    let opts = DurabilityOptions {
+        recovery,
+        ..DurabilityOptions::default()
+    };
+    let db = match ShardedDb::open_with(&path, shards, opts) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot open `{path}` with {shards} shard(s): {e}");
+            std::process::exit(1);
+        }
+    };
+    let pipeline = ShardedPipeline::start(db, 64);
+    let server = match Server::start(pipeline.handle(), &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving `{path}` ({shards} shard(s)) on {} — clients: `repl connect {0}`, \
+         followers: `repl follow {0} <path>`",
+        server.addr()
+    );
+    let handle = pipeline.handle();
+    while let Some(line) = read_line("leader> ") {
+        match line.as_str() {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".stats" => match handle.stats() {
+                Ok(s) => println!(
+                    "appends: {}  tuples: {}  wal: {} records / {} bytes  \
+                     checkpoints: {}  sessions accepted: {}",
+                    s.appends,
+                    s.tuples_appended,
+                    s.wal_records,
+                    s.wal_bytes,
+                    s.checkpoints,
+                    server.sessions_accepted()
+                ),
+                Err(e) => println!("error: {e}"),
+            },
+            other => {
+                println!("unknown command `{other}` — SQL goes over the wire (`repl connect`)")
+            }
+        }
+    }
+    server.stop();
+    pipeline.shutdown();
+    println!("bye");
+}
+
+/// `repl follow <leader HOST:PORT> <path> [ro=HOST:PORT] [salvage]` — a
+/// follower: continuous WAL ingest from the leader into a local database,
+/// optionally serving read-only SELECTs, with a console for lag and local
+/// queries.
+fn follow_main(args: &[String]) {
+    let mut positional: Vec<String> = Vec::new();
+    let mut ro: Option<String> = None;
+    let mut recovery = RecoveryPolicy::Strict;
+    for arg in args {
+        if let Some(a) = arg.strip_prefix("ro=") {
+            ro = Some(a.to_string());
+        } else if arg == "salvage" {
+            recovery = RecoveryPolicy::Salvage;
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    let [leader, path] = positional.as_slice() else {
+        eprintln!("usage: repl follow <leader HOST:PORT> <path> [ro=HOST:PORT] [salvage]");
+        std::process::exit(1);
+    };
+    let opts = DurabilityOptions {
+        recovery,
+        ..DurabilityOptions::default()
+    };
+    let mut replica = match Replica::start(leader, path, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot follow {leader}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "following {leader} into `{path}` ({} shard(s))",
+        replica
+            .follower()
+            .lock()
+            .expect("follower lock")
+            .shard_count()
+    );
+    if let Some(ro) = ro {
+        match replica.serve(&ro) {
+            Ok(a) => println!("read-only listener on {a} — `repl connect {a}`"),
+            Err(e) => {
+                eprintln!("cannot listen on {ro}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    while let Some(line) = read_line("follower> ") {
+        match line.as_str() {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".lag" => match replica.replication_lag() {
+                Some(lag) => println!(
+                    "{lag} record(s) behind the leader's durable frontier \
+                     (connected: {})",
+                    replica.connected()
+                ),
+                None => println!("no heartbeat yet (connected: {})", replica.connected()),
+            },
+            ".applied" => println!("applied lsns per shard: {:?}", replica.applied_lsns()),
+            sql => {
+                // Local reads against the continuously maintained views;
+                // everything else belongs on the leader.
+                let f = replica.follower();
+                let f = f.lock().expect("follower lock");
+                match chronicle::sql::parse(sql) {
+                    Ok(chronicle::sql::Statement::Select { target, filters }) => {
+                        match f.select(&target, &filters) {
+                            Ok(rows) => {
+                                for r in &rows {
+                                    println!("{r}");
+                                }
+                                println!("({} row(s))", rows.len());
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Ok(_) => println!("read-only follower: only SELECT runs here"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+    }
+    match replica.stop() {
+        Ok(_) => println!("bye"),
+        Err(e) => {
+            eprintln!("ingest ended with error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repl connect <HOST:PORT>` — a SQL shell over the wire, against either
+/// a leader (full SQL) or a follower's read-only listener (SELECT only).
+fn connect_main(args: &[String]) {
+    let [addr] = args else {
+        eprintln!("usage: repl connect <HOST:PORT>");
+        std::process::exit(1);
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "connected to {addr} ({} shard(s)) — SQL statements, or .stats / .quit",
+        client.shards()
+    );
+    while let Some(line) = read_line("remote> ") {
+        match line.as_str() {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".stats" => match client.stats() {
+                Ok(s) => {
+                    println!(
+                        "appends: {}  tuples: {}  wal: {} records / {} bytes  \
+                         checkpoints: {}",
+                        s.appends, s.tuples_appended, s.wal_records, s.wal_bytes, s.checkpoints
+                    );
+                    println!(
+                        "net: {} sessions, {} frames in, {} frames out, \
+                         {} requests (p50 {} ns, p99 {} ns), {} WAL bytes shipped",
+                        s.net_sessions,
+                        s.net_frames_in,
+                        s.net_frames_out,
+                        s.net_requests,
+                        s.net_latency_p50_nanos,
+                        s.net_latency_p99_nanos,
+                        s.net_shipped_bytes
+                    );
+                    if let (Some(applied), Some(lag)) = (s.follower_applied_lsn, s.replication_lag)
+                    {
+                        println!("follower: applied lsn {applied}, {lag} record(s) behind");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            sql => match client.sql(sql) {
+                Ok(outcome) => print_remote(outcome),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+    client.goodbye();
     println!("bye");
 }

@@ -3,23 +3,26 @@
 //!
 //! ```text
 //! cargo run --release --example sim -- [--base N] [--seeds N]
-//!     [--shards N] [--ops N] [--budget-ms N] [--bit-rot]
+//!     [--shards N] [--ops N] [--budget-ms N] [--bit-rot] [--replication]
 //! ```
 //!
 //! Runs `--seeds` schedules starting at seed `--base`, alternating the
 //! single-database and sharded topologies, until done or the time budget
 //! is spent. With `--bit-rot` every power cut also flips bits in durable
 //! files and recovery runs under the `Salvage` policy (with a Strict
-//! fails-loudly probe on a fork of each rotted disk). On a failure it
-//! prints the one seed that reproduces the run and exits nonzero;
-//! re-running with `--base <seed> --seeds 1` (plus the same
-//! `--shards`/`--ops`/`--bit-rot`) replays it deterministically.
+//! fails-loudly probe on a fork of each rotted disk). With `--replication`
+//! each seed instead drives a leader/follower pair over the simulated
+//! wire, with seeded connection cuts and power cuts on either side. On a
+//! failure it prints the one seed that reproduces the run and exits
+//! nonzero; re-running with `--base <seed> --seeds 1` (plus the same
+//! `--shards`/`--ops`/mode flag) replays it deterministically.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use chronicle::sim::{
-    run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded, SimReport,
+    run_replication_seed, run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded,
+    ReplicationReport, SimReport,
 };
 use chronicle::simkit::ScheduleConfig;
 
@@ -30,6 +33,7 @@ fn main() -> ExitCode {
     let mut ops: usize = 120;
     let mut budget_ms: u64 = u64::MAX;
     let mut bit_rot = false;
+    let mut replication = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
             "--ops" => ops = take("--ops").parse().expect("--ops: usize"),
             "--budget-ms" => budget_ms = take("--budget-ms").parse().expect("--budget-ms: u64"),
             "--bit-rot" => bit_rot = true,
+            "--replication" => replication = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -56,6 +61,58 @@ fn main() -> ExitCode {
         ..ScheduleConfig::default()
     };
     let start = Instant::now();
+
+    if replication {
+        let mut totals = ReplicationReport::default();
+        let mut ran = 0u64;
+        for seed in base..base.saturating_add(seeds) {
+            if start.elapsed().as_millis() as u64 >= budget_ms {
+                break;
+            }
+            // Even seeds pair single-shard nodes, odd seeds sharded ones.
+            let n = if shards == 0 || seed % 2 == 0 {
+                1
+            } else {
+                shards
+            };
+            match run_replication_seed(seed, n, &cfg) {
+                Ok(r) => {
+                    ran += 1;
+                    totals.sql_acked += r.sql_acked;
+                    totals.pump_cycles += r.pump_cycles;
+                    totals.connection_cuts += r.connection_cuts;
+                    totals.follower_kills += r.follower_kills;
+                    totals.leader_kills += r.leader_kills;
+                    totals.bytes_shipped += r.bytes_shipped;
+                    totals.bytes_lost_in_flight += r.bytes_lost_in_flight;
+                }
+                Err(f) => {
+                    eprintln!("{f}");
+                    eprintln!(
+                        "reproduce: cargo run --release --example sim -- \
+                         --base {} --seeds 1 --shards {shards} --ops {ops} --replication",
+                        f.seed
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "replication sim ok: {ran} seeds ({} acked stmts, {} pump cycles, \
+             {} cuts, {} follower kills, {} leader kills, {} bytes shipped, \
+             {} bytes lost in flight) in {:?}",
+            totals.sql_acked,
+            totals.pump_cycles,
+            totals.connection_cuts,
+            totals.follower_kills,
+            totals.leader_kills,
+            totals.bytes_shipped,
+            totals.bytes_lost_in_flight,
+            start.elapsed()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let mut totals = SimReport::default();
     let mut halted = 0u64;
     let mut ran = 0u64;

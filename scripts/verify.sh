@@ -81,6 +81,31 @@ if CHRONICLE_MUTATE=skip_consolidation cargo test -q --offline --test oracle_equ
     exit 1
 fi
 
+echo "== replication gate (offline) =="
+# Leader/follower pairs over the simulated wire (DESIGN.md §14): seeded
+# connection cuts and power cuts on either side, mid-segment. The
+# follower must stay a legal prefix of the leader's acked statements at
+# every kill and converge byte-for-byte once the faults stop; the one
+# reproducing u64 seed is printed on failure. 400 seeds across the
+# single-shard and sharded topologies.
+cargo run -q --offline --release --example sim -- \
+    --replication --base 0 --seeds 300 --shards 2 --ops 120 --budget-ms 90000
+cargo run -q --offline --release --example sim -- \
+    --replication --base 1000 --seeds 100 --shards 4 --ops 120 --budget-ms 60000
+# End-to-end over real sockets, at the default and a wider shard count.
+cargo test -q --offline -p chronicle-net
+SHARDS=4 cargo test -q --offline -p chronicle-net --test replication
+
+echo "== wire-codec mutation check (offline) =="
+# Prove the codec tests have teeth: disable frame CRC verification
+# through the test-only CHRONICLE_MUTATE backdoor and require the
+# net suite to FAIL — the exhaustive single-bit-flip test guarantees
+# the catch deterministically.
+if CHRONICLE_MUTATE=skip_frame_crc cargo test -q --offline -p chronicle-net --lib >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: skip_frame_crc was not caught by the wire-codec tests"
+    exit 1
+fi
+
 echo "== sharded maintenance gate (offline) =="
 # The concurrent-shard property tests: sharded view states must be
 # byte-identical to the single-threaded reference at SHARDS=4, for

@@ -20,6 +20,9 @@
 //!   (C, R, L, V) together, plus baselines and a concurrent append pipeline,
 //! * [`durability`] — segmented write-ahead log, view checkpointing, and
 //!   crash recovery backing [`db::ChronicleDb::open`],
+//! * [`net`] — the wire protocol: a leader [`net::Server`] serving SQL
+//!   over TCP, WAL log shipping, and follower [`net::Replica`]s serving
+//!   read-only views,
 //! * [`workload`] — seeded synthetic workload generators.
 //!
 //! ## Quick start
@@ -58,6 +61,7 @@
 pub use chronicle_algebra as algebra;
 pub use chronicle_db as db;
 pub use chronicle_durability as durability;
+pub use chronicle_net as net;
 pub use chronicle_simkit as simkit;
 pub use chronicle_sql as sql;
 pub use chronicle_store as store;
