@@ -17,8 +17,8 @@ use chronicle_store::{Catalog, Retention};
 use chronicle_testkit::TempDir;
 use chronicle_types::{AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Tuple, Value};
 use chronicle_views::{
-    AppendEvent, BatchDiscount, Calendar, Maintainer, PeriodicViewSet, RouteMode, SlidingWindow,
-    TierSchedule,
+    AppendEvent, BatchDiscount, BatchMode, Calendar, Maintainer, PeriodicViewSet, RouteMode,
+    SlidingWindow, TierSchedule,
 };
 use chronicle_workload::{AtmGen, CallGen, TradeGen};
 
@@ -1100,11 +1100,19 @@ pub fn e14_recovery(scale: u32) -> Figure {
 /// critical-path share of maintenance work as the catalog is
 /// hash-partitioned. Theorem 4.1 keeps the shards coordination-free, so
 /// the serial stage of a sharded run is its most-loaded shard; with the
-/// balanced group set the critical path shrinks as 1/shards. Measurement
-/// core of the `e15_sharding` bench target, exposed for `BENCH_E15.json`.
+/// balanced group set the critical path shrinks as 1/shards. Each shard
+/// count is swept twice over the same total tuple stream: row-at-a-time
+/// appends (one WAL record and one maintenance event per tuple) and
+/// 32-row batches (one columnar WAL record and one vectorized maintenance
+/// event per batch). Measurement core of the `e15_sharding` bench target,
+/// exposed for `BENCH_E15.json`.
 pub fn e15_sharding(scale: u32) -> Figure {
     const GROUPS: usize = 8;
-    let ops_per_group: usize = if scale == 0 { 150 } else { 2_000 };
+    /// Rows per append in the batched sweep.
+    const BATCH: usize = 32;
+    // Tuples per group; divisible by BATCH so both sweeps ship the same
+    // stream.
+    let ops_per_group: usize = if scale == 0 { 160 } else { 2_048 };
     let shard_counts: &[usize] = if scale == 0 {
         &[1, 2, 4]
     } else {
@@ -1132,12 +1140,11 @@ pub fn e15_sharding(scale: u32) -> Figure {
     let mut fig = Figure::new(
         "E15 — sharded maintenance scaling (durable group commit)",
         "shards",
-        "appends/sec and critical-path work",
+        "tuples/sec and critical-path work",
     );
-    let mut tp = Series::new("appends/sec");
-    let mut critical = Series::new("critical-path work (units)");
-    let mut speedup = Series::new("model speedup (total/critical)");
-    for &shards in shard_counts {
+    // One durable run: `batch` tuples per append, same total stream.
+    // Returns wall seconds plus the finished engine for work inspection.
+    let run = |shards: usize, batch: usize| {
         let tmp = TempDir::new("e15-json");
         let opts = DurabilityOptions {
             fsync: true,
@@ -1164,39 +1171,57 @@ pub fn e15_sharding(scale: u32) -> Figure {
                 let handle = handle.clone();
                 scope.spawn(move || {
                     let chron = format!("{g}_c");
-                    for i in 0..ops_per_group {
+                    for b in 0..ops_per_group / batch {
+                        let rows: Vec<Vec<Value>> = (0..batch)
+                            .map(|j| {
+                                let i = b * batch + j;
+                                vec![Value::Int((i % 16) as i64), Value::Float(i as f64 % 9.0)]
+                            })
+                            .collect();
                         handle
-                            .append_nowait(
-                                &chron,
-                                Chronon(i as i64 + 1),
-                                vec![vec![
-                                    Value::Int((i % 16) as i64),
-                                    Value::Float(i as f64 % 9.0),
-                                ]],
-                            )
+                            .append_nowait(&chron, Chronon(b as i64 + 1), rows)
                             .expect("pipeline alive");
                     }
                 });
             }
         });
         let db = pipeline.shutdown();
-        let elapsed = start.elapsed().as_secs_f64();
+        (start.elapsed().as_secs_f64(), db)
+    };
+    let mut tp = Series::new("tuples/sec (row-at-a-time)");
+    let mut tp_batch = Series::new(format!("tuples/sec (batched x{BATCH})"));
+    let mut batch_speedup = Series::new("batch speedup (x)");
+    let mut critical = Series::new("critical-path work (units)");
+    let mut speedup = Series::new("model speedup (total/critical)");
+    for &shards in shard_counts {
+        let (row_secs, db) = run(shards, 1);
         let total = db.stats().work.total() as f64;
         let crit = (0..shards)
             .map(|i| db.shard(i).stats().work.total())
             .max()
             .unwrap_or(0) as f64;
-        tp.push(shards as f64, ops as f64 / elapsed.max(1e-9));
+        let (batch_secs, batch_db) = run(shards, BATCH);
+        assert!(
+            batch_db.stats().vectorized_views > 0,
+            "batched E15 run never reached the vectorized kernels"
+        );
+        tp.push(shards as f64, ops as f64 / row_secs.max(1e-9));
+        tp_batch.push(shards as f64, ops as f64 / batch_secs.max(1e-9));
+        batch_speedup.push(shards as f64, row_secs / batch_secs.max(1e-9));
         critical.push(shards as f64, crit);
         speedup.push(shards as f64, total / crit.max(1.0));
     }
     fig.series.push(tp);
+    fig.series.push(tp_batch);
+    fig.series.push(batch_speedup);
     fig.series.push(critical);
     fig.series.push(speedup);
     fig.note(format!(
-        "{GROUPS} groups x {ops_per_group} durable appends, group-commit \
-         window {capacity}; expected: critical-path work ~1/shards of total \
-         (work counters are deterministic), throughput rising with shards"
+        "{GROUPS} groups x {ops_per_group} durable tuples, group-commit \
+         window {capacity}, appended 1 and {BATCH} rows at a time; \
+         expected: critical-path work ~1/shards of total (work counters \
+         are deterministic), throughput rising with shards, and batched \
+         ingest >=5x row-at-a-time at every shard count"
     ));
     fig
 }
@@ -1348,6 +1373,85 @@ pub fn e16_replication(scale: u32) -> Figure {
     fig
 }
 
+// ===================================================================== E17
+
+/// E17 — batch-size sweep of the vectorized delta kernels: per-tuple
+/// maintenance cost as the append batch grows, vectorized (columnar
+/// chunks through the σ/Π/γ kernels) vs forced-scalar (the per-tuple
+/// interpreter), over one in-memory engine with a select-heavy and a
+/// grouped view. Both modes produce byte-identical state — the
+/// differential oracle suite pins that — so this figure isolates the
+/// constant-factor win of transposing once per batch instead of boxing
+/// every tuple through intermediate Z-sets. Exposed for
+/// `BENCH_E17.json`.
+pub fn e17_batch_kernels(scale: u32) -> Figure {
+    let total: usize = if scale == 0 { 4_096 } else { 65_536 };
+    let batch_sizes: &[usize] = if scale == 0 {
+        &[1, 16, 256]
+    } else {
+        &[1, 4, 16, 64, 256]
+    };
+    let run = |batch: usize, mode: BatchMode| {
+        let mut db = ChronicleDb::new();
+        db.execute("CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT)")
+            .expect("ddl");
+        db.execute(
+            "CREATE VIEW long_calls AS SELECT caller, COUNT(*) AS n, SUM(minutes) AS m \
+             FROM calls WHERE minutes > 4.5 GROUP BY caller",
+        )
+        .expect("ddl");
+        db.execute("CREATE VIEW callers AS SELECT caller FROM calls")
+            .expect("ddl");
+        db.set_batch_mode(mode);
+        let start = std::time::Instant::now();
+        for b in 0..total / batch {
+            let rows: Vec<Vec<Value>> = (0..batch)
+                .map(|j| {
+                    let i = b * batch + j;
+                    vec![Value::Int((i % 64) as i64), Value::Float(i as f64 % 9.0)]
+                })
+                .collect();
+            db.append("calls", Chronon(b as i64 + 1), &rows)
+                .expect("append");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        // Single-row appends ride the interpreter by design (the chunk
+        // transpose only pays for itself from two rows up), so the kernel
+        // counter is only required to move once batches actually batch.
+        if mode == BatchMode::Vectorized && batch >= 2 {
+            assert!(
+                db.stats().vectorized_views > 0,
+                "E17 vectorized run never reached the kernels"
+            );
+        }
+        secs
+    };
+    let mut fig = Figure::new(
+        "E17 — vectorized kernels vs scalar interpreter (batch-size sweep)",
+        "rows per append batch",
+        "tuples/sec (in-memory maintenance)",
+    );
+    let mut vec_tp = Series::new("tuples/sec (vectorized)");
+    let mut sca_tp = Series::new("tuples/sec (scalar)");
+    let mut speedup = Series::new("kernel speedup (x)");
+    for &batch in batch_sizes {
+        let sca = run(batch, BatchMode::Scalar);
+        let vec = run(batch, BatchMode::Vectorized);
+        vec_tp.push(batch as f64, total as f64 / vec.max(1e-9));
+        sca_tp.push(batch as f64, total as f64 / sca.max(1e-9));
+        speedup.push(batch as f64, sca / vec.max(1e-9));
+    }
+    fig.series.push(vec_tp);
+    fig.series.push(sca_tp);
+    fig.series.push(speedup);
+    fig.note(format!(
+        "{total} tuples through two views (sigma+gamma, pi), in-memory; \
+         expected: modes coincide at batch 1 (single-row events ride the \
+         interpreter by design) and the kernels pull ahead as batches grow"
+    ));
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1449,6 +1553,37 @@ mod tests {
         let fig = e12_proactive(0);
         assert_eq!(fig.series[0].points[0].1, 1.0, "incremental == oracle");
         assert!(fig.notes.iter().any(|n| n.contains("retroactive")));
+    }
+
+    #[test]
+    fn e15_sweeps_both_append_granularities() {
+        let fig = e15_sharding(0);
+        let row = fig.series("tuples/sec (row-at-a-time)").expect("series");
+        let batch = fig.series("tuples/sec (batched x32)").expect("series");
+        let speedup = fig.series("batch speedup (x)").expect("series");
+        assert_eq!(row.points.len(), batch.points.len());
+        assert_eq!(row.points.len(), speedup.points.len());
+        // Fewer WAL records, fsyncs, and maintenance events per tuple:
+        // batched ingest must never be slower than row-at-a-time.
+        assert!(
+            speedup.points.iter().all(|&(_, y)| y > 1.0),
+            "batched ingest slower than row-at-a-time: {:?}",
+            speedup.points
+        );
+    }
+
+    #[test]
+    fn e17_sweeps_both_kernel_modes() {
+        let fig = e17_batch_kernels(0);
+        for name in [
+            "tuples/sec (vectorized)",
+            "tuples/sec (scalar)",
+            "kernel speedup (x)",
+        ] {
+            let s = fig.series(name).expect("series");
+            assert_eq!(s.points.len(), 3, "scale-0 sweep covers 3 batch sizes");
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
     }
 
     #[test]

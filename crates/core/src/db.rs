@@ -20,7 +20,7 @@ use chronicle_types::{
     ViewId,
 };
 use chronicle_views::{
-    AppendEvent, Calendar, Maintainer, MaintenanceReport, PeriodicViewSet, RouteMode,
+    AppendEvent, BatchMode, Calendar, Maintainer, MaintenanceReport, PeriodicViewSet, RouteMode,
 };
 
 use crate::stats::DbStats;
@@ -737,6 +737,13 @@ impl ChronicleDb {
     /// Toggle §5.2 routing on or off (experiment E9).
     pub fn set_route_mode(&mut self, mode: RouteMode) {
         self.maintainer.set_route_mode(mode);
+    }
+
+    /// Toggle vectorized vs forced-scalar view maintenance. Both modes
+    /// produce byte-identical state; the differential oracle pins them
+    /// against each other.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.maintainer.set_batch_mode(mode);
     }
 
     // ---- appends -----------------------------------------------------------

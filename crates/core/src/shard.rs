@@ -518,6 +518,13 @@ impl ShardedDb {
         self.routes.chronicle_shard(name)
     }
 
+    /// Toggle vectorized vs forced-scalar view maintenance on every shard.
+    pub fn set_batch_mode(&mut self, mode: chronicle_views::BatchMode) {
+        for s in &mut self.shards {
+            s.set_batch_mode(mode);
+        }
+    }
+
     /// Statistics aggregated across every shard (counters add, maxima take
     /// the max, latency percentiles draw on all shards' samples). Use
     /// [`ShardedDb::shard`]`.stats()` for one shard's own numbers.

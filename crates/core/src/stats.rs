@@ -4,53 +4,82 @@ use std::cell::{Cell, RefCell};
 
 use chronicle_algebra::WorkCounter;
 use chronicle_durability::SalvageReport;
+use chronicle_testkit::{Rng, SeedableRng, SmallRng};
 use chronicle_views::MaintenanceReport;
 
 /// Size of the retained latency sample.
 const SAMPLE: usize = 4096;
 
-/// A bounded ring of latency observations with cached percentiles.
+/// Seed for the reservoir's replacement draws. Fixed, so a run's retained
+/// sample is reproducible; statistical guarantees need the draws to be
+/// uncorrelated with the data, not unpredictable.
+const RESERVOIR_SEED: u64 = 0x1a7e_5a3e_0b5e_7a11;
+
+/// A bounded reservoir of latency observations with cached percentiles.
 ///
 /// This is the lazy-percentile plumbing behind
 /// [`DbStats::latency_percentile`], factored out so other subsystems
 /// (network request latency, replication apply latency) reuse the same
-/// ring + cached-sort discipline instead of growing their own. Once the
-/// ring is full, the slot for observation number `n` (1-based) is
-/// `(n - 1) % SAMPLE`, so it always holds exactly the most recent
-/// `SAMPLE` observations.
-#[derive(Debug, Clone, Default)]
+/// reservoir + cached-sort discipline instead of growing their own. Once
+/// `SAMPLE` observations are retained, observation number `n` replaces a
+/// uniformly random slot with probability `SAMPLE/n` (Algorithm R), so
+/// every observation of the run — not just the first or the most recent
+/// `SAMPLE` — is equally likely to be in the retained sample and long
+/// runs stay representative end to end.
+#[derive(Debug, Clone)]
 pub struct LatencySample {
-    /// Ring buffer of the most recent `SAMPLE` observations (ns).
+    /// Reservoir of retained observations (ns), at most `SAMPLE` of them.
     samples: Vec<u64>,
-    /// Total observations ever recorded (drives the ring slot).
+    /// Total observations ever recorded (drives replacement probability).
     seen: u64,
+    /// Seeded source of replacement draws (deterministic per run).
+    rng: SmallRng,
     /// Lazily sorted copy of `samples` for percentile queries; rebuilt
     /// only when a query arrives after new data (`stale`).
     sorted: RefCell<Vec<u64>>,
     stale: Cell<bool>,
 }
 
+impl Default for LatencySample {
+    fn default() -> Self {
+        LatencySample {
+            samples: Vec::new(),
+            seen: 0,
+            rng: SmallRng::seed_from_u64(RESERVOIR_SEED),
+            sorted: RefCell::new(Vec::new()),
+            stale: Cell::new(false),
+        }
+    }
+}
+
 impl LatencySample {
     /// Record one observation in nanoseconds.
     pub fn record(&mut self, nanos: u64) {
         self.seen += 1;
-        if self.samples.len() == SAMPLE {
-            let idx = ((self.seen - 1) % SAMPLE as u64) as usize;
-            self.samples[idx] = nanos;
-        } else {
+        if self.samples.len() < SAMPLE {
             self.samples.push(nanos);
+        } else {
+            // Algorithm R: keep with probability SAMPLE/seen, evicting a
+            // uniformly random resident so the retained set stays an
+            // unbiased sample of everything seen so far.
+            let j = self.rng.next_u64() % self.seen;
+            if (j as usize) < SAMPLE {
+                self.samples[j as usize] = nanos;
+            }
         }
         self.stale.set(true);
     }
 
-    /// Fold another sample in: observations are concatenated (capped at
-    /// the ring size, keeping the other side's most recent ones).
+    /// Fold another reservoir in: the other side's retained observations
+    /// are re-offered to this reservoir one by one (so a full receiver
+    /// still admits them with the usual replacement probability instead
+    /// of dropping them wholesale), and its unretained population is
+    /// folded into the observation count.
     pub fn absorb(&mut self, other: &LatencySample) {
-        self.seen += other.seen;
-        let room = SAMPLE.saturating_sub(self.samples.len());
-        let take = other.samples.len().min(room);
-        self.samples
-            .extend_from_slice(&other.samples[other.samples.len() - take..]);
+        for &nanos in &other.samples {
+            self.record(nanos);
+        }
+        self.seen += other.seen - other.samples.len() as u64;
         self.stale.set(true);
     }
 
@@ -104,6 +133,10 @@ pub struct DbStats {
     pub skipped_by_guard: u64,
     /// Views skipped by the router's interval filter.
     pub skipped_by_interval: u64,
+    /// Views maintained through the vectorized columnar kernels (subset of
+    /// `views_maintained`; zero under `CHRONICLE_MUTATE=scalar_fallback`
+    /// or `BatchMode::Scalar`).
+    pub vectorized_views: u64,
     /// Aggregate work counters across all maintenance.
     pub work: WorkCounter,
     /// Records written to the write-ahead log.
@@ -159,6 +192,7 @@ impl DbStats {
         self.views_maintained += report.views.len() as u64;
         self.skipped_by_guard += report.routing.skipped_guard as u64;
         self.skipped_by_interval += report.routing.skipped_interval as u64;
+        self.vectorized_views += report.vectorized_views as u64;
         self.work.absorb(report.total_work);
         self.latencies.record(report.elapsed_nanos);
     }
@@ -184,9 +218,11 @@ impl DbStats {
 
     /// Fold another database's statistics into this one — the cross-shard
     /// aggregation used by `ShardedDb::stats`. Counters add, maxima take
-    /// the max, and the latency samples are concatenated (capped at the
-    /// ring size), so percentiles over the merged snapshot draw on the
-    /// retained observations of every shard. The
+    /// the max, and the latency reservoirs merge (every shard's retained
+    /// observations are re-offered, so a full receiver keeps admitting
+    /// them proportionally instead of dropping late shards wholesale), so
+    /// percentiles over the merged snapshot draw on the retained
+    /// observations of every shard. The
     /// merged value is a read-only snapshot: feeding it further
     /// `record_append` calls would interleave with the foreign samples.
     pub fn absorb(&mut self, other: &DbStats) {
@@ -198,6 +234,7 @@ impl DbStats {
         self.views_maintained += other.views_maintained;
         self.skipped_by_guard += other.skipped_by_guard;
         self.skipped_by_interval += other.skipped_by_interval;
+        self.vectorized_views += other.vectorized_views;
         self.work.absorb(other.work);
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;
@@ -272,6 +309,7 @@ mod tests {
             },
             views: vec![],
             periodic_maintained: 0,
+            vectorized_views: 0,
             total_work: WorkCounter::default(),
             elapsed_nanos: nanos,
         }
@@ -360,15 +398,71 @@ mod tests {
     }
 
     #[test]
-    fn ring_overwrites_oldest_slot_first() {
+    fn reservoir_tracks_a_mid_run_distribution_shift() {
+        // Shift the latency distribution mid-run: 3×SAMPLE fast appends
+        // (~1µs) followed by 3×SAMPLE slow ones (~1ms). A most-recent
+        // ring would retain only the slow tail; the old stop-once-full
+        // merge retained only the fast head. The reservoir keeps both
+        // regimes in proportion, deterministically (seeded draws).
         let mut s = DbStats::default();
-        for i in 0..SAMPLE as u64 {
-            s.record_append(1, &report(i));
+        for _ in 0..3 * SAMPLE {
+            s.record_append(1, &report(1_000));
         }
-        // Append SAMPLE+1 must overwrite slot 0 (the oldest), not slot 1.
-        s.record_append(1, &report(777_777));
-        assert_eq!(s.latencies.samples[0], 777_777);
-        assert_eq!(s.latencies.samples[1], 1);
+        for _ in 0..3 * SAMPLE {
+            s.record_append(1, &report(1_000_000));
+        }
+        assert!(s.latencies.len() <= SAMPLE);
+        assert_eq!(
+            s.latency_percentile(0.05),
+            1_000,
+            "early (fast) regime must still be sampled"
+        );
+        assert_eq!(
+            s.latency_percentile(0.95),
+            1_000_000,
+            "late (slow) regime must be sampled too"
+        );
+        let slow = s
+            .latencies
+            .samples
+            .iter()
+            .filter(|&&v| v == 1_000_000)
+            .count();
+        let frac = slow as f64 / s.latencies.len() as f64;
+        assert!(
+            (0.40..=0.60).contains(&frac),
+            "half the observations were slow, but the reservoir retains {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn absorb_admits_a_full_peer_instead_of_dropping_it() {
+        // Regression for the stop-once-full merge: once `a` was full,
+        // `b`'s observations vanished from the merged percentiles.
+        let mut a = DbStats::default();
+        let mut b = DbStats::default();
+        for _ in 0..SAMPLE as u64 {
+            a.record_append(1, &report(1_000));
+            b.record_append(1, &report(1_000_000));
+        }
+        a.absorb(&b);
+        assert!(a.latencies.len() <= SAMPLE);
+        assert_eq!(
+            a.latency_percentile(0.95),
+            1_000_000,
+            "the absorbed shard's observations must survive the merge"
+        );
+        let slow = a
+            .latencies
+            .samples
+            .iter()
+            .filter(|&&v| v == 1_000_000)
+            .count();
+        let frac = slow as f64 / a.latencies.len() as f64;
+        assert!(
+            (0.40..=0.60).contains(&frac),
+            "both shards contributed equally, but the merge retains {frac:.2}"
+        );
     }
 
     #[test]

@@ -68,6 +68,44 @@ const TAG_APPEND: u8 = 1;
 const TAG_REL_INSERT: u8 = 2;
 const TAG_REL_DELETE: u8 = 3;
 const TAG_REL_UPDATE: u8 = 4;
+/// Columnar append framing: multi-row batches are encoded column-major
+/// with one tag byte per *column* when the column's runtime type is
+/// uniform, instead of one tag byte per value. Single-row and ragged
+/// batches keep the [`TAG_APPEND`] row framing; decode accepts both.
+const TAG_APPEND_COL: u8 = 5;
+
+/// Per-column type tags of the columnar framing. `COL_MIXED` columns fall
+/// back to per-value tagged encoding (this also covers NULLs, so every
+/// encoded value occupies at least one byte — which is what lets decode
+/// bound allocations by the remaining input).
+const COL_BOOL: u8 = 1;
+const COL_INT: u8 = 2;
+const COL_FLOAT: u8 = 3;
+const COL_STR: u8 = 4;
+const COL_SEQ: u8 = 5;
+const COL_MIXED: u8 = 0xFF;
+
+/// The columnar tag of `values` when they are runtime-uniform and
+/// NULL-free; `COL_MIXED` otherwise.
+fn column_tag(tuples: &[Tuple], col: usize) -> u8 {
+    let mut tag = COL_MIXED;
+    for t in tuples {
+        let vt = match t.get(col) {
+            Value::Bool(_) => COL_BOOL,
+            Value::Int(_) => COL_INT,
+            Value::Float(_) => COL_FLOAT,
+            Value::Str(_) => COL_STR,
+            Value::Seq(_) => COL_SEQ,
+            Value::Null => return COL_MIXED,
+        };
+        if tag == COL_MIXED {
+            tag = vt;
+        } else if tag != vt {
+            return COL_MIXED;
+        }
+    }
+    tag
+}
 
 impl WalRecord {
     /// Encode to the payload bytes of a WAL frame.
@@ -84,13 +122,40 @@ impl WalRecord {
                 at,
                 tuples,
             } => {
-                w.u8(TAG_APPEND);
-                w.str(chronicle);
-                w.seq_no(*seq);
-                w.chronon(*at);
-                w.u32(tuples.len() as u32);
-                for t in tuples {
-                    w.tuple(t);
+                let arity = tuples.first().map_or(0, |t| t.arity());
+                let columnar =
+                    tuples.len() >= 2 && arity > 0 && tuples.iter().all(|t| t.arity() == arity);
+                if columnar {
+                    w.u8(TAG_APPEND_COL);
+                    w.str(chronicle);
+                    w.seq_no(*seq);
+                    w.chronon(*at);
+                    w.u32(tuples.len() as u32);
+                    w.u32(arity as u32);
+                    for col in 0..arity {
+                        let tag = column_tag(tuples, col);
+                        w.u8(tag);
+                        for t in tuples {
+                            match (tag, t.get(col)) {
+                                (COL_BOOL, Value::Bool(b)) => w.u8(*b as u8),
+                                (COL_INT, Value::Int(i)) => w.i64(*i),
+                                (COL_FLOAT, Value::Float(f)) => w.f64(*f),
+                                (COL_STR, Value::Str(s)) => w.str(s),
+                                (COL_SEQ, Value::Seq(s)) => w.seq_no(*s),
+                                (COL_MIXED, v) => w.value(v),
+                                _ => unreachable!("column_tag guarantees uniformity"),
+                            }
+                        }
+                    }
+                } else {
+                    w.u8(TAG_APPEND);
+                    w.str(chronicle);
+                    w.seq_no(*seq);
+                    w.chronon(*at);
+                    w.u32(tuples.len() as u32);
+                    for t in tuples {
+                        w.tuple(t);
+                    }
                 }
             }
             WalRecord::RelInsert {
@@ -146,6 +211,65 @@ impl WalRecord {
                 for _ in 0..n {
                     tuples.push(r.tuple()?);
                 }
+                WalRecord::Append {
+                    chronicle,
+                    seq,
+                    at,
+                    tuples,
+                }
+            }
+            TAG_APPEND_COL => {
+                let chronicle = r.str()?;
+                let seq = r.seq_no()?;
+                let at = r.chronon()?;
+                let nrows = r.u32()? as usize;
+                let arity = r.u32()? as usize;
+                // Every encoded value occupies at least one byte and every
+                // column carries a tag byte, so an honest record needs at
+                // least this much input — reject outsized claims before
+                // allocating.
+                let need = nrows.saturating_mul(arity).saturating_add(arity);
+                if nrows < 2 || arity == 0 || need > r.remaining() {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!(
+                            "columnar WAL append claims {nrows}x{arity} values \
+                             (at least {need} bytes) but only {} bytes remain",
+                            r.remaining()
+                        ),
+                    });
+                }
+                let mut cols: Vec<Vec<Value>> = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    let tag = r.u8()?;
+                    let mut vals = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        vals.push(match tag {
+                            COL_BOOL => Value::Bool(r.u8()? != 0),
+                            COL_INT => Value::Int(r.i64()?),
+                            COL_FLOAT => Value::Float(r.f64()?),
+                            COL_STR => Value::str(r.str()?),
+                            COL_SEQ => Value::Seq(r.seq_no()?),
+                            COL_MIXED => r.value()?,
+                            t => {
+                                return Err(ChronicleError::Corruption {
+                                    detail: format!("unknown WAL column tag {t}"),
+                                })
+                            }
+                        });
+                    }
+                    cols.push(vals);
+                }
+                let mut lanes: Vec<_> = cols.into_iter().map(Vec::into_iter).collect();
+                let tuples = (0..nrows)
+                    .map(|_| {
+                        Tuple::new(
+                            lanes
+                                .iter_mut()
+                                .map(|l| l.next().expect("lane length nrows"))
+                                .collect(),
+                        )
+                    })
+                    .collect();
                 WalRecord::Append {
                     chronicle,
                     seq,
@@ -242,6 +366,80 @@ mod tests {
             let bytes = rec.encode();
             assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
         }
+    }
+
+    #[test]
+    fn multi_row_appends_take_the_columnar_framing() {
+        let rec = WalRecord::Append {
+            chronicle: "deposits".into(),
+            seq: SeqNo(42),
+            at: Chronon(7),
+            tuples: vec![
+                tuple![SeqNo(42), 1i64, 250.0f64, "atm"],
+                tuple![SeqNo(42), 2i64, 5.5f64, "teller"],
+                tuple![SeqNo(42), 3i64, Value::Null, "atm"],
+            ],
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes[0], TAG_APPEND_COL);
+        assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
+        // Single-row batches keep the legacy row framing.
+        let single = WalRecord::Append {
+            chronicle: "deposits".into(),
+            seq: SeqNo(44),
+            at: Chronon(9),
+            tuples: vec![tuple![SeqNo(44), 1i64, 1.0f64, "atm"]],
+        };
+        let bytes = single.encode();
+        assert_eq!(bytes[0], TAG_APPEND);
+        assert_eq!(WalRecord::decode(&bytes).unwrap(), single);
+    }
+
+    #[test]
+    fn columnar_framing_shrinks_uniform_batches() {
+        let tuples: Vec<_> = (0..64)
+            .map(|i| tuple![SeqNo(5), i as i64, i as f64 / 2.0])
+            .collect();
+        let columnar = WalRecord::Append {
+            chronicle: "c".into(),
+            seq: SeqNo(5),
+            at: Chronon(1),
+            tuples: tuples.clone(),
+        }
+        .encode();
+        // Row framing spends one tag byte per value plus per-tuple length
+        // prefixes; columnar spends one tag byte per column.
+        let mut row = Writer::new();
+        row.u8(TAG_APPEND);
+        row.str("c");
+        row.seq_no(SeqNo(5));
+        row.chronon(Chronon(1));
+        row.u32(tuples.len() as u32);
+        for t in &tuples {
+            row.tuple(t);
+        }
+        assert!(columnar.len() < row.into_bytes().len());
+    }
+
+    #[test]
+    fn oversized_columnar_claims_rejected_before_allocating() {
+        let rec = WalRecord::Append {
+            chronicle: "c".into(),
+            seq: SeqNo(5),
+            at: Chronon(1),
+            tuples: vec![tuple![SeqNo(5), 1i64], tuple![SeqNo(5), 2i64]],
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes[0], TAG_APPEND_COL);
+        // The row count sits right after the chronicle name, seq and
+        // chronon; stamp it to u32::MAX and the decoder must refuse.
+        let nrows_at = bytes.len() - (2 * 8 + 8 + 8 + 1 + 1 + 8);
+        let mut huge = bytes.clone();
+        huge[nrows_at..nrows_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = WalRecord::decode(&huge).unwrap_err();
+        assert!(matches!(err, ChronicleError::Corruption { .. }));
+        // Truncated columnar payloads fail cleanly too.
+        assert!(WalRecord::decode(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

@@ -1,0 +1,467 @@
+//! Typed columnar chunks: the batch currency of vectorized maintenance.
+//!
+//! An append batch arrives as row-major [`Tuple`]s; the delta kernels in
+//! `chronicle-algebra` want to evaluate predicates column-at-a-time over
+//! unboxed values. A [`Chunk`] transposes a batch into one typed
+//! [`ColumnVec`] per attribute, with a per-column null mask and a `Mixed`
+//! escape hatch for columns whose rows carry more than one runtime type
+//! (a FLOAT column may legally hold `Int` rows, and any column may hold
+//! NULLs — the typed lanes only engage when the runtime representation is
+//! uniform, so reconstructed values are byte-identical to the originals).
+//!
+//! Column vectors are arena-backed: a [`ChunkArena`] keeps the buffers of
+//! recycled chunks and re-issues them to the next batch, so steady-state
+//! ingestion reuses allocations instead of growing fresh vectors per
+//! append.
+
+use std::sync::Arc;
+
+use chronicle_types::{SeqNo, Tuple, Value};
+
+/// One column of a [`Chunk`]: the runtime-uniform typed lanes, or `Mixed`
+/// when rows disagree on their runtime type.
+///
+/// In the typed lanes `nulls` is either empty (no NULLs anywhere in the
+/// column) or exactly `vals.len()` long, with `true` marking a NULL row
+/// whose lane slot is a meaningless filler.
+#[derive(Debug, Clone)]
+pub enum ColumnVec {
+    /// All non-null rows are `Value::Bool`.
+    Bool {
+        /// Lane values (filler where `nulls` is set).
+        vals: Vec<bool>,
+        /// Null mask: empty, or one flag per row.
+        nulls: Vec<bool>,
+    },
+    /// All non-null rows are `Value::Int`.
+    Int {
+        /// Lane values (filler where `nulls` is set).
+        vals: Vec<i64>,
+        /// Null mask: empty, or one flag per row.
+        nulls: Vec<bool>,
+    },
+    /// All non-null rows are `Value::Float`.
+    Float {
+        /// Lane values (filler where `nulls` is set).
+        vals: Vec<f64>,
+        /// Null mask: empty, or one flag per row.
+        nulls: Vec<bool>,
+    },
+    /// All non-null rows are `Value::Str` (shared, so clones are cheap).
+    Str {
+        /// Lane values (filler where `nulls` is set).
+        vals: Vec<Arc<str>>,
+        /// Null mask: empty, or one flag per row.
+        nulls: Vec<bool>,
+    },
+    /// All non-null rows are `Value::Seq`.
+    Seq {
+        /// Lane values (filler where `nulls` is set).
+        vals: Vec<u64>,
+        /// Null mask: empty, or one flag per row.
+        nulls: Vec<bool>,
+    },
+    /// Rows carry more than one runtime type (or the column is all-NULL);
+    /// kept boxed, and kernels fall back to per-value comparison.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnVec {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Bool { vals, .. } => vals.len(),
+            ColumnVec::Int { vals, .. } => vals.len(),
+            ColumnVec::Float { vals, .. } => vals.len(),
+            ColumnVec::Str { vals, .. } => vals.len(),
+            ColumnVec::Seq { vals, .. } => vals.len(),
+            ColumnVec::Mixed(vals) => vals.len(),
+        }
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A borrowed view of the column.
+    pub fn slice(&self) -> ColumnSlice<'_> {
+        match self {
+            ColumnVec::Bool { vals, nulls } => ColumnSlice::Bool { vals, nulls },
+            ColumnVec::Int { vals, nulls } => ColumnSlice::Int { vals, nulls },
+            ColumnVec::Float { vals, nulls } => ColumnSlice::Float { vals, nulls },
+            ColumnVec::Str { vals, nulls } => ColumnSlice::Str { vals, nulls },
+            ColumnVec::Seq { vals, nulls } => ColumnSlice::Seq { vals, nulls },
+            ColumnVec::Mixed(vals) => ColumnSlice::Mixed(vals),
+        }
+    }
+
+    /// Reconstruct the row's original [`Value`] (byte-identical: the typed
+    /// lanes only hold runtime-uniform rows).
+    pub fn value_at(&self, row: usize) -> Value {
+        fn masked(nulls: &[bool], row: usize) -> bool {
+            !nulls.is_empty() && nulls[row]
+        }
+        match self {
+            ColumnVec::Bool { vals, nulls } if !masked(nulls, row) => Value::Bool(vals[row]),
+            ColumnVec::Int { vals, nulls } if !masked(nulls, row) => Value::Int(vals[row]),
+            ColumnVec::Float { vals, nulls } if !masked(nulls, row) => Value::Float(vals[row]),
+            ColumnVec::Str { vals, nulls } if !masked(nulls, row) => {
+                Value::Str(Arc::clone(&vals[row]))
+            }
+            ColumnVec::Seq { vals, nulls } if !masked(nulls, row) => Value::Seq(SeqNo(vals[row])),
+            ColumnVec::Mixed(vals) => vals[row].clone(),
+            _ => Value::Null,
+        }
+    }
+
+    /// Clear the buffers for reuse, keeping their capacity.
+    fn clear(&mut self) {
+        match self {
+            ColumnVec::Bool { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColumnVec::Int { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColumnVec::Float { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColumnVec::Str { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColumnVec::Seq { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColumnVec::Mixed(vals) => vals.clear(),
+        }
+    }
+}
+
+/// A borrowed, typed view of one [`Chunk`] column — what the vectorized
+/// kernels actually loop over.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// Uniform boolean lane.
+    Bool {
+        /// Lane values.
+        vals: &'a [bool],
+        /// Null mask (empty = no NULLs).
+        nulls: &'a [bool],
+    },
+    /// Uniform integer lane.
+    Int {
+        /// Lane values.
+        vals: &'a [i64],
+        /// Null mask (empty = no NULLs).
+        nulls: &'a [bool],
+    },
+    /// Uniform float lane.
+    Float {
+        /// Lane values.
+        vals: &'a [f64],
+        /// Null mask (empty = no NULLs).
+        nulls: &'a [bool],
+    },
+    /// Uniform string lane.
+    Str {
+        /// Lane values.
+        vals: &'a [Arc<str>],
+        /// Null mask (empty = no NULLs).
+        nulls: &'a [bool],
+    },
+    /// Uniform sequence-number lane.
+    Seq {
+        /// Lane values.
+        vals: &'a [u64],
+        /// Null mask (empty = no NULLs).
+        nulls: &'a [bool],
+    },
+    /// Boxed fallback (mixed runtime types or all-NULL).
+    Mixed(&'a [Value]),
+}
+
+impl ColumnSlice<'_> {
+    /// True iff the row is NULL.
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            ColumnSlice::Bool { nulls, .. }
+            | ColumnSlice::Int { nulls, .. }
+            | ColumnSlice::Float { nulls, .. }
+            | ColumnSlice::Str { nulls, .. }
+            | ColumnSlice::Seq { nulls, .. } => !nulls.is_empty() && nulls[row],
+            ColumnSlice::Mixed(vals) => vals[row].is_null(),
+        }
+    }
+}
+
+/// A batch of tuples transposed into typed column vectors. All columns
+/// have the same length (`len()` rows); `value_at` reconstructs the
+/// original row values exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    len: usize,
+    columns: Vec<ColumnVec>,
+}
+
+impl Chunk {
+    /// Transpose a row-major batch. All tuples must share one arity
+    /// (guaranteed for tuples admitted by a chronicle schema); an empty
+    /// batch yields an empty chunk with no columns.
+    pub fn from_tuples(tuples: &[Tuple]) -> Chunk {
+        ChunkArena::default().build(tuples)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns (0 for an empty chunk).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The `col`-th column.
+    pub fn column(&self, col: usize) -> &ColumnVec {
+        &self.columns[col]
+    }
+
+    /// Borrowed view of the `col`-th column.
+    pub fn slice(&self, col: usize) -> ColumnSlice<'_> {
+        self.columns[col].slice()
+    }
+
+    /// Reconstruct one cell's original value.
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value_at(row)
+    }
+}
+
+/// Recycles chunk column buffers across batches. Typical use: one arena
+/// per maintainer; `build` a chunk per append event, `recycle` it after
+/// the views consumed it, and the next batch inherits the capacity.
+#[derive(Debug, Default)]
+pub struct ChunkArena {
+    free: Vec<ColumnVec>,
+}
+
+impl ChunkArena {
+    /// A fresh arena with no pooled buffers.
+    pub fn new() -> ChunkArena {
+        ChunkArena::default()
+    }
+
+    /// Buffers currently pooled (for tests / introspection).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Return a chunk's buffers to the pool.
+    pub fn recycle(&mut self, chunk: Chunk) {
+        for mut col in chunk.columns {
+            col.clear();
+            self.free.push(col);
+        }
+    }
+
+    /// Take a pooled buffer of the wanted shape, if one exists.
+    fn take(&mut self, probe: &dyn Fn(&ColumnVec) -> bool) -> Option<ColumnVec> {
+        let idx = self.free.iter().position(probe)?;
+        Some(self.free.swap_remove(idx))
+    }
+
+    /// Transpose a row-major batch into a chunk, reusing pooled buffers.
+    pub fn build(&mut self, tuples: &[Tuple]) -> Chunk {
+        let Some(first) = tuples.first() else {
+            return Chunk::default();
+        };
+        let arity = first.arity();
+        let columns = (0..arity).map(|c| self.build_column(tuples, c)).collect();
+        Chunk {
+            len: tuples.len(),
+            columns,
+        }
+    }
+
+    fn build_column(&mut self, tuples: &[Tuple], col: usize) -> ColumnVec {
+        // One scan to classify the column's runtime shape: the tag of the
+        // first non-null row, whether any row is NULL, and whether a later
+        // row disagrees on the tag (→ Mixed).
+        let mut tag: Option<u8> = None;
+        let mut any_null = false;
+        let mut mixed = false;
+        for t in tuples {
+            match value_tag(t.get(col)) {
+                None => any_null = true,
+                Some(vt) => match tag {
+                    None => tag = Some(vt),
+                    Some(existing) if existing != vt => {
+                        mixed = true;
+                        break;
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        let Some(tag) = tag.filter(|_| !mixed) else {
+            // Mixed runtime types, or every row NULL: keep the rows boxed.
+            let mut vals = match self.take(&|c| matches!(c, ColumnVec::Mixed(_))) {
+                Some(ColumnVec::Mixed(v)) => v,
+                _ => Vec::new(),
+            };
+            vals.extend(tuples.iter().map(|t| t.get(col).clone()));
+            return ColumnVec::Mixed(vals);
+        };
+        // Second pass fills the typed lane; NULL rows get a lane filler
+        // and a mask bit.
+        macro_rules! fill {
+            ($variant:ident, $filler:expr, $extract:expr) => {{
+                let (mut vals, mut nulls) =
+                    match self.take(&|c| matches!(c, ColumnVec::$variant { .. })) {
+                        Some(ColumnVec::$variant { vals, nulls }) => (vals, nulls),
+                        _ => (Vec::new(), Vec::new()),
+                    };
+                if any_null {
+                    nulls.resize(tuples.len(), false);
+                }
+                for (i, t) in tuples.iter().enumerate() {
+                    let v = t.get(col);
+                    if v.is_null() {
+                        nulls[i] = true;
+                        vals.push($filler);
+                    } else {
+                        vals.push($extract(v));
+                    }
+                }
+                ColumnVec::$variant { vals, nulls }
+            }};
+        }
+        match tag {
+            1 => fill!(Bool, false, |v: &Value| v.as_bool().expect("uniform bool")),
+            2 => fill!(Int, 0i64, |v: &Value| v.as_int().expect("uniform int")),
+            3 => fill!(Float, 0.0f64, |v: &Value| match v {
+                Value::Float(f) => *f,
+                _ => unreachable!("uniform float"),
+            }),
+            4 => fill!(Str, Arc::from(""), |v: &Value| match v {
+                Value::Str(s) => Arc::clone(s),
+                _ => unreachable!("uniform str"),
+            }),
+            _ => fill!(Seq, 0u64, |v: &Value| v.as_seq().expect("uniform seq").0),
+        }
+    }
+}
+
+/// Runtime tag of a value (`None` for NULL), independent of the declared
+/// attribute type — a FLOAT column may hold `Int` rows.
+fn value_tag(v: &Value) -> Option<u8> {
+    match v {
+        Value::Null => None,
+        Value::Bool(_) => Some(1),
+        Value::Int(_) => Some(2),
+        Value::Float(_) => Some(3),
+        Value::Str(_) => Some(4),
+        Value::Seq(_) => Some(5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronicle_types::tuple;
+
+    fn rows() -> Vec<Tuple> {
+        vec![
+            tuple![SeqNo(1), 10i64, 1.5f64, "a"],
+            tuple![SeqNo(1), 20i64, 2.5f64, "b"],
+            tuple![SeqNo(1), 30i64, 3.5f64, "c"],
+        ]
+    }
+
+    #[test]
+    fn transposes_and_reconstructs_exactly() {
+        let rows = rows();
+        let chunk = Chunk::from_tuples(&rows);
+        assert_eq!(chunk.len(), 3);
+        assert_eq!(chunk.arity(), 4);
+        assert!(matches!(chunk.column(0), ColumnVec::Seq { .. }));
+        assert!(matches!(chunk.column(1), ColumnVec::Int { .. }));
+        assert!(matches!(chunk.column(2), ColumnVec::Float { .. }));
+        assert!(matches!(chunk.column(3), ColumnVec::Str { .. }));
+        for (i, t) in rows.iter().enumerate() {
+            for c in 0..4 {
+                assert_eq!(&chunk.value_at(i, c), t.get(c));
+            }
+        }
+    }
+
+    #[test]
+    fn int_rows_in_a_float_column_stay_ints() {
+        // A FLOAT attribute may legally hold Int rows; the column must
+        // demote to Mixed so reconstruction is byte-identical (Int(2) and
+        // Float(2.0) compare equal but encode differently).
+        let rows = vec![
+            tuple![SeqNo(1), Value::Float(1.5)],
+            tuple![SeqNo(1), Value::Int(2)],
+        ];
+        let chunk = Chunk::from_tuples(&rows);
+        assert!(matches!(chunk.column(1), ColumnVec::Mixed(_)));
+        assert_eq!(chunk.value_at(1, 1), Value::Int(2));
+        assert!(matches!(chunk.value_at(1, 1), Value::Int(2)));
+    }
+
+    #[test]
+    fn nulls_mask_the_typed_lane() {
+        let rows = vec![
+            tuple![SeqNo(1), 10i64],
+            tuple![SeqNo(1), Value::Null],
+            tuple![SeqNo(1), 30i64],
+        ];
+        let chunk = Chunk::from_tuples(&rows);
+        assert!(matches!(chunk.column(1), ColumnVec::Int { .. }));
+        assert_eq!(chunk.value_at(0, 1), Value::Int(10));
+        assert!(chunk.value_at(1, 1).is_null());
+        assert!(chunk.slice(1).is_null(1));
+        assert!(!chunk.slice(1).is_null(2));
+    }
+
+    #[test]
+    fn all_null_column_is_mixed() {
+        let rows = vec![tuple![SeqNo(1), Value::Null]];
+        let chunk = Chunk::from_tuples(&rows);
+        assert!(matches!(chunk.column(1), ColumnVec::Mixed(_)));
+        assert!(chunk.value_at(0, 1).is_null());
+    }
+
+    #[test]
+    fn empty_batch_is_an_empty_chunk() {
+        let chunk = Chunk::from_tuples(&[]);
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.arity(), 0);
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena = ChunkArena::new();
+        let chunk = arena.build(&rows());
+        assert_eq!(arena.pooled(), 0);
+        arena.recycle(chunk);
+        assert_eq!(arena.pooled(), 4);
+        // The next build drains matching buffers from the pool.
+        let chunk = arena.build(&rows());
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(chunk.len(), 3);
+        assert_eq!(chunk.value_at(2, 1), Value::Int(30));
+    }
+}

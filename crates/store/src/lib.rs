@@ -24,6 +24,7 @@
 
 mod catalog;
 mod chronicle;
+mod chunk;
 mod group;
 mod index;
 mod relation;
@@ -31,6 +32,7 @@ mod temporal;
 
 pub use catalog::Catalog;
 pub use chronicle::{Chronicle, Retention};
+pub use chunk::{Chunk, ChunkArena, ColumnSlice, ColumnVec};
 pub use group::ChronicleGroup;
 pub use index::{BTreeIndex, HashIndex};
 pub use relation::Relation;

@@ -223,6 +223,31 @@ impl<'a> Reader<'a> {
         self.pos == self.bytes.len()
     }
 
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Read a u32 length prefix claiming `n` items of at least
+    /// `min_item_bytes` each, and reject any claim the remaining input
+    /// cannot possibly satisfy — *before* an allocation is sized from it.
+    /// A rotted length byte can otherwise demand a multi-GB `Vec` and
+    /// abort recovery instead of failing the frame.
+    pub fn len_prefix(&mut self, what: &str, min_item_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let need = n.saturating_mul(min_item_bytes.max(1));
+        if need > self.remaining() {
+            return Err(ChronicleError::Corruption {
+                detail: format!(
+                    "encoded {what} claims {n} items (at least {need} bytes) \
+                     but only {} bytes remain",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
         match end {
@@ -271,7 +296,7 @@ impl<'a> Reader<'a> {
 
     /// Read a string.
     pub fn str(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
+        let len = self.len_prefix("string", 1)?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ChronicleError::Internal("encoded string is invalid UTF-8".into()))
@@ -279,7 +304,7 @@ impl<'a> Reader<'a> {
 
     /// Read a length-prefixed raw byte blob.
     pub fn bytes(&mut self) -> Result<Vec<u8>> {
-        let n = self.u32()? as usize;
+        let n = self.len_prefix("byte blob", 1)?;
         Ok(self.take(n)?.to_vec())
     }
 
@@ -320,7 +345,8 @@ impl<'a> Reader<'a> {
 
     /// Read a tuple.
     pub fn tuple(&mut self) -> Result<Tuple> {
-        let n = self.u32()? as usize;
+        // Every encoded value is at least one tag byte.
+        let n = self.len_prefix("tuple", 1)?;
         let mut vals = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             vals.push(self.value()?);
@@ -354,7 +380,8 @@ impl<'a> Reader<'a> {
     /// Read a schema. Re-validates through the public constructors, so a
     /// corrupted or hand-crafted encoding cannot produce an invalid schema.
     pub fn schema(&mut self) -> Result<Schema> {
-        let arity = self.u32()? as usize;
+        // Every encoded attribute is a u32 name length + a type tag.
+        let arity = self.len_prefix("schema", 5)?;
         let mut attrs = Vec::with_capacity(arity.min(1024));
         for _ in 0..arity {
             attrs.push(self.attribute()?);
@@ -366,7 +393,7 @@ impl<'a> Reader<'a> {
         let key = match self.u8()? {
             0 => None,
             _ => {
-                let n = self.u32()? as usize;
+                let n = self.len_prefix("schema key", 4)?;
                 let mut ps = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     ps.push(self.u32()? as usize);
@@ -525,6 +552,62 @@ mod tests {
     fn bad_tags_detected() {
         assert!(Reader::new(&[99]).value().is_err());
         assert!(Reader::new(&[7]).attr_type().is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefixes_rejected_before_allocating() {
+        // A string claiming u32::MAX bytes with 4 bytes of payload.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.u32(0xdead_beef);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).str(),
+            Err(ChronicleError::Corruption { .. })
+        ));
+        assert!(matches!(
+            Reader::new(&bytes).bytes(),
+            Err(ChronicleError::Corruption { .. })
+        ));
+        // A tuple claiming ~4 billion values.
+        assert!(matches!(
+            Reader::new(&bytes).tuple(),
+            Err(ChronicleError::Corruption { .. })
+        ));
+        // A schema claiming ~4 billion attributes.
+        assert!(matches!(
+            Reader::new(&bytes).schema(),
+            Err(ChronicleError::Corruption { .. })
+        ));
+    }
+
+    #[test]
+    fn rotted_length_prefix_fails_the_record_not_the_process() {
+        // Encode a real tuple, then flip each byte of its length prefix to
+        // 0xff — simulated bit rot. Decoding must return an error (so the
+        // enclosing frame is quarantined by salvage), never allocate the
+        // claimed multi-GB buffer.
+        let t = tuple![SeqNo(1), 42i64, "payload", 1.5f64];
+        let mut w = Writer::new();
+        w.tuple(&t);
+        let good = w.into_bytes();
+        for i in 0..4 {
+            let mut rotted = good.clone();
+            rotted[i] = 0xff;
+            let mut r = Reader::new(&rotted);
+            let decoded = r.tuple();
+            assert!(
+                decoded.is_err() || decoded.is_ok_and(|d| !r.at_end() || d != t),
+                "rotting length byte {i} must not silently round-trip"
+            );
+        }
+        // All four length bytes at once: claims ~4G values.
+        let mut rotted = good;
+        rotted[..4].copy_from_slice(&[0xff; 4]);
+        assert!(matches!(
+            Reader::new(&rotted).tuple(),
+            Err(ChronicleError::Corruption { .. })
+        ));
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub enum ChronicleError {
         /// Offending (older) bucket index.
         attempted: i64,
     },
+    /// A periodic-calendar interval index maps to a chronon outside the
+    /// representable `i64` range (`anchor + idx·step` overflows). Surfaced
+    /// as a typed error instead of wrapping in release / panicking in
+    /// debug builds (§5.1).
+    CalendarOutOfRange {
+        /// The offending interval index.
+        index: u64,
+        /// Human-readable description of the overflowing bound.
+        detail: String,
+    },
     /// A relation update would have been *retroactive*: it changes versions
     /// already seen by some chronicle sequence number (paper §2.3 excludes
     /// these from the model).
@@ -161,6 +171,10 @@ impl fmt::Display for ChronicleError {
             ChronicleError::NonMonotonicBucket { newest, attempted } => write!(
                 f,
                 "non-monotonic window insert: bucket {attempted} is older than the newest bucket {newest}"
+            ),
+            ChronicleError::CalendarOutOfRange { index, detail } => write!(
+                f,
+                "calendar interval {index} is out of chronon range: {detail}"
             ),
             ChronicleError::RetroactiveUpdate { detail } => {
                 write!(f, "retroactive relation update rejected: {detail}")

@@ -131,10 +131,14 @@ impl Calendar {
         }
     }
 
-    /// The `idx`-th interval, if it exists.
-    pub fn interval(&self, idx: u64) -> Option<Interval> {
+    /// The `idx`-th interval: `Ok(None)` past the end of a finite calendar,
+    /// `Err(CalendarOutOfRange)` when `anchor + idx·step` (or the interval
+    /// end) does not fit in a chronon. The arithmetic runs in `i128`, which
+    /// cannot overflow for any `u64` index (`|anchor| ≤ 2⁶³`, `step < 2⁶³`,
+    /// `idx < 2⁶⁴` keeps every product below `2¹²⁷`).
+    pub fn interval(&self, idx: u64) -> Result<Option<Interval>> {
         match self {
-            Calendar::Explicit(v) => v.get(idx as usize).copied(),
+            Calendar::Explicit(v) => Ok(v.get(idx as usize).copied()),
             Calendar::Periodic {
                 anchor,
                 width,
@@ -143,14 +147,21 @@ impl Calendar {
             } => {
                 if let Some(n) = count {
                     if idx >= *n {
-                        return None;
+                        return Ok(None);
                     }
                 }
-                let start = Chronon(anchor.0 + idx as i64 * step);
-                Some(Interval {
-                    start,
-                    end: start.plus(*width),
-                })
+                let start = anchor.0 as i128 + idx as i128 * *step as i128;
+                let end = start + *width as i128;
+                let (Ok(start), Ok(end)) = (i64::try_from(start), i64::try_from(end)) else {
+                    return Err(ChronicleError::CalendarOutOfRange {
+                        index: idx,
+                        detail: format!("interval [{start}, {end}) exceeds the chronon domain"),
+                    });
+                };
+                Ok(Some(Interval {
+                    start: Chronon(start),
+                    end: Chronon(end),
+                }))
             }
         }
     }
@@ -171,18 +182,23 @@ impl Calendar {
                 step,
                 count,
             } => {
-                let rel = t.0 - anchor.0;
+                // `t − anchor` can exceed i64 when the operands sit at
+                // opposite extremes; i128 keeps the index math exact.
+                let rel = t.0 as i128 - anchor.0 as i128;
                 if rel < 0 {
                     return Vec::new();
                 }
+                let (width, step) = (*width as i128, *step as i128);
                 // Interval i covers t iff i·step ≤ rel < i·step + width,
                 // i.e. floor((rel − width)/step) < i ≤ floor(rel/step).
                 // div_euclid is floor division (plain `/` truncates toward
                 // zero and overshoots for negative numerators).
-                let hi = rel.div_euclid(*step);
-                let lo = ((rel - width).div_euclid(*step) + 1).max(0);
+                let hi = rel.div_euclid(step);
+                let lo = ((rel - width).div_euclid(step) + 1).max(0);
                 (lo..=hi)
-                    .filter(|&i| count.is_none_or(|n| (i as u64) < n) && rel - i * step < *width)
+                    .filter(|&i| {
+                        count.is_none_or(|n| (i as u128) < n as u128) && rel - i * step < width
+                    })
                     .map(|i| i as u64)
                     .collect()
             }
@@ -203,7 +219,9 @@ impl Calendar {
             Calendar::Periodic { .. } => {
                 let mut out = Vec::new();
                 let mut i = from;
-                while let Some(iv) = self.interval(i) {
+                // An out-of-range index lies in the unreachable far future,
+                // so it also ends the retirement scan.
+                while let Ok(Some(iv)) = self.interval(i) {
                     if iv.ended_by(t) {
                         out.push(i);
                         i += 1;
@@ -240,10 +258,10 @@ mod tests {
         let cal = Calendar::every(Chronon(0), 30).unwrap();
         assert!(!cal.is_finite());
         assert_eq!(
-            cal.interval(0).unwrap(),
+            cal.interval(0).unwrap().unwrap(),
             Interval::new(Chronon(0), Chronon(30)).unwrap()
         );
-        assert_eq!(cal.interval(2).unwrap().start, Chronon(60));
+        assert_eq!(cal.interval(2).unwrap().unwrap().start, Chronon(60));
         assert_eq!(cal.intervals_containing(Chronon(0)), vec![0]);
         assert_eq!(cal.intervals_containing(Chronon(29)), vec![0]);
         assert_eq!(cal.intervals_containing(Chronon(30)), vec![1]);
@@ -267,8 +285,8 @@ mod tests {
     fn finite_calendar_bounds() {
         let cal = Calendar::periodic(Chronon(0), 10, 10, Some(3)).unwrap();
         assert!(cal.is_finite());
-        assert!(cal.interval(2).is_some());
-        assert!(cal.interval(3).is_none());
+        assert!(cal.interval(2).unwrap().is_some());
+        assert!(cal.interval(3).unwrap().is_none());
         assert_eq!(cal.intervals_containing(Chronon(35)), Vec::<u64>::new());
     }
 
@@ -304,6 +322,44 @@ mod tests {
         assert!(Calendar::periodic(Chronon(0), 0, 1, None).is_err());
         assert!(Calendar::periodic(Chronon(0), 1, 0, None).is_err());
         assert!(Calendar::periodic(Chronon(0), 1, 1, Some(0)).is_err());
+    }
+
+    #[test]
+    fn interval_near_i64_max_is_a_typed_error_not_a_wrap() {
+        // step == width == 4, anchor 10 ticks below the chronon ceiling:
+        // intervals 0 and 1 still fit, interval 2 would end past i64::MAX.
+        let cal = Calendar::every(Chronon(i64::MAX - 10), 4).unwrap();
+        assert_eq!(
+            cal.interval(0).unwrap().unwrap(),
+            Interval::new(Chronon(i64::MAX - 10), Chronon(i64::MAX - 6)).unwrap()
+        );
+        assert!(cal.interval(1).unwrap().is_some());
+        assert!(matches!(
+            cal.interval(2),
+            Err(ChronicleError::CalendarOutOfRange { index: 2, .. })
+        ));
+        // A huge index overflows by many orders of magnitude — still a
+        // typed error, not a debug panic or a silent release wrap.
+        assert!(matches!(
+            cal.interval(u64::MAX),
+            Err(ChronicleError::CalendarOutOfRange { .. })
+        ));
+        // Retirement scans stop cleanly at the representability horizon.
+        assert_eq!(cal.ended_before(Chronon(i64::MAX), 0), vec![0, 1]);
+    }
+
+    #[test]
+    fn containment_stays_exact_across_the_full_chronon_span() {
+        // Anchor at i64::MIN, windows of 2^32 ticks: `t - anchor` exceeds
+        // i64 for late chronons, which used to overflow before the i128
+        // index arithmetic.
+        let w = 1i64 << 32;
+        let cal = Calendar::every(Chronon(i64::MIN), w).unwrap();
+        let t = Chronon(i64::MAX - w);
+        let hits = cal.intervals_containing(t);
+        assert_eq!(hits, vec![(1u64 << 32) - 2]);
+        let iv = cal.interval(hits[0]).unwrap().unwrap();
+        assert!(iv.contains(t));
     }
 
     #[test]

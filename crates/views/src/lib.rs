@@ -38,7 +38,9 @@ mod tiered;
 
 pub use calendar::{Calendar, Interval};
 pub use events::{CompiledPattern, EventMatcher, Pattern};
-pub use maintenance::{AppendEvent, Maintainer, MaintenanceReport, RouteMode, ViewReport};
+pub use maintenance::{
+    AppendEvent, BatchMode, Maintainer, MaintenanceReport, RouteMode, ViewReport,
+};
 pub use periodic::{IntervalViewState, PeriodicViewSet};
 pub use persistent::PersistentView;
 pub use relview::RelationView;

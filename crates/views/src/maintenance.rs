@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use chronicle_algebra::delta::{DeltaBatch, DeltaEngine};
+use chronicle_algebra::kernels::{self, VectorPlan};
 use chronicle_algebra::{RelQuery, ScaExpr, WorkCounter, ZSet};
-use chronicle_store::Catalog;
+use chronicle_store::{Catalog, Chunk, ChunkArena};
 use chronicle_types::{ChronicleId, Chronon, RelationId, Result, SeqNo, Tuple, Value, ViewId};
 
 use crate::periodic::PeriodicViewSet;
@@ -63,6 +64,9 @@ pub struct MaintenanceReport {
     pub views: Vec<ViewReport>,
     /// Periodic sub-views maintained.
     pub periodic_maintained: usize,
+    /// Views maintained through the vectorized columnar kernels (the rest
+    /// ran the per-tuple interpreter).
+    pub vectorized_views: usize,
     /// Total work across all views.
     pub total_work: WorkCounter,
     /// Wall-clock time of the whole maintenance step, nanoseconds.
@@ -80,6 +84,23 @@ pub enum RouteMode {
     ScanAll,
 }
 
+/// How append batches are propagated into views.
+///
+/// Both modes produce byte-identical view state and identical work
+/// counters — [`BatchMode::Scalar`] exists so differential tests can pin
+/// the interpreter against the kernels inside one process (the
+/// `CHRONICLE_MUTATE=scalar_fallback` env hook is process-global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Transpose each batch into a columnar [`Chunk`] and run the
+    /// vectorized kernels for every view whose shape compiled to a
+    /// [`VectorPlan`]; other views fall back to the interpreter.
+    #[default]
+    Vectorized,
+    /// Force the per-tuple interpreter for every view.
+    Scalar,
+}
+
 /// Registry and driver for persistent views (plain and periodic).
 #[derive(Debug, Default)]
 pub struct Maintainer {
@@ -89,6 +110,9 @@ pub struct Maintainer {
     periodic: Vec<PeriodicViewSet>,
     router: Router,
     route_mode: RouteMode,
+    batch_mode: BatchMode,
+    plans: BTreeMap<ViewId, VectorPlan>,
+    arena: ChunkArena,
     next_id: u32,
 }
 
@@ -101,6 +125,16 @@ impl Maintainer {
     /// Select routed vs scan-all maintenance.
     pub fn set_route_mode(&mut self, mode: RouteMode) {
         self.route_mode = mode;
+    }
+
+    /// Select vectorized vs forced-scalar batch propagation.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.batch_mode = mode;
+    }
+
+    /// The active batch propagation mode.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
     }
 
     /// Register a persistent view. The view starts empty; call
@@ -116,6 +150,9 @@ impl Maintainer {
         let id = ViewId(self.next_id);
         self.next_id += 1;
         self.router.register(id, &expr);
+        if let Some(plan) = kernels::plan(&expr) {
+            self.plans.insert(id, plan);
+        }
         self.views.insert(id, PersistentView::new(id, name, expr));
         self.names.insert(name.into(), id);
         Ok(id)
@@ -182,6 +219,7 @@ impl Maintainer {
         self.router.unregister(id);
         self.views.remove(&id);
         self.rel_views.remove(&id);
+        self.plans.remove(&id);
         self.names.remove(name);
         Ok(())
     }
@@ -323,13 +361,34 @@ impl Maintainer {
             }
         };
 
+        // Transpose the batch into a columnar chunk once, and only when it
+        // has enough rows to amortize the transpose (single-row events ride
+        // the interpreter, like the WAL's row framing) and at least one
+        // selected view compiled to a vector plan. The arena recycles the
+        // column buffers across appends.
+        let vectorize = self.batch_mode == BatchMode::Vectorized
+            && event.tuples.len() >= 2
+            && !kernels::scalar_fallback_forced();
+        let chunk: Option<Chunk> =
+            if vectorize && selected.iter().any(|vid| self.plans.contains_key(vid)) {
+                Some(self.arena.build(&event.tuples))
+            } else {
+                None
+            };
+
         for vid in selected {
             let view = self
                 .views
                 .get_mut(&vid)
                 .expect("router only knows live views");
             let mut work = WorkCounter::default();
-            let delta = engine.delta_sca(view.expr(), &batch, &mut work)?;
+            let delta = match (&chunk, self.plans.get(&vid)) {
+                (Some(chunk), Some(plan)) => {
+                    report.vectorized_views += 1;
+                    kernels::eval(plan, &batch, chunk, &mut work)?
+                }
+                _ => engine.delta_sca(view.expr(), &batch, &mut work)?,
+            };
             let affected = delta.affected();
             if affected > 0 {
                 view.apply(&delta, &mut work)?;
@@ -340,6 +399,9 @@ impl Maintainer {
                 affected_rows: affected,
                 work,
             });
+        }
+        if let Some(chunk) = chunk {
+            self.arena.recycle(chunk);
         }
 
         for set in &mut self.periodic {
@@ -581,6 +643,46 @@ mod tests {
         // The view ran (and found an empty delta) instead of being skipped.
         assert_eq!(r.views.len(), 1);
         assert_eq!(r.views[0].affected_rows, 0);
+    }
+
+    #[test]
+    fn vectorized_and_scalar_maintenance_are_byte_identical() {
+        let mk = |mode: BatchMode| {
+            let (mut cat, c) = setup();
+            let mut m = Maintainer::new();
+            m.set_batch_mode(mode);
+            let base = CaExpr::chronicle(cat.chronicle(c));
+            let p =
+                Predicate::attr_cmp_const(base.schema(), "minutes", CmpOp::Gt, Value::Float(1.0))
+                    .unwrap();
+            let expr = ScaExpr::group_agg(
+                base.select(p).unwrap(),
+                &["caller"],
+                vec![
+                    AggSpec::new(AggFunc::CountStar, "n"),
+                    AggSpec::new(AggFunc::Sum(2), "total"),
+                ],
+            )
+            .unwrap();
+            m.register("totals", expr).unwrap();
+            let mut reports = Vec::new();
+            for s in 1..=8u64 {
+                let rows: Vec<Tuple> = (0..16)
+                    .map(|i| tuple![SeqNo(s), (i % 3) as i64, (s as f64) + i as f64 / 4.0])
+                    .collect();
+                cat.append(c, Chronon(s as i64), &rows).unwrap();
+                reports.push(m.on_append(&cat, &event(c, s, s as i64, rows)).unwrap());
+            }
+            (m.snapshot_views(), reports)
+        };
+        let (vec_snap, vec_reports) = mk(BatchMode::Vectorized);
+        let (sca_snap, sca_reports) = mk(BatchMode::Scalar);
+        assert_eq!(vec_snap, sca_snap, "view state must be byte-identical");
+        assert!(vec_reports.iter().all(|r| r.vectorized_views == 1));
+        assert!(sca_reports.iter().all(|r| r.vectorized_views == 0));
+        for (v, s) in vec_reports.iter().zip(&sca_reports) {
+            assert_eq!(v.total_work, s.total_work, "work charges must match");
+        }
     }
 
     #[test]

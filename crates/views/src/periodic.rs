@@ -108,7 +108,7 @@ impl PeriodicViewSet {
         for idx in self.calendar.intervals_containing(t) {
             let interval = self
                 .calendar
-                .interval(idx)
+                .interval(idx)?
                 .expect("containing interval exists");
             let entry = self.live.entry(idx).or_insert_with(|| IntervalViewState {
                 interval,
@@ -210,7 +210,7 @@ impl PeriodicViewSet {
             for _ in 0..n {
                 let idx = r.u64()?;
                 let view_bytes = r.bytes()?;
-                let interval = self.calendar.interval(idx).ok_or_else(|| {
+                let interval = self.calendar.interval(idx)?.ok_or_else(|| {
                     ChronicleError::Internal(format!(
                         "periodic snapshot names interval {idx} outside the calendar"
                     ))

@@ -81,6 +81,24 @@ if CHRONICLE_MUTATE=skip_consolidation cargo test -q --offline --test oracle_equ
     exit 1
 fi
 
+echo "== batch-vs-tuple differential gate (offline) =="
+# The vectorized columnar kernels against the per-tuple interpreter:
+# byte-identical view snapshots and durable artifacts, bit-identical
+# work counters, on single and sharded engines.
+cargo test -q --offline --test oracle_equivalence vectorized
+
+echo "== vectorized-kernel mutation check (offline) =="
+# Prove the batch oracle suite has teeth: force every view onto the
+# scalar interpreter through the test-only CHRONICLE_MUTATE backdoor
+# (`scalar_fallback` — results stay identical by design, so the
+# observable is the vectorized-execution counter) and require the gate
+# test to FAIL.
+if CHRONICLE_MUTATE=scalar_fallback cargo test -q --offline --test oracle_equivalence \
+    vectorized_path_is_exercised >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: scalar_fallback was not caught by the batch oracle suite"
+    exit 1
+fi
+
 echo "== replication gate (offline) =="
 # Leader/follower pairs over the simulated wire (DESIGN.md §14): seeded
 # connection cuts and power cuts on either side, mid-segment. The
