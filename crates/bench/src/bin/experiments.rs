@@ -4,8 +4,8 @@
 //! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick] [json]`
 //! — `quick` runs the reduced (scale 0) sweeps; `json` skips the text
 //! tables and instead writes the machine-readable `BENCH_E11.json`,
-//! `BENCH_E14.json`, `BENCH_E15.json`, `BENCH_E16.json`, and
-//! `BENCH_E17.json` artifacts at the repo root.
+//! `BENCH_E14.json`, `BENCH_E15.json`, `BENCH_E16.json`,
+//! `BENCH_E17.json`, and `BENCH_E18.json` artifacts at the repo root.
 
 use chronicle_bench::experiments as ex;
 use chronicle_bench::harness::Figure;
@@ -49,6 +49,10 @@ fn emit_json(scale: u32) {
     eprintln!("[E17] vectorized kernels...");
     let f = ex::e17_batch_kernels(scale);
     let p = json::emit("E17", scale, &[f]).expect("write BENCH_E17.json");
+    println!("wrote {}", p.display());
+    eprintln!("[E18] skew-resilient sharding...");
+    let f = ex::e18_zipf_skew(scale);
+    let p = json::emit("E18", scale, &[f]).expect("write BENCH_E18.json");
     println!("wrote {}", p.display());
 }
 

@@ -14,7 +14,7 @@ use chronicle_db::pipeline::{Pipeline, ShardedPipeline};
 use chronicle_db::{shard_of_group, ChronicleDb, DurabilityOptions, FollowerDb, ShardedDb};
 use chronicle_net::{ShipEvent, Shipper, WalSource, DEFAULT_CHUNK};
 use chronicle_store::{Catalog, Retention};
-use chronicle_testkit::TempDir;
+use chronicle_testkit::{SeedableRng, SmallRng, TempDir, Zipf};
 use chronicle_types::{AttrType, Attribute, ChronicleId, Chronon, Schema, SeqNo, Tuple, Value};
 use chronicle_views::{
     AppendEvent, BatchDiscount, BatchMode, Calendar, Maintainer, PeriodicViewSet, RouteMode,
@@ -1448,6 +1448,184 @@ pub fn e17_batch_kernels(scale: u32) -> Figure {
         "{total} tuples through two views (sigma+gamma, pi), in-memory; \
          expected: modes coincide at batch 1 (single-row events ride the \
          interpreter by design) and the kernels pull ahead as batches grow"
+    ));
+    fig
+}
+
+// ===================================================================== E18
+
+/// One placement mode's outcome in the E18 sweep.
+struct SkewRun {
+    /// Per-shard maintenance work charged during the measured phase.
+    deltas: Vec<u64>,
+    /// Wall seconds the rebalance pass held the engine (0 for static).
+    pause_secs: f64,
+    /// Group relocations the pass applied.
+    moves: usize,
+    /// Full view state after the measured phase.
+    snapshot: Vec<(String, Vec<u8>)>,
+}
+
+/// E18 — skew-resilient sharding (DESIGN.md §16): Zipf(θ)-distributed
+/// append traffic over a group set named adversarially so the `HOT`
+/// highest-rank groups all hash to shard 0. Under static FNV placement
+/// the critical path (the most-loaded shard's maintenance work) absorbs
+/// nearly the whole stream; one online heavy-light rebalance after the
+/// warmup phase dedicates a shard to the head group and evacuates the
+/// stranded lights, restoring near-balanced execution. Placement is
+/// execution-only: the measured phase's *total* work is bit-identical
+/// across modes and the final view snapshots are byte-equal — only the
+/// per-shard split moves. Work counters are deterministic, so the gate
+/// (`crates/bench/tests/e18_gate.rs`) asserts on them rather than wall
+/// time. Exposed for `BENCH_E18.json`.
+pub fn e18_zipf_skew(scale: u32) -> Figure {
+    const SHARDS: usize = 8;
+    /// Zipf ranks that co-hash to shard 0 under static placement.
+    const HOT: usize = 32;
+    let groups: usize = if scale == 0 { 256 } else { 512 };
+    let warmup: usize = if scale == 0 { 4_096 } else { 16_384 };
+    let measured: usize = if scale == 0 { 8_192 } else { 32_768 };
+    let thetas: &[f64] = if scale == 0 {
+        &[0.0, 1.1]
+    } else {
+        &[0.0, 0.6, 1.1]
+    };
+
+    // Adversarial naming: the HOT highest-Zipf-rank groups get names that
+    // all hash to shard 0 (searched, not assumed), the tail is named
+    // naturally and lands wherever FNV puts it.
+    let mut names: Vec<String> = Vec::with_capacity(groups);
+    let mut i = 0usize;
+    while names.len() < HOT {
+        let cand = format!("h{i}");
+        if shard_of_group(&cand, SHARDS) == 0 {
+            names.push(cand);
+        }
+        i += 1;
+    }
+    for j in 0..groups - HOT {
+        names.push(format!("t{j}"));
+    }
+
+    // One schedule per θ, shared verbatim by both placement modes:
+    // (group rank, per-group chronon).
+    let schedule_for = |theta: f64| -> Vec<(usize, i64)> {
+        let zipf = Zipf::new(groups, theta);
+        let mut rng = SmallRng::seed_from_u64(0xe18_5eed ^ theta.to_bits());
+        let mut clock = vec![0i64; groups];
+        (0..warmup + measured)
+            .map(|_| {
+                let g = zipf.sample(&mut rng);
+                clock[g] += 1;
+                (g, clock[g])
+            })
+            .collect()
+    };
+
+    let run = |schedule: &[(usize, i64)], heavy_light: bool| -> SkewRun {
+        let mut db = ShardedDb::new(SHARDS).expect("in-memory shards");
+        for g in &names {
+            db.execute(&format!("CREATE GROUP {g}")).expect("ddl");
+            db.execute(&format!(
+                "CREATE CHRONICLE {g}_c (sn SEQ, acct INT, amount FLOAT) IN GROUP {g}"
+            ))
+            .expect("ddl");
+            db.execute(&format!(
+                "CREATE VIEW {g}_sum AS SELECT acct, SUM(amount) AS total \
+                 FROM {g}_c GROUP BY acct"
+            ))
+            .expect("ddl");
+        }
+        let feed = |db: ShardedDb, slice: &[(usize, i64)]| -> ShardedDb {
+            let pipeline = ShardedPipeline::start(db, 64);
+            let handle = pipeline.handle();
+            for &(g, at) in slice {
+                handle
+                    .append_nowait(
+                        &format!("{}_c", names[g]),
+                        Chronon(at),
+                        vec![vec![Value::Int((g % 16) as i64), Value::Float(1.0)]],
+                    )
+                    .expect("pipeline alive");
+            }
+            pipeline.shutdown()
+        };
+        // Phase 1 — warmup feeds the decayed per-group rate counters; the
+        // pipeline shutdown barrier is the in-flight-delta drain, so the
+        // rebalance below moves fully quiesced groups.
+        let (w, m) = schedule.split_at(warmup);
+        let mut db = feed(db, w);
+        let (pause_secs, moves) = if heavy_light {
+            let start = std::time::Instant::now();
+            let plan = db.rebalance().expect("rebalance");
+            (start.elapsed().as_secs_f64(), plan.len())
+        } else {
+            (0.0, 0)
+        };
+        let base: Vec<u64> = (0..SHARDS)
+            .map(|i| db.shard(i).stats().work.total())
+            .collect();
+        // Phase 2 — the measured tail of the same stream.
+        let db = feed(db, m);
+        let deltas: Vec<u64> = (0..SHARDS)
+            .map(|i| db.shard(i).stats().work.total() - base[i])
+            .collect();
+        SkewRun {
+            deltas,
+            pause_secs,
+            moves,
+            snapshot: db.snapshot_views(),
+        }
+    };
+
+    let mut fig = Figure::new(
+        "E18 — skew-resilient sharding: heavy-light placement vs adversarial hashing",
+        "theta (Zipf skew)",
+        "phase-2 critical-path maintenance work",
+    );
+    let mut crit_static = Series::new("critical-path work (static hash)");
+    let mut crit_hl = Series::new("critical-path work (heavy-light)");
+    let mut ratio = Series::new("skew resilience (x)");
+    let mut total_static = Series::new("phase-2 total work (static hash)");
+    let mut total_hl = Series::new("phase-2 total work (heavy-light)");
+    let mut moves_s = Series::new("rebalance moves");
+    let mut pause_s = Series::new("rebalance pause (ms)");
+    let mut all_identical = true;
+    for &theta in thetas {
+        let schedule = schedule_for(theta);
+        let st = run(&schedule, false);
+        let hl = run(&schedule, true);
+        all_identical &= st.snapshot == hl.snapshot;
+        crit_static.push(theta, *st.deltas.iter().max().expect("shards") as f64);
+        crit_hl.push(theta, *hl.deltas.iter().max().expect("shards") as f64);
+        ratio.push(
+            theta,
+            st.deltas.iter().max().copied().unwrap_or(0) as f64
+                / hl.deltas.iter().max().copied().unwrap_or(0).max(1) as f64,
+        );
+        total_static.push(theta, st.deltas.iter().sum::<u64>() as f64);
+        total_hl.push(theta, hl.deltas.iter().sum::<u64>() as f64);
+        moves_s.push(theta, hl.moves as f64);
+        pause_s.push(theta, hl.pause_secs * 1e3);
+    }
+    fig.series = vec![
+        crit_static,
+        crit_hl,
+        ratio,
+        total_static,
+        total_hl,
+        moves_s,
+        pause_s,
+    ];
+    fig.note(format!(
+        "{groups} groups on {SHARDS} shards; top-{HOT} Zipf ranks co-hash to \
+         shard 0; {warmup} warmup + {measured} measured appends per mode; \
+         expected: at theta=1.1 heavy-light cuts the critical path >=3x while \
+         total work stays bit-identical and view snapshots byte-equal; at \
+         theta=0 the classifier finds no heavies and placement is untouched"
+    ));
+    fig.note(format!(
+        "view snapshots identical across modes at every theta: {all_identical}"
     ));
     fig
 }

@@ -1,0 +1,77 @@
+//! Tier-1 gate over experiment E18 (skew-resilient sharding).
+//!
+//! Runs the scale-0 sweep and asserts the claims the full-scale
+//! `BENCH_E18.json` artifact records, on deterministic work counters
+//! rather than wall time:
+//!
+//! * at θ = 1.1 over the adversarially hashed group set, one online
+//!   heavy-light rebalance cuts the critical-path (most-loaded shard)
+//!   maintenance work by ≥ 3× versus static FNV placement;
+//! * placement is execution-only — the measured phase's total work is
+//!   bit-identical across modes and the final view snapshots byte-equal;
+//! * at θ = 0 (uniform traffic) the classifier finds no heavies and the
+//!   sweep degenerates to static placement exactly (ratio 1, zero moves).
+//!
+//! `CHRONICLE_MUTATE=static_placement` disables the classifier; verify.sh
+//! runs this gate under that mutation and demands it fail, proving the
+//! ratio assertion has teeth.
+
+use chronicle_bench::experiments::e18_zipf_skew;
+use chronicle_bench::harness::Figure;
+
+fn at(fig: &Figure, series: &str, x: f64) -> f64 {
+    fig.series(series)
+        .unwrap_or_else(|| panic!("series `{series}` missing"))
+        .points
+        .iter()
+        .find(|&&(px, _)| px == x)
+        .unwrap_or_else(|| panic!("series `{series}` has no point at {x}"))
+        .1
+}
+
+#[test]
+fn e18_heavy_light_restores_the_skewed_critical_path() {
+    let fig = e18_zipf_skew(0);
+
+    // The adversarial skew case: static hashing funnels the Zipf head
+    // onto one shard; heavy-light placement must win back >= 3x.
+    let ratio = at(&fig, "skew resilience (x)", 1.1);
+    assert!(
+        ratio >= 3.0,
+        "heavy-light placement must cut the theta=1.1 critical path >=3x \
+         over static hashing (got {ratio:.2}x)"
+    );
+    assert!(
+        at(&fig, "rebalance moves", 1.1) >= 1.0,
+        "the theta=1.1 rebalance must actually relocate groups"
+    );
+
+    // Placement is execution-only: identical total work, identical views.
+    for theta in [0.0, 1.1] {
+        assert_eq!(
+            at(&fig, "phase-2 total work (static hash)", theta),
+            at(&fig, "phase-2 total work (heavy-light)", theta),
+            "theta={theta}: total maintenance work must be bit-identical \
+             across placement modes"
+        );
+    }
+    assert!(
+        fig.notes
+            .iter()
+            .any(|n| n.contains("identical across modes at every theta: true")),
+        "view snapshots must be byte-equal across placement modes: {:?}",
+        fig.notes
+    );
+
+    // Uniform traffic: no heavies, no moves, exactly static behavior.
+    assert_eq!(
+        at(&fig, "rebalance moves", 0.0),
+        0.0,
+        "uniform traffic must not trigger relocations"
+    );
+    assert_eq!(
+        at(&fig, "skew resilience (x)", 0.0),
+        1.0,
+        "with no moves both modes run the identical execution"
+    );
+}

@@ -1,6 +1,6 @@
 //! The `ChronicleDb` facade.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -52,11 +52,7 @@ pub enum ExecOutcome {
     Dropped(String),
 }
 
-/// Test-only mutation backdoor for the verify.sh mutation check: prove the
-/// simulation gate notices when the salvage report is silently dropped.
-fn mutate(which: &str) -> bool {
-    std::env::var("CHRONICLE_MUTATE").is_ok_and(|v| v == which)
-}
+use crate::mutate;
 
 /// Live durability plumbing for a database opened at a path.
 #[derive(Debug)]
@@ -88,6 +84,12 @@ pub struct ChronicleDb {
     /// uses. When false (default), every logged record is flushed before
     /// the operation returns.
     wal_buffered: bool,
+    /// Per-group placement epoch (DESIGN.md §16): bumped when the group is
+    /// exported to another shard, adopted on import, persisted in every
+    /// checkpoint. Groups absent from the map are at epoch 0 (never
+    /// moved). When post-crash reconciliation finds a group on more than
+    /// one shard, the copy with the highest epoch wins.
+    group_epochs: HashMap<String, u64>,
 }
 
 impl ChronicleDb {
@@ -359,6 +361,7 @@ impl ChronicleDb {
                 name: g.name().to_string(),
                 high_water: g.high_water(),
                 last_at: g.now(),
+                epoch: self.group_epochs.get(g.name()).copied().unwrap_or(0),
             })
             .collect();
         let chronicles = self
@@ -412,13 +415,27 @@ impl ChronicleDb {
     /// (windows are empty, so nothing bootstraps), then overwrite the
     /// rebuilt objects' state with the persisted images.
     fn restore_from_image(&mut self, img: CheckpointImage) -> Result<()> {
+        self.tick = img.tick;
+        self.apply_image_objects(img)
+    }
+
+    /// Replay an image's DDL and overwrite the (re)built objects' state
+    /// with the persisted per-object images. Composes with existing state
+    /// — a group *slice* image (see [`ChronicleDb::export_group`]) applies
+    /// on top of a live shard during a placement move, while full restore
+    /// ([`ChronicleDb::restore_from_image`]) starts from an empty
+    /// database. The chronon tick only ever advances.
+    fn apply_image_objects(&mut self, img: CheckpointImage) -> Result<()> {
         let corrupt = |detail: String| ChronicleError::Corruption { detail };
         for sql in &img.ddl {
             self.execute(sql)
                 .map_err(|e| corrupt(format!("replaying checkpoint DDL `{sql}`: {e}")))?;
         }
-        self.tick = img.tick;
+        self.tick = self.tick.max(img.tick);
         for g in img.groups {
+            if g.epoch > 0 {
+                self.group_epochs.insert(g.name.clone(), g.epoch);
+            }
             let gid = match self.catalog.group_id(&g.name) {
                 Ok(id) => id,
                 // A lazily derived group (created without its own DDL
@@ -528,7 +545,233 @@ impl ChronicleDb {
                 let rid = self.catalog.relation_id(&relation)?;
                 self.relation_update_at(rid, &key, new, at)?;
             }
+            WalRecord::GroupImport { group: _, image } => {
+                let img = CheckpointImage::decode(&image)?;
+                self.apply_image_objects(img)?;
+            }
+            WalRecord::GroupEvict(group) => {
+                self.evict_group_state(&group)?;
+            }
         }
+        Ok(())
+    }
+
+    // ---- group placement (heavy-light sharding, DESIGN.md §16) ------------
+    //
+    // Theorem 4.1 makes a chronicle group — its chronicles plus every view
+    // over them — an independent maintenance unit, so a group can relocate
+    // between shards without changing any view's semantics. The move
+    // protocol is two WAL records: the *target* logs `GroupImport` (with
+    // the full group slice as payload) and flushes, then the *source* logs
+    // `GroupEvict` and flushes. A crash between the two flushes leaves the
+    // group on both shards; recovery reconciles by placement epoch (the
+    // imported copy carries `epoch + 1` and wins, rolling the move
+    // forward).
+
+    /// The group's placement epoch (0 = never moved).
+    pub(crate) fn group_epoch(&self, group: &str) -> u64 {
+        self.group_epochs.get(group).copied().unwrap_or(0)
+    }
+
+    /// True iff the catalog holds a group named `group`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn has_group(&self, group: &str) -> bool {
+        self.catalog.group_id(group).is_ok()
+    }
+
+    /// Classify every logged DDL statement as belonging to `group`'s slice
+    /// or to the complement. Chronicles belong by their `IN GROUP` clause;
+    /// views and periodic views follow the chronicle they read (relations
+    /// replicate to every shard, so relation-backed views and joined
+    /// relations stay on the complement side / remain visible everywhere);
+    /// a `DROP VIEW` follows the side that created the view.
+    fn split_ddl(&self, group: &str) -> Result<DdlSplit> {
+        let mut split = DdlSplit::default();
+        let mut view_side: HashMap<String, bool> = HashMap::new();
+        for sql in &self.ddl_log {
+            let on_slice = match parse(sql)? {
+                Statement::CreateGroup { name } => name == group,
+                Statement::CreateChronicle { name, group: g, .. } => {
+                    let slice = g.as_deref() == Some(group);
+                    if slice {
+                        split.chronicles.insert(name);
+                    }
+                    slice
+                }
+                Statement::CreateView { name, query } => {
+                    let slice = split.chronicles.contains(&query.from);
+                    view_side.insert(name.clone(), slice);
+                    if slice {
+                        split.views.insert(name);
+                    }
+                    slice
+                }
+                Statement::CreatePeriodicView { name, query, .. } => {
+                    let slice = split.chronicles.contains(&query.from);
+                    if slice {
+                        split.periodic.insert(name);
+                    }
+                    slice
+                }
+                Statement::DropView { name } => {
+                    let slice = view_side.get(&name).copied().unwrap_or(false);
+                    if slice {
+                        split.views.remove(&name);
+                    }
+                    slice
+                }
+                _ => false,
+            };
+            if on_slice {
+                split.slice.push(sql.clone());
+            } else {
+                split.rest.push(sql.clone());
+            }
+        }
+        Ok(split)
+    }
+
+    /// Export `group` as an encoded checkpoint-image slice — its DDL,
+    /// watermark, chronicle windows, and view/periodic snapshots, with the
+    /// placement epoch already bumped — ready for
+    /// [`ChronicleDb::import_group`] on another shard. The source itself
+    /// is not modified (eviction is a separate, later step).
+    pub(crate) fn export_group(&self, group: &str) -> Result<Vec<u8>> {
+        self.catalog.group_id(group)?;
+        let split = self.split_ddl(group)?;
+        let full = self.build_checkpoint_image(0);
+        let epoch = self.group_epoch(group) + 1;
+        let img = CheckpointImage {
+            lsn: 0,
+            tick: full.tick,
+            ddl: split.slice,
+            groups: full
+                .groups
+                .into_iter()
+                .filter(|g| g.name == group)
+                .map(|mut g| {
+                    g.epoch = epoch;
+                    g
+                })
+                .collect(),
+            chronicles: full
+                .chronicles
+                .into_iter()
+                .filter(|c| split.chronicles.contains(&c.name))
+                .collect(),
+            relations: Vec::new(),
+            views: full
+                .views
+                .into_iter()
+                .filter(|(n, _)| split.views.contains(n))
+                .collect(),
+            periodic: full
+                .periodic
+                .into_iter()
+                .filter(|(n, _)| split.periodic.contains(n))
+                .collect(),
+        };
+        Ok(img.encode())
+    }
+
+    /// Apply an exported group slice to this shard, then log the arrival
+    /// as one `GroupImport` WAL record and flush it to the durable medium.
+    /// Returns the imported group's name. The slice's DDL replays without
+    /// per-statement logging — the single WAL record is the unit of
+    /// atomicity, and [`ChronicleDb::apply_wal_record`] re-applies it on
+    /// recovery.
+    pub(crate) fn import_group(&mut self, image: &[u8]) -> Result<String> {
+        let img = CheckpointImage::decode(image)?;
+        let group =
+            img.groups
+                .first()
+                .map(|g| g.name.clone())
+                .ok_or(ChronicleError::Corruption {
+                    detail: "group slice image carries no group".into(),
+                })?;
+        if self.catalog.group_id(&group).is_ok() {
+            return Err(ChronicleError::AlreadyExists {
+                kind: "group",
+                name: group,
+            });
+        }
+        // Detach durability while the slice replays: its DDL must not be
+        // re-logged statement by statement.
+        let dur = self.durability.take();
+        let applied = self.apply_image_objects(img);
+        self.durability = dur;
+        applied?;
+        self.log_record(WalRecord::GroupImport {
+            group: group.clone(),
+            image: image.to_vec(),
+        })?;
+        self.wal_flush()?;
+        Ok(group)
+    }
+
+    /// Remove `group` (chronicles, views, periodic views, watermark) from
+    /// this shard, log the departure as a `GroupEvict` WAL record, and
+    /// flush. Call only after the target's import is durable.
+    pub(crate) fn evict_group(&mut self, group: &str) -> Result<()> {
+        self.evict_group_state(group)?;
+        self.log_record(WalRecord::GroupEvict(group.to_string()))?;
+        self.wal_flush()?;
+        Ok(())
+    }
+
+    /// The state change of an eviction, shared by the live path and WAL
+    /// replay. The catalog is id-positional (no removal API), so eviction
+    /// rebuilds the database from the complement image — everything except
+    /// the departing group — and swaps the rebuilt state in, preserving
+    /// the durability handle, accumulated statistics, and WAL buffering
+    /// mode.
+    fn evict_group_state(&mut self, group: &str) -> Result<()> {
+        self.catalog.group_id(group)?;
+        let split = self.split_ddl(group)?;
+        let full = self.build_checkpoint_image(0);
+        let rest = CheckpointImage {
+            lsn: 0,
+            tick: full.tick,
+            ddl: split.rest,
+            groups: full
+                .groups
+                .into_iter()
+                .filter(|g| g.name != group)
+                .collect(),
+            chronicles: full
+                .chronicles
+                .into_iter()
+                .filter(|c| !split.chronicles.contains(&c.name))
+                .collect(),
+            relations: full.relations,
+            views: full
+                .views
+                .into_iter()
+                .filter(|(n, _)| !split.views.contains(n))
+                .collect(),
+            periodic: full
+                .periodic
+                .into_iter()
+                .filter(|(n, _)| !split.periodic.contains(n))
+                .collect(),
+        };
+        let mut fresh = ChronicleDb::new();
+        fresh
+            .maintainer
+            .set_batch_mode(self.maintainer.batch_mode());
+        fresh.restore_from_image(rest).map_err(|e| {
+            ChronicleError::Internal(format!(
+                "rebuilding shard state after evicting group `{group}`: {e}"
+            ))
+        })?;
+        self.catalog = fresh.catalog;
+        self.maintainer = fresh.maintainer;
+        self.default_group = fresh.default_group;
+        self.periodic_names = fresh.periodic_names;
+        self.tick = self.tick.max(fresh.tick);
+        self.ddl_log = fresh.ddl_log;
+        self.group_epochs = fresh.group_epochs;
+        self.stats.group_rates.forget(group);
         Ok(())
     }
 
@@ -564,10 +807,18 @@ impl ChronicleDb {
     /// high-water, or `SeqNo(0)` before any group exists. Relation DML
     /// deliberately does not materialize a group as a side effect — a
     /// relation statement must stay a single WAL record.
-    fn relation_stamp(&self) -> SeqNo {
+    ///
+    /// Clamped to the relation's newest logged stamp: evicting a group
+    /// (heavy-light placement moving it to another shard) can leave the
+    /// anchor group's high-water *below* stamps it already issued, and a
+    /// regressed stamp would wedge the relation with spurious
+    /// `RetroactiveUpdate` rejections. Equal stamps are legal, so the
+    /// clamp keeps DML proactive without weakening the monotone check.
+    fn relation_stamp(&self, rid: RelationId) -> SeqNo {
         self.default_group
             .map(|g| self.catalog.group(g).high_water())
             .unwrap_or(SeqNo(0))
+            .max(self.catalog.relation(rid).last_stamp())
     }
 
     /// Create a chronicle (in the default group unless `group` is given).
@@ -795,7 +1046,11 @@ impl ChronicleDb {
             tuples,
         };
         let report = self.maintainer.on_append(&self.catalog, &event)?;
-        self.stats.record_append(event.tuples.len(), &report);
+        let group = self
+            .catalog
+            .group(self.catalog.chronicle(chronicle).group())
+            .name();
+        self.stats.record_append(group, event.tuples.len(), &report);
         if self.durability.is_some() {
             let rec = WalRecord::Append {
                 chronicle: self.catalog.chronicle_name(chronicle).to_string(),
@@ -820,7 +1075,7 @@ impl ChronicleDb {
     /// Insert a tuple into a relation.
     pub fn insert_relation(&mut self, name: &str, tuple: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
-        let at = self.relation_stamp();
+        let at = self.relation_stamp(rid);
         let logged = self.durability.is_some().then(|| WalRecord::RelInsert {
             relation: name.to_string(),
             at,
@@ -836,7 +1091,7 @@ impl ChronicleDb {
     /// Update a relation tuple by primary key.
     pub fn update_relation(&mut self, name: &str, key: &[Value], new: Tuple) -> Result<()> {
         let rid = self.catalog.relation_id(name)?;
-        let at = self.relation_stamp();
+        let at = self.relation_stamp(rid);
         let logged = self.durability.is_some().then(|| WalRecord::RelUpdate {
             relation: name.to_string(),
             at,
@@ -853,7 +1108,7 @@ impl ChronicleDb {
     /// Delete a relation tuple.
     pub fn delete_relation(&mut self, name: &str, tuple: &Tuple) -> Result<bool> {
         let rid = self.catalog.relation_id(name)?;
-        let at = self.relation_stamp();
+        let at = self.relation_stamp(rid);
         let logged = self.durability.is_some().then(|| WalRecord::RelDelete {
             relation: name.to_string(),
             at,
@@ -999,6 +1254,15 @@ impl ChronicleDb {
     /// Accumulated statistics.
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    /// Planner hook: fold the per-group append-rate table one half-life.
+    /// [`crate::ShardedDb::rebalance`] calls this on every shard after
+    /// each pass — the planner, not the recorder, owns the decay clock so
+    /// per-shard tables stay comparable (see
+    /// [`crate::stats::GroupRates::decay`]).
+    pub(crate) fn decay_group_rates(&mut self) {
+        self.stats.group_rates.decay();
     }
 
     // ---- SQL ------------------------------------------------------------------
@@ -1212,6 +1476,22 @@ impl ChronicleDb {
             .filter(|t| cols.iter().all(|(c, v)| t.get(*c) == v))
             .collect())
     }
+}
+
+/// The two sides of a group move: DDL statements (original order) plus
+/// the slice-side object names, produced by [`ChronicleDb::split_ddl`].
+#[derive(Debug, Default)]
+struct DdlSplit {
+    /// DDL belonging to the departing group.
+    slice: Vec<String>,
+    /// DDL belonging to everything staying behind.
+    rest: Vec<String>,
+    /// Chronicle names in the slice.
+    chronicles: HashSet<String>,
+    /// Live view names in the slice.
+    views: HashSet<String>,
+    /// Periodic view family names in the slice.
+    periodic: HashSet<String>,
 }
 
 fn calendar_from_spec(spec: &CalendarSpec) -> Result<Calendar> {

@@ -169,7 +169,12 @@ impl FollowerDb {
         let n = records.len();
         let mut ddl = false;
         for (lsn, rec) in records {
-            ddl |= matches!(rec, WalRecord::Ddl(_));
+            // Group moves (import/evict) relocate objects between shards
+            // just like DDL creates them — both invalidate the routes.
+            ddl |= matches!(
+                rec,
+                WalRecord::Ddl(_) | WalRecord::GroupImport { .. } | WalRecord::GroupEvict(_)
+            );
             self.shards[shard]
                 .apply_wal_record(rec)
                 .map_err(|e| ChronicleError::Corruption {
@@ -431,6 +436,35 @@ mod tests {
             )
             .unwrap();
         assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    fn follower_applies_shipped_group_moves() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(81));
+        let mut leader = seeded_leader(&fs, 3);
+        let mut f = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 3, opts()).unwrap();
+        ship_all(&leader, &mut f, 128);
+
+        // Leader moves the group; the import/evict records ship like any
+        // other WAL traffic and must rebuild the follower's routes.
+        let home = leader.routes().group_shard("telecom").unwrap();
+        let target = (home + 1) % 3;
+        leader.move_group("telecom", target).unwrap();
+        leader.execute("APPEND INTO calls VALUES (9, 3.0)").unwrap();
+        leader.wal_flush().unwrap();
+        ship_all(&leader, &mut f, 128);
+
+        assert_eq!(f.snapshot_views(), leader.snapshot_views());
+        assert_eq!(
+            f.query_view("totals").unwrap(),
+            leader.query_view("totals").unwrap()
+        );
+        // The follower's shard layout mirrors the leader's new placement:
+        // exactly the target shard holds the group.
+        let owners: Vec<usize> = (0..3)
+            .filter(|&i| f.shards[i].has_group("telecom"))
+            .collect();
+        assert_eq!(owners, vec![target]);
     }
 
     #[test]

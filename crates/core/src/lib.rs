@@ -30,6 +30,14 @@
 
 #![warn(missing_docs)]
 
+/// Test-only mutation backdoor for the verify.sh mutation checks: prove a
+/// gate notices when a protocol step is silently disabled (e.g. the
+/// salvage report dropped, or the heavy-light placement classifier turned
+/// off).
+pub(crate) fn mutate(which: &str) -> bool {
+    std::env::var("CHRONICLE_MUTATE").is_ok_and(|v| v == which)
+}
+
 pub mod baseline;
 mod db;
 pub mod follower;
@@ -42,5 +50,5 @@ pub use chronicle_durability::{
 };
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
 pub use follower::FollowerDb;
-pub use shard::{shard_of_group, ShardRoutes, ShardedDb};
+pub use shard::{shard_of_group, PlannedMove, ShardRoutes, ShardedDb};
 pub use stats::{DbStats, LatencySample};

@@ -47,7 +47,7 @@ use chronicle_sql::{parse, Statement};
 use chronicle_types::{ChronicleError, Chronon, Result, Tuple, Value};
 
 use crate::db::{AppendOutcome, ChronicleDb, ExecOutcome};
-use crate::stats::DbStats;
+use crate::stats::{DbStats, GroupRates};
 
 /// 64-bit FNV-1a. In-tree so the group→shard assignment is deterministic
 /// across runs and builds (`std`'s `DefaultHasher` is explicitly allowed
@@ -138,6 +138,18 @@ impl ShardRoutes {
             .copied()
             .ok_or_else(|| ChronicleError::NotFound {
                 kind: "chronicle",
+                name: name.into(),
+            })
+    }
+
+    /// The shard owning chronicle group `name`. For a moved group this is
+    /// its current placement, not its hash assignment.
+    pub fn group_shard(&self, name: &str) -> Result<usize> {
+        self.groups
+            .get(name)
+            .copied()
+            .ok_or_else(|| ChronicleError::NotFound {
+                kind: "chronicle group",
                 name: name.into(),
             })
     }
@@ -326,6 +338,18 @@ impl ShardRoutes {
     }
 }
 
+/// One relocation in a heavy-light placement plan (see
+/// [`ShardedDb::plan_rebalance`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// The group to move.
+    pub group: String,
+    /// The shard currently holding it.
+    pub from: usize,
+    /// The destination shard.
+    pub to: usize,
+}
+
 /// A chronicle database hash-partitioned into independent maintenance
 /// shards. See the module docs for the placement rules; the API mirrors
 /// the [`ChronicleDb`] surface the single-shard facade offers.
@@ -450,6 +474,7 @@ impl ShardedDb {
                 detail: format!("recovering shard {i}: {e}"),
             })?);
         }
+        Self::reconcile_placement(&mut dbs)?;
         let routes = Self::rebuild_routes(&dbs);
         Ok(ShardedDb {
             shards: dbs,
@@ -458,19 +483,67 @@ impl ShardedDb {
         })
     }
 
+    /// Post-recovery placement reconciliation. A crash between a group
+    /// move's two WAL flushes — the target's `GroupImport`, then the
+    /// source's `GroupEvict` — recovers the group onto *both* shards. The
+    /// copy with the highest placement epoch is the one the move reached
+    /// last (export bumps the epoch the import adopts), so it wins and the
+    /// stale copies are durably evicted, rolling the interrupted move
+    /// forward. The implicit `default` group is exempt: it is derived
+    /// state that legitimately exists on every shard relation DML or an
+    /// ungrouped chronicle materialized it on.
+    fn reconcile_placement(dbs: &mut [ChronicleDb]) -> Result<()> {
+        let mut holders: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, db) in dbs.iter().enumerate() {
+            for g in db.catalog().groups() {
+                holders.entry(g.name().to_string()).or_default().push(i);
+            }
+        }
+        let mut contested: Vec<(String, Vec<usize>)> = holders
+            .into_iter()
+            .filter(|(name, shards)| name != DEFAULT_GROUP && shards.len() > 1)
+            .collect();
+        contested.sort();
+        for (name, shards) in contested {
+            let winner = shards
+                .iter()
+                .copied()
+                .max_by_key(|&i| (dbs[i].group_epoch(&name), usize::MAX - i))
+                .expect("contested group has holders");
+            for i in shards {
+                if i != winner {
+                    dbs[i]
+                        .evict_group(&name)
+                        .map_err(|e| ChronicleError::Durability {
+                            detail: format!(
+                                "evicting stale copy of group `{name}` from shard {i} \
+                                 during placement reconciliation: {e}"
+                            ),
+                        })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Reconstruct the name→shard maps from recovered shard catalogs.
-    /// Groups take their hash assignment (the `default` group may exist on
-    /// several shards — relation DML broadcasts create it everywhere — but
-    /// it always exists on its hash shard if it exists at all); everything
-    /// else routes to the shard that actually holds it.
+    /// Groups route to the shard that actually holds them — after a
+    /// placement move that is no longer the hash shard. The `default`
+    /// group keeps its hash assignment (it may exist on several shards —
+    /// relation DML broadcasts create it everywhere — but it always
+    /// exists on its hash shard if it exists at all, and it never moves);
+    /// everything else routes to the shard that actually holds it.
     pub(crate) fn rebuild_routes(dbs: &[ChronicleDb]) -> ShardRoutes {
         let n = dbs.len();
         let mut routes = ShardRoutes::new(n);
         for (i, db) in dbs.iter().enumerate() {
             for g in db.catalog().groups() {
-                routes
-                    .groups
-                    .insert(g.name().to_string(), shard_of_group(g.name(), n));
+                let shard = if g.name() == DEFAULT_GROUP {
+                    shard_of_group(g.name(), n)
+                } else {
+                    i
+                };
+                routes.groups.insert(g.name().to_string(), shard);
             }
             for c in db.catalog().chronicles() {
                 routes.chronicles.insert(c.name().to_string(), i);
@@ -661,6 +734,167 @@ impl ShardedDb {
         self.shards[target].query_view_key(name, key)
     }
 
+    // ---- heavy-light placement (DESIGN.md §16) ----------------------------
+
+    /// Move chronicle group `group` — its chronicles, watermark, and every
+    /// view over them — onto shard `to`, overriding the hash placement.
+    /// Theorem 4.1 makes the group an independent maintenance unit, so the
+    /// move is invisible to view semantics: snapshots before and after are
+    /// identical, only *where* maintenance runs changes.
+    ///
+    /// Durability is two-phase: the target logs a `GroupImport` WAL record
+    /// (with the full group slice as payload) and flushes, then the source
+    /// logs `GroupEvict` and flushes. A crash between the flushes leaves
+    /// the group on both shards; [`ShardedDb::open`] reconciles by
+    /// placement epoch, keeping the imported copy — every interrupted move
+    /// rolls forward, never half-applies.
+    ///
+    /// `&mut self` serializes the move against all statements, exactly
+    /// like DDL: callers running the concurrent pipeline must shut it down
+    /// first (the shutdown barrier is the delta drain).
+    pub fn move_group(&mut self, group: &str, to: usize) -> Result<()> {
+        if group == DEFAULT_GROUP {
+            return Err(ChronicleError::Internal(
+                "the implicit `default` group cannot be moved: it is derived state \
+                 that may exist on every shard"
+                    .into(),
+            ));
+        }
+        if to >= self.shards.len() {
+            return Err(ChronicleError::NotFound {
+                kind: "shard",
+                name: to.to_string(),
+            });
+        }
+        let from = self.routes.group_shard(group)?;
+        if from == to {
+            return Ok(());
+        }
+        let image = self.shards[from].export_group(group)?;
+        self.shards[to].import_group(&image)?;
+        self.shards[from].evict_group(group)?;
+        self.routes = Self::rebuild_routes(&self.shards);
+        Ok(())
+    }
+
+    /// Classify the current append-rate profile into a placement plan: a
+    /// group is **heavy** when its decayed append rate exceeds 1.5× the
+    /// per-shard average (`2·rate·n > 3·total` in integers — no floats, so
+    /// the decision is bit-reproducible). Each heavy group gets a shard to
+    /// itself — its current shard when available, else the lowest-index
+    /// unclaimed one — with heavies capped at `n−1` so light groups keep
+    /// at least one shard. Light groups stranded on a dedicated shard are
+    /// evacuated longest-processing-time-first onto the least-loaded
+    /// non-dedicated shard; lights elsewhere stay put (no churn). Rates of
+    /// zero-traffic groups have fully decayed, so they may share a
+    /// dedicated shard — they contribute no appends.
+    ///
+    /// Deterministic: rates are integers, groups are ranked rate-desc then
+    /// name-asc, ties in shard load break toward the lowest index. With
+    /// `CHRONICLE_MUTATE=static_placement` the classifier is disabled and
+    /// the plan is always empty (the verify.sh mutation check proves the
+    /// E18 skew gate notices).
+    pub fn plan_rebalance(&self) -> Vec<PlannedMove> {
+        if crate::mutate("static_placement") {
+            return Vec::new();
+        }
+        let n = self.shards.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rates = GroupRates::default();
+        for s in &self.shards {
+            rates.absorb(&s.stats().group_rates);
+        }
+        let mut ranked: Vec<(String, u64, usize)> = rates
+            .iter()
+            .filter(|(g, _)| *g != DEFAULT_GROUP)
+            .filter_map(|(g, r)| {
+                self.routes
+                    .group_shard(g)
+                    .ok()
+                    .map(|shard| (g.to_string(), r, shard))
+            })
+            .collect();
+        let total: u128 = ranked.iter().map(|(_, r, _)| u128::from(*r)).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut moves = Vec::new();
+        let mut claimed: HashSet<usize> = HashSet::new();
+        let mut heavy_count = 0usize;
+        for (g, r, cur) in &ranked {
+            if heavy_count + 1 >= n || 2 * u128::from(*r) * n as u128 <= 3 * total {
+                break;
+            }
+            heavy_count += 1;
+            let shard = if claimed.contains(cur) {
+                (0..n)
+                    .find(|s| !claimed.contains(s))
+                    .expect("fewer heavies than shards")
+            } else {
+                *cur
+            };
+            claimed.insert(shard);
+            if shard != *cur {
+                moves.push(PlannedMove {
+                    group: g.clone(),
+                    from: *cur,
+                    to: shard,
+                });
+            }
+        }
+        if claimed.is_empty() {
+            return Vec::new();
+        }
+        // Light groups: those stranded on a now-dedicated shard evacuate;
+        // the rest stay and their rates form the base load for LPT
+        // assignment. `ranked` is already rate-descending — LPT order.
+        let mut load = vec![0u128; n];
+        let mut evacuees: Vec<(&String, u64, usize)> = Vec::new();
+        for (g, r, cur) in ranked.iter().skip(heavy_count) {
+            if claimed.contains(cur) {
+                evacuees.push((g, *r, *cur));
+            } else {
+                load[*cur] += u128::from(*r);
+            }
+        }
+        for (g, r, from) in evacuees {
+            let to = (0..n)
+                .filter(|s| !claimed.contains(s))
+                .min_by_key(|&s| (load[s], s))
+                .expect("heavies capped at n-1 leave a light shard");
+            load[to] += u128::from(r);
+            moves.push(PlannedMove {
+                group: g.clone(),
+                from,
+                to,
+            });
+        }
+        moves
+    }
+
+    /// Plan ([`ShardedDb::plan_rebalance`]) and apply
+    /// ([`ShardedDb::move_group`]) a heavy-light placement pass. Returns
+    /// the moves that were applied. View snapshots, checkpoint contents
+    /// and per-statement work counters are identical before and after —
+    /// placement only changes which shard does the work.
+    pub fn rebalance(&mut self) -> Result<Vec<PlannedMove>> {
+        let plan = self.plan_rebalance();
+        for m in &plan {
+            self.move_group(&m.group, m.to)?;
+        }
+        // The planner owns the rate-decay clock: folding every shard's
+        // table at the same instants keeps the tables spanning the same
+        // observation interval, so the next pass compares like with like
+        // (see `GroupRates::decay`).
+        for s in &mut self.shards {
+            s.decay_group_rates();
+        }
+        Ok(plan)
+    }
+
     // ---- pipeline plumbing ------------------------------------------------
 
     /// Split into per-shard databases plus the routing table (the sharded
@@ -842,6 +1076,237 @@ mod tests {
     #[test]
     fn zero_shards_rejected() {
         assert!(ShardedDb::new(0).is_err());
+    }
+
+    /// Total logical state of a sharded db, for before/after-move
+    /// comparisons: sorted view snapshots plus every chronicle's window.
+    fn logical_state(db: &ShardedDb) -> (Vec<(String, Vec<u8>)>, Vec<(String, Vec<Tuple>)>) {
+        let mut windows: Vec<(String, Vec<Tuple>)> = db
+            .shards()
+            .iter()
+            .flat_map(|s| {
+                s.catalog()
+                    .chronicles()
+                    .iter()
+                    .map(|c| (c.name().to_string(), c.scan_window().cloned().collect()))
+            })
+            .collect();
+        windows.sort_by(|a, b| a.0.cmp(&b.0));
+        (db.snapshot_views(), windows)
+    }
+
+    #[test]
+    fn moves_relocate_state_without_changing_it() {
+        let mut db = two_group_db(4);
+        db.execute(
+            "CREATE RELATION customers (acct INT, name STRING, state STRING, PRIMARY KEY (acct))",
+        )
+        .unwrap();
+        db.execute("INSERT INTO customers VALUES (555, 'alice', 'NJ')")
+            .unwrap();
+        db.execute(
+            "CREATE VIEW nj_calls AS SELECT caller, COUNT(*) AS n FROM calls \
+             JOIN customers ON caller = acct WHERE state = 'NJ' GROUP BY caller",
+        )
+        .unwrap();
+        db.execute("APPEND INTO calls VALUES (555, 12.5)").unwrap();
+        db.execute("APPEND INTO txns VALUES (1, 100.0)").unwrap();
+        let home = db.routes().group_shard("telecom").unwrap();
+        let target = (home + 1) % 4;
+        let before = logical_state(&db);
+        db.move_group("telecom", target).unwrap();
+        // The group, its chronicle and both its views now live on the
+        // target; state is bit-identical.
+        assert_eq!(db.routes().group_shard("telecom").unwrap(), target);
+        assert_eq!(db.shard_of_chronicle("calls").unwrap(), target);
+        assert_eq!(db.routes().view_shard("call_totals").unwrap(), target);
+        assert_eq!(db.routes().view_shard("nj_calls").unwrap(), target);
+        assert!(!db.shard(home).has_group("telecom"));
+        assert_eq!(logical_state(&db), before);
+        // The moved group keeps working: appends route to the new shard,
+        // views keep maintaining, SN sequence continues.
+        db.execute("APPEND INTO calls VALUES (555, 0.5)").unwrap();
+        assert_eq!(
+            db.query_view_key("call_totals", &[Value::Int(555)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(13.0)
+        );
+        // Moving back works too.
+        db.move_group("telecom", home).unwrap();
+        assert_eq!(db.shard_of_chronicle("calls").unwrap(), home);
+        assert_eq!(
+            db.query_view_key("nj_calls", &[Value::Int(555)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn default_group_and_bad_targets_are_refused() {
+        let mut db = ShardedDb::new(3).unwrap();
+        db.execute("CREATE CHRONICLE c (sn SEQ, x INT)").unwrap();
+        assert!(db.move_group("default", 1).is_err());
+        db.execute("CREATE GROUP g").unwrap();
+        assert!(db.move_group("g", 9).is_err());
+        assert!(db.move_group("nope", 0).is_err());
+        // A no-op move (already there) succeeds.
+        let cur = db.routes().group_shard("g").unwrap();
+        db.move_group("g", cur).unwrap();
+    }
+
+    #[test]
+    fn moved_placement_survives_reopen() {
+        let tmp = chronicle_testkit::TempDir::new("sharded-moved-reopen");
+        let (before, target) = {
+            let mut db = ShardedDb::open(tmp.path(), 3).unwrap();
+            db.execute("CREATE GROUP telecom").unwrap();
+            db.execute(
+                "CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom",
+            )
+            .unwrap();
+            db.execute(
+                "CREATE VIEW call_totals AS \
+                 SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+            )
+            .unwrap();
+            db.execute("APPEND INTO calls VALUES (555, 2.5)").unwrap();
+            let home = db.routes().group_shard("telecom").unwrap();
+            let target = (home + 1) % 3;
+            db.move_group("telecom", target).unwrap();
+            db.execute("APPEND INTO calls VALUES (7, 1.0)").unwrap();
+            db.wal_flush().unwrap();
+            (logical_state(&db), target)
+            // No clean shutdown: recovery must replay the import and the
+            // post-move append from the WALs alone.
+        };
+        let db = ShardedDb::open(tmp.path(), 3).unwrap();
+        assert_eq!(db.routes().group_shard("telecom").unwrap(), target);
+        assert_eq!(logical_state(&db), before);
+        // Checkpoint + reopen keeps the placement too (the epoch and the
+        // group slice now come from the checkpoint image, not the WAL).
+        {
+            let mut db = ShardedDb::open(tmp.path(), 3).unwrap();
+            db.checkpoint().unwrap();
+        }
+        let db = ShardedDb::open(tmp.path(), 3).unwrap();
+        assert_eq!(db.routes().group_shard("telecom").unwrap(), target);
+        assert_eq!(logical_state(&db), before);
+    }
+
+    #[test]
+    fn interrupted_move_rolls_forward_on_reopen() {
+        let tmp = chronicle_testkit::TempDir::new("sharded-interrupted-move");
+        let (before, home, target) = {
+            let mut db = ShardedDb::open(tmp.path(), 3).unwrap();
+            db.execute("CREATE GROUP telecom").unwrap();
+            db.execute(
+                "CREATE CHRONICLE calls (sn SEQ, caller INT, minutes FLOAT) IN GROUP telecom",
+            )
+            .unwrap();
+            db.execute(
+                "CREATE VIEW call_totals AS \
+                 SELECT caller, SUM(minutes) AS m FROM calls GROUP BY caller",
+            )
+            .unwrap();
+            db.execute("APPEND INTO calls VALUES (555, 2.5)").unwrap();
+            db.wal_flush().unwrap();
+            let home = db.routes().group_shard("telecom").unwrap();
+            let target = (home + 1) % 3;
+            let state = logical_state(&db);
+            // Simulate a crash between the move's two flushes: the target
+            // durably imported, the source never logged its eviction.
+            let image = db.shards[home].export_group("telecom").unwrap();
+            db.shards[target].import_group(&image).unwrap();
+            (state, home, target)
+        };
+        let db = ShardedDb::open(tmp.path(), 3).unwrap();
+        // Reconciliation kept the higher-epoch imported copy and evicted
+        // the stale source copy — the move completed.
+        assert_eq!(db.routes().group_shard("telecom").unwrap(), target);
+        assert!(!db.shard(home).has_group("telecom"));
+        assert!(db.shard(target).has_group("telecom"));
+        assert_eq!(logical_state(&db), before);
+        // Exactly one shard owns the group.
+        let owners: Vec<usize> = (0..3)
+            .filter(|&i| db.shard(i).has_group("telecom"))
+            .collect();
+        assert_eq!(owners, vec![target]);
+    }
+
+    #[test]
+    fn classifier_dedicates_heavy_groups_and_balances_the_rest() {
+        let mut db = ShardedDb::new(4).unwrap();
+        // Six groups; one gets ~10x the traffic of the other five.
+        for i in 0..6 {
+            db.execute(&format!("CREATE GROUP g{i}")).unwrap();
+            db.execute(&format!(
+                "CREATE CHRONICLE c{i} (sn SEQ, x INT) IN GROUP g{i}"
+            ))
+            .unwrap();
+        }
+        for round in 0..40 {
+            for _ in 0..10 {
+                db.execute("APPEND INTO c0 VALUES (1)").unwrap();
+            }
+            let i = 1 + (round % 5);
+            db.execute(&format!("APPEND INTO c{i} VALUES (1)")).unwrap();
+        }
+        let before = logical_state(&db);
+        let plan = db.plan_rebalance();
+        let heavy_to = plan
+            .iter()
+            .find(|m| m.group == "g0")
+            .map(|m| m.to)
+            .unwrap_or_else(|| db.routes().group_shard("g0").unwrap());
+        // Whatever shard g0 ends on, the plan leaves it there alone.
+        for m in &plan {
+            if m.group != "g0" {
+                assert_ne!(
+                    m.to, heavy_to,
+                    "light group planned onto the dedicated shard"
+                );
+            }
+        }
+        let applied = db.rebalance().unwrap();
+        assert_eq!(applied, plan, "rebalance applies exactly its plan");
+        // The dedicated shard now holds only the heavy group (plus at most
+        // the zero-rate leftovers, of which there are none here).
+        for i in 1..6 {
+            let s = db.routes().group_shard(&format!("g{i}")).unwrap();
+            assert_ne!(s, heavy_to, "g{i} still shares the dedicated shard");
+        }
+        assert_eq!(logical_state(&db), before, "placement changed state");
+        // A second pass right away is a no-op: the profile is unchanged
+        // and every heavy already sits on its dedicated shard.
+        assert!(
+            db.rebalance().unwrap().is_empty(),
+            "rebalance did not converge"
+        );
+    }
+
+    #[test]
+    fn uniform_traffic_plans_no_moves() {
+        let mut db = ShardedDb::new(4).unwrap();
+        for i in 0..8 {
+            db.execute(&format!("CREATE GROUP g{i}")).unwrap();
+            db.execute(&format!(
+                "CREATE CHRONICLE c{i} (sn SEQ, x INT) IN GROUP g{i}"
+            ))
+            .unwrap();
+        }
+        for _ in 0..20 {
+            for i in 0..8 {
+                db.execute(&format!("APPEND INTO c{i} VALUES (1)")).unwrap();
+            }
+        }
+        assert!(
+            db.plan_rebalance().is_empty(),
+            "no group exceeds 1.5x the per-shard average under uniform load"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Append and maintenance accounting.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 
 use chronicle_algebra::WorkCounter;
 use chronicle_durability::SalvageReport;
@@ -113,6 +114,92 @@ impl LatencySample {
     }
 }
 
+/// Decayed per-group append rates — the observation side of heavy-light
+/// placement (DESIGN.md §16).
+///
+/// Each group carries an integer pair `(decayed, current)`: appends land
+/// in `current`, and [`GroupRates::decay`] folds the table as
+/// `decayed = decayed/2 + current; current = 0` — an exponential moving
+/// sum in pure integer arithmetic, so the classifier's inputs (and
+/// therefore every placement decision) are bit-reproducible across runs
+/// and platforms. A group's rate is `decayed + current`: recent traffic
+/// dominates, dead groups decay to zero and are dropped from the table.
+///
+/// The fold is driven by the placement planner
+/// ([`crate::ShardedDb::rebalance`] folds every shard's table after each
+/// pass), **not** by per-shard record counts. This is load-bearing for
+/// cross-shard comparability: if each shard folded on its own traffic
+/// cadence, a busy shard's table would plateau at a couple of windows
+/// while an idle shard's kept accumulating unfolded history, inflating
+/// the idle shard's share of the absorbed total and deflating exactly
+/// the heavy groups the classifier must find. Folding everyone at the
+/// same planning instants keeps every table spanning the same
+/// observation interval, with half-life one planning interval.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupRates {
+    /// Group name → `(decayed, current)` tuple counters. A `BTreeMap`, so
+    /// iteration order — and everything downstream of it — is
+    /// deterministic.
+    counts: BTreeMap<String, (u64, u64)>,
+}
+
+impl GroupRates {
+    /// Record one append batch of `tuples` rows against `group`.
+    pub fn record(&mut self, group: &str, tuples: u64) {
+        match self.counts.get_mut(group) {
+            Some(e) => e.1 += tuples,
+            None => {
+                self.counts.insert(group.to_string(), (0, tuples));
+            }
+        }
+    }
+
+    /// Halve every decayed counter and roll the current window in,
+    /// dropping groups whose rate has decayed to zero. Called by the
+    /// placement planner after every pass (see the type docs for why the
+    /// planner, not the recorder, owns the decay clock).
+    pub fn decay(&mut self) {
+        self.counts.retain(|_, e| {
+            e.0 = e.0 / 2 + e.1;
+            e.1 = 0;
+            e.0 > 0
+        });
+    }
+
+    /// The decayed append rate of `group` (0 if never seen or fully
+    /// decayed).
+    pub fn rate(&self, group: &str) -> u64 {
+        self.counts.get(group).map_or(0, |&(d, c)| d + c)
+    }
+
+    /// Every tracked group with its current rate, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(g, &(d, c))| (g.as_str(), d + c))
+    }
+
+    /// Sum of all tracked rates.
+    pub fn total(&self) -> u64 {
+        self.counts.values().map(|&(d, c)| d + c).sum()
+    }
+
+    /// Drop a group's counters entirely (it moved to another shard; the
+    /// target rebuilds its rate from the traffic it actually receives).
+    pub fn forget(&mut self, group: &str) {
+        self.counts.remove(group);
+    }
+
+    /// Fold another table in (cross-shard aggregation): counters add
+    /// componentwise, so the merged rate of a group is the sum of its
+    /// per-shard rates.
+    pub fn absorb(&mut self, other: &GroupRates) {
+        for (g, &(d, c)) in &other.counts {
+            let e = self.counts.entry(g.clone()).or_insert((0, 0));
+            e.0 += d;
+            e.1 += c;
+        }
+    }
+}
+
 /// Running statistics for a [`crate::ChronicleDb`].
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
@@ -139,6 +226,9 @@ pub struct DbStats {
     pub vectorized_views: u64,
     /// Aggregate work counters across all maintenance.
     pub work: WorkCounter,
+    /// Decayed per-group append rates — what the heavy-light placement
+    /// classifier reads (DESIGN.md §16).
+    pub group_rates: GroupRates,
     /// Records written to the write-ahead log.
     pub wal_records: u64,
     /// Bytes written to the write-ahead log.
@@ -183,10 +273,13 @@ pub struct DbStats {
 }
 
 impl DbStats {
-    /// Fold one append's report into the stats.
-    pub fn record_append(&mut self, tuples: usize, report: &MaintenanceReport) {
+    /// Fold one append's report into the stats. `group` is the chronicle
+    /// group the batch landed in; its decayed rate counter feeds the
+    /// heavy-light placement classifier.
+    pub fn record_append(&mut self, group: &str, tuples: usize, report: &MaintenanceReport) {
         self.appends += 1;
         self.tuples_appended += tuples as u64;
+        self.group_rates.record(group, tuples as u64);
         self.maintenance_nanos += report.elapsed_nanos;
         self.max_maintenance_nanos = self.max_maintenance_nanos.max(report.elapsed_nanos);
         self.views_maintained += report.views.len() as u64;
@@ -236,6 +329,7 @@ impl DbStats {
         self.skipped_by_interval += other.skipped_by_interval;
         self.vectorized_views += other.vectorized_views;
         self.work.absorb(other.work);
+        self.group_rates.absorb(&other.group_rates);
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;
         self.wal_flushes += other.wal_flushes;
@@ -318,8 +412,8 @@ mod tests {
     #[test]
     fn records_and_averages() {
         let mut s = DbStats::default();
-        s.record_append(3, &report(100));
-        s.record_append(1, &report(300));
+        s.record_append("g", 3, &report(100));
+        s.record_append("g", 1, &report(300));
         assert_eq!(s.appends, 2);
         assert_eq!(s.tuples_appended, 4);
         assert_eq!(s.maintenance_nanos, 400);
@@ -333,7 +427,7 @@ mod tests {
     fn percentiles() {
         let mut s = DbStats::default();
         for i in 1..=100u64 {
-            s.record_append(1, &report(i));
+            s.record_append("g", 1, &report(i));
         }
         assert_eq!(s.latency_percentile(0.0), 1);
         assert_eq!(s.latency_percentile(1.0), 100);
@@ -346,7 +440,7 @@ mod tests {
     fn reservoir_stays_bounded() {
         let mut s = DbStats::default();
         for i in 0..10_000u64 {
-            s.record_append(1, &report(i));
+            s.record_append("g", 1, &report(i));
         }
         assert!(s.latencies.len() <= SAMPLE);
         assert_eq!(s.appends, 10_000);
@@ -355,12 +449,12 @@ mod tests {
     #[test]
     fn percentile_cache_tracks_new_data() {
         let mut s = DbStats::default();
-        s.record_append(1, &report(10));
+        s.record_append("g", 1, &report(10));
         assert_eq!(s.latency_percentile(1.0), 10);
         // A second query with no new data must not change the answer…
         assert_eq!(s.latency_percentile(1.0), 10);
         // …and new data must invalidate the cache.
-        s.record_append(1, &report(999));
+        s.record_append("g", 1, &report(999));
         assert_eq!(s.latency_percentile(1.0), 999);
     }
 
@@ -368,9 +462,9 @@ mod tests {
     fn absorb_merges_counters_and_samples() {
         let mut a = DbStats::default();
         let mut b = DbStats::default();
-        a.record_append(2, &report(100));
-        b.record_append(3, &report(500));
-        b.record_append(1, &report(300));
+        a.record_append("g", 2, &report(100));
+        b.record_append("g", 3, &report(500));
+        b.record_append("g", 1, &report(300));
         b.wal_records = 7;
         b.recovery_checkpoint_lsn = Some(42);
         a.absorb(&b);
@@ -389,8 +483,8 @@ mod tests {
         let mut a = DbStats::default();
         let mut b = DbStats::default();
         for i in 0..SAMPLE as u64 {
-            a.record_append(1, &report(i));
-            b.record_append(1, &report(i));
+            a.record_append("g", 1, &report(i));
+            b.record_append("g", 1, &report(i));
         }
         a.absorb(&b);
         assert_eq!(a.appends, 2 * SAMPLE as u64);
@@ -406,10 +500,10 @@ mod tests {
         // regimes in proportion, deterministically (seeded draws).
         let mut s = DbStats::default();
         for _ in 0..3 * SAMPLE {
-            s.record_append(1, &report(1_000));
+            s.record_append("g", 1, &report(1_000));
         }
         for _ in 0..3 * SAMPLE {
-            s.record_append(1, &report(1_000_000));
+            s.record_append("g", 1, &report(1_000_000));
         }
         assert!(s.latencies.len() <= SAMPLE);
         assert_eq!(
@@ -442,8 +536,8 @@ mod tests {
         let mut a = DbStats::default();
         let mut b = DbStats::default();
         for _ in 0..SAMPLE as u64 {
-            a.record_append(1, &report(1_000));
-            b.record_append(1, &report(1_000_000));
+            a.record_append("g", 1, &report(1_000));
+            b.record_append("g", 1, &report(1_000_000));
         }
         a.absorb(&b);
         assert!(a.latencies.len() <= SAMPLE);
@@ -468,7 +562,7 @@ mod tests {
     #[test]
     fn net_requests_have_their_own_percentiles() {
         let mut s = DbStats::default();
-        s.record_append(1, &report(5));
+        s.record_append("g", 1, &report(5));
         for i in 1..=100u64 {
             s.record_net_request(i * 1000);
         }
@@ -477,6 +571,76 @@ mod tests {
         assert_eq!(s.net_latency_percentile(1.0), 100_000);
         // The maintenance sample is untouched by network traffic.
         assert_eq!(s.latency_percentile(1.0), 5);
+    }
+
+    #[test]
+    fn group_rates_track_decay_and_dominance() {
+        let mut r = GroupRates::default();
+        // One planning interval: hot gets 3 tuples per batch, cold gets 1
+        // every 8th batch.
+        for i in 0..1024u64 {
+            r.record("hot", 3);
+            if i % 8 == 0 {
+                r.record("cold", 1);
+            }
+        }
+        assert!(r.rate("hot") > r.rate("cold") * 10);
+        assert_eq!(r.rate("absent"), 0);
+        assert_eq!(r.total(), r.rate("hot") + r.rate("cold"));
+        let hot_before = r.rate("hot");
+        // Planner-driven decay: intervals of silence on `hot` halve it
+        // towards zero and eventually drop it from the table entirely.
+        // (The first fold only rolls `current` into `decayed`, so four
+        // intervals shrink the rate by 2³.)
+        for _ in 0..4 {
+            r.decay();
+            for _ in 0..64 {
+                r.record("cold", 1);
+            }
+        }
+        assert!(r.rate("hot") < hot_before / 4);
+        for _ in 0..20 {
+            r.decay();
+            r.record("cold", 1);
+        }
+        assert_eq!(r.rate("hot"), 0, "a dead group's rate fully decays");
+        assert!(
+            r.iter().all(|(g, _)| g == "cold"),
+            "fully decayed groups leave the table"
+        );
+    }
+
+    #[test]
+    fn group_rates_absorb_sums_per_shard_rates() {
+        let mut a = GroupRates::default();
+        let mut b = GroupRates::default();
+        a.record("g0", 5);
+        a.record("shared", 2);
+        b.record("shared", 7);
+        b.record("g1", 1);
+        let (ra, rb) = (a.clone(), b.clone());
+        a.absorb(&b);
+        assert_eq!(a.rate("shared"), ra.rate("shared") + rb.rate("shared"));
+        assert_eq!(a.rate("g0"), 5);
+        assert_eq!(a.rate("g1"), 1);
+        assert_eq!(a.total(), ra.total() + rb.total());
+        // Determinism: iteration is name-ordered regardless of insertion.
+        let names: Vec<&str> = a.iter().map(|(g, _)| g).collect();
+        assert_eq!(names, vec!["g0", "g1", "shared"]);
+    }
+
+    #[test]
+    fn appends_feed_the_group_rate_table() {
+        let mut s = DbStats::default();
+        s.record_append("telecom", 3, &report(100));
+        s.record_append("telecom", 2, &report(100));
+        s.record_append("banking", 1, &report(100));
+        assert_eq!(s.group_rates.rate("telecom"), 5);
+        assert_eq!(s.group_rates.rate("banking"), 1);
+        let mut t = DbStats::default();
+        t.record_append("banking", 4, &report(50));
+        s.absorb(&t);
+        assert_eq!(s.group_rates.rate("banking"), 5, "absorb merges rates");
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct GroupImage {
     pub high_water: SeqNo,
     /// Chronon of the last admitted batch, if any.
     pub last_at: Option<Chronon>,
+    /// Placement epoch: bumped each time the group moves between shards
+    /// (DESIGN.md §16). When reconciliation after a crash finds a group on
+    /// more than one shard, the copy with the highest epoch is the one the
+    /// move reached last and wins; stale copies are evicted. Always 0 for
+    /// never-moved groups and in single-process databases.
+    pub epoch: u64,
 }
 
 /// Counters and retained window of one chronicle.
@@ -119,6 +125,7 @@ impl CheckpointImage {
                     w.chronon(at);
                 }
             }
+            w.u64(g.epoch);
         }
         w.u32(self.chronicles.len() as u32);
         for c in &self.chronicles {
@@ -196,6 +203,7 @@ impl CheckpointImage {
                         0 => None,
                         _ => Some(r.chronon()?),
                     },
+                    epoch: r.u64()?,
                 });
             }
             let mut chronicles = Vec::new();
@@ -430,6 +438,7 @@ mod tests {
                 name: "g".into(),
                 high_water: SeqNo(7),
                 last_at: Some(Chronon(70)),
+                epoch: 3,
             }],
             chronicles: vec![ChronicleImage {
                 name: "c".into(),

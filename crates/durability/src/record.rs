@@ -61,6 +61,22 @@ pub enum WalRecord {
         /// Replacement tuple.
         new: Tuple,
     },
+    /// A chronicle group (with its chronicles, views and periodic views)
+    /// arriving on this shard during a placement move. `image` is a
+    /// checkpoint-codec group slice; logged on the *target* shard's WAL
+    /// before the source evicts, so a crash between the two flushes rolls
+    /// the move forward (DESIGN.md §16).
+    GroupImport {
+        /// Group name (redundant with the image, but lets replay and log
+        /// inspection identify the move without decoding the slice).
+        group: String,
+        /// Encoded `CheckpointImage` slice carrying the group's state.
+        image: Vec<u8>,
+    },
+    /// A chronicle group leaving this shard during a placement move;
+    /// logged on the *source* shard's WAL after the target's import is
+    /// durable.
+    GroupEvict(String),
 }
 
 const TAG_DDL: u8 = 0;
@@ -73,6 +89,8 @@ const TAG_REL_UPDATE: u8 = 4;
 /// uniform, instead of one tag byte per value. Single-row and ragged
 /// batches keep the [`TAG_APPEND`] row framing; decode accepts both.
 const TAG_APPEND_COL: u8 = 5;
+const TAG_GROUP_IMPORT: u8 = 6;
+const TAG_GROUP_EVICT: u8 = 7;
 
 /// Per-column type tags of the columnar framing. `COL_MIXED` columns fall
 /// back to per-value tagged encoding (this also covers NULLs, so every
@@ -193,6 +211,15 @@ impl WalRecord {
                 }
                 w.tuple(new);
             }
+            WalRecord::GroupImport { group, image } => {
+                w.u8(TAG_GROUP_IMPORT);
+                w.str(group);
+                w.bytes(image);
+            }
+            WalRecord::GroupEvict(group) => {
+                w.u8(TAG_GROUP_EVICT);
+                w.str(group);
+            }
         }
         w.into_bytes()
     }
@@ -303,6 +330,11 @@ impl WalRecord {
                     new,
                 }
             }
+            TAG_GROUP_IMPORT => WalRecord::GroupImport {
+                group: r.str()?,
+                image: r.bytes()?,
+            },
+            TAG_GROUP_EVICT => WalRecord::GroupEvict(r.str()?),
             t => {
                 return Err(ChronicleError::Corruption {
                     detail: format!("unknown WAL record tag {t}"),
@@ -357,6 +389,11 @@ mod tests {
                 key: vec![Value::Int(1)],
                 new: tuple![1i64, "alicia"],
             },
+            WalRecord::GroupImport {
+                group: "telecom".into(),
+                image: vec![0xAB, 0xCD, 0, 1, 2, 3],
+            },
+            WalRecord::GroupEvict("telecom".into()),
         ]
     }
 
@@ -451,5 +488,9 @@ mod tests {
         let mut padded = samples()[0].encode();
         padded.push(0);
         assert!(WalRecord::decode(&padded).is_err());
+        // A truncated group-import image fails cleanly, not with a huge
+        // allocation.
+        let import = samples()[6].encode();
+        assert!(WalRecord::decode(&import[..import.len() - 2]).is_err());
     }
 }

@@ -34,6 +34,18 @@ pub enum SimOp {
         /// Mutating fs ops until the lights go out (1 = the very next).
         countdown: u64,
     },
+    /// Relocate one chronicle group to an explicit shard (heavy-light
+    /// placement's move primitive, driven adversarially). The driver
+    /// renders this as `MOVE GROUP <g> TO SHARD <to % n>`; single-shard
+    /// runs reject it (not acknowledged), so oracle and engine stay in
+    /// lockstep. Crashing mid-move exercises the epoch roll-forward
+    /// reconcile in `ShardedDb::open`.
+    MoveGroup {
+        /// Group name (always one of the prologue's `g{i}`).
+        group: String,
+        /// Raw target; the driver reduces it modulo the shard count.
+        to: u64,
+    },
     /// Clean shutdown and reopen: recovery must reproduce the exact
     /// acknowledged state. `short_reads` transient read faults are armed
     /// first (single-shard runs only — parallel shard recovery would
@@ -218,7 +230,14 @@ pub fn generate(seed: u64, cfg: &ScheduleConfig) -> Schedule {
                      GROUP BY k OVER CALENDAR EVERY {width}{expire}"
                 )));
             }
-            85..=90 => ops.push(SimOp::Checkpoint),
+            85..=86 => {
+                let g = rng.gen_range(0..cfg.groups as u64);
+                ops.push(SimOp::MoveGroup {
+                    group: format!("g{g}"),
+                    to: rng.gen_range(0..8u64),
+                });
+            }
+            87..=90 => ops.push(SimOp::Checkpoint),
             91..=96 => ops.push(SimOp::Crash {
                 countdown: 1 + rng.gen_range(0..24u64),
             }),
@@ -256,6 +275,7 @@ mod tests {
         let cfg = ScheduleConfig::default();
         let mut seen_crash = false;
         let mut seen_checkpoint = false;
+        let mut seen_move = false;
         for seed in 0..16 {
             let s = generate(seed, &cfg);
             assert!(s.ops.len() > cfg.groups + cfg.chronicles);
@@ -266,11 +286,15 @@ mod tests {
                         seen_crash = true;
                     }
                     SimOp::Checkpoint => seen_checkpoint = true,
+                    SimOp::MoveGroup { group, .. } => {
+                        assert!(group.starts_with('g'), "moves target prologue groups");
+                        seen_move = true;
+                    }
                     _ => {}
                 }
             }
         }
-        assert!(seen_crash && seen_checkpoint);
+        assert!(seen_crash && seen_checkpoint && seen_move);
     }
 
     #[test]

@@ -68,6 +68,15 @@ impl TemporalRelation {
         &mut self.current
     }
 
+    /// Stamp of the newest logged change (`SeqNo(0)` if none). Callers
+    /// that derive a stamp from a group watermark clamp against this:
+    /// equal stamps are always accepted, so a watermark that moved
+    /// *backwards* (the stamping group was relocated to another shard)
+    /// cannot wedge the relation.
+    pub fn last_stamp(&self) -> SeqNo {
+        self.log.last().map(|&(at, _)| at).unwrap_or(SeqNo(0))
+    }
+
     /// Insert a tuple, recording the change as of group high-water `at`.
     pub fn insert(&mut self, tuple: Tuple, at: SeqNo) -> Result<()> {
         self.check_monotone(at)?;

@@ -17,6 +17,10 @@
 //!   against.
 //! * [`tempdir`] — a scoped temporary directory ([`tempdir::TempDir`])
 //!   for durability tests, removed with its contents on drop.
+//! * [`zipf`] — a seeded Zipf(θ) rank sampler ([`zipf::Zipf`],
+//!   inverse-CDF over precomputed cumulative weights) for skewed
+//!   key-popularity workloads; a sample stream is a pure function of the
+//!   seed that built the RNG driving it.
 //!
 //! Both are deliberately tiny: they implement exactly what the workspace
 //! needs, with deterministic behavior given a fixed seed, so every property
@@ -27,6 +31,8 @@
 pub mod prop;
 pub mod rng;
 pub mod tempdir;
+pub mod zipf;
 
 pub use rng::{Rng, SeedableRng, SmallRng};
 pub use tempdir::TempDir;
+pub use zipf::Zipf;

@@ -1,6 +1,6 @@
 //! Record generators.
 
-use chronicle_testkit::{Rng, SeedableRng, SmallRng};
+use chronicle_testkit::{Rng, SeedableRng, SmallRng, Zipf};
 
 use chronicle_types::Value;
 
@@ -165,6 +165,46 @@ impl TradeGen {
     }
 }
 
+/// Zipf-skewed append mix: each step picks a target rank (a chronicle
+/// group, ranked hottest first) from a seeded [`Zipf`] distribution and
+/// generates one call record for it. The whole mix — which group gets
+/// each append and what the row contains — is a pure function of the one
+/// `u64` seed, so skewed scenarios reproduce exactly like uniform ones.
+#[derive(Debug)]
+pub struct SkewedCallGen {
+    rng: SmallRng,
+    dist: Zipf,
+    calls: CallGen,
+}
+
+impl SkewedCallGen {
+    /// Deterministic skewed generator over `targets` ranked groups with
+    /// Zipf exponent `theta` and `accounts` subscribers per group.
+    pub fn new(seed: u64, targets: usize, theta: f64, accounts: i64) -> Self {
+        SkewedCallGen {
+            rng: SmallRng::seed_from_u64(seed),
+            dist: Zipf::new(targets, theta),
+            calls: CallGen::new(seed ^ 0x5ca1_ab1e, accounts),
+        }
+    }
+
+    /// One append: `(target rank, call record)`.
+    pub fn next_call(&mut self) -> (usize, Vec<Value>) {
+        let rank = self.dist.sample(&mut self.rng);
+        (rank, self.calls.next_row())
+    }
+
+    /// Just the next target rank (callers that build their own rows).
+    pub fn next_rank(&mut self) -> usize {
+        self.dist.sample(&mut self.rng)
+    }
+
+    /// The distribution driving the mix.
+    pub fn distribution(&self) -> &Zipf {
+        &self.dist
+    }
+}
+
 /// Generator for the customers dimension relation.
 #[derive(Debug)]
 pub struct CustomerGen {
@@ -255,6 +295,24 @@ mod tests {
         let rows = g.table(25);
         assert_eq!(rows.len(), 25);
         assert_eq!(rows[24][0], Value::Int(24));
+    }
+
+    #[test]
+    fn skewed_mix_is_deterministic_and_head_heavy() {
+        let mut a = SkewedCallGen::new(21, 32, 1.1, 64);
+        let mut b = SkewedCallGen::new(21, 32, 1.1, 64);
+        let mut counts = [0usize; 32];
+        for _ in 0..2_000 {
+            let (ra, row_a) = a.next_call();
+            let (rb, row_b) = b.next_call();
+            assert_eq!((ra, &row_a), (rb, &row_b), "mix replays from its seed");
+            assert!(ra < 32);
+            counts[ra] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] && counts[0] > 400,
+            "rank 0 must dominate a theta=1.1 mix: {counts:?}"
+        );
     }
 
     #[test]

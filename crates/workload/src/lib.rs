@@ -18,7 +18,7 @@ mod gen;
 mod scenario;
 
 pub use gen::{
-    AtmGen, CallGen, CustomerGen, FlightGen, TradeGen, ATM_SCHEMA_SQL, CALLS_SCHEMA_SQL,
-    CUSTOMERS_SCHEMA_SQL, FLIGHTS_SCHEMA_SQL, TRADES_SCHEMA_SQL,
+    AtmGen, CallGen, CustomerGen, FlightGen, SkewedCallGen, TradeGen, ATM_SCHEMA_SQL,
+    CALLS_SCHEMA_SQL, CUSTOMERS_SCHEMA_SQL, FLIGHTS_SCHEMA_SQL, TRADES_SCHEMA_SQL,
 };
 pub use scenario::{banking_db, cellular_db, drive, frequent_flyer_db, stock_db};

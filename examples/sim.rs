@@ -136,6 +136,7 @@ fn main() -> ExitCode {
                 totals.crashes += r.crashes;
                 totals.recoveries += r.recoveries;
                 totals.checkpoints += r.checkpoints;
+                totals.moves += r.moves;
                 totals.bit_rot_flips += r.bit_rot_flips;
                 totals.salvaged_opens += r.salvaged_opens;
                 totals.acked_lost += r.acked_lost;
@@ -154,8 +155,9 @@ fn main() -> ExitCode {
         }
     }
     print!(
-        "sim ok: {ran} seeds ({} acked stmts, {} crashes, {} recoveries, {} checkpoints",
-        totals.sql_acked, totals.crashes, totals.recoveries, totals.checkpoints,
+        "sim ok: {ran} seeds ({} acked stmts, {} crashes, {} recoveries, {} checkpoints, \
+         {} group moves",
+        totals.sql_acked, totals.crashes, totals.recoveries, totals.checkpoints, totals.moves,
     );
     if bit_rot {
         print!(

@@ -41,6 +41,12 @@ cargo run -q --offline --release --example sim -- \
     --base 0 --seeds 300 --ops 120 --budget-ms 90000
 cargo run -q --offline --release --example sim -- \
     --base 5000 --seeds 100 --shards 3 --ops 240 --budget-ms 60000
+# Placement sweep: wider sharded schedules so MOVE GROUP pseudo-statements
+# (heavy-light relocations, DESIGN.md §16) land between crashes — every
+# recovery must reproduce WAL-logged placement, adopt interrupted moves
+# that rolled forward, and leave each group owned by exactly one shard.
+cargo run -q --offline --release --example sim -- \
+    --base 30000 --seeds 100 --shards 4 --ops 180 --budget-ms 60000
 
 echo "== bit-rot salvage gate (offline) =="
 # The same schedules with seeded bit rot injected at every power cut and
@@ -121,6 +127,25 @@ echo "== wire-codec mutation check (offline) =="
 # the catch deterministically.
 if CHRONICLE_MUTATE=skip_frame_crc cargo test -q --offline -p chronicle-net --lib >/dev/null 2>&1; then
     echo "MUTATION ESCAPED: skip_frame_crc was not caught by the wire-codec tests"
+    exit 1
+fi
+
+echo "== skew-resilient placement gate (offline) =="
+# E18 on deterministic work counters: Zipf(1.1) traffic over an
+# adversarially hashed group set, one online heavy-light rebalance must
+# cut the critical-path maintenance work >=3x versus static FNV placement
+# while total work stays bit-identical and view snapshots byte-equal.
+cargo test -q --offline -p chronicle-bench --test e18_gate
+
+echo "== static-placement mutation check (offline) =="
+# Prove the skew gate has teeth: disable the heavy-light classifier
+# through the test-only CHRONICLE_MUTATE backdoor (`static_placement`
+# makes every rebalance plan empty) and require the E18 gate to FAIL —
+# with no relocations the adversarial skew stays on one shard and the
+# >=3x assertion cannot hold.
+if CHRONICLE_MUTATE=static_placement cargo test -q --offline -p chronicle-bench \
+    --test e18_gate >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: static_placement was not caught by the E18 skew gate"
     exit 1
 fi
 

@@ -29,6 +29,27 @@
 //! forward. Anything else is a correctness bug, reported as a
 //! [`SimFailure`] carrying the reproducing seed.
 //!
+//! # Group moves
+//!
+//! Schedules also carry [`SimOp::MoveGroup`] ops — heavy-light
+//! placement's move primitive, driven adversarially. The driver renders
+//! each as the pseudo-statement `MOVE GROUP g TO SHARD k` and pushes it
+//! through the same acknowledged-history machinery as SQL: sharded runs
+//! execute it via [`ShardedDb::move_group`] (the target reduced modulo
+//! the shard count) and acknowledge on `Ok`, single-topology runs reject
+//! it benignly (nowhere to move a group), and the oracle replays the
+//! pseudo-statement identically — placement is part of the per-shard
+//! digest, so a placement divergence fails the run like any state
+//! divergence. A crash mid-move is verified like any in-flight
+//! statement: recovery must land on `acked` (the import never became
+//! durable) or `acked + [move]` (it did, and the epoch reconcile in
+//! `ShardedDb::open` rolled the half-committed move forward). After
+//! every sharded recovery the driver additionally asserts that no
+//! non-default group is owned by two shards. Bit-rot runs skip moves: a
+//! lossy salvage can drop the import or the evict record independently,
+//! and the reconciled aftermath is not enumerable as per-shard prefixes
+//! of the acknowledged history.
+//!
 //! # Known torn state: cross-shard relation broadcasts
 //!
 //! [`ShardedDb`] replicates relations to every shard by broadcasting DML
@@ -191,6 +212,24 @@ pub struct SimReport {
     /// Acknowledged statements dropped by lossy salvages — every one of
     /// them enumerated by a matching [`SalvageReport`].
     pub acked_lost: usize,
+    /// Acknowledged `MOVE GROUP` pseudo-statements (sharded runs only;
+    /// single topology rejects every move benignly).
+    pub moves: usize,
+}
+
+/// Render a [`SimOp::MoveGroup`] as the driver's pseudo-statement. The
+/// raw target rides in the text; executors reduce it modulo their shard
+/// count, so the acknowledged history replays against any oracle with
+/// the same topology.
+fn render_move(group: &str, to: u64) -> String {
+    format!("MOVE GROUP {group} TO SHARD {to}")
+}
+
+/// Parse the pseudo-statement back (`None` for real SQL).
+fn parse_move(sql: &str) -> Option<(&str, u64)> {
+    let rest = sql.strip_prefix("MOVE GROUP ")?;
+    let (group, tail) = rest.split_once(" TO SHARD ")?;
+    tail.parse().ok().map(|to| (group, to))
 }
 
 /// Run one seeded schedule against a single durable [`ChronicleDb`].
@@ -239,6 +278,20 @@ enum Db {
 
 impl Db {
     fn execute(&mut self, sql: &str) -> chronicle_types::Result<()> {
+        if let Some((group, to)) = parse_move(sql) {
+            return match self {
+                // Single topology has nowhere to move a group: reject,
+                // which the driver treats as benign (not acknowledged).
+                Db::Single(_) => Err(chronicle_types::ChronicleError::NotFound {
+                    kind: "shard",
+                    name: to.to_string(),
+                }),
+                Db::Sharded(db) => {
+                    let n = db.shard_count();
+                    db.move_group(group, to as usize % n)
+                }
+            };
+        }
         match self {
             Db::Single(db) => db.execute(sql).map(|_| ()),
             Db::Sharded(db) => db.execute(sql).map(|_| ()),
@@ -321,7 +374,27 @@ fn run(
     wal_base = db.salvage().map_or(wal_base, |r| r.replayed_through);
 
     for op in &schedule.ops {
+        // Group moves run through the same acknowledged-history machinery
+        // as SQL: normalize to the pseudo-statement and fall through.
+        let rendered;
+        let op = match op {
+            SimOp::MoveGroup { group, to } => {
+                // Rot runs skip moves: a lossy salvage can drop the move's
+                // import or evict record on one side only, and the
+                // reconciled aftermath (an open-time evict applied atop a
+                // rotted prefix) is not enumerable as per-shard prefixes
+                // of the acknowledged history. Placement-under-crash is
+                // fully verified by the non-rot sweeps above.
+                if bit_rot {
+                    continue;
+                }
+                rendered = SimOp::Sql(render_move(group, *to));
+                &rendered
+            }
+            other => other,
+        };
         match op {
+            SimOp::MoveGroup { .. } => unreachable!("normalized to pseudo-SQL above"),
             SimOp::Sql(sql) => {
                 trace!(
                     "TRACE sql[{}] muts={} {sql}",
@@ -367,7 +440,7 @@ fn run(
                             Verdict::Continue => {}
                             Verdict::Halt => {
                                 report.halted_on_divergence = true;
-                                report.sql_acked = acked.len();
+                                finalize(&mut report, &acked);
                                 return Ok(report);
                             }
                         }
@@ -377,7 +450,9 @@ fn run(
                     // earlier crash (e.g. DROP VIEW of a never-durable
                     // view). The oracle agrees — the statement is simply
                     // not part of the acknowledged history.
-                    Err(_) => {}
+                    Err(e) => {
+                        trace!("TRACE sql rejected: {e}");
+                    }
                 }
             }
             SimOp::Checkpoint => {
@@ -419,7 +494,7 @@ fn run(
                             Verdict::Continue => {}
                             Verdict::Halt => {
                                 report.halted_on_divergence = true;
-                                report.sql_acked = acked.len();
+                                finalize(&mut report, &acked);
                                 return Ok(report);
                             }
                         }
@@ -464,7 +539,7 @@ fn run(
                     Verdict::Continue => {}
                     Verdict::Halt => {
                         report.halted_on_divergence = true;
-                        report.sql_acked = acked.len();
+                        finalize(&mut report, &acked);
                         return Ok(report);
                     }
                 }
@@ -494,8 +569,16 @@ fn run(
         Verdict::Continue => {}
         Verdict::Halt => report.halted_on_divergence = true,
     }
-    report.sql_acked = acked.len();
+    finalize(&mut report, &acked);
     Ok(report)
+}
+
+/// Close out a run's accounting: the acknowledged-statement total and how
+/// many of them were group moves (including in-flight moves adopted by a
+/// post-crash verification).
+fn finalize(report: &mut SimReport, acked: &[String]) {
+    report.sql_acked = acked.len();
+    report.moves = acked.iter().filter(|s| parse_move(s).is_some()).count();
 }
 
 /// Dispatch to the right post-recovery verifier for this run mode.
@@ -511,11 +594,45 @@ fn check(
     bit_rot: bool,
     report: &mut SimReport,
 ) -> Result<Verdict, SimFailure> {
+    assert_single_owner(db, seed)?;
     if bit_rot {
         verify_salvage(db, fs, acked, lsn_map, in_flight, shards, seed, report)
     } else {
         verify(db, acked, in_flight, shards, seed, report)
     }
+}
+
+/// After any sharded recovery, every non-default group must live on
+/// exactly one shard: the epoch reconcile in `ShardedDb::open` rolls a
+/// half-committed move forward and evicts the losing copy, so dual
+/// ownership surviving an open is a placement-protocol bug regardless of
+/// whether the digests happen to match.
+fn assert_single_owner(db: &Db, seed: u64) -> Result<(), SimFailure> {
+    let Db::Sharded(s) = db else { return Ok(()) };
+    let mut owners: std::collections::HashMap<String, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, shard) in s.shards().iter().enumerate() {
+        for g in shard.catalog().groups() {
+            // The derived "default" group legitimately exists on every
+            // shard that ever appended outside an explicit group.
+            if g.name() != "default" {
+                owners.entry(g.name().to_string()).or_default().push(i);
+            }
+        }
+    }
+    for (name, held) in owners {
+        if held.len() > 1 {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "group `{name}` recovered onto {} shards {held:?}: placement reconcile \
+                     left dual ownership behind",
+                    held.len()
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Bit-rot mode, right after a power cut: decay the durable medium, then
@@ -1299,9 +1416,24 @@ pub fn run_replication_seed(
     for op in &schedule.ops {
         // The schedule's checkpoint/crash/reopen meta-ops belong to the
         // single-node protocol; replication runs inject their own faults.
-        let SimOp::Sql(sql) = op else { continue };
-        match leader.execute(sql) {
-            Ok(_) => acked.push(sql.clone()),
+        // Group moves ride along: they log `GroupImport`/`GroupEvict`
+        // records into the same WAL streams the shipper tails, so the
+        // follower must reproduce the leader's placement too.
+        let rendered;
+        let sql = match op {
+            SimOp::Sql(sql) => sql.as_str(),
+            SimOp::MoveGroup { group, to } => {
+                rendered = render_move(group, *to);
+                rendered.as_str()
+            }
+            _ => continue,
+        };
+        let executed = match parse_move(sql) {
+            Some((group, to)) => leader.move_group(group, to as usize % shards),
+            None => leader.execute(sql).map(|_| ()),
+        };
+        match executed {
+            Ok(()) => acked.push(sql.to_string()),
             // Benign semantic rejection (depends on an object an earlier
             // statement never created); not part of the history.
             Err(_) => continue,
@@ -1727,6 +1859,26 @@ mod tests {
         assert!(cuts > 0, "no connection cuts across seeds");
         assert!(fkills > 0, "no follower kills across seeds");
         assert!(lkills > 0, "no leader kills across seeds");
+    }
+
+    #[test]
+    fn sharded_seeds_apply_group_moves() {
+        // The schedule generator emits MoveGroup at ~2% of body rolls, so
+        // a dozen seeds must acknowledge at least one move — otherwise the
+        // placement machinery is silently unexercised.
+        let mut moves = 0;
+        for seed in 0..12 {
+            moves += run_seed_sharded(seed, 3, &quick_cfg()).unwrap().moves;
+        }
+        assert!(moves > 0, "no group move acknowledged across seeds");
+    }
+
+    #[test]
+    fn single_topology_rejects_moves() {
+        for seed in 0..6 {
+            let r = run_seed(seed, &quick_cfg()).unwrap();
+            assert_eq!(r.moves, 0, "single topology must not acknowledge moves");
+        }
     }
 
     #[test]

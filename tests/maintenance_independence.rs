@@ -10,7 +10,7 @@ use chronicle::db::pipeline::ShardedPipeline;
 use chronicle::db::{ChronicleDb, ShardedDb};
 use chronicle::prelude::*;
 use chronicle_testkit::prop::{floats, ints, pair, vec_of};
-use chronicle_testkit::{prop_assert_eq, prop_test};
+use chronicle_testkit::{prop_assert_eq, prop_test, Rng, SeedableRng, SmallRng, Zipf};
 
 fn build_db() -> ChronicleDb {
     let mut db = ChronicleDb::new();
@@ -258,6 +258,77 @@ fn retraction_work_does_not_grow_with_view_history() {
     }
     let last = retraction_round(&mut db);
     assert_eq!(first, last, "work drifted as the view absorbed deltas");
+}
+
+/// The work-shape gate for heavy-light placement: moving a group between
+/// shards (or letting the online classifier rebalance the whole table)
+/// must be *execution-only*. Theorem 4.1 makes the group a closed
+/// maintenance unit, so the maintenance work charged for a statement
+/// cannot depend on which shard hosts its group. Two sharded engines run
+/// a byte-identical Zipf-skewed append schedule; one keeps the static
+/// FNV hash placement, the other is churned with explicit moves and
+/// online rebalances between statements. The per-statement aggregate
+/// work deltas (summed across shards) must match counter for counter.
+#[test]
+fn placement_is_execution_only_for_maintenance_work() {
+    let shards = shard_count();
+    let mut stay = ShardedDb::new(shards).unwrap();
+    let mut churn = ShardedDb::new(shards).unwrap();
+    for stmt in sharded_prop_ddl() {
+        stay.execute(&stmt).unwrap();
+        churn.execute(&stmt).unwrap();
+    }
+
+    let work_of_stmt = |db: &mut ShardedDb, sql: &str| -> WorkCounter {
+        let before = db.stats().work;
+        db.execute(sql).unwrap();
+        let after = db.stats().work;
+        WorkCounter {
+            tuples_out: after.tuples_out - before.tuples_out,
+            tuples_in: after.tuples_in - before.tuples_in,
+            index_probes: after.index_probes - before.index_probes,
+            rel_tuples_scanned: after.rel_tuples_scanned - before.rel_tuples_scanned,
+        }
+    };
+
+    let mut rng = SmallRng::seed_from_u64(0x9a7e_5eed);
+    let zipf = Zipf::new(GROUPS as usize, 1.1);
+    let mut moves = 0usize;
+    for i in 0..240i64 {
+        let g = zipf.sample(&mut rng);
+        let acct = rng.gen_range(0..6u64);
+        let amount = (rng.gen_range(0..20u64) as f64) / 2.0;
+        let sql = format!("APPEND INTO c{g} AT {} VALUES ({acct}, {amount:.1})", i + 1);
+        let w_stay = work_of_stmt(&mut stay, &sql);
+        let w_churn = work_of_stmt(&mut churn, &sql);
+        assert_eq!(
+            w_stay, w_churn,
+            "statement {i} ({sql}) was charged different maintenance work \
+             under heavy-light placement than under static hashing"
+        );
+
+        // Churn placement between statements: explicit moves on a cycle
+        // plus periodic online rebalances driven by the live Zipf rates.
+        if i % 24 == 11 {
+            churn
+                .move_group(&format!("g{}", g % GROUPS as usize), (g + 1) % shards)
+                .unwrap();
+            moves += 1;
+        }
+        if i % 60 == 35 {
+            moves += churn.rebalance().unwrap().len();
+        }
+    }
+    assert!(
+        moves >= 10,
+        "the churned engine must actually relocate groups (got {moves})"
+    );
+    // Placement churn is also invisible to logical state.
+    let mut expect = stay.snapshot_views();
+    expect.sort();
+    let mut got = churn.snapshot_views();
+    got.sort();
+    assert_eq!(got, expect, "placement churn leaked into view state");
 }
 
 /// Number of chronicle groups in the sharded-equivalence property test.

@@ -10,7 +10,7 @@
 use chronicle_testkit::prop::{
     boxed, floats, from_fn, ints, map, pair, triple, vec_of, weighted, Gen,
 };
-use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test, Rng, TempDir};
+use chronicle_testkit::{prop_assert, prop_assert_eq, prop_test, Rng, TempDir, Zipf};
 
 use chronicle::algebra::eval::{canon, eval_sca, seq_to_int};
 use chronicle::algebra::{
@@ -569,6 +569,184 @@ prop_test! {
         let mut expect = reference.snapshot_views();
         expect.sort();
         prop_assert_eq!(sharded.snapshot_views(), expect);
+    }
+}
+
+// =================================================================
+// Skewed-mix differential family: Zipf(θ)-distributed schedules over
+// many chronicle groups, executed against a sharded engine whose
+// placement is churned mid-history by explicit group moves and online
+// heavy-light rebalances, compared per-op against the serial
+// single-engine oracle. Placement is execution-only (Theorem 4.1 makes
+// the group a self-contained maintenance unit), so every view snapshot
+// must stay byte-identical to the reference no matter where groups
+// land. A failing case prints its reproducing seed via the prop_test
+// harness.
+// =================================================================
+
+/// Groups in the skewed family; rank 0 is the Zipf head ("celebrity"
+/// group) and receives most appends, so rebalances have real rate skew
+/// to classify against.
+const SKEW_GROUPS: usize = 6;
+
+/// The classic web/telecom skew exponent (matches experiment E18).
+const SKEW_THETA: f64 = 1.1;
+
+#[derive(Debug, Clone)]
+enum SkewOp {
+    /// Append to the chronicle of a Zipf-ranked group.
+    Append { group: usize, k: i64, v: f64 },
+    /// Insert-or-update a Zipf-ranked account in the broadcast relation.
+    Upsert { acct: i64, amount: f64 },
+    /// Delete a Zipf-ranked account if present.
+    Delete { acct: i64 },
+    /// Explicitly relocate one group (raw target, reduced mod shards).
+    Move { group: usize, to: usize },
+    /// Run the online heavy-light classifier over the live append rates.
+    Rebalance,
+}
+
+fn skew_op_gen() -> impl Gen<Value = SkewOp> {
+    let group_zipf = Zipf::new(SKEW_GROUPS, SKEW_THETA);
+    let acct_zipf = Zipf::new(8, SKEW_THETA);
+    let no_shrink = |_: &SkewOp| Vec::new();
+    let g1 = group_zipf.clone();
+    let a1 = acct_zipf.clone();
+    let a2 = acct_zipf;
+    weighted(vec![
+        (
+            8,
+            boxed(from_fn(
+                move |rng| SkewOp::Append {
+                    group: g1.sample(rng),
+                    k: rng.gen_range(0..6u64) as i64,
+                    v: half(rng.gen_range(0..40u64) as f64 / 4.0),
+                },
+                no_shrink,
+            )),
+        ),
+        (
+            2,
+            boxed(from_fn(
+                move |rng| SkewOp::Upsert {
+                    acct: a1.sample(rng) as i64,
+                    amount: half(rng.gen_range(0..40u64) as f64 / 4.0),
+                },
+                no_shrink,
+            )),
+        ),
+        (
+            1,
+            boxed(from_fn(
+                move |rng| SkewOp::Delete {
+                    acct: a2.sample(rng) as i64,
+                },
+                no_shrink,
+            )),
+        ),
+        (
+            2,
+            boxed(from_fn(
+                move |rng| SkewOp::Move {
+                    group: rng.gen_range(0..SKEW_GROUPS as u64) as usize,
+                    to: rng.gen_range(0..8u64) as usize,
+                },
+                no_shrink,
+            )),
+        ),
+        (1, boxed(from_fn(|_| SkewOp::Rebalance, no_shrink))),
+    ])
+}
+
+/// DDL for the skewed family: one chronicle + aggregate view per group,
+/// a broadcast keyed relation with an aggregate view, and a join view
+/// over the head group's chronicle so relocation must carry join state.
+fn skew_ddl() -> Vec<String> {
+    let mut ddl = Vec::new();
+    for g in 0..SKEW_GROUPS {
+        ddl.push(format!("CREATE GROUP zg{g}"));
+        ddl.push(format!(
+            "CREATE CHRONICLE zc{g} (sn SEQ, k INT, v FLOAT) IN GROUP zg{g} RETAIN ALL"
+        ));
+        ddl.push(format!(
+            "CREATE VIEW zv{g} AS SELECT k, SUM(v) AS s FROM zc{g} GROUP BY k"
+        ));
+    }
+    ddl.push("CREATE RELATION zr (acct INT, amount FLOAT, PRIMARY KEY (acct))".into());
+    ddl.push("CREATE VIEW zr_total AS SELECT acct, SUM(amount) AS s FROM zr GROUP BY acct".into());
+    ddl.push(
+        "CREATE VIEW zjoin AS SELECT k, COUNT(*) AS n FROM zc0 JOIN zr ON k = acct GROUP BY k"
+            .into(),
+    );
+    ddl
+}
+
+prop_test! {
+    /// Per-op equivalence under placement churn: after **every** op —
+    /// including each move and each rebalance — the sharded engine's
+    /// complete view state must be byte-identical to the single-engine
+    /// oracle's. 400 seeded cases; `SHARDS=n` overrides the topology.
+    fn skewed_mix_heavy_light_matches_single_engine(cases = 400, seed = 0x5EED_21BF;
+        ops in vec_of(skew_op_gen(), 1..24),
+    ) {
+        let shards = shard_count();
+        let mut reference = ChronicleDb::new();
+        let mut sharded = ShardedDb::new(shards).unwrap();
+        for stmt in skew_ddl() {
+            reference.execute(&stmt).unwrap();
+            sharded.execute(&stmt).unwrap();
+        }
+        let mut now = 0i64;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                SkewOp::Append { group, k, v } => {
+                    now += 1;
+                    let sql = format!("APPEND INTO zc{group} AT {now} VALUES ({k}, {v:.2})");
+                    reference.execute(&sql).unwrap();
+                    sharded.execute(&sql).unwrap();
+                }
+                SkewOp::Upsert { acct, amount } => {
+                    let rid = reference.catalog().relation_id("zr").unwrap();
+                    let exists = reference
+                        .catalog()
+                        .relation(rid)
+                        .current()
+                        .get_by_key(&[Value::Int(*acct)])
+                        .is_some();
+                    let sql = if exists {
+                        format!("UPDATE zr SET amount = {amount:.2} WHERE acct = {acct}")
+                    } else {
+                        format!("INSERT INTO zr VALUES ({acct}, {amount:.2})")
+                    };
+                    reference.execute(&sql).unwrap();
+                    sharded.execute(&sql).unwrap();
+                }
+                SkewOp::Delete { acct } => {
+                    let sql = format!("DELETE FROM zr WHERE acct = {acct}");
+                    reference.execute(&sql).unwrap();
+                    sharded.execute(&sql).unwrap();
+                }
+                // Placement ops touch only the sharded engine: they must
+                // be invisible to logical state by construction.
+                SkewOp::Move { group, to } => {
+                    sharded
+                        .move_group(&format!("zg{group}"), to % shards)
+                        .unwrap();
+                }
+                SkewOp::Rebalance => {
+                    sharded.rebalance().unwrap();
+                }
+            }
+            let mut expect = reference.snapshot_views();
+            expect.sort();
+            prop_assert_eq!(
+                sharded.snapshot_views(),
+                expect,
+                "sharded view state diverged from the oracle at op {} ({:?})",
+                i,
+                op
+            );
+        }
     }
 }
 

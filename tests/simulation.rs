@@ -91,6 +91,28 @@ fn simulation_exercises_the_interesting_paths() {
     assert!(checkpoints > 5, "schedules checkpoint (got {checkpoints})");
 }
 
+#[test]
+fn sharded_seeds_exercise_group_moves() {
+    // Heavy-light placement's move primitive must actually fire inside
+    // the crash sweeps: across the pinned block, sharded runs must
+    // acknowledge MOVE GROUP pseudo-statements (the driver verifies each
+    // against the oracle, asserts single ownership after every recovery,
+    // and adopts crash-interrupted moves that rolled forward). Single
+    // topology must reject every one.
+    let mut moves = 0;
+    for seed in SEEDS {
+        let sharded = run_seed_sharded(seed, 3, &cfg())
+            .unwrap_or_else(|f| panic!("sharded simulation failed: {f}"));
+        moves += sharded.moves;
+        let single = run_seed(seed, &cfg()).expect("pinned seeds run clean");
+        assert_eq!(
+            single.moves, 0,
+            "seed {seed}: single topology acknowledged a group move"
+        );
+    }
+    assert!(moves > 5, "schedules apply group moves (got {moves})");
+}
+
 /// A pinned slice of the bit-rot sweeps (`--bit-rot` in the example
 /// runner): every crash also flips seeded bytes across the surviving
 /// files, the database reopens under `RecoveryPolicy::Salvage`, and the
