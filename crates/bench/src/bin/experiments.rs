@@ -1,11 +1,13 @@
 //! Regenerate every derived figure (E1–E12) and print the tables that
 //! EXPERIMENTS.md records.
 //!
-//! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick] [json]`
+//! Usage: `cargo run -p chronicle-bench --release --bin experiments [quick] [json] [E..]`
 //! — `quick` runs the reduced (scale 0) sweeps; `json` skips the text
 //! tables and instead writes the machine-readable `BENCH_E11.json`,
 //! `BENCH_E14.json`, `BENCH_E15.json`, `BENCH_E16.json`,
-//! `BENCH_E17.json`, and `BENCH_E18.json` artifacts at the repo root.
+//! `BENCH_E17.json`, `BENCH_E18.json`, and `BENCH_E19.json` artifacts at
+//! the repo root. Naming experiments (e.g. `json E19`) restricts the
+//! emission to those artifacts.
 
 use chronicle_bench::experiments as ex;
 use chronicle_bench::harness::Figure;
@@ -14,9 +16,13 @@ use chronicle_bench::json;
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
     let json_mode = std::env::args().any(|a| a == "json");
+    let only: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a.starts_with('E'))
+        .collect();
     let scale: u32 = if quick { 0 } else { 1 };
     if json_mode {
-        emit_json(scale);
+        emit_json(scale, &only);
         return;
     }
     println!("# Chronicle data model — derived experiments (scale {scale})\n");
@@ -28,32 +34,52 @@ fn main() {
 
 /// Emit the machine-readable artifacts regression tooling diffs:
 /// E11 (throughput/latency), E14 (recovery), E15 (sharding),
-/// E16 (replication catch-up).
-fn emit_json(scale: u32) {
-    eprintln!("[E11] throughput & latency...");
-    let (a, b) = ex::e11_throughput(scale);
-    let p = json::emit("E11", scale, &[a, b]).expect("write BENCH_E11.json");
-    println!("wrote {}", p.display());
-    eprintln!("[E14] recovery...");
-    let f = ex::e14_recovery(scale);
-    let p = json::emit("E14", scale, &[f]).expect("write BENCH_E14.json");
-    println!("wrote {}", p.display());
-    eprintln!("[E15] sharding...");
-    let f = ex::e15_sharding(scale);
-    let p = json::emit("E15", scale, &[f]).expect("write BENCH_E15.json");
-    println!("wrote {}", p.display());
-    eprintln!("[E16] replication...");
-    let f = ex::e16_replication(scale);
-    let p = json::emit("E16", scale, &[f]).expect("write BENCH_E16.json");
-    println!("wrote {}", p.display());
-    eprintln!("[E17] vectorized kernels...");
-    let f = ex::e17_batch_kernels(scale);
-    let p = json::emit("E17", scale, &[f]).expect("write BENCH_E17.json");
-    println!("wrote {}", p.display());
-    eprintln!("[E18] skew-resilient sharding...");
-    let f = ex::e18_zipf_skew(scale);
-    let p = json::emit("E18", scale, &[f]).expect("write BENCH_E18.json");
-    println!("wrote {}", p.display());
+/// E16 (replication catch-up), E17 (vectorized kernels), E18 (skew),
+/// E19 (failover). An `only` list restricts emission to those names.
+fn emit_json(scale: u32, only: &[String]) {
+    let wanted = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
+    if wanted("E11") {
+        eprintln!("[E11] throughput & latency...");
+        let (a, b) = ex::e11_throughput(scale);
+        let p = json::emit("E11", scale, &[a, b]).expect("write BENCH_E11.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E14") {
+        eprintln!("[E14] recovery...");
+        let f = ex::e14_recovery(scale);
+        let p = json::emit("E14", scale, &[f]).expect("write BENCH_E14.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E15") {
+        eprintln!("[E15] sharding...");
+        let f = ex::e15_sharding(scale);
+        let p = json::emit("E15", scale, &[f]).expect("write BENCH_E15.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E16") {
+        eprintln!("[E16] replication...");
+        let f = ex::e16_replication(scale);
+        let p = json::emit("E16", scale, &[f]).expect("write BENCH_E16.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E17") {
+        eprintln!("[E17] vectorized kernels...");
+        let f = ex::e17_batch_kernels(scale);
+        let p = json::emit("E17", scale, &[f]).expect("write BENCH_E17.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E18") {
+        eprintln!("[E18] skew-resilient sharding...");
+        let f = ex::e18_zipf_skew(scale);
+        let p = json::emit("E18", scale, &[f]).expect("write BENCH_E18.json");
+        println!("wrote {}", p.display());
+    }
+    if wanted("E19") {
+        eprintln!("[E19] leader failover...");
+        let f = ex::e19_failover(scale);
+        let p = json::emit("E19", scale, &[f]).expect("write BENCH_E19.json");
+        println!("wrote {}", p.display());
+    }
 }
 
 fn run_all(scale: u32) -> Vec<Figure> {

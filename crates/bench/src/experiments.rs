@@ -1630,6 +1630,216 @@ pub fn e18_zipf_skew(scale: u32) -> Figure {
     fig
 }
 
+// ===================================================================== E19
+
+/// E19 — leader failover: fenced promotion downtime and the retry storm.
+/// A durable leader executes stamped statements across sessioned clients
+/// while a semi-synchronous follower mirrors its WAL; then the leader
+/// dies. Three quantities: *promotion downtime* — the
+/// [`FollowerDb::promote`] recovery that turns the follower into a
+/// serving leader under a new fenced term; the *retry storm* a failover
+/// triggers — every
+/// client re-sends its newest `(session, seq)` stamp and all of them must
+/// be answered from the dedupe cache without re-applying; and *fresh*
+/// stamped throughput on the promoted lineage. A stale-term probe against
+/// a follower of the new lineage must be refused with the typed fencing
+/// error after every promotion. Exposed for `BENCH_E19.json`.
+pub fn e19_failover(scale: u32) -> Figure {
+    const SHARDS: usize = 2;
+    const SESSIONS: u64 = 8;
+    let sizes: &[usize] = if scale == 0 {
+        &[400, 800, 1_600]
+    } else {
+        &[4_000, 8_000, 16_000]
+    };
+    let retries_per_session: usize = if scale == 0 { 50 } else { 400 };
+    let fresh_per_session: usize = if scale == 0 { 50 } else { 400 };
+    let opts = || DurabilityOptions {
+        segment_bytes: 64 << 10,
+        fsync: true,
+        ..Default::default()
+    };
+    // Two group names on distinct shards mod 2 — both shards carry WAL.
+    let mut names: Vec<String> = Vec::new();
+    let mut taken = [false; SHARDS];
+    let mut i = 0usize;
+    while names.len() < SHARDS {
+        let cand = format!("g{i}");
+        let slot = shard_of_group(&cand, SHARDS);
+        if !taken[slot] {
+            taken[slot] = true;
+            names.push(cand);
+        }
+        i += 1;
+    }
+
+    let mut fig = Figure::new(
+        "E19 — leader failover: fenced promotion and retryable sessions",
+        "stamped appends before the leader dies",
+        "ms, stmts/sec",
+    );
+    let mut downtime = Series::new("promotion downtime (ms)");
+    let mut retry_tp = Series::new("retry storm, answered from the dedupe cache (stmts/sec)");
+    let mut fresh_tp = Series::new("fresh stamped appends after failover (stmts/sec)");
+    let mut all_cached = true;
+    let mut all_fenced = true;
+    for &n in sizes {
+        let leader_tmp = TempDir::new("e19-leader");
+        let mut db = ShardedDb::open_with(leader_tmp.path(), SHARDS, opts()).expect("open");
+        for g in &names {
+            db.execute(&format!("CREATE GROUP {g}")).expect("ddl");
+            db.execute(&format!(
+                "CREATE CHRONICLE {g}_c (sn SEQ, acct INT, amount FLOAT) IN GROUP {g}"
+            ))
+            .expect("ddl");
+            db.execute(&format!(
+                "CREATE VIEW {g}_sum AS SELECT acct, SUM(amount) AS total \
+                 FROM {g}_c GROUP BY acct"
+            ))
+            .expect("ddl");
+        }
+        // Sessioned clients append round-robin across both groups; each
+        // statement carries a `(session, seq)` stamp and each session
+        // remembers its newest one — what a real client re-sends when the
+        // ack is lost to a failover.
+        let mut sn = vec![0u64; SHARDS];
+        let mut last: Vec<(u64, String)> = vec![(0, String::new()); SESSIONS as usize];
+        for i in 0..n {
+            let session = (i as u64 % SESSIONS) + 1;
+            let g = i % SHARDS;
+            sn[g] += 1;
+            let sql = format!(
+                "APPEND INTO {}_c VALUES ({}, {}, {})",
+                names[g],
+                sn[g],
+                i % 16,
+                i % 9
+            );
+            let seq = last[session as usize - 1].0 + 1;
+            db.execute_stamped(&sql, session, seq)
+                .expect("stamped append");
+            last[session as usize - 1] = (seq, sql);
+        }
+
+        // The follower mirrors the leader's WAL in one uninterrupted pull.
+        let follower_tmp = TempDir::new("e19-follower");
+        let mut follower =
+            FollowerDb::open_with(follower_tmp.path(), SHARDS, opts()).expect("open follower");
+        ship_until_caught_up(&db, &mut follower);
+
+        // The leader dies; the follower is promoted. The timed region is
+        // the full fenced takeover: drop the ingest plumbing, recover a
+        // serving `ShardedDb` from the local files, begin the next term.
+        drop(db);
+        let start = std::time::Instant::now();
+        let mut promoted = follower.promote().expect("promote");
+        downtime.push(n as f64, start.elapsed().as_secs_f64() * 1e3);
+
+        // A follower of the *new* lineage refuses the deposed term with
+        // the typed fencing error.
+        let refollow_tmp = TempDir::new("e19-refollower");
+        let mut refollower =
+            FollowerDb::open_with(refollow_tmp.path(), SHARDS, opts()).expect("open refollower");
+        ship_until_caught_up(&promoted, &mut refollower);
+        all_fenced &= matches!(
+            refollower.check_leader_term(promoted.term().saturating_sub(1)),
+            Err(chronicle_types::ChronicleError::Fenced { .. })
+        );
+        drop(refollower);
+
+        // The retry storm: every session re-sends its newest stamp, over
+        // and over. Every one must be answered from the dedupe cache —
+        // counted by the session-replay statistic — with zero state
+        // change.
+        let before = promoted.snapshot_views();
+        let replays_before = promoted.stats().session_replays;
+        let start = std::time::Instant::now();
+        for _ in 0..retries_per_session {
+            for session in 1..=SESSIONS {
+                let (seq, sql) = &last[session as usize - 1];
+                promoted
+                    .execute_stamped(sql, session, *seq)
+                    .expect("retry answered from the dedupe cache");
+            }
+        }
+        let storm = retries_per_session as u64 * SESSIONS;
+        retry_tp.push(
+            n as f64,
+            storm as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        );
+        all_cached &= promoted.snapshot_views() == before
+            && promoted.stats().session_replays - replays_before == storm;
+
+        // Fresh stamped work on the promoted lineage.
+        let start = std::time::Instant::now();
+        for k in 0..fresh_per_session {
+            for session in 1..=SESSIONS {
+                let g = k % SHARDS;
+                sn[g] += 1;
+                let sql = format!(
+                    "APPEND INTO {}_c VALUES ({}, {}, {})",
+                    names[g],
+                    sn[g],
+                    k % 16,
+                    k % 9
+                );
+                let seq = last[session as usize - 1].0 + 1;
+                promoted
+                    .execute_stamped(&sql, session, seq)
+                    .expect("fresh stamped append");
+                last[session as usize - 1] = (seq, sql);
+            }
+        }
+        fresh_tp.push(
+            n as f64,
+            (fresh_per_session as u64 * SESSIONS) as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        );
+    }
+    fig.series.push(downtime);
+    fig.series.push(retry_tp);
+    fig.series.push(fresh_tp);
+    fig.note(format!(
+        "{SHARDS} shards, {SESSIONS} sessions, 64 KiB segments, durable \
+         leader and follower; promotion downtime is the full recover-and-\
+         begin-term takeover; expected: every retry answered from the \
+         dedupe cache with zero state change: {all_cached}; stale-term \
+         probe fenced after every promotion: {all_fenced}"
+    ));
+    fig
+}
+
+/// Pump the [`Shipper`] until the follower has every leader WAL byte,
+/// then record the leader's durable frontier so replication lag reads 0.
+fn ship_until_caught_up(leader: &ShardedDb, follower: &mut FollowerDb) {
+    let mut shipper = Shipper::new(&follower.applied_lsns(), DEFAULT_CHUNK);
+    loop {
+        let caught_up = {
+            let follower = &mut *follower;
+            shipper
+                .pump(leader, &mut |ev| match ev {
+                    ShipEvent::Start { shard, first_lsn } => {
+                        follower.begin_segment(shard, first_lsn)
+                    }
+                    ShipEvent::Bytes {
+                        shard,
+                        offset,
+                        bytes: chunk,
+                        ..
+                    } => follower.ingest(shard, offset, &chunk).map(|_| ()),
+                    ShipEvent::Seal { shard, first_lsn } => follower.seal_segment(shard, first_lsn),
+                })
+                .expect("ship")
+        };
+        if caught_up {
+            break;
+        }
+    }
+    for shard in 0..follower.applied_lsns().len() {
+        let durable = WalSource::last_durable_lsn(leader, shard).expect("leader lsn");
+        follower.note_leader_durable(shard, durable);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1784,6 +1994,39 @@ mod tests {
         assert!(
             fig.notes.iter().any(|n| n.contains("every size: true")),
             "follower views must mirror the leader: {:?}",
+            fig.notes
+        );
+    }
+
+    #[test]
+    fn e19_promotes_fenced_and_answers_retries_from_cache() {
+        let fig = e19_failover(0);
+        let downtime = fig.series("promotion downtime (ms)").expect("series");
+        assert!(
+            downtime.points.iter().all(|&(_, y)| y > 0.0),
+            "promotion must take measurable time, got {:?}",
+            downtime.points
+        );
+        let storm = fig
+            .series("retry storm, answered from the dedupe cache (stmts/sec)")
+            .expect("series");
+        assert!(
+            storm.points.iter().all(|&(_, y)| y > 0.0),
+            "the retry storm must complete, got {:?}",
+            storm.points
+        );
+        assert!(
+            fig.notes
+                .iter()
+                .any(|n| n.contains("zero state change: true")),
+            "every retry must be a dedupe-cache hit: {:?}",
+            fig.notes
+        );
+        assert!(
+            fig.notes
+                .iter()
+                .any(|n| n.contains("fenced after every promotion: true")),
+            "the deposed term must be fenced: {:?}",
             fig.notes
         );
     }

@@ -53,6 +53,7 @@ pub enum ExecOutcome {
 }
 
 use crate::mutate;
+use crate::session::{CachedOutcome, SessionTable};
 
 /// Live durability plumbing for a database opened at a path.
 #[derive(Debug)]
@@ -90,6 +91,17 @@ pub struct ChronicleDb {
     /// moved). When post-crash reconciliation finds a group on more than
     /// one shard, the copy with the highest epoch wins.
     group_epochs: HashMap<String, u64>,
+    /// Leadership term (DESIGN.md §17): 0 until a `Term` record is seen,
+    /// then the max over all terms logged or replayed. Promotion logs
+    /// `term + 1`; fencing compares request terms against this.
+    term: u64,
+    /// Idempotent-session dedupe table, rebuilt identically by every WAL
+    /// replayer and persisted in checkpoints (DESIGN.md §17).
+    sessions: SessionTable,
+    /// When a stamped statement is executing, the records it logs are
+    /// diverted here and written as one `Stamped` WAL record afterwards —
+    /// the stamp and the statement's every effect share one commit unit.
+    stamp_buf: Option<Vec<WalRecord>>,
 }
 
 impl ChronicleDb {
@@ -324,6 +336,13 @@ impl ChronicleDb {
     }
 
     fn log_record(&mut self, rec: WalRecord) -> Result<()> {
+        // A stamped statement in flight: buffer its records instead of
+        // logging them one by one — they commit together inside a single
+        // `Stamped` record (see [`ChronicleDb::execute_stamped`]).
+        if let Some(buf) = self.stamp_buf.as_mut() {
+            buf.push(rec);
+            return Ok(());
+        }
         let autoflush = !self.wal_buffered;
         if let Some(st) = self.durability.as_mut() {
             st.wal.append(&rec)?;
@@ -408,6 +427,8 @@ impl ChronicleDb {
             relations,
             views: self.maintainer.snapshot_views(),
             periodic,
+            term: self.term,
+            sessions: self.sessions.encode(),
         }
     }
 
@@ -416,6 +437,13 @@ impl ChronicleDb {
     /// rebuilt objects' state with the persisted images.
     fn restore_from_image(&mut self, img: CheckpointImage) -> Result<()> {
         self.tick = img.tick;
+        // Term and session table are full-restore state only: group-slice
+        // images (which go through `apply_image_objects` directly) carry
+        // defaults and must not clobber a live shard's values.
+        self.term = self.term.max(img.term);
+        if !img.sessions.is_empty() {
+            self.sessions = SessionTable::decode(&img.sessions)?;
+        }
         self.apply_image_objects(img)
     }
 
@@ -552,8 +580,54 @@ impl ChronicleDb {
             WalRecord::GroupEvict(group) => {
                 self.evict_group_state(&group)?;
             }
+            WalRecord::Stamped {
+                session,
+                seq,
+                inner,
+            } => {
+                // Replay is deterministic, so the dedupe decision made on
+                // the live path holds here too: a stamped record in the
+                // WAL was fresh when logged, and replaying in WAL order
+                // re-derives the same table state on every replayer.
+                let outcome = self.apply_stamped_inner(inner)?;
+                self.sessions.note(session, seq, outcome);
+            }
+            WalRecord::Term(t) => {
+                self.term = self.term.max(t);
+            }
         }
         Ok(())
+    }
+
+    /// Apply a `Stamped` record's inner records in order and derive the
+    /// [`CachedOutcome`] the originating statement produced — every
+    /// replayer reconstructs the same outcome from the records alone.
+    fn apply_stamped_inner(&mut self, inner: Vec<WalRecord>) -> Result<CachedOutcome> {
+        let mut rel_changed = 0u64;
+        let mut last: Option<CachedOutcome> = None;
+        for rec in inner {
+            match &rec {
+                WalRecord::Ddl(sql) => {
+                    // Capture the DDL outcome (Created/Dropped) instead of
+                    // routing through `apply_wal_record`, which discards it.
+                    let out = self.execute(sql)?;
+                    last = CachedOutcome::of(&out);
+                    continue;
+                }
+                WalRecord::Append { seq, at, .. } => {
+                    last = Some(CachedOutcome::Appended { seq: *seq, at: *at });
+                }
+                WalRecord::RelInsert { .. }
+                | WalRecord::RelDelete { .. }
+                | WalRecord::RelUpdate { .. } => {
+                    rel_changed += 1;
+                    last = Some(CachedOutcome::RelationChanged(rel_changed));
+                }
+                _ => {}
+            }
+            self.apply_wal_record(rec)?;
+        }
+        Ok(last.unwrap_or(CachedOutcome::RelationChanged(0)))
     }
 
     // ---- group placement (heavy-light sharding, DESIGN.md §16) ------------
@@ -670,6 +744,10 @@ impl ChronicleDb {
                 .into_iter()
                 .filter(|(n, _)| split.periodic.contains(n))
                 .collect(),
+            // Group slices carry neither term nor sessions: both are
+            // whole-shard state, not group state.
+            term: 0,
+            sessions: Vec::new(),
         };
         Ok(img.encode())
     }
@@ -754,6 +832,11 @@ impl ChronicleDb {
                 .into_iter()
                 .filter(|(n, _)| !split.periodic.contains(n))
                 .collect(),
+            // The rebuild below swaps only catalog-shaped state back in;
+            // the shard's term and session table survive the eviction
+            // untouched, so the complement image carries defaults.
+            term: 0,
+            sessions: Vec::new(),
         };
         let mut fresh = ChronicleDb::new();
         fresh
@@ -1271,6 +1354,85 @@ impl ChronicleDb {
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
         self.execute_stmt_inner(stmt, Some(sql))
+    }
+
+    /// Execute one SQL statement stamped with an idempotent-session
+    /// `(session, seq)` pair (DESIGN.md §17).
+    ///
+    /// If the stamp matches the last statement this shard applied for the
+    /// session, nothing re-executes: the cached outcome answers the retry.
+    /// Otherwise the statement runs with its WAL records diverted into a
+    /// buffer and committed as one `Stamped` record — the stamp and every
+    /// effect of the statement are a single atomic WAL unit, so every
+    /// replayer (crash recovery, followers, a promoted follower) rebuilds
+    /// the same dedupe decision. Statements that log nothing (reads,
+    /// no-op DML) are never stamped; their retries re-execute, which is
+    /// harmless by the same emptiness.
+    pub fn execute_stamped(&mut self, sql: &str, session: u64, seq: u64) -> Result<ExecOutcome> {
+        if !mutate("skip_session_dedupe") {
+            if let Some(cached) = self.sessions.check(session, seq)? {
+                self.stats.session_replays += 1;
+                return Ok(cached.to_exec());
+            }
+        }
+        debug_assert!(self.stamp_buf.is_none(), "stamped statements do not nest");
+        self.stamp_buf = Some(Vec::new());
+        let result = self.execute(sql);
+        let buf = self.stamp_buf.take().unwrap_or_default();
+        match result {
+            Ok(outcome) => {
+                if !buf.is_empty() {
+                    self.log_record(WalRecord::Stamped {
+                        session,
+                        seq,
+                        inner: buf,
+                    })?;
+                    if let Some(cached) = CachedOutcome::of(&outcome) {
+                        self.sessions.note(session, seq, cached);
+                    }
+                } else if self.durability.is_none() {
+                    // An in-memory database logs nothing, so "did it log a
+                    // record" cannot gate the dedupe note; cache every
+                    // cacheable outcome directly (reads stay uncached).
+                    if let Some(cached) = CachedOutcome::of(&outcome) {
+                        self.sessions.note(session, seq, cached);
+                    }
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                // A failed statement is not acked and must not dedupe a
+                // future retry — but any records it logged before failing
+                // (e.g. the leading rows of a multi-row insert) were
+                // applied to in-memory state and go to the WAL exactly as
+                // the unstamped path would have written them.
+                for rec in buf {
+                    self.log_record(rec)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Current leadership term (0 = no term record seen yet).
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Adopt leadership term `t` (monotone) and log it as a flushed WAL
+    /// record — the durable fencing point a promotion writes before
+    /// accepting any traffic.
+    pub(crate) fn note_term(&mut self, t: u64) -> Result<()> {
+        self.term = self.term.max(t);
+        self.log_record(WalRecord::Term(t))?;
+        self.wal_flush()?;
+        Ok(())
+    }
+
+    /// Last applied seq for an idempotent session on this shard, if any
+    /// (repl `.session` inspector).
+    pub fn session_last_seq(&self, session: u64) -> Option<u64> {
+        self.sessions.last_seq(session)
     }
 
     /// Execute a pre-parsed statement. On a durable database, view DDL is

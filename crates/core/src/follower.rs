@@ -26,7 +26,7 @@
 //! way by the TCP server, the deterministic simulation, and the bench
 //! harness.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use chronicle_durability::{
@@ -36,6 +36,7 @@ use chronicle_simkit::{RealFs, Vfs};
 use chronicle_types::{ChronicleError, Result, Tuple, Value};
 
 use crate::db::ChronicleDb;
+use crate::mutate;
 use crate::shard::{ShardRoutes, ShardedDb};
 use crate::stats::DbStats;
 
@@ -47,6 +48,11 @@ pub struct FollowerDb {
     routes: ShardRoutes,
     /// Leader's last durable lsn per shard, from heartbeats (0 = unseen).
     leader_durable: Vec<u64>,
+    /// How this follower was opened — kept so [`FollowerDb::promote`] can
+    /// reopen the same directory as a live [`ShardedDb`].
+    vfs: Arc<dyn Vfs>,
+    root: PathBuf,
+    opts: DurabilityOptions,
 }
 
 impl FollowerDb {
@@ -134,7 +140,74 @@ impl FollowerDb {
             ingests,
             routes,
             leader_durable: vec![0; shards],
+            vfs,
+            root: root.to_path_buf(),
+            opts,
         })
+    }
+
+    // ---- leadership term (failover fencing, DESIGN.md §17) ----------------
+
+    /// The highest leadership term this follower has replayed (0 until a
+    /// `Term` record has shipped).
+    pub fn term(&self) -> u64 {
+        self.shards.iter().map(|s| s.term()).max().unwrap_or(0)
+    }
+
+    /// Fence an incoming leader stream: a leader announcing a term *below*
+    /// what this follower has already replayed is a zombie — typically the
+    /// deposed leader's shipper still draining after this follower was
+    /// promoted elsewhere in a chain, or reconnecting after a partition
+    /// healed. Accepting its bytes would fork the history, so the stream
+    /// is refused with a typed [`ChronicleError::Fenced`].
+    pub fn check_leader_term(&self, leader_term: u64) -> Result<()> {
+        let current = self.term();
+        if leader_term < current && !mutate("skip_fencing") {
+            return Err(ChronicleError::Fenced {
+                observed: leader_term,
+                current,
+            });
+        }
+        Ok(())
+    }
+
+    /// Highest sequence number replayed for `session` on any shard — what
+    /// a semi-synchronous leader consults to learn whether a stamped
+    /// statement has reached this follower.
+    pub fn session_last_seq(&self, session: u64) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.session_last_seq(session))
+            .max()
+    }
+
+    /// Promote this follower into a live leader: drop the ingest plumbing,
+    /// reopen the same directory as a [`ShardedDb`] (the follower's
+    /// durable state is byte-compatible with a leader's, so this is the
+    /// normal recovery path over already-settled files), and durably adopt
+    /// `term + 1` — the fencing point. Every shard logs and flushes the
+    /// new `Term` record before this returns, so a deposed leader's
+    /// traffic (always carrying the old term) is rejected from the first
+    /// request the promoted node serves.
+    pub fn promote(self) -> Result<ShardedDb> {
+        let FollowerDb {
+            shards,
+            ingests,
+            vfs,
+            root,
+            opts,
+            ..
+        } = self;
+        let old_term = shards.iter().map(|s| s.term()).max().unwrap_or(0);
+        let n = shards.len();
+        // Release every file handle before the reopen: the ingests own the
+        // follower-side WAL writers for the very segments recovery is
+        // about to read.
+        drop(ingests);
+        drop(shards);
+        let mut db = ShardedDb::open_with_vfs(vfs, &root, n, opts)?;
+        db.begin_term(old_term + 1)?;
+        Ok(db)
     }
 
     // ---- ingest (driven by the shipping protocol) -------------------------
@@ -278,6 +351,7 @@ impl FollowerDb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::ExecOutcome;
     use chronicle_simkit::SimFs;
 
     fn opts() -> DurabilityOptions {
@@ -465,6 +539,100 @@ mod tests {
             .filter(|&i| f.shards[i].has_group("telecom"))
             .collect();
         assert_eq!(owners, vec![target]);
+    }
+
+    #[test]
+    fn promotion_preserves_state_and_fences_the_old_term() {
+        for shards in [1usize, 3] {
+            let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(82));
+            let leader = seeded_leader(&fs, shards);
+            let mut f =
+                FollowerDb::open_with_vfs(Arc::clone(&fs), "/follower", shards, opts()).unwrap();
+            ship_all(&leader, &mut f, 97);
+            let expected = leader.snapshot_views();
+            drop(leader); // the old leader dies mid-reign
+
+            assert_eq!(f.term(), 0);
+            let mut promoted = f.promote().unwrap();
+            // Promotion preserved every view byte-for-byte and durably
+            // adopted term 1 on every shard.
+            assert_eq!(promoted.snapshot_views(), expected, "{shards} shards");
+            assert_eq!(promoted.term(), 1);
+            // The promoted node is a live leader: writes flow again.
+            promoted
+                .execute("APPEND INTO calls VALUES (1, 2.0)")
+                .unwrap();
+            promoted.wal_flush().unwrap();
+
+            // A follower of the *new* leader learns the term from the
+            // shipped record and fences anything older.
+            let mut f2 = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f2", shards, opts()).unwrap();
+            ship_all(&promoted, &mut f2, 64);
+            assert_eq!(f2.term(), 1);
+            f2.check_leader_term(1).unwrap();
+            f2.check_leader_term(2).unwrap();
+            let err = f2.check_leader_term(0).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ChronicleError::Fenced {
+                        observed: 0,
+                        current: 1
+                    }
+                ),
+                "{err}"
+            );
+            // A second promotion (chained failover) keeps climbing.
+            let promoted2 = f2.promote().unwrap();
+            assert_eq!(promoted2.term(), 2);
+            assert_eq!(promoted2.snapshot_views(), promoted.snapshot_views());
+        }
+    }
+
+    #[test]
+    fn stamped_retries_dedupe_across_shipping_and_promotion() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(83));
+        let mut leader = seeded_leader(&fs, 2);
+        let session = 0xC11E57;
+
+        // Statement 1 applies, then is retried (lost ack): the cached
+        // outcome answers and nothing re-applies.
+        let first = leader
+            .execute_stamped("APPEND INTO calls VALUES (1, 9.0)", session, 1)
+            .unwrap();
+        let retried = leader
+            .execute_stamped("APPEND INTO calls VALUES (1, 9.0)", session, 1)
+            .unwrap();
+        let (ExecOutcome::Appended(a), ExecOutcome::Appended(b)) = (&first, &retried) else {
+            panic!("appends expected");
+        };
+        assert_eq!(a.seq, b.seq, "retry answered from cache, not re-applied");
+        let snap_after = leader.snapshot_views();
+        leader.wal_flush().unwrap();
+
+        // The dedupe decision ships with the WAL: a follower rebuilds the
+        // same table and the same state.
+        let mut f = FollowerDb::open_with_vfs(Arc::clone(&fs), "/f", 2, opts()).unwrap();
+        ship_all(&leader, &mut f, 53);
+        assert_eq!(f.snapshot_views(), snap_after);
+        drop(leader);
+
+        // After failover, the *same* retry against the promoted leader is
+        // still answered from cache — exactly-once across promotion.
+        let mut promoted = f.promote().unwrap();
+        let after = promoted
+            .execute_stamped("APPEND INTO calls VALUES (1, 9.0)", session, 1)
+            .unwrap();
+        let ExecOutcome::Appended(c) = &after else {
+            panic!("append expected");
+        };
+        assert_eq!(c.seq, a.seq);
+        assert_eq!(promoted.snapshot_views(), snap_after);
+        // The next seq is fresh work and applies normally.
+        promoted
+            .execute_stamped("APPEND INTO calls VALUES (1, 1.0)", session, 2)
+            .unwrap();
+        assert_ne!(promoted.snapshot_views(), snap_after);
     }
 
     #[test]

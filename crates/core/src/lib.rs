@@ -42,6 +42,7 @@ pub mod baseline;
 mod db;
 pub mod follower;
 pub mod pipeline;
+pub mod session;
 pub mod shard;
 pub mod stats;
 
@@ -50,5 +51,6 @@ pub use chronicle_durability::{
 };
 pub use db::{AppendOutcome, ChronicleDb, ExecOutcome};
 pub use follower::FollowerDb;
+pub use session::{CachedOutcome, SessionTable, MAX_SESSIONS};
 pub use shard::{shard_of_group, PlannedMove, ShardRoutes, ShardedDb};
 pub use stats::{DbStats, LatencySample};

@@ -28,6 +28,24 @@ use crate::db::{AppendOutcome, ChronicleDb, ExecOutcome};
 use crate::shard::{RouteTarget, ShardRoutes, ShardedDb};
 use crate::stats::DbStats;
 
+/// How a submission behaves when the worker's bounded channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Wait for a slot (the embedded-producer default: backpressure by
+    /// blocking).
+    Block,
+    /// Refuse immediately with [`ChronicleError::Overloaded`] carrying
+    /// this retry hint — the wire server's policy, where blocking the
+    /// session thread on one slow shard would stall every connection
+    /// multiplexed behind it.
+    ///
+    /// [`ChronicleError::Overloaded`]: chronicle_types::ChronicleError::Overloaded
+    Refuse {
+        /// Suggested client-side delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
 /// A request to append `rows` (SN-less) to `chronicle` at `at`.
 #[derive(Debug)]
 pub struct AppendRequest {
@@ -89,10 +107,19 @@ enum Request {
     },
     /// A full SQL statement executed on this worker's database. Like an
     /// append it may log WAL records, so it is acknowledged only after
-    /// the burst's shared flush.
+    /// the burst's shared flush. With `stamp: Some((session, seq))` the
+    /// statement runs through the idempotent-session path
+    /// ([`ChronicleDb::execute_stamped`]): a retry of the last applied
+    /// statement is answered from the dedupe cache instead of re-applying.
     Exec {
         sql: String,
+        stamp: Option<(u64, u64)>,
         reply: SyncSender<Result<ExecOutcome>>,
+    },
+    /// Current leadership term of this worker's database, answered
+    /// immediately (the fencing comparison point for wire requests).
+    Term {
+        reply: SyncSender<u64>,
     },
     /// Stats snapshot of this worker's database, answered immediately.
     Stats {
@@ -215,18 +242,62 @@ impl PipelineHandle {
     /// Execute one SQL statement on the worker's database, serialized with
     /// the appends and acknowledged after the burst's shared flush.
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_request(sql, None, Admission::Block)
+    }
+
+    /// [`PipelineHandle::execute`] with an idempotent-session stamp and an
+    /// explicit admission policy. Under [`Admission::Refuse`] a full
+    /// channel yields a typed [`ChronicleError::Overloaded`] immediately
+    /// instead of blocking the caller behind the backlog — the server's
+    /// bounded-admission path.
+    pub fn execute_stamped(
+        &self,
+        sql: &str,
+        session: u64,
+        seq: u64,
+        admit: Admission,
+    ) -> Result<ExecOutcome> {
+        self.execute_request(sql, Some((session, seq)), admit)
+    }
+
+    fn execute_request(
+        &self,
+        sql: &str,
+        stamp: Option<(u64, u64)>,
+        admit: Admission,
+    ) -> Result<ExecOutcome> {
         let (rtx, rrx) = sync_channel(1);
-        self.tx
-            .send(Request::Exec {
-                sql: sql.to_string(),
-                reply: rtx,
-            })
-            .map_err(|_| {
-                chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
-            })?;
+        let req = Request::Exec {
+            sql: sql.to_string(),
+            stamp,
+            reply: rtx,
+        };
+        let shut_down =
+            || chronicle_types::ChronicleError::Internal("pipeline has shut down".into());
+        match admit {
+            Admission::Block => self.tx.send(req).map_err(|_| shut_down())?,
+            Admission::Refuse { retry_after_ms } => match self.tx.try_send(req) {
+                Ok(()) => {}
+                Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                    return Err(chronicle_types::ChronicleError::Overloaded { retry_after_ms });
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => return Err(shut_down()),
+            },
+        }
         rrx.recv().map_err(|_| {
             chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
         })?
+    }
+
+    /// Current leadership term of the worker's database.
+    pub fn term(&self) -> Result<u64> {
+        let (rtx, rrx) = sync_channel(1);
+        self.tx.send(Request::Term { reply: rtx }).map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline has shut down".into())
+        })?;
+        rrx.recv().map_err(|_| {
+            chronicle_types::ChronicleError::Internal("pipeline dropped the reply".into())
+        })
     }
 
     /// A snapshot of the worker database's statistics.
@@ -298,12 +369,19 @@ impl Pipeline {
                                 next = rx.try_recv().ok();
                             }
                         }
-                        Request::Exec { sql, reply } => {
-                            let outcome = db.execute(&sql);
+                        Request::Exec { sql, stamp, reply } => {
+                            let outcome = match stamp {
+                                Some((session, seq)) => db.execute_stamped(&sql, session, seq),
+                                None => db.execute(&sql),
+                            };
                             pending.push(Pending::Exec(outcome, reply));
                             if pending.len() < burst {
                                 next = rx.try_recv().ok();
                             }
+                        }
+                        Request::Term { reply } => {
+                            let _ = reply.send(db.term());
+                            next = rx.try_recv().ok();
                         }
                         Request::Query { view, key, reply } => {
                             // Queries stay serialized with the appends; they
@@ -457,6 +535,32 @@ impl ShardedPipelineHandle {
     /// different orders on different shards and silently diverge the
     /// relation replicas.
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_routed(sql, None, Admission::Block)
+    }
+
+    /// [`ShardedPipelineHandle::execute`] with an idempotent-session stamp
+    /// and an admission policy. Routing is a pure function of the SQL and
+    /// the catalog, so a byte-identical retry reaches the same shard(s)
+    /// and dedupes there (see [`ShardedDb::execute_stamped`]). The
+    /// admission policy applies to the single-shard fast path; broadcasts
+    /// (DDL, relation DML — rare and already serialized by the write
+    /// lock) always block, so a half-admitted broadcast cannot happen.
+    pub fn execute_stamped(
+        &self,
+        sql: &str,
+        session: u64,
+        seq: u64,
+        admit: Admission,
+    ) -> Result<ExecOutcome> {
+        self.execute_routed(sql, Some((session, seq)), admit)
+    }
+
+    fn execute_routed(
+        &self,
+        sql: &str,
+        stamp: Option<(u64, u64)>,
+        admit: Admission,
+    ) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
         let single = {
             let routes = self.routes.read().expect("routes lock");
@@ -465,19 +569,23 @@ impl ShardedPipelineHandle {
                 _ => None,
             }
         };
+        let run = |h: &PipelineHandle, admit: Admission| match stamp {
+            Some((session, seq)) => h.execute_stamped(sql, session, seq, admit),
+            None => h.execute_request(sql, None, admit),
+        };
         if let Some(i) = single {
-            return self.handles[i].execute(sql);
+            return run(&self.handles[i], admit);
         }
         let mut routes = self.routes.write().expect("routes lock");
         // Re-plan under the exclusive lock: another DDL may have slipped
         // in between the read probe and here.
         let (target, effect) = routes.plan(&stmt)?;
         let out = match target {
-            RouteTarget::One(i) => self.handles[i].execute(sql)?,
+            RouteTarget::One(i) => run(&self.handles[i], admit)?,
             RouteTarget::All => {
                 let mut last = None;
                 for h in &self.handles {
-                    last = Some(h.execute(sql)?);
+                    last = Some(run(h, Admission::Block)?);
                 }
                 last.expect("at least one shard")
             }
@@ -486,6 +594,15 @@ impl ShardedPipelineHandle {
             routes.apply(e);
         }
         Ok(out)
+    }
+
+    /// Current leadership term: the max over every shard worker.
+    pub fn term(&self) -> Result<u64> {
+        let mut t = 0;
+        for h in &self.handles {
+            t = t.max(h.term()?);
+        }
+        Ok(t)
     }
 
     /// Statistics aggregated across every shard worker (see
@@ -735,6 +852,78 @@ mod tests {
         assert!(h.query("ghost_view", vec![]).is_err());
         let db = p.shutdown();
         assert_eq!(db.stats().appends, 0);
+    }
+
+    #[test]
+    fn refused_admission_is_typed_overloaded() {
+        // A handle over a full channel that nothing drains: Block would
+        // wait forever, Refuse must return the typed error immediately.
+        let (tx, rx) = sync_channel(1);
+        let h = PipelineHandle { tx };
+        h.tx.send(Request::Shutdown).unwrap(); // fill the only slot
+        let err = h
+            .execute_stamped(
+                "APPEND INTO txns VALUES (1, 1.0)",
+                7,
+                1,
+                Admission::Refuse { retry_after_ms: 25 },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                chronicle_types::ChronicleError::Overloaded { retry_after_ms: 25 }
+            ),
+            "{err}"
+        );
+        drop(rx);
+        // With the receiver gone, Refuse reports shutdown, not overload.
+        let err = h
+            .execute_stamped(
+                "APPEND INTO txns VALUES (1, 1.0)",
+                7,
+                2,
+                Admission::Refuse { retry_after_ms: 25 },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, chronicle_types::ChronicleError::Internal(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stamped_execs_dedupe_through_the_pipeline() {
+        let p = ShardedPipeline::start(sharded_db(2), 16);
+        let h = p.handle();
+        let out = h
+            .execute_stamped("APPEND INTO c1 VALUES (7, 5.0)", 42, 1, Admission::Block)
+            .unwrap();
+        let ExecOutcome::Appended(a) = out else {
+            panic!("append expected");
+        };
+        // A retry with the same stamp answers from cache...
+        let retry = h
+            .execute_stamped("APPEND INTO c1 VALUES (7, 5.0)", 42, 1, Admission::Block)
+            .unwrap();
+        let ExecOutcome::Appended(b) = retry else {
+            panic!("append expected");
+        };
+        assert_eq!(a.seq, b.seq);
+        // ...and the next seq applies fresh work.
+        h.execute_stamped("APPEND INTO c1 VALUES (7, 3.0)", 42, 2, Admission::Block)
+            .unwrap();
+        assert_eq!(h.term().unwrap(), 0);
+        let db = p.shutdown();
+        assert_eq!(db.stats().appends, 2, "the retry must not re-apply");
+        assert_eq!(db.stats().session_replays, 1);
+        assert_eq!(
+            db.query_view_key("v1", &[Value::Int(7)])
+                .unwrap()
+                .unwrap()
+                .get(1),
+            &Value::Float(8.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Idempotent-session bookkeeping: the dedupe table behind exactly-once
+//! statement retries (DESIGN.md §17).
+//!
+//! Every write statement a retryable client issues is stamped with a
+//! `(session, seq)` pair; `seq` is strictly increasing per session and a
+//! client keeps at most one statement in flight. The shard that applies
+//! the statement records the pair together with a compact
+//! [`CachedOutcome`] — enough to answer a retry without re-executing.
+//! The table is rebuilt identically by every replayer of the WAL (crash
+//! recovery, a follower ingesting shipped bytes, a promoted follower),
+//! because the stamp travels *inside* the `Stamped` WAL record: whoever
+//! holds the history holds the dedupe state, which is what makes retries
+//! safe across failover, not just across reconnect.
+//!
+//! The table is bounded: past [`MAX_SESSIONS`] live sessions the
+//! least-recently-touched session is evicted (deterministically — touch
+//! order is WAL apply order, identical on every replayer). An evicted
+//! session that later retries is treated as fresh, so the exactly-once
+//! guarantee holds for any client population up to the bound; the bound
+//! itself exists so a churn of short-lived sessions cannot grow
+//! checkpoints without limit.
+
+use std::collections::HashMap;
+
+use chronicle_types::codec::{Reader, Writer};
+use chronicle_types::{ChronicleError, Chronon, Result, SeqNo};
+use chronicle_views::MaintenanceReport;
+
+use crate::db::{AppendOutcome, ExecOutcome};
+
+/// Upper bound on live sessions tracked per shard. Eviction past the
+/// bound is least-recently-touched, in deterministic WAL order.
+pub const MAX_SESSIONS: usize = 1024;
+
+/// The compact, replayer-derivable summary of a statement's outcome —
+/// what a retried statement is answered with instead of re-executing.
+/// Deliberately *not* [`ExecOutcome`]: it must be reconstructible from
+/// the WAL records alone (a follower never saw the live outcome), so it
+/// carries no maintenance report and no query rows (statements that log
+/// nothing are never stamped; their retries re-execute harmlessly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// A catalog object was created (kind, name).
+    Created(String, String),
+    /// A batch was appended at this sequence number and chronon.
+    Appended {
+        /// The sequence number the batch received.
+        seq: SeqNo,
+        /// The chronon the batch was stamped with.
+        at: Chronon,
+    },
+    /// Relation rows were inserted / updated / deleted (count).
+    RelationChanged(u64),
+    /// A view was dropped.
+    Dropped(String),
+}
+
+const TAG_CREATED: u8 = 0;
+const TAG_APPENDED: u8 = 1;
+const TAG_REL_CHANGED: u8 = 2;
+const TAG_DROPPED: u8 = 3;
+
+impl CachedOutcome {
+    /// Distill a live [`ExecOutcome`] into its cacheable form. `None` for
+    /// `Rows`: reads log nothing, are never stamped, and re-execute on
+    /// retry.
+    pub fn of(out: &ExecOutcome) -> Option<CachedOutcome> {
+        match out {
+            ExecOutcome::Created(kind, name) => {
+                Some(CachedOutcome::Created((*kind).to_string(), name.clone()))
+            }
+            ExecOutcome::Appended(a) => Some(CachedOutcome::Appended {
+                seq: a.seq,
+                at: a.at,
+            }),
+            ExecOutcome::RelationChanged(n) => Some(CachedOutcome::RelationChanged(*n as u64)),
+            ExecOutcome::Rows(_) => None,
+            ExecOutcome::Dropped(name) => Some(CachedOutcome::Dropped(name.clone())),
+        }
+    }
+
+    /// Rehydrate into the [`ExecOutcome`] a retried caller receives. The
+    /// maintenance report is empty — the work happened on the original
+    /// application — and the `kind` string maps back onto the catalog's
+    /// static kind set.
+    pub fn to_exec(&self) -> ExecOutcome {
+        match self {
+            CachedOutcome::Created(kind, name) => {
+                let kind: &'static str = match kind.as_str() {
+                    "group" => "group",
+                    "chronicle" => "chronicle",
+                    "relation" => "relation",
+                    "view" => "view",
+                    "periodic view" => "periodic view",
+                    _ => "object",
+                };
+                ExecOutcome::Created(kind, name.clone())
+            }
+            CachedOutcome::Appended { seq, at } => ExecOutcome::Appended(AppendOutcome {
+                seq: *seq,
+                at: *at,
+                report: MaintenanceReport::default(),
+            }),
+            CachedOutcome::RelationChanged(n) => ExecOutcome::RelationChanged(*n as usize),
+            CachedOutcome::Dropped(name) => ExecOutcome::Dropped(name.clone()),
+        }
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            CachedOutcome::Created(kind, name) => {
+                w.u8(TAG_CREATED);
+                w.str(kind);
+                w.str(name);
+            }
+            CachedOutcome::Appended { seq, at } => {
+                w.u8(TAG_APPENDED);
+                w.seq_no(*seq);
+                w.chronon(*at);
+            }
+            CachedOutcome::RelationChanged(n) => {
+                w.u8(TAG_REL_CHANGED);
+                w.u64(*n);
+            }
+            CachedOutcome::Dropped(name) => {
+                w.u8(TAG_DROPPED);
+                w.str(name);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<CachedOutcome> {
+        Ok(match r.u8()? {
+            TAG_CREATED => CachedOutcome::Created(r.str()?, r.str()?),
+            TAG_APPENDED => CachedOutcome::Appended {
+                seq: r.seq_no()?,
+                at: r.chronon()?,
+            },
+            TAG_REL_CHANGED => CachedOutcome::RelationChanged(r.u64()?),
+            TAG_DROPPED => CachedOutcome::Dropped(r.str()?),
+            t => {
+                return Err(ChronicleError::Corruption {
+                    detail: format!("unknown cached-outcome tag {t}"),
+                })
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SessionEntry {
+    last_seq: u64,
+    touched: u64,
+    outcome: CachedOutcome,
+}
+
+/// Per-shard dedupe table: session id → last applied seq + cached
+/// outcome. Bounded by [`MAX_SESSIONS`]; persisted opaquely in every
+/// checkpoint and rebuilt record-by-record by WAL replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionTable {
+    entries: HashMap<u64, SessionEntry>,
+    /// Logical touch clock (WAL apply order); drives LRU eviction.
+    clock: u64,
+}
+
+impl SessionTable {
+    /// Classify an incoming `(session, seq)` stamp.
+    ///
+    /// * `Ok(None)` — fresh work: apply and [`SessionTable::note`] it.
+    /// * `Ok(Some(outcome))` — a retry of the last applied statement:
+    ///   answer from cache, apply nothing.
+    /// * `Err(..)` — the stamp is *behind* the last applied seq. Clients
+    ///   keep one statement in flight, so only the newest outcome is
+    ///   cached; an older stamp is a protocol violation, refused loudly
+    ///   rather than risking a blind re-apply.
+    pub fn check(&self, session: u64, seq: u64) -> Result<Option<CachedOutcome>> {
+        match self.entries.get(&session) {
+            None => Ok(None),
+            Some(e) if seq > e.last_seq => Ok(None),
+            Some(e) if seq == e.last_seq => Ok(Some(e.outcome.clone())),
+            Some(e) => Err(ChronicleError::Internal(format!(
+                "session {session} retried seq {seq} behind last applied seq {} \
+                 (only the newest statement per session is retryable)",
+                e.last_seq
+            ))),
+        }
+    }
+
+    /// Record that `seq` was applied for `session` with `outcome`,
+    /// evicting the least-recently-touched session past the bound.
+    pub fn note(&mut self, session: u64, seq: u64, outcome: CachedOutcome) {
+        self.clock += 1;
+        let touched = self.clock;
+        self.entries.insert(
+            session,
+            SessionEntry {
+                last_seq: seq,
+                touched,
+                outcome,
+            },
+        );
+        if self.entries.len() > MAX_SESSIONS {
+            // Deterministic LRU: touch order is apply order, identical on
+            // every replayer; ties cannot happen (the clock is unique).
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(s, _)| s)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of live sessions tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no session has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The last applied seq for `session`, if tracked.
+    pub fn last_seq(&self, session: u64) -> Option<u64> {
+        self.entries.get(&session).map(|e| e.last_seq)
+    }
+
+    /// Serialize for checkpoint embedding — sorted by session id, so two
+    /// replayers with equal tables produce identical bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        let mut w = Writer::new();
+        w.u32(ids.len() as u32);
+        for id in ids {
+            let e = &self.entries[&id];
+            w.u64(id);
+            w.u64(e.last_seq);
+            w.u64(e.touched);
+            e.outcome.encode_into(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Inverse of [`SessionTable::encode`]. Empty bytes decode to an
+    /// empty table (what pre-session checkpoints carry).
+    pub fn decode(bytes: &[u8]) -> Result<SessionTable> {
+        if bytes.is_empty() {
+            return Ok(SessionTable::default());
+        }
+        let mut r = Reader::new(bytes);
+        let n = r.u32()? as usize;
+        // Each entry is at least 3 u64s + 1 tag byte; reject counts the
+        // payload cannot possibly hold before allocating.
+        if n.saturating_mul(25) > bytes.len() {
+            return Err(ChronicleError::Corruption {
+                detail: format!("session table claims {n} entries in {} bytes", bytes.len()),
+            });
+        }
+        let mut table = SessionTable::default();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let last_seq = r.u64()?;
+            let touched = r.u64()?;
+            let outcome = CachedOutcome::decode_from(&mut r)?;
+            table.clock = table.clock.max(touched);
+            table.entries.insert(
+                id,
+                SessionEntry {
+                    last_seq,
+                    touched,
+                    outcome,
+                },
+            );
+        }
+        if !r.at_end() {
+            return Err(ChronicleError::Corruption {
+                detail: "trailing bytes after session table".into(),
+            });
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(n: u64) -> CachedOutcome {
+        CachedOutcome::RelationChanged(n)
+    }
+
+    #[test]
+    fn fresh_retry_and_stale_stamps() {
+        let mut t = SessionTable::default();
+        assert_eq!(t.check(7, 1).unwrap(), None);
+        t.note(7, 1, outcome(1));
+        // Retry of the applied statement answers from cache.
+        assert_eq!(t.check(7, 1).unwrap(), Some(outcome(1)));
+        // The next statement is fresh.
+        assert_eq!(t.check(7, 2).unwrap(), None);
+        t.note(7, 2, outcome(2));
+        // A stamp behind the newest applied seq is a loud protocol error.
+        assert!(t.check(7, 1).is_err());
+        // Other sessions are independent.
+        assert_eq!(t.check(8, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn codec_roundtrip_is_identity_and_sorted() {
+        let mut t = SessionTable::default();
+        t.note(9, 3, CachedOutcome::Created("view".into(), "v".into()));
+        t.note(
+            2,
+            11,
+            CachedOutcome::Appended {
+                seq: SeqNo(5),
+                at: Chronon(40),
+            },
+        );
+        t.note(5, 1, CachedOutcome::Dropped("old".into()));
+        let bytes = t.encode();
+        let back = SessionTable::decode(&bytes).unwrap();
+        assert_eq!(back, t);
+        // Equal tables built in different orders encode identically.
+        let mut u = SessionTable::default();
+        u.note(9, 3, CachedOutcome::Created("view".into(), "v".into()));
+        u.note(
+            2,
+            11,
+            CachedOutcome::Appended {
+                seq: SeqNo(5),
+                at: Chronon(40),
+            },
+        );
+        u.note(5, 1, CachedOutcome::Dropped("old".into()));
+        assert_eq!(u.encode(), bytes);
+        // Empty table encodes to nothing (checkpoint compatibility).
+        assert!(SessionTable::default().encode().is_empty());
+        assert!(SessionTable::decode(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        assert!(SessionTable::decode(&w.into_bytes()).is_err());
+        let mut t = SessionTable::default();
+        t.note(1, 1, outcome(1));
+        let mut bytes = t.encode();
+        bytes.push(0);
+        assert!(SessionTable::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_deterministic() {
+        let mut t = SessionTable::default();
+        for s in 0..(MAX_SESSIONS as u64 + 3) {
+            t.note(s, 1, outcome(s));
+        }
+        assert_eq!(t.len(), MAX_SESSIONS);
+        // The first three sessions noted (least recently touched) went.
+        assert_eq!(t.last_seq(0), None);
+        assert_eq!(t.last_seq(1), None);
+        assert_eq!(t.last_seq(2), None);
+        assert_eq!(t.last_seq(3), Some(1));
+        // An evicted session that retries is treated as fresh.
+        assert_eq!(t.check(0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn cached_outcome_rehydrates() {
+        let out = ExecOutcome::Created("chronicle", "calls".into());
+        let cached = CachedOutcome::of(&out).unwrap();
+        match cached.to_exec() {
+            ExecOutcome::Created(kind, name) => {
+                assert_eq!(kind, "chronicle");
+                assert_eq!(name, "calls");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(CachedOutcome::of(&ExecOutcome::Rows(Vec::new())).is_none());
+    }
+}

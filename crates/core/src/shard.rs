@@ -708,6 +708,62 @@ impl ShardedDb {
         Ok(last.expect("at least one shard"))
     }
 
+    /// [`ShardedDb::execute`] with an idempotent-session stamp: the owning
+    /// shard(s) dedupe `(session, seq)` against their per-shard tables
+    /// (see [`ChronicleDb::execute_stamped`]). Routing is a pure function
+    /// of the SQL text and the catalog, so a byte-identical retry reaches
+    /// the same shards and every shard independently recognizes — or
+    /// freshly applies — the statement; a broadcast interrupted mid-way is
+    /// *repaired* by its retry (already-applied replicas answer from
+    /// cache, the rest catch up).
+    pub fn execute_stamped(&mut self, sql: &str, session: u64, seq: u64) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        let (target, effect) = self.routes.plan(&stmt)?;
+        let out = match target {
+            RouteTarget::One(i) => self.shards[i].execute_stamped(sql, session, seq)?,
+            RouteTarget::All => {
+                let mut last = None;
+                for s in &mut self.shards {
+                    last = Some(s.execute_stamped(sql, session, seq)?);
+                }
+                last.expect("at least one shard")
+            }
+        };
+        if let Some(e) = effect {
+            self.routes.apply(e);
+        }
+        Ok(out)
+    }
+
+    // ---- leadership term (failover fencing, DESIGN.md §17) ----------------
+
+    /// Current leadership term: the max over all shards (0 until a
+    /// promotion has ever happened in this database's history).
+    pub fn term(&self) -> u64 {
+        self.shards.iter().map(|s| s.term()).max().unwrap_or(0)
+    }
+
+    /// Highest sequence number applied for `session` on any shard, or
+    /// `None` if the session has never committed here. A stamped
+    /// statement lands on exactly one shard, so the max across shards is
+    /// the session's global high-water mark.
+    pub fn session_last_seq(&self, session: u64) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.session_last_seq(session))
+            .max()
+    }
+
+    /// Adopt leadership term `t`: every shard logs a flushed `Term` WAL
+    /// record before this returns, so the new term is durable — and ships
+    /// to any attached follower — ahead of any traffic served under it.
+    pub fn begin_term(&mut self, t: u64) -> Result<()> {
+        for s in &mut self.shards {
+            s.note_term(t)?;
+        }
+        Ok(())
+    }
+
     // ---- direct append / query (programmatic path) ------------------------
 
     /// Append rows to a chronicle at chronon `at` on its owning shard,

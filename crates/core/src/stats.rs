@@ -259,6 +259,12 @@ pub struct DbStats {
     pub net_shipped_bytes: u64,
     /// Network requests served (SQL round trips over the wire).
     pub net_requests: u64,
+    /// Retried statements answered from the idempotent-session dedupe
+    /// cache instead of re-executing (DESIGN.md §17).
+    pub session_replays: u64,
+    /// Requests refused with `Overloaded` by the server's bounded
+    /// admission queue instead of blocking the session thread.
+    pub overload_rejections: u64,
     /// On a follower: the highest WAL lsn applied (max across shards).
     /// `None` on a leader or an embedded database.
     pub follower_applied_lsn: Option<u64>,
@@ -351,6 +357,8 @@ impl DbStats {
         self.net_frames_out += other.net_frames_out;
         self.net_shipped_bytes += other.net_shipped_bytes;
         self.net_requests += other.net_requests;
+        self.session_replays += other.session_replays;
+        self.overload_rejections += other.overload_rejections;
         self.follower_applied_lsn = match (self.follower_applied_lsn, other.follower_applied_lsn) {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),

@@ -101,6 +101,14 @@ pub struct CheckpointImage {
     pub views: Vec<(String, Vec<u8>)>,
     /// Periodic view-family snapshots as `(name, bytes)`.
     pub periodic: Vec<(String, Vec<u8>)>,
+    /// Leadership term the node held when the image was written (0 until
+    /// a node is ever promoted). Trailing optional field: images written
+    /// before terms existed decode with 0.
+    pub term: u64,
+    /// Encoded idempotent-session dedupe table (the core crate's session
+    /// codec; opaque at this layer). Trailing optional field: empty for
+    /// pre-session images and for group-slice images.
+    pub sessions: Vec<u8>,
 }
 
 impl CheckpointImage {
@@ -165,6 +173,13 @@ impl CheckpointImage {
                 w.str(name);
                 w.bytes(bytes);
             }
+        }
+        // Trailing optional fields (term, session table): omitted entirely
+        // when at their defaults, so images without failover state stay
+        // byte-identical to the pre-term format.
+        if self.term != 0 || !self.sessions.is_empty() {
+            w.u64(self.term);
+            w.bytes(&self.sessions);
         }
         let mut out = w.into_bytes();
         let crc = crc32(&out);
@@ -257,6 +272,11 @@ impl CheckpointImage {
             for _ in 0..r.u32()? {
                 periodic.push((r.str()?, r.bytes()?));
             }
+            let (term, sessions) = if r.at_end() {
+                (0, Vec::new())
+            } else {
+                (r.u64()?, r.bytes()?)
+            };
             Ok(CheckpointImage {
                 lsn,
                 tick,
@@ -266,6 +286,8 @@ impl CheckpointImage {
                 relations,
                 views,
                 periodic,
+                term,
+                sessions,
             })
         };
         let image = parse().map_err(|e| corrupt(format!("checkpoint undecodable: {e}")))?;
@@ -455,6 +477,8 @@ mod tests {
             }],
             views: vec![("v".into(), vec![1, 2, 3])],
             periodic: vec![("p".into(), vec![9, 8])],
+            term: 2,
+            sessions: vec![4, 5, 6],
         }
     }
 
@@ -464,6 +488,23 @@ mod tests {
         assert_eq!(CheckpointImage::decode(&img.encode()).unwrap(), img);
         let empty = CheckpointImage::default();
         assert_eq!(CheckpointImage::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn pre_term_images_decode_with_defaults() {
+        // An image encoded without the trailing term/session fields (the
+        // pre-failover format) must decode with term 0 and no sessions.
+        let mut img = sample(12);
+        img.term = 0;
+        img.sessions = Vec::new();
+        let bytes = img.encode();
+        let with = {
+            let mut i2 = img.clone();
+            i2.term = 1;
+            i2.encode()
+        };
+        assert!(bytes.len() < with.len(), "default fields must be omitted");
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img);
     }
 
     #[test]

@@ -15,10 +15,17 @@
 //!    Any local segment files *after* it are leftovers of a previous
 //!    incarnation (the header-only active segment a follower's own open
 //!    creates, or a partially shipped segment from a dropped connection)
-//!    and are deleted; the segment's own file is recreated from scratch.
-//! 2. [`WalIngest::ingest`] — append a chunk of raw bytes at the given
-//!    offset. Bytes are written to the local file verbatim and parsed
-//!    incrementally; every *complete* frame past the applied LSN is
+//!    and are deleted. The segment's own file, if present, is *preserved*:
+//!    its trusted prefix — valid header plus whole CRC-checked frames
+//!    chaining up to the applied LSN — is reloaded as already-received
+//!    bytes, so the local image never shrinks below what recovery already
+//!    replayed.
+//! 2. [`WalIngest::ingest`] — a chunk of raw bytes at the given offset.
+//!    Bytes overlapping the preserved prefix are verified against it and
+//!    skipped (the leader re-ships below its flushed frontier
+//!    byte-for-byte, so a mismatch is real divergence, not resumption);
+//!    fresh bytes are written to the local file verbatim and parsed
+//!    incrementally, and every *complete* frame past the applied LSN is
 //!    returned for application. A partial trailing frame simply waits for
 //!    more bytes — and if the follower dies first, it is exactly the torn
 //!    tail local recovery already repairs.
@@ -28,12 +35,19 @@
 //!
 //! Because the leader always re-ships the whole segment containing
 //! `applied + 1` from offset 0 on (re)connect, resumption needs no
-//! byte-level negotiation: records at or below the applied LSN decode
-//! cleanly and are skipped, and the local rewrite is byte-for-byte
-//! identical to what was there. Anything that does not checksum or does
-//! not chain is a hard [`ChronicleError::Corruption`] — the caller drops
-//! the connection and reconnects from its recovered durable state, the
-//! same salvage-or-refuse discipline local recovery applies.
+//! byte-level negotiation. Preserving the already-received prefix across
+//! a restart matters for more than efficiency: a follower can be
+//! *promoted* (or cleanly reopened) at any instant, including mid-resume,
+//! and promotion recovers from the local files. If the restart truncated
+//! the segment and rewrote it from offset 0, every record between the
+//! rewrite point and the old applied LSN would be lost to a promotion
+//! that lands inside the rewrite window — acknowledged statements
+//! included. With the prefix preserved, the on-disk image is always at
+//! least as long as the applied watermark. Anything that does not
+//! checksum or does not chain is a hard [`ChronicleError::Corruption`] —
+//! the caller drops the connection and reconnects from its recovered
+//! durable state, the same salvage-or-refuse discipline local recovery
+//! applies.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -53,6 +67,35 @@ fn io_err(context: &str, path: &Path, e: std::io::Error) -> ChronicleError {
 
 fn corrupt(detail: String) -> ChronicleError {
     ChronicleError::Corruption { detail }
+}
+
+/// The longest prefix of a previously received segment image that can be
+/// trusted across a restart: a valid header for `first_lsn` followed by
+/// whole CRC-checked frames chaining upward, stopping at the applied LSN.
+/// Frames past `applied` are dropped even when they parse — they will be
+/// re-shipped and re-applied through the normal path, which keeps the
+/// preserved image exactly equal to what local recovery already replayed.
+/// Returns `(prefix_len, next_lsn, header_ok)`.
+fn replayable_prefix(bytes: &[u8], first_lsn: u64, applied: u64) -> (usize, u64, bool) {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return (0, first_lsn, false);
+    }
+    let first = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if first != first_lsn {
+        return (0, first_lsn, false);
+    }
+    let mut parsed = HEADER_LEN;
+    let mut next = first_lsn;
+    while parsed < bytes.len() && next <= applied {
+        match parse_frame(&bytes[parsed..], next) {
+            Ok((consumed, _)) => {
+                parsed += consumed;
+                next += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    (parsed, next, true)
 }
 
 /// The segment currently being received.
@@ -155,7 +198,9 @@ impl WalIngest {
 
     /// The leader is about to stream the segment whose first record is
     /// `first_lsn`, starting at byte offset 0. Stale local segments past
-    /// it are deleted and its own file is recreated empty.
+    /// it are deleted; an existing image of the segment itself survives —
+    /// its trusted prefix counts as already received, and [`ingest`]
+    /// (WalIngest::ingest) verifies the re-shipped overlap against it.
     pub fn begin_segment(&mut self, first_lsn: u64) -> Result<()> {
         match self.cur.take() {
             // The leader moved on past the segment being received without
@@ -181,9 +226,10 @@ impl WalIngest {
                 }
                 self.known.push((prev.first_lsn, prev.path));
             }
-            // A restart of the same segment truncates the file below; a
-            // *later* in-flight segment is stale (it is not in `known`,
-            // so the sweep below would miss it) and is deleted here.
+            // A restart of the same segment reloads its trusted prefix
+            // below; a *later* in-flight segment is stale (it is not in
+            // `known`, so the sweep below would miss it) and is deleted
+            // here.
             Some(prev) if prev.first_lsn > first_lsn => {
                 drop(prev.file);
                 self.vfs
@@ -216,14 +262,17 @@ impl WalIngest {
         let mut keep = Vec::with_capacity(self.known.len());
         let mut removed = false;
         for (first, path) in std::mem::take(&mut self.known) {
-            if first >= first_lsn {
+            if first > first_lsn {
                 self.vfs
                     .remove_file(&path)
                     .map_err(|e| io_err("removing stale WAL segment", &path, e))?;
                 removed = true;
-            } else {
+            } else if first < first_lsn {
                 keep.push((first, path));
             }
+            // `first == first_lsn` is the segment being restarted: the
+            // file stays (it seeds the preserved prefix below) and the
+            // entry leaves `known` because the segment is live again.
         }
         self.known = keep;
         if removed && self.fsync {
@@ -234,40 +283,77 @@ impl WalIngest {
             sync_dir(self.vfs.as_ref(), &self.dir)?;
         }
         let path = self.dir.join(segment_name(first_lsn));
-        let file = self
+        // Preserve what a clean reopen would recover: the trusted prefix
+        // of any existing image. Restoring it inside this call (rather
+        // than truncating and letting the leader rewrite it over many
+        // deliveries) means there is no instant at which a promotion sees
+        // the segment shorter than the applied watermark.
+        let preload = match self.vfs.read(&path) {
+            Ok(bytes) => {
+                let (len, next_lsn, header_ok) = replayable_prefix(&bytes, first_lsn, self.applied);
+                let mut bytes = bytes;
+                bytes.truncate(len);
+                (bytes, next_lsn, header_ok)
+            }
+            Err(_) => (Vec::new(), first_lsn, false),
+        };
+        let (buf, next_lsn, header_ok) = preload;
+        let mut file = self
             .vfs
             .create(&path)
             .map_err(|e| io_err("creating WAL segment", &path, e))?;
+        if !buf.is_empty() {
+            file.write_all(&buf)
+                .map_err(|e| io_err("writing WAL segment", &path, e))?;
+        }
+        let parsed = buf.len();
         self.cur = Some(Receiving {
             first_lsn,
             path,
             file,
-            buf: Vec::new(),
-            parsed: 0,
-            next_lsn: first_lsn,
-            header_ok: false,
+            buf,
+            parsed,
+            next_lsn,
+            header_ok,
         });
         Ok(())
     }
 
-    /// Append raw segment bytes at `offset` (must be exactly where the
-    /// stream left off), persist them, and return every newly completed
-    /// record past the applied LSN, in order.
+    /// Raw segment bytes at `offset` (at or before where the stream left
+    /// off — a restart re-ships from 0 and the overlap with the preserved
+    /// prefix is verified, not rewritten). Fresh bytes are persisted, and
+    /// every newly completed record past the applied LSN is returned in
+    /// order.
     pub fn ingest(&mut self, offset: u64, bytes: &[u8]) -> Result<Vec<(u64, WalRecord)>> {
         let cur = self.cur.as_mut().ok_or_else(|| {
             corrupt("segment bytes arrived before the segment was announced".into())
         })?;
-        if offset != cur.buf.len() as u64 {
+        let have = cur.buf.len() as u64;
+        if offset > have {
             return Err(corrupt(format!(
-                "segment bytes arrived at offset {offset} but {} were received",
-                cur.buf.len()
+                "segment bytes arrived at offset {offset} but only {have} were received"
             )));
         }
-        cur.buf.extend_from_slice(bytes);
-        cur.file
-            .write_all(bytes)
-            .map_err(|e| io_err("writing WAL segment", &cur.path, e))?;
         self.bytes_received += bytes.len() as u64;
+        // The leader only re-ships bytes below its flushed frontier, and
+        // those never change across leader restarts — so the overlap with
+        // what this follower already holds must match byte-for-byte. A
+        // mismatch means the follower's history diverged from this
+        // leader's (e.g. it outlived a failover the leader did not), which
+        // no amount of resumption can reconcile.
+        let skip = ((have - offset) as usize).min(bytes.len());
+        if bytes[..skip] != cur.buf[offset as usize..offset as usize + skip] {
+            return Err(corrupt(format!(
+                "re-shipped bytes at offset {offset} differ from the local image of {}: \
+                 the follower's history has diverged from this leader",
+                cur.path.display()
+            )));
+        }
+        let fresh = &bytes[skip..];
+        cur.buf.extend_from_slice(fresh);
+        cur.file
+            .write_all(fresh)
+            .map_err(|e| io_err("writing WAL segment", &cur.path, e))?;
 
         if !cur.header_ok {
             if cur.buf.len() < HEADER_LEN {
@@ -560,9 +646,94 @@ mod tests {
         assert_eq!(got.len(), 2, "only the intact prefix decodes");
         assert!(ingest.seal_segment(seg.first_lsn).is_err());
 
-        // Out-of-order offset.
+        // A gap: bytes starting past what was received.
         let mut ingest = WalIngest::open(Arc::clone(&fs), "/f3/wal", true, 0).unwrap();
         ingest.begin_segment(seg.first_lsn).unwrap();
         assert!(ingest.ingest(5, &clean).is_err());
+    }
+
+    /// A reconnect restarts the active segment from offset 0. The local
+    /// image must survive the restart: a promotion (clean reopen) can land
+    /// at any instant of the resume, and everything recovery had already
+    /// replayed — acknowledged statements included — must still be on
+    /// disk.
+    #[test]
+    fn restart_preserves_the_applied_prefix_on_disk() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(16));
+        let (mut leader, _) =
+            Wal::open_with_vfs(Arc::clone(&fs), "/leader/wal", one_seg_opts(), 0).unwrap();
+        for i in 1..=5 {
+            leader.append(&rec(i)).unwrap();
+            leader.flush().unwrap();
+        }
+        let mut ingest = WalIngest::open(Arc::clone(&fs), "/f/wal", true, 0).unwrap();
+        ship_all(&leader, &mut ingest, 64);
+        assert_eq!(ingest.applied(), 5);
+        drop(ingest);
+
+        // Reconnect: recovery replayed through 5, the leader re-announces
+        // the active segment, and only a sliver of the re-shipped stream
+        // arrives before the follower is promoted.
+        let seg = leader.segments()[0].clone();
+        let stream = leader.read_segment(seg.first_lsn, 0, usize::MAX).unwrap();
+        let mut resumed = WalIngest::open(Arc::clone(&fs), "/f/wal", true, 5).unwrap();
+        resumed.begin_segment(seg.first_lsn).unwrap();
+        let got = resumed.ingest(0, &stream.bytes[..10]).unwrap();
+        assert_eq!(got, vec![], "overlap bytes surface nothing new");
+        drop(resumed); // promotion reopens from the local files
+        let (_, tail) = Wal::open_with_vfs(Arc::clone(&fs), "/f/wal", one_seg_opts(), 0).unwrap();
+        assert_eq!(
+            tail.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5],
+            "a restart must never shrink the image below the applied LSN"
+        );
+
+        // The same resume carried to completion extends the image past
+        // the preserved prefix as new records arrive.
+        let mut resumed = WalIngest::open(Arc::clone(&fs), "/f/wal", true, 5).unwrap();
+        resumed.begin_segment(seg.first_lsn).unwrap();
+        assert!(resumed.ingest(0, &stream.bytes).unwrap().is_empty());
+        for i in 6..=8 {
+            leader.append(&rec(i)).unwrap();
+            leader.flush().unwrap();
+        }
+        let more = leader.read_segment(seg.first_lsn, 0, usize::MAX).unwrap();
+        let got = resumed.ingest(stream.bytes.len() as u64, &more.bytes[stream.bytes.len()..]);
+        assert_eq!(
+            got.unwrap().iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![6, 7, 8]
+        );
+    }
+
+    /// Re-shipped bytes below the leader's flushed frontier are immutable,
+    /// so an overlap that disagrees with the preserved local image is
+    /// divergence — e.g. a follower of a deposed leader attaching to a new
+    /// lineage — and must be refused loudly, not spliced.
+    #[test]
+    fn diverged_overlap_is_refused() {
+        let fs: Arc<dyn Vfs> = Arc::new(SimFs::new(17));
+        let (mut leader, _) =
+            Wal::open_with_vfs(Arc::clone(&fs), "/leader/wal", one_seg_opts(), 0).unwrap();
+        for i in 1..=5 {
+            leader.append(&rec(i)).unwrap();
+            leader.flush().unwrap();
+        }
+        let mut ingest = WalIngest::open(Arc::clone(&fs), "/f/wal", true, 0).unwrap();
+        ship_all(&leader, &mut ingest, 64);
+        drop(ingest);
+
+        let seg = leader.segments()[0].clone();
+        let mut stream = leader
+            .read_segment(seg.first_lsn, 0, usize::MAX)
+            .unwrap()
+            .bytes;
+        stream[HEADER_LEN + 3] ^= 0x40; // inside the preserved prefix
+        let mut resumed = WalIngest::open(Arc::clone(&fs), "/f/wal", true, 5).unwrap();
+        resumed.begin_segment(seg.first_lsn).unwrap();
+        let err = resumed.ingest(0, &stream).unwrap_err();
+        assert!(
+            err.to_string().contains("diverged"),
+            "expected divergence refusal, got: {err}"
+        );
     }
 }

@@ -77,6 +77,28 @@ pub enum WalRecord {
     /// logged on the *source* shard's WAL after the target's import is
     /// durable.
     GroupEvict(String),
+    /// A client statement's effect records wrapped with its idempotency
+    /// stamp `(session, seq)`. The wrapper keeps stamp and effect in *one*
+    /// WAL frame, so a torn flush can never persist the effect without the
+    /// stamp (a lost-ack retry would re-apply) or the stamp without the
+    /// effect (a retry would be answered from cache for work that never
+    /// happened). `inner` holds every record the statement logged — a
+    /// multi-row relation insert logs one record per row — and replay
+    /// applies them in order before noting the stamp. Inner records are
+    /// never themselves stamped.
+    Stamped {
+        /// Client session id (random 64-bit, chosen by the client).
+        session: u64,
+        /// Statement sequence number within the session, starting at 1.
+        seq: u64,
+        /// The wrapped effect records, in execution order.
+        inner: Vec<WalRecord>,
+    },
+    /// A leadership-term boundary: every record after this one (until the
+    /// next `Term`) was written under leadership term `.0`. Logged on
+    /// every shard when a node assumes leadership; replay tracks the
+    /// maximum, and fencing rejects traffic from lower terms.
+    Term(u64),
 }
 
 const TAG_DDL: u8 = 0;
@@ -91,6 +113,8 @@ const TAG_REL_UPDATE: u8 = 4;
 const TAG_APPEND_COL: u8 = 5;
 const TAG_GROUP_IMPORT: u8 = 6;
 const TAG_GROUP_EVICT: u8 = 7;
+const TAG_STAMPED: u8 = 8;
+const TAG_TERM: u8 = 9;
 
 /// Per-column type tags of the columnar framing. `COL_MIXED` columns fall
 /// back to per-value tagged encoding (this also covers NULLs, so every
@@ -220,6 +244,27 @@ impl WalRecord {
                 w.u8(TAG_GROUP_EVICT);
                 w.str(group);
             }
+            WalRecord::Stamped {
+                session,
+                seq,
+                inner,
+            } => {
+                w.u8(TAG_STAMPED);
+                w.u64(*session);
+                w.u64(*seq);
+                w.u32(inner.len() as u32);
+                for rec in inner {
+                    debug_assert!(
+                        !matches!(rec, WalRecord::Stamped { .. }),
+                        "stamped records do not nest"
+                    );
+                    w.bytes(&rec.encode());
+                }
+            }
+            WalRecord::Term(t) => {
+                w.u8(TAG_TERM);
+                w.u64(*t);
+            }
         }
         w.into_bytes()
     }
@@ -335,6 +380,44 @@ impl WalRecord {
                 image: r.bytes()?,
             },
             TAG_GROUP_EVICT => WalRecord::GroupEvict(r.str()?),
+            TAG_STAMPED => {
+                let session = r.u64()?;
+                let seq = r.u64()?;
+                let n = r.u32()? as usize;
+                // Each inner record costs at least a 4-byte length prefix
+                // plus one tag byte; reject outsized counts before
+                // allocating.
+                if n.saturating_mul(5) > r.remaining() {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!(
+                            "stamped WAL record claims {n} inner records but only {} \
+                             bytes remain",
+                            r.remaining()
+                        ),
+                    });
+                }
+                let mut inner = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let bytes = r.bytes()?;
+                    // Nesting is bounded to depth one: a stamped record
+                    // inside a stamped record is never produced, and
+                    // refusing it here keeps decode non-recursive in depth
+                    // (a crafted deep nest could otherwise exhaust the
+                    // stack).
+                    if bytes.first() == Some(&TAG_STAMPED) {
+                        return Err(ChronicleError::Corruption {
+                            detail: "nested stamped WAL record".into(),
+                        });
+                    }
+                    inner.push(WalRecord::decode(&bytes)?);
+                }
+                WalRecord::Stamped {
+                    session,
+                    seq,
+                    inner,
+                }
+            }
+            TAG_TERM => WalRecord::Term(r.u64()?),
             t => {
                 return Err(ChronicleError::Corruption {
                     detail: format!("unknown WAL record tag {t}"),
@@ -394,6 +477,24 @@ mod tests {
                 image: vec![0xAB, 0xCD, 0, 1, 2, 3],
             },
             WalRecord::GroupEvict("telecom".into()),
+            WalRecord::Stamped {
+                session: 0xDEAD_BEEF_0123_4567,
+                seq: 42,
+                inner: vec![
+                    WalRecord::Append {
+                        chronicle: "deposits".into(),
+                        seq: SeqNo(44),
+                        at: Chronon(9),
+                        tuples: vec![tuple![SeqNo(44), 7i64, 1.25f64]],
+                    },
+                    WalRecord::RelInsert {
+                        relation: "accts".into(),
+                        at: SeqNo(10),
+                        tuple: tuple![2i64, "bob"],
+                    },
+                ],
+            },
+            WalRecord::Term(3),
         ]
     }
 
@@ -492,5 +593,37 @@ mod tests {
         // allocation.
         let import = samples()[6].encode();
         assert!(WalRecord::decode(&import[..import.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn stamped_records_reject_nesting_and_outsized_counts() {
+        let inner = WalRecord::Term(1);
+        let nested = WalRecord::Stamped {
+            session: 1,
+            seq: 1,
+            inner: vec![inner],
+        };
+        // Hand-build a nested stamp: encode() debug-asserts against it.
+        let mut w = Writer::new();
+        w.u8(8); // TAG_STAMPED
+        w.u64(1);
+        w.u64(1);
+        w.u32(1);
+        w.bytes(&nested.encode());
+        let err = WalRecord::decode(&w.into_bytes()).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+
+        // An absurd inner-record count is refused before allocation.
+        let mut w = Writer::new();
+        w.u8(8);
+        w.u64(1);
+        w.u64(1);
+        w.u32(u32::MAX);
+        let err = WalRecord::decode(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, ChronicleError::Corruption { .. }));
+
+        // Truncated stamped payloads fail cleanly.
+        let bytes = samples()[8].encode();
+        assert!(WalRecord::decode(&bytes[..bytes.len() - 3]).is_err());
     }
 }

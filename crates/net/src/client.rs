@@ -1,20 +1,52 @@
 //! The blocking SQL client.
 //!
 //! One TCP connection, one in-flight request: [`Client::sql`] and
-//! [`Client::stats`] send a frame and block for the reply. Appends
-//! acknowledged with `SqlOk` are durable on the leader (the server answers
-//! after the shard's group-commit flush).
+//! [`Client::stats`] send a frame and block for the reply — up to the
+//! per-request deadline ([`Client::set_request_timeout`]), after which
+//! the typed [`ChronicleError::Timeout`] surfaces. A timed-out request
+//! *may* have been applied; an idempotent retry through
+//! [`Client::sql_stamped`] (same session, same seq) is the safe way to
+//! find out — the server answers a replayed stamp from its dedupe cache
+//! instead of applying it twice. Appends acknowledged with `SqlOk` are
+//! durable on the leader (the server answers after the shard's
+//! group-commit flush).
+//!
+//! [`Fenced`](crate::proto::Message::Fenced) and
+//! [`Overloaded`](crate::proto::Message::Overloaded) replies map to their
+//! typed errors; [`crate::RetryClient`] builds leader redirection and
+//! backoff on top of them.
 
 use std::net::TcpStream;
+use std::time::Duration;
 
 use chronicle_types::{ChronicleError, Result};
 
 use crate::conn::Conn;
-use crate::proto::{Message, RemoteOutcome, Role, WireStats};
+use crate::proto::{Message, RemoteOutcome, Role, WireStats, PROTOCOL_VERSION};
+
+/// Default per-request read deadline: generous enough for a group-commit
+/// flush under load, small enough that a dead leader is noticed.
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn remote_err(detail: String) -> ChronicleError {
     ChronicleError::Durability {
         detail: format!("remote: {detail}"),
+    }
+}
+
+/// Map an error-shaped reply message to its typed error; `None` for
+/// non-error replies.
+fn reply_err(msg: &Message) -> Option<ChronicleError> {
+    match msg {
+        Message::ErrReply(detail) => Some(remote_err(detail.clone())),
+        Message::Fenced { observed, current } => Some(ChronicleError::Fenced {
+            observed: *observed,
+            current: *current,
+        }),
+        Message::Overloaded { retry_after_ms } => Some(ChronicleError::Overloaded {
+            retry_after_ms: *retry_after_ms,
+        }),
+        _ => None,
     }
 }
 
@@ -23,22 +55,44 @@ fn remote_err(detail: String) -> ChronicleError {
 pub struct Client {
     conn: Conn,
     shards: u32,
+    term: u64,
+    request_timeout: Duration,
 }
 
 impl Client {
-    /// Connect to a leader (or a read-only follower) at `addr`.
+    /// Connect to a leader (or a read-only follower) at `addr`,
+    /// announcing no prior term.
     pub fn connect(addr: &str) -> Result<Client> {
+        Client::connect_with_term(addr, 0)
+    }
+
+    /// Connect announcing the highest leadership term this client has
+    /// observed; a deposed leader (its term below `term`) answers
+    /// `Fenced` instead of `Welcome`, so a zombie can never serve a
+    /// client that has already seen its successor.
+    pub fn connect_with_term(addr: &str, term: u64) -> Result<Client> {
         let stream = TcpStream::connect(addr).map_err(|e| ChronicleError::Durability {
             detail: format!("network: connecting {addr}: {e}"),
         })?;
         let mut conn = Conn::new(stream)?;
-        conn.send(&Message::Hello(Role::Client))?;
+        conn.send(&Message::Hello {
+            role: Role::Client,
+            version: PROTOCOL_VERSION,
+            term,
+        })?;
         match conn.recv()? {
-            Message::Welcome { shards } => Ok(Client { conn, shards }),
-            Message::ErrReply(detail) => Err(remote_err(detail)),
-            other => Err(ChronicleError::Corruption {
-                detail: format!("expected Welcome, got {other:?}"),
+            Message::Welcome { shards, term } => Ok(Client {
+                conn,
+                shards,
+                term,
+                request_timeout: DEFAULT_REQUEST_TIMEOUT,
             }),
+            ref msg => match reply_err(msg) {
+                Some(e) => Err(e),
+                None => Err(ChronicleError::Corruption {
+                    detail: format!("expected Welcome, got {msg:?}"),
+                }),
+            },
         }
     }
 
@@ -47,27 +101,55 @@ impl Client {
         self.shards
     }
 
-    /// Execute one SQL statement remotely.
+    /// The leadership term the server announced at the handshake.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Set the per-request read deadline for [`Client::sql`] and
+    /// [`Client::stats`].
+    pub fn set_request_timeout(&mut self, timeout: Duration) {
+        self.request_timeout = timeout;
+    }
+
+    /// Execute one SQL statement remotely, unstamped (no idempotency).
     pub fn sql(&mut self, sql: &str) -> Result<RemoteOutcome> {
-        self.conn.send(&Message::Sql(sql.to_string()))?;
-        match self.conn.recv()? {
+        self.sql_stamped(sql, 0, 0)
+    }
+
+    /// Execute one SQL statement stamped with `(session, seq)` for
+    /// exactly-once semantics under retry (`session == 0` = unstamped).
+    pub fn sql_stamped(&mut self, sql: &str, session: u64, seq: u64) -> Result<RemoteOutcome> {
+        self.conn.send(&Message::Sql {
+            sql: sql.to_string(),
+            session,
+            seq,
+        })?;
+        match self.conn.recv_deadline(self.request_timeout, "SQL reply")? {
             Message::SqlOk(outcome) => Ok(outcome),
-            Message::ErrReply(detail) => Err(remote_err(detail)),
-            other => Err(ChronicleError::Corruption {
-                detail: format!("expected SqlOk, got {other:?}"),
-            }),
+            ref msg => match reply_err(msg) {
+                Some(e) => Err(e),
+                None => Err(ChronicleError::Corruption {
+                    detail: format!("expected SqlOk, got {msg:?}"),
+                }),
+            },
         }
     }
 
     /// Fetch the server's statistics.
     pub fn stats(&mut self) -> Result<WireStats> {
         self.conn.send(&Message::StatsReq)?;
-        match self.conn.recv()? {
+        match self
+            .conn
+            .recv_deadline(self.request_timeout, "stats reply")?
+        {
             Message::StatsReply(stats) => Ok(stats),
-            Message::ErrReply(detail) => Err(remote_err(detail)),
-            other => Err(ChronicleError::Corruption {
-                detail: format!("expected StatsReply, got {other:?}"),
-            }),
+            ref msg => match reply_err(msg) {
+                Some(e) => Err(e),
+                None => Err(ChronicleError::Corruption {
+                    detail: format!("expected StatsReply, got {msg:?}"),
+                }),
+            },
         }
     }
 

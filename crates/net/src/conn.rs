@@ -83,6 +83,27 @@ impl Conn {
         }
     }
 
+    /// Receive the next message, waiting at most `wait` in total; a
+    /// deadline miss is the typed [`ChronicleError::Timeout`] naming
+    /// `what`. Unlike [`Conn::try_recv`], the budget is absolute: partial
+    /// frames trickling in cannot extend it.
+    pub(crate) fn recv_deadline(&mut self, wait: Duration, what: &str) -> Result<Message> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(ChronicleError::Timeout {
+                    detail: what.to_string(),
+                });
+            }
+            // Bound each socket wait so the absolute deadline is honored
+            // even while partial frames keep arriving.
+            if let Some(msg) = self.try_recv(left.min(Duration::from_millis(50)))? {
+                return Ok(msg);
+            }
+        }
+    }
+
     /// Receive the next message, waiting at most `wait`. `Ok(None)` means
     /// the wait elapsed with no complete frame.
     pub(crate) fn try_recv(&mut self, wait: Duration) -> Result<Option<Message>> {

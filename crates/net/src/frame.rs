@@ -24,7 +24,7 @@ pub const FRAME_OVERHEAD: usize = 8;
 
 /// Test-only mutation backdoor for the verify.sh mutation check: prove the
 /// corrupt-frame tests notice when CRC verification is skipped.
-fn mutate(which: &str) -> bool {
+pub(crate) fn mutate(which: &str) -> bool {
     std::env::var("CHRONICLE_MUTATE").is_ok_and(|v| v == which)
 }
 

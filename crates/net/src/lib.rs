@@ -30,11 +30,13 @@ mod conn;
 pub mod frame;
 pub mod proto;
 mod replica;
+mod retry;
 mod server;
 pub mod ship;
 
-pub use client::Client;
-pub use proto::{Message, RemoteOutcome, Role, WireStats};
+pub use client::{Client, DEFAULT_REQUEST_TIMEOUT};
+pub use proto::{Message, RemoteOutcome, Role, WireStats, PROTOCOL_VERSION};
 pub use replica::Replica;
+pub use retry::{RetryClient, RetryPolicy};
 pub use server::Server;
 pub use ship::{ShipEvent, Shipper, WalSource, DEFAULT_CHUNK};

@@ -20,10 +20,25 @@
 //! Unknown tags and truncated payloads decode to
 //! [`ChronicleError::Corruption`]; like a bad frame CRC, they terminate
 //! the connection.
+//!
+//! Failover additions (DESIGN.md §17): the [`Message::Hello`] carries the
+//! protocol version and the peer's last observed leadership *term*;
+//! [`Message::Welcome`] answers with the server's term; every
+//! [`Message::SegStart`] and [`Message::FetchWal`] is term-stamped so a
+//! deposed leader (or its shipper) is rejected with a typed
+//! [`Message::Fenced`] instead of silently diverging the history.
+//! [`Message::Sql`] carries an idempotency stamp `(session, seq)` —
+//! `session == 0` means unstamped — and an admission-refused statement is
+//! answered with [`Message::Overloaded`] rather than blocking the session.
 
 use chronicle_db::{AppendOutcome, DbStats, ExecOutcome};
 use chronicle_types::codec::{Reader, Writer};
 use chronicle_types::{ChronicleError, Result, Tuple};
+
+/// Wire protocol version. Bumped by the failover work (term stamps and
+/// session idempotency); a peer announcing a different version is refused
+/// at the handshake with a typed error, never half-understood.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// What a connecting peer wants from the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +112,12 @@ pub struct WireStats {
     pub net_shipped_bytes: u64,
     /// Request messages served.
     pub net_requests: u64,
+    /// Statements answered from the session dedupe cache (idempotent
+    /// retries that were *not* re-applied).
+    pub session_replays: u64,
+    /// Statements refused at admission because the pipeline queue was
+    /// full (each was answered with [`Message::Overloaded`]).
+    pub net_overload_rejections: u64,
     /// p50 request service latency in nanoseconds (0 with no samples).
     pub net_latency_p50_nanos: u64,
     /// p99 request service latency in nanoseconds (0 with no samples).
@@ -121,6 +142,8 @@ impl WireStats {
             net_frames_out: stats.net_frames_out,
             net_shipped_bytes: stats.net_shipped_bytes,
             net_requests: stats.net_requests,
+            session_replays: stats.session_replays,
+            net_overload_rejections: 0,
             net_latency_p50_nanos: stats.net_latency_percentile(0.50),
             net_latency_p99_nanos: stats.net_latency_percentile(0.99),
             follower_applied_lsn: stats.follower_applied_lsn,
@@ -132,15 +155,38 @@ impl WireStats {
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Connection opener: what the peer wants.
-    Hello(Role),
-    /// Server's answer to [`Message::Hello`]: the shard count.
+    /// Connection opener: what the peer wants, which protocol it speaks,
+    /// and the highest leadership term it has observed (0 when it has
+    /// never seen one). A server whose own term is *lower* than the
+    /// peer's is a deposed leader and must answer [`Message::Fenced`].
+    Hello {
+        /// What the peer wants from the server.
+        role: Role,
+        /// The peer's [`PROTOCOL_VERSION`]; a mismatch is refused.
+        version: u32,
+        /// Highest leadership term the peer has observed.
+        term: u64,
+    },
+    /// Server's answer to [`Message::Hello`]: the shard count and the
+    /// server's current leadership term.
     Welcome {
         /// Number of shards behind the server.
         shards: u32,
+        /// The server's current leadership term.
+        term: u64,
     },
-    /// Execute one SQL statement.
-    Sql(String),
+    /// Execute one SQL statement, optionally stamped for idempotency.
+    /// `session == 0` means unstamped (fire once, no dedupe); a nonzero
+    /// session with a monotone `seq` lets the server answer a retried
+    /// statement from its dedupe cache instead of applying it twice.
+    Sql {
+        /// The statement text.
+        sql: String,
+        /// Client session id (0 = unstamped).
+        session: u64,
+        /// Statement sequence number within the session.
+        seq: u64,
+    },
     /// Successful statement result.
     SqlOk(RemoteOutcome),
     /// Request failed; the error rendered as text.
@@ -149,17 +195,26 @@ pub enum Message {
     StatsReq,
     /// Statistics reply.
     StatsReply(WireStats),
-    /// Follower: start shipping from these per-shard applied lsns.
+    /// Follower: start shipping from these per-shard applied lsns. The
+    /// follower's term rides along: a leader seeing a *higher* term than
+    /// its own has been deposed and must answer [`Message::Fenced`]
+    /// instead of shipping.
     FetchWal {
         /// Applied lsn per shard (length must equal the shard count).
         applied: Vec<u64>,
+        /// The follower's current term.
+        term: u64,
     },
-    /// A segment stream begins for one shard (from byte offset 0).
+    /// A segment stream begins for one shard (from byte offset 0). The
+    /// shipping leader's term rides on every stream start so a zombie
+    /// ex-leader's shipper is fenced before a single byte is ingested.
     SegStart {
         /// Shard index.
         shard: u32,
         /// First lsn of the segment (its identity).
         first_lsn: u64,
+        /// The shipping leader's term.
+        term: u64,
     },
     /// Raw segment bytes.
     SegBytes {
@@ -186,6 +241,22 @@ pub enum Message {
     },
     /// Orderly goodbye; the connection closes after this.
     Goodbye,
+    /// The request carried a stale leadership term — or the answering
+    /// node itself is deposed. Maps to [`ChronicleError::Fenced`]; the
+    /// client should rediscover the current leader and retry there.
+    Fenced {
+        /// The losing (stale) term.
+        observed: u64,
+        /// The winning (current) term.
+        current: u64,
+    },
+    /// The statement was refused at admission: the pipeline queue is
+    /// full. It was *not* applied; retry after the hinted delay. Maps to
+    /// [`ChronicleError::Overloaded`].
+    Overloaded {
+        /// Suggested client-side delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -201,6 +272,8 @@ const TAG_SEG_BYTES: u8 = 9;
 const TAG_SEG_SEAL: u8 = 10;
 const TAG_SEG_HEARTBEAT: u8 = 11;
 const TAG_GOODBYE: u8 = 12;
+const TAG_FENCED: u8 = 13;
+const TAG_OVERLOADED: u8 = 14;
 
 const OUT_CREATED: u8 = 0;
 const OUT_APPENDED: u8 = 1;
@@ -307,6 +380,8 @@ fn write_stats(w: &mut Writer, s: &WireStats) {
     w.u64(s.net_frames_out);
     w.u64(s.net_shipped_bytes);
     w.u64(s.net_requests);
+    w.u64(s.session_replays);
+    w.u64(s.net_overload_rejections);
     w.u64(s.net_latency_p50_nanos);
     w.u64(s.net_latency_p99_nanos);
     write_opt_u64(w, s.follower_applied_lsn);
@@ -325,6 +400,8 @@ fn read_stats(r: &mut Reader) -> Result<WireStats> {
         net_frames_out: r.u64()?,
         net_shipped_bytes: r.u64()?,
         net_requests: r.u64()?,
+        session_replays: r.u64()?,
+        net_overload_rejections: r.u64()?,
         net_latency_p50_nanos: r.u64()?,
         net_latency_p99_nanos: r.u64()?,
         follower_applied_lsn: read_opt_u64(r)?,
@@ -337,20 +414,29 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            Message::Hello(role) => {
+            Message::Hello {
+                role,
+                version,
+                term,
+            } => {
                 w.u8(TAG_HELLO);
                 w.u8(match role {
                     Role::Client => 0,
                     Role::Follower => 1,
                 });
+                w.u32(*version);
+                w.u64(*term);
             }
-            Message::Welcome { shards } => {
+            Message::Welcome { shards, term } => {
                 w.u8(TAG_WELCOME);
                 w.u32(*shards);
+                w.u64(*term);
             }
-            Message::Sql(sql) => {
+            Message::Sql { sql, session, seq } => {
                 w.u8(TAG_SQL);
                 w.str(sql);
+                w.u64(*session);
+                w.u64(*seq);
             }
             Message::SqlOk(outcome) => {
                 w.u8(TAG_SQL_OK);
@@ -365,14 +451,20 @@ impl Message {
                 w.u8(TAG_STATS_REPLY);
                 write_stats(&mut w, stats);
             }
-            Message::FetchWal { applied } => {
+            Message::FetchWal { applied, term } => {
                 w.u8(TAG_FETCH_WAL);
                 write_u64s(&mut w, applied);
+                w.u64(*term);
             }
-            Message::SegStart { shard, first_lsn } => {
+            Message::SegStart {
+                shard,
+                first_lsn,
+                term,
+            } => {
                 w.u8(TAG_SEG_START);
                 w.u32(*shard);
                 w.u64(*first_lsn);
+                w.u64(*term);
             }
             Message::SegBytes {
                 shard,
@@ -396,6 +488,15 @@ impl Message {
                 write_u64s(&mut w, durable);
             }
             Message::Goodbye => w.u8(TAG_GOODBYE),
+            Message::Fenced { observed, current } => {
+                w.u8(TAG_FENCED);
+                w.u64(*observed);
+                w.u64(*current);
+            }
+            Message::Overloaded { retry_after_ms } => {
+                w.u8(TAG_OVERLOADED);
+                w.u64(*retry_after_ms);
+            }
         }
         w.into_bytes()
     }
@@ -405,23 +506,36 @@ impl Message {
     pub fn decode(payload: &[u8]) -> Result<Message> {
         let mut r = Reader::new(payload);
         let msg = match r.u8().map_err(|e| corrupt(format!("empty message: {e}")))? {
-            TAG_HELLO => Message::Hello(match r.u8()? {
-                0 => Role::Client,
-                1 => Role::Follower,
-                t => return Err(corrupt(format!("unknown role tag {t}"))),
-            }),
-            TAG_WELCOME => Message::Welcome { shards: r.u32()? },
-            TAG_SQL => Message::Sql(r.str()?),
+            TAG_HELLO => Message::Hello {
+                role: match r.u8()? {
+                    0 => Role::Client,
+                    1 => Role::Follower,
+                    t => return Err(corrupt(format!("unknown role tag {t}"))),
+                },
+                version: r.u32()?,
+                term: r.u64()?,
+            },
+            TAG_WELCOME => Message::Welcome {
+                shards: r.u32()?,
+                term: r.u64()?,
+            },
+            TAG_SQL => Message::Sql {
+                sql: r.str()?,
+                session: r.u64()?,
+                seq: r.u64()?,
+            },
             TAG_SQL_OK => Message::SqlOk(read_outcome(&mut r)?),
             TAG_ERR => Message::ErrReply(r.str()?),
             TAG_STATS_REQ => Message::StatsReq,
             TAG_STATS_REPLY => Message::StatsReply(read_stats(&mut r)?),
             TAG_FETCH_WAL => Message::FetchWal {
                 applied: read_u64s(&mut r)?,
+                term: r.u64()?,
             },
             TAG_SEG_START => Message::SegStart {
                 shard: r.u32()?,
                 first_lsn: r.u64()?,
+                term: r.u64()?,
             },
             TAG_SEG_BYTES => Message::SegBytes {
                 shard: r.u32()?,
@@ -437,6 +551,13 @@ impl Message {
                 durable: read_u64s(&mut r)?,
             },
             TAG_GOODBYE => Message::Goodbye,
+            TAG_FENCED => Message::Fenced {
+                observed: r.u64()?,
+                current: r.u64()?,
+            },
+            TAG_OVERLOADED => Message::Overloaded {
+                retry_after_ms: r.u64()?,
+            },
             t => return Err(corrupt(format!("unknown message tag {t}"))),
         };
         if !r.at_end() {
@@ -454,10 +575,27 @@ mod tests {
 
     fn sample_messages(rng: &mut SmallRng) -> Vec<Message> {
         let mut msgs = vec![
-            Message::Hello(Role::Client),
-            Message::Hello(Role::Follower),
-            Message::Welcome { shards: 4 },
-            Message::Sql("SELECT * FROM totals".into()),
+            Message::Hello {
+                role: Role::Client,
+                version: PROTOCOL_VERSION,
+                term: 0,
+            },
+            Message::Hello {
+                role: Role::Follower,
+                version: PROTOCOL_VERSION,
+                term: 3,
+            },
+            Message::Welcome { shards: 4, term: 2 },
+            Message::Sql {
+                sql: "SELECT * FROM totals".into(),
+                session: 0,
+                seq: 0,
+            },
+            Message::Sql {
+                sql: "APPEND INTO c VALUES (1)".into(),
+                session: 0xfeed_beef,
+                seq: 41,
+            },
             Message::SqlOk(RemoteOutcome::Created("view".into(), "totals".into())),
             Message::SqlOk(RemoteOutcome::Appended { seq: 17, at: -3 }),
             Message::SqlOk(RemoteOutcome::RelationChanged(2)),
@@ -477,6 +615,7 @@ mod tests {
             }),
             Message::FetchWal {
                 applied: vec![0, 17, 4],
+                term: 1,
             },
             Message::SegSeal {
                 shard: 2,
@@ -486,6 +625,11 @@ mod tests {
                 durable: vec![40, 41],
             },
             Message::Goodbye,
+            Message::Fenced {
+                observed: 1,
+                current: 2,
+            },
+            Message::Overloaded { retry_after_ms: 25 },
         ];
         for _ in 0..20 {
             let n = rng.gen_range(0..300usize);
@@ -498,6 +642,7 @@ mod tests {
             msgs.push(Message::SegStart {
                 shard: rng.gen_range(0..8u32),
                 first_lsn: rng.next_u64() >> 20,
+                term: rng.gen_range(0..4u32) as u64,
             });
         }
         msgs

@@ -16,18 +16,34 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use chronicle_db::{DurabilityOptions, FollowerDb};
+use chronicle_db::{DurabilityOptions, FollowerDb, ShardedDb};
 use chronicle_sql::{parse, Statement};
 use chronicle_types::{ChronicleError, Result};
 
 use crate::conn::Conn;
-use crate::proto::{Message, Role, WireStats};
+use crate::proto::{Message, Role, WireStats, PROTOCOL_VERSION};
 
 const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// Apply-progress signal: the ingest thread bumps the generation after
+/// every applied message and [`Replica::wait_applied`] sleeps on the
+/// condvar instead of polling.
+#[derive(Debug, Default)]
+struct Progress {
+    generation: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn bump(&self) {
+        *self.generation.lock().expect("progress lock") += 1;
+        self.changed.notify_all();
+    }
+}
 
 fn net_err(context: &str, e: std::io::Error) -> ChronicleError {
     ChronicleError::Durability {
@@ -43,6 +59,7 @@ pub struct Replica {
     ingest: Option<JoinHandle<Result<()>>>,
     serve_threads: Vec<JoinHandle<()>>,
     serve_addr: Option<SocketAddr>,
+    progress: Arc<Progress>,
 }
 
 impl Replica {
@@ -57,9 +74,21 @@ impl Replica {
         let stream =
             TcpStream::connect(leader_addr).map_err(|e| net_err("connecting leader", e))?;
         let mut conn = Conn::new(stream)?;
-        conn.send(&Message::Hello(Role::Follower))?;
-        let shards = match conn.recv()? {
-            Message::Welcome { shards } => shards as usize,
+        // The local term is unknown until the database is open (the shard
+        // count comes from the leader), so the Hello announces term 0 and
+        // the stale-leader check runs against the Welcome below.
+        conn.send(&Message::Hello {
+            role: Role::Follower,
+            version: PROTOCOL_VERSION,
+            term: 0,
+        })?;
+        let (shards, leader_term) = match conn.recv()? {
+            Message::Welcome { shards, term } => (shards as usize, term),
+            Message::ErrReply(detail) => {
+                return Err(ChronicleError::Durability {
+                    detail: format!("remote: {detail}"),
+                })
+            }
             other => {
                 return Err(ChronicleError::Corruption {
                     detail: format!("expected Welcome, got {other:?}"),
@@ -67,15 +96,21 @@ impl Replica {
             }
         };
         let follower = FollowerDb::open_with(path, shards, opts)?;
+        // Fence a stale leader: a local term above the leader's proves
+        // this follower's history descends from the leader's successor.
+        follower.check_leader_term(leader_term)?;
         conn.send(&Message::FetchWal {
             applied: follower.applied_lsns(),
+            term: follower.term(),
         })?;
         let follower = Arc::new(Mutex::new(follower));
         let stop = Arc::new(AtomicBool::new(false));
+        let progress = Arc::new(Progress::default());
         let ingest = {
             let follower = Arc::clone(&follower);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || ingest_loop(conn, follower, stop))
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || ingest_loop(conn, follower, stop, progress))
         };
         Ok(Replica {
             follower,
@@ -83,6 +118,7 @@ impl Replica {
             ingest: Some(ingest),
             serve_threads: Vec::new(),
             serve_addr: None,
+            progress,
         })
     }
 
@@ -110,19 +146,44 @@ impl Replica {
     }
 
     /// Block until every shard's applied lsn reaches `target`, or
-    /// `timeout` elapses; returns whether the target was reached.
+    /// `timeout` elapses; returns whether the target was reached. Sleeps
+    /// on the ingest thread's progress condvar — woken the moment another
+    /// message is applied, no polling loop.
     pub fn wait_applied(&self, target: &[u64], timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
+        let mut gen = self.progress.generation.lock().expect("progress lock");
         loop {
+            // The applied check happens under the generation lock, so a
+            // bump between check and wait cannot be missed.
             let applied = self.applied_lsns();
             if applied.len() == target.len() && applied.iter().zip(target).all(|(a, t)| a >= t) {
                 return true;
             }
-            if std::time::Instant::now() >= deadline {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(5));
+            let seen = *gen;
+            let (next, _timed_out) = self
+                .progress
+                .changed
+                .wait_timeout_while(gen, left, |g| *g == seen)
+                .expect("progress lock");
+            gen = next;
         }
+    }
+
+    /// The follower's current leadership term.
+    pub fn term(&self) -> u64 {
+        self.follower.lock().expect("follower lock").term()
+    }
+
+    /// Stop ingest and promote the follower into a live leader database
+    /// under a fresh, durably logged term (see [`FollowerDb::promote`]).
+    /// The returned [`ShardedDb`] is ready to serve — wrap it in a
+    /// pipeline and a [`crate::Server`] to take writes.
+    pub fn promote(self) -> Result<ShardedDb> {
+        self.stop()?.promote()
     }
 
     /// Start a read-only SQL listener at `addr` (e.g. `"127.0.0.1:0"`).
@@ -200,6 +261,7 @@ fn ingest_loop(
     mut conn: Conn,
     follower: Arc<Mutex<FollowerDb>>,
     stop: Arc<AtomicBool>,
+    progress: Arc<Progress>,
 ) -> Result<()> {
     loop {
         if stop.load(Ordering::Relaxed) {
@@ -215,34 +277,50 @@ fn ingest_loop(
             Err(e @ ChronicleError::Corruption { .. }) => return Err(e),
             Err(_) => return Ok(()),
         };
-        let mut f = follower.lock().expect("follower lock");
-        match msg {
-            Message::SegStart { shard, first_lsn } => {
-                f.begin_segment(shard as usize, first_lsn)?;
-            }
-            Message::SegBytes {
-                shard,
-                first_lsn: _,
-                offset,
-                bytes,
-            } => {
-                f.ingest(shard as usize, offset, &bytes)?;
-            }
-            Message::SegSeal { shard, first_lsn } => {
-                f.seal_segment(shard as usize, first_lsn)?;
-            }
-            Message::Heartbeat { durable } => {
-                for (shard, lsn) in durable.into_iter().enumerate() {
-                    f.note_leader_durable(shard, lsn);
+        // The follower lock is released before the progress bump:
+        // `wait_applied` takes progress-then-follower, so holding both
+        // here in the other order would deadlock.
+        {
+            let mut f = follower.lock().expect("follower lock");
+            match msg {
+                Message::SegStart {
+                    shard,
+                    first_lsn,
+                    term,
+                } => {
+                    // Fence a zombie ex-leader's shipper: a stream start
+                    // carrying a term below ours must never be ingested.
+                    f.check_leader_term(term)?;
+                    f.begin_segment(shard as usize, first_lsn)?;
+                }
+                Message::SegBytes {
+                    shard,
+                    first_lsn: _,
+                    offset,
+                    bytes,
+                } => {
+                    f.ingest(shard as usize, offset, &bytes)?;
+                }
+                Message::SegSeal { shard, first_lsn } => {
+                    f.seal_segment(shard as usize, first_lsn)?;
+                }
+                Message::Heartbeat { durable } => {
+                    for (shard, lsn) in durable.into_iter().enumerate() {
+                        f.note_leader_durable(shard, lsn);
+                    }
+                }
+                Message::Goodbye => return Ok(()),
+                Message::Fenced { observed, current } => {
+                    return Err(ChronicleError::Fenced { observed, current })
+                }
+                other => {
+                    return Err(ChronicleError::Corruption {
+                        detail: format!("unexpected shipping message {other:?}"),
+                    })
                 }
             }
-            Message::Goodbye => return Ok(()),
-            other => {
-                return Err(ChronicleError::Corruption {
-                    detail: format!("unexpected shipping message {other:?}"),
-                })
-            }
         }
+        progress.bump();
     }
 }
 
@@ -263,18 +341,33 @@ fn serve_read_only(
             }
         };
         match msg {
-            Message::Hello(Role::Client) => {
+            Message::Hello {
+                role: Role::Client,
+                version,
+                term: _,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    conn.send(&Message::ErrReply(format!(
+                        "protocol version mismatch: peer speaks v{version}, follower speaks v{PROTOCOL_VERSION}"
+                    )))?;
+                    return Ok(());
+                }
+                let term = follower.lock().expect("follower lock").term();
                 conn.send(&Message::Welcome {
                     shards: shards as u32,
+                    term,
                 })?;
             }
-            Message::Hello(Role::Follower) => {
+            Message::Hello {
+                role: Role::Follower,
+                ..
+            } => {
                 conn.send(&Message::ErrReply(
                     "cascading replication is not supported".into(),
                 ))?;
                 return Ok(());
             }
-            Message::Sql(sql) => {
+            Message::Sql { sql, .. } => {
                 let reply = match parse(&sql) {
                     Ok(Statement::Select { target, filters }) => {
                         match follower

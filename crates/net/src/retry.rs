@@ -1,0 +1,231 @@
+//! The retrying, failover-aware SQL client.
+//!
+//! [`RetryClient`] wraps [`Client`] with everything a caller needs to
+//! survive a leader failover without losing or duplicating statements:
+//!
+//! * every statement is stamped `(session, seq)`, so a retry whose
+//!   original ack was lost is answered from the server's dedupe cache —
+//!   exactly-once across reconnects *and* across promotion (the dedupe
+//!   table rides the WAL and checkpoints to the new leader);
+//! * transport failures and [`ChronicleError::Timeout`]s reconnect with
+//!   jittered exponential backoff under one total deadline;
+//! * a [`ChronicleError::Fenced`] reply or a refused connect rotates to
+//!   the next candidate address — the promoted leader is found by
+//!   walking the candidate list, no external coordinator involved;
+//! * an [`ChronicleError::Overloaded`] refusal sleeps for the server's
+//!   hinted `retry_after` (plus jitter) and retries the same stamp.
+//!
+//! SQL-level errors (parse errors, unknown names, key violations…) are
+//! *not* retried — they would fail identically on any leader.
+
+use std::time::{Duration, Instant};
+
+use chronicle_types::{ChronicleError, Result};
+
+use crate::client::Client;
+use crate::proto::{RemoteOutcome, WireStats};
+
+/// Backoff and deadline knobs for a [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First reconnect backoff; doubled per failure up to `max_backoff`.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Total time budget per statement, across every retry.
+    pub deadline: Duration,
+    /// Per-request read deadline on the underlying connection.
+    pub request_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(30),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How one attempt's failure should be handled.
+enum Recovery {
+    /// Drop the connection, rotate to the next address, back off.
+    Rotate,
+    /// Keep the connection, sleep the server's hint, retry.
+    Wait(Duration),
+    /// Not retryable: surface to the caller.
+    Fatal,
+}
+
+fn classify(e: &ChronicleError) -> Recovery {
+    match e {
+        // A deposed leader answered: the successor is at another address.
+        ChronicleError::Fenced { .. } => Recovery::Rotate,
+        // Admission refused; the statement was not applied.
+        ChronicleError::Overloaded { retry_after_ms } => {
+            Recovery::Wait(Duration::from_millis(*retry_after_ms))
+        }
+        // The reply may be lost but the stamp makes the retry idempotent.
+        ChronicleError::Timeout { .. } => Recovery::Rotate,
+        // Transport failures ("network: …") are retryable; remote SQL
+        // errors ("remote: …") and everything else are not.
+        ChronicleError::Durability { detail } if detail.starts_with("network:") => Recovery::Rotate,
+        _ => Recovery::Fatal,
+    }
+}
+
+/// A stamped, reconnecting, leader-following SQL session (module docs).
+#[derive(Debug)]
+pub struct RetryClient {
+    addrs: Vec<String>,
+    next_addr: usize,
+    policy: RetryPolicy,
+    session: u64,
+    seq: u64,
+    rng: u64,
+    conn: Option<Client>,
+    connected_once: bool,
+    retries: u64,
+    reconnects: u64,
+    last_term: u64,
+}
+
+impl RetryClient {
+    /// A session over one or more candidate leader addresses. `session`
+    /// must be nonzero and unique among concurrent clients (it keys the
+    /// server's dedupe table); it also seeds the backoff jitter.
+    pub fn new(addrs: &[&str], session: u64, policy: RetryPolicy) -> RetryClient {
+        assert!(session != 0, "session id 0 means 'unstamped' on the wire");
+        assert!(!addrs.is_empty(), "need at least one candidate address");
+        RetryClient {
+            addrs: addrs.iter().map(|a| a.to_string()).collect(),
+            next_addr: 0,
+            policy,
+            session,
+            seq: 0,
+            rng: session ^ 0x5e55_10f2_57a3_b1e9,
+            conn: None,
+            connected_once: false,
+            retries: 0,
+            reconnects: 0,
+            last_term: 0,
+        }
+    }
+
+    /// The session id stamped on every statement.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Sequence number of the most recently issued statement.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Failed attempts recovered from so far (reconnects included).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Connections established after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Highest leadership term observed across all connections.
+    pub fn last_term(&self) -> u64 {
+        self.last_term
+    }
+
+    /// Execute one statement with a fresh stamp, retrying per the policy
+    /// until it is durably acked exactly once or the deadline passes.
+    pub fn sql(&mut self, sql: &str) -> Result<RemoteOutcome> {
+        self.seq += 1;
+        let seq = self.seq;
+        let (session, timeout) = (self.session, self.policy.request_timeout);
+        self.run(move |client| {
+            client.set_request_timeout(timeout);
+            client.sql_stamped(sql, session, seq)
+        })
+    }
+
+    /// Fetch statistics from whichever leader is currently reachable.
+    pub fn stats(&mut self) -> Result<WireStats> {
+        let timeout = self.policy.request_timeout;
+        self.run(move |client| {
+            client.set_request_timeout(timeout);
+            client.stats()
+        })
+    }
+
+    /// Orderly close of the current connection, if any.
+    pub fn goodbye(mut self) {
+        if let Some(c) = self.conn.take() {
+            c.goodbye();
+        }
+    }
+
+    fn run<T>(&mut self, mut attempt: impl FnMut(&mut Client) -> Result<T>) -> Result<T> {
+        let deadline = Instant::now() + self.policy.deadline;
+        let mut backoff = self.policy.initial_backoff;
+        loop {
+            let result = match self.ensure_connected() {
+                Ok(client) => attempt(client),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let wait = match classify(&err) {
+                Recovery::Fatal => return Err(err),
+                Recovery::Rotate => {
+                    self.conn = None;
+                    self.next_addr = (self.next_addr + 1) % self.addrs.len();
+                    let b = backoff;
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                    b
+                }
+                Recovery::Wait(hint) => hint,
+            };
+            // Full jitter in [wait/2, wait]: desynchronizes a retry storm
+            // without ever answering before the server's hint is half up.
+            let jitter_span = wait.as_millis() as u64 / 2;
+            let jittered = wait / 2
+                + Duration::from_millis(if jitter_span == 0 {
+                    0
+                } else {
+                    splitmix64(&mut self.rng) % (jitter_span + 1)
+                });
+            if Instant::now() + jittered >= deadline {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(jittered);
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut Client> {
+        if self.conn.is_none() {
+            let addr = &self.addrs[self.next_addr];
+            let client = Client::connect_with_term(addr, self.last_term)?;
+            self.last_term = self.last_term.max(client.term());
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+}

@@ -26,12 +26,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chronicle_db::pipeline::{ShardedPipelineHandle, WalRequest};
+use chronicle_db::pipeline::{Admission, ShardedPipelineHandle, WalRequest};
 use chronicle_db::LatencySample;
 use chronicle_types::{ChronicleError, Result};
 
 use crate::conn::Conn;
-use crate::proto::{Message, Role, WireStats};
+use crate::frame::mutate;
+use crate::proto::{Message, Role, WireStats, PROTOCOL_VERSION};
 use crate::ship::{ShipEvent, Shipper, WalSource, DEFAULT_CHUNK};
 
 /// How long a catching-up follower session sleeps between pumps once it
@@ -42,6 +43,10 @@ const CATCHUP_POLL: Duration = Duration::from_millis(10);
 /// flag.
 const STOP_POLL: Duration = Duration::from_millis(50);
 
+/// Retry hint attached to an [`Message::Overloaded`] refusal — roughly
+/// the time a full pipeline queue takes to drain a few entries.
+const OVERLOAD_RETRY_MS: u64 = 25;
+
 /// Server-side counters, shared across sessions; folded into the
 /// [`WireStats`] a `StatsReq` returns.
 #[derive(Debug, Default)]
@@ -51,6 +56,7 @@ pub(crate) struct NetCounters {
     frames_out: AtomicU64,
     shipped_bytes: AtomicU64,
     requests: AtomicU64,
+    overload_rejections: AtomicU64,
     latencies: Mutex<LatencySample>,
 }
 
@@ -66,6 +72,7 @@ impl NetCounters {
         stats.net_frames_out = self.frames_out.load(Ordering::Relaxed);
         stats.net_shipped_bytes = self.shipped_bytes.load(Ordering::Relaxed);
         stats.net_requests = self.requests.load(Ordering::Relaxed);
+        stats.net_overload_rejections = self.overload_rejections.load(Ordering::Relaxed);
         let lat = self.latencies.lock().expect("latency lock");
         stats.net_latency_p50_nanos = lat.percentile(0.50);
         stats.net_latency_p99_nanos = lat.percentile(0.99);
@@ -105,6 +112,9 @@ impl Server {
         for shard in 0..handle.shard_count() {
             handle.wal(shard, WalRequest::SetRetainFloor(1))?;
         }
+        // A server's term is fixed for its lifetime: promotion happens on
+        // a stopped replica, which then starts a *new* server.
+        let term = handle.term()?;
         let stop = Arc::new(AtomicBool::new(false));
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let counters = Arc::new(NetCounters::default());
@@ -123,7 +133,7 @@ impl Server {
                             let t = std::thread::spawn(move || {
                                 // Session errors end the session; the
                                 // server keeps serving.
-                                let _ = serve_session(stream, handle, stop, counters);
+                                let _ = serve_session(stream, handle, term, stop, counters);
                             });
                             sessions.lock().expect("session list").push(t);
                         }
@@ -173,16 +183,29 @@ impl Server {
 fn serve_session(
     stream: std::net::TcpStream,
     handle: ShardedPipelineHandle,
+    term: u64,
     stop: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
 ) -> Result<()> {
     let mut conn = Conn::new(stream)?;
-    let role = loop {
+    let (role, peer_term) = loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }
         match conn.try_recv(STOP_POLL)? {
-            Some(Message::Hello(role)) => break role,
+            Some(Message::Hello {
+                role,
+                version,
+                term: peer_term,
+            }) => {
+                if version != PROTOCOL_VERSION {
+                    conn.send(&Message::ErrReply(format!(
+                        "protocol version mismatch: peer speaks v{version}, server speaks v{PROTOCOL_VERSION}"
+                    )))?;
+                    return Ok(());
+                }
+                break (role, peer_term);
+            }
             Some(other) => {
                 conn.send(&Message::ErrReply(format!("expected Hello, got {other:?}")))?;
                 return Ok(());
@@ -190,12 +213,24 @@ fn serve_session(
             None => continue,
         }
     };
+    // Fencing: a peer that has observed a higher term than ours proves we
+    // are a deposed leader. Refuse before serving a single request, so a
+    // zombie can neither accept writes from informed clients nor ship WAL
+    // to a promoted-lineage follower.
+    if peer_term > term && !mutate("skip_fencing") {
+        conn.send(&Message::Fenced {
+            observed: term,
+            current: peer_term,
+        })?;
+        return Ok(());
+    }
     conn.send(&Message::Welcome {
         shards: handle.shard_count() as u32,
+        term,
     })?;
     let out = match role {
         Role::Client => serve_client(&mut conn, &handle, &stop, &counters),
-        Role::Follower => serve_follower(&mut conn, &handle, &stop, &counters),
+        Role::Follower => serve_follower(&mut conn, &handle, term, &stop, &counters),
     };
     counters
         .frames_in
@@ -222,10 +257,28 @@ fn serve_client(
             }
         };
         match msg {
-            Message::Sql(sql) => {
+            Message::Sql { sql, session, seq } => {
                 let t0 = Instant::now();
-                let reply = match handle.execute(&sql) {
+                // Network sessions are refused (not blocked) when the
+                // pipeline queue is full: blocking here would let one slow
+                // shard stall every connection thread.
+                let admit = Admission::Refuse {
+                    retry_after_ms: OVERLOAD_RETRY_MS,
+                };
+                let result = if session == 0 {
+                    handle.execute(&sql)
+                } else {
+                    handle.execute_stamped(&sql, session, seq, admit)
+                };
+                let reply = match result {
                     Ok(outcome) => Message::SqlOk((&outcome).into()),
+                    Err(ChronicleError::Overloaded { retry_after_ms }) => {
+                        counters.overload_rejections.fetch_add(1, Ordering::Relaxed);
+                        Message::Overloaded { retry_after_ms }
+                    }
+                    Err(ChronicleError::Fenced { observed, current }) => {
+                        Message::Fenced { observed, current }
+                    }
                     Err(e) => Message::ErrReply(e.to_string()),
                 };
                 counters.record_request(t0.elapsed().as_nanos() as u64);
@@ -258,6 +311,7 @@ fn serve_client(
 fn serve_follower(
     conn: &mut Conn,
     handle: &ShardedPipelineHandle,
+    term: u64,
     stop: &AtomicBool,
     counters: &NetCounters,
 ) -> Result<()> {
@@ -266,7 +320,22 @@ fn serve_follower(
             return Ok(());
         }
         match conn.try_recv(STOP_POLL)? {
-            Some(Message::FetchWal { applied }) => break applied,
+            Some(Message::FetchWal {
+                applied,
+                term: follower_term,
+            }) => {
+                // A follower that has observed a higher term follows a
+                // newer leader's lineage; shipping our stale history into
+                // it would fork the replicated log.
+                if follower_term > term && !mutate("skip_fencing") {
+                    conn.send(&Message::Fenced {
+                        observed: term,
+                        current: follower_term,
+                    })?;
+                    return Ok(());
+                }
+                break applied;
+            }
             Some(Message::Goodbye) | None => {
                 if stop.load(Ordering::Relaxed) {
                     return Ok(());
@@ -297,6 +366,7 @@ fn serve_follower(
                 ShipEvent::Start { shard, first_lsn } => Message::SegStart {
                     shard: shard as u32,
                     first_lsn,
+                    term,
                 },
                 ShipEvent::Bytes {
                     shard,

@@ -7,6 +7,14 @@
 //! simulation driver's seeded RNG decides how many bytes each delivery
 //! hands over and when the connection dies, so a replay from the seed
 //! reproduces every partial frame and every truncation byte-for-byte.
+//!
+//! For failover simulation the pipe also models two softer network
+//! moods: a *partition* ([`SimPipe::partition`]) holds every in-flight
+//! byte — sends still queue, deliveries return nothing — until
+//! [`SimPipe::heal`] reopens the link (a long delay is a partition the
+//! driver heals later); and [`SimPipe::duplicate_last`] re-queues a copy
+//! of the most recent send, modeling a retransmit whose original was not
+//! actually lost. Both stay fully deterministic: the driver decides when.
 
 use std::collections::VecDeque;
 
@@ -15,10 +23,13 @@ use std::collections::VecDeque;
 #[derive(Debug, Default)]
 pub struct SimPipe {
     pending: VecDeque<u8>,
+    last_send: Vec<u8>,
+    partitioned: bool,
     sent: u64,
     delivered: u64,
     cuts: u64,
     dropped: u64,
+    duplicates: u64,
 }
 
 impl SimPipe {
@@ -31,16 +42,52 @@ impl SimPipe {
     pub fn send(&mut self, bytes: &[u8]) {
         self.sent += bytes.len() as u64;
         self.pending.extend(bytes);
+        self.last_send = bytes.to_vec();
     }
 
     /// Deliver up to `max` queued bytes to the receiving side. The driver
     /// picks `max` from its seeded RNG, so frames arrive re-chunked at
-    /// arbitrary boundaries — including mid-header.
+    /// arbitrary boundaries — including mid-header. During a partition
+    /// nothing is delivered, however large `max` is.
     pub fn deliver(&mut self, max: usize) -> Vec<u8> {
+        if self.partitioned {
+            return Vec::new();
+        }
         let n = max.min(self.pending.len());
         let out: Vec<u8> = self.pending.drain(..n).collect();
         self.delivered += out.len() as u64;
         out
+    }
+
+    /// The link stalls: sends keep queueing but deliveries return nothing
+    /// until [`heal`](SimPipe::heal). Unlike a cut, no bytes are lost —
+    /// this is a delay/partition, not a drop.
+    pub fn partition(&mut self) {
+        self.partitioned = true;
+    }
+
+    /// Reopen a partitioned link; queued bytes become deliverable again.
+    pub fn heal(&mut self) {
+        self.partitioned = false;
+    }
+
+    /// Whether the link is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Re-queue a copy of the most recent send — a retransmit whose
+    /// original also made it. Returns how many bytes were duplicated
+    /// (zero if nothing was ever sent on this connection).
+    pub fn duplicate_last(&mut self) -> usize {
+        let n = self.last_send.len();
+        if n > 0 {
+            self.sent += n as u64;
+            self.duplicates += 1;
+            let copy = self.last_send.clone();
+            self.pending.extend(copy);
+        }
+        n
     }
 
     /// Bytes queued but not yet delivered (in flight).
@@ -55,6 +102,8 @@ impl SimPipe {
     pub fn cut(&mut self) -> usize {
         let n = self.pending.len();
         self.pending.clear();
+        self.last_send.clear();
+        self.partitioned = false;
         self.cuts += 1;
         self.dropped += n as u64;
         n
@@ -78,6 +127,11 @@ impl SimPipe {
     /// Bytes lost to cuts.
     pub fn bytes_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Retransmit duplications injected so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
     }
 }
 
@@ -113,5 +167,44 @@ mod tests {
         pipe.send(b"xy");
         assert_eq!(pipe.deliver(10), b"xy");
         assert_eq!(pipe.cuts(), 1);
+    }
+
+    #[test]
+    fn partition_holds_bytes_without_loss() {
+        let mut pipe = SimPipe::new();
+        pipe.send(b"held");
+        pipe.partition();
+        assert!(pipe.is_partitioned());
+        assert_eq!(pipe.deliver(100), b"");
+        pipe.send(b" more");
+        assert_eq!(pipe.deliver(100), b"");
+        assert_eq!(pipe.pending(), 9);
+        pipe.heal();
+        assert_eq!(pipe.deliver(100), b"held more");
+        assert_eq!(pipe.bytes_dropped(), 0);
+    }
+
+    #[test]
+    fn duplicate_last_requeues_the_most_recent_send() {
+        let mut pipe = SimPipe::new();
+        assert_eq!(pipe.duplicate_last(), 0, "nothing to retransmit yet");
+        pipe.send(b"abc");
+        pipe.send(b"de");
+        assert_eq!(pipe.duplicate_last(), 2);
+        assert_eq!(pipe.deliver(100), b"abcdede");
+        assert_eq!(pipe.duplicates(), 1);
+        assert_eq!(pipe.bytes_sent(), 7);
+    }
+
+    #[test]
+    fn cut_forgets_the_last_send() {
+        let mut pipe = SimPipe::new();
+        pipe.send(b"abc");
+        pipe.partition();
+        pipe.cut();
+        // A cut is a fresh connection: no partition, no retransmit memory.
+        assert!(!pipe.is_partitioned());
+        assert_eq!(pipe.duplicate_last(), 0);
+        assert_eq!(pipe.pending(), 0);
     }
 }

@@ -141,6 +141,31 @@ pub enum ChronicleError {
         /// What failed validation.
         detail: String,
     },
+    /// A request carried a stale leadership term: the sender is (or is
+    /// talking to) a deposed leader. Fencing keeps a zombie ex-leader — or
+    /// its WAL shipper — from diverging the replicated history; the caller
+    /// should rediscover the current leader and retry there.
+    Fenced {
+        /// The term the rejected request carried.
+        observed: u64,
+        /// The rejecting node's current term.
+        current: u64,
+    },
+    /// The server's admission budget is exhausted: the maintenance
+    /// pipeline's bounded queue is full, and blocking the session thread
+    /// would let one slow shard stall every connection. The request was
+    /// *not* applied; retry after the hinted delay.
+    Overloaded {
+        /// Suggested client-side delay before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A request's read deadline elapsed before the reply arrived. The
+    /// request may or may not have been applied — an idempotent retry
+    /// (same session, same seq) is the safe way to find out.
+    Timeout {
+        /// What was being waited for.
+        detail: String,
+    },
     /// Internal invariant breakage — indicates a bug in this library, kept
     /// as an error instead of a panic so servers can shed the request.
     Internal(String),
@@ -202,6 +227,17 @@ impl fmt::Display for ChronicleError {
             }
             ChronicleError::Corruption { detail } => {
                 write!(f, "durable state corrupted: {detail}")
+            }
+            ChronicleError::Fenced { observed, current } => write!(
+                f,
+                "fenced: request carried stale term {observed}, current term is {current}"
+            ),
+            ChronicleError::Overloaded { retry_after_ms } => write!(
+                f,
+                "overloaded: admission queue is full, retry after {retry_after_ms} ms"
+            ),
+            ChronicleError::Timeout { detail } => {
+                write!(f, "timed out waiting for {detail}")
             }
             ChronicleError::Internal(s) => write!(f, "internal invariant violated: {s}"),
         }

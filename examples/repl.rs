@@ -34,18 +34,27 @@
 //! repl follow <leader HOST:PORT> <path> [ro=HOST:PORT] [salvage]
 //!     Start a follower: ship the leader's WAL into a local database at
 //!     <path> and keep views maintained. With ro=, also serve read-only
-//!     SELECTs on that address. Console: .lag / .applied / .views /
-//!     SELECT … / .quit.
-//! repl connect <HOST:PORT>
+//!     SELECTs on that address. Console: .lag / .applied / SELECT … /
+//!     .promote [addr=HOST:PORT] / .quit. `.promote` is the failover
+//!     step: it stops ingest, bumps the leader term (fencing any stream
+//!     the deposed leader still tries to ship), and turns this process
+//!     into a serving leader on the given address.
+//! repl connect <HOST:PORT[,HOST:PORT...]> [session=N]
 //!     A SQL shell over the wire against a leader (full SQL) or a
-//!     follower's ro= listener (SELECT only).
+//!     follower's ro= listener (SELECT only). With session=N every
+//!     statement is stamped (session, seq) and sent through the retry
+//!     client: timeouts, overload pushback, and fencing rotate through
+//!     the comma-separated candidate addresses with backoff, and a
+//!     stamp that was already applied is answered from the leader's
+//!     dedupe cache instead of re-executing. `.session` inspects the
+//!     stamp state (session id, next seq, retries, last term seen).
 //! ```
 
 use std::io::{BufRead, Write};
 
-use chronicle::db::pipeline::ShardedPipeline;
+use chronicle::db::pipeline::{ShardedPipeline, ShardedPipelineHandle};
 use chronicle::db::{ExecOutcome, ShardedDb};
-use chronicle::net::{Client, RemoteOutcome, Replica, Server};
+use chronicle::net::{Client, RemoteOutcome, Replica, RetryClient, RetryPolicy, Server};
 use chronicle::prelude::*;
 
 /// The repl drives either a plain database or a sharded one behind the
@@ -387,6 +396,15 @@ fn serve_main(args: &[String]) {
         server.addr()
     );
     let handle = pipeline.handle();
+    leader_console(&handle, &server);
+    server.stop();
+    pipeline.shutdown();
+    println!("bye");
+}
+
+/// The serving leader's operator console (`.stats` / `.quit`), shared by
+/// `repl serve` and a follower that just ran `.promote`.
+fn leader_console(handle: &ShardedPipelineHandle, server: &Server) {
     while let Some(line) = read_line("leader> ") {
         match line.as_str() {
             "" => continue,
@@ -409,9 +427,6 @@ fn serve_main(args: &[String]) {
             }
         }
     }
-    server.stop();
-    pipeline.shutdown();
-    println!("bye");
 }
 
 /// `repl follow <leader HOST:PORT> <path> [ro=HOST:PORT] [salvage]` — a
@@ -463,10 +478,23 @@ fn follow_main(args: &[String]) {
             }
         }
     }
+    let mut promote_addr: Option<String> = None;
     while let Some(line) = read_line("follower> ") {
         match line.as_str() {
             "" => continue,
             ".quit" | ".exit" => break,
+            cmd if cmd == ".promote" || cmd.starts_with(".promote ") => {
+                let rest = cmd[".promote".len()..].trim();
+                let addr = rest.strip_prefix("addr=").unwrap_or(rest);
+                promote_addr = Some(if addr.is_empty() {
+                    // An ephemeral port: the bound address is printed once
+                    // the listener is up.
+                    String::from("127.0.0.1:0")
+                } else {
+                    addr.to_string()
+                });
+                break;
+            }
             ".lag" => match replica.replication_lag() {
                 Some(lag) => println!(
                     "{lag} record(s) behind the leader's durable frontier \
@@ -499,22 +527,111 @@ fn follow_main(args: &[String]) {
             }
         }
     }
-    match replica.stop() {
-        Ok(_) => println!("bye"),
+    let Some(addr) = promote_addr else {
+        match replica.stop() {
+            Ok(_) => println!("bye"),
+            Err(e) => {
+                eprintln!("ingest ended with error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    };
+    // Failover: stop ingest, seal the replication state under a bumped
+    // term (any stream the deposed leader still ships is answered with
+    // the typed fencing error), and serve SQL sessions + WAL shipping
+    // from this database. Retry clients find us through their candidate
+    // address list.
+    let db = match replica.promote() {
+        Ok(db) => db,
         Err(e) => {
-            eprintln!("ingest ended with error: {e}");
+            eprintln!("promotion failed: {e}");
             std::process::exit(1);
         }
+    };
+    let term = db.term();
+    let pipeline = ShardedPipeline::start(db, 64);
+    let server = match Server::start(pipeline.handle(), &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("promoted under term {term}, but cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "promoted: serving as leader under term {term} on {} — clients: \
+         `repl connect {0}`, followers: `repl follow {0} <path>`",
+        server.addr()
+    );
+    let handle = pipeline.handle();
+    leader_console(&handle, &server);
+    server.stop();
+    pipeline.shutdown();
+    println!("bye");
+}
+
+/// `repl connect <HOST:PORT[,...]> [session=N]` — a SQL shell over the
+/// wire, against either a leader (full SQL) or a follower's read-only
+/// listener (SELECT only). With `session=N` the shell runs through the
+/// stamped [`RetryClient`] and survives failover by rotating through the
+/// candidate addresses.
+fn connect_main(args: &[String]) {
+    let mut session: Option<u64> = None;
+    let mut target: Option<String> = None;
+    for arg in args {
+        if let Some(s) = arg.strip_prefix("session=") {
+            match s.parse::<u64>() {
+                Ok(n) if n > 0 => session = Some(n),
+                _ => {
+                    eprintln!("invalid session id `{s}` (want session=N, N >= 1)");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            target = Some(arg.clone());
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("usage: repl connect <HOST:PORT[,HOST:PORT...]> [session=N]");
+        std::process::exit(1);
+    };
+    match session {
+        Some(session) => connect_stamped(&target, session),
+        None => connect_plain(&target),
     }
 }
 
-/// `repl connect <HOST:PORT>` — a SQL shell over the wire, against either
-/// a leader (full SQL) or a follower's read-only listener (SELECT only).
-fn connect_main(args: &[String]) {
-    let [addr] = args else {
-        eprintln!("usage: repl connect <HOST:PORT>");
+fn print_wire_stats(s: &chronicle::net::WireStats) {
+    println!(
+        "appends: {}  tuples: {}  wal: {} records / {} bytes  \
+         checkpoints: {}",
+        s.appends, s.tuples_appended, s.wal_records, s.wal_bytes, s.checkpoints
+    );
+    println!(
+        "net: {} sessions, {} frames in, {} frames out, \
+         {} requests (p50 {} ns, p99 {} ns), {} WAL bytes shipped",
+        s.net_sessions,
+        s.net_frames_in,
+        s.net_frames_out,
+        s.net_requests,
+        s.net_latency_p50_nanos,
+        s.net_latency_p99_nanos,
+        s.net_shipped_bytes
+    );
+    if let (Some(applied), Some(lag)) = (s.follower_applied_lsn, s.replication_lag) {
+        println!("follower: applied lsn {applied}, {lag} record(s) behind");
+    }
+}
+
+/// The sessionless shell: one plain connection, no stamps, no retries.
+fn connect_plain(addr: &str) {
+    if addr.contains(',') {
+        eprintln!(
+            "multiple candidate addresses need a session: \
+             `repl connect {addr} session=N`"
+        );
         std::process::exit(1);
-    };
+    }
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
@@ -530,29 +647,59 @@ fn connect_main(args: &[String]) {
         match line.as_str() {
             "" => continue,
             ".quit" | ".exit" => break,
+            ".session" => println!(
+                "no session: reconnect with `repl connect {addr} session=N` \
+                 for stamped statements that survive retries and failover"
+            ),
             ".stats" => match client.stats() {
-                Ok(s) => {
-                    println!(
-                        "appends: {}  tuples: {}  wal: {} records / {} bytes  \
-                         checkpoints: {}",
-                        s.appends, s.tuples_appended, s.wal_records, s.wal_bytes, s.checkpoints
-                    );
-                    println!(
-                        "net: {} sessions, {} frames in, {} frames out, \
-                         {} requests (p50 {} ns, p99 {} ns), {} WAL bytes shipped",
-                        s.net_sessions,
-                        s.net_frames_in,
-                        s.net_frames_out,
-                        s.net_requests,
-                        s.net_latency_p50_nanos,
-                        s.net_latency_p99_nanos,
-                        s.net_shipped_bytes
-                    );
-                    if let (Some(applied), Some(lag)) = (s.follower_applied_lsn, s.replication_lag)
-                    {
-                        println!("follower: applied lsn {applied}, {lag} record(s) behind");
-                    }
-                }
+                Ok(s) => print_wire_stats(&s),
+                Err(e) => println!("error: {e}"),
+            },
+            sql => match client.sql(sql) {
+                Ok(outcome) => print_remote(outcome),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+    client.goodbye();
+    println!("bye");
+}
+
+/// The stamped shell: every statement carries `(session, seq)`, retries
+/// back off and rotate through the candidate addresses on timeout,
+/// overload, or fencing, and a stamp the leader already applied is
+/// answered from its dedupe cache instead of re-executing.
+fn connect_stamped(target: &str, session: u64) {
+    let addrs: Vec<&str> = target
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        eprintln!("usage: repl connect <HOST:PORT[,HOST:PORT...]> [session=N]");
+        std::process::exit(1);
+    }
+    let mut client = RetryClient::new(&addrs, session, RetryPolicy::default());
+    println!(
+        "session {session} against {} — SQL statements, or .session / .stats / .quit",
+        addrs.join(", ")
+    );
+    while let Some(line) = read_line("remote> ") {
+        match line.as_str() {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".session" => println!(
+                "session {}: next seq {}, {} retr{}, {} reconnect(s), \
+                 last leader term seen {}",
+                client.session(),
+                client.seq() + 1,
+                client.retries(),
+                if client.retries() == 1 { "y" } else { "ies" },
+                client.reconnects(),
+                client.last_term()
+            ),
+            ".stats" => match client.stats() {
+                Ok(s) => print_wire_stats(&s),
                 Err(e) => println!("error: {e}"),
             },
             sql => match client.sql(sql) {

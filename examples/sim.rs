@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --example sim -- [--base N] [--seeds N]
 //!     [--shards N] [--ops N] [--budget-ms N] [--bit-rot] [--replication]
+//!     [--failover]
 //! ```
 //!
 //! Runs `--seeds` schedules starting at seed `--base`, alternating the
@@ -12,17 +13,21 @@
 //! files and recovery runs under the `Salvage` policy (with a Strict
 //! fails-loudly probe on a fork of each rotted disk). With `--replication`
 //! each seed instead drives a leader/follower pair over the simulated
-//! wire, with seeded connection cuts and power cuts on either side. On a
-//! failure it prints the one seed that reproduces the run and exits
-//! nonzero; re-running with `--base <seed> --seeds 1` (plus the same
-//! `--shards`/`--ops`/mode flag) replays it deterministically.
+//! wire, with seeded connection cuts and power cuts on either side. With
+//! `--failover` each seed kills the leader mid-stream and promotes the
+//! follower under a fenced term while sessioned clients retry — asserting
+//! every acked statement survives, nothing applies twice, and the final
+//! state matches a never-crashed oracle. On a failure it prints the one
+//! seed that reproduces the run and exits nonzero; re-running with
+//! `--base <seed> --seeds 1` (plus the same `--shards`/`--ops`/mode flag)
+//! replays it deterministically.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use chronicle::sim::{
-    run_replication_seed, run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded,
-    ReplicationReport, SimReport,
+    run_failover_seed, run_replication_seed, run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded,
+    run_seed_sharded, FailoverReport, ReplicationReport, SimReport,
 };
 use chronicle::simkit::ScheduleConfig;
 
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     let mut budget_ms: u64 = u64::MAX;
     let mut bit_rot = false;
     let mut replication = false;
+    let mut failover = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -49,6 +55,7 @@ fn main() -> ExitCode {
             "--budget-ms" => budget_ms = take("--budget-ms").parse().expect("--budget-ms: u64"),
             "--bit-rot" => bit_rot = true,
             "--replication" => replication = true,
+            "--failover" => failover = true,
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -61,6 +68,66 @@ fn main() -> ExitCode {
         ..ScheduleConfig::default()
     };
     let start = Instant::now();
+
+    if failover {
+        let mut totals = FailoverReport::default();
+        let mut ran = 0u64;
+        for seed in base..base.saturating_add(seeds) {
+            if start.elapsed().as_millis() as u64 >= budget_ms {
+                break;
+            }
+            // Even seeds pair single-shard nodes, odd seeds sharded ones.
+            let n = if shards == 0 || seed % 2 == 0 {
+                1
+            } else {
+                shards
+            };
+            match run_failover_seed(seed, n, &cfg) {
+                Ok(r) => {
+                    ran += 1;
+                    totals.stamped_acked += r.stamped_acked;
+                    totals.promotions += r.promotions;
+                    totals.fencing_probes += r.fencing_probes;
+                    totals.dedupe_retries += r.dedupe_retries;
+                    totals.partitions += r.partitions;
+                    totals.heartbeat_duplicates += r.heartbeat_duplicates;
+                    totals.connection_cuts += r.connection_cuts;
+                    totals.follower_kills += r.follower_kills;
+                    totals.pump_cycles += r.pump_cycles;
+                    totals.bytes_shipped += r.bytes_shipped;
+                    totals.bytes_lost_in_flight += r.bytes_lost_in_flight;
+                }
+                Err(f) => {
+                    eprintln!("{f}");
+                    eprintln!(
+                        "reproduce: cargo run --release --example sim -- \
+                         --base {} --seeds 1 --shards {shards} --ops {ops} --failover",
+                        f.seed
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "failover sim ok: {ran} seeds ({} acked stamps, {} promotions, \
+             {} fencing probes, {} dedupe retries, {} partitions, {} heartbeat dups, \
+             {} cuts, {} follower kills, {} pump cycles, {} bytes shipped, \
+             {} bytes lost in flight) in {:?}",
+            totals.stamped_acked,
+            totals.promotions,
+            totals.fencing_probes,
+            totals.dedupe_retries,
+            totals.partitions,
+            totals.heartbeat_duplicates,
+            totals.connection_cuts,
+            totals.follower_kills,
+            totals.pump_cycles,
+            totals.bytes_shipped,
+            totals.bytes_lost_in_flight,
+            start.elapsed()
+        );
+        return ExitCode::SUCCESS;
+    }
 
     if replication {
         let mut totals = ReplicationReport::default();

@@ -120,6 +120,43 @@ cargo run -q --offline --release --example sim -- \
 cargo test -q --offline -p chronicle-net
 SHARDS=4 cargo test -q --offline -p chronicle-net --test replication
 
+echo "== failover gate (offline) =="
+# Leader failover under seeded chaos (DESIGN.md §17): sessioned clients
+# issue stamped statements while the wire suffers partitions, heartbeat
+# retransmits, connection cuts, and follower power cuts; the leader is
+# killed mid-stream and the follower promoted under a fenced term while
+# every client retries. Each seed asserts every acked statement survives
+# promotion, no stamp applies twice, stale-term streams get the typed
+# fencing error, and the final state matches a never-crashed oracle
+# byte-for-byte. 400 seeds across single-shard and sharded topologies.
+cargo run -q --offline --release --example sim -- \
+    --failover --base 0 --seeds 300 --shards 2 --ops 120 --budget-ms 90000
+cargo run -q --offline --release --example sim -- \
+    --failover --base 1000 --seeds 100 --shards 4 --ops 120 --budget-ms 60000
+
+echo "== failover mutation checks (offline) =="
+# Prove the failover gate has teeth. `skip_fencing` lets a deposed term's
+# stream past the term check — the post-promotion fencing probe must
+# fail. `skip_session_dedupe` bypasses the session dedupe table so a
+# retried stamp re-executes — the retry's state-unchanged assertion must
+# fail. Both are caught deterministically from seed 0.
+if CHRONICLE_MUTATE=skip_fencing cargo run -q --offline --release --example sim -- \
+    --failover --base 0 --seeds 25 --shards 2 --ops 120 --budget-ms 60000 >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: skip_fencing was not caught by the failover sweep"
+    exit 1
+fi
+if CHRONICLE_MUTATE=skip_session_dedupe cargo run -q --offline --release --example sim -- \
+    --failover --base 0 --seeds 25 --shards 2 --ops 120 --budget-ms 60000 >/dev/null 2>&1; then
+    echo "MUTATION ESCAPED: skip_session_dedupe was not caught by the failover sweep"
+    exit 1
+fi
+
+echo "== failover bench gate (offline) =="
+# E19 at scale 0: promotion must complete, the post-failover retry storm
+# must be answered entirely from the dedupe cache with zero state change,
+# and the stale-term probe must be fenced after every promotion.
+cargo test -q --offline -p chronicle-bench --lib e19
+
 echo "== wire-codec mutation check (offline) =="
 # Prove the codec tests have teeth: disable frame CRC verification
 # through the test-only CHRONICLE_MUTATE backdoor and require the

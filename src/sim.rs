@@ -1631,6 +1631,7 @@ fn pump_cycle(
             ShipEvent::Start { shard, first_lsn } => Message::SegStart {
                 shard: shard as u32,
                 first_lsn,
+                term: leader.term(),
             },
             ShipEvent::Bytes {
                 shard,
@@ -1671,7 +1672,8 @@ fn pump_cycle(
 
 /// Drain the pipe into the follower. With `all` false the RNG re-chunks
 /// deliveries and may leave a suffix in flight (to be lost if the next
-/// event is a cut); with `all` true everything queued is applied.
+/// event is a cut); with `all` true everything queued is applied. A
+/// partitioned pipe delivers nothing (the bytes stay queued, not lost).
 fn deliver(
     session: &mut Session,
     follower: &mut FollowerDb,
@@ -1679,6 +1681,9 @@ fn deliver(
     all: bool,
     seed: u64,
 ) -> Result<(), SimFailure> {
+    if session.pipe.is_partitioned() {
+        return Ok(());
+    }
     while session.pipe.pending() > 0 {
         if !all && rng.below(5) == 0 {
             return Ok(()); // leave the rest in flight
@@ -1708,7 +1713,13 @@ fn deliver(
 
 fn apply_shipped(follower: &mut FollowerDb, msg: Message, seed: u64) -> Result<(), SimFailure> {
     let applied = match msg {
-        Message::SegStart { shard, first_lsn } => follower.begin_segment(shard as usize, first_lsn),
+        Message::SegStart {
+            shard,
+            first_lsn,
+            term,
+        } => follower
+            .check_leader_term(term)
+            .and_then(|()| follower.begin_segment(shard as usize, first_lsn)),
         Message::SegBytes {
             shard,
             first_lsn: _,
@@ -1768,6 +1779,727 @@ fn digest_follower(f: &FollowerDb) -> String {
         out.push_str(&digest_single(f.shard(i)));
     }
     out
+}
+
+// ---- failover simulation --------------------------------------------------
+
+/// Salt folded (scaled by the promotion ordinal) into each post-promotion
+/// fresh follower's filesystem seed, so every incarnation draws an
+/// independent fault stream.
+const PROMOTION_FS_SALT: u64 = 0x00fa_1107_ead0_0bad;
+
+/// Stamped sessions driven by the failover simulation.
+const FAILOVER_CLIENTS: u64 = 3;
+
+/// What one failover run did (diagnostics for gates and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// The seed the run replayed.
+    pub seed: u64,
+    /// Shard count of every topology in the run.
+    pub shards: usize,
+    /// Stamped statements acknowledged semi-synchronously (leader durable
+    /// *and* follower coverage observed).
+    pub stamped_acked: usize,
+    /// Leader kills, each followed by a fenced follower promotion.
+    pub promotions: usize,
+    /// Stale-term streams offered to a promoted lineage's follower — each
+    /// must be refused with a typed fencing error.
+    pub fencing_probes: usize,
+    /// Retries of already-acknowledged stamps (simulated lost acks) — each
+    /// must be answered from the dedupe cache without changing state.
+    pub dedupe_retries: usize,
+    /// Network partitions injected (bytes held, not lost).
+    pub partitions: usize,
+    /// Heartbeat frames delivered twice (benign retransmits).
+    pub heartbeat_duplicates: usize,
+    /// Connections dropped with bytes in flight.
+    pub connection_cuts: usize,
+    /// Power cuts under the follower.
+    pub follower_kills: usize,
+    /// Shipper pump cycles driven.
+    pub pump_cycles: usize,
+    /// WAL bytes that entered the pipe.
+    pub bytes_shipped: u64,
+    /// Bytes lost in flight to cuts and leader deaths.
+    pub bytes_lost_in_flight: u64,
+}
+
+/// One stamped client session: at most one statement in flight, retried
+/// with the same `(session, seq)` stamp until acknowledged.
+struct SimClient {
+    session: u64,
+    seq: u64,
+    /// Issued but not yet semi-sync acknowledged: `(seq, sql)`.
+    pending: Option<(u64, String)>,
+    /// Highest acknowledged seq (0 = none yet).
+    acked_seq: u64,
+    /// The most recently acknowledged statement, kept for lost-ack
+    /// retry probes.
+    last_acked: Option<(u64, String)>,
+}
+
+/// The live topology of a failover run: current leader, current follower
+/// (with its own simulated disk), and the shipping session between them.
+struct FailoverNodes {
+    leader: ShardedDb,
+    follower: FollowerDb,
+    session: Session,
+    ffs: SimFs,
+    fvfs: Arc<dyn Vfs>,
+    froot: PathBuf,
+}
+
+/// Run one seeded failover schedule: a durable leader, a semi-synchronous
+/// follower, stamped client sessions with at most one statement in
+/// flight each, and seeded partitions, heartbeat duplication, connection
+/// cuts, follower power cuts, and leader deaths — each leader death
+/// followed by a fenced promotion of the follower and client redirect.
+///
+/// Three properties are checked:
+///
+/// * **Acked statements survive.** A statement is acknowledged only when
+///   the leader holds it durably *and* the follower's replayed session
+///   table covers its stamp; at every promotion the new leader must
+///   cover every acknowledged stamp.
+/// * **No statement applies twice.** Retried stamps — lost-ack probes
+///   and post-promotion redirects of surviving statements — must be
+///   answered from the dedupe cache with byte-identical state before and
+///   after; and the final leader state must equal a never-crashed oracle
+///   replaying the surviving lineage exactly once per statement.
+/// * **Stale terms are fenced.** After every promotion, a stream
+///   carrying the deposed term is offered to the new lineage's follower
+///   and must be refused with a typed [`ChronicleError::Fenced`] error.
+///
+/// `cfg.ops` sets the number of event rounds. At least one promotion and
+/// one lost-ack retry probe run per seed (forced if the dice never roll
+/// them), so the `skip_fencing` and `skip_session_dedupe` mutation
+/// checks trip on *any* seed.
+pub fn run_failover_seed(
+    seed: u64,
+    shards: usize,
+    cfg: &ScheduleConfig,
+) -> Result<FailoverReport, SimFailure> {
+    let shards = shards.max(1);
+    let mut rng = Mix(seed ^ NET_SEED_SALT);
+    let opts = DurabilityOptions {
+        segment_bytes: 1024,
+        fsync: true,
+        auto_checkpoint_records: None,
+        keep_checkpoints: 2,
+        recovery: RecoveryPolicy::Strict,
+    };
+
+    let lfs = SimFs::new(seed ^ FS_SEED_SALT);
+    let lvfs: Arc<dyn Vfs> = Arc::new(lfs.clone());
+    let lroot = PathBuf::from("/sim/leader");
+    let leader =
+        ShardedDb::open_with_vfs(Arc::clone(&lvfs), &lroot, shards, opts).map_err(|e| {
+            SimFailure {
+                seed,
+                detail: format!("leader open failed on a fresh disk: {e}"),
+            }
+        })?;
+
+    let ffs = SimFs::new(seed ^ FS_SEED_SALT ^ FOLLOWER_FS_SALT);
+    let fvfs: Arc<dyn Vfs> = Arc::new(ffs.clone());
+    let froot = PathBuf::from("/sim/follower");
+    let follower =
+        FollowerDb::open_with_vfs(Arc::clone(&fvfs), &froot, shards, opts).map_err(|e| {
+            SimFailure {
+                seed,
+                detail: format!("follower open failed on a fresh disk: {e}"),
+            }
+        })?;
+
+    let session = Session::connect(&follower);
+    let mut nodes = FailoverNodes {
+        leader,
+        follower,
+        session,
+        ffs,
+        fvfs,
+        froot,
+    };
+    let mut report = FailoverReport {
+        seed,
+        shards,
+        ..FailoverReport::default()
+    };
+    // Wire counters ride in a ReplicationReport so `pump_cycle` is shared
+    // with the replication driver; folded into the report at the end.
+    let mut ship = ReplicationReport::default();
+    let mut clients: Vec<SimClient> = (1..=FAILOVER_CLIENTS)
+        .map(|session| SimClient {
+            session,
+            seq: 0,
+            pending: None,
+            acked_seq: 0,
+            last_acked: None,
+        })
+        .collect();
+    // The surviving lineage, in first-apply order: the oracle's input. A
+    // pending statement that dies with a deposed leader is pruned and
+    // re-pushed when its retry freshly applies on the successor.
+    let mut lineage: Vec<String> = Vec::new();
+
+    // Prelude: per-session DDL (own group, chronicle, and counting view,
+    // so every session's appends route independently and stay
+    // per-session monotone in the SEQ column), fully shipped before any
+    // fault fires.
+    for c in &clients {
+        let k = c.session;
+        for sql in [
+            format!("CREATE GROUP g{k}"),
+            format!("CREATE CHRONICLE c{k} (sn SEQ, x INT) IN GROUP g{k}"),
+            format!("CREATE VIEW v{k} AS SELECT x, COUNT(*) AS cnt FROM c{k} GROUP BY x"),
+        ] {
+            nodes.leader.execute(&sql).map_err(|e| SimFailure {
+                seed,
+                detail: format!("prelude statement `{sql}` rejected: {e}"),
+            })?;
+            lineage.push(sql);
+        }
+    }
+    catch_up(&mut nodes, shards, &mut rng, seed, &mut ship)?;
+
+    let rounds = cfg.ops.max(10);
+    for _ in 0..rounds {
+        // Every idle session issues a fresh stamped statement (sn = the
+        // stamp's seq, so the SEQ column stays monotone per chronicle).
+        for c in clients.iter_mut() {
+            if c.pending.is_none() {
+                issue(&mut nodes.leader, c, &mut lineage, &mut rng, seed)?;
+            }
+        }
+        match rng.below(100) {
+            // Ship a little: lag is the normal condition.
+            0..=44 => {
+                let cycles = 1 + rng.below(3);
+                for _ in 0..cycles {
+                    pump_cycle(&nodes.leader, &mut nodes.session, shards, seed, &mut ship)?;
+                }
+                deliver(
+                    &mut nodes.session,
+                    &mut nodes.follower,
+                    &mut rng,
+                    false,
+                    seed,
+                )?;
+            }
+            // The link stalls: bytes queue but nothing arrives.
+            45..=54 => {
+                if !nodes.session.pipe.is_partitioned() {
+                    trace!("TRACE fault partition");
+                    nodes.session.pipe.partition();
+                    report.partitions += 1;
+                }
+            }
+            // The partition heals; queued bytes flow again.
+            55..=64 => {
+                if nodes.session.pipe.is_partitioned() {
+                    trace!("TRACE heal partition");
+                    nodes.session.pipe.heal();
+                }
+                deliver(
+                    &mut nodes.session,
+                    &mut nodes.follower,
+                    &mut rng,
+                    false,
+                    seed,
+                )?;
+            }
+            // A retransmit duplicates the freshest heartbeat frame (the
+            // last frame every pump cycle sends). Heartbeats carry
+            // monotone durable frontiers, so the duplicate must be
+            // absorbed without effect.
+            65..=72 => {
+                pump_cycle(&nodes.leader, &mut nodes.session, shards, seed, &mut ship)?;
+                nodes.session.pipe.duplicate_last();
+                report.heartbeat_duplicates += 1;
+                deliver(
+                    &mut nodes.session,
+                    &mut nodes.follower,
+                    &mut rng,
+                    false,
+                    seed,
+                )?;
+            }
+            // A lost ack: some session retries a statement the leader
+            // already acknowledged. The dedupe cache must answer it
+            // without changing any state.
+            73..=79 => {
+                let pick = rng.below(FAILOVER_CLIENTS) as usize;
+                if retry_acked(&mut nodes.leader, &clients[pick], seed)? {
+                    report.dedupe_retries += 1;
+                }
+            }
+            // The connection drops mid-flight; the follower reattaches
+            // through a reopen from disk (no power cut).
+            80..=87 => {
+                trace!("TRACE fault cut in_flight={}", nodes.session.pipe.pending());
+                report.bytes_lost_in_flight += nodes.session.pipe.cut() as u64;
+                report.connection_cuts += 1;
+                nodes = reattach_follower(nodes, false, shards, opts, seed)?;
+            }
+            // Power cut under the follower. The leader is alive, so after
+            // the verified recovery the follower is caught straight back
+            // up — an acknowledged stamp is never left uncovered while
+            // the only durable copy sits on a node that could die next.
+            88..=93 => {
+                trace!(
+                    "TRACE fault follower-kill in_flight={}",
+                    nodes.session.pipe.pending()
+                );
+                report.bytes_lost_in_flight += nodes.session.pipe.cut() as u64;
+                report.follower_kills += 1;
+                nodes = reattach_follower(nodes, true, shards, opts, seed)?;
+                verify_follower_prefix(&nodes.follower, &lineage, shards, seed)?;
+                catch_up(&mut nodes, shards, &mut rng, seed, &mut ship)?;
+            }
+            // The leader dies for good: fenced promotion, client redirect.
+            _ => {
+                nodes = promote_and_redirect(
+                    nodes,
+                    &mut clients,
+                    &mut lineage,
+                    shards,
+                    opts,
+                    &mut rng,
+                    seed,
+                    &mut report,
+                    &mut ship,
+                )?;
+            }
+        }
+        ack_sweep(&nodes.follower, &mut clients, &mut report);
+    }
+
+    // Every run proves fencing at least once: force a final failover if
+    // the dice never rolled one.
+    if report.promotions == 0 {
+        nodes = promote_and_redirect(
+            nodes,
+            &mut clients,
+            &mut lineage,
+            shards,
+            opts,
+            &mut rng,
+            seed,
+            &mut report,
+            &mut ship,
+        )?;
+    }
+
+    // Final drain: ship everything, acknowledge everything. Every pending
+    // statement is applied on the current leader (promotion re-applies
+    // the casualties), so full catch-up must cover every stamp.
+    catch_up(&mut nodes, shards, &mut rng, seed, &mut ship)?;
+    ack_sweep(&nodes.follower, &mut clients, &mut report);
+    for c in &clients {
+        if let Some((seq, sql)) = &c.pending {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "session {} statement seq {seq} (`{sql}`) never reached the follower \
+                     after full catch-up",
+                    c.session
+                ),
+            });
+        }
+    }
+
+    // Every run proves the dedupe cache at least once: a guaranteed
+    // lost-ack retry of an acknowledged statement.
+    let probe = clients
+        .iter()
+        .find(|c| c.last_acked.is_some())
+        .ok_or_else(|| SimFailure {
+            seed,
+            detail: "no statement was ever acknowledged; the run proved nothing".into(),
+        })?;
+    if retry_acked(&mut nodes.leader, probe, seed)? {
+        report.dedupe_retries += 1;
+    }
+
+    // The survivors, exactly once each: leader equals the never-crashed
+    // oracle over the surviving lineage, and the follower converges to
+    // the leader byte-for-byte with zero lag.
+    let got = digest_sharded(&nodes.leader);
+    let oracle = replay(&lineage, Some(shards), seed)?.digest();
+    if got != oracle {
+        return Err(diverged(
+            seed,
+            "the surviving lineage after the final drain",
+            &got,
+            &oracle,
+        ));
+    }
+    catch_up(&mut nodes, shards, &mut rng, seed, &mut ship)?;
+    let fgot = digest_follower(&nodes.follower);
+    if fgot != got {
+        return Err(diverged(
+            seed,
+            "the leader's final state after full catch-up",
+            &fgot,
+            &got,
+        ));
+    }
+    if nodes.follower.replication_lag() != Some(0) {
+        return Err(SimFailure {
+            seed,
+            detail: format!(
+                "converged follower still reports lag {:?}",
+                nodes.follower.replication_lag()
+            ),
+        });
+    }
+
+    report.pump_cycles = ship.pump_cycles;
+    report.bytes_shipped = ship.bytes_shipped;
+    report.bytes_lost_in_flight += ship.bytes_lost_in_flight;
+    Ok(report)
+}
+
+/// Issue one fresh stamped statement for `c` on the leader and record it
+/// in the lineage. The leader applies it durably (fsync on), but it is
+/// *not* acknowledged until the follower covers the stamp.
+fn issue(
+    leader: &mut ShardedDb,
+    c: &mut SimClient,
+    lineage: &mut Vec<String>,
+    rng: &mut Mix,
+    seed: u64,
+) -> Result<(), SimFailure> {
+    c.seq += 1;
+    let sql = format!(
+        "APPEND INTO c{} VALUES ({}, {})",
+        c.session,
+        c.seq,
+        rng.below(50)
+    );
+    leader
+        .execute_stamped(&sql, c.session, c.seq)
+        .map_err(|e| SimFailure {
+            seed,
+            detail: format!("leader rejected a fresh stamped append `{sql}`: {e}"),
+        })?;
+    lineage.push(sql.clone());
+    c.pending = Some((c.seq, sql));
+    trace!("TRACE issue session={} seq={} pending", c.session, c.seq);
+    Ok(())
+}
+
+/// Acknowledge every pending statement whose stamp the follower now
+/// covers — the semi-synchronous ack point.
+fn ack_sweep(follower: &FollowerDb, clients: &mut [SimClient], report: &mut FailoverReport) {
+    for c in clients.iter_mut() {
+        if let Some((seq, _)) = c.pending {
+            if follower.session_last_seq(c.session) >= Some(seq) {
+                let (seq, sql) = c.pending.take().expect("just matched");
+                trace!("TRACE ack session={} seq={}", c.session, seq);
+                c.acked_seq = seq;
+                c.last_acked = Some((seq, sql));
+                report.stamped_acked += 1;
+            }
+        }
+    }
+}
+
+/// Replay a lost-ack retry: re-execute the client's *newest* statement
+/// with its original stamp (the dedupe table is bounded to one entry per
+/// session, so only the newest stamp is retryable — exactly what a
+/// one-in-flight client can ever retry). The cache must answer it from
+/// the recorded outcome — state byte-identical before and after. Returns
+/// whether a retry ran (a session that never issued has nothing to
+/// retry).
+fn retry_acked(leader: &mut ShardedDb, c: &SimClient, seed: u64) -> Result<bool, SimFailure> {
+    let newest = c.pending.as_ref().or(c.last_acked.as_ref());
+    let Some((seq, sql)) = newest else {
+        return Ok(false);
+    };
+    let before = digest_sharded(leader);
+    leader
+        .execute_stamped(sql, c.session, *seq)
+        .map_err(|e| SimFailure {
+            seed,
+            detail: format!(
+                "retry of acknowledged statement `{sql}` (session {}, seq {seq}) was \
+                 rejected instead of answered from the dedupe cache: {e}",
+                c.session
+            ),
+        })?;
+    if digest_sharded(leader) != before {
+        return Err(SimFailure {
+            seed,
+            detail: format!(
+                "retry of acknowledged statement `{sql}` (session {}, seq {seq}) was \
+                 applied twice: state changed under a duplicate stamp",
+                c.session
+            ),
+        });
+    }
+    Ok(true)
+}
+
+/// Tear the follower down and reopen it from its disk — a dropped
+/// connection (`crash` false) or a power cut (`crash` true, unsynced
+/// bytes seeded away first). The current handles are released before the
+/// reopen: the ingest owns the WAL writers recovery is about to read.
+fn reattach_follower(
+    nodes: FailoverNodes,
+    crash: bool,
+    shards: usize,
+    opts: DurabilityOptions,
+    seed: u64,
+) -> Result<FailoverNodes, SimFailure> {
+    let FailoverNodes {
+        leader,
+        follower,
+        session,
+        ffs,
+        fvfs,
+        froot,
+    } = nodes;
+    drop(follower);
+    drop(session);
+    if crash {
+        ffs.crash_and_restore();
+    }
+    let follower =
+        FollowerDb::open_with_vfs(Arc::clone(&fvfs), &froot, shards, opts).map_err(|e| {
+            SimFailure {
+                seed,
+                detail: if crash {
+                    format!("follower recovery failed after a power cut: {e}")
+                } else {
+                    format!("follower reopen failed after a dropped connection: {e}")
+                },
+            }
+        })?;
+    let session = Session::connect(&follower);
+    Ok(FailoverNodes {
+        leader,
+        follower,
+        session,
+        ffs,
+        fvfs,
+        froot,
+    })
+}
+
+/// Uninterrupted catch-up: heal any partition, then pump and deliver
+/// until the shipper reports caught-up and the pipe is dry.
+fn catch_up(
+    nodes: &mut FailoverNodes,
+    shards: usize,
+    rng: &mut Mix,
+    seed: u64,
+    ship: &mut ReplicationReport,
+) -> Result<(), SimFailure> {
+    nodes.session.pipe.heal();
+    let mut guard = 0u32;
+    loop {
+        let caught = pump_cycle(&nodes.leader, &mut nodes.session, shards, seed, ship)?;
+        deliver(&mut nodes.session, &mut nodes.follower, rng, true, seed)?;
+        if caught && nodes.session.pipe.pending() == 0 {
+            return Ok(());
+        }
+        guard += 1;
+        if guard > 100_000 {
+            return Err(SimFailure {
+                seed,
+                detail: "catch-up did not converge".into(),
+            });
+        }
+    }
+}
+
+/// The leader dies permanently: cut the wire, promote the follower under
+/// a fenced new term, verify no acknowledged statement was lost and the
+/// survivors match the oracle, redirect every client (retries of
+/// surviving statements answer from the dedupe cache; casualties freshly
+/// re-apply), attach a fresh follower to the new lineage, and prove the
+/// deposed term is fenced.
+#[allow(clippy::too_many_arguments)]
+fn promote_and_redirect(
+    nodes: FailoverNodes,
+    clients: &mut [SimClient],
+    lineage: &mut Vec<String>,
+    shards: usize,
+    opts: DurabilityOptions,
+    rng: &mut Mix,
+    seed: u64,
+    report: &mut FailoverReport,
+    ship: &mut ReplicationReport,
+) -> Result<FailoverNodes, SimFailure> {
+    use chronicle_types::ChronicleError;
+
+    let FailoverNodes {
+        leader,
+        follower,
+        mut session,
+        ..
+    } = nodes;
+    trace!(
+        "TRACE fault leader-death in_flight={} promoting",
+        session.pipe.pending()
+    );
+    report.bytes_lost_in_flight += session.pipe.cut() as u64;
+    // The deposed leader and its disk are abandoned for good.
+    drop(leader);
+    drop(session);
+
+    let mut leader = follower.promote().map_err(|e| SimFailure {
+        seed,
+        detail: format!("promotion failed: {e}"),
+    })?;
+    trace!("TRACE promoted term={}", leader.term());
+
+    // Acked statements survive: the promoted leader must cover every
+    // acknowledged stamp.
+    for c in clients.iter() {
+        if c.acked_seq > 0 && leader.session_last_seq(c.session) < Some(c.acked_seq) {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "promotion lost an acknowledged statement: session {} was acked through \
+                     seq {} but the promoted leader covers only {:?}",
+                    c.session,
+                    c.acked_seq,
+                    leader.session_last_seq(c.session)
+                ),
+            });
+        }
+    }
+
+    // Pending statements that never reached the follower died with the
+    // deposed leader: prune them from the lineage (their retries below
+    // re-apply them as fresh statements of the new lineage).
+    for c in clients.iter() {
+        if let Some((seq, sql)) = &c.pending {
+            if leader.session_last_seq(c.session) < Some(*seq) {
+                trace!("TRACE promotion drops session={} seq={}", c.session, seq);
+                lineage.retain(|s| s != sql);
+            }
+        }
+    }
+
+    // The promoted leader is exactly the surviving lineage, once each.
+    let got = digest_sharded(&leader);
+    let oracle = replay(lineage, Some(shards), seed)?.digest();
+    if got != oracle {
+        return Err(diverged(
+            seed,
+            "the surviving lineage after promotion",
+            &got,
+            &oracle,
+        ));
+    }
+
+    // Client redirect: every un-acked statement is retried against the
+    // new leader with its original stamp. Survivors must be answered
+    // from the replicated dedupe cache; casualties freshly apply.
+    for c in clients.iter_mut() {
+        if let Some((seq, sql)) = c.pending.clone() {
+            if leader.session_last_seq(c.session) >= Some(seq) {
+                let before = digest_sharded(&leader);
+                leader
+                    .execute_stamped(&sql, c.session, seq)
+                    .map_err(|e| SimFailure {
+                        seed,
+                        detail: format!(
+                            "post-promotion retry of surviving `{sql}` was rejected: {e}"
+                        ),
+                    })?;
+                if digest_sharded(&leader) != before {
+                    return Err(SimFailure {
+                        seed,
+                        detail: format!(
+                            "post-promotion retry of surviving `{sql}` (session {}, seq \
+                             {seq}) was applied twice",
+                            c.session
+                        ),
+                    });
+                }
+            } else {
+                leader
+                    .execute_stamped(&sql, c.session, seq)
+                    .map_err(|e| SimFailure {
+                        seed,
+                        detail: format!("post-promotion retry of lost `{sql}` was rejected: {e}"),
+                    })?;
+                if leader.session_last_seq(c.session) != Some(seq) {
+                    return Err(SimFailure {
+                        seed,
+                        detail: format!(
+                            "post-promotion retry of lost `{sql}` did not advance session {} \
+                             to seq {seq}",
+                            c.session
+                        ),
+                    });
+                }
+                lineage.push(sql);
+            }
+        }
+    }
+
+    // A fresh follower attaches to the new lineage on its own disk and
+    // replays everything — including the promotion's Term record.
+    let n = (report.promotions + 1) as u64;
+    let ffs =
+        SimFs::new(seed ^ FS_SEED_SALT ^ FOLLOWER_FS_SALT ^ PROMOTION_FS_SALT.wrapping_mul(n));
+    let fvfs: Arc<dyn Vfs> = Arc::new(ffs.clone());
+    let froot = PathBuf::from(format!("/sim/follower{n}"));
+    let follower =
+        FollowerDb::open_with_vfs(Arc::clone(&fvfs), &froot, shards, opts).map_err(|e| {
+            SimFailure {
+                seed,
+                detail: format!("fresh follower open failed after promotion: {e}"),
+            }
+        })?;
+    let session = Session::connect(&follower);
+    let mut nodes = FailoverNodes {
+        leader,
+        follower,
+        session,
+        ffs,
+        fvfs,
+        froot,
+    };
+    catch_up(&mut nodes, shards, rng, seed, ship)?;
+    if nodes.follower.term() != nodes.leader.term() {
+        return Err(SimFailure {
+            seed,
+            detail: format!(
+                "caught-up follower replayed term {} but the promoted leader serves term {}",
+                nodes.follower.term(),
+                nodes.leader.term()
+            ),
+        });
+    }
+
+    // The zombie probe: a stream carrying the deposed term must be
+    // refused by the new lineage with a typed fencing error.
+    report.fencing_probes += 1;
+    let stale = nodes.leader.term() - 1;
+    match nodes.follower.check_leader_term(stale) {
+        Err(ChronicleError::Fenced { .. }) => {}
+        other => {
+            return Err(SimFailure {
+                seed,
+                detail: format!(
+                    "a deposed leader's stream (term {stale}) was not fenced by the \
+                     promoted lineage (term {}): got {other:?}",
+                    nodes.leader.term()
+                ),
+            });
+        }
+    }
+
+    report.promotions += 1;
+    ack_sweep(&nodes.follower, clients, report);
+    Ok(nodes)
 }
 
 #[cfg(test)]
@@ -1879,6 +2611,51 @@ mod tests {
             let r = run_seed(seed, &quick_cfg()).unwrap();
             assert_eq!(r.moves, 0, "single topology must not acknowledge moves");
         }
+    }
+
+    #[test]
+    fn failover_seed_runs_clean() {
+        let report = run_failover_seed(1, 2, &quick_cfg()).unwrap();
+        assert!(report.stamped_acked > 0);
+        assert!(report.promotions >= 1, "every run proves a promotion");
+        assert_eq!(report.fencing_probes, report.promotions);
+        assert!(report.dedupe_retries >= 1, "every run proves the cache");
+    }
+
+    #[test]
+    fn failover_single_shard_runs_clean() {
+        let report = run_failover_seed(2, 1, &quick_cfg()).unwrap();
+        assert!(report.stamped_acked > 0);
+        assert!(report.promotions >= 1);
+    }
+
+    #[test]
+    fn failover_same_seed_same_report() {
+        let a = run_failover_seed(21, 2, &quick_cfg());
+        let b = run_failover_seed(21, 2, &quick_cfg());
+        assert_eq!(a, b, "failover faults replay from the seed alone");
+    }
+
+    #[test]
+    fn failover_seeds_exercise_every_fault() {
+        let mut partitions = 0;
+        let mut dups = 0;
+        let mut cuts = 0;
+        let mut fkills = 0;
+        let mut promotions = 0;
+        for seed in 0..8 {
+            let r = run_failover_seed(seed, 2, &quick_cfg()).unwrap();
+            partitions += r.partitions;
+            dups += r.heartbeat_duplicates;
+            cuts += r.connection_cuts;
+            fkills += r.follower_kills;
+            promotions += r.promotions;
+        }
+        assert!(partitions > 0, "no partitions across seeds");
+        assert!(dups > 0, "no duplicated heartbeats across seeds");
+        assert!(cuts > 0, "no connection cuts across seeds");
+        assert!(fkills > 0, "no follower kills across seeds");
+        assert!(promotions >= 8, "every seed promotes at least once");
     }
 
     #[test]

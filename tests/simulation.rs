@@ -17,7 +17,9 @@
 //!     --base <seed> --seeds 1 --shards <0 or 2> --ops 120
 //! ```
 
-use chronicle::sim::{run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded};
+use chronicle::sim::{
+    run_failover_seed, run_seed, run_seed_bit_rot, run_seed_bit_rot_sharded, run_seed_sharded,
+};
 use chronicle::simkit::ScheduleConfig;
 
 fn cfg() -> ScheduleConfig {
@@ -146,4 +148,43 @@ fn sharded_topology_bit_rot_seeds_salvage_clean() {
         flips > 50,
         "the sweep must actually rot bytes (got {flips})"
     );
+}
+
+/// A pinned slice of the failover sweeps (`--failover` in the example
+/// runner): each seed kills the leader mid-stream, promotes the follower
+/// under a fenced term, and lets sessioned clients retry — asserting
+/// every acknowledged stamp survives promotion, no stamp ever applies
+/// twice, stale-term streams are refused with a typed fencing error, and
+/// the final state matches a never-crashed oracle byte-for-byte.
+///
+/// Reproduce a failure with:
+///
+/// ```text
+/// cargo run --release --example sim -- \
+///     --base <seed> --seeds 1 --shards <1 or 2> --ops 120 --failover
+/// ```
+#[test]
+fn failover_fixed_seeds_promote_clean() {
+    let mut acked = 0;
+    let mut promotions = 0;
+    let mut retries = 0;
+    for seed in SEEDS {
+        let shards = if seed % 2 == 0 { 1 } else { 2 };
+        let r = run_failover_seed(seed, shards, &cfg())
+            .unwrap_or_else(|f| panic!("failover simulation failed: {f}"));
+        assert!(
+            r.promotions >= 1,
+            "seed {seed}: every schedule promotes at least once"
+        );
+        assert_eq!(
+            r.fencing_probes, r.promotions,
+            "seed {seed}: every promotion fences the deposed term"
+        );
+        acked += r.stamped_acked;
+        promotions += r.promotions;
+        retries += r.dedupe_retries;
+    }
+    assert!(acked > 100, "schedules ack stamped work (got {acked})");
+    assert!(promotions >= 24, "got {promotions} promotions");
+    assert!(retries >= 24, "got {retries} dedupe retries");
 }
